@@ -1,0 +1,48 @@
+//! Microbenchmarks of the CDF-bound DP (Theorem 4): cost grows with
+//! string length and k (band width × bound-vector width).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use usj_bench::dataset;
+use usj_cdf::cdf_bounds;
+use usj_datagen::DatasetKind;
+
+fn bench_cdf(c: &mut Criterion) {
+    let ds = dataset(DatasetKind::Protein, 60, 0.1);
+    // Pick a length-compatible pair of medium length.
+    let (mut r, mut s) = (None, None);
+    for x in &ds.strings {
+        if x.len() == 32 && r.is_none() {
+            r = Some(x.clone());
+        } else if x.len() >= 30 && x.len() <= 34 && r.is_some() && s.is_none() {
+            s = Some(x.clone());
+        }
+    }
+    let r = r.unwrap_or_else(|| ds.strings[0].clone());
+    let s = s.unwrap_or_else(|| ds.strings[1].clone());
+
+    let mut group = c.benchmark_group("cdf_bounds");
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| cdf_bounds(black_box(&r), black_box(&s), k))
+        });
+    }
+    group.finish();
+
+    // Length scaling at fixed k (the Fig 9 cost driver).
+    let mut group = c.benchmark_group("cdf_length");
+    for appends in [0usize, 1, 3] {
+        let mut rr = r.clone();
+        let mut ss = s.clone();
+        for _ in 0..appends {
+            rr = rr.concat(&r);
+            ss = ss.concat(&s);
+        }
+        group.bench_with_input(BenchmarkId::new("appends", appends), &appends, |b, _| {
+            b.iter(|| cdf_bounds(black_box(&rr), black_box(&ss), 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cdf);
+criterion_main!(benches);

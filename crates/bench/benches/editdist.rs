@@ -1,0 +1,52 @@
+//! Microbenchmarks of the deterministic edit-distance substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use usj_editdist::{edit_distance, edit_distance_bounded, PrefixDp};
+
+fn random_string(rng: &mut StdRng, len: usize, sigma: u8) -> Vec<u8> {
+    (0..len).map(|_| rng.gen_range(0..sigma)).collect()
+}
+
+fn bench_editdist(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = random_string(&mut rng, 32, 22);
+    let mut b = a.clone();
+    // Perturb b by a few edits so the banded DP has realistic work.
+    for _ in 0..3 {
+        let pos = rng.gen_range(0..b.len());
+        b[pos] = rng.gen_range(0..22);
+    }
+    let far = random_string(&mut rng, 32, 22);
+
+    let mut group = c.benchmark_group("editdist");
+    group.bench_function("full_dp_len32", |bench| {
+        bench.iter(|| edit_distance(black_box(&a), black_box(&b)))
+    });
+    group.bench_function("bounded_k4_similar", |bench| {
+        bench.iter(|| edit_distance_bounded(black_box(&a), black_box(&b), 4))
+    });
+    group.bench_function("bounded_k4_dissimilar", |bench| {
+        bench.iter(|| edit_distance_bounded(black_box(&a), black_box(&far), 4))
+    });
+    group.bench_function("prefix_dp_run_k4", |bench| {
+        bench.iter(|| PrefixDp::run(black_box(&a), black_box(&b), 4))
+    });
+    group.bench_function("myers_len32", |bench| {
+        bench.iter(|| usj_editdist::myers_distance(black_box(&a), black_box(&b)))
+    });
+    let long_a: Vec<u8> = (0..128).map(|i| (i % 22) as u8).collect();
+    let mut long_b = long_a.clone();
+    long_b[40] = 21;
+    group.bench_function("myers_len128_two_blocks", |bench| {
+        bench.iter(|| usj_editdist::myers_distance(black_box(&long_a), black_box(&long_b)))
+    });
+    group.bench_function("full_dp_len128", |bench| {
+        bench.iter(|| edit_distance(black_box(&long_a), black_box(&long_b)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_editdist);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmarks of frequency-distance filtering, including the paper's
+//! `O(min(f^u_R, f^u_S))` fast expectation vs the naive double sum.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use usj_bench::dataset;
+use usj_datagen::DatasetKind;
+use usj_freq::{expected_nd_char, expected_nd_naive, CharProfile, FreqFilter};
+
+fn bench_expectation(c: &mut Criterion) {
+    // Two characters with many uncertain positions each.
+    let probs_a: Vec<f64> = (0..24).map(|i| 0.1 + 0.03 * i as f64).collect();
+    let probs_b: Vec<f64> = (0..20).map(|i| 0.9 - 0.04 * i as f64).collect();
+    let a = CharProfile::new(3, &probs_a);
+    let b = CharProfile::new(1, &probs_b);
+    let mut group = c.benchmark_group("freq_expectation");
+    group.bench_function("fast_min_side", |bench| {
+        bench.iter(|| expected_nd_char(black_box(&a), black_box(&b)))
+    });
+    group.bench_function("naive_double_sum", |bench| {
+        bench.iter(|| expected_nd_naive(black_box(&a), black_box(&b)))
+    });
+    group.finish();
+}
+
+fn bench_filter_pass(c: &mut Criterion) {
+    let ds = dataset(DatasetKind::Protein, 120, 0.1);
+    let filter = FreqFilter::new(4, 0.01, ds.alphabet.size());
+    let profiles: Vec<_> = ds.strings.iter().map(|s| filter.profile(s)).collect();
+    let pairs: Vec<(usize, usize)> = (0..profiles.len())
+        .flat_map(|i| ((i + 1)..profiles.len()).map(move |j| (i, j)))
+        .filter(|&(i, j)| ds.strings[i].len().abs_diff(ds.strings[j].len()) <= 4)
+        .collect();
+    let mut group = c.benchmark_group("freq_filter");
+    group.sample_size(20);
+    group.bench_function("profile_build", |b| {
+        b.iter(|| {
+            for s in &ds.strings {
+                black_box(filter.profile(s));
+            }
+        })
+    });
+    group.bench_function("evaluate_pairs", |b| {
+        b.iter(|| {
+            let mut survivors = 0usize;
+            for &(i, j) in &pairs {
+                if filter.evaluate(&profiles[j], &profiles[i]).candidate {
+                    survivors += 1;
+                }
+            }
+            black_box(survivors)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_expectation, bench_filter_pass);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end join benchmarks: pipeline variants and q sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use usj_bench::{dataset, default_config};
+use usj_core::{Pipeline, SimilarityJoin};
+use usj_datagen::DatasetKind;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let ds = dataset(DatasetKind::Dblp, 300, 0.2);
+    let mut group = c.benchmark_group("join_pipeline");
+    group.sample_size(10);
+    for pipeline in Pipeline::all() {
+        let config = default_config(DatasetKind::Dblp).with_pipeline(pipeline);
+        group.bench_function(pipeline.acronym(), |b| {
+            b.iter(|| {
+                let join = SimilarityJoin::new(config.clone(), ds.alphabet.size());
+                black_box(join.self_join(&ds.strings).pairs.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_q_sweep(c: &mut Criterion) {
+    let ds = dataset(DatasetKind::Dblp, 300, 0.2);
+    let mut group = c.benchmark_group("join_q");
+    group.sample_size(10);
+    for q in [2usize, 3, 4, 6] {
+        let config = default_config(DatasetKind::Dblp).with_q(q);
+        group.bench_with_input(BenchmarkId::new("q", q), &q, |b, _| {
+            b.iter(|| {
+                let join = SimilarityJoin::new(config.clone(), ds.alphabet.size());
+                black_box(join.self_join(&ds.strings).pairs.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines, bench_q_sweep);
+criterion_main!(benches);

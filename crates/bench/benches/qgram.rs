@@ -1,0 +1,55 @@
+//! Microbenchmarks and ablations of q-gram filtering.
+//!
+//! Ablations promised by DESIGN.md §6:
+//! * Poisson-binomial tail: `O(m²)` full DP vs `O(m(m−k))` truncated;
+//! * α computation: grouped (paper) vs naive vs exact.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use usj_bench::dataset;
+use usj_datagen::DatasetKind;
+use usj_qgram::{at_least, poisson_binomial, AlphaMode, QGramFilter};
+
+fn bench_tail(c: &mut Criterion) {
+    let alphas: Vec<f64> = (0..16).map(|i| (i as f64 + 1.0) / 20.0).collect();
+    let mut group = c.benchmark_group("qgram_tail");
+    group.bench_function("truncated_m16_k2", |b| {
+        b.iter(|| at_least(black_box(&alphas), 14))
+    });
+    group.bench_function("full_m16", |b| {
+        b.iter(|| {
+            let dist = poisson_binomial(black_box(&alphas));
+            dist.iter().skip(14).sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_alpha_modes(c: &mut Criterion) {
+    let ds = dataset(DatasetKind::Dblp, 40, 0.2);
+    let pairs: Vec<(usize, usize)> = (0..ds.strings.len())
+        .flat_map(|i| ((i + 1)..ds.strings.len()).map(move |j| (i, j)))
+        .filter(|&(i, j)| ds.strings[i].len().abs_diff(ds.strings[j].len()) <= 2)
+        .take(60)
+        .collect();
+    let mut group = c.benchmark_group("qgram_alpha");
+    group.sample_size(20);
+    for mode in [AlphaMode::Grouped, AlphaMode::Naive, AlphaMode::Exact] {
+        let filter = QGramFilter::new(2, 0.1, 3).with_alpha_mode(mode);
+        group.bench_function(format!("{mode:?}").to_lowercase(), |b| {
+            b.iter(|| {
+                let mut survivors = 0usize;
+                for &(i, j) in &pairs {
+                    let out = filter.evaluate(&ds.strings[j], &ds.strings[i]);
+                    if out.verdict == usj_qgram::FilterVerdict::Candidate {
+                        survivors += 1;
+                    }
+                }
+                black_box(survivors)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tail, bench_alpha_modes);
+criterion_main!(benches);

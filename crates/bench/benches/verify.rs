@@ -1,0 +1,75 @@
+//! Verification ablations: lazy trie vs eager trie vs naive enumeration,
+//! and early termination on vs off (DESIGN.md §6).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use usj_bench::dataset;
+use usj_datagen::DatasetKind;
+use usj_verify::{naive_verify, LazyTrieVerifier, TrieVerifier};
+
+fn pick_pairs(theta: f64) -> Vec<(usj_model::UncertainString, usj_model::UncertainString)> {
+    let ds = dataset(DatasetKind::Dblp, 120, theta);
+    let mut pairs = Vec::new();
+    for i in 0..ds.strings.len() {
+        for j in (i + 1)..ds.strings.len() {
+            let (r, s) = (&ds.strings[i], &ds.strings[j]);
+            if r.len().abs_diff(s.len()) <= 2
+                && r.num_worlds() * s.num_worlds() <= 1e6
+                && usj_editdist::within_k(
+                    &r.most_probable_world().instance,
+                    &s.most_probable_world().instance,
+                    4,
+                )
+            {
+                pairs.push((r.clone(), s.clone()));
+                if pairs.len() >= 12 {
+                    return pairs;
+                }
+            }
+        }
+    }
+    pairs
+}
+
+fn bench_verifiers(c: &mut Criterion) {
+    let pairs = pick_pairs(0.2);
+    assert!(!pairs.is_empty(), "dataset produced no candidate pairs");
+    let (k, tau) = (2usize, 0.1f64);
+
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(15);
+    group.bench_function("lazy_trie", |b| {
+        b.iter(|| {
+            for (r, s) in &pairs {
+                let mut v = LazyTrieVerifier::new(r, k, tau);
+                black_box(v.verify(s).similar);
+            }
+        })
+    });
+    group.bench_function("eager_trie", |b| {
+        b.iter(|| {
+            for (r, s) in &pairs {
+                let v = TrieVerifier::new(r, k, tau, 1 << 22).unwrap();
+                black_box(v.verify(s).similar);
+            }
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            for (r, s) in &pairs {
+                black_box(naive_verify(r, s, k, tau, true).similar);
+            }
+        })
+    });
+    group.bench_function("lazy_trie_no_early_stop", |b| {
+        b.iter(|| {
+            for (r, s) in &pairs {
+                let mut v = LazyTrieVerifier::new(r, k, tau).without_early_stop();
+                black_box(v.verify(s).prob);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verifiers);
+criterion_main!(benches);

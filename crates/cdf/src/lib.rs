@@ -1,0 +1,331 @@
+//! CDF-bound filtering (paper §6.1, Theorem 4).
+//!
+//! A banded dynamic program over the cells `(x, y)` of the `|R| × |S|`
+//! edit matrix. Each in-band cell (`|x − y| ≤ k`) carries `k+1` pairs
+//! `(L[j], U[j])` bounding the cumulative distribution of the (random)
+//! edit distance between the prefixes:
+//!
+//! ```text
+//! L[j] ≤ Pr(ed(R[1..x], S[1..y]) ≤ j) ≤ U[j]
+//! ```
+//!
+//! With `p1 = Σ_c Pr(R[x]=c)·Pr(S[y]=c)` (the probability the two current
+//! characters match) and `p2 = 1 − p1`, Theorem 4's recurrences are
+//!
+//! ```text
+//! L[j] = max(p1·L_D1[j], p2·L_(argmin Dᵢ)[j−1])
+//! U[j] = min(1, p1·U_D1[j] + p2·U_D1[j−1] + U_D2[j−1] + U_D3[j−1])
+//! ```
+//!
+//! where `D1/D2/D3` are the diagonal/upper/left neighbours and
+//! `argmin Dᵢ` selects the stochastically-smallest neighbour distribution
+//! (greatest `L[0]`, ties broken by `L[1]`, …). Out-of-band neighbours
+//! contribute zero; `j−1 < 0` reads as zero.
+//!
+//! At the final cell the filter **accepts** the pair outright when
+//! `L[k] > τ` (it is provably similar — no verification needed) and
+//! **rejects** it when `U[k] ≤ τ`; otherwise the pair proceeds to exact
+//! verification.
+
+#![warn(missing_docs)]
+
+use usj_model::{Prob, UncertainString};
+
+/// Lower/upper bounds on `Pr(ed(R,S) ≤ j)` for `j = 0..=k` at the final
+/// DP cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfBounds {
+    /// `lower[j] ≤ Pr(ed ≤ j)`.
+    pub lower: Vec<Prob>,
+    /// `upper[j] ≥ Pr(ed ≤ j)`.
+    pub upper: Vec<Prob>,
+}
+
+impl CdfBounds {
+    /// The bound pair at the full threshold `k`.
+    pub fn at_k(&self) -> (Prob, Prob) {
+        (*self.lower.last().unwrap(), *self.upper.last().unwrap())
+    }
+}
+
+/// Decision of the CDF filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdfDecision {
+    /// `L[k] > τ`: provably similar, emit without verification.
+    Accept,
+    /// `U[k] ≤ τ`: provably dissimilar, prune.
+    Reject,
+    /// Bounds straddle τ: exact verification required.
+    Undecided,
+}
+
+/// Outcome of the CDF filter on one pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfOutcome {
+    /// Bounds at the final cell.
+    pub bounds: CdfBounds,
+    /// The decision against τ.
+    pub decision: CdfDecision,
+}
+
+/// Computes Theorem 4's CDF bounds for a pair of uncertain strings.
+///
+/// Cost: `O(min(|R|,|S|) · (k+1) · max(k, γ))` — the band has `O(k)` cells
+/// per row, each carrying `k+1` bound pairs, and `p1` costs `O(γ)` per
+/// cell.
+pub fn cdf_bounds(r: &UncertainString, s: &UncertainString, k: usize) -> CdfBounds {
+    let (n, m) = (r.len(), s.len());
+    let width = k + 1;
+    if n.abs_diff(m) > k {
+        return CdfBounds { lower: vec![0.0; width], upper: vec![0.0; width] };
+    }
+
+    // Flattened rows of (k+1)-wide cells over y = 0..=m. Out-of-band
+    // cells stay zero.
+    let cells = m + 1;
+    let mut prev = vec![0.0; cells * width * 2]; // row x−1: [L.., U..] per cell
+    let mut cur = vec![0.0; cells * width * 2];
+
+    // Row 0: cell (0, y) has L[j] = U[j] = [j ≥ y] for y ≤ k.
+    for y in 0..=m.min(k) {
+        for j in 0..width {
+            let v = if j >= y { 1.0 } else { 0.0 };
+            prev[(y * width + j) * 2] = v;
+            prev[(y * width + j) * 2 + 1] = v;
+        }
+    }
+
+    let read = |row: &[f64], y: usize, j: isize, upper: bool| -> f64 {
+        if j < 0 {
+            return 0.0;
+        }
+        row[(y * width + j as usize) * 2 + usize::from(upper)]
+    };
+
+    for x in 1..=n {
+        cur.iter_mut().for_each(|v| *v = 0.0);
+        let lo = x.saturating_sub(k);
+        let hi = (x + k).min(m);
+        for y in lo..=hi {
+            if y == 0 {
+                // Cell (x, 0): distance is exactly x.
+                for j in 0..width {
+                    let v = if j >= x { 1.0 } else { 0.0 };
+                    cur[(j) * 2] = v;
+                    cur[(j) * 2 + 1] = v;
+                }
+                continue;
+            }
+            let p1 = r.position(x - 1).match_prob(s.position(y - 1));
+            let p2 = 1.0 - p1;
+
+            // Neighbour accessors: D1 = (x−1, y−1), D2 = (x, y−1),
+            // D3 = (x−1, y). Out-of-band cells read as all-zero.
+            // `argmin Dᵢ`: stochastically smallest distance = greatest L
+            // vector lexicographically.
+            let mut best = 1usize; // D1 by default
+            {
+                let l = |idx: usize, j: usize| -> f64 {
+                    match idx {
+                        1 => read(&prev, y - 1, j as isize, false),
+                        2 => read(&cur, y - 1, j as isize, false),
+                        _ => read(&prev, y, j as isize, false),
+                    }
+                };
+                for cand in [2usize, 3] {
+                    for j in 0..width {
+                        let a = l(cand, j);
+                        let b = l(best, j);
+                        if a > b + 1e-15 {
+                            best = cand;
+                            break;
+                        }
+                        if b > a + 1e-15 {
+                            break;
+                        }
+                    }
+                }
+            }
+
+            for j in 0..width {
+                let ji = j as isize;
+                let l_d1_j = read(&prev, y - 1, ji, false);
+                let l_best_jm1 = match best {
+                    1 => read(&prev, y - 1, ji - 1, false),
+                    2 => read(&cur, y - 1, ji - 1, false),
+                    _ => read(&prev, y, ji - 1, false),
+                };
+                let l = (p1 * l_d1_j).max(p2 * l_best_jm1);
+
+                let u_d1_j = read(&prev, y - 1, ji, true);
+                let u_d1_jm1 = read(&prev, y - 1, ji - 1, true);
+                let u_d2_jm1 = read(&cur, y - 1, ji - 1, true);
+                let u_d3_jm1 = read(&prev, y, ji - 1, true);
+                let u = (p1 * u_d1_j + p2 * u_d1_jm1 + u_d2_jm1 + u_d3_jm1).min(1.0);
+
+                cur[(y * width + j) * 2] = l.clamp(0.0, 1.0);
+                cur[(y * width + j) * 2 + 1] = u.clamp(0.0, 1.0);
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+
+    let lower = (0..width).map(|j| prev[(m * width + j) * 2]).collect();
+    let upper = (0..width).map(|j| prev[(m * width + j) * 2 + 1]).collect();
+    CdfBounds { lower, upper }
+}
+
+/// The CDF filter: computes bounds and compares them against τ.
+#[derive(Debug, Clone)]
+pub struct CdfFilter {
+    k: usize,
+    tau: Prob,
+}
+
+impl CdfFilter {
+    /// Creates the filter for edit threshold `k` and probability
+    /// threshold `τ`.
+    pub fn new(k: usize, tau: Prob) -> Self {
+        assert!((0.0..=1.0).contains(&tau), "tau must lie in [0, 1]");
+        CdfFilter { k, tau }
+    }
+
+    /// Edit threshold `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Probability threshold `τ`.
+    pub fn tau(&self) -> Prob {
+        self.tau
+    }
+
+    /// Evaluates a pair.
+    pub fn evaluate(&self, r: &UncertainString, s: &UncertainString) -> CdfOutcome {
+        let bounds = cdf_bounds(r, s, self.k);
+        let (l, u) = bounds.at_k();
+        let decision = if u <= self.tau {
+            CdfDecision::Reject
+        } else if l > self.tau {
+            CdfDecision::Accept
+        } else {
+            CdfDecision::Undecided
+        };
+        CdfOutcome { bounds, decision }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_model::Alphabet;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    fn exact(r: &UncertainString, s: &UncertainString, k: usize) -> f64 {
+        let mut total = 0.0;
+        for rw in r.worlds() {
+            for sw in s.worlds() {
+                if usj_editdist::within_k(&rw.instance, &sw.instance, k) {
+                    total += rw.prob * sw.prob;
+                }
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn deterministic_equal_strings() {
+        let r = dna("ACGT");
+        let b = cdf_bounds(&r, &r, 2);
+        // ed = 0 surely: every CDF value is 1.
+        for j in 0..=2 {
+            assert!((b.lower[j] - 1.0).abs() < 1e-12, "L[{j}]={}", b.lower[j]);
+            assert!((b.upper[j] - 1.0).abs() < 1e-12, "U[{j}]={}", b.upper[j]);
+        }
+    }
+
+    #[test]
+    fn deterministic_distance_exact() {
+        // ed(kitten-ish, DNA) pairs: check the bounds sandwich the 0/1
+        // truth for deterministic inputs.
+        let pairs = [("ACGT", "AGGT", 1usize), ("ACGT", "TTTT", 3), ("AC", "ACGT", 2)];
+        for (rt, st, d) in pairs {
+            let (r, s) = (dna(rt), dna(st));
+            for k in 0..=4usize {
+                let b = cdf_bounds(&r, &s, k);
+                let truth = if d <= k { 1.0 } else { 0.0 };
+                let (l, u) = b.at_k();
+                assert!(l <= truth + 1e-9 && truth <= u + 1e-9, "{rt} {st} k={k}: L={l} U={u} truth={truth}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_probability() {
+        let cases = [
+            ("A{(C,0.7),(G,0.3)}GT", "ACGT"),
+            ("{(A,0.5),(T,0.5)}CGT", "TC{(G,0.9),(T,0.1)}T"),
+            ("AC{(G,0.2),(T,0.8)}", "ACG"),
+            ("{(A,0.4),(C,0.6)}{(A,0.4),(C,0.6)}A", "CCA"),
+        ];
+        for (rt, st) in cases {
+            let (r, s) = (dna(rt), dna(st));
+            for k in 0..=2usize {
+                let b = cdf_bounds(&r, &s, k);
+                let e = exact(&r, &s, k);
+                let (l, u) = b.at_k();
+                assert!(l <= e + 1e-9, "{rt} {st} k={k}: L={l} > exact={e}");
+                assert!(u >= e - 1e-9, "{rt} {st} k={k}: U={u} < exact={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_monotone_in_j() {
+        let r = dna("A{(C,0.5),(G,0.5)}GTAC");
+        let s = dna("AGG{(T,0.6),(A,0.4)}AC");
+        let b = cdf_bounds(&r, &s, 3);
+        for j in 1..b.lower.len() {
+            assert!(b.lower[j] + 1e-12 >= b.lower[j - 1], "L not monotone at {j}");
+            assert!(b.upper[j] + 1e-12 >= b.upper[j - 1], "U not monotone at {j}");
+        }
+    }
+
+    #[test]
+    fn length_gap_rejects() {
+        let f = CdfFilter::new(1, 0.1);
+        let out = f.evaluate(&dna("ACGTACGT"), &dna("AC"));
+        assert_eq!(out.decision, CdfDecision::Reject);
+        assert_eq!(out.bounds.at_k(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn empty_strings() {
+        let e = UncertainString::empty();
+        let b = cdf_bounds(&e, &e, 1);
+        assert_eq!(b.at_k(), (1.0, 1.0));
+        let b = cdf_bounds(&e, &dna("AC"), 2);
+        // ed = 2 surely.
+        assert_eq!(b.lower[1], 0.0);
+        assert_eq!(b.upper[1], 0.0);
+        assert_eq!(b.at_k(), (1.0, 1.0));
+    }
+
+    #[test]
+    fn filter_decisions() {
+        // Certainly-similar pair accepted without verification.
+        let f = CdfFilter::new(1, 0.5);
+        assert_eq!(f.evaluate(&dna("ACGT"), &dna("ACGT")).decision, CdfDecision::Accept);
+        // Certainly-dissimilar pair rejected.
+        assert_eq!(f.evaluate(&dna("AAAA"), &dna("TTTT")).decision, CdfDecision::Reject);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must lie in [0, 1]")]
+    fn invalid_tau_panics() {
+        CdfFilter::new(1, -0.5);
+    }
+}

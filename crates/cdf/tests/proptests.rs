@@ -1,0 +1,120 @@
+//! Property tests for Theorem 4's CDF bounds.
+
+use proptest::prelude::*;
+use usj_cdf::{cdf_bounds, CdfDecision, CdfFilter};
+use usj_model::{Position, UncertainString};
+
+fn arb_position(sigma: u8, max_alts: usize) -> impl Strategy<Value = Position> {
+    prop::collection::vec((0..sigma, 1u32..=100), 1..=max_alts).prop_map(|raw| {
+        let mut seen = std::collections::BTreeMap::new();
+        for (s, w) in raw {
+            *seen.entry(s).or_insert(0u32) += w;
+        }
+        let total: u32 = seen.values().sum();
+        let alts: Vec<(u8, f64)> = seen
+            .into_iter()
+            .map(|(s, w)| (s, w as f64 / total as f64))
+            .collect();
+        Position::uncertain(0, alts).unwrap()
+    })
+}
+
+fn arb_string(sigma: u8, len: std::ops::Range<usize>) -> impl Strategy<Value = UncertainString> {
+    prop::collection::vec(arb_position(sigma, 2), len).prop_map(UncertainString::new)
+}
+
+fn exact_cdf(r: &UncertainString, s: &UncertainString, k: usize) -> Vec<f64> {
+    let mut cdf = vec![0.0; k + 1];
+    for rw in r.worlds() {
+        for sw in s.worlds() {
+            let d = usj_editdist::edit_distance(&rw.instance, &sw.instance);
+            let p = rw.prob * sw.prob;
+            for (j, slot) in cdf.iter_mut().enumerate() {
+                if d <= j {
+                    *slot += p;
+                }
+            }
+        }
+    }
+    cdf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Theorem 4: at every threshold j, L[j] ≤ Pr(ed ≤ j) ≤ U[j].
+    #[test]
+    fn bounds_sandwich_exact(
+        r in arb_string(3, 0..8),
+        s in arb_string(3, 0..8),
+        k in 0usize..4,
+    ) {
+        let b = cdf_bounds(&r, &s, k);
+        if r.len().abs_diff(s.len()) > k {
+            // Short-circuit case: bounds are 0 and the exact prob is 0 too.
+            prop_assert_eq!(b.at_k(), (0.0, 0.0));
+            return Ok(());
+        }
+        let exact = exact_cdf(&r, &s, k);
+        for (j, &e) in exact.iter().enumerate() {
+            prop_assert!(b.lower[j] <= e + 1e-9, "L[{j}]={} > exact={}", b.lower[j], e);
+            prop_assert!(b.upper[j] >= e - 1e-9, "U[{j}]={} < exact={}", b.upper[j], e);
+        }
+    }
+
+    /// The filter never prunes a truly similar pair and never accepts a
+    /// truly dissimilar one.
+    #[test]
+    fn filter_decisions_sound(
+        r in arb_string(3, 1..8),
+        s in arb_string(3, 1..8),
+        k in 0usize..3,
+        tau_pct in 1u32..90,
+    ) {
+        let tau = tau_pct as f64 / 100.0;
+        let filter = CdfFilter::new(k, tau);
+        let out = filter.evaluate(&r, &s);
+        let exact = if r.len().abs_diff(s.len()) > k { 0.0 } else { *exact_cdf(&r, &s, k).last().unwrap() };
+        match out.decision {
+            CdfDecision::Reject => prop_assert!(exact <= tau + 1e-9, "rejected but exact={exact} > tau={tau}"),
+            CdfDecision::Accept => prop_assert!(exact > tau - 1e-9, "accepted but exact={exact} <= tau={tau}"),
+            CdfDecision::Undecided => {}
+        }
+    }
+
+    /// Bounds are valid probabilities and monotone in j.
+    #[test]
+    fn bounds_shape(
+        r in arb_string(4, 0..8),
+        s in arb_string(4, 0..8),
+        k in 0usize..4,
+    ) {
+        let b = cdf_bounds(&r, &s, k);
+        for j in 0..=k {
+            prop_assert!((0.0..=1.0).contains(&b.lower[j]));
+            prop_assert!((0.0..=1.0).contains(&b.upper[j]));
+            prop_assert!(b.lower[j] <= b.upper[j] + 1e-12);
+            if j > 0 && r.len().abs_diff(s.len()) <= k {
+                prop_assert!(b.lower[j] + 1e-12 >= b.lower[j - 1]);
+                prop_assert!(b.upper[j] + 1e-12 >= b.upper[j - 1]);
+            }
+        }
+    }
+
+    /// Symmetry: swapping R and S leaves the bounds unchanged (edit
+    /// distance is symmetric and the recurrences treat rows/columns
+    /// symmetrically).
+    #[test]
+    fn bounds_symmetric(
+        r in arb_string(3, 1..7),
+        s in arb_string(3, 1..7),
+        k in 0usize..3,
+    ) {
+        let b1 = cdf_bounds(&r, &s, k);
+        let b2 = cdf_bounds(&s, &r, k);
+        for j in 0..=k {
+            prop_assert!((b1.lower[j] - b2.lower[j]).abs() < 1e-9);
+            prop_assert!((b1.upper[j] - b2.upper[j]).abs() < 1e-9);
+        }
+    }
+}

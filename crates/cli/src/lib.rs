@@ -1,0 +1,368 @@
+//! `usj` — command-line interface for uncertain-string similarity joins.
+//!
+//! Subcommands:
+//!
+//! * `usj generate` — write a seeded synthetic dataset as JSON;
+//! * `usj join` — self-join a dataset file and print/emit similar pairs;
+//! * `usj search` — probe a dataset with one uncertain string;
+//! * `usj stats` — dataset summary statistics.
+//!
+//! The library surface exists so the commands are unit-testable; the
+//! binary in `main.rs` is a thin wrapper.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use usj_core::{JoinConfig, Pipeline, SimilarityJoin};
+use usj_datagen::{Dataset, DatasetJson, DatasetKind, DatasetSpec};
+use usj_model::UncertainString;
+
+/// CLI error type: every failure is a printable message with an exit code
+/// of 2.
+#[derive(Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError(message.into())
+}
+
+/// Parsed `--flag value` arguments plus positional words.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parses flags from an argument list (everything is `--name value`).
+    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut values = BTreeMap::new();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| err(format!("unexpected argument {flag:?}")))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| err(format!("flag --{name} needs a value")))?;
+            values.insert(name.to_string(), value.clone());
+        }
+        Ok(Flags { values })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name).ok_or_else(|| err(format!("missing required flag --{name}")))
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| err(format!("invalid value for --{name}: {v:?}"))),
+        }
+    }
+
+    /// Rejects flags the command does not understand — a typo like
+    /// `--treads 4` must error, not silently run with the default.
+    fn assert_known(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for name in self.values.keys() {
+            if !allowed.contains(&name.as_str()) {
+                return Err(err(format!(
+                    "unknown flag --{name} (expected one of: {})",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "usj — similarity joins for uncertain strings
+
+USAGE:
+  usj generate --kind <dblp|protein> [--n N] [--theta F] [--seed S] --out FILE
+  usj join     --input FILE [--k K] [--tau F] [--q Q] [--pipeline qfct|qct|qft|fct] [--exact true] [--threads N] [--out FILE]
+  usj search   --input FILE --probe STRING [--k K] [--tau F]
+  usj stats    --input FILE
+";
+
+/// Runs a command line (without the program name); returns the text to
+/// print on success.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(err(USAGE));
+    };
+    let flags = Flags::parse(rest)?;
+    match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "join" => cmd_join(&flags),
+        "search" => cmd_search(&flags),
+        "stats" => cmd_stats(&flags),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn load_dataset(flags: &Flags) -> Result<Dataset, CliError> {
+    let path = flags.require("input")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    DatasetJson::from_json(&text)
+        .map_err(|e| err(format!("{path} is not a dataset JSON: {e}")))?
+        .into_dataset()
+        .map_err(|e| err(format!("{path} contains an invalid distribution: {e}")))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
+    flags.assert_known(&["kind", "n", "theta", "seed", "out"])?;
+    let kind = match flags.require("kind")? {
+        "dblp" => DatasetKind::Dblp,
+        "protein" => DatasetKind::Protein,
+        other => return Err(err(format!("unknown dataset kind {other:?} (dblp|protein)"))),
+    };
+    let n: usize = flags.get_parse("n", 1000)?;
+    let seed: u64 = flags.get_parse("seed", 42)?;
+    let theta: f64 = flags.get_parse("theta", kind.default_theta())?;
+    let out = flags.require("out")?;
+    let ds = DatasetSpec::new(kind, n, seed).with_theta(theta).generate();
+    let json = DatasetJson::from(&ds).to_json();
+    std::fs::write(out, json).map_err(|e| err(format!("cannot write {out}: {e}")))?;
+    Ok(format!(
+        "wrote {n} {kind:?} strings (avg len {:.1}, avg theta {:.2}) to {out}\n",
+        ds.avg_len(),
+        ds.avg_theta()
+    ))
+}
+
+fn join_config(flags: &Flags) -> Result<JoinConfig, CliError> {
+    let k: usize = flags.get_parse("k", 2)?;
+    let tau: f64 = flags.get_parse("tau", 0.1)?;
+    if !(0.0..=1.0).contains(&tau) {
+        return Err(err(format!("--tau must lie in [0, 1], got {tau}")));
+    }
+    let q: usize = flags.get_parse("q", 3)?;
+    if q == 0 {
+        return Err(err("--q must be at least 1"));
+    }
+    let pipeline = match flags.get("pipeline").unwrap_or("qfct") {
+        "qfct" => Pipeline::Qfct,
+        "qct" => Pipeline::Qct,
+        "qft" => Pipeline::Qft,
+        "fct" => Pipeline::Fct,
+        other => return Err(err(format!("unknown pipeline {other:?} (qfct|qct|qft|fct)"))),
+    };
+    let exact: bool = flags.get_parse("exact", false)?;
+    Ok(JoinConfig::new(k, tau)
+        .with_q(q)
+        .with_pipeline(pipeline)
+        .with_early_stop(!exact))
+}
+
+fn cmd_join(flags: &Flags) -> Result<String, CliError> {
+    flags.assert_known(&["input", "k", "tau", "q", "pipeline", "exact", "threads", "out"])?;
+    let ds = load_dataset(flags)?;
+    let config = join_config(flags)?;
+    let threads: usize = flags.get_parse("threads", 1)?;
+    let result = if threads == 1 {
+        SimilarityJoin::new(config, ds.alphabet.size()).self_join(&ds.strings)
+    } else {
+        usj_core::par_self_join(config, ds.alphabet.size(), &ds.strings, threads)
+    };
+    let mut out = String::new();
+    for pair in &result.pairs {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{:.6}\t{}\t{}",
+            pair.left,
+            pair.right,
+            pair.prob,
+            ds.strings[pair.left as usize].display(&ds.alphabet),
+            ds.strings[pair.right as usize].display(&ds.alphabet),
+        );
+    }
+    let _ = writeln!(out, "# {}", result.stats.summary());
+    if let Some(path) = flags.get("out") {
+        let records: Vec<serde_json::Value> = result
+            .pairs
+            .iter()
+            .map(|p| serde_json::json!({"left": p.left, "right": p.right, "prob": p.prob}))
+            .collect();
+        let text = serde_json::to_string_pretty(&records).expect("pairs serialise");
+        std::fs::write(path, text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    }
+    Ok(out)
+}
+
+fn cmd_search(flags: &Flags) -> Result<String, CliError> {
+    flags.assert_known(&["input", "probe", "k", "tau", "q", "pipeline", "exact"])?;
+    let ds = load_dataset(flags)?;
+    let config = join_config(flags)?;
+    let probe_text = flags.require("probe")?;
+    let probe = UncertainString::parse(probe_text, &ds.alphabet)
+        .map_err(|e| err(format!("invalid probe: {e}")))?;
+    let collection =
+        usj_core::IndexedCollection::build(config, ds.alphabet.size(), ds.strings.clone());
+    let hits = collection.search(&probe);
+    let mut out = String::new();
+    for hit in &hits {
+        let _ = writeln!(
+            out,
+            "{}\t{:.6}\t{}",
+            hit.id,
+            hit.prob,
+            ds.strings[hit.id as usize].display(&ds.alphabet)
+        );
+    }
+    let _ = writeln!(out, "# {} hits", hits.len());
+    Ok(out)
+}
+
+fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
+    flags.assert_known(&["input"])?;
+    let ds = load_dataset(flags)?;
+    let mut worlds_exceeding = 0usize;
+    let mut max_uncertain = 0usize;
+    for s in &ds.strings {
+        max_uncertain = max_uncertain.max(s.num_uncertain());
+        if s.num_worlds_capped(1 << 20).is_none() {
+            worlds_exceeding += 1;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "strings:              {}", ds.strings.len());
+    let _ = writeln!(out, "alphabet size:        {}", ds.alphabet.size());
+    let _ = writeln!(out, "avg length:           {:.2}", ds.avg_len());
+    let _ = writeln!(out, "avg theta:            {:.3}", ds.avg_theta());
+    let _ = writeln!(out, "max uncertain pos:    {max_uncertain}");
+    let _ = writeln!(out, "strings > 2^20 worlds: {worlds_exceeding}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmpfile(name: &str) -> String {
+        let dir = std::env::temp_dir().join("usj-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_join_search_roundtrip() {
+        let data = tmpfile("roundtrip.json");
+        let out = run(&args(&[
+            "generate", "--kind", "dblp", "--n", "60", "--seed", "5", "--out", &data,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote 60"));
+
+        let joined = run(&args(&["join", "--input", &data, "--k", "2", "--tau", "0.1"])).unwrap();
+        assert!(joined.contains("# n=60"), "{joined}");
+
+        let stats = run(&args(&["stats", "--input", &data])).unwrap();
+        assert!(stats.contains("strings:              60"));
+
+        // Probe with an indexed string's most probable world: must hit.
+        let ds_text = std::fs::read_to_string(&data).unwrap();
+        let ds = DatasetJson::from_json(&ds_text).unwrap().into_dataset().unwrap();
+        let probe = ds.alphabet.decode(&ds.strings[0].most_probable_world().instance);
+        let found = run(&args(&[
+            "search", "--input", &data, "--probe", &probe, "--k", "2", "--tau", "0.05",
+        ]))
+        .unwrap();
+        assert!(found.lines().any(|l| l.starts_with("0\t")), "{found}");
+    }
+
+    #[test]
+    fn join_writes_pairs_json() {
+        let data = tmpfile("pairs-in.json");
+        let pairs = tmpfile("pairs-out.json");
+        run(&args(&["generate", "--kind", "dblp", "--n", "50", "--seed", "9", "--out", &data]))
+            .unwrap();
+        run(&args(&["join", "--input", &data, "--out", &pairs])).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&pairs).unwrap()).unwrap();
+        assert!(parsed.is_array());
+    }
+
+    #[test]
+    fn pipeline_flag_variants_agree() {
+        let data = tmpfile("pipelines.json");
+        run(&args(&["generate", "--kind", "protein", "--n", "40", "--seed", "3", "--out", &data]))
+            .unwrap();
+        let mut outputs = Vec::new();
+        for p in ["qfct", "qct", "qft", "fct"] {
+            let out = run(&args(&[
+                "join", "--input", &data, "--k", "4", "--tau", "0.01", "--pipeline", p,
+            ]))
+            .unwrap();
+            let pairs: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
+            outputs.push(pairs.join("\n"));
+        }
+        assert!(outputs.windows(2).all(|w| {
+            // Pair ids identical (probabilities can differ under early stop).
+            let ids = |s: &str| -> Vec<(String, String)> {
+                s.lines()
+                    .map(|l| {
+                        let mut it = l.split('\t');
+                        (it.next().unwrap().into(), it.next().unwrap().into())
+                    })
+                    .collect()
+            };
+            ids(&w[0]) == ids(&w[1])
+        }));
+    }
+
+    #[test]
+    fn parallel_join_flag_matches_sequential() {
+        let data = tmpfile("parallel.json");
+        run(&args(&["generate", "--kind", "dblp", "--n", "60", "--seed", "2", "--out", &data]))
+            .unwrap();
+        let seq = run(&args(&["join", "--input", &data])).unwrap();
+        let par = run(&args(&["join", "--input", &data, "--threads", "3"])).unwrap();
+        let pairs = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(|l| l.split('\t').take(2).collect::<Vec<_>>().join(","))
+                .collect()
+        };
+        assert_eq!(pairs(&seq), pairs(&par));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&args(&["bogus"])).is_err());
+        // Unknown flags must error, not be silently ignored.
+        let e = run(&args(&["join", "--treads", "4", "--input", "x.json"])).unwrap_err();
+        assert!(e.0.contains("unknown flag --treads"), "{e:?}");
+        assert!(run(&args(&["join"])).is_err());
+        assert!(run(&args(&["join", "--input", "/definitely/missing.json"])).is_err());
+        assert!(run(&args(&["generate", "--kind", "klingon", "--out", "/tmp/x.json"])).is_err());
+        let e = run(&args(&["join", "--input", "x", "--tau", "7"])).unwrap_err();
+        assert!(e.0.contains("cannot read") || e.0.contains("tau"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&[]).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! Binary entry point for the `usj` command. All logic lives in the
+//! library so it can be unit-tested.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match usj_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Similarity *search*: one probe against a pre-indexed collection.
+//!
+//! The paper frames the join as repeated search over the visited prefix of
+//! the collection; [`IndexedCollection`] exposes the same machinery for
+//! standing collections — build once, probe many times. Unlike the join
+//! driver, a search probe may be shorter *or* longer than indexed strings,
+//! so all lengths in `[|R|−k, |R|+k]` are queried.
+
+use std::time::Instant;
+
+use usj_cdf::{CdfDecision, CdfFilter};
+use usj_freq::{FreqFilter, FreqProfile};
+use usj_model::{Prob, UncertainString};
+use crate::config::JoinConfig;
+use crate::index::SegmentIndex;
+use crate::stats::JoinStats;
+use crate::verifier::ProbeVerifier;
+
+/// One search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Index of the matching collection string.
+    pub id: u32,
+    /// Best known lower bound on `Pr(ed ≤ k)` (exact when early stop is
+    /// disabled); always `> τ`.
+    pub prob: Prob,
+}
+
+/// A collection indexed for repeated similarity searches.
+#[derive(Debug, Clone)]
+pub struct IndexedCollection {
+    config: JoinConfig,
+    sigma: usize,
+    strings: Vec<UncertainString>,
+    index: SegmentIndex,
+    profiles: Vec<FreqProfile>,
+}
+
+impl IndexedCollection {
+    /// Indexes `strings` (segment inverted indices + frequency profiles).
+    pub fn build(config: JoinConfig, sigma: usize, strings: Vec<UncertainString>) -> Self {
+        assert!(sigma >= 1, "alphabet must be non-empty");
+        let mut index = SegmentIndex::new();
+        let freq = FreqFilter::new(config.k, config.tau, sigma);
+        let mut profiles = Vec::with_capacity(strings.len());
+        for (i, s) in strings.iter().enumerate() {
+            index.insert(i as u32, s, &config);
+            profiles.push(freq.profile(s));
+        }
+        IndexedCollection { config, sigma, strings, index, profiles }
+    }
+
+    /// Number of indexed strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` when no strings are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// The indexed strings.
+    pub fn strings(&self) -> &[UncertainString] {
+        &self.strings
+    }
+
+    /// Estimated index footprint in bytes.
+    pub fn index_bytes(&self) -> usize {
+        self.index.estimated_bytes()
+    }
+
+    /// The configuration the collection was indexed with.
+    pub fn config(&self) -> &JoinConfig {
+        &self.config
+    }
+
+    /// Finds all indexed strings `S` with `Pr(ed(probe, S) ≤ k) > τ`.
+    pub fn search(&self, probe: &UncertainString) -> Vec<SearchHit> {
+        self.search_with_stats(probe).0
+    }
+
+    /// Runs only the filtering stages (q-gram index + frequency
+    /// distance), returning the surviving candidate ids sorted ascending.
+    /// Used by [`IndexedCollection::search_top_k`] and exposed for
+    /// callers that want custom post-processing.
+    pub fn filter_candidates(&self, probe: &UncertainString) -> Vec<u32> {
+        let mut stats = JoinStats::default();
+        self.candidate_stage(probe, &mut stats)
+    }
+
+    /// Shared candidate-generation stage: q-gram index lookups, Lemma 5
+    /// count condition, sound Theorem 2 bound, frequency filtering.
+    fn candidate_stage(&self, probe: &UncertainString, stats: &mut JoinStats) -> Vec<u32> {
+        let config = &self.config;
+        let freq_filter = FreqFilter::new(config.k, config.tau, self.sigma);
+        let min_len = probe.len().saturating_sub(config.k);
+        let max_len = probe.len() + config.k;
+
+        let qgram_start = Instant::now();
+        let mut candidates: Vec<u32> = Vec::new();
+        if config.pipeline.uses_qgram() {
+            for len in min_len..=max_len {
+                let Some(li) = self.index.length_index(len) else { continue };
+                stats.pairs_in_scope += li.num_strings() as u64;
+                let m = li.segments().len();
+                let required = m.saturating_sub(config.k);
+                if required == 0 {
+                    candidates.extend_from_slice(li.ids());
+                    continue;
+                }
+                let Some((alphas, over_cap)) = self.index.query(probe, len, config) else {
+                    continue;
+                };
+                let capped = over_cap.iter().any(|&b| b);
+                let regions: Vec<Option<usj_qgram::Region>> = li
+                    .segments()
+                    .iter()
+                    .map(|seg| {
+                        usj_qgram::window_range(config.policy, probe.len(), len, config.k, seg)
+                            .map(|r| usj_qgram::window_region(r, seg.len))
+                    })
+                    .collect();
+                let bounder = usj_qgram::TailBounder::new(&regions, probe);
+                let mut surfaced = 0u64;
+                for (id, mut alpha) in alphas {
+                    surfaced += 1;
+                    for (a, &oc) in alpha.iter_mut().zip(&over_cap) {
+                        if oc {
+                            *a = 1.0;
+                        }
+                    }
+                    let matched = alpha.iter().filter(|&&a| a > 0.0).count();
+                    if matched < required {
+                        stats.qgram_pruned_count += 1;
+                        continue;
+                    }
+                    let bound = if capped { 1.0 } else { bounder.bound(&alpha, required) };
+                    if bound <= config.tau {
+                        stats.qgram_pruned_bound += 1;
+                        continue;
+                    }
+                    candidates.push(id);
+                }
+                stats.qgram_pruned_count += li.num_strings() as u64 - surfaced;
+            }
+        } else {
+            for (id, s) in self.strings.iter().enumerate() {
+                if s.len() >= min_len && s.len() <= max_len {
+                    stats.pairs_in_scope += 1;
+                    candidates.push(id as u32);
+                }
+            }
+        }
+        stats.qgram_survivors += candidates.len() as u64;
+        stats.timings.qgram += qgram_start.elapsed();
+        candidates.sort_unstable();
+
+        if config.pipeline.uses_freq() && !candidates.is_empty() {
+            let freq_start = Instant::now();
+            let rp = freq_filter.profile(probe);
+            candidates.retain(|&id| {
+                let out = freq_filter.evaluate(&rp, &self.profiles[id as usize]);
+                if !out.candidate {
+                    if out.fd_lower as usize > config.k {
+                        stats.freq_pruned_lower += 1;
+                    } else {
+                        stats.freq_pruned_chebyshev += 1;
+                    }
+                }
+                out.candidate
+            });
+            stats.timings.freq += freq_start.elapsed();
+        }
+        stats.freq_survivors += candidates.len() as u64;
+        candidates
+    }
+
+    /// [`IndexedCollection::search`] plus the per-phase statistics.
+    pub fn search_with_stats(&self, probe: &UncertainString) -> (Vec<SearchHit>, JoinStats) {
+        self.search_filtered(probe, |_| true)
+    }
+
+    /// Like [`IndexedCollection::search_with_stats`] but restricted to
+    /// candidate ids accepted by `admit`, applied *before* the expensive
+    /// CDF/verification stages. The parallel self-join uses this with
+    /// `id < probe_id` so each unordered pair is verified exactly once
+    /// (and a probe never verifies against itself).
+    pub fn search_filtered(
+        &self,
+        probe: &UncertainString,
+        admit: impl Fn(u32) -> bool,
+    ) -> (Vec<SearchHit>, JoinStats) {
+        let config = &self.config;
+        let total_start = Instant::now();
+        let mut stats = JoinStats { num_strings: self.strings.len(), ..Default::default() };
+        let cdf_filter = CdfFilter::new(config.k, config.tau);
+
+        // ---- Candidate generation + frequency filtering --------------
+        let mut candidates = self.candidate_stage(probe, &mut stats);
+        candidates.retain(|&id| admit(id));
+
+        // ---- CDF + verification --------------------------------------
+        let mut verifier: Option<ProbeVerifier> = None;
+        let mut hits = Vec::new();
+        for id in candidates {
+            let other = &self.strings[id as usize];
+            let mut decided: Option<(bool, Prob)> = None;
+            if config.pipeline.uses_cdf() {
+                let cdf_start = Instant::now();
+                let out = cdf_filter.evaluate(probe, other);
+                stats.timings.cdf += cdf_start.elapsed();
+                match out.decision {
+                    CdfDecision::Reject => {
+                        stats.cdf_rejected += 1;
+                        continue;
+                    }
+                    CdfDecision::Accept if config.early_stop => {
+                        stats.cdf_accepted += 1;
+                        decided = Some((true, out.bounds.at_k().0));
+                    }
+                    CdfDecision::Accept => {
+                        stats.cdf_accepted += 1;
+                    }
+                    CdfDecision::Undecided => {
+                        stats.cdf_undecided += 1;
+                    }
+                }
+            } else {
+                stats.cdf_undecided += 1;
+            }
+            let (similar, prob) = match decided {
+                Some(d) => d,
+                None => {
+                    let verify_start = Instant::now();
+                    let v = verifier.get_or_insert_with(|| ProbeVerifier::build(probe, config));
+                    let (similar, prob) = v.verify(probe, other, config);
+                    stats.timings.verify += verify_start.elapsed();
+                    if similar {
+                        stats.verified_similar += 1;
+                    } else {
+                        stats.verified_dissimilar += 1;
+                    }
+                    (similar, prob)
+                }
+            };
+            if similar {
+                hits.push(SearchHit { id, prob });
+            }
+        }
+        stats.output_pairs = hits.len() as u64;
+        stats.index_bytes = self.index.estimated_bytes();
+        stats.peak_index_bytes = self.index.peak_bytes();
+        stats.timings.total = total_start.elapsed();
+        (hits, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Pipeline;
+    use usj_model::Alphabet;
+    use usj_verify::exact_similarity_prob;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    fn collection() -> Vec<UncertainString> {
+        vec![
+            dna("ACGTACGT"),
+            dna("ACG{(T,0.9),(G,0.1)}ACGT"),
+            dna("TTTTTTTT"),
+            dna("ACGTACG"),
+            dna("ACGTACGTAC"),
+        ]
+    }
+
+    #[test]
+    fn search_matches_oracle() {
+        let strings = collection();
+        for pipeline in Pipeline::all() {
+            let config = JoinConfig::new(2, 0.3).with_pipeline(pipeline).with_early_stop(false);
+            let coll = IndexedCollection::build(config, 4, strings.clone());
+            for probe_text in ["ACGTACGT", "ACGT{(A,0.5),(C,0.5)}CGT", "GGGGGGGG"] {
+                let probe = dna(probe_text);
+                let hits = coll.search(&probe);
+                let expected: Vec<u32> = strings
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| exact_similarity_prob(&probe, s, 2) > 0.3)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                let got: Vec<u32> = hits.iter().map(|h| h.id).collect();
+                assert_eq!(got, expected, "{pipeline:?} probe={probe_text}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_shorter_than_collection_strings() {
+        let coll = IndexedCollection::build(JoinConfig::new(2, 0.4), 4, collection());
+        // Probe of length 6 can match length-8 strings at k = 2.
+        let hits = coll.search(&dna("ACGTAC"));
+        assert!(hits.iter().any(|h| h.id == 0), "{hits:?}");
+        assert!(hits.iter().any(|h| h.id == 3), "{hits:?}");
+    }
+
+    #[test]
+    fn empty_collection() {
+        let coll = IndexedCollection::build(JoinConfig::new(1, 0.1), 4, Vec::new());
+        assert!(coll.is_empty());
+        assert!(coll.search(&dna("ACGT")).is_empty());
+    }
+
+    #[test]
+    fn probe_longer_than_all_indexed_strings() {
+        let coll = IndexedCollection::build(JoinConfig::new(2, 0.4), 4, collection());
+        // Probe of length 12 can only match the length-10 string.
+        let hits = coll.search(&dna("ACGTACGTACGT"));
+        assert!(hits.iter().all(|h| h.id == 4), "{hits:?}");
+        // Far longer probe matches nothing.
+        assert!(coll.search(&dna("ACGTACGTACGTACGTACGT")).is_empty());
+    }
+
+    #[test]
+    fn search_respects_tau_strictly() {
+        // Pr(ed ≤ 0) between ACGT and AC{G:0.5}T-style strings is 0.5;
+        // τ = 0.5 must exclude (strict inequality), τ = 0.49 include.
+        let strings = vec![dna("AC{(G,0.5),(T,0.5)}T")];
+        for (tau, expect) in [(0.5, false), (0.49, true)] {
+            let coll = IndexedCollection::build(
+                JoinConfig::new(0, tau).with_early_stop(false),
+                4,
+                strings.clone(),
+            );
+            let hits = coll.search(&dna("ACGT"));
+            assert_eq!(!hits.is_empty(), expect, "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn stats_plumbed_through() {
+        let coll = IndexedCollection::build(JoinConfig::new(2, 0.3), 4, collection());
+        let (hits, stats) = coll.search_with_stats(&dna("ACGTACGT"));
+        assert_eq!(stats.output_pairs, hits.len() as u64);
+        assert!(stats.pairs_in_scope >= stats.qgram_survivors);
+        assert!(stats.index_bytes > 0);
+    }
+}

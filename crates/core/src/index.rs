@@ -1,0 +1,391 @@
+//! Segment inverted indices `L^x_l` (paper §4).
+//!
+//! For every string length `l` present in the (visited part of the)
+//! collection and every segment index `x` of the length-`l` partition, an
+//! inverted index maps each deterministic segment instance `w` to the
+//! posting list `L^x_l(w) = [(i, Pr(w = S_i^x)), …]` sorted by string id.
+//! A string id appears at most once per list and in as many lists of
+//! `L^x_l` as its segment has instances.
+//!
+//! A probe `R` queries one `LengthIndex` by building its equivalent sets
+//! `q(r, x)` and merging the matching posting lists, accumulating
+//! `α_x(i) = Σ_w p_r(w) · Pr(w = S_i^x)` per candidate id — all candidate
+//! generation work is proportional to the postings touched, never to the
+//! collection size.
+
+use std::collections::HashMap;
+
+use usj_model::{Prob, Symbol, UncertainString};
+use usj_qgram::{partition, segment_instances, window_range, EquivalentSet, Segment};
+
+use crate::config::JoinConfig;
+
+/// Posting list: `(string id, Pr(w = S_i^x))` sorted by id.
+pub type PostingList = Vec<(u32, Prob)>;
+/// Per-candidate segment match probabilities, one `α_x` per segment.
+pub type AlphaVectors = HashMap<u32, Vec<Prob>>;
+
+/// Inverted index for one string length.
+#[derive(Debug, Clone, Default)]
+pub struct LengthIndex {
+    segments: Vec<Segment>,
+    /// One map per segment index: instance → postings sorted by id.
+    inverted: Vec<HashMap<Vec<Symbol>, PostingList>>,
+    /// All string ids inserted, ascending.
+    ids: Vec<u32>,
+    /// Segments for which at least one inserted string exceeded the
+    /// instance cap (its postings are incomplete; the query path must
+    /// treat the segment as conservatively matching).
+    incomplete: Vec<bool>,
+    /// Estimated heap bytes (maintained incrementally).
+    bytes: usize,
+}
+
+impl LengthIndex {
+    fn new(len: usize, config: &JoinConfig) -> Self {
+        let segments = partition(len, config.q, config.k);
+        let inverted = vec![HashMap::new(); segments.len()];
+        let incomplete = vec![false; segments.len()];
+        LengthIndex { segments, inverted, ids: Vec::new(), incomplete, bytes: 0 }
+    }
+
+    /// The partition this index was built with.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of strings inserted.
+    pub fn num_strings(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// All inserted string ids, ascending.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    fn insert(&mut self, id: u32, s: &UncertainString, max_instances: usize) {
+        debug_assert_eq!(s.len(), self.segments.iter().map(|g| g.len).sum::<usize>());
+        for (x, seg) in self.segments.iter().enumerate() {
+            let Some(instances) = segment_instances(s, seg, max_instances) else {
+                // Over-cap segment: postings for it are incomplete from
+                // now on; the query path treats it as a conservative
+                // match for every candidate.
+                self.incomplete[x] = true;
+                continue;
+            };
+            for (w, p) in instances {
+                let entry = self.inverted[x].entry(w);
+                if let std::collections::hash_map::Entry::Vacant(_) = entry {
+                    self.bytes += seg.len + 48; // key + map overhead estimate
+                }
+                let list = entry.or_default();
+                debug_assert!(list.last().is_none_or(|&(last, _)| last < id), "ids must ascend");
+                list.push((id, p));
+                self.bytes += std::mem::size_of::<(u32, Prob)>();
+            }
+        }
+        self.ids.push(id);
+    }
+
+    /// Merges the posting lists for a probe's equivalent sets: returns
+    /// per-candidate `α_x` vectors (length = number of segments) plus a
+    /// flag marking candidates that touched an over-cap segment.
+    ///
+    /// `probe_sets[x] = None` means no window of the probe can align with
+    /// segment x (α_x = 0 for every candidate).
+    fn query(&self, probe_sets: &[Option<EquivalentSet>]) -> AlphaVectors {
+        let m = self.segments.len();
+        debug_assert_eq!(probe_sets.len(), m);
+        let mut alphas: AlphaVectors = HashMap::new();
+        for (x, set) in probe_sets.iter().enumerate() {
+            let Some(set) = set else { continue };
+            for (w, p_r) in set.entries() {
+                if *p_r <= 0.0 {
+                    continue;
+                }
+                let Some(list) = self.inverted[x].get(w) else { continue };
+                for &(id, p_s) in list {
+                    let entry = alphas.entry(id).or_insert_with(|| vec![0.0; m]);
+                    entry[x] += p_r * p_s;
+                }
+            }
+        }
+        for v in alphas.values_mut() {
+            for a in v.iter_mut() {
+                *a = a.clamp(0.0, 1.0);
+            }
+        }
+        alphas
+    }
+
+    fn estimated_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// All per-length indices of the visited part of a collection.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentIndex {
+    by_length: HashMap<usize, LengthIndex>,
+    peak_bytes: usize,
+}
+
+impl SegmentIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        SegmentIndex::default()
+    }
+
+    /// Inserts string `id`, partitioning it per `config`.
+    ///
+    /// Ids must be inserted in ascending order per length (the join driver
+    /// visits strings sorted by `(length, id)`, which guarantees this).
+    pub fn insert(&mut self, id: u32, s: &UncertainString, config: &JoinConfig) {
+        if s.is_empty() {
+            return;
+        }
+        self.by_length
+            .entry(s.len())
+            .or_insert_with(|| LengthIndex::new(s.len(), config))
+            .insert(id, s, config.max_segment_instances);
+        let bytes = self.estimated_bytes();
+        self.peak_bytes = self.peak_bytes.max(bytes);
+    }
+
+    /// Queries candidates of length `indexed_len` for `probe`: builds the
+    /// equivalent sets `q(r, x)` against that length's partition and
+    /// merges posting lists.
+    ///
+    /// Returns `(per-candidate α vectors, per-segment over-cap flags)`;
+    /// flagged segments could not be evaluated on the probe side and must
+    /// be treated as conservatively matching.
+    pub fn query(
+        &self,
+        probe: &UncertainString,
+        indexed_len: usize,
+        config: &JoinConfig,
+    ) -> Option<(AlphaVectors, Vec<bool>)> {
+        let index = self.by_length.get(&indexed_len)?;
+        let mut over_cap = index.incomplete.clone();
+        let probe_sets: Vec<Option<EquivalentSet>> = index
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(x, seg)| {
+                let range = window_range(config.policy, probe.len(), indexed_len, config.k, seg)?;
+                let set = EquivalentSet::build(
+                    probe,
+                    range,
+                    seg.len,
+                    config.alpha_mode,
+                    config.max_segment_instances,
+                );
+                if set.is_none() {
+                    over_cap[x] = true;
+                }
+                set
+            })
+            .collect();
+        let mut alphas = index.query(&probe_sets);
+        if over_cap.iter().any(|&b| b) {
+            // Conservative fallback: an over-cap segment may hide matches,
+            // so every indexed id of this length must surface as a
+            // candidate (with zero α where no posting was found).
+            let m = index.segments.len();
+            for &id in &index.ids {
+                alphas.entry(id).or_insert_with(|| vec![0.0; m]);
+            }
+        }
+        Some((alphas, over_cap))
+    }
+
+    /// Lengths currently indexed, ascending.
+    pub fn lengths(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.by_length.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The index for one length, if present.
+    pub fn length_index(&self, len: usize) -> Option<&LengthIndex> {
+        self.by_length.get(&len)
+    }
+
+    /// Drops indices for lengths `< min_len` — once the (length-sorted)
+    /// scan has advanced past `min_len + k`, those can never be queried
+    /// again. This is how the paper keeps *peak* memory below the data
+    /// size (§7.6).
+    pub fn evict_below(&mut self, min_len: usize) {
+        self.by_length.retain(|&len, _| len >= min_len);
+    }
+
+    /// Estimated heap footprint of all posting lists, in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        self.by_length.values().map(LengthIndex::estimated_bytes).sum()
+    }
+
+    /// Largest estimated footprint observed since construction.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Total number of indexed strings across lengths.
+    pub fn num_strings(&self) -> usize {
+        self.by_length.values().map(LengthIndex::num_strings).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_model::Alphabet;
+    use usj_qgram::{alpha_for_segment, QGramFilter};
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    fn config() -> JoinConfig {
+        JoinConfig::new(1, 0.1).with_q(2)
+    }
+
+    #[test]
+    fn insert_and_query_roundtrip() {
+        let config = config();
+        let mut index = SegmentIndex::new();
+        let strings = [dna("ACGTAC"), dna("AC{(G,0.6),(T,0.4)}TAC"), dna("TTTTTT")];
+        for (i, s) in strings.iter().enumerate() {
+            index.insert(i as u32, s, &config);
+        }
+        let probe = dna("ACGTAC");
+        let (alphas, over_cap) = index.query(&probe, 6, &config).unwrap();
+        assert!(over_cap.iter().all(|&b| !b));
+        // String 0 matches all three segments with α = 1.
+        assert_eq!(alphas[&0], vec![1.0, 1.0, 1.0]);
+        // String 1 matches segment 2 with probability 0.6 (GT vs {G,T}T).
+        let a1 = &alphas[&1];
+        assert!((a1[0] - 1.0).abs() < 1e-9);
+        assert!((a1[1] - 0.6).abs() < 1e-9);
+        assert!((a1[2] - 1.0).abs() < 1e-9);
+        // String 2 shares no segment instance.
+        assert!(!alphas.contains_key(&2));
+    }
+
+    /// α values produced through the index equal the direct
+    /// filter-computed values for every candidate.
+    #[test]
+    fn index_alphas_equal_direct_computation() {
+        let config = config();
+        let mut index = SegmentIndex::new();
+        let strings = [
+            dna("G{(A,0.8),(G,0.2)}CT{(A,0.8),(C,0.1),(T,0.1)}C"),
+            dna("{(G,0.8),(T,0.2)}GA{(C,0.3),(G,0.2),(T,0.5)}CT"),
+            dna("AA{(G,0.9),(T,0.1)}G{(C,0.3),(G,0.2),(T,0.5)}C"),
+        ];
+        for (i, s) in strings.iter().enumerate() {
+            index.insert(i as u32, s, &config);
+        }
+        let probe = dna("GGAT{(C,0.7),(G,0.3)}C");
+        let (alphas, _) = index.query(&probe, 6, &config).unwrap();
+        let filter = QGramFilter::new(config.k, config.tau, config.q);
+        for (i, s) in strings.iter().enumerate() {
+            let direct = filter.evaluate(&probe, s);
+            let via_index = alphas
+                .get(&(i as u32))
+                .cloned()
+                .unwrap_or_else(|| vec![0.0; direct.alphas.len()]);
+            for (x, (a, b)) in via_index.iter().zip(&direct.alphas).enumerate() {
+                assert!((a - b).abs() < 1e-9, "string {i} segment {x}: index={a} direct={b}");
+            }
+        }
+        // Cross-check one α against the standalone helper too.
+        let segs = partition(6, config.q, config.k);
+        let range = window_range(config.policy, 6, 6, config.k, &segs[0]).unwrap();
+        let set = EquivalentSet::build(&probe, range, segs[0].len, config.alpha_mode, 1 << 14).unwrap();
+        let direct0 = alpha_for_segment(&set, &strings[0], &segs[0]);
+        let got0 = alphas.get(&0).map(|v| v[0]).unwrap_or(0.0);
+        assert!((got0 - direct0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_missing_length_is_none() {
+        let index = SegmentIndex::new();
+        assert!(index.query(&dna("ACGT"), 4, &config()).is_none());
+    }
+
+    #[test]
+    fn eviction_frees_memory_and_tracks_peak() {
+        let config = config();
+        let mut index = SegmentIndex::new();
+        index.insert(0, &dna("ACGTAC"), &config);
+        index.insert(1, &dna("ACGTACG"), &config);
+        let full = index.estimated_bytes();
+        assert!(full > 0);
+        index.evict_below(7);
+        assert!(index.estimated_bytes() < full);
+        assert_eq!(index.lengths(), vec![7]);
+        assert!(index.peak_bytes() >= full);
+    }
+
+    #[test]
+    fn postings_sorted_by_id() {
+        let config = config();
+        let mut index = SegmentIndex::new();
+        for i in 0..20u32 {
+            index.insert(i, &dna("AC{(G,0.5),(T,0.5)}TAC"), &config);
+        }
+        let li = index.length_index(6).unwrap();
+        for map in &li.inverted {
+            for list in map.values() {
+                assert!(list.windows(2).all(|w| w[0].0 < w[1].0));
+            }
+        }
+        assert_eq!(li.num_strings(), 20);
+    }
+
+    #[test]
+    fn over_cap_surfaces_every_id() {
+        // With a tiny instance cap, the index cannot enumerate uncertain
+        // segments — every id of the length must surface as a candidate
+        // so no match can be missed.
+        let mut config = config();
+        config.max_segment_instances = 2;
+        let mut index = SegmentIndex::new();
+        let strings = [
+            dna("ACGTAC"),
+            dna("{(A,0.5),(C,0.5)}{(A,0.5),(G,0.5)}GTAC"), // 4 instances in segment 1
+            dna("TTTTTT"),
+        ];
+        for (i, s) in strings.iter().enumerate() {
+            index.insert(i as u32, s, &config);
+        }
+        let (alphas, over_cap) = index.query(&dna("ACGTAC"), 6, &config).unwrap();
+        assert!(over_cap.iter().any(|&b| b), "cap must have been hit");
+        // Every id surfaces, even TTTTTT with zero posting hits.
+        for id in 0..3u32 {
+            assert!(alphas.contains_key(&id), "id {id} missing: {alphas:?}");
+        }
+    }
+
+    #[test]
+    fn probe_over_cap_also_falls_back() {
+        // The cap can also be hit on the probe side (q(R,x) too large).
+        let mut config = config();
+        config.max_segment_instances = 2;
+        let mut index = SegmentIndex::new();
+        index.insert(0, &dna("ACGTAC"), &config);
+        let probe = dna("{(A,0.5),(C,0.5)}{(A,0.5),(G,0.5)}GTAC");
+        let (alphas, over_cap) = index.query(&probe, 6, &config).unwrap();
+        assert!(over_cap.iter().any(|&b| b));
+        assert!(alphas.contains_key(&0));
+    }
+
+    #[test]
+    fn empty_string_not_indexed() {
+        let config = config();
+        let mut index = SegmentIndex::new();
+        index.insert(0, &UncertainString::empty(), &config);
+        assert_eq!(index.num_strings(), 0);
+    }
+}

@@ -1,0 +1,467 @@
+//! The self-join driver (paper §4's query algorithm).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use usj_cdf::{CdfDecision, CdfFilter};
+use usj_freq::{FreqFilter, FreqProfile};
+use usj_model::{Prob, UncertainString};
+use crate::config::JoinConfig;
+use crate::index::SegmentIndex;
+use crate::stats::JoinStats;
+use crate::verifier::ProbeVerifier;
+
+/// One reported pair: `Pr(ed(strings[left], strings[right]) ≤ k) > τ`.
+///
+/// `left < right` always (indices into the input slice).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarPair {
+    /// Smaller index of the pair.
+    pub left: u32,
+    /// Larger index of the pair.
+    pub right: u32,
+    /// Best known lower bound on the pair's similarity probability; the
+    /// exact probability when the configuration disables early
+    /// termination ([`JoinConfig::with_early_stop`]`(false)`). Always
+    /// `> τ`.
+    pub prob: Prob,
+}
+
+/// Join output: the similar pairs plus per-phase statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinResult {
+    /// All similar pairs, sorted by `(left, right)`.
+    pub pairs: Vec<SimilarPair>,
+    /// Counters and timings.
+    pub stats: JoinStats,
+}
+
+/// Similarity self-join over a collection of uncertain strings.
+///
+/// See the crate docs for the algorithm; construction is cheap, all work
+/// happens in [`SimilarityJoin::self_join`].
+#[derive(Debug, Clone)]
+pub struct SimilarityJoin {
+    config: JoinConfig,
+    sigma: usize,
+}
+
+impl SimilarityJoin {
+    /// Creates a join runner for an alphabet of `sigma` symbols.
+    pub fn new(config: JoinConfig, sigma: usize) -> Self {
+        assert!(sigma >= 1, "alphabet must be non-empty");
+        SimilarityJoin { config, sigma }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &JoinConfig {
+        &self.config
+    }
+
+    /// Cross-collection join: all pairs `(i, j)` with
+    /// `Pr(ed(left[i], right[j]) ≤ k) > τ`.
+    ///
+    /// The paper defines the join over `R × S` but evaluates only the
+    /// self-join; this is the natural generalisation — the right
+    /// collection is indexed once and every left string probes it.
+    /// `SimilarPair::left` indexes into `left`, `SimilarPair::right` into
+    /// `right`.
+    pub fn join(&self, left: &[UncertainString], right: &[UncertainString]) -> JoinResult {
+        let total_start = Instant::now();
+        let collection = crate::collection::IndexedCollection::build(
+            self.config.clone(),
+            self.sigma,
+            right.to_vec(),
+        );
+        let mut pairs = Vec::new();
+        let mut stats = JoinStats {
+            num_strings: left.len() + right.len(),
+            ..Default::default()
+        };
+        for (i, probe) in left.iter().enumerate() {
+            let (hits, probe_stats) = collection.search_with_stats(probe);
+            for hit in hits {
+                pairs.push(SimilarPair { left: i as u32, right: hit.id, prob: hit.prob });
+            }
+            stats.absorb(&probe_stats);
+        }
+        pairs.sort_unstable_by_key(|p| (p.left, p.right));
+        stats.output_pairs = pairs.len() as u64;
+        stats.index_bytes = collection.index_bytes();
+        stats.peak_index_bytes = collection.index_bytes();
+        stats.timings.total = total_start.elapsed();
+        JoinResult { pairs, stats }
+    }
+
+    /// Finds all pairs `(i, j)`, `i < j`, with
+    /// `Pr(ed(strings[i], strings[j]) ≤ k) > τ`.
+    pub fn self_join(&self, strings: &[UncertainString]) -> JoinResult {
+        let config = &self.config;
+        let total_start = Instant::now();
+        let mut stats = JoinStats { num_strings: strings.len(), ..Default::default() };
+
+        // Visit order: ascending length, ties by id — guarantees that all
+        // visited strings are no longer than the probe and that posting
+        // ids ascend.
+        let mut order: Vec<u32> = (0..strings.len() as u32).collect();
+        order.sort_by_key(|&i| (strings[i as usize].len(), i));
+
+        let freq_filter = FreqFilter::new(config.k, config.tau, self.sigma);
+        let cdf_filter = CdfFilter::new(config.k, config.tau);
+
+        let mut index = SegmentIndex::new();
+        // Visited ids grouped by length (candidate pool for FCT and the
+        // scope counter).
+        let mut visited: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        // Frequency profiles, computed once per string at insert time.
+        let mut profiles: Vec<Option<FreqProfile>> = vec![None; strings.len()];
+
+        let mut pairs: Vec<SimilarPair> = Vec::new();
+
+        for &probe_id in &order {
+            let probe = &strings[probe_id as usize];
+            let min_len = probe.len().saturating_sub(config.k);
+
+            // Expire index state for lengths the scan has moved past.
+            if config.pipeline.uses_qgram() {
+                index.evict_below(min_len);
+            }
+            while let Some((&len, _)) = visited.first_key_value() {
+                if len < min_len {
+                    visited.pop_first();
+                } else {
+                    break;
+                }
+            }
+
+            // ---- Candidate generation -------------------------------
+            let qgram_start = Instant::now();
+            // (candidate id, α-vector if the q-gram path produced one)
+            let mut candidates: Vec<(u32, Option<Vec<Prob>>)> = Vec::new();
+            let mut scope = 0u64;
+            if config.pipeline.uses_qgram() {
+                for len in min_len..=probe.len() {
+                    let Some(li) = index.length_index(len) else { continue };
+                    let in_scope = li.num_strings() as u64;
+                    scope += in_scope;
+                    let m = li.segments().len();
+                    let required = m.saturating_sub(config.k);
+                    if required == 0 {
+                        // m ≤ k: Lemma 5 cannot prune anything at this
+                        // length — every indexed string is a candidate.
+                        candidates.extend(li.ids().iter().map(|&id| (id, None)));
+                        continue;
+                    }
+                    let Some((alphas, over_cap)) = index.query(probe, len, config) else {
+                        continue;
+                    };
+                    let capped = over_cap.iter().any(|&b| b);
+                    // Independence structure of this (probe, length):
+                    // shared once across all candidates (see
+                    // usj_qgram::soundness for why the plain Theorem 2
+                    // tail would be unsound here).
+                    let regions: Vec<Option<usj_qgram::Region>> = li
+                        .segments()
+                        .iter()
+                        .map(|seg| {
+                            usj_qgram::window_range(config.policy, probe.len(), len, config.k, seg)
+                                .map(|r| usj_qgram::window_region(r, seg.len))
+                        })
+                        .collect();
+                    let bounder = usj_qgram::TailBounder::new(&regions, probe);
+                    let mut surfaced = 0u64;
+                    for (id, mut alpha) in alphas {
+                        surfaced += 1;
+                        // Over-cap segments count as matched with α = 1.
+                        for (a, &oc) in alpha.iter_mut().zip(&over_cap) {
+                            if oc {
+                                *a = 1.0;
+                            }
+                        }
+                        let matched = alpha.iter().filter(|&&a| a > 0.0).count();
+                        if matched < required {
+                            stats.qgram_pruned_count += 1;
+                            continue;
+                        }
+                        let bound = if capped { 1.0 } else { bounder.bound(&alpha, required) };
+                        if bound <= config.tau {
+                            stats.qgram_pruned_bound += 1;
+                            continue;
+                        }
+                        candidates.push((id, Some(alpha)));
+                    }
+                    // Ids that never surfaced have zero matching segments
+                    // and were pruned by the count condition implicitly.
+                    stats.qgram_pruned_count += in_scope - surfaced;
+                }
+            } else {
+                for (_, ids) in visited.range(min_len..=probe.len()) {
+                    scope += ids.len() as u64;
+                    candidates.extend(ids.iter().map(|&id| (id, None)));
+                }
+            }
+            stats.pairs_in_scope += scope;
+            stats.qgram_survivors += candidates.len() as u64;
+            stats.timings.qgram += qgram_start.elapsed();
+            // Deterministic candidate order keeps runs reproducible.
+            candidates.sort_unstable_by_key(|&(id, _)| id);
+
+            // ---- Frequency-distance filtering -----------------------
+            let mut probe_profile: Option<FreqProfile> = None;
+            if config.pipeline.uses_freq() && !candidates.is_empty() {
+                let freq_start = Instant::now();
+                let rp = probe_profile.get_or_insert_with(|| freq_filter.profile(probe));
+                candidates.retain(|&(id, _)| {
+                    let sp = profiles[id as usize]
+                        .as_ref()
+                        .expect("visited strings have profiles");
+                    let out = freq_filter.evaluate(rp, sp);
+                    if !out.candidate {
+                        if out.fd_lower as usize > config.k {
+                            stats.freq_pruned_lower += 1;
+                        } else {
+                            stats.freq_pruned_chebyshev += 1;
+                        }
+                    }
+                    out.candidate
+                });
+                stats.timings.freq += freq_start.elapsed();
+            }
+            stats.freq_survivors += candidates.len() as u64;
+
+            // ---- CDF bounds + verification --------------------------
+            let mut verifier: Option<ProbeVerifier> = None; // lazily built
+            for (id, _alpha) in candidates {
+                let other = &strings[id as usize];
+                let mut decided: Option<(bool, Prob)> = None;
+
+                if config.pipeline.uses_cdf() {
+                    let cdf_start = Instant::now();
+                    let out = cdf_filter.evaluate(probe, other);
+                    stats.timings.cdf += cdf_start.elapsed();
+                    match out.decision {
+                        CdfDecision::Reject => {
+                            stats.cdf_rejected += 1;
+                            continue;
+                        }
+                        CdfDecision::Accept if config.early_stop => {
+                            stats.cdf_accepted += 1;
+                            decided = Some((true, out.bounds.at_k().0));
+                        }
+                        CdfDecision::Accept => {
+                            // Exact-probability mode verifies accepted
+                            // pairs too (the count still reflects the
+                            // filter's power).
+                            stats.cdf_accepted += 1;
+                        }
+                        CdfDecision::Undecided => {
+                            stats.cdf_undecided += 1;
+                        }
+                    }
+                } else {
+                    stats.cdf_undecided += 1;
+                }
+
+                let (similar, prob) = match decided {
+                    Some(d) => d,
+                    None => {
+                        let verify_start = Instant::now();
+                        let v = verifier
+                            .get_or_insert_with(|| ProbeVerifier::build(probe, config));
+                        let (similar, prob) = v.verify(probe, other, config);
+                        stats.timings.verify += verify_start.elapsed();
+                        if similar {
+                            stats.verified_similar += 1;
+                        } else {
+                            stats.verified_dissimilar += 1;
+                        }
+                        (similar, prob)
+                    }
+                };
+                if similar {
+                    pairs.push(SimilarPair {
+                        left: probe_id.min(id),
+                        right: probe_id.max(id),
+                        prob,
+                    });
+                }
+            }
+
+            // ---- Insert the probe for later probes ------------------
+            let index_start = Instant::now();
+            if config.pipeline.uses_qgram() {
+                index.insert(probe_id, probe, config);
+            }
+            if config.pipeline.uses_freq() {
+                profiles[probe_id as usize] =
+                    Some(probe_profile.unwrap_or_else(|| freq_filter.profile(probe)));
+            }
+            visited.entry(probe.len()).or_default().push(probe_id);
+            stats.timings.index += index_start.elapsed();
+        }
+
+        pairs.sort_unstable_by_key(|p| (p.left, p.right));
+        stats.output_pairs = pairs.len() as u64;
+        stats.index_bytes = index.estimated_bytes();
+        stats.peak_index_bytes = index.peak_bytes();
+        stats.timings.total = total_start.elapsed();
+        JoinResult { pairs, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Pipeline;
+    use usj_model::Alphabet;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    fn collection() -> Vec<UncertainString> {
+        vec![
+            dna("ACGTACGT"),
+            dna("ACG{(T,0.9),(G,0.1)}ACGT"),
+            dna("TTTTTTTT"),
+            dna("ACGTACG"),
+            dna("{(A,0.6),(C,0.4)}CGTACGT"),
+            dna("GGGGGGGG"),
+        ]
+    }
+
+    fn pair_set(result: &JoinResult) -> Vec<(u32, u32)> {
+        result.pairs.iter().map(|p| (p.left, p.right)).collect()
+    }
+
+    #[test]
+    fn self_join_finds_expected_pairs() {
+        let join = SimilarityJoin::new(JoinConfig::new(2, 0.5), 4);
+        let result = join.self_join(&collection());
+        let pairs = pair_set(&result);
+        assert!(pairs.contains(&(0, 1)), "{pairs:?}");
+        assert!(pairs.contains(&(0, 3)), "{pairs:?}");
+        assert!(pairs.contains(&(0, 4)), "{pairs:?}");
+        assert!(!pairs.iter().any(|&(a, b)| a == 2 || b == 2 || a == 5 && b == 5));
+        // Every pair is ordered and above threshold.
+        for p in &result.pairs {
+            assert!(p.left < p.right);
+            assert!(p.prob > 0.5);
+        }
+    }
+
+    #[test]
+    fn all_pipelines_agree() {
+        let strings = collection();
+        let mut results = Vec::new();
+        for pipeline in Pipeline::all() {
+            let config = JoinConfig::new(2, 0.3).with_pipeline(pipeline);
+            let result = SimilarityJoin::new(config, 4).self_join(&strings);
+            results.push((pipeline, pair_set(&result)));
+        }
+        for window in results.windows(2) {
+            assert_eq!(
+                window[0].1, window[1].1,
+                "{:?} vs {:?}",
+                window[0].0, window[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn matches_oracle_exactly() {
+        let strings = collection();
+        let expected = crate::oracle::oracle_self_join(&strings, 2, 0.3);
+        for pipeline in Pipeline::all() {
+            let config = JoinConfig::new(2, 0.3).with_pipeline(pipeline).with_early_stop(false);
+            let result = SimilarityJoin::new(config, 4).self_join(&strings);
+            let got = pair_set(&result);
+            let want: Vec<(u32, u32)> = expected.iter().map(|p| (p.left, p.right)).collect();
+            assert_eq!(got, want, "{pipeline:?}");
+            // Exact-probability mode: probabilities match the oracle.
+            for (g, w) in result.pairs.iter().zip(&expected) {
+                assert!((g.prob - w.prob).abs() < 1e-9, "{pipeline:?}: {g:?} vs {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_verifiers_agree() {
+        use crate::config::VerifierKind;
+        let strings = collection();
+        let reference = SimilarityJoin::new(JoinConfig::new(2, 0.3), 4).self_join(&strings);
+        for kind in [VerifierKind::LazyTrie, VerifierKind::Trie, VerifierKind::Naive] {
+            let result = SimilarityJoin::new(
+                JoinConfig::new(2, 0.3).with_verifier(kind),
+                4,
+            )
+            .self_join(&strings);
+            assert_eq!(pair_set(&reference), pair_set(&result), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_collections() {
+        let join = SimilarityJoin::new(JoinConfig::new(1, 0.1), 4);
+        assert!(join.self_join(&[]).pairs.is_empty());
+        assert!(join.self_join(&[dna("ACGT")]).pairs.is_empty());
+        let two = join.self_join(&[dna("ACGT"), dna("ACGT")]);
+        assert_eq!(pair_set(&two), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let strings = collection();
+        let result = SimilarityJoin::new(JoinConfig::new(2, 0.3), 4).self_join(&strings);
+        let s = &result.stats;
+        assert_eq!(s.num_strings, 6);
+        assert_eq!(s.output_pairs, result.pairs.len() as u64);
+        assert!(s.qgram_survivors <= s.pairs_in_scope);
+        assert!(s.freq_survivors <= s.qgram_survivors);
+        assert_eq!(
+            s.freq_survivors,
+            s.cdf_accepted + s.cdf_rejected + s.cdf_undecided
+        );
+        assert_eq!(s.verified_pairs(), s.cdf_undecided);
+        assert!(s.peak_index_bytes >= s.index_bytes || s.index_bytes == 0);
+    }
+
+    #[test]
+    fn cross_join_matches_oracle() {
+        let left = vec![dna("ACGTACGT"), dna("TTTTTTTT"), dna("ACG{(T,0.7),(A,0.3)}ACGT")];
+        let right = collection();
+        let join = SimilarityJoin::new(JoinConfig::new(2, 0.3).with_early_stop(false), 4);
+        let result = join.join(&left, &right);
+        // Oracle: exhaustive pairwise check.
+        let mut expected = Vec::new();
+        for (i, l) in left.iter().enumerate() {
+            for (j, r) in right.iter().enumerate() {
+                let p = usj_verify::exact_similarity_prob(l, r, 2);
+                if p > 0.3 {
+                    expected.push((i as u32, j as u32));
+                }
+            }
+        }
+        let got: Vec<(u32, u32)> = result.pairs.iter().map(|p| (p.left, p.right)).collect();
+        assert_eq!(got, expected);
+        // Cross-join pairs are positions, not ordered ids: (l, r) indexes
+        // the two inputs independently.
+        assert!(result.pairs.iter().any(|p| p.left == 0 && p.right == 0));
+        assert_eq!(result.stats.output_pairs, result.pairs.len() as u64);
+    }
+
+    #[test]
+    fn cross_join_empty_sides() {
+        let join = SimilarityJoin::new(JoinConfig::new(1, 0.1), 4);
+        assert!(join.join(&[], &collection()).pairs.is_empty());
+        assert!(join.join(&collection(), &[]).pairs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_strings_all_pair_up() {
+        let strings = vec![dna("ACGTAC"); 4];
+        let result = SimilarityJoin::new(JoinConfig::new(1, 0.5), 4).self_join(&strings);
+        // C(4,2) = 6 pairs.
+        assert_eq!(result.pairs.len(), 6);
+    }
+}

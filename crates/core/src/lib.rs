@@ -1,0 +1,48 @@
+//! Similarity-join driver for uncertain strings (paper §4 and §7).
+//!
+//! This crate assembles the filters from `usj-qgram`, `usj-freq`, and
+//! `usj-cdf` and the verifiers from `usj-verify` into the paper's join
+//! algorithm:
+//!
+//! 1. Strings are visited in ascending length order. A probe `R` queries
+//!    the **segment inverted indices** ([`index::SegmentIndex`]) of every
+//!    compatible length `l ∈ [|R|−k, |R|]`, producing per-candidate
+//!    segment match probabilities `α_x` by merging posting lists — without
+//!    comparing `R` to each collection string individually.
+//! 2. Candidates surviving the count condition (Lemma 5) and the
+//!    Poisson-binomial upper bound (Theorem 2) flow through
+//!    frequency-distance filtering (§5) and CDF-bound filtering (§6.1).
+//! 3. Pairs the CDF bounds cannot decide are verified exactly with the
+//!    trie verifier (§6.2), whose probe trie is built once per `R`.
+//! 4. `R`'s own segments are then inserted into the indices and the scan
+//!    moves on — each unordered pair is therefore examined exactly once.
+//!
+//! Four pipeline variants ([`config::Pipeline`]) reproduce the paper's
+//! algorithms **QFCT**, **QCT**, **QFT**, and **FCT** (each letter names a
+//! stage: Q = q-gram, F = frequency, C = CDF, T = trie verification).
+//!
+//! [`collection::IndexedCollection`] exposes the same machinery as a
+//! similarity *search* (one probe against a pre-indexed collection).
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod config;
+pub mod index;
+pub mod join;
+pub mod oracle;
+pub mod parallel;
+pub mod stats;
+pub mod string_level;
+pub mod topk;
+pub mod verifier;
+
+pub use collection::IndexedCollection;
+pub use config::{JoinConfig, Pipeline, VerifierKind};
+pub use index::SegmentIndex;
+pub use join::{JoinResult, SimilarPair, SimilarityJoin};
+pub use oracle::oracle_self_join;
+pub use parallel::par_self_join;
+pub use stats::{JoinStats, PhaseTimings};
+pub use string_level::{string_level_oracle, StringLevelJoin, StringLevelStats};
+pub use verifier::ProbeVerifier;

@@ -1,0 +1,42 @@
+//! Brute-force reference join, used to validate the real driver in tests
+//! and as the honest "no filtering, no indexing" baseline.
+
+use usj_model::UncertainString;
+use usj_verify::exact_similarity_prob;
+
+use crate::join::SimilarPair;
+
+/// All pairs `(i, j)`, `i < j`, with `Pr(ed ≤ k) > τ`, computed by joint
+/// possible-world enumeration. Exponential in uncertain positions — test
+/// and calibration use only.
+pub fn oracle_self_join(strings: &[UncertainString], k: usize, tau: f64) -> Vec<SimilarPair> {
+    let mut pairs = Vec::new();
+    for i in 0..strings.len() {
+        for j in i + 1..strings.len() {
+            let prob = exact_similarity_prob(&strings[i], &strings[j], k);
+            if prob > tau {
+                pairs.push(SimilarPair { left: i as u32, right: j as u32, prob });
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_model::Alphabet;
+
+    #[test]
+    fn oracle_basics() {
+        let dna = Alphabet::dna();
+        let strings: Vec<UncertainString> = ["ACGT", "ACGA", "TTTT"]
+            .iter()
+            .map(|t| UncertainString::parse(t, &dna).unwrap())
+            .collect();
+        let pairs = oracle_self_join(&strings, 1, 0.5);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].left, pairs[0].right), (0, 1));
+        assert_eq!(pairs[0].prob, 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Parallel self-join.
+//!
+//! The sequential driver ([`crate::SimilarityJoin::self_join`]) is
+//! inherently ordered: each probe queries the index of previously-visited
+//! strings, then inserts itself. The parallel variant trades that
+//! incrementality for independence: the **whole** collection is indexed
+//! once ([`crate::IndexedCollection`]), every string probes it
+//! concurrently, and a hit `(probe, id)` is emitted only when
+//! `id < probe` so each unordered pair surfaces exactly once.
+//!
+//! Compared to the sequential join this does roughly twice the filtering
+//! work (probes see candidates on both sides) and holds the full index in
+//! memory (no length eviction), in exchange for near-linear scaling with
+//! cores. Output is identical — asserted by tests against the sequential
+//! driver and the oracle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use usj_model::UncertainString;
+
+use crate::collection::IndexedCollection;
+use crate::config::JoinConfig;
+use crate::join::{JoinResult, SimilarPair};
+use crate::stats::JoinStats;
+
+/// Runs the self-join with `threads` worker threads (0 = one per
+/// available core). Returns exactly the pairs of the sequential driver.
+pub fn par_self_join(
+    config: JoinConfig,
+    sigma: usize,
+    strings: &[UncertainString],
+    threads: usize,
+) -> JoinResult {
+    let total_start = std::time::Instant::now();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let collection = IndexedCollection::build(config, sigma, strings.to_vec());
+    let next = AtomicUsize::new(0);
+    let results: Mutex<(Vec<SimilarPair>, JoinStats)> =
+        Mutex::new((Vec::new(), JoinStats::default()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local_pairs = Vec::new();
+                let mut local_stats = JoinStats::default();
+                loop {
+                    // Dynamic work stealing in small batches keeps load
+                    // balanced (probe costs vary wildly with uncertainty).
+                    let start = next.fetch_add(8, Ordering::Relaxed);
+                    if start >= strings.len() {
+                        break;
+                    }
+                    let end = (start + 8).min(strings.len());
+                    for probe_id in start..end {
+                        // Admit only smaller ids: each unordered pair is
+                        // verified exactly once and never against itself.
+                        let (hits, stats) = collection
+                            .search_filtered(&strings[probe_id], |id| (id as usize) < probe_id);
+                        local_stats.absorb(&stats);
+                        for hit in hits {
+                            local_pairs.push(SimilarPair {
+                                left: hit.id,
+                                right: probe_id as u32,
+                                prob: hit.prob,
+                            });
+                        }
+                    }
+                }
+                let mut guard = results.lock();
+                guard.0.append(&mut local_pairs);
+                guard.1.absorb(&local_stats);
+            });
+        }
+    });
+
+    let (mut pairs, mut stats) = results.into_inner();
+    pairs.sort_unstable_by_key(|p| (p.left, p.right));
+    stats.num_strings = strings.len();
+    stats.output_pairs = pairs.len() as u64;
+    stats.index_bytes = collection.index_bytes();
+    stats.peak_index_bytes = collection.index_bytes();
+    stats.timings.total = total_start.elapsed();
+    JoinResult { pairs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::SimilarityJoin;
+    use usj_model::Alphabet;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    fn collection() -> Vec<UncertainString> {
+        vec![
+            dna("ACGTACGT"),
+            dna("ACG{(T,0.9),(G,0.1)}ACGT"),
+            dna("TTTTTTTT"),
+            dna("ACGTACG"),
+            dna("{(A,0.6),(C,0.4)}CGTACGT"),
+            dna("GGGGGGGG"),
+            dna("ACGTACGA"),
+        ]
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let strings = collection();
+        let config = JoinConfig::new(2, 0.3);
+        let sequential = SimilarityJoin::new(config.clone(), 4).self_join(&strings);
+        for threads in [1, 2, 4] {
+            let parallel = par_self_join(config.clone(), 4, &strings, threads);
+            let a: Vec<_> = sequential.pairs.iter().map(|p| (p.left, p.right)).collect();
+            let b: Vec<_> = parallel.pairs.iter().map(|p| (p.left, p.right)).collect();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_exact_probabilities() {
+        let strings = collection();
+        let config = JoinConfig::new(2, 0.3).with_early_stop(false);
+        let result = par_self_join(config, 4, &strings, 3);
+        for p in &result.pairs {
+            let exact = usj_verify::exact_similarity_prob(
+                &strings[p.left as usize],
+                &strings[p.right as usize],
+                2,
+            );
+            assert!((p.prob - exact).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let config = JoinConfig::new(1, 0.1);
+        assert!(par_self_join(config.clone(), 4, &[], 2).pairs.is_empty());
+        assert!(par_self_join(config, 4, &[dna("ACGT")], 2).pairs.is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let strings = collection();
+        let result = par_self_join(JoinConfig::new(2, 0.3), 4, &strings, 2);
+        assert_eq!(result.stats.num_strings, strings.len());
+        assert_eq!(result.stats.output_pairs, result.pairs.len() as u64);
+        assert!(result.stats.pairs_in_scope > 0);
+    }
+}

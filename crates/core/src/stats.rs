@@ -1,0 +1,153 @@
+//! Per-phase statistics collected while answering a join query.
+//!
+//! The paper's figures plot exactly these quantities: candidates surviving
+//! each filter (Fig 2, Fig 5), per-phase filtering time vs total time
+//! (Fig 2, Fig 3), verification time (Fig 8), and peak index memory
+//! (Fig 7).
+
+use std::time::Duration;
+
+/// Wall-clock time spent in each phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Building/querying the segment inverted indices + Theorem 2 bound.
+    pub qgram: Duration,
+    /// Frequency-distance filtering (profiles + Lemma 6 + Theorem 3).
+    pub freq: Duration,
+    /// CDF-bound DP.
+    pub cdf: Duration,
+    /// Exact verification.
+    pub verify: Duration,
+    /// Inserting probes into the index (part of filtering overhead).
+    pub index: Duration,
+    /// Whole join.
+    pub total: Duration,
+}
+
+impl PhaseTimings {
+    /// Total filtering time (everything except verification).
+    pub fn filtering(&self) -> Duration {
+        self.qgram + self.freq + self.cdf + self.index
+    }
+}
+
+/// Counters and timings for one join (or search) run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JoinStats {
+    /// Strings in the collection.
+    pub num_strings: usize,
+    /// Length-compatible pairs the join had to consider at all
+    /// (`Σ_R |{S visited : ||R|−|S|| ≤ k}|`); the FCT candidate pool.
+    pub pairs_in_scope: u64,
+    /// Pairs surviving q-gram filtering (Lemma 5 count condition and
+    /// Theorem 2 bound); equals `pairs_in_scope` when q-grams are off.
+    pub qgram_survivors: u64,
+    /// Pairs pruned by the Lemma 5 count condition (insufficient matching
+    /// segments / never surfaced by the index).
+    pub qgram_pruned_count: u64,
+    /// Pairs pruned by the Theorem 2 probabilistic upper bound.
+    pub qgram_pruned_bound: u64,
+    /// Pairs surviving frequency-distance filtering.
+    pub freq_survivors: u64,
+    /// Pairs pruned by Lemma 6 (fd lower bound > k).
+    pub freq_pruned_lower: u64,
+    /// Pairs pruned by Theorem 3 (Chebyshev bound ≤ τ).
+    pub freq_pruned_chebyshev: u64,
+    /// Pairs accepted outright by the CDF lower bound (no verification).
+    pub cdf_accepted: u64,
+    /// Pairs rejected by the CDF upper bound.
+    pub cdf_rejected: u64,
+    /// Pairs left undecided by the CDF bounds (sent to verification).
+    pub cdf_undecided: u64,
+    /// Verified pairs found similar.
+    pub verified_similar: u64,
+    /// Verified pairs found dissimilar (the verification false-positive
+    /// count the paper tracks in §7.2).
+    pub verified_dissimilar: u64,
+    /// Total output pairs.
+    pub output_pairs: u64,
+    /// Estimated current index size in bytes at the end of the run.
+    pub index_bytes: usize,
+    /// Peak estimated index size (the paper's Fig 7 memory metric; expired
+    /// lengths are dropped as the scan advances).
+    pub peak_index_bytes: usize,
+    /// Wall-clock breakdown.
+    pub timings: PhaseTimings,
+}
+
+impl JoinStats {
+    /// Candidates that reached exact verification.
+    pub fn verified_pairs(&self) -> u64 {
+        self.verified_similar + self.verified_dissimilar
+    }
+
+    /// Accumulates another run's counters and timings into this one
+    /// (used by the cross-collection join, which is a sequence of
+    /// searches). `num_strings`, output and index fields are left to the
+    /// caller.
+    pub fn absorb(&mut self, other: &JoinStats) {
+        self.pairs_in_scope += other.pairs_in_scope;
+        self.qgram_survivors += other.qgram_survivors;
+        self.qgram_pruned_count += other.qgram_pruned_count;
+        self.qgram_pruned_bound += other.qgram_pruned_bound;
+        self.freq_survivors += other.freq_survivors;
+        self.freq_pruned_lower += other.freq_pruned_lower;
+        self.freq_pruned_chebyshev += other.freq_pruned_chebyshev;
+        self.cdf_accepted += other.cdf_accepted;
+        self.cdf_rejected += other.cdf_rejected;
+        self.cdf_undecided += other.cdf_undecided;
+        self.verified_similar += other.verified_similar;
+        self.verified_dissimilar += other.verified_dissimilar;
+        self.timings.qgram += other.timings.qgram;
+        self.timings.freq += other.timings.freq;
+        self.timings.cdf += other.timings.cdf;
+        self.timings.verify += other.timings.verify;
+        self.timings.index += other.timings.index;
+    }
+
+    /// One-line human-readable summary (used by the experiment harness).
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} scope={} qgram→{} freq→{} cdf(acc={}, rej={}, und={}) verify(sim={}, dis={}) out={} [filter {:.1?}, verify {:.1?}, total {:.1?}]",
+            self.num_strings,
+            self.pairs_in_scope,
+            self.qgram_survivors,
+            self.freq_survivors,
+            self.cdf_accepted,
+            self.cdf_rejected,
+            self.cdf_undecided,
+            self.verified_similar,
+            self.verified_dissimilar,
+            self.output_pairs,
+            self.timings.filtering(),
+            self.timings.verify,
+            self.timings.total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filtering_time_is_sum_of_phases() {
+        let t = PhaseTimings {
+            qgram: Duration::from_millis(5),
+            freq: Duration::from_millis(3),
+            cdf: Duration::from_millis(2),
+            verify: Duration::from_millis(100),
+            index: Duration::from_millis(1),
+            total: Duration::from_millis(111),
+        };
+        assert_eq!(t.filtering(), Duration::from_millis(11));
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let stats = JoinStats { num_strings: 7, output_pairs: 3, ..Default::default() };
+        let s = stats.summary();
+        assert!(s.contains("n=7"));
+        assert!(s.contains("out=3"));
+    }
+}

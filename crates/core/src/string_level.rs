@@ -1,0 +1,257 @@
+//! Similarity self-join for the **string-level** uncertainty model.
+//!
+//! In the string-level model (paper §1) every possible instance is listed
+//! explicitly, so a pair's exact similarity probability is a finite sum —
+//! no possible-world explosion. What remains expensive is the *quadratic
+//! candidate space*, which the same Pass-Join machinery prunes: each
+//! alternative of every collection string is partitioned into
+//! `m = max(k+1, ⌊len/q⌋)` segments whose instances feed an inverted
+//! index; a probe alternative only matches a candidate if it contains a
+//! window equal to one of the candidate's segment instances at a
+//! position-aware offset (Lemma 1 applied per alternative pair — sound
+//! because a similar pair must have *some* alternative pair within `k`).
+//!
+//! Surviving pairs are verified exactly with early accept/reject on the
+//! accumulated probability mass.
+
+use std::collections::{HashMap, HashSet};
+
+use usj_editdist::edit_distance_bounded;
+use usj_model::{Prob, StringLevelUncertain, Symbol};
+use usj_qgram::{partition, window_range, SelectionPolicy};
+
+use crate::join::SimilarPair;
+
+/// Configuration for the string-level join.
+#[derive(Debug, Clone)]
+pub struct StringLevelJoin {
+    /// Edit-distance threshold.
+    pub k: usize,
+    /// Probability threshold: report pairs with `Pr(ed ≤ k) > τ`.
+    pub tau: f64,
+    /// q-gram length for the candidate index.
+    pub q: usize,
+    /// Window-selection policy.
+    pub policy: SelectionPolicy,
+}
+
+/// Statistics of one string-level join run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StringLevelStats {
+    /// Length-compatible pairs considered.
+    pub pairs_in_scope: u64,
+    /// Pairs surfaced by the segment index (candidates).
+    pub candidates: u64,
+    /// Candidates verified similar.
+    pub similar: u64,
+}
+
+impl StringLevelJoin {
+    /// Creates the join with the given thresholds (`q = 3` default-ish is
+    /// up to the caller).
+    pub fn new(k: usize, tau: f64, q: usize) -> StringLevelJoin {
+        assert!((0.0..=1.0).contains(&tau), "tau must lie in [0, 1]");
+        assert!(q >= 1, "q must be at least 1");
+        StringLevelJoin { k, tau, q, policy: SelectionPolicy::default() }
+    }
+
+    /// All pairs `(i, j)`, `i < j`, with `Pr(ed ≤ k) > τ`.
+    pub fn self_join(
+        &self,
+        strings: &[StringLevelUncertain],
+    ) -> (Vec<SimilarPair>, StringLevelStats) {
+        let mut stats = StringLevelStats::default();
+        // Inverted index over (alt_len, segment_idx, instance) → string ids
+        // of *visited* strings, deduplicated.
+        let mut index: HashMap<(usize, usize, Vec<Symbol>), Vec<u32>> = HashMap::new();
+        // Lengths present among visited alternatives (for scope counting).
+        let mut visited_lens: HashMap<usize, HashSet<u32>> = HashMap::new();
+        let mut pairs = Vec::new();
+
+        for (probe_id, probe) in strings.iter().enumerate() {
+            // ---- candidate generation over all probe alternatives ----
+            let mut candidates: HashSet<u32> = HashSet::new();
+            let mut scope: HashSet<u32> = HashSet::new();
+            for (r, _) in probe.alternatives() {
+                for len in r.len().saturating_sub(self.k)..=r.len() + self.k {
+                    if let Some(ids) = visited_lens.get(&len) {
+                        scope.extend(ids.iter().copied());
+                    }
+                    let segments = partition(len, self.q, self.k);
+                    // Lemma 1 needs m−k matches; with m ≤ k no pruning is
+                    // possible, so every visited id of this length is a
+                    // candidate.
+                    if segments.len() <= self.k {
+                        if let Some(ids) = visited_lens.get(&len) {
+                            candidates.extend(ids.iter().copied());
+                        }
+                        continue;
+                    }
+                    for (x, seg) in segments.iter().enumerate() {
+                        let Some((lo, hi)) =
+                            window_range(self.policy, r.len(), len, self.k, seg)
+                        else {
+                            continue;
+                        };
+                        for start in lo..=hi {
+                            if let Some(ids) =
+                                index.get(&(len, x, r[start..start + seg.len].to_vec()))
+                            {
+                                candidates.extend(ids.iter().copied());
+                            }
+                        }
+                    }
+                }
+            }
+            stats.pairs_in_scope += scope.len() as u64;
+            stats.candidates += candidates.len() as u64;
+
+            // ---- exact verification ------------------------------------
+            let mut sorted: Vec<u32> = candidates.into_iter().collect();
+            sorted.sort_unstable();
+            for id in sorted {
+                let other = &strings[id as usize];
+                if let Some(prob) = self.verify(probe, other) {
+                    stats.similar += 1;
+                    pairs.push(SimilarPair {
+                        left: id.min(probe_id as u32),
+                        right: id.max(probe_id as u32),
+                        prob,
+                    });
+                }
+            }
+
+            // ---- insert probe ------------------------------------------
+            for (r, _) in probe.alternatives() {
+                visited_lens.entry(r.len()).or_default().insert(probe_id as u32);
+                for (x, seg) in partition(r.len(), self.q, self.k).iter().enumerate() {
+                    let key = (r.len(), x, r[seg.start..seg.end()].to_vec());
+                    let ids = index.entry(key).or_default();
+                    if ids.last() != Some(&(probe_id as u32)) {
+                        ids.push(probe_id as u32);
+                    }
+                }
+            }
+        }
+        pairs.sort_unstable_by_key(|p| (p.left, p.right));
+        (pairs, stats)
+    }
+
+    /// Exact verification with early accept/reject; returns the
+    /// accumulated probability when similar.
+    fn verify(&self, r: &StringLevelUncertain, s: &StringLevelUncertain) -> Option<Prob> {
+        let mut acc = 0.0;
+        let mut processed = 0.0;
+        for (ri, p) in r.alternatives() {
+            for (sj, q) in s.alternatives() {
+                let joint = p * q;
+                processed += joint;
+                if ri.len().abs_diff(sj.len()) <= self.k
+                    && edit_distance_bounded(ri, sj, self.k).is_some()
+                {
+                    acc += joint;
+                    if acc > self.tau {
+                        return Some(acc);
+                    }
+                }
+                if acc + (1.0 - processed).max(0.0) <= self.tau {
+                    return None;
+                }
+            }
+        }
+        (acc > self.tau).then_some(acc)
+    }
+}
+
+/// Brute-force oracle for tests.
+pub fn string_level_oracle(
+    strings: &[StringLevelUncertain],
+    k: usize,
+    tau: f64,
+) -> Vec<SimilarPair> {
+    let mut pairs = Vec::new();
+    for i in 0..strings.len() {
+        for j in (i + 1)..strings.len() {
+            let prob = strings[i].similarity_prob(&strings[j], k);
+            if prob > tau {
+                pairs.push(SimilarPair { left: i as u32, right: j as u32, prob });
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_model::Alphabet;
+
+    fn enc(t: &str) -> Vec<Symbol> {
+        Alphabet::dna().encode(t).unwrap()
+    }
+
+    fn sl(alts: &[(&str, f64)]) -> StringLevelUncertain {
+        StringLevelUncertain::new(alts.iter().map(|&(t, p)| (enc(t), p)).collect()).unwrap()
+    }
+
+    fn collection() -> Vec<StringLevelUncertain> {
+        vec![
+            sl(&[("ACGTACGT", 1.0)]),
+            sl(&[("ACGTACGA", 0.7), ("ACGTACG", 0.3)]),
+            sl(&[("TTTTTTTT", 0.9), ("GGGGGGGG", 0.1)]),
+            sl(&[("ACGAACGT", 0.5), ("ACGTAGGT", 0.5)]),
+            sl(&[("CCCCCCCC", 1.0)]),
+        ]
+    }
+
+    #[test]
+    fn join_matches_oracle() {
+        let strings = collection();
+        for k in 1..=2usize {
+            for tau in [0.05, 0.2, 0.45, 0.8] {
+                let join = StringLevelJoin::new(k, tau, 3);
+                let (pairs, stats) = join.self_join(&strings);
+                let expected = string_level_oracle(&strings, k, tau);
+                let got: Vec<_> = pairs.iter().map(|p| (p.left, p.right)).collect();
+                let want: Vec<_> = expected.iter().map(|p| (p.left, p.right)).collect();
+                assert_eq!(got, want, "k={k} tau={tau}");
+                assert!(stats.candidates <= stats.pairs_in_scope + strings.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_length_alternatives_join() {
+        // Alternatives of different lengths within one string.
+        let strings = vec![
+            sl(&[("ACGT", 0.5), ("ACGTA", 0.5)]),
+            sl(&[("ACGTAA", 1.0)]),
+            sl(&[("TT", 1.0)]),
+        ];
+        let join = StringLevelJoin::new(2, 0.4, 2);
+        let (pairs, _) = join.self_join(&strings);
+        let got: Vec<_> = pairs.iter().map(|p| (p.left, p.right)).collect();
+        let want: Vec<_> = string_level_oracle(&strings, 2, 0.4)
+            .iter()
+            .map(|p| (p.left, p.right))
+            .collect();
+        assert_eq!(got, want);
+        assert!(got.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let join = StringLevelJoin::new(1, 0.1, 3);
+        assert!(join.self_join(&[]).0.is_empty());
+        assert!(join.self_join(&[sl(&[("ACGT", 1.0)])]).0.is_empty());
+    }
+
+    #[test]
+    fn reported_probability_exceeds_tau() {
+        let strings = collection();
+        let (pairs, _) = StringLevelJoin::new(2, 0.25, 3).self_join(&strings);
+        for p in &pairs {
+            assert!(p.prob > 0.25);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Top-k similarity search.
+//!
+//! Returns the `k_results` collection strings with the highest exact
+//! `Pr(ed ≤ k)` (above the configuration's τ floor), without computing
+//! the exact probability for every candidate. The strategy is
+//! threshold-algorithm-shaped:
+//!
+//! 1. generate candidates through the segment index as usual;
+//! 2. compute each candidate's CDF **upper bound** (cheap) and sort
+//!    descending;
+//! 3. verify candidates exactly, in that order, until the current k-th
+//!    best exact probability is at least the next candidate's upper
+//!    bound — no unverified candidate can displace the current top k.
+//!
+//! Verification runs without early termination (exact probabilities are
+//! needed for ranking), so top-k is most useful with selective `k`/`τ`.
+
+use usj_cdf::cdf_bounds;
+use usj_model::{Prob, UncertainString};
+
+use crate::collection::{IndexedCollection, SearchHit};
+use crate::verifier::ProbeVerifier;
+
+impl IndexedCollection {
+    /// The `limit` most similar strings to `probe` by exact
+    /// `Pr(ed ≤ k)`, all strictly above the configuration's τ. Sorted by
+    /// probability descending, ties by id ascending.
+    pub fn search_top_k(&self, probe: &UncertainString, limit: usize) -> Vec<SearchHit> {
+        if limit == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut config = self.config().clone();
+        // Exact probabilities are required for ranking.
+        config.early_stop = false;
+
+        // Stage 1: candidate ids (the plain search machinery up to and
+        // including the frequency filter).
+        let candidates = self.filter_candidates(probe);
+
+        // Stage 2: order by CDF upper bound.
+        let mut scored: Vec<(u32, Prob)> = candidates
+            .into_iter()
+            .filter_map(|id| {
+                let bounds = cdf_bounds(probe, &self.strings()[id as usize], config.k);
+                let (_, upper) = bounds.at_k();
+                (upper > config.tau).then_some((id, upper))
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+        // Stage 3: verify in bound order with the threshold-algorithm
+        // stopping rule.
+        let mut verifier = ProbeVerifier::build(probe, &config);
+        let mut top: Vec<SearchHit> = Vec::new();
+        for (id, upper) in scored {
+            if top.len() >= limit {
+                let kth = top.last().map(|h| h.prob).unwrap_or(0.0);
+                // Strict inequality: a candidate whose exact probability
+                // *equals* the current k-th best can still displace it via
+                // the id tie-break, so ties must be verified.
+                if kth > upper {
+                    break; // no remaining candidate can enter the top k
+                }
+            }
+            let (similar, prob) = verifier.verify(probe, &self.strings()[id as usize], &config);
+            if similar && prob > config.tau {
+                top.push(SearchHit { id, prob });
+                top.sort_unstable_by(|a, b| {
+                    b.prob.partial_cmp(&a.prob).unwrap().then(a.id.cmp(&b.id))
+                });
+                top.truncate(limit);
+            }
+        }
+        top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JoinConfig;
+    use usj_model::Alphabet;
+    use usj_verify::exact_similarity_prob;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    fn collection() -> Vec<UncertainString> {
+        vec![
+            dna("ACGTACGT"),
+            dna("ACG{(T,0.9),(G,0.1)}ACGT"),
+            dna("ACG{(T,0.5),(G,0.5)}ACGT"),
+            dna("ACGTACGA"),
+            dna("TTTTTTTT"),
+            dna("ACGTAGGA"),
+        ]
+    }
+
+    fn oracle_top_k(
+        strings: &[UncertainString],
+        probe: &UncertainString,
+        k: usize,
+        tau: f64,
+        limit: usize,
+    ) -> Vec<(u32, f64)> {
+        let mut all: Vec<(u32, f64)> = strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, exact_similarity_prob(probe, s, k)))
+            .filter(|&(_, p)| p > tau)
+            .collect();
+        all.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        all.truncate(limit);
+        all
+    }
+
+    #[test]
+    fn top_k_matches_oracle() {
+        let strings = collection();
+        let coll = IndexedCollection::build(JoinConfig::new(2, 0.05), 4, strings.clone());
+        let probe = dna("ACGTACGT");
+        for limit in [1usize, 2, 3, 10] {
+            let got: Vec<(u32, f64)> = coll
+                .search_top_k(&probe, limit)
+                .into_iter()
+                .map(|h| (h.id, h.prob))
+                .collect();
+            let want = oracle_top_k(&strings, &probe, 2, 0.05, limit);
+            assert_eq!(got.len(), want.len(), "limit={limit}");
+            for ((gi, gp), (wi, wp)) in got.iter().zip(&want) {
+                assert_eq!(gi, wi, "limit={limit}");
+                assert!((gp - wp).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn limit_zero_and_empty() {
+        let coll = IndexedCollection::build(JoinConfig::new(2, 0.05), 4, collection());
+        assert!(coll.search_top_k(&dna("ACGTACGT"), 0).is_empty());
+        let empty = IndexedCollection::build(JoinConfig::new(2, 0.05), 4, Vec::new());
+        assert!(empty.search_top_k(&dna("ACGT"), 3).is_empty());
+    }
+
+    #[test]
+    fn respects_tau_floor() {
+        let coll = IndexedCollection::build(JoinConfig::new(0, 0.6), 4, collection());
+        // At k = 0 only near-identical strings qualify; τ = 0.6 excludes
+        // the 50/50 variant.
+        let hits = coll.search_top_k(&dna("ACGTACGT"), 10);
+        assert!(hits.iter().all(|h| h.prob > 0.6));
+        assert!(hits.iter().any(|h| h.id == 0));
+        assert!(!hits.iter().any(|h| h.id == 2), "{hits:?}");
+    }
+
+    #[test]
+    fn exact_probability_ties_break_by_id() {
+        // Two identical strings tie at probability 1; limit 1 must return
+        // the smaller id even though the larger one may be verified first.
+        let strings = vec![dna("TTTT"), dna("ACGTACGT"), dna("ACGTACGT")];
+        let coll = IndexedCollection::build(JoinConfig::new(1, 0.1), 4, strings);
+        let hits = coll.search_top_k(&dna("ACGTACGT"), 1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 1, "{hits:?}");
+        assert!((hits[0].prob - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_by_probability() {
+        let coll = IndexedCollection::build(JoinConfig::new(1, 0.01), 4, collection());
+        let hits = coll.search_top_k(&dna("ACGTACGT"), 10);
+        assert!(hits.windows(2).all(|w| w[0].prob >= w[1].prob - 1e-12));
+    }
+}

@@ -1,0 +1,101 @@
+//! Per-probe verifier dispatch shared by the join and search drivers.
+
+use usj_model::{Prob, UncertainString};
+use usj_verify::{naive_verify, LazyTrieVerifier, TrieVerifier};
+
+use crate::config::{JoinConfig, VerifierKind};
+
+/// A verifier instantiated once per probe and reused for all its
+/// candidates.
+#[derive(Debug)]
+pub enum ProbeVerifier {
+    /// Lazily materialised probe trie (default; our §6.2 extension).
+    Lazy(LazyTrieVerifier),
+    /// The paper's eager probe trie.
+    Eager(TrieVerifier),
+    /// All-pairs enumeration baseline (also the fallback when the eager
+    /// trie would exceed its node cap).
+    Naive,
+}
+
+impl ProbeVerifier {
+    /// Builds the verifier `config` asks for.
+    pub fn build(probe: &UncertainString, config: &JoinConfig) -> ProbeVerifier {
+        match config.verifier {
+            VerifierKind::LazyTrie => {
+                let v = LazyTrieVerifier::new(probe, config.k, config.tau);
+                ProbeVerifier::Lazy(if config.early_stop { v } else { v.without_early_stop() })
+            }
+            VerifierKind::Trie => {
+                match TrieVerifier::new(probe, config.k, config.tau, config.max_trie_nodes) {
+                    Some(v) => {
+                        ProbeVerifier::Eager(if config.early_stop {
+                            v
+                        } else {
+                            v.without_early_stop()
+                        })
+                    }
+                    None => ProbeVerifier::Naive,
+                }
+            }
+            VerifierKind::Naive => ProbeVerifier::Naive,
+        }
+    }
+
+    /// Decides `Pr(ed(probe, other) ≤ k) > τ`, returning the decision and
+    /// the accumulated probability (a lower bound under early
+    /// termination, exact otherwise).
+    pub fn verify(
+        &mut self,
+        probe: &UncertainString,
+        other: &UncertainString,
+        config: &JoinConfig,
+    ) -> (bool, Prob) {
+        match self {
+            ProbeVerifier::Lazy(v) => {
+                let out = v.verify(other);
+                (out.similar, out.prob)
+            }
+            ProbeVerifier::Eager(v) => {
+                let out = v.verify(other);
+                (out.similar, out.prob)
+            }
+            ProbeVerifier::Naive => {
+                let out = naive_verify(probe, other, config.k, config.tau, config.early_stop);
+                (out.similar, out.prob)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_model::Alphabet;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    #[test]
+    fn all_kinds_agree() {
+        let r = dna("AC{(G,0.5),(T,0.5)}TAC");
+        let s = dna("ACGTAC");
+        for kind in [VerifierKind::LazyTrie, VerifierKind::Trie, VerifierKind::Naive] {
+            let config = JoinConfig::new(1, 0.3).with_verifier(kind);
+            let mut v = ProbeVerifier::build(&r, &config);
+            let (similar, prob) = v.verify(&r, &s, &config);
+            assert!(similar, "{kind:?}");
+            assert!(prob > 0.3);
+        }
+    }
+
+    #[test]
+    fn eager_over_cap_falls_back_to_naive() {
+        let r = dna("{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}");
+        let mut config = JoinConfig::new(1, 0.3).with_verifier(VerifierKind::Trie);
+        config.max_trie_nodes = 2;
+        let v = ProbeVerifier::build(&r, &config);
+        assert!(matches!(v, ProbeVerifier::Naive));
+    }
+}

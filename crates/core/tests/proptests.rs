@@ -1,0 +1,212 @@
+//! Property tests: the indexed join equals the brute-force oracle join on
+//! random collections, for every pipeline variant.
+
+use proptest::prelude::*;
+use usj_core::{oracle_self_join, IndexedCollection, JoinConfig, Pipeline, SimilarityJoin};
+use usj_model::{Position, UncertainString};
+use usj_verify::exact_similarity_prob;
+
+fn arb_position(sigma: u8, max_alts: usize) -> impl Strategy<Value = Position> {
+    prop::collection::vec((0..sigma, 1u32..=100), 1..=max_alts).prop_map(|raw| {
+        let mut seen = std::collections::BTreeMap::new();
+        for (s, w) in raw {
+            *seen.entry(s).or_insert(0u32) += w;
+        }
+        let total: u32 = seen.values().sum();
+        let alts: Vec<(u8, f64)> = seen
+            .into_iter()
+            .map(|(s, w)| (s, w as f64 / total as f64))
+            .collect();
+        Position::uncertain(0, alts).unwrap()
+    })
+}
+
+fn arb_string(sigma: u8, len: std::ops::Range<usize>) -> impl Strategy<Value = UncertainString> {
+    prop::collection::vec(arb_position(sigma, 2), len).prop_map(UncertainString::new)
+}
+
+fn arb_collection(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<UncertainString>> {
+    prop::collection::vec(arb_string(3, 3..9), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full driver, in exact mode, equals the oracle join — for every
+    /// pipeline, q, and selection policy combination tested.
+    #[test]
+    fn join_equals_oracle(
+        strings in arb_collection(2..9),
+        k in 1usize..3,
+        tau_pct in 5u32..80,
+        q in 2usize..4,
+    ) {
+        let tau = tau_pct as f64 / 100.0 + 1e-4;
+        let expected: Vec<(u32, u32)> = oracle_self_join(&strings, k, tau)
+            .iter()
+            .map(|p| (p.left, p.right))
+            .collect();
+        for pipeline in Pipeline::all() {
+            let config = JoinConfig::new(k, tau)
+                .with_q(q)
+                .with_pipeline(pipeline)
+                .with_early_stop(false);
+            let result = SimilarityJoin::new(config, 3).self_join(&strings);
+            let got: Vec<(u32, u32)> = result.pairs.iter().map(|p| (p.left, p.right)).collect();
+            prop_assert_eq!(&got, &expected, "pipeline {:?} q={} k={} tau={}", pipeline, q, k, tau);
+        }
+    }
+
+    /// Early-stop mode reports exactly the same pair set (probabilities
+    /// may be lower bounds).
+    #[test]
+    fn early_stop_same_pairs(
+        strings in arb_collection(2..8),
+        k in 1usize..3,
+        tau_pct in 5u32..80,
+    ) {
+        let tau = tau_pct as f64 / 100.0 + 1e-4;
+        let exact = SimilarityJoin::new(JoinConfig::new(k, tau).with_early_stop(false), 3)
+            .self_join(&strings);
+        let fast = SimilarityJoin::new(JoinConfig::new(k, tau), 3).self_join(&strings);
+        let a: Vec<_> = exact.pairs.iter().map(|p| (p.left, p.right)).collect();
+        let b: Vec<_> = fast.pairs.iter().map(|p| (p.left, p.right)).collect();
+        prop_assert_eq!(a, b);
+        for p in &fast.pairs {
+            prop_assert!(p.prob > tau, "reported prob must exceed tau");
+        }
+    }
+
+    /// Search over an indexed collection agrees with per-string oracle
+    /// probabilities.
+    #[test]
+    fn search_equals_oracle(
+        strings in arb_collection(1..8),
+        probe in arb_string(3, 3..9),
+        k in 1usize..3,
+        tau_pct in 5u32..80,
+    ) {
+        let tau = tau_pct as f64 / 100.0 + 1e-4;
+        let coll = IndexedCollection::build(
+            JoinConfig::new(k, tau).with_early_stop(false),
+            3,
+            strings.clone(),
+        );
+        let got: Vec<u32> = coll.search(&probe).iter().map(|h| h.id).collect();
+        let expected: Vec<u32> = strings
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| exact_similarity_prob(&probe, s, k) > tau)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The parallel join emits exactly the sequential join's pairs.
+    #[test]
+    fn parallel_equals_sequential(
+        strings in arb_collection(2..9),
+        k in 1usize..3,
+        tau_pct in 5u32..80,
+        threads in 1usize..4,
+    ) {
+        let tau = tau_pct as f64 / 100.0 + 1e-4;
+        let config = JoinConfig::new(k, tau);
+        let sequential = SimilarityJoin::new(config.clone(), 3).self_join(&strings);
+        let parallel = usj_core::par_self_join(config, 3, &strings, threads);
+        let a: Vec<_> = sequential.pairs.iter().map(|p| (p.left, p.right)).collect();
+        let b: Vec<_> = parallel.pairs.iter().map(|p| (p.left, p.right)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Top-k search returns exactly the oracle's k best (ids and exact
+    /// probabilities).
+    #[test]
+    fn top_k_equals_oracle(
+        strings in arb_collection(1..8),
+        probe in arb_string(3, 3..9),
+        k in 1usize..3,
+        limit in 1usize..5,
+    ) {
+        let tau = 0.0101;
+        let coll = IndexedCollection::build(JoinConfig::new(k, tau), 3, strings.clone());
+        let got: Vec<(u32, f64)> = coll
+            .search_top_k(&probe, limit)
+            .into_iter()
+            .map(|h| (h.id, h.prob))
+            .collect();
+        let mut want: Vec<(u32, f64)> = strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, exact_similarity_prob(&probe, s, k)))
+            .filter(|&(_, p)| p > tau)
+            .collect();
+        want.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        want.truncate(limit);
+        prop_assert_eq!(got.len(), want.len());
+        for ((gi, gp), (wi, wp)) in got.iter().zip(&want) {
+            // Ranks can tie to machine precision; ids must agree unless
+            // the probabilities are equal.
+            if gi != wi {
+                prop_assert!((gp - wp).abs() < 1e-9, "{} vs {}", gp, wp);
+            } else {
+                prop_assert!((gp - wp).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The string-level join equals its oracle on random string-level
+    /// collections (alternatives of mixed lengths included).
+    #[test]
+    fn string_level_join_equals_oracle(
+        raw in prop::collection::vec(
+            prop::collection::vec((prop::collection::vec(0u8..3, 2..7), 1u32..50), 1..4),
+            2..7,
+        ),
+        k in 1usize..3,
+        tau_pct in 5u32..80,
+        q in 2usize..4,
+    ) {
+        use usj_core::{string_level_oracle, StringLevelJoin};
+        use usj_model::StringLevelUncertain;
+        let strings: Vec<StringLevelUncertain> = raw
+            .into_iter()
+            .map(|alts| {
+                let total: u32 = alts.iter().map(|&(_, w)| w).sum();
+                StringLevelUncertain::new(
+                    alts.into_iter()
+                        .map(|(inst, w)| (inst, w as f64 / total as f64))
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let tau = tau_pct as f64 / 100.0 + 1e-4;
+        let (pairs, _) = StringLevelJoin::new(k, tau, q).self_join(&strings);
+        let got: Vec<_> = pairs.iter().map(|p| (p.left, p.right)).collect();
+        let want: Vec<_> = string_level_oracle(&strings, k, tau)
+            .iter()
+            .map(|p| (p.left, p.right))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// A tiny instance cap must not cost correctness (conservative
+    /// fallbacks engage).
+    #[test]
+    fn instance_cap_is_sound(
+        strings in arb_collection(2..7),
+        k in 1usize..3,
+    ) {
+        let tau = 0.1001;
+        let mut config = JoinConfig::new(k, tau).with_early_stop(false);
+        config.max_segment_instances = 2; // absurdly small: forces fallbacks
+        let result = SimilarityJoin::new(config, 3).self_join(&strings);
+        let got: Vec<_> = result.pairs.iter().map(|p| (p.left, p.right)).collect();
+        let expected: Vec<_> = oracle_self_join(&strings, k, tau)
+            .iter()
+            .map(|p| (p.left, p.right))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,63 @@
+//! Randomised stress test: thousands of random collections through every
+//! pipeline, validated against the possible-world oracle.
+//!
+//! Expensive; run explicitly with
+//! `cargo test -p usj-core --test stress --release -- --ignored`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use usj_core::{oracle_self_join, JoinConfig, Pipeline, SimilarityJoin};
+use usj_model::{Position, UncertainString};
+
+fn random_string(rng: &mut StdRng, sigma: u8, max_len: usize) -> UncertainString {
+    let len = rng.gen_range(2..=max_len);
+    let positions = (0..len)
+        .map(|i| {
+            if rng.gen_bool(0.35) {
+                let a = rng.gen_range(0..sigma);
+                let mut b = rng.gen_range(0..sigma);
+                while b == a {
+                    b = rng.gen_range(0..sigma);
+                }
+                let p = rng.gen_range(0.05..0.95);
+                Position::uncertain(i, vec![(a, p), (b, 1.0 - p)]).unwrap()
+            } else {
+                Position::certain(rng.gen_range(0..sigma))
+            }
+        })
+        .collect();
+    UncertainString::new(positions)
+}
+
+#[test]
+#[ignore = "slow stress test; run with --ignored"]
+fn join_matches_oracle_across_thousands_of_cases() {
+    let mut failures = Vec::new();
+    for seed in 0u64..1500 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..8);
+        let strings: Vec<UncertainString> =
+            (0..n).map(|_| random_string(&mut rng, 3, 9)).collect();
+        let k = rng.gen_range(1..=2usize);
+        let tau = rng.gen_range(0.02..0.8) + 1e-6;
+        let q = rng.gen_range(2..=4usize);
+        let expected: Vec<(u32, u32)> = oracle_self_join(&strings, k, tau)
+            .iter()
+            .map(|p| (p.left, p.right))
+            .collect();
+        for pipeline in Pipeline::all() {
+            let config = JoinConfig::new(k, tau)
+                .with_q(q)
+                .with_pipeline(pipeline)
+                .with_early_stop(false);
+            let result = SimilarityJoin::new(config, 3).self_join(&strings);
+            let got: Vec<(u32, u32)> = result.pairs.iter().map(|p| (p.left, p.right)).collect();
+            if got != expected {
+                failures.push(format!(
+                    "seed {seed} pipeline {pipeline:?} k={k} tau={tau} q={q}: got {got:?} want {expected:?}"
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{} failures:\n{}", failures.len(), failures.join("\n"));
+}

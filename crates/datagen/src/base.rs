@@ -1,0 +1,118 @@
+//! Deterministic base-string generators.
+//!
+//! These play the role of the paper's real data sources. Only the
+//! statistics that drive filter behaviour matter: alphabet size, length
+//! distribution, and (roughly) per-letter frequencies.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use usj_model::{Alphabet, Symbol};
+
+/// English-letter frequencies (per mille, roughly) used to make dblp-like
+/// names look name-ish rather than uniform noise.
+const LETTER_WEIGHTS: [u32; 26] = [
+    82, 15, 28, 43, 127, 22, 20, 61, 70, 2, 8, 40, 24, 67, 75, 19, 1, 60, 63, 91, 28, 10, 24, 2,
+    20, 1,
+];
+
+/// Samples one dblp-like base string: lowercase letters plus spaces
+/// separating 2–3 name parts, length approximately normal in `[10, 35]`
+/// (the paper's reported distribution, mean ≈ 19).
+pub fn dblp_like_base(rng: &mut impl Rng, alphabet: &Alphabet) -> Vec<Symbol> {
+    debug_assert_eq!(alphabet.size(), 27, "use Alphabet::names()");
+    // Approximate a normal via the sum of three uniforms (Irwin–Hall).
+    let len = (10
+        + rng.gen_range(0..=9)
+        + rng.gen_range(0..=8)
+        + rng.gen_range(0..=8))
+    .min(35);
+    let space = alphabet.symbol(' ').expect("names alphabet has a space");
+    let dist = rand::distributions::WeightedIndex::new(LETTER_WEIGHTS).unwrap();
+    let mut out = Vec::with_capacity(len);
+    // Place 1–2 spaces at plausible word boundaries.
+    let first_space = rng.gen_range(3..8).min(len.saturating_sub(2));
+    let second_space = if len > 18 { Some(rng.gen_range(10..16)) } else { None };
+    for i in 0..len {
+        if i == first_space || Some(i) == second_space {
+            out.push(space);
+        } else {
+            out.push(dist.sample(rng) as Symbol);
+        }
+    }
+    out
+}
+
+/// Samples one protein-like base string: 22 amino-acid symbols with mild
+/// non-uniformity, length uniform in `[20, 45]` (paper: mean ≈ 32).
+pub fn protein_like_base(rng: &mut impl Rng, alphabet: &Alphabet) -> Vec<Symbol> {
+    debug_assert_eq!(alphabet.size(), 22, "use Alphabet::protein()");
+    let len = rng.gen_range(20..=45);
+    (0..len)
+        .map(|_| {
+            // Slight bias towards the first few residues, like real
+            // proteins favour L/A/G/S.
+            let r: f64 = rng.gen();
+            let idx = (r * r * alphabet.size() as f64) as usize;
+            idx.min(alphabet.size() - 1) as Symbol
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dblp_lengths_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let names = Alphabet::names();
+        let mut total = 0usize;
+        for _ in 0..500 {
+            let s = dblp_like_base(&mut rng, &names);
+            assert!((10..=35).contains(&s.len()), "len {}", s.len());
+            assert!(s.iter().all(|&c| (c as usize) < 27));
+            total += s.len();
+        }
+        let avg = total as f64 / 500.0;
+        assert!((15.0..26.0).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn protein_lengths_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let protein = Alphabet::protein();
+        for _ in 0..200 {
+            let s = protein_like_base(&mut rng, &protein);
+            assert!((20..=45).contains(&s.len()));
+            assert!(s.iter().all(|&c| (c as usize) < 22));
+        }
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let names = Alphabet::names();
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| dblp_like_base(&mut rng, &names)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| dblp_like_base(&mut rng, &names)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_contain_spaces() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let names = Alphabet::names();
+        let space = names.symbol(' ').unwrap();
+        let with_space = (0..100)
+            .filter(|_| dblp_like_base(&mut rng, &names).contains(&space))
+            .count();
+        assert!(with_space > 90);
+    }
+}

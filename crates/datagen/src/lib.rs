@@ -1,0 +1,32 @@
+//! Seeded synthetic dataset generators (paper §7 "Datasets").
+//!
+//! The paper derives its uncertain strings from two real sources — dblp
+//! author names (`|Σ| = 27`) and a concatenated mouse+human protein
+//! sequence (`|Σ| = 22`) — by the following recipe: for each base string
+//! `s`, collect a set `A(s)` of strings within edit distance 4 of `s`, and
+//! give each uncertain position a pdf built from the normalised letter
+//! frequencies at that position across `A(s)`. The fraction of uncertain
+//! positions is `θ` and the average number of alternatives per uncertain
+//! position is `γ = 5`.
+//!
+//! We do not ship the proprietary sources, so [`base`] synthesises base
+//! strings with the same length distributions and alphabets (dblp-like:
+//! approximately normal lengths in `[10, 35]`; protein-like: uniform in
+//! `[20, 45]`), and [`uncertain`] applies the paper's recipe with
+//! substitution-only neighbours (which keep positions aligned — exactly
+//! what the character-level model requires). See DESIGN.md §4 for the
+//! substitution table.
+//!
+//! Everything is deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod dataset;
+pub mod serialize;
+pub mod uncertain;
+
+pub use base::{dblp_like_base, protein_like_base};
+pub use dataset::{Dataset, DatasetKind, DatasetSpec};
+pub use serialize::DatasetJson;
+pub use uncertain::{make_uncertain, UncertaintySpec};

@@ -1,0 +1,104 @@
+//! JSON (de)serialisation of datasets.
+//!
+//! `usj-model` stays serde-free; this module mirrors its types into plain
+//! serde-friendly shapes so the experiment harness can cache generated
+//! datasets and write machine-readable results.
+
+use serde::{Deserialize, Serialize};
+
+use usj_model::{Alphabet, Position, UncertainString};
+
+use crate::dataset::Dataset;
+
+/// Serialisable mirror of a dataset: alphabet characters + per-position
+/// `(char, prob)` alternatives.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DatasetJson {
+    /// The alphabet as a string, in symbol order.
+    pub alphabet: String,
+    /// Each string as a list of positions, each a list of alternatives.
+    pub strings: Vec<Vec<Vec<(char, f64)>>>,
+}
+
+impl From<&Dataset> for DatasetJson {
+    fn from(ds: &Dataset) -> Self {
+        let alphabet: String = (0..ds.alphabet.size())
+            .map(|i| ds.alphabet.char_of(i as u8))
+            .collect();
+        let strings = ds
+            .strings
+            .iter()
+            .map(|s| {
+                s.positions()
+                    .iter()
+                    .map(|p| {
+                        p.alternatives()
+                            .map(|(sym, prob)| (ds.alphabet.char_of(sym), prob))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        DatasetJson { alphabet, strings }
+    }
+}
+
+impl DatasetJson {
+    /// Reconstructs the dataset (validates every distribution).
+    pub fn into_dataset(self) -> Result<Dataset, usj_model::ModelError> {
+        let alphabet = Alphabet::new(self.alphabet.chars());
+        let mut strings = Vec::with_capacity(self.strings.len());
+        for raw in self.strings {
+            let mut positions = Vec::with_capacity(raw.len());
+            for (i, alts) in raw.into_iter().enumerate() {
+                let mut mapped = Vec::with_capacity(alts.len());
+                for (c, p) in alts {
+                    mapped.push((alphabet.try_symbol(c)?, p));
+                }
+                positions.push(Position::uncertain(i, mapped)?);
+            }
+            strings.push(UncertainString::new(positions));
+        }
+        Ok(Dataset { alphabet, strings })
+    }
+
+    /// Serialises to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serialisation cannot fail")
+    }
+
+    /// Parses from a JSON string.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetKind, DatasetSpec};
+
+    #[test]
+    fn roundtrip() {
+        let ds = DatasetSpec::new(DatasetKind::Dblp, 25, 3).generate();
+        let json = DatasetJson::from(&ds).to_json();
+        let back = DatasetJson::from_json(&json).unwrap().into_dataset().unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn rejects_corrupted_distributions() {
+        let ds = DatasetSpec::new(DatasetKind::Protein, 3, 3).generate();
+        let mut mirror = DatasetJson::from(&ds);
+        // Corrupt one probability.
+        if let Some(alt) = mirror
+            .strings
+            .iter_mut()
+            .flat_map(|s| s.iter_mut())
+            .find(|p| p.len() > 1)
+        {
+            alt[0].1 = 5.0;
+        }
+        assert!(mirror.into_dataset().is_err());
+    }
+}

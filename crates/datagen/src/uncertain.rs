@@ -1,0 +1,188 @@
+//! Uncertainty injection (the paper's dataset recipe).
+//!
+//! For base string `s`: build `A(s) = {s} ∪ {substitution variants within
+//! edit distance 4}`, choose `⌈θ·|s|⌉` positions to become uncertain, and
+//! give each a pdf from the normalised letter frequencies at that position
+//! across `A(s)`, padded/truncated to `γ` alternatives.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use usj_model::{Alphabet, Position, Symbol, UncertainString};
+
+/// Parameters of the uncertainty recipe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UncertaintySpec {
+    /// Fraction of positions made uncertain (the paper's `θ`).
+    pub theta: f64,
+    /// Alternatives per uncertain position (the paper's `γ`, default 5).
+    pub gamma: usize,
+    /// Neighbourhood size: how many substitution variants enter `A(s)`.
+    pub variants: usize,
+    /// Maximum substitutions per variant (the paper uses edit distance 4).
+    pub max_edits: usize,
+}
+
+impl Default for UncertaintySpec {
+    fn default() -> Self {
+        UncertaintySpec { theta: 0.2, gamma: 5, variants: 12, max_edits: 4 }
+    }
+}
+
+impl UncertaintySpec {
+    /// Spec with a given `θ` and the paper's remaining defaults.
+    pub fn with_theta(theta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&theta), "theta must lie in [0, 1]");
+        UncertaintySpec { theta, ..Default::default() }
+    }
+}
+
+/// Applies the recipe to one base string.
+pub fn make_uncertain(
+    rng: &mut impl Rng,
+    base: &[Symbol],
+    alphabet: &Alphabet,
+    spec: &UncertaintySpec,
+) -> UncertainString {
+    let l = base.len();
+    if l == 0 {
+        return UncertainString::empty();
+    }
+    let num_uncertain = ((spec.theta * l as f64).ceil() as usize).min(l);
+    // Choose the uncertain positions.
+    let mut positions: Vec<usize> = (0..l).collect();
+    positions.shuffle(rng);
+    let mut uncertain_at = vec![false; l];
+    for &p in positions.iter().take(num_uncertain) {
+        uncertain_at[p] = true;
+    }
+    // Build A(s): the base string plus substitution variants.
+    let mut neighbourhood: Vec<Vec<Symbol>> = Vec::with_capacity(spec.variants + 1);
+    neighbourhood.push(base.to_vec());
+    for _ in 0..spec.variants {
+        let mut v = base.to_vec();
+        let edits = rng.gen_range(1..=spec.max_edits.max(1));
+        for _ in 0..edits {
+            let pos = rng.gen_range(0..l);
+            v[pos] = rng.gen_range(0..alphabet.size()) as Symbol;
+        }
+        neighbourhood.push(v);
+    }
+    // Per-position pdfs from neighbourhood letter frequencies.
+    let out: Vec<Position> = (0..l)
+        .map(|i| {
+            if !uncertain_at[i] {
+                return Position::certain(base[i]);
+            }
+            let mut counts = vec![0u32; alphabet.size()];
+            for v in &neighbourhood {
+                counts[v[i] as usize] += 1;
+            }
+            // Keep the top-γ letters by count; pad with random fresh
+            // letters (count 1) when fewer than γ are present.
+            let mut present: Vec<(Symbol, u32)> = counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(s, &c)| (s as Symbol, c))
+                .collect();
+            present.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            present.truncate(spec.gamma);
+            let mut tries = 0;
+            while present.len() < spec.gamma.min(alphabet.size()) && tries < 64 {
+                tries += 1;
+                let s = rng.gen_range(0..alphabet.size()) as Symbol;
+                if !present.iter().any(|&(p, _)| p == s) {
+                    present.push((s, 1));
+                }
+            }
+            let total: u32 = present.iter().map(|&(_, c)| c).sum();
+            let alts: Vec<(Symbol, f64)> = present
+                .into_iter()
+                .map(|(s, c)| (s, c as f64 / total as f64))
+                .collect();
+            Position::uncertain(i, alts).expect("generated distribution is valid")
+        })
+        .collect();
+    UncertainString::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base(rng: &mut StdRng, alphabet: &Alphabet, len: usize) -> Vec<Symbol> {
+        (0..len).map(|_| rng.gen_range(0..alphabet.size()) as Symbol).collect()
+    }
+
+    #[test]
+    fn theta_controls_uncertain_fraction() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let names = Alphabet::names();
+        for theta in [0.0, 0.1, 0.25, 0.5, 1.0] {
+            let b = base(&mut rng, &names, 20);
+            let u = make_uncertain(&mut rng, &b, &names, &UncertaintySpec::with_theta(theta));
+            let expected = (theta * 20.0).ceil() as usize;
+            // Positions whose pdf collapsed back to a single letter stay
+            // certain, so the count may fall slightly short.
+            assert!(u.num_uncertain() <= expected);
+            if theta > 0.0 {
+                assert!(u.num_uncertain() >= expected.saturating_sub(2), "theta={theta}");
+            }
+            assert!(u.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn gamma_bounds_alternatives() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let protein = Alphabet::protein();
+        let spec = UncertaintySpec { gamma: 5, ..Default::default() };
+        for _ in 0..50 {
+            let b = base(&mut rng, &protein, 30);
+            let u = make_uncertain(&mut rng, &b, &protein, &spec);
+            for pos in u.positions() {
+                assert!(pos.num_alternatives() <= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn base_letter_keeps_mass() {
+        // The original letter is always in A(s), so it retains positive
+        // probability at every uncertain position.
+        let mut rng = StdRng::seed_from_u64(9);
+        let names = Alphabet::names();
+        let b = base(&mut rng, &names, 25);
+        let u = make_uncertain(&mut rng, &b, &names, &UncertaintySpec::with_theta(0.4));
+        for (i, pos) in u.positions().iter().enumerate() {
+            assert!(pos.prob_of(b[i]) > 0.0, "position {i}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let names = Alphabet::names();
+        let make = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let b = base(&mut rng, &names, 18);
+            make_uncertain(&mut rng, &b, &names, &UncertaintySpec::default())
+        };
+        assert_eq!(make(5), make(5));
+    }
+
+    #[test]
+    fn empty_base() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = make_uncertain(&mut rng, &[], &Alphabet::dna(), &UncertaintySpec::default());
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must lie in [0, 1]")]
+    fn bad_theta_panics() {
+        UncertaintySpec::with_theta(1.5);
+    }
+}

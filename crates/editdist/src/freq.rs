@@ -1,0 +1,160 @@
+//! Frequency vectors and frequency distance (paper §2.2).
+//!
+//! The frequency vector `f(s)` counts occurrences of each alphabet symbol
+//! in `s`. The *frequency distance*
+//!
+//! ```text
+//! fd(r, s) = max(pD, nD)
+//! pD = Σ_{f(r)_i > f(s)_i} f(r)_i − f(s)_i
+//! nD = Σ_{f(r)_i < f(s)_i} f(s)_i − f(r)_i
+//! ```
+//!
+//! lower-bounds the edit distance (`fd(r,s) ≤ ed(r,s)`, Kahveci & Singh):
+//! every edit operation changes at most one positive and one negative
+//! surplus unit. Strings with `fd > k` can therefore be pruned.
+
+/// Dense per-symbol occurrence counts for a deterministic string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreqVector {
+    counts: Vec<u32>,
+}
+
+impl FreqVector {
+    /// Counts symbol occurrences of `s` over an alphabet of size `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a symbol id is `≥ sigma`.
+    pub fn new(s: &[u8], sigma: usize) -> Self {
+        let mut counts = vec![0u32; sigma];
+        for &c in s {
+            counts[c as usize] += 1;
+        }
+        FreqVector { counts }
+    }
+
+    /// Alphabet size this vector was built for.
+    pub fn sigma(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Occurrence count of symbol `c`.
+    #[inline]
+    pub fn count(&self, c: u8) -> u32 {
+        self.counts[c as usize]
+    }
+
+    /// Raw counts slice.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Total length of the underlying string.
+    pub fn len(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// `true` when built from the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Frequency distance `fd = max(pD, nD)` to another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors were built for different alphabet sizes.
+    pub fn distance(&self, other: &FreqVector) -> u32 {
+        assert_eq!(self.sigma(), other.sigma(), "alphabet size mismatch");
+        let (mut pd, mut nd) = (0u32, 0u32);
+        for (&a, &b) in self.counts.iter().zip(&other.counts) {
+            if a > b {
+                pd += a - b;
+            } else {
+                nd += b - a;
+            }
+        }
+        pd.max(nd)
+    }
+}
+
+/// Frequency distance between two deterministic strings over an alphabet of
+/// size `sigma`.
+///
+/// ```
+/// use usj_editdist::{frequency_distance, edit_distance};
+/// let (r, s): (&[u8], &[u8]) = (&[0, 1, 1, 2], &[1, 2, 2]);
+/// let fd = frequency_distance(r, s, 3);
+/// assert!(fd as usize <= edit_distance(r, s));
+/// ```
+pub fn frequency_distance(r: &[u8], s: &[u8], sigma: usize) -> u32 {
+    FreqVector::new(r, sigma).distance(&FreqVector::new(s, sigma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::edit_distance;
+
+    #[test]
+    fn counts_and_len() {
+        let v = FreqVector::new(&[0, 1, 1, 3], 4);
+        assert_eq!(v.counts(), &[1, 2, 0, 1]);
+        assert_eq!(v.count(1), 2);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert!(FreqVector::new(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn distance_examples() {
+        // r = aabb, s = abcc: pD = (2-1)_a + (2-1)_b = 2, nD = 2 → fd = 2
+        assert_eq!(frequency_distance(&[0, 0, 1, 1], &[0, 1, 2, 2], 3), 2);
+        // identical strings
+        assert_eq!(frequency_distance(&[0, 1], &[1, 0], 2), 0);
+        // disjoint alphabets
+        assert_eq!(frequency_distance(&[0, 0], &[1, 1], 2), 2);
+        // different lengths
+        assert_eq!(frequency_distance(&[0, 0, 0], &[0], 2), 2);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0u8, 2, 2, 1];
+        let b = [1u8, 1, 0];
+        assert_eq!(frequency_distance(&a, &b, 3), frequency_distance(&b, &a, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet size mismatch")]
+    fn mismatched_sigma_panics() {
+        FreqVector::new(&[0], 2).distance(&FreqVector::new(&[0], 3));
+    }
+
+    /// fd lower-bounds ed on all short ternary strings (exhaustive).
+    #[test]
+    fn lower_bounds_edit_distance_exhaustive() {
+        fn all(len: usize) -> Vec<Vec<u8>> {
+            (0..=len)
+                .flat_map(|l| {
+                    (0..(3usize.pow(l as u32))).map(move |mut x| {
+                        (0..l)
+                            .map(|_| {
+                                let d = (x % 3) as u8;
+                                x /= 3;
+                                d
+                            })
+                            .collect()
+                    })
+                })
+                .collect()
+        }
+        for a in all(3) {
+            for b in all(3) {
+                let fd = frequency_distance(&a, &b, 3) as usize;
+                let ed = edit_distance(&a, &b);
+                assert!(fd <= ed, "a={a:?} b={b:?} fd={fd} ed={ed}");
+            }
+        }
+    }
+}

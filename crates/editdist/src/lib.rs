@@ -1,0 +1,30 @@
+//! Deterministic edit-distance substrate.
+//!
+//! Everything in this crate operates on plain symbol slices (`&[u8]`); the
+//! uncertain-string algorithms build on these primitives by applying them to
+//! possible-world instances.
+//!
+//! Provided:
+//!
+//! * [`levenshtein::edit_distance`] — full `O(|r|·|s|)` DP;
+//! * [`levenshtein::edit_distance_bounded`] — banded (Ukkonen) DP in
+//!   `O(k·min(|r|,|s|))` that reports `None` when the distance exceeds `k`;
+//! * [`levenshtein::within_k`] — boolean form with length-difference
+//!   fast path;
+//! * [`prefix::PrefixDp`] — incremental row-at-a-time DP with the paper's
+//!   *prefix-pruning* early termination (§6.2), used by the naive verifier
+//!   and as the reference for trie active sets;
+//! * [`freq`] — frequency vectors and frequency distance (§2.2), a lower
+//!   bound on edit distance.
+
+#![warn(missing_docs)]
+
+pub mod freq;
+pub mod levenshtein;
+pub mod myers;
+pub mod prefix;
+
+pub use freq::{frequency_distance, FreqVector};
+pub use levenshtein::{edit_distance, edit_distance_bounded, within_k};
+pub use myers::{myers_distance, within_k_auto};
+pub use prefix::PrefixDp;

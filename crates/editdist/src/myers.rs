@@ -1,0 +1,184 @@
+//! Myers' bit-parallel edit distance (Myers 1999, multi-block form after
+//! Hyyrö 2003).
+//!
+//! Computes `ed(a, b)` in `O(⌈|a|/64⌉ · |b|)` word operations — roughly
+//! 64× fewer operations than the plain DP for strings under 64 symbols,
+//! which is every string in the paper's experiments. Used by the naive
+//! verifier and the eed baseline where whole (unbanded) distances over
+//! many world pairs dominate.
+//!
+//! The pattern is padded to a whole number of 64-bit blocks with rows
+//! that can never match; each padded row contributes exactly +1 to every
+//! column of the DP, so the true distance is the padded score minus the
+//! padding.
+
+use crate::levenshtein::edit_distance;
+
+const WORD: usize = 64;
+const HIGH: u64 = 1 << (WORD - 1);
+
+/// Bit-parallel `ed(a, b)`.
+///
+/// Symbols may be any `u8` values. Falls back to the plain DP for the
+/// empty pattern.
+///
+/// ```
+/// use usj_editdist::myers_distance;
+/// assert_eq!(myers_distance(b"kitten", b"sitting"), 3);
+/// ```
+pub fn myers_distance(a: &[u8], b: &[u8]) -> usize {
+    let m = a.len();
+    if m == 0 || b.is_empty() {
+        return m.max(b.len());
+    }
+    let blocks = m.div_ceil(WORD);
+    // Peq[c][j]: bitmask of pattern positions in block j equal to c.
+    let mut peq = vec![[0u64; 256]; blocks];
+    for (i, &c) in a.iter().enumerate() {
+        peq[i / WORD][c as usize] |= 1 << (i % WORD);
+    }
+    // The score is read at row m: bit `last_bit` of the last block's
+    // horizontal-delta vectors (before their shift).
+    let last_bit = 1u64 << ((m - 1) % WORD);
+    let mut pv = vec![!0u64; blocks];
+    let mut mv = vec![0u64; blocks];
+    let mut score = m as i64;
+
+    for &c in b {
+        // hin: horizontal delta entering the current block from below
+        // (the row-0 boundary contributes +1 — insertions only).
+        let mut hin: i64 = 1;
+        for j in 0..blocks {
+            let mut eq = peq[j][c as usize];
+            let pv_j = pv[j];
+            let mv_j = mv[j];
+            let xv = eq | mv_j;
+            if hin < 0 {
+                eq |= 1;
+            }
+            let xh = (((eq & pv_j).wrapping_add(pv_j)) ^ pv_j) | eq;
+            let mut ph = mv_j | !(xh | pv_j);
+            let mut mh = pv_j & xh;
+            if j == blocks - 1 {
+                // Horizontal delta at the pattern's true last row.
+                if ph & last_bit != 0 {
+                    score += 1;
+                } else if mh & last_bit != 0 {
+                    score -= 1;
+                }
+            }
+            let mut hout: i64 = 0;
+            if ph & HIGH != 0 {
+                hout += 1;
+            }
+            if mh & HIGH != 0 {
+                hout -= 1;
+            }
+            ph <<= 1;
+            mh <<= 1;
+            match hin.cmp(&0) {
+                std::cmp::Ordering::Less => mh |= 1,
+                std::cmp::Ordering::Greater => ph |= 1,
+                std::cmp::Ordering::Equal => {}
+            }
+            pv[j] = mh | !(xv | ph);
+            mv[j] = ph & xv;
+            hin = hout;
+        }
+    }
+    score as usize
+}
+
+/// `true` iff `ed(a, b) ≤ k`, choosing between the banded DP (small k)
+/// and Myers (large k relative to the strings).
+pub fn within_k_auto(a: &[u8], b: &[u8], k: usize) -> bool {
+    if a.len().abs_diff(b.len()) > k {
+        return false;
+    }
+    // Banded DP does O((2k+1)·min) work; Myers does O(⌈m/64⌉·n). Prefer
+    // Myers once the band covers most of the matrix.
+    if (2 * k + 1) * 8 >= a.len().min(b.len()) {
+        myers_distance(a, b) <= k
+    } else {
+        crate::levenshtein::edit_distance_bounded(a, b, k).is_some()
+    }
+}
+
+/// Reference check helper used by tests (kept here so the doc example
+/// can call it too).
+#[doc(hidden)]
+pub fn agrees_with_dp(a: &[u8], b: &[u8]) -> bool {
+    myers_distance(a, b) == edit_distance(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_pairs() {
+        assert_eq!(myers_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(myers_distance(b"flaw", b"lawn"), 2);
+        assert_eq!(myers_distance(b"intention", b"execution"), 5);
+        assert_eq!(myers_distance(b"", b""), 0);
+        assert_eq!(myers_distance(b"abc", b""), 3);
+        assert_eq!(myers_distance(b"", b"abc"), 3);
+        assert_eq!(myers_distance(b"same", b"same"), 0);
+    }
+
+    #[test]
+    fn exhaustive_small_binary() {
+        let strings: Vec<Vec<u8>> = (0..=5usize)
+            .flat_map(|len| {
+                (0..(1usize << len)).map(move |bits| {
+                    (0..len).map(|i| ((bits >> i) & 1) as u8).collect()
+                })
+            })
+            .collect();
+        for a in &strings {
+            for b in &strings {
+                assert!(agrees_with_dp(a, b), "a={a:?} b={b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_block_patterns() {
+        // Patterns spanning 2–3 blocks (65–160 symbols).
+        let a: Vec<u8> = (0..130).map(|i| (i % 7) as u8).collect();
+        let mut b = a.clone();
+        b[5] = 99;
+        b.remove(70);
+        b.insert(100, 42);
+        assert_eq!(myers_distance(&a, &b), edit_distance(&a, &b));
+        // Exactly 64 and 65 to hit the block boundary.
+        for m in [63usize, 64, 65, 128, 129] {
+            let a: Vec<u8> = (0..m).map(|i| (i % 5) as u8).collect();
+            let b: Vec<u8> = (0..m + 3).map(|i| ((i + 1) % 5) as u8).collect();
+            assert_eq!(myers_distance(&a, &b), edit_distance(&a, &b), "m={m}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_lengths() {
+        let a: Vec<u8> = vec![1; 100];
+        let b: Vec<u8> = vec![1; 10];
+        assert_eq!(myers_distance(&a, &b), 90);
+        assert_eq!(myers_distance(&b, &a), 90);
+    }
+
+    #[test]
+    fn within_k_auto_agrees() {
+        let pairs: &[(&[u8], &[u8])] = &[
+            (b"kitten", b"sitting"),
+            (b"abcdefghabcdefgh", b"abcdefghabcdefgi"),
+            (b"aaaa", b"bbbb"),
+        ];
+        for &(a, b) in pairs {
+            let d = edit_distance(a, b);
+            for k in 0..=d + 2 {
+                assert_eq!(within_k_auto(a, b, k), d <= k, "a={a:?} k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the deterministic edit-distance substrate.
+
+use proptest::prelude::*;
+use usj_editdist::{
+    edit_distance, edit_distance_bounded, frequency_distance, myers_distance, within_k,
+    within_k_auto, PrefixDp,
+};
+
+fn arb_str(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..4, 0..=max_len)
+}
+
+proptest! {
+    #[test]
+    fn metric_properties(a in arb_str(12), b in arb_str(12), c in arb_str(12)) {
+        let ab = edit_distance(&a, &b);
+        let ba = edit_distance(&b, &a);
+        prop_assert_eq!(ab, ba); // symmetry
+        prop_assert_eq!(edit_distance(&a, &a), 0); // identity
+        let ac = edit_distance(&a, &c);
+        let cb = edit_distance(&c, &b);
+        prop_assert!(ab <= ac + cb, "triangle inequality violated"); // triangle
+    }
+
+    #[test]
+    fn length_difference_lower_bound(a in arb_str(12), b in arb_str(12)) {
+        prop_assert!(edit_distance(&a, &b) >= a.len().abs_diff(b.len()));
+        prop_assert!(edit_distance(&a, &b) <= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn bounded_agrees_with_full(a in arb_str(12), b in arb_str(12), k in 0usize..8) {
+        let d = edit_distance(&a, &b);
+        prop_assert_eq!(edit_distance_bounded(&a, &b, k), (d <= k).then_some(d));
+        prop_assert_eq!(within_k(&a, &b, k), d <= k);
+    }
+
+    #[test]
+    fn prefix_dp_agrees_with_full(a in arb_str(10), b in arb_str(10), k in 0usize..6) {
+        let d = edit_distance(&a, &b);
+        prop_assert_eq!(PrefixDp::run(&b, &a, k), (d <= k).then_some(d));
+    }
+
+    #[test]
+    fn myers_equals_dp(a in prop::collection::vec(0u8..5, 0..150), b in prop::collection::vec(0u8..5, 0..150)) {
+        prop_assert_eq!(myers_distance(&a, &b), edit_distance(&a, &b));
+    }
+
+    #[test]
+    fn within_k_auto_equals_dp(a in arb_str(20), b in arb_str(20), k in 0usize..12) {
+        prop_assert_eq!(within_k_auto(&a, &b, k), edit_distance(&a, &b) <= k);
+    }
+
+    #[test]
+    fn frequency_distance_lower_bounds(a in arb_str(12), b in arb_str(12)) {
+        let fd = frequency_distance(&a, &b, 4) as usize;
+        prop_assert!(fd <= edit_distance(&a, &b));
+    }
+
+    #[test]
+    fn single_substitution_distance_one(a in arb_str(10), idx in 0usize..10, sym in 0u8..4) {
+        if idx < a.len() && a[idx] != sym {
+            let mut b = a.clone();
+            b[idx] = sym;
+            prop_assert_eq!(edit_distance(&a, &b), 1);
+        }
+    }
+
+    #[test]
+    fn single_deletion_distance_one(a in arb_str(10), idx in 0usize..10) {
+        if idx < a.len() {
+            let mut b = a.clone();
+            b.remove(idx);
+            prop_assert_eq!(edit_distance(&a, &b), 1);
+        }
+    }
+}

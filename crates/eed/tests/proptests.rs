@@ -1,0 +1,76 @@
+//! Property tests for the expected-edit-distance baseline.
+
+use proptest::prelude::*;
+use usj_eed::{eed_within, expected_edit_distance, EedJoin};
+use usj_model::{Position, UncertainString};
+
+fn arb_position(sigma: u8) -> impl Strategy<Value = Position> {
+    prop::collection::vec((0..sigma, 1u32..=100), 1..=2).prop_map(|raw| {
+        let mut seen = std::collections::BTreeMap::new();
+        for (s, w) in raw {
+            *seen.entry(s).or_insert(0u32) += w;
+        }
+        let total: u32 = seen.values().sum();
+        let alts: Vec<(u8, f64)> = seen
+            .into_iter()
+            .map(|(s, w)| (s, w as f64 / total as f64))
+            .collect();
+        Position::uncertain(0, alts).unwrap()
+    })
+}
+
+fn arb_string(len: std::ops::Range<usize>) -> impl Strategy<Value = UncertainString> {
+    prop::collection::vec(arb_position(3), len).prop_map(UncertainString::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// eed is bounded by the length gap below and max length above.
+    #[test]
+    fn eed_bounds(r in arb_string(0..7), s in arb_string(0..7)) {
+        let eed = expected_edit_distance(&r, &s, 1 << 20).unwrap();
+        prop_assert!(eed >= r.len().abs_diff(s.len()) as f64 - 1e-9);
+        prop_assert!(eed <= r.len().max(s.len()) as f64 + 1e-9);
+    }
+
+    /// eed is symmetric.
+    #[test]
+    fn eed_symmetric(r in arb_string(0..6), s in arb_string(0..6)) {
+        let a = expected_edit_distance(&r, &s, 1 << 20).unwrap();
+        let b = expected_edit_distance(&s, &r, 1 << 20).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// Early-terminating decision equals the exact comparison.
+    #[test]
+    fn eed_within_agrees(r in arb_string(1..6), s in arb_string(1..6), d_tenths in 0u32..40) {
+        let d = d_tenths as f64 / 10.0 + 0.05; // avoid knife edges
+        let exact = expected_edit_distance(&r, &s, 1 << 20).unwrap();
+        prop_assume!((exact - d).abs() > 1e-6);
+        prop_assert_eq!(eed_within(&r, &s, d), exact <= d);
+    }
+
+    /// Markov-style relation between the two semantics: for deterministic
+    /// strings the eed join with threshold k and the (k,τ) join agree for
+    /// any τ < 1 (both reduce to ed ≤ k).
+    #[test]
+    fn deterministic_strings_reduce_to_plain_ed(
+        worlds in prop::collection::vec(prop::collection::vec(0u8..3, 2..6), 2..5),
+        k in 0usize..3,
+    ) {
+        let strings: Vec<UncertainString> =
+            worlds.iter().map(|w| UncertainString::from_symbols(w)).collect();
+        let (pairs, _) = EedJoin::new(k as f64 + 0.5).self_join(&strings);
+        for i in 0..strings.len() {
+            for j in (i + 1)..strings.len() {
+                let d = usj_editdist::edit_distance(
+                    &worlds[i],
+                    &worlds[j],
+                );
+                let listed = pairs.iter().any(|p| (p.left, p.right) == (i as u32, j as u32));
+                prop_assert_eq!(listed, d as f64 <= k as f64 + 0.5, "i={} j={} d={}", i, j, d);
+            }
+        }
+    }
+}

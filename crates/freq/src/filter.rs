@@ -1,0 +1,169 @@
+//! The combined frequency-distance filter (paper §5).
+
+use usj_model::UncertainString;
+
+use crate::expectation::expected_distances;
+use crate::profile::FreqProfile;
+use crate::{lemma6_lower_bound, theorem3_upper_bound};
+
+/// Outcome of the frequency-distance filter on a candidate pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqOutcome {
+    /// Lemma 6 lower bound on `fd(R, S)` over all worlds.
+    pub fd_lower: u32,
+    /// `E[pD]`, the expected positive frequency distance.
+    pub e_pd: f64,
+    /// `E[nD]`, the expected negative frequency distance.
+    pub e_nd: f64,
+    /// Theorem 3 upper bound on `Pr(fd ≤ k) ≥ Pr(ed ≤ k)`.
+    pub upper_bound: f64,
+    /// `true` when the pair survives (i.e. is still a candidate).
+    pub candidate: bool,
+}
+
+/// Frequency-distance filter: prunes when Lemma 6 proves `fd > k` in every
+/// world, or when Theorem 3's Chebyshev bound drops to `≤ τ`.
+#[derive(Debug, Clone)]
+pub struct FreqFilter {
+    k: usize,
+    tau: f64,
+    sigma: usize,
+}
+
+impl FreqFilter {
+    /// Creates the filter for edit threshold `k`, probability threshold
+    /// `τ`, over an alphabet of `sigma` symbols.
+    pub fn new(k: usize, tau: f64, sigma: usize) -> Self {
+        assert!((0.0..=1.0).contains(&tau), "tau must lie in [0, 1]");
+        assert!(sigma >= 1, "alphabet must be non-empty");
+        FreqFilter { k, tau, sigma }
+    }
+
+    /// Edit threshold `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Probability threshold `τ`.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Precomputes the profile for one string (cache this per string; the
+    /// join driver stores profiles alongside its index).
+    pub fn profile(&self, s: &UncertainString) -> FreqProfile {
+        FreqProfile::new(s, self.sigma)
+    }
+
+    /// Runs the filter on a pair of precomputed profiles.
+    pub fn evaluate(&self, r: &FreqProfile, s: &FreqProfile) -> FreqOutcome {
+        let fd_lower = lemma6_lower_bound(r, s);
+        if fd_lower as usize > self.k {
+            return FreqOutcome {
+                fd_lower,
+                e_pd: f64::NAN,
+                e_nd: f64::NAN,
+                upper_bound: 0.0,
+                candidate: false,
+            };
+        }
+        let (e_pd, e_nd) = expected_distances(r, s);
+        let upper_bound = theorem3_upper_bound(r.len(), s.len(), e_pd, e_nd, self.k);
+        FreqOutcome {
+            fd_lower,
+            e_pd,
+            e_nd,
+            upper_bound,
+            candidate: upper_bound > self.tau,
+        }
+    }
+
+    /// Convenience: profile + evaluate in one call (tests, one-off pairs).
+    pub fn evaluate_strings(&self, r: &UncertainString, s: &UncertainString) -> FreqOutcome {
+        self.evaluate(&self.profile(r), &self.profile(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_model::Alphabet;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    #[test]
+    fn prunes_by_lemma6() {
+        let filter = FreqFilter::new(1, 0.1, 4);
+        // Every world of r has ≥ 4 As; s has none: fd ≥ 4 > 1.
+        let out = filter.evaluate_strings(&dna("AAAA"), &dna("CGTC"));
+        assert!(!out.candidate);
+        assert!(out.fd_lower > 1);
+        assert_eq!(out.upper_bound, 0.0);
+    }
+
+    #[test]
+    fn keeps_similar_pairs() {
+        let filter = FreqFilter::new(2, 0.3, 4);
+        let out = filter.evaluate_strings(
+            &dna("ACGT{(A,0.6),(T,0.4)}C"),
+            &dna("ACG{(T,0.8),(G,0.2)}AC"),
+        );
+        assert!(out.candidate, "{out:?}");
+    }
+
+    #[test]
+    fn chebyshev_prunes_distant_uncertain_pairs() {
+        let filter = FreqFilter::new(1, 0.5, 4);
+        // Expected distance far above k = 1 with little variance.
+        let out = filter.evaluate_strings(
+            &dna("AAAAAAAA{(A,0.9),(C,0.1)}A"),
+            &dna("TTTTTTTT{(T,0.9),(G,0.1)}T"),
+        );
+        assert!(!out.candidate, "{out:?}");
+    }
+
+    /// Soundness: the filter never prunes a pair whose exact
+    /// `Pr(ed ≤ k)` exceeds τ (checked by joint-world enumeration).
+    #[test]
+    fn sound_on_small_cases() {
+        let cases = [
+            ("A{(A,0.5),(C,0.5)}GT", "AC{(G,0.7),(T,0.3)}T"),
+            ("ACGT", "ACGT"),
+            ("{(A,0.2),(T,0.8)}CGT", "TC{(G,0.5),(C,0.5)}T"),
+            ("AATT", "TTAA"),
+        ];
+        for k in 0..3usize {
+            for tau_pct in [1, 10, 30, 70] {
+                let tau = tau_pct as f64 / 100.0;
+                let filter = FreqFilter::new(k, tau, 4);
+                for (rt, st) in &cases {
+                    let (r, s) = (dna(rt), dna(st));
+                    let mut exact = 0.0;
+                    for rw in r.worlds() {
+                        for sw in s.worlds() {
+                            if usj_editdist::within_k(&rw.instance, &sw.instance, k) {
+                                exact += rw.prob * sw.prob;
+                            }
+                        }
+                    }
+                    let out = filter.evaluate_strings(&r, &s);
+                    if exact > tau + 1e-9 {
+                        assert!(out.candidate, "false negative k={k} tau={tau} {rt} {st}: {out:?} exact={exact}");
+                    }
+                    // And the bound itself dominates the exact probability.
+                    assert!(out.upper_bound >= exact - 1e-9 || !out.candidate && exact <= tau);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_lengths_use_length_terms() {
+        let filter = FreqFilter::new(1, 0.5, 4);
+        // |R| − |S| = 4 → fd ≥ ... pruned by Lemma 6 (A count diff).
+        let out = filter.evaluate_strings(&dna("AAAAAAAA"), &dna("AAAA"));
+        assert!(!out.candidate);
+    }
+}

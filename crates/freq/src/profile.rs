@@ -1,0 +1,306 @@
+//! Per-character occurrence-count distributions (paper §5).
+//!
+//! For character `c_i` of an uncertain string `S`:
+//!
+//! * `f^c_i` — occurrences with probability 1 (certain positions);
+//! * `f^t_i` — certain plus uncertain positions (maximum possible count);
+//! * `f^u_i = f^t_i − f^c_i` — number of uncertain positions mentioning
+//!   `c_i`.
+//!
+//! The count `f_{S,i}` is `f^c_i` plus a Poisson-binomial variable over
+//! the `f^u_i` uncertain positions. [`CharProfile`] stores its pmf (the
+//! paper's `S1`) and the scaled summations `S2`, `S3`, `S4`:
+//!
+//! ```text
+//! S2[x] = Σ_{y ≥ x} S1[y]                 (upper tail)
+//! S3[x] = Σ_{y ≥ x} (y − x + 1)·S1[y]     (scaled upper tail)
+//! S4[x] = Σ_{y ≤ x} (x − y)·S1[y]         (scaled lower tail)
+//! ```
+//!
+//! All four arrays take `O(f^u_i)` space and are computed in `O((f^u_i)²)`
+//! time (the pmf DP dominates), exactly the preprocessing the paper
+//! describes.
+
+use usj_model::UncertainString;
+
+/// Occurrence-count distribution of one character in one uncertain string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharProfile {
+    certain: u32,
+    /// `S1[x] = Pr(f = certain + x)` for `x = 0..=u`.
+    s1: Vec<f64>,
+    s2: Vec<f64>,
+    s3: Vec<f64>,
+    s4: Vec<f64>,
+    /// `E[f] − certain`, cached.
+    mean_uncertain: f64,
+}
+
+impl CharProfile {
+    /// Builds the profile from the certain count and the occurrence
+    /// probabilities at uncertain positions.
+    pub fn new(certain: u32, uncertain_probs: &[f64]) -> Self {
+        let u = uncertain_probs.len();
+        // Poisson-binomial pmf over the uncertain positions.
+        let mut s1 = vec![0.0; u + 1];
+        s1[0] = 1.0;
+        for (i, &p) in uncertain_probs.iter().enumerate() {
+            debug_assert!((0.0..=1.0).contains(&p) && p > 0.0 && p < 1.0 + 1e-12);
+            for x in (0..=i + 1).rev() {
+                let stay = if x <= i { s1[x] * (1.0 - p) } else { 0.0 };
+                let step = if x > 0 { s1[x - 1] * p } else { 0.0 };
+                s1[x] = stay + step;
+            }
+        }
+        let mut s2 = vec![0.0; u + 1];
+        let mut s3 = vec![0.0; u + 1];
+        let mut s4 = vec![0.0; u + 1];
+        // Suffix recurrences: S2[x] = S2[x+1] + S1[x],
+        // S3[x] = S3[x+1] + S2[x] (each +1 shift adds one more copy of the
+        // tail mass).
+        for x in (0..=u).rev() {
+            let (next2, next3) = if x < u { (s2[x + 1], s3[x + 1]) } else { (0.0, 0.0) };
+            s2[x] = next2 + s1[x];
+            s3[x] = next3 + s2[x];
+        }
+        // Prefix recurrence: S4[x] = S4[x−1] + Pr(f ≤ certain + x − 1).
+        let mut below = 0.0; // Σ_{y ≤ x−1} S1[y]
+        for x in 1..=u {
+            below += s1[x - 1];
+            s4[x] = s4[x - 1] + below;
+        }
+        let mean_uncertain: f64 = uncertain_probs.iter().sum();
+        CharProfile { certain, s1, s2, s3, s4, mean_uncertain }
+    }
+
+    /// `f^c`: minimum possible occurrence count.
+    #[inline]
+    pub fn certain(&self) -> u32 {
+        self.certain
+    }
+
+    /// `f^t`: maximum possible occurrence count.
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.certain + self.uncertain()
+    }
+
+    /// `f^u`: number of uncertain positions mentioning the character.
+    #[inline]
+    pub fn uncertain(&self) -> u32 {
+        (self.s1.len() - 1) as u32
+    }
+
+    /// `Pr(f = count)`.
+    pub fn pmf(&self, count: u32) -> f64 {
+        if count < self.certain {
+            return 0.0;
+        }
+        let x = (count - self.certain) as usize;
+        self.s1.get(x).copied().unwrap_or(0.0)
+    }
+
+    /// The paper's `S1` array: `S1[x] = Pr(f = f^c + x)`.
+    pub fn s1(&self) -> &[f64] {
+        &self.s1
+    }
+
+    /// The paper's `S2` array: `S2[x] = Pr(f ≥ f^c + x)`.
+    pub fn s2(&self) -> &[f64] {
+        &self.s2
+    }
+
+    /// The paper's `S3` array: `S3[x] = Σ_{y≥x} (y−x+1)·S1[y]`.
+    pub fn s3(&self) -> &[f64] {
+        &self.s3
+    }
+
+    /// The paper's `S4` array: `S4[x] = Σ_{y≤x} (x−y)·S1[y]`.
+    pub fn s4(&self) -> &[f64] {
+        &self.s4
+    }
+
+    /// `E[f]`.
+    pub fn mean(&self) -> f64 {
+        self.certain as f64 + self.mean_uncertain
+    }
+
+    /// `E[(f − x)^+]` in `O(1)` using the precomputed arrays: the
+    /// expectation of how far the count exceeds `x`.
+    pub fn expected_excess_over(&self, x: i64) -> f64 {
+        let c = self.certain as i64;
+        if x < c {
+            // f ≥ certain > x always: E[f − x] = E[f] − x.
+            return self.mean() - x as f64;
+        }
+        let d = (x - c) as usize;
+        let u = self.s1.len() - 1;
+        if d >= u {
+            // f ≤ certain + u ≤ x: excess impossible (d = u ⇒ only y > u
+            // would count, which has no mass).
+            return 0.0;
+        }
+        // Σ_{y ≥ d+1} (y − d)·S1[y] = S3[d+1].
+        self.s3[d + 1]
+    }
+}
+
+/// Frequency profiles of every alphabet character for one uncertain string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqProfile {
+    per_char: Vec<CharProfile>,
+    len: usize,
+}
+
+impl FreqProfile {
+    /// Builds profiles for all `sigma` characters of `s`.
+    ///
+    /// Total cost `O(σ + |s| + Σ_i (f^u_i)²)`; with uncertainty fraction θ
+    /// this is the `O(σ·θ·|S|)`-ish preprocessing of the paper (§5).
+    pub fn new(s: &UncertainString, sigma: usize) -> Self {
+        let mut certain = vec![0u32; sigma];
+        let mut uncertain: Vec<Vec<f64>> = vec![Vec::new(); sigma];
+        for pos in s.positions() {
+            for (sym, p) in pos.alternatives() {
+                let i = sym as usize;
+                assert!(i < sigma, "symbol {sym} out of range for sigma={sigma}");
+                if p >= 1.0 - 1e-12 {
+                    certain[i] += 1;
+                } else {
+                    uncertain[i].push(p);
+                }
+            }
+        }
+        let per_char = certain
+            .into_iter()
+            .zip(uncertain)
+            .map(|(c, u)| CharProfile::new(c, &u))
+            .collect();
+        FreqProfile { per_char, len: s.len() }
+    }
+
+    /// Alphabet size.
+    pub fn sigma(&self) -> usize {
+        self.per_char.len()
+    }
+
+    /// String length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Profile of character `i`.
+    pub fn char_profile(&self, i: usize) -> &CharProfile {
+        &self.per_char[i]
+    }
+
+    /// Iterates all per-character profiles.
+    pub fn char_profiles(&self) -> impl Iterator<Item = &CharProfile> {
+        self.per_char.iter()
+    }
+
+    /// Total number of uncertain (character, position) entries — the
+    /// quantity the paper's `O(σθ(|R|+|S|))` filter cost refers to.
+    pub fn total_uncertain(&self) -> u32 {
+        self.per_char.iter().map(|c| c.uncertain()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_model::Alphabet;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    #[test]
+    fn deterministic_counts() {
+        let p = FreqProfile::new(&dna("AACGT"), 4);
+        assert_eq!(p.char_profile(0).certain(), 2); // A
+        assert_eq!(p.char_profile(0).total(), 2);
+        assert_eq!(p.char_profile(1).certain(), 1); // C
+        assert_eq!(p.char_profile(3).total(), 1); // T
+        assert_eq!(p.total_uncertain(), 0);
+        assert_eq!(p.char_profile(0).mean(), 2.0);
+        assert_eq!(p.char_profile(0).pmf(2), 1.0);
+        assert_eq!(p.char_profile(0).pmf(1), 0.0);
+    }
+
+    #[test]
+    fn uncertain_counts_and_pmf() {
+        // A appears surely at position 0, with prob 0.5 at position 1.
+        let p = FreqProfile::new(&dna("A{(A,0.5),(C,0.5)}G"), 4);
+        let a = p.char_profile(0);
+        assert_eq!(a.certain(), 1);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.uncertain(), 1);
+        assert!((a.pmf(1) - 0.5).abs() < 1e-12);
+        assert!((a.pmf(2) - 0.5).abs() < 1e-12);
+        assert_eq!(a.pmf(0), 0.0);
+        assert!((a.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_matches_world_enumeration() {
+        let s = dna("{(A,0.3),(C,0.7)}{(A,0.6),(G,0.4)}A{(C,0.2),(T,0.8)}");
+        let p = FreqProfile::new(&s, 4);
+        for sym in 0..4u8 {
+            // Distribution of #occurrences of sym across worlds.
+            let mut hist = std::collections::HashMap::new();
+            for w in s.worlds() {
+                let count = w.instance.iter().filter(|&&c| c == sym).count() as u32;
+                *hist.entry(count).or_insert(0.0) += w.prob;
+            }
+            for count in 0..=4u32 {
+                let expect = hist.get(&count).copied().unwrap_or(0.0);
+                let got = p.char_profile(sym as usize).pmf(count);
+                assert!((got - expect).abs() < 1e-9, "sym={sym} count={count}: {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_arrays_match_definitions() {
+        let profile = CharProfile::new(2, &[0.3, 0.6, 0.9]);
+        let u = 3usize;
+        let s1 = profile.s1();
+        for x in 0..=u {
+            let s2: f64 = (x..=u).map(|y| s1[y]).sum();
+            let s3: f64 = (x..=u).map(|y| (y - x + 1) as f64 * s1[y]).sum();
+            let s4: f64 = (0..=x).map(|y| (x - y) as f64 * s1[y]).sum();
+            assert!((profile.s2()[x] - s2).abs() < 1e-12, "S2[{x}]");
+            assert!((profile.s3()[x] - s3).abs() < 1e-12, "S3[{x}]");
+            assert!((profile.s4()[x] - s4).abs() < 1e-12, "S4[{x}]");
+        }
+        // S2[0] is the full mass.
+        assert!((profile.s2()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_excess_matches_brute_force() {
+        let profile = CharProfile::new(1, &[0.25, 0.5, 0.75]);
+        for x in -2i64..8 {
+            let brute: f64 = (0..=3u32)
+                .map(|up| {
+                    let count = (1 + up) as i64;
+                    profile.pmf(1 + up) * ((count - x).max(0)) as f64
+                })
+                .sum();
+            let got = profile.expected_excess_over(x);
+            assert!((got - brute).abs() < 1e-12, "x={x}: {got} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn mean_is_sum_of_probs() {
+        let profile = CharProfile::new(3, &[0.5, 0.5]);
+        assert!((profile.mean() - 4.0).abs() < 1e-12);
+    }
+}

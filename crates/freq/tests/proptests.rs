@@ -1,0 +1,131 @@
+//! Property tests for frequency-distance filtering.
+
+use proptest::prelude::*;
+use usj_freq::{
+    expected_distances, expected_nd_char, expected_nd_naive, lemma6_lower_bound,
+    theorem3_upper_bound, CharProfile, FreqFilter, FreqProfile,
+};
+use usj_model::{Position, UncertainString};
+
+fn arb_position(sigma: u8, max_alts: usize) -> impl Strategy<Value = Position> {
+    prop::collection::vec((0..sigma, 1u32..=100), 1..=max_alts).prop_map(|raw| {
+        let mut seen = std::collections::BTreeMap::new();
+        for (s, w) in raw {
+            *seen.entry(s).or_insert(0u32) += w;
+        }
+        let total: u32 = seen.values().sum();
+        let alts: Vec<(u8, f64)> = seen
+            .into_iter()
+            .map(|(s, w)| (s, w as f64 / total as f64))
+            .collect();
+        Position::uncertain(0, alts).unwrap()
+    })
+}
+
+fn arb_string(sigma: u8, len: std::ops::Range<usize>) -> impl Strategy<Value = UncertainString> {
+    prop::collection::vec(arb_position(sigma, 2), len).prop_map(UncertainString::new)
+}
+
+fn arb_char_profile() -> impl Strategy<Value = CharProfile> {
+    (0u32..4, prop::collection::vec(1u32..100, 0..5)).prop_map(|(certain, weights)| {
+        let probs: Vec<f64> = weights.iter().map(|&w| w as f64 / 101.0).collect();
+        CharProfile::new(certain, &probs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Lemma 6 lower-bounds the frequency distance of every world pair.
+    #[test]
+    fn lemma6_is_a_world_lower_bound(
+        r in arb_string(3, 2..6),
+        s in arb_string(3, 2..6),
+    ) {
+        let bound = lemma6_lower_bound(&FreqProfile::new(&r, 3), &FreqProfile::new(&s, 3));
+        for rw in r.worlds() {
+            for sw in s.worlds() {
+                let fd = usj_editdist::frequency_distance(&rw.instance, &sw.instance, 3);
+                prop_assert!(bound <= fd, "bound={bound} fd={fd}");
+            }
+        }
+    }
+
+    /// E[pD]/E[nD] agree with joint-world enumeration.
+    #[test]
+    fn expectations_match_worlds(
+        r in arb_string(3, 2..6),
+        s in arb_string(3, 2..6),
+    ) {
+        let (e_pd, e_nd) = expected_distances(&FreqProfile::new(&r, 3), &FreqProfile::new(&s, 3));
+        let (mut b_pd, mut b_nd) = (0.0, 0.0);
+        for rw in r.worlds() {
+            for sw in s.worlds() {
+                let fr = usj_editdist::FreqVector::new(&rw.instance, 3);
+                let fs = usj_editdist::FreqVector::new(&sw.instance, 3);
+                let p = rw.prob * sw.prob;
+                for i in 0..3u8 {
+                    let d = fr.count(i) as f64 - fs.count(i) as f64;
+                    if d > 0.0 { b_pd += p * d } else { b_nd -= p * d }
+                }
+            }
+        }
+        prop_assert!((e_pd - b_pd).abs() < 1e-9, "E[pD] {e_pd} vs {b_pd}");
+        prop_assert!((e_nd - b_nd).abs() < 1e-9, "E[nD] {e_nd} vs {b_nd}");
+    }
+
+    /// Fast expectation equals the naive double sum.
+    #[test]
+    fn fast_expectation_equals_naive(a in arb_char_profile(), b in arb_char_profile()) {
+        let fast = expected_nd_char(&a, &b);
+        let naive = expected_nd_naive(&a, &b);
+        prop_assert!((fast - naive).abs() < 1e-9, "fast={fast} naive={naive}");
+    }
+
+    /// Theorem 3's bound dominates the exact Pr(fd ≤ k) (and therefore
+    /// Pr(ed ≤ k)).
+    #[test]
+    fn theorem3_dominates_exact(
+        r in arb_string(3, 2..6),
+        s in arb_string(3, 2..6),
+        k in 0usize..3,
+    ) {
+        let (rp, sp) = (FreqProfile::new(&r, 3), FreqProfile::new(&s, 3));
+        let (e_pd, e_nd) = expected_distances(&rp, &sp);
+        let bound = theorem3_upper_bound(r.len(), s.len(), e_pd, e_nd, k);
+        let mut exact_fd = 0.0;
+        for rw in r.worlds() {
+            for sw in s.worlds() {
+                if usj_editdist::frequency_distance(&rw.instance, &sw.instance, 3) as usize <= k {
+                    exact_fd += rw.prob * sw.prob;
+                }
+            }
+        }
+        prop_assert!(bound >= exact_fd - 1e-9, "bound={bound} exact={exact_fd}");
+    }
+
+    /// End-to-end soundness of the filter: no false negatives against the
+    /// exact edit-distance probability.
+    #[test]
+    fn filter_is_sound(
+        r in arb_string(3, 2..6),
+        s in arb_string(3, 2..6),
+        k in 0usize..3,
+        tau_pct in 1u32..80,
+    ) {
+        let tau = tau_pct as f64 / 100.0;
+        let filter = FreqFilter::new(k, tau, 3);
+        let out = filter.evaluate_strings(&r, &s);
+        if !out.candidate {
+            let mut exact = 0.0;
+            for rw in r.worlds() {
+                for sw in s.worlds() {
+                    if usj_editdist::within_k(&rw.instance, &sw.instance, k) {
+                        exact += rw.prob * sw.prob;
+                    }
+                }
+            }
+            prop_assert!(exact <= tau + 1e-9, "false negative: exact={exact} tau={tau} {out:?}");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Parser and formatter for the paper's uncertain-string syntax.
+//!
+//! The textual form is the one used in the paper's examples:
+//!
+//! ```text
+//! A{(A,0.8),(C,0.2)}AATT
+//! ```
+//!
+//! A bare character is a certain position; `{(c1,p1),(c2,p2),…}` is an
+//! uncertain position. Whitespace *inside braces* is ignored; a space
+//! outside braces is treated as an alphabet character (the dblp alphabet
+//! includes space), so `a b` is three positions.
+
+use std::fmt::Write as _;
+
+use crate::position::Position;
+use crate::string::UncertainString;
+use crate::{Alphabet, ModelError, Result};
+
+impl UncertainString {
+    /// Parses the paper's textual syntax against `alphabet`.
+    ///
+    /// ```
+    /// use usj_model::{Alphabet, UncertainString};
+    /// let s = UncertainString::parse("G{(A,0.8),(G,0.2)}CT", &Alphabet::dna()).unwrap();
+    /// assert_eq!(s.len(), 4);
+    /// ```
+    pub fn parse(text: &str, alphabet: &Alphabet) -> Result<Self> {
+        Parser { input: text, offset: 0, alphabet }.parse()
+    }
+
+    /// Formats the string back into the paper's syntax.
+    ///
+    /// Probabilities are printed in their shortest exact form, so
+    /// `display` followed by [`UncertainString::parse`] round-trips.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        let mut out = String::with_capacity(self.len() * 2);
+        for pos in self.positions() {
+            match pos {
+                Position::Certain(s) => out.push(alphabet.char_of(*s)),
+                Position::Uncertain(alts) => {
+                    out.push('{');
+                    for (i, &(s, p)) in alts.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "({},{})", alphabet.char_of(s), format_prob(p));
+                    }
+                    out.push('}');
+                }
+            }
+        }
+        out
+    }
+}
+
+fn format_prob(p: f64) -> String {
+    // Rust's default float Display is the shortest representation that
+    // round-trips exactly, so re-parsing reproduces the distribution.
+    let mut s = p.to_string();
+    if !s.contains('.') && !s.contains('e') {
+        s.push_str(".0");
+    }
+    s
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    offset: usize,
+    alphabet: &'a Alphabet,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ModelError {
+        ModelError::Parse { offset: self.offset, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.offset..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.offset += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<()> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.error(format!("expected {want:?}, found {c:?}"))),
+            None => Err(self.error(format!("expected {want:?}, found end of input"))),
+        }
+    }
+
+    fn parse(mut self) -> Result<UncertainString> {
+        let mut positions = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '{' {
+                self.bump();
+                let index = positions.len();
+                let alts = self.parse_alternatives()?;
+                positions.push(Position::uncertain(index, alts)?);
+            } else {
+                self.bump();
+                let sym = self
+                    .alphabet
+                    .symbol(c)
+                    .ok_or_else(|| self.error(format!("character {c:?} not in alphabet")))?;
+                positions.push(Position::certain(sym));
+            }
+        }
+        Ok(UncertainString::new(positions))
+    }
+
+    fn parse_alternatives(&mut self) -> Result<Vec<(u8, f64)>> {
+        let mut alts = Vec::new();
+        loop {
+            self.skip_ws();
+            self.expect('(')?;
+            // The character is read verbatim — no whitespace skipping —
+            // so alphabets containing a space (dblp names) round-trip:
+            // `{(a,0.8),( ,0.2)}` is a valid distribution over {a, ' '}.
+            let c = self
+                .bump()
+                .ok_or_else(|| self.error("expected character, found end of input"))?;
+            let sym = self
+                .alphabet
+                .symbol(c)
+                .ok_or_else(|| self.error(format!("character {c:?} not in alphabet")))?;
+            self.skip_ws();
+            // The paper's figures occasionally write "(R = 0.1)"; accept both
+            // ',' and '=' as the separator.
+            match self.bump() {
+                Some(',') | Some('=') => {}
+                Some(c) => return Err(self.error(format!("expected ',' or '=', found {c:?}"))),
+                None => return Err(self.error("expected ',' or '=', found end of input")),
+            }
+            self.skip_ws();
+            let p = self.parse_number()?;
+            self.skip_ws();
+            self.expect(')')?;
+            alts.push((sym, p));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => break,
+                Some(c) => return Err(self.error(format!("expected ',' or '}}', found {c:?}"))),
+                None => return Err(self.error("unterminated distribution")),
+            }
+        }
+        Ok(alts)
+    }
+
+    fn parse_number(&mut self) -> Result<f64> {
+        let start = self.offset;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+')
+        {
+            self.bump();
+        }
+        let text = &self.input[start..self.offset];
+        text.parse::<f64>()
+            .map_err(|_| self.error(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::approx_eq;
+
+    #[test]
+    fn parse_paper_example() {
+        // String S3 from Table 1 of the paper.
+        let dna = Alphabet::dna();
+        let s = UncertainString::parse("G{(A,0.8),(G,0.2)}CT{(A,0.8),(C,0.1),(T,0.1)}C", &dna)
+            .unwrap();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.num_uncertain(), 2);
+        let a = dna.symbol('A').unwrap();
+        assert!(approx_eq(s.position(1).prob_of(a), 0.8));
+        assert_eq!(s.position(4).num_alternatives(), 3);
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let dna = Alphabet::dna();
+        let text = "A{(C,0.5),(G,0.5)}A{(C,0.25),(G,0.75)}AC";
+        let s = UncertainString::parse(text, &dna).unwrap();
+        let printed = s.display(&dna);
+        let reparsed = UncertainString::parse(&printed, &dna).unwrap();
+        assert_eq!(s, reparsed);
+        assert_eq!(printed, text);
+    }
+
+    #[test]
+    fn accepts_equals_separator() {
+        // The paper's footnote writes "DI{(C,0.4),(S,0.5),(R = 0.1)}".
+        let upper = Alphabet::uppercase();
+        let s = UncertainString::parse("DI{(C,0.4),(S,0.5),(R = 0.1)}C", &upper).unwrap();
+        assert_eq!(s.len(), 4);
+        let r = upper.symbol('R').unwrap();
+        assert!(approx_eq(s.position(2).prob_of(r), 0.1));
+    }
+
+    #[test]
+    fn whitespace_inside_braces_ignored() {
+        let dna = Alphabet::dna();
+        let s = UncertainString::parse("{ (A, 0.5) , (C, 0.5) }T", &dna).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn space_character_alternative_roundtrips() {
+        // The dblp alphabet contains ' '; a distribution over {a, ' '}
+        // must parse (the character after '(' is verbatim).
+        let names = Alphabet::names();
+        let s = UncertainString::parse("{(a,0.8),( ,0.2)}b", &names).unwrap();
+        assert_eq!(s.len(), 2);
+        let space = names.symbol(' ').unwrap();
+        assert!((s.position(0).prob_of(space) - 0.2).abs() < 1e-12);
+        let printed = s.display(&names);
+        assert_eq!(UncertainString::parse(&printed, &names).unwrap(), s);
+    }
+
+    #[test]
+    fn space_is_a_character_in_names_alphabet() {
+        let names = Alphabet::names();
+        let s = UncertainString::parse("a b", &names).unwrap();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let dna = Alphabet::dna();
+        let err = UncertainString::parse("AX", &dna).unwrap_err();
+        assert!(matches!(err, ModelError::Parse { offset: 2, .. }), "{err:?}");
+        assert!(UncertainString::parse("{(A,0.5)", &dna).is_err());
+        assert!(UncertainString::parse("{(A,0.5),(A,0.5)}", &dna).is_err());
+        assert!(UncertainString::parse("{(A,0.5),(C,0.2)}", &dna).is_err());
+        assert!(UncertainString::parse("{(A,abc)}", &dna).is_err());
+    }
+
+    #[test]
+    fn singleton_distribution_collapses() {
+        let dna = Alphabet::dna();
+        let s = UncertainString::parse("{(A,1.0)}C", &dna).unwrap();
+        assert!(s.is_deterministic());
+    }
+
+    #[test]
+    fn empty_input_is_empty_string() {
+        let s = UncertainString::parse("", &Alphabet::dna()).unwrap();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Probability helpers shared across the workspace.
+//!
+//! Probabilities are plain `f64`; this module centralises the tolerance used
+//! when validating distributions and comparing probability values, so every
+//! crate agrees on what "sums to one" means.
+
+/// Probability type used throughout the workspace.
+pub type Prob = f64;
+
+/// Absolute tolerance used when checking that a distribution sums to one and
+/// when comparing probabilities in tests.
+pub const PROB_EPS: f64 = 1e-9;
+
+/// Looser tolerance for quantities accumulated over many floating point
+/// operations (possible-world sums, DP tables).
+pub const SUM_EPS: f64 = 1e-6;
+
+/// Returns `true` if `a` and `b` are equal within [`PROB_EPS`].
+#[inline]
+pub fn approx_eq(a: Prob, b: Prob) -> bool {
+    (a - b).abs() <= PROB_EPS
+}
+
+/// Returns `true` if `a` and `b` are equal within `eps`.
+#[inline]
+pub fn approx_eq_eps(a: Prob, b: Prob, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Returns `true` if `p` is a valid probability in `[0, 1]` (within
+/// [`PROB_EPS`] slack on both ends).
+#[inline]
+pub fn is_valid(p: Prob) -> bool {
+    p.is_finite() && (-PROB_EPS..=1.0 + PROB_EPS).contains(&p)
+}
+
+/// Clamps `p` into `[0, 1]`, absorbing small floating-point drift.
+///
+/// DP recurrences such as the Poisson-binomial tail or the CDF bounds can
+/// produce values like `1.0000000000000002`; clamping keeps downstream
+/// threshold comparisons honest.
+#[inline]
+pub fn clamp(p: Prob) -> Prob {
+    p.clamp(0.0, 1.0)
+}
+
+/// Normalises `weights` in place so they sum to one.
+///
+/// Returns `false` (leaving the input untouched) when the total mass is zero
+/// or non-finite, in which case normalisation is impossible.
+pub fn normalize(weights: &mut [Prob]) -> bool {
+    let total: f64 = weights.iter().sum();
+    if !(total.is_finite() && total > 0.0) {
+        return false;
+    }
+    for w in weights.iter_mut() {
+        *w /= total;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_within_tolerance() {
+        assert!(approx_eq(0.5, 0.5 + 1e-12));
+        assert!(!approx_eq(0.5, 0.5 + 1e-6));
+    }
+
+    #[test]
+    fn validity_bounds() {
+        assert!(is_valid(0.0));
+        assert!(is_valid(1.0));
+        assert!(is_valid(1.0 + 1e-12));
+        assert!(!is_valid(1.1));
+        assert!(!is_valid(-0.1));
+        assert!(!is_valid(f64::NAN));
+        assert!(!is_valid(f64::INFINITY));
+    }
+
+    #[test]
+    fn clamp_absorbs_drift() {
+        assert_eq!(clamp(1.0 + 1e-15), 1.0);
+        assert_eq!(clamp(-1e-15), 0.0);
+        assert_eq!(clamp(0.25), 0.25);
+    }
+
+    #[test]
+    fn normalize_rescales() {
+        let mut w = [1.0, 3.0];
+        assert!(normalize(&mut w));
+        assert!(approx_eq(w[0], 0.25));
+        assert!(approx_eq(w[1], 0.75));
+    }
+
+    #[test]
+    fn normalize_rejects_zero_mass() {
+        let mut w = [0.0, 0.0];
+        assert!(!normalize(&mut w));
+        assert_eq!(w, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_rejects_nan() {
+        let mut w = [f64::NAN, 1.0];
+        assert!(!normalize(&mut w));
+    }
+}

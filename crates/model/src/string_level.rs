@@ -1,0 +1,299 @@
+//! The string-level uncertainty model (paper §1).
+//!
+//! Alongside the character-level model, Jestes et al. define a
+//! **string-level** model: all possible instances of the uncertain string
+//! are listed explicitly with their probabilities (a discrete pdf over
+//! whole strings). The paper focuses on the character-level model because
+//! it is more concise; this module provides the string-level counterpart
+//! so collections given in either form can be joined:
+//!
+//! * instances may have **different lengths** (impossible in the
+//!   character-level model);
+//! * possible worlds are exactly the listed alternatives — no
+//!   exponential blow-up, so exact similarity probabilities are
+//!   `O(|R| · |S|)` banded-DP evaluations;
+//! * conversions to/from the character-level model are provided, with
+//!   their lossiness spelled out.
+
+use std::collections::HashMap;
+
+use crate::position::Position;
+use crate::prob::{self, Prob};
+use crate::string::UncertainString;
+use crate::{ModelError, Result, Symbol};
+
+/// An uncertain string in the string-level model: an explicit pdf over
+/// deterministic instances.
+///
+/// Invariants: at least one alternative; probabilities in `(0, 1]`
+/// summing to one; duplicate instances merged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StringLevelUncertain {
+    /// `(instance, probability)` sorted by instance for canonical form.
+    alternatives: Vec<(Vec<Symbol>, Prob)>,
+}
+
+impl StringLevelUncertain {
+    /// Builds from `(instance, probability)` pairs; duplicates are
+    /// merged, the result is sorted.
+    pub fn new(alternatives: Vec<(Vec<Symbol>, Prob)>) -> Result<StringLevelUncertain> {
+        if alternatives.is_empty() {
+            return Err(ModelError::EmptyDistribution { index: 0 });
+        }
+        let mut merged: HashMap<Vec<Symbol>, Prob> = HashMap::new();
+        let mut sum = 0.0;
+        for (instance, p) in alternatives {
+            if !(p.is_finite() && p > 0.0 && p <= 1.0 + prob::PROB_EPS) {
+                return Err(ModelError::BadProbability { index: 0, value: p });
+            }
+            sum += p;
+            *merged.entry(instance).or_insert(0.0) += p;
+        }
+        if !prob::approx_eq_eps(sum, 1.0, 1e-6) {
+            return Err(ModelError::BadDistribution { index: 0, sum });
+        }
+        let mut alternatives: Vec<(Vec<Symbol>, Prob)> = merged.into_iter().collect();
+        alternatives.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Ok(StringLevelUncertain { alternatives })
+    }
+
+    /// A certain (single-instance) string.
+    pub fn certain(instance: Vec<Symbol>) -> StringLevelUncertain {
+        StringLevelUncertain { alternatives: vec![(instance, 1.0)] }
+    }
+
+    /// The alternatives, sorted by instance.
+    pub fn alternatives(&self) -> &[(Vec<Symbol>, Prob)] {
+        &self.alternatives
+    }
+
+    /// Number of alternatives.
+    pub fn num_alternatives(&self) -> usize {
+        self.alternatives.len()
+    }
+
+    /// Shortest instance length.
+    pub fn min_len(&self) -> usize {
+        self.alternatives.iter().map(|(w, _)| w.len()).min().unwrap_or(0)
+    }
+
+    /// Longest instance length.
+    pub fn max_len(&self) -> usize {
+        self.alternatives.iter().map(|(w, _)| w.len()).max().unwrap_or(0)
+    }
+
+    /// Probability of a specific instance.
+    pub fn prob_of(&self, instance: &[Symbol]) -> Prob {
+        self.alternatives
+            .binary_search_by(|(w, _)| w.as_slice().cmp(instance))
+            .map(|i| self.alternatives[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// The most probable instance (ties broken lexicographically).
+    pub fn most_probable(&self) -> &[Symbol] {
+        let mut best = &self.alternatives[0];
+        for alt in &self.alternatives[1..] {
+            if alt.1 > best.1 {
+                best = alt;
+            }
+        }
+        &best.0
+    }
+
+    /// Exact `Pr(ed(self, other) ≤ k)`: a sum over the explicit joint
+    /// alternatives (`O(A·B)` banded edit distances).
+    pub fn similarity_prob(&self, other: &StringLevelUncertain, k: usize) -> Prob {
+        let mut acc = 0.0;
+        for (r, p) in &self.alternatives {
+            for (s, q) in &other.alternatives {
+                if r.len().abs_diff(s.len()) <= k
+                    && usj_ed_bounded(r, s, k)
+                {
+                    acc += p * q;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Expected edit distance to `other` (the eed of Jestes et al.).
+    pub fn expected_edit_distance(&self, other: &StringLevelUncertain) -> f64 {
+        let mut acc = 0.0;
+        for (r, p) in &self.alternatives {
+            for (s, q) in &other.alternatives {
+                acc += p * q * levenshtein(r, s) as f64;
+            }
+        }
+        acc
+    }
+
+    /// Materialises a character-level string as string-level (enumerates
+    /// its worlds; `None` when more than `max_worlds` exist).
+    pub fn from_character_level(
+        s: &UncertainString,
+        max_worlds: u64,
+    ) -> Option<StringLevelUncertain> {
+        s.num_worlds_capped(max_worlds)?;
+        let alternatives: Vec<(Vec<Symbol>, Prob)> =
+            s.worlds().map(|w| (w.instance, w.prob)).collect();
+        StringLevelUncertain::new(alternatives).ok()
+    }
+
+    /// Projects onto the character-level model by taking per-position
+    /// marginals. Only defined when all alternatives share one length.
+    ///
+    /// **Lossy**: the character-level string's worlds are the *product*
+    /// of the marginals, which generally has more (and differently
+    /// weighted) worlds than the original pdf — positions of a
+    /// string-level pdf need not be independent. The marginals are
+    /// preserved exactly; joint structure is not. Returns `None` when
+    /// alternative lengths differ.
+    pub fn marginal_character_level(&self) -> Option<UncertainString> {
+        let len = self.alternatives[0].0.len();
+        if self.alternatives.iter().any(|(w, _)| w.len() != len) {
+            return None;
+        }
+        let mut positions = Vec::with_capacity(len);
+        for i in 0..len {
+            let mut mass: HashMap<Symbol, Prob> = HashMap::new();
+            for (w, p) in &self.alternatives {
+                *mass.entry(w[i]).or_insert(0.0) += p;
+            }
+            let alts: Vec<(Symbol, Prob)> = mass.into_iter().collect();
+            positions.push(Position::uncertain(i, alts).ok()?);
+        }
+        Some(UncertainString::new(positions))
+    }
+}
+
+/// Minimal local Levenshtein (avoids a dependency cycle with
+/// `usj-editdist`; the two are cross-checked in tests there).
+fn levenshtein(a: &[Symbol], b: &[Symbol]) -> usize {
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let val = (diag + usize::from(ca != cb)).min(row[j] + 1).min(row[j + 1] + 1);
+            diag = row[j + 1];
+            row[j + 1] = val;
+        }
+    }
+    row[b.len()]
+}
+
+/// `ed(a, b) ≤ k`?
+fn usj_ed_bounded(a: &[Symbol], b: &[Symbol], k: usize) -> bool {
+    levenshtein(a, b) <= k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Alphabet;
+
+    fn enc(t: &str) -> Vec<Symbol> {
+        Alphabet::dna().encode(t).unwrap()
+    }
+
+    #[test]
+    fn construction_and_canonical_form() {
+        let s = StringLevelUncertain::new(vec![
+            (enc("ACGT"), 0.5),
+            (enc("ACG"), 0.3),
+            (enc("ACGT"), 0.2), // duplicate merges
+        ])
+        .unwrap();
+        assert_eq!(s.num_alternatives(), 2);
+        assert!((s.prob_of(&enc("ACGT")) - 0.7).abs() < 1e-12);
+        assert_eq!(s.min_len(), 3);
+        assert_eq!(s.max_len(), 4);
+        assert_eq!(s.most_probable(), enc("ACGT").as_slice());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(StringLevelUncertain::new(vec![]).is_err());
+        assert!(StringLevelUncertain::new(vec![(enc("A"), 0.5)]).is_err());
+        assert!(StringLevelUncertain::new(vec![(enc("A"), -0.5), (enc("C"), 1.5)]).is_err());
+    }
+
+    #[test]
+    fn similarity_prob_direct() {
+        // R = {ACGT: 0.6, TTTT: 0.4}, S = {ACGA: 1.0}, k = 1:
+        // only ACGT is within 1 → 0.6.
+        let r = StringLevelUncertain::new(vec![(enc("ACGT"), 0.6), (enc("TTTT"), 0.4)]).unwrap();
+        let s = StringLevelUncertain::certain(enc("ACGA"));
+        assert!((r.similarity_prob(&s, 1) - 0.6).abs() < 1e-12);
+        assert_eq!(r.similarity_prob(&s, 0), 0.0);
+        assert!((r.similarity_prob(&s, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_length_alternatives() {
+        // String-level models can mix lengths — impossible for
+        // character-level strings.
+        let r = StringLevelUncertain::new(vec![(enc("AC"), 0.5), (enc("ACGT"), 0.5)]).unwrap();
+        let s = StringLevelUncertain::certain(enc("ACG"));
+        // ed(AC, ACG) = 1 and ed(ACGT, ACG) = 1 → Pr(ed ≤ 1) = 1.
+        assert!((r.similarity_prob(&s, 1) - 1.0).abs() < 1e-12);
+        assert!(r.marginal_character_level().is_none());
+    }
+
+    #[test]
+    fn eed_matches_weighted_sum() {
+        let r = StringLevelUncertain::new(vec![(enc("ACGT"), 0.5), (enc("AAAA"), 0.5)]).unwrap();
+        let s = StringLevelUncertain::certain(enc("ACGT"));
+        // 0.5·0 + 0.5·3 = 1.5
+        assert!((r.expected_edit_distance(&s) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_with_character_level() {
+        let dna = Alphabet::dna();
+        let c = UncertainString::parse("A{(C,0.3),(G,0.7)}T", &dna).unwrap();
+        let s = StringLevelUncertain::from_character_level(&c, 100).unwrap();
+        assert_eq!(s.num_alternatives(), 2);
+        assert!((s.prob_of(&enc("ACT")) - 0.3).abs() < 1e-12);
+        // Marginals project back to the original (positions here are
+        // genuinely independent).
+        let back = s.marginal_character_level().unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn marginal_projection_is_lossy_for_correlated_pdfs() {
+        // {AA: 0.5, CC: 0.5} has perfectly correlated positions; the
+        // marginal character-level string also allows AC and CA.
+        let s = StringLevelUncertain::new(vec![(enc("AA"), 0.5), (enc("CC"), 0.5)]).unwrap();
+        let marginal = s.marginal_character_level().unwrap();
+        assert_eq!(marginal.num_worlds(), 4.0);
+        assert!((marginal.instance_prob(&enc("AC")) - 0.25).abs() < 1e-12);
+        // ... which is exactly why joins must not silently convert.
+    }
+
+    #[test]
+    fn world_cap() {
+        let dna = Alphabet::dna();
+        let c = UncertainString::parse("{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}", &dna).unwrap();
+        assert!(StringLevelUncertain::from_character_level(&c, 3).is_none());
+        assert!(StringLevelUncertain::from_character_level(&c, 4).is_some());
+    }
+
+    #[test]
+    fn local_levenshtein_matches_reference() {
+        // Cross-check the module-local DP against usj-editdist on a grid
+        // of short strings (dev-dependency direction keeps no cycle).
+        for a in ["", "A", "AC", "ACG", "ACGT", "TTTT"] {
+            for b in ["", "G", "AC", "AGG", "ACGT", "ACTT"] {
+                let (ea, eb) = (enc(a), enc(b));
+                assert_eq!(
+                    levenshtein(&ea, &eb),
+                    usj_editdist::edit_distance(&ea, &eb),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+}

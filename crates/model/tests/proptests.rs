@@ -1,0 +1,124 @@
+//! Property tests for the uncertain string model.
+
+use proptest::prelude::*;
+use usj_model::{Alphabet, Position, UncertainString};
+
+/// Strategy: a random position over an alphabet of size `sigma`, with up to
+/// `max_alts` alternatives.
+fn arb_position(sigma: u8, max_alts: usize) -> impl Strategy<Value = Position> {
+    prop::collection::vec((0..sigma, 1u32..=100), 1..=max_alts).prop_map(|raw| {
+        // Deduplicate symbols, then normalise weights into probabilities.
+        let mut seen = std::collections::BTreeMap::new();
+        for (s, w) in raw {
+            *seen.entry(s).or_insert(0u32) += w;
+        }
+        let total: u32 = seen.values().sum();
+        let alts: Vec<(u8, f64)> = seen
+            .into_iter()
+            .map(|(s, w)| (s, w as f64 / total as f64))
+            .collect();
+        Position::uncertain(0, alts).expect("constructed distribution is valid")
+    })
+}
+
+/// Strategy: a random uncertain string.
+pub fn arb_string(sigma: u8, max_len: usize, max_alts: usize) -> impl Strategy<Value = UncertainString> {
+    prop::collection::vec(arb_position(sigma, max_alts), 0..=max_len).prop_map(UncertainString::new)
+}
+
+proptest! {
+    #[test]
+    fn world_probabilities_sum_to_one(s in arb_string(4, 6, 3)) {
+        let total: f64 = s.worlds().map(|w| w.prob).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn world_count_matches_product(s in arb_string(4, 6, 3)) {
+        let n = s.worlds().count();
+        prop_assert_eq!(n as f64, s.num_worlds());
+    }
+
+    #[test]
+    fn instance_prob_agrees_with_world_enumeration(s in arb_string(4, 5, 3)) {
+        for w in s.worlds() {
+            let p = s.instance_prob(&w.instance);
+            prop_assert!((p - w.prob).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn match_prob_equals_world_pair_sum(
+        a in arb_string(3, 4, 2),
+        b in arb_string(3, 4, 2),
+    ) {
+        // Pr(A = B) over the joint worlds must equal the position-wise product.
+        let direct = a.match_prob(&b);
+        let mut acc = 0.0;
+        for wa in a.worlds() {
+            for wb in b.worlds() {
+                if wa.instance == wb.instance {
+                    acc += wa.prob * wb.prob;
+                }
+            }
+        }
+        prop_assert!((direct - acc).abs() < 1e-9, "direct={direct} acc={acc}");
+    }
+
+    #[test]
+    fn display_parse_roundtrip(s in arb_string(4, 8, 3)) {
+        let dna = Alphabet::dna();
+        let text = s.display(&dna);
+        let reparsed = UncertainString::parse(&text, &dna).unwrap();
+        prop_assert_eq!(s.len(), reparsed.len());
+        for i in 0..s.len() {
+            for sym in 0..4u8 {
+                let p0 = s.position(i).prob_of(sym);
+                let p1 = reparsed.position(i).prob_of(sym);
+                prop_assert!((p0 - p1).abs() < 1e-5, "pos {i} sym {sym}: {p0} vs {p1}");
+            }
+        }
+    }
+
+    /// The parser never panics on arbitrary input — it either produces a
+    /// valid string or a structured error.
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let dna = Alphabet::dna();
+        match UncertainString::parse(&input, &dna) {
+            Ok(s) => prop_assert!(s.validate().is_ok()),
+            Err(_) => {}
+        }
+    }
+
+    /// Parser fuzz biased towards near-valid syntax (braces, parens,
+    /// digits) to reach deeper states than fully random text.
+    #[test]
+    fn parser_never_panics_near_valid(input in "[ACGT{}(),.0-9eE+-]{0,40}") {
+        let dna = Alphabet::dna();
+        let _ = UncertainString::parse(&input, &dna);
+    }
+
+    #[test]
+    fn most_probable_world_dominates_samples(s in arb_string(4, 5, 3)) {
+        let best = s.most_probable_world();
+        for w in s.worlds() {
+            prop_assert!(best.prob >= w.prob - 1e-12);
+        }
+    }
+
+    #[test]
+    fn substring_match_prob_consistent_with_substring_worlds(
+        s in arb_string(4, 6, 3),
+        start in 0usize..4,
+        len in 0usize..4,
+    ) {
+        if start + len <= s.len() {
+            let sub = s.substring(start, len);
+            for w in sub.worlds() {
+                let p = s.substring_match_prob(start, &w.instance);
+                prop_assert!((p - w.prob).abs() < 1e-12);
+            }
+        }
+    }
+}

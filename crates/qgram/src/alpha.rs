@@ -1,0 +1,142 @@
+//! Segment match probabilities `α_x` (paper §3.1–§3.2).
+//!
+//! `α_x = Pr(E_x)` where `E_x` is the event that segment `S^x` of the
+//! indexed string equals one of the probe's selected window instances.
+//! Because distinct instances of the same length are disjoint outcomes of
+//! `S^x`,
+//!
+//! ```text
+//! α_x = Σ_{w ∈ q(r,x)} p_r(w) · Pr(w = S^x)
+//! ```
+//!
+//! is an exact union probability given correct `p_r(w)` (see
+//! [`crate::equivalent`]).
+
+use usj_model::{Prob, Symbol, UncertainString};
+
+use crate::equivalent::EquivalentSet;
+use crate::partition::Segment;
+
+/// Enumerates all deterministic instances of `segment` of `indexed`
+/// together with their probabilities, or `None` if more than
+/// `max_instances` exist.
+///
+/// This is exactly what the join index stores per segment (§4: "we
+/// instantiate all possibilities of its segment and add them to the
+/// inverted index along with their probabilities").
+pub fn segment_instances(
+    indexed: &UncertainString,
+    segment: &Segment,
+    max_instances: usize,
+) -> Option<Vec<(Vec<Symbol>, Prob)>> {
+    let mut out = Vec::new();
+    for world in indexed.substring_worlds(segment.start, segment.len) {
+        if out.len() >= max_instances {
+            return None;
+        }
+        out.push((world.instance, world.prob));
+    }
+    Some(out)
+}
+
+/// Computes `α_x` for one segment by scanning the equivalent set against
+/// the uncertain segment directly (index-free path, used by
+/// [`crate::filter::QGramFilter`] and tests; the join driver computes the
+/// same sum through its inverted lists).
+pub fn alpha_for_segment(
+    equivalent: &EquivalentSet,
+    indexed: &UncertainString,
+    segment: &Segment,
+) -> Prob {
+    let mut alpha = 0.0;
+    for (w, p_r) in equivalent.entries() {
+        if *p_r == 0.0 {
+            continue;
+        }
+        alpha += p_r * indexed.substring_match_prob(segment.start, w);
+    }
+    alpha.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalent::AlphaMode;
+    use usj_model::Alphabet;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    /// The paper's §3.2 example end-to-end: P(E1) = 0.68.
+    #[test]
+    fn paper_example_alpha() {
+        let r = dna("A{(A,0.8),(C,0.2)}AATT");
+        let s = dna("A{(A,0.8),(C,0.2)}AGCT");
+        let seg = Segment { start: 0, len: 3 };
+        let set = EquivalentSet::build(&r, (0, 1), 3, AlphaMode::Grouped, 1000).unwrap();
+        let alpha = alpha_for_segment(&set, &s, &seg);
+        assert!((alpha - 0.68).abs() < 1e-9, "alpha = {alpha}");
+    }
+
+    /// The naive equivalent set produces the paper's incorrect 1.32 before
+    /// clamping; `alpha_for_segment` clamps, so compute the raw sum here.
+    #[test]
+    fn paper_example_naive_alpha_is_wrong() {
+        let r = dna("A{(A,0.8),(C,0.2)}AATT");
+        let s = dna("A{(A,0.8),(C,0.2)}AGCT");
+        let set = EquivalentSet::build(&r, (0, 1), 3, AlphaMode::Naive, 1000).unwrap();
+        let raw: f64 = set
+            .entries()
+            .iter()
+            .map(|(w, p)| p * s.substring_match_prob(0, w))
+            .sum();
+        assert!((raw - 1.32).abs() < 1e-9, "raw = {raw}");
+    }
+
+    /// α equals the exact joint probability of the segment-match event,
+    /// verified by enumerating the joint worlds of probe region and
+    /// segment.
+    #[test]
+    fn alpha_matches_joint_world_enumeration() {
+        let r = dna("{(A,0.6),(C,0.4)}{(A,0.5),(G,0.5)}AT");
+        let s = dna("{(A,0.7),(G,0.3)}{(A,0.2),(C,0.8)}GT");
+        let seg = Segment { start: 0, len: 2 };
+        let starts = (0, 2);
+        let set = EquivalentSet::build(&r, starts, 2, AlphaMode::Exact, 10_000).unwrap();
+        let alpha = alpha_for_segment(&set, &s, &seg);
+
+        // Brute force: enumerate worlds of R and of S^x; the event is
+        // "some window of the R-world equals the S^x-world".
+        let mut exact = 0.0;
+        for rw in r.worlds() {
+            for sw in s.substring_worlds(seg.start, seg.len) {
+                let hit = (starts.0..=starts.1).any(|st| rw.instance[st..st + 2] == sw.instance);
+                if hit {
+                    exact += rw.prob * sw.prob;
+                }
+            }
+        }
+        assert!((alpha - exact).abs() < 1e-9, "alpha={alpha} exact={exact}");
+    }
+
+    #[test]
+    fn segment_instance_enumeration() {
+        let s = dna("A{(C,0.5),(G,0.5)}{(A,0.3),(T,0.7)}G");
+        let seg = Segment { start: 1, len: 2 };
+        let inst = segment_instances(&s, &seg, 100).unwrap();
+        assert_eq!(inst.len(), 4);
+        let total: f64 = inst.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(segment_instances(&s, &seg, 3).is_none());
+    }
+
+    #[test]
+    fn alpha_zero_when_disjoint() {
+        let r = dna("TTTT");
+        let s = dna("AAAA");
+        let seg = Segment { start: 0, len: 2 };
+        let set = EquivalentSet::build(&r, (0, 2), 2, AlphaMode::Grouped, 100).unwrap();
+        assert_eq!(alpha_for_segment(&set, &s, &seg), 0.0);
+    }
+}

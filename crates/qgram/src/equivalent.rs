@@ -1,0 +1,313 @@
+//! Equivalent-set construction for uncertain probe windows (paper §3.2).
+//!
+//! For a segment `S^x`, the probe contributes a set of *windows*
+//! `q(R, x)` — uncertain substrings of `R` of the segment's length whose
+//! start positions fall in the position-aware range. Each window
+//! instantiates into deterministic strings with probabilities; summing
+//! `Pr(W = S^x)` naively over windows double-counts worlds in which the
+//! same instance string occurs at several overlapping starts (the paper's
+//! `Pr(E1) = 1.32` example).
+//!
+//! The fix is the **equivalent set** `q(r, x)`: the distinct instance
+//! strings `w`, each with the probability `p_r(w)` that `w` occurs in at
+//! least one of the selected windows of `R`:
+//!
+//! 1. occurrences of `w` are sorted by start position and grouped into
+//!    maximal runs of overlapping occurrences;
+//! 2. within a group the paper's `β` recurrence adds each occurrence's
+//!    probability and subtracts the probability that its overlap with the
+//!    previous occurrence matches `R`;
+//! 3. groups never overlap, so their events are independent:
+//!    `p_r(w) = 1 − Π_i (1 − p(g_i))`.
+//!
+//! Three modes are provided (see [`AlphaMode`]): the paper's grouped
+//! recurrence, the deliberately *naive* sum (kept for the ablation that
+//! reproduces the paper's incorrect `1.32`), and an exact
+//! possible-world computation used as a test oracle and accuracy ablation.
+
+use std::collections::HashMap;
+
+use usj_model::{Prob, Symbol, UncertainString};
+
+/// How to combine multiple occurrences of the same window instance.
+///
+/// Soundness note (a reproduction finding, see DESIGN.md §3.3a): the
+/// filter's upper bound needs `p_r(w)` values that are exact or
+/// over-estimates. `Grouped` (the paper's §3.2 recurrence) can
+/// *under*-estimate the union of overlapping occurrences — for two
+/// occurrences it computes `p₁ + p₂ − p_overlap` where the true
+/// intersection is the smaller `p₁·p₂/p_overlap` — so `Exact` is the
+/// default and `Grouped` is kept for the paper-faithful ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlphaMode {
+    /// Paper §3.2: overlap grouping + `β` recurrence. Can slightly
+    /// under-estimate `p_r(w)` for periodic windows; kept as the
+    /// paper-faithful ablation.
+    Grouped,
+    /// No deduplication: `p_r(w)` is the plain sum of occurrence
+    /// probabilities — the union bound. Over-estimates (sound but loose);
+    /// reproduces the paper's `Pr(E1) = 1.32` example.
+    Naive,
+    /// Exact `Pr(w occurs in some selected window)` by enumerating the
+    /// possible worlds of the probe region covered by each overlap group
+    /// (default). Groups whose region exceeds the instance cap fall back
+    /// to the union bound, which keeps the result an over-estimate. Only
+    /// windows with *overlapping duplicate occurrences* (periodic
+    /// instances) pay the enumeration; everything else is a plain
+    /// product.
+    #[default]
+    Exact,
+}
+
+/// The equivalent set `q(r, x)`: distinct deterministic window instances
+/// with their occurrence probabilities `p_r(w)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquivalentSet {
+    entries: Vec<(Vec<Symbol>, Prob)>,
+}
+
+impl EquivalentSet {
+    /// Builds the equivalent set for windows of length `window_len`
+    /// starting at positions `starts` (inclusive range) of probe `probe`.
+    ///
+    /// `max_instances` caps the total number of `(instance, occurrence)`
+    /// pairs enumerated; `None` is returned when the cap would be
+    /// exceeded, signalling the caller to fall back to a trivial bound.
+    pub fn build(
+        probe: &UncertainString,
+        starts: (usize, usize),
+        window_len: usize,
+        mode: AlphaMode,
+        max_instances: usize,
+    ) -> Option<EquivalentSet> {
+        let (lo, hi) = starts;
+        debug_assert!(hi + window_len <= probe.len());
+        // occurrences[w] = list of (start, occurrence probability), start
+        // ascending because we scan windows left to right.
+        let mut occurrences: HashMap<Vec<Symbol>, Vec<(usize, Prob)>> = HashMap::new();
+        let mut budget = max_instances;
+        for start in lo..=hi {
+            for world in probe.substring_worlds(start, window_len) {
+                budget = budget.checked_sub(1)?;
+                occurrences.entry(world.instance).or_default().push((start, world.prob));
+            }
+        }
+        let mut entries: Vec<(Vec<Symbol>, Prob)> = occurrences
+            .into_iter()
+            .map(|(w, occs)| {
+                let p = match mode {
+                    AlphaMode::Naive => occs.iter().map(|&(_, p)| p).sum(),
+                    AlphaMode::Grouped => grouped_probability(&w, &occs, probe),
+                    AlphaMode::Exact => exact_probability(&w, &occs, probe),
+                };
+                (w, p)
+            })
+            .collect();
+        // Deterministic order helps tests and reproducible index builds.
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Some(EquivalentSet { entries })
+    }
+
+    /// The `(instance, p_r(w))` entries, sorted by instance.
+    pub fn entries(&self) -> &[(Vec<Symbol>, Prob)] {
+        &self.entries
+    }
+
+    /// Number of distinct instances.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no window instance exists (only possible for an empty
+    /// start range, which [`EquivalentSet::build`] never produces).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `p_r(w)` for a specific instance.
+    pub fn probability_of(&self, w: &[Symbol]) -> Prob {
+        self.entries
+            .binary_search_by(|(e, _)| e.as_slice().cmp(w))
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Paper §3.2 Step 1 + Step 2: group overlapping occurrences and combine.
+fn grouped_probability(w: &[Symbol], occs: &[(usize, Prob)], probe: &UncertainString) -> Prob {
+    let len = w.len();
+    let mut complement = 1.0; // Π (1 − p(g_i))
+    let mut i = 0;
+    while i < occs.len() {
+        // β recurrence over the maximal run of pairwise-adjacent
+        // overlapping occurrences starting at i.
+        let mut beta = occs[i].1;
+        let mut prev_start = occs[i].0;
+        let mut j = i + 1;
+        while j < occs.len() && occs[j].0 < prev_start + len {
+            let (start_j, p_j) = occs[j];
+            // Overlap of occurrence j with its predecessor: [y, z].
+            let y = start_j;
+            let z = prev_start + len - 1;
+            let overlap_len = z - y + 1;
+            let overlap_prob = probe.substring_match_prob(y, &w[..overlap_len]);
+            beta += p_j - overlap_prob;
+            prev_start = start_j;
+            j += 1;
+        }
+        complement *= 1.0 - beta.clamp(0.0, 1.0);
+        i = j;
+    }
+    (1.0 - complement).clamp(0.0, 1.0)
+}
+
+/// Exact occurrence probability: for each overlap group, enumerate the
+/// possible worlds of the probe region the group covers and add the mass
+/// of worlds containing `w` at one of the group's starts. Groups cover
+/// disjoint regions, hence are independent. A group whose region has more
+/// than [`EXACT_GROUP_WORLD_CAP`] worlds falls back to the union bound
+/// (an over-estimate, preserving filter soundness).
+fn exact_probability(w: &[Symbol], occs: &[(usize, Prob)], probe: &UncertainString) -> Prob {
+    const EXACT_GROUP_WORLD_CAP: u64 = 4096;
+    let len = w.len();
+    let mut complement = 1.0;
+    let mut i = 0;
+    while i < occs.len() {
+        let group_start = occs[i].0;
+        let mut group_end = occs[i].0 + len; // exclusive
+        let mut j = i + 1;
+        while j < occs.len() && occs[j].0 < group_end {
+            group_end = occs[j].0 + len;
+            j += 1;
+        }
+        let hit = if j == i + 1 {
+            // Single occurrence: its own probability.
+            occs[i].1
+        } else {
+            let region = probe.substring(group_start, group_end - group_start);
+            if region.num_worlds_capped(EXACT_GROUP_WORLD_CAP).is_some() {
+                let starts: Vec<usize> = occs[i..j].iter().map(|&(s, _)| s).collect();
+                let mut mass = 0.0;
+                for world in region.worlds() {
+                    let occurs = starts
+                        .iter()
+                        .any(|&s| &world.instance[s - group_start..s - group_start + len] == w);
+                    if occurs {
+                        mass += world.prob;
+                    }
+                }
+                mass
+            } else {
+                // Union bound over the group's occurrences.
+                occs[i..j].iter().map(|&(_, p)| p).sum::<f64>().min(1.0)
+            }
+        };
+        complement *= 1.0 - hit;
+        i = j;
+    }
+    (1.0 - complement).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_model::Alphabet;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    fn enc(text: &str) -> Vec<Symbol> {
+        Alphabet::dna().encode(text).unwrap()
+    }
+
+    /// The paper's §3.2 worked example: R = A{(A,0.8),(C,0.2)}AATT,
+    /// windows of length 3 at starts {0, 1}.
+    #[test]
+    fn paper_example_grouped() {
+        let r = dna("A{(A,0.8),(C,0.2)}AATT");
+        let set = EquivalentSet::build(&r, (0, 1), 3, AlphaMode::Grouped, 1000).unwrap();
+        // q(r,1) = {(AAA, 0.8), (ACA, 0.2), (CAA, 0.2)}
+        assert_eq!(set.len(), 3);
+        assert!((set.probability_of(&enc("AAA")) - 0.8).abs() < 1e-9);
+        assert!((set.probability_of(&enc("ACA")) - 0.2).abs() < 1e-9);
+        assert!((set.probability_of(&enc("CAA")) - 0.2).abs() < 1e-9);
+        assert_eq!(set.probability_of(&enc("TTT")), 0.0);
+    }
+
+    /// The naive mode reproduces the paper's double-counting example:
+    /// AAA appears at both starts with probability 0.8 each.
+    #[test]
+    fn paper_example_naive_double_counts() {
+        let r = dna("A{(A,0.8),(C,0.2)}AATT");
+        let set = EquivalentSet::build(&r, (0, 1), 3, AlphaMode::Naive, 1000).unwrap();
+        assert!((set.probability_of(&enc("AAA")) - 1.6).abs() < 1e-9);
+    }
+
+    /// Exact mode agrees with grouped mode on the paper example.
+    #[test]
+    fn paper_example_exact_agrees() {
+        let r = dna("A{(A,0.8),(C,0.2)}AATT");
+        let grouped = EquivalentSet::build(&r, (0, 1), 3, AlphaMode::Grouped, 1000).unwrap();
+        let exact = EquivalentSet::build(&r, (0, 1), 3, AlphaMode::Exact, 1000).unwrap();
+        for (w, p) in grouped.entries() {
+            assert!((p - exact.probability_of(w)).abs() < 1e-9, "w={w:?}");
+        }
+    }
+
+    /// Deterministic probes: every instance has probability exactly 1 and
+    /// duplicates collapse (a periodic probe has the same window string at
+    /// several starts).
+    #[test]
+    fn deterministic_periodic_probe() {
+        let r = dna("AAAAA");
+        for mode in [AlphaMode::Grouped, AlphaMode::Exact] {
+            let set = EquivalentSet::build(&r, (0, 2), 3, mode, 1000).unwrap();
+            assert_eq!(set.len(), 1);
+            assert!((set.probability_of(&enc("AAA")) - 1.0).abs() < 1e-9, "{mode:?}");
+        }
+        // Naive mode triple counts.
+        let set = EquivalentSet::build(&r, (0, 2), 3, AlphaMode::Naive, 1000).unwrap();
+        assert!((set.probability_of(&enc("AAA")) - 3.0).abs() < 1e-9);
+    }
+
+    /// Non-overlapping duplicate occurrences combine with the
+    /// inclusion-exclusion product across groups.
+    #[test]
+    fn independent_groups_union() {
+        // w = "AC" occurs at starts 0 and 3 (no overlap), each with
+        // probability 0.5.
+        let r = dna("A{(C,0.5),(G,0.5)}TA{(C,0.5),(G,0.5)}T");
+        for mode in [AlphaMode::Grouped, AlphaMode::Exact] {
+            let set = EquivalentSet::build(&r, (0, 3), 2, mode, 1000).unwrap();
+            // Pr(AC at 0 or 3) = 1 − 0.5·0.5 = 0.75.
+            assert!((set.probability_of(&enc("AC")) - 0.75).abs() < 1e-9, "{mode:?}");
+        }
+    }
+
+    /// Instance cap: exceeding it returns None.
+    #[test]
+    fn cap_exceeded_returns_none() {
+        let r = dna("{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}");
+        assert!(EquivalentSet::build(&r, (0, 0), 3, AlphaMode::Grouped, 7).is_none());
+        assert!(EquivalentSet::build(&r, (0, 0), 3, AlphaMode::Grouped, 8).is_some());
+    }
+
+    /// Grouped probabilities are always within [0, 1] even for highly
+    /// periodic uncertain probes, and match the exact oracle within the
+    /// documented approximation slack on random-ish inputs.
+    #[test]
+    fn grouped_close_to_exact_on_periodic_probe() {
+        let r = dna("{(A,0.9),(C,0.1)}A{(A,0.9),(C,0.1)}A{(A,0.9),(C,0.1)}A");
+        let grouped = EquivalentSet::build(&r, (0, 3), 3, AlphaMode::Grouped, 10_000).unwrap();
+        let exact = EquivalentSet::build(&r, (0, 3), 3, AlphaMode::Exact, 10_000).unwrap();
+        for (w, p) in grouped.entries() {
+            let e = exact.probability_of(w);
+            assert!(*p >= -1e-12 && *p <= 1.0 + 1e-12);
+            // The β recurrence subtracts the full overlap-match probability,
+            // which can under-approximate the union; it must never
+            // over-approximate it by more than floating error.
+            assert!(*p <= e + 1e-9, "w={w:?} grouped={p} exact={e}");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Position-aware substring selection (paper §2.1, after Li et al.'s
+//! Pass-Join).
+//!
+//! For a probe string of length `|r|` and an indexed string of length
+//! `|s|` partitioned into segments, only probe windows whose start
+//! positions fall in a small range around the segment's own start can
+//! participate in an alignment within edit distance `k`. Two complete
+//! policies are provided:
+//!
+//! * [`SelectionPolicy::PositionBased`] — starts in `[p−k, p+k]`
+//!   (≤ `2k+1` windows). This is the range the paper's Table 1 and the
+//!   §3.2 worked example use.
+//! * [`SelectionPolicy::ShiftBased`] — starts in
+//!   `[p − ⌊(k−Δ)/2⌋, p + ⌊(k+Δ)/2⌋]` with `Δ = |r| − |s|`
+//!   (≤ `k+1` windows). This is the selection the paper's text describes
+//!   ("the number of substrings in set q(r,x) is thus bounded by k+1").
+//!
+//! Both satisfy the *completeness* property: any pair within edit distance
+//! `k` retains at least `m−k` matching segments (Lemma 1). The shift-based
+//! argument: a segment surviving an alignment with `e ≤ k` edits matches at
+//! a shift `δ` with `|δ| + |Δ−δ| ≤ e`, and the set of such `δ` is exactly
+//! `[−⌊(k−Δ)/2⌋, ⌊(k+Δ)/2⌋]`.
+
+use crate::partition::Segment;
+
+/// Which window-start range to use for `q(r, x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// `[p−k, p+k]`: simpler, wider (≤ 2k+1 windows). Matches the paper's
+    /// worked examples.
+    PositionBased,
+    /// `[p − ⌊(k−Δ)/2⌋, p + ⌊(k+Δ)/2⌋]`: tighter (≤ k+1 windows). Matches
+    /// the paper's text and is the default for joins.
+    #[default]
+    ShiftBased,
+}
+
+/// Inclusive range `[lo, hi]` of window start positions in the probe for
+/// `segment` of an indexed string of length `indexed_len`, or `None` when
+/// no window can participate (range empty after clamping, or the length
+/// difference already exceeds `k`).
+///
+/// Windows have exactly `segment.len` characters; the range is clamped to
+/// `[0, probe_len − segment.len]`.
+pub fn window_range(
+    policy: SelectionPolicy,
+    probe_len: usize,
+    indexed_len: usize,
+    k: usize,
+    segment: &Segment,
+) -> Option<(usize, usize)> {
+    if probe_len.abs_diff(indexed_len) > k || segment.len > probe_len {
+        return None;
+    }
+    let p = segment.start as i64;
+    let ki = k as i64;
+    let (lo, hi) = match policy {
+        SelectionPolicy::PositionBased => (p - ki, p + ki),
+        SelectionPolicy::ShiftBased => {
+            let delta = probe_len as i64 - indexed_len as i64;
+            // Floor division keeps the bound valid for negative Δ too.
+            (p - (ki - delta).div_euclid(2), p + (ki + delta).div_euclid(2))
+        }
+    };
+    let max_start = (probe_len - segment.len) as i64;
+    let lo = lo.max(0);
+    let hi = hi.min(max_start);
+    (lo <= hi).then_some((lo as usize, hi as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+
+    #[test]
+    fn table1_position_based_ranges() {
+        // r = GGATCC (len 6), S len 6, q = 2, k = 1 → segments at 0, 2, 4.
+        let segs = partition(6, 2, 1);
+        let ranges: Vec<_> = segs
+            .iter()
+            .map(|s| window_range(SelectionPolicy::PositionBased, 6, 6, 1, s).unwrap())
+            .collect();
+        // q(r,1) = starts {0,1}; q(r,2) = {1,2,3}; q(r,3) = {3,4}.
+        assert_eq!(ranges, vec![(0, 1), (1, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn shift_based_equal_lengths() {
+        // Δ = 0, k = 1 → one window per segment at exactly p... except
+        // ⌊(k−Δ)/2⌋ = 0 and ⌊(k+Δ)/2⌋ = 0.
+        let segs = partition(6, 2, 1);
+        for s in &segs {
+            let (lo, hi) = window_range(SelectionPolicy::ShiftBased, 6, 6, 1, s).unwrap();
+            assert_eq!((lo, hi), (s.start, s.start));
+        }
+    }
+
+    #[test]
+    fn shift_based_window_count_bound() {
+        // |q(r,x)| ≤ k+1 for every configuration.
+        for indexed_len in 4..20 {
+            for probe_delta in 0..4i64 {
+                let probe_len = (indexed_len as i64 + probe_delta) as usize;
+                for k in 0..4 {
+                    for q in 2..5 {
+                        for seg in partition(indexed_len, q, k) {
+                            if let Some((lo, hi)) =
+                                window_range(SelectionPolicy::ShiftBased, probe_len, indexed_len, k, &seg)
+                            {
+                                assert!(hi - lo < k + 1, "len={indexed_len} k={k} seg={seg:?}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn position_based_window_count_bound() {
+        for k in 0..5 {
+            for seg in partition(12, 3, k) {
+                if let Some((lo, hi)) =
+                    window_range(SelectionPolicy::PositionBased, 12, 12, k, &seg)
+                {
+                    assert!(hi - lo < 2 * k + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_gap_rejects() {
+        let seg = Segment { start: 0, len: 3 };
+        assert_eq!(window_range(SelectionPolicy::ShiftBased, 10, 6, 2, &seg), None);
+        assert_eq!(window_range(SelectionPolicy::PositionBased, 3, 9, 2, &seg), None);
+    }
+
+    #[test]
+    fn segment_longer_than_probe_rejects() {
+        let seg = Segment { start: 0, len: 5 };
+        assert_eq!(window_range(SelectionPolicy::ShiftBased, 4, 5, 2, &seg), None);
+    }
+
+    #[test]
+    fn clamping_to_probe_bounds() {
+        // Last segment of a length-6 string probed by a length-5 probe.
+        let seg = Segment { start: 4, len: 2 };
+        let (lo, hi) = window_range(SelectionPolicy::PositionBased, 5, 6, 1, &seg).unwrap();
+        assert!(lo >= 3 && hi <= 3, "({lo},{hi})");
+    }
+
+    /// Completeness of both policies, verified by brute force: for every
+    /// pair of short strings within edit distance k, at least m−k segments
+    /// of s have a matching window of r within the selected range.
+    #[test]
+    fn completeness_brute_force() {
+        fn all_strings(len: usize) -> Vec<Vec<u8>> {
+            (0..3usize.pow(len as u32))
+                .map(|mut x| {
+                    (0..len)
+                        .map(|_| {
+                            let c = (x % 3) as u8;
+                            x /= 3;
+                            c
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+        for policy in [SelectionPolicy::PositionBased, SelectionPolicy::ShiftBased] {
+            for s_len in 4usize..=5 {
+                for r_len in s_len.saturating_sub(1)..=s_len + 1 {
+                    let k = 1;
+                    let q = 2;
+                    let segs = partition(s_len, q, k);
+                    let m = segs.len();
+                    for s in all_strings(s_len) {
+                        for r in all_strings(r_len) {
+                            if usj_editdist::edit_distance(&r, &s) > k {
+                                continue;
+                            }
+                            let mut matched = 0;
+                            for seg in &segs {
+                                if let Some((lo, hi)) = window_range(policy, r_len, s_len, k, seg) {
+                                    let target = &s[seg.start..seg.end()];
+                                    if (lo..=hi).any(|st| &r[st..st + seg.len] == target) {
+                                        matched += 1;
+                                    }
+                                }
+                            }
+                            assert!(
+                                matched + k >= m,
+                                "completeness violated: policy={policy:?} r={r:?} s={s:?} matched={matched} m={m}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

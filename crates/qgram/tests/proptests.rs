@@ -1,0 +1,153 @@
+//! Property tests for q-gram filtering.
+//!
+//! The central soundness property: the filter must never prune a pair
+//! whose exact similarity probability exceeds τ (no false negatives).
+
+use proptest::prelude::*;
+use usj_model::{Position, UncertainString};
+use usj_qgram::{AlphaMode, FilterVerdict, QGramFilter, SelectionPolicy};
+
+fn arb_position(sigma: u8, max_alts: usize) -> impl Strategy<Value = Position> {
+    prop::collection::vec((0..sigma, 1u32..=100), 1..=max_alts).prop_map(|raw| {
+        let mut seen = std::collections::BTreeMap::new();
+        for (s, w) in raw {
+            *seen.entry(s).or_insert(0u32) += w;
+        }
+        let total: u32 = seen.values().sum();
+        let alts: Vec<(u8, f64)> = seen
+            .into_iter()
+            .map(|(s, w)| (s, w as f64 / total as f64))
+            .collect();
+        Position::uncertain(0, alts).unwrap()
+    })
+}
+
+fn arb_string(sigma: u8, len: std::ops::Range<usize>, max_alts: usize) -> impl Strategy<Value = UncertainString> {
+    prop::collection::vec(arb_position(sigma, max_alts), len).prop_map(UncertainString::new)
+}
+
+/// Exact Pr(ed(R,S) ≤ k) by enumerating the joint possible worlds.
+fn exact_similarity(r: &UncertainString, s: &UncertainString, k: usize) -> f64 {
+    let mut total = 0.0;
+    for rw in r.worlds() {
+        for sw in s.worlds() {
+            if usj_editdist::within_k(&rw.instance, &sw.instance, k) {
+                total += rw.prob * sw.prob;
+            }
+        }
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No false negatives: if the exact probability exceeds τ the filter
+    /// must keep the pair — for every policy and every *sound* α mode
+    /// (`Exact` is exact, `Naive` over-estimates; the paper's `Grouped`
+    /// recurrence can under-estimate and is exercised separately without
+    /// the strict assertion).
+    #[test]
+    fn filter_is_sound(
+        r in arb_string(3, 4..9, 2),
+        s in arb_string(3, 4..9, 2),
+        k in 1usize..3,
+        tau_pct in 1u32..60,
+        q in 2usize..4,
+    ) {
+        let tau = tau_pct as f64 / 100.0;
+        let exact = exact_similarity(&r, &s, k);
+        for policy in [SelectionPolicy::PositionBased, SelectionPolicy::ShiftBased] {
+            for mode in [AlphaMode::Exact, AlphaMode::Naive] {
+                let filter = QGramFilter::new(k, tau, q)
+                    .with_policy(policy)
+                    .with_alpha_mode(mode);
+                let out = filter.evaluate(&r, &s);
+                if exact > tau + 1e-9 {
+                    prop_assert_eq!(
+                        out.verdict,
+                        FilterVerdict::Candidate,
+                        "false negative: policy={:?} mode={:?} exact={} tau={} out={:?} r={:?} s={:?}",
+                        policy, mode, exact, tau, out, r, s
+                    );
+                }
+            }
+            // Paper-faithful mode: exercised for panics/shape only (its
+            // Theorem 2 bound is known-unsound; see usj_qgram::soundness).
+            let paper = QGramFilter::new(k, tau, q)
+                .with_policy(policy)
+                .with_alpha_mode(AlphaMode::Grouped)
+                .with_paper_bound(true);
+            let out = paper.evaluate(&r, &s);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&out.upper_bound));
+        }
+    }
+
+    /// The Theorem 2 upper bound dominates the exact probability when the
+    /// probe is deterministic (rigorous case; see DESIGN.md §3.3).
+    #[test]
+    fn deterministic_probe_bound_dominates(
+        r_world in prop::collection::vec(0u8..3, 5..9),
+        s in arb_string(3, 4..9, 2),
+        k in 1usize..3,
+        q in 2usize..4,
+    ) {
+        let r = UncertainString::from_symbols(&r_world);
+        let exact = exact_similarity(&r, &s, k);
+        for policy in [SelectionPolicy::PositionBased, SelectionPolicy::ShiftBased] {
+            let filter = QGramFilter::new(k, 0.0, q).with_policy(policy);
+            let out = filter.evaluate(&r, &s);
+            prop_assert!(
+                out.upper_bound >= exact - 1e-9,
+                "policy={:?} bound={} exact={}",
+                policy, out.upper_bound, exact
+            );
+        }
+    }
+
+    /// α values are probabilities and the bound is monotone in τ-free
+    /// quantities: bound ∈ [0,1].
+    #[test]
+    fn alphas_and_bound_are_probabilities(
+        r in arb_string(3, 4..9, 2),
+        s in arb_string(3, 4..9, 2),
+        k in 1usize..3,
+    ) {
+        let filter = QGramFilter::new(k, 0.2, 3);
+        let out = filter.evaluate(&r, &s);
+        for &a in &out.alphas {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&a), "alpha={a}");
+        }
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&out.upper_bound));
+    }
+
+    /// Exact α mode never reports a smaller bound than Grouped (the β
+    /// recurrence can only under-approximate occurrence unions).
+    #[test]
+    fn grouped_alpha_below_exact(
+        r in arb_string(3, 5..9, 2),
+        s in arb_string(3, 5..9, 2),
+        k in 1usize..3,
+    ) {
+        let grouped = QGramFilter::new(k, 0.0, 2)
+            .with_alpha_mode(AlphaMode::Grouped)
+            .evaluate(&r, &s);
+        let exact = QGramFilter::new(k, 0.0, 2)
+            .with_alpha_mode(AlphaMode::Exact)
+            .evaluate(&r, &s);
+        for (g, e) in grouped.alphas.iter().zip(&exact.alphas) {
+            prop_assert!(g <= &(e + 1e-9), "grouped α={g} exact α={e}");
+        }
+    }
+
+    /// Identical strings always survive whenever τ < Pr(R = S alignment);
+    /// in particular a deterministic string joined with itself survives
+    /// for any τ < 1.
+    #[test]
+    fn self_pair_survives(r_world in prop::collection::vec(0u8..3, 4..10), k in 1usize..3) {
+        let r = UncertainString::from_symbols(&r_world);
+        let filter = QGramFilter::new(k, 0.99, 3);
+        let out = filter.evaluate(&r, &r);
+        prop_assert_eq!(out.verdict, FilterVerdict::Candidate);
+    }
+}

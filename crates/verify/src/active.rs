@@ -1,0 +1,204 @@
+//! Incremental active-node sets (paper §6.2, after Ji et al.'s fuzzy
+//! search).
+//!
+//! For a fixed trie `T_R` and a growing probe prefix `u`, the *active set*
+//! `A(u)` is the set of trie nodes `v` with `ed(u, v) ≤ k`, annotated with
+//! that distance. It satisfies the recurrence
+//!
+//! ```text
+//! ed(u·c, v·x) = min( ed(u, v) + [c ≠ x]   — substitute/match
+//!               ,     ed(u, v·x) + 1       — delete c
+//!               ,     ed(u·c, v) + 1 )     — insert x
+//! ```
+//!
+//! so `A(u·c)` is computable from `A(u)` alone: the first two cases read
+//! the old set; the third propagates *within* the new set from parents to
+//! children, which a single ascending-id pass handles because the arena
+//! stores parents before children.
+
+use std::collections::BTreeMap;
+
+use crate::trie::InstanceTrie;
+use usj_model::Symbol;
+
+/// Active set: trie node ids with their edit distance to the current
+/// probe prefix, only entries with distance ≤ k.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSet {
+    /// `(node id, distance)` sorted by node id.
+    entries: Vec<(u32, u8)>,
+}
+
+impl ActiveSet {
+    /// The active set of the *empty* probe prefix: every node of depth
+    /// `d ≤ k` with distance `d` (deleting all its characters).
+    pub fn initial(trie: &InstanceTrie, k: usize) -> ActiveSet {
+        let mut entries = Vec::new();
+        // Nodes are in DFS order; depth filter suffices.
+        for id in 0..trie.num_nodes() as u32 {
+            let depth = trie.node(id).depth as usize;
+            if depth <= k {
+                entries.push((id, depth as u8));
+            }
+        }
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        ActiveSet { entries }
+    }
+
+    /// Entries as `(node id, distance)`, ascending by id.
+    pub fn entries(&self) -> &[(u32, u8)] {
+        &self.entries
+    }
+
+    /// `true` when no node is within distance k — the probe prefix (and
+    /// every extension of it) can be pruned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of active nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Distance of a specific node, if active.
+    pub fn distance_of(&self, id: u32) -> Option<u8> {
+        self.entries
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Computes `A(u·c)` from `A(u) = self`.
+    pub fn advance(&self, trie: &InstanceTrie, c: Symbol, k: usize) -> ActiveSet {
+        let kk = k as u8;
+        let mut map: BTreeMap<u32, u8> = BTreeMap::new();
+        let relax = |map: &mut BTreeMap<u32, u8>, id: u32, d: u8| {
+            if d <= kk {
+                map.entry(id).and_modify(|old| *old = (*old).min(d)).or_insert(d);
+            }
+        };
+        for &(v, d) in &self.entries {
+            // Delete c: v stays, distance grows.
+            relax(&mut map, v, d.saturating_add(1));
+            // Match / substitute against each child edge.
+            for &(x, child) in &trie.node(v).children {
+                relax(&mut map, child, d + u8::from(x != c));
+            }
+        }
+        // Insertion closure: propagate down the trie inside the new set.
+        // Parents precede children in id order, so one ascending pass
+        // (which may insert larger keys mid-iteration) suffices.
+        let mut cursor = 0u32;
+        while let Some((&v, &d)) = map.range(cursor..).next() {
+            if d < kk {
+                for &(_, child) in &trie.node(v).children {
+                    let nd = d + 1;
+                    map.entry(child).and_modify(|old| *old = (*old).min(nd)).or_insert(nd);
+                }
+            }
+            match v.checked_add(1) {
+                Some(next) => cursor = next,
+                None => break,
+            }
+        }
+        ActiveSet { entries: map.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_model::{Alphabet, UncertainString};
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    /// Walks the probe through the active set and cross-checks every
+    /// node's distance against a direct edit-distance computation.
+    fn check_against_direct(target: &UncertainString, probe: &[u8], k: usize) {
+        let trie = InstanceTrie::build(target, 100_000).unwrap();
+        // Collect each node's prefix string by DFS.
+        let mut prefixes: Vec<Vec<u8>> = vec![Vec::new(); trie.num_nodes()];
+        let mut stack = vec![InstanceTrie::ROOT];
+        while let Some(id) = stack.pop() {
+            for &(sym, child) in &trie.node(id).children {
+                let mut p = prefixes[id as usize].clone();
+                p.push(sym);
+                prefixes[child as usize] = p;
+                stack.push(child);
+            }
+        }
+        let mut active = ActiveSet::initial(&trie, k);
+        for step in 0..=probe.len() {
+            let prefix = &probe[..step];
+            // Expected active set by brute force.
+            let mut expected: Vec<(u32, u8)> = (0..trie.num_nodes() as u32)
+                .filter_map(|id| {
+                    let d = usj_editdist::edit_distance(prefix, &prefixes[id as usize]);
+                    (d <= k).then_some((id, d as u8))
+                })
+                .collect();
+            expected.sort_unstable_by_key(|&(id, _)| id);
+            assert_eq!(active.entries(), expected.as_slice(), "step {step} prefix {prefix:?}");
+            if step < probe.len() {
+                active = active.advance(&trie, probe[step], k);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_on_deterministic_target() {
+        let target = dna("ACGTA");
+        check_against_direct(&target, &Alphabet::dna().encode("AGTA").unwrap(), 2);
+        check_against_direct(&target, &Alphabet::dna().encode("TTTTT").unwrap(), 2);
+        check_against_direct(&target, &[], 1);
+    }
+
+    #[test]
+    fn matches_direct_on_uncertain_target() {
+        let target = dna("A{(C,0.5),(G,0.5)}G{(T,0.7),(A,0.3)}");
+        for probe in ["ACGT", "AGG", "CCCC", "AGGTA", "A"] {
+            let enc = Alphabet::dna().encode(probe).unwrap();
+            for k in 0..=2 {
+                check_against_direct(&target, &enc, k);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set_stays_empty() {
+        let target = dna("AAAA");
+        let trie = InstanceTrie::build(&target, 100).unwrap();
+        let mut active = ActiveSet::initial(&trie, 1);
+        let t = Alphabet::dna().symbol('T').unwrap();
+        for _ in 0..4 {
+            active = active.advance(&trie, t, 1);
+        }
+        assert!(active.is_empty());
+        assert!(active.advance(&trie, t, 1).is_empty());
+    }
+
+    #[test]
+    fn initial_set_depth_bound() {
+        let target = dna("{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}GG");
+        let trie = InstanceTrie::build(&target, 100).unwrap();
+        let active = ActiveSet::initial(&trie, 2);
+        for &(id, d) in active.entries() {
+            assert_eq!(trie.node(id).depth as u8, d);
+            assert!(d <= 2);
+        }
+        // root + 2 depth-1 + 4 depth-2 = 7 entries.
+        assert_eq!(active.len(), 7);
+    }
+
+    #[test]
+    fn distance_lookup() {
+        let target = dna("AC");
+        let trie = InstanceTrie::build(&target, 100).unwrap();
+        let active = ActiveSet::initial(&trie, 1);
+        assert_eq!(active.distance_of(InstanceTrie::ROOT), Some(0));
+        assert_eq!(active.distance_of(999), None);
+    }
+}

@@ -1,0 +1,125 @@
+//! Naive all-pairs verification (the paper's baseline in §7.7).
+//!
+//! Enumerates every instance pair of `R × S`, computes each edit distance
+//! with the banded prefix-pruning DP, and accumulates the probability of
+//! similar worlds. Optional early termination stops as soon as the
+//! accumulated mass proves the pair similar (`> τ`) or the remaining mass
+//! can no longer reach `τ`.
+
+use usj_model::UncertainString;
+
+/// Result of naive verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveOutcome {
+    /// `true` when `Pr(ed ≤ k) > τ`.
+    pub similar: bool,
+    /// Accumulated similar mass at the point of decision. Equal to the
+    /// exact probability when early termination was disabled or never
+    /// fired.
+    pub prob: f64,
+    /// Number of world pairs whose edit distance was evaluated.
+    pub pairs_compared: u64,
+}
+
+/// Verifies `Pr(ed(R,S) ≤ k) > τ` by enumerating world pairs.
+///
+/// With `early_stop`, iteration ends as soon as the decision is forced;
+/// `prob` is then only a lower bound on the exact probability.
+pub fn naive_verify(
+    r: &UncertainString,
+    s: &UncertainString,
+    k: usize,
+    tau: f64,
+    early_stop: bool,
+) -> NaiveOutcome {
+    if r.len().abs_diff(s.len()) > k {
+        return NaiveOutcome { similar: false, prob: 0.0, pairs_compared: 0 };
+    }
+    let s_worlds: Vec<_> = s.worlds().collect();
+    let mut acc = 0.0;
+    let mut processed_r = 0.0;
+    let mut pairs = 0u64;
+    for rw in r.worlds() {
+        let mut processed_s = 0.0;
+        for sw in &s_worlds {
+            pairs += 1;
+            if usj_editdist::edit_distance_bounded(&rw.instance, &sw.instance, k).is_some() {
+                acc += rw.prob * sw.prob;
+                if early_stop && acc > tau {
+                    return NaiveOutcome { similar: true, prob: acc, pairs_compared: pairs };
+                }
+            }
+            processed_s += sw.prob;
+        }
+        processed_r += rw.prob;
+        if early_stop {
+            // Mass that could still be added by the remaining R worlds.
+            let remaining = (1.0 - processed_r).max(0.0) + rw.prob * (1.0 - processed_s).max(0.0);
+            if acc + remaining <= tau {
+                return NaiveOutcome { similar: false, prob: acc, pairs_compared: pairs };
+            }
+        }
+    }
+    NaiveOutcome { similar: acc > tau, prob: acc, pairs_compared: pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::exact_similarity_prob;
+    use usj_model::Alphabet;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    #[test]
+    fn exact_when_not_early_stopping() {
+        let r = dna("A{(C,0.5),(G,0.5)}GT");
+        let s = dna("ACG{(T,0.4),(A,0.6)}");
+        for k in 0..3 {
+            let out = naive_verify(&r, &s, k, 0.5, false);
+            let exact = exact_similarity_prob(&r, &s, k);
+            assert!((out.prob - exact).abs() < 1e-12, "k={k}");
+            assert_eq!(out.similar, exact > 0.5);
+        }
+    }
+
+    #[test]
+    fn early_stop_decisions_agree() {
+        let cases = [
+            ("A{(C,0.5),(G,0.5)}GT", "ACG{(T,0.4),(A,0.6)}"),
+            ("ACGT", "ACGT"),
+            ("AAAA", "TTTT"),
+            ("{(A,0.9),(T,0.1)}CGT", "ACG{(T,0.5),(G,0.5)}"),
+        ];
+        for (rt, st) in cases {
+            let (r, s) = (dna(rt), dna(st));
+            for k in 0..3 {
+                for tau in [0.01, 0.3, 0.8] {
+                    let fast = naive_verify(&r, &s, k, tau, true);
+                    let slow = naive_verify(&r, &s, k, tau, false);
+                    assert_eq!(fast.similar, slow.similar, "{rt} {st} k={k} tau={tau}");
+                    assert!(fast.pairs_compared <= slow.pairs_compared);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_stop_skips_work() {
+        // Identical strings with many worlds: accept should fire quickly.
+        let r = dna("{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}GT");
+        let out = naive_verify(&r, &r, 2, 0.1, true);
+        assert!(out.similar);
+        let full = naive_verify(&r, &r, 2, 0.1, false);
+        assert!(out.pairs_compared < full.pairs_compared);
+    }
+
+    #[test]
+    fn length_gap_short_circuit() {
+        let out = naive_verify(&dna("A"), &dna("ACGT"), 1, 0.5, true);
+        assert!(!out.similar);
+        assert_eq!(out.pairs_compared, 0);
+    }
+}

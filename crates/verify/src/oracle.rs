@@ -1,0 +1,81 @@
+//! Brute-force possible-world oracle.
+//!
+//! The slowest but simplest computation of `Pr(ed(R,S) ≤ k)`: enumerate
+//! the Cartesian product of both strings' worlds. Used as the reference
+//! in tests and as the honest baseline in the verification benchmarks.
+
+use usj_model::UncertainString;
+
+/// Exact `Pr(ed(R, S) ≤ k)` by joint possible-world enumeration.
+///
+/// Exponential in the number of uncertain positions — use only on small
+/// strings or through [`exact_similarity_prob_capped`].
+pub fn exact_similarity_prob(r: &UncertainString, s: &UncertainString, k: usize) -> f64 {
+    if r.len().abs_diff(s.len()) > k {
+        return 0.0;
+    }
+    let s_worlds: Vec<_> = s.worlds().collect();
+    let mut total = 0.0;
+    for rw in r.worlds() {
+        for sw in &s_worlds {
+            if usj_editdist::within_k_auto(&rw.instance, &sw.instance, k) {
+                total += rw.prob * sw.prob;
+            }
+        }
+    }
+    total
+}
+
+/// Like [`exact_similarity_prob`] but refuses (returns `None`) when the
+/// joint world count exceeds `max_worlds`.
+pub fn exact_similarity_prob_capped(
+    r: &UncertainString,
+    s: &UncertainString,
+    k: usize,
+    max_worlds: u64,
+) -> Option<f64> {
+    let rn = r.num_worlds_capped(max_worlds)?;
+    let sn = s.num_worlds_capped(max_worlds)?;
+    if rn.checked_mul(sn)? > max_worlds {
+        return None;
+    }
+    Some(exact_similarity_prob(r, s, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_model::Alphabet;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    #[test]
+    fn deterministic_pairs() {
+        assert_eq!(exact_similarity_prob(&dna("ACGT"), &dna("ACGT"), 0), 1.0);
+        assert_eq!(exact_similarity_prob(&dna("ACGT"), &dna("AGGT"), 0), 0.0);
+        assert_eq!(exact_similarity_prob(&dna("ACGT"), &dna("AGGT"), 1), 1.0);
+    }
+
+    #[test]
+    fn single_uncertain_position() {
+        // R = A{(C,0.7),(G,0.3)}T vs S = ACT with k = 0: only the C world
+        // matches exactly.
+        let p = exact_similarity_prob(&dna("A{(C,0.7),(G,0.3)}T"), &dna("ACT"), 0);
+        assert!((p - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_gap_is_zero() {
+        assert_eq!(exact_similarity_prob(&dna("A"), &dna("ACGT"), 2), 0.0);
+    }
+
+    #[test]
+    fn cap_behaviour() {
+        let r = dna("{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}");
+        let s = dna("{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}");
+        assert!(exact_similarity_prob_capped(&r, &s, 1, 15).is_none());
+        assert!(exact_similarity_prob_capped(&r, &s, 1, 16).is_some());
+    }
+}

@@ -1,0 +1,192 @@
+//! Tries over the possible instances of an uncertain string.
+//!
+//! A node at depth `d` represents one instance of the length-`d` prefix of
+//! the string; leaves (depth = string length) are full possible worlds.
+//! Node probabilities are the products of per-position probabilities along
+//! the path, so a leaf's probability is its world's probability and an
+//! inner node's probability is the total mass of the worlds below it.
+//!
+//! Nodes are stored in a flat arena in DFS order, which guarantees
+//! `parent id < child id` — the property the active-set closure pass in
+//! [`crate::active`] relies on.
+
+use usj_model::{Prob, Symbol, UncertainString};
+
+/// One trie node.
+#[derive(Debug, Clone)]
+pub struct TrieNode {
+    /// Depth = number of characters on the path from the root.
+    pub depth: u32,
+    /// Edge label from the parent (unspecified for the root).
+    pub symbol: Symbol,
+    /// Probability mass of the subtree (product of position probabilities
+    /// along the path).
+    pub prob: Prob,
+    /// Children as `(edge symbol, node id)`, sorted by symbol.
+    pub children: Vec<(Symbol, u32)>,
+}
+
+/// Trie of all possible instances of an uncertain string.
+#[derive(Debug, Clone)]
+pub struct InstanceTrie {
+    nodes: Vec<TrieNode>,
+    len: usize,
+}
+
+impl InstanceTrie {
+    /// Builds the full trie for `s`, or `None` if it would exceed
+    /// `max_nodes` nodes (worlds grow exponentially with uncertain
+    /// positions; the paper's experiments cap uncertain characters at 8).
+    pub fn build(s: &UncertainString, max_nodes: usize) -> Option<InstanceTrie> {
+        let mut nodes = Vec::new();
+        nodes.push(TrieNode { depth: 0, symbol: 0, prob: 1.0, children: Vec::new() });
+        // Iterative DFS carrying (node id, depth, path probability).
+        let mut stack = vec![0u32];
+        while let Some(id) = stack.pop() {
+            let depth = nodes[id as usize].depth as usize;
+            if depth == s.len() {
+                continue;
+            }
+            let parent_prob = nodes[id as usize].prob;
+            let mut children = Vec::with_capacity(s.position(depth).num_alternatives());
+            for (sym, p) in s.position(depth).alternatives() {
+                if nodes.len() >= max_nodes {
+                    return None;
+                }
+                let child = nodes.len() as u32;
+                nodes.push(TrieNode {
+                    depth: depth as u32 + 1,
+                    symbol: sym,
+                    prob: parent_prob * p,
+                    children: Vec::new(),
+                });
+                children.push((sym, child));
+                stack.push(child);
+            }
+            nodes[id as usize].children = children;
+        }
+        Some(InstanceTrie { nodes, len: s.len() })
+    }
+
+    /// Length of the underlying string (= leaf depth).
+    pub fn string_len(&self) -> usize {
+        self.len
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves (= number of possible worlds).
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.depth as usize == self.len).count()
+    }
+
+    /// Access a node by id.
+    #[inline]
+    pub fn node(&self, id: u32) -> &TrieNode {
+        &self.nodes[id as usize]
+    }
+
+    /// The root node id.
+    pub const ROOT: u32 = 0;
+
+    /// `true` when `id` is a leaf (full instance).
+    #[inline]
+    pub fn is_leaf(&self, id: u32) -> bool {
+        self.node(id).depth as usize == self.len
+    }
+
+    /// Reconstructs the instance string for a node by walking up is not
+    /// possible in the flat arena (no parent links); instead this walks
+    /// *down* from the root following the highest-probability path — used
+    /// only by diagnostics.
+    pub fn most_probable_leaf(&self) -> (Vec<Symbol>, Prob) {
+        let mut id = Self::ROOT;
+        let mut out = Vec::with_capacity(self.len);
+        while !self.is_leaf(id) {
+            let node = self.node(id);
+            let &(sym, child) = node
+                .children
+                .iter()
+                .max_by(|a, b| {
+                    let pa = self.node(a.1).prob;
+                    let pb = self.node(b.1).prob;
+                    pa.partial_cmp(&pb).unwrap()
+                })
+                .expect("inner nodes have children");
+            out.push(sym);
+            id = child;
+        }
+        (out, self.node(id).prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_model::Alphabet;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    #[test]
+    fn deterministic_chain() {
+        let t = InstanceTrie::build(&dna("ACGT"), 1000).unwrap();
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.string_len(), 4);
+        let (inst, p) = t.most_probable_leaf();
+        assert_eq!(Alphabet::dna().decode(&inst), "ACGT");
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn branching_counts() {
+        let s = dna("{(A,0.5),(C,0.5)}{(G,0.3),(T,0.7)}");
+        let t = InstanceTrie::build(&s, 1000).unwrap();
+        // root + 2 depth-1 + 4 depth-2.
+        assert_eq!(t.num_nodes(), 7);
+        assert_eq!(t.num_leaves(), 4);
+    }
+
+    #[test]
+    fn leaf_probabilities_match_worlds() {
+        let s = dna("{(A,0.2),(C,0.8)}G{(A,0.6),(T,0.4)}");
+        let t = InstanceTrie::build(&s, 1000).unwrap();
+        let leaf_total: f64 = (0..t.num_nodes() as u32)
+            .filter(|&id| t.is_leaf(id))
+            .map(|id| t.node(id).prob)
+            .sum();
+        assert!((leaf_total - 1.0).abs() < 1e-12);
+        assert_eq!(t.num_leaves(), s.worlds().count());
+    }
+
+    #[test]
+    fn parent_ids_precede_children() {
+        let s = dna("{(A,0.5),(C,0.5)}{(G,0.3),(T,0.7)}{(A,0.5),(C,0.5)}");
+        let t = InstanceTrie::build(&s, 1000).unwrap();
+        for id in 0..t.num_nodes() as u32 {
+            for &(_, child) in &t.node(id).children {
+                assert!(child > id, "child {child} ≤ parent {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_cap() {
+        let s = dna("{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}");
+        assert!(InstanceTrie::build(&s, 5).is_none());
+        assert!(InstanceTrie::build(&s, 1000).is_some());
+    }
+
+    #[test]
+    fn empty_string_is_root_only() {
+        let t = InstanceTrie::build(&UncertainString::empty(), 10).unwrap();
+        assert_eq!(t.num_nodes(), 1);
+        assert!(t.is_leaf(InstanceTrie::ROOT));
+        assert_eq!(t.num_leaves(), 1);
+    }
+}

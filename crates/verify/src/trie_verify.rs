@@ -1,0 +1,293 @@
+//! Trie-based verification (paper §6.2).
+//!
+//! [`TrieVerifier`] materialises the instance trie `T_R` of the probe
+//! **once** and reuses it for every candidate `S` of the probe. For a
+//! candidate, it walks the logical trie `T_S` depth-first *without
+//! materialising it*: a prefix's children are visited only while the
+//! prefix's active set (nodes of `T_R` within distance `k`) is non-empty,
+//! so whole families of `S`-worlds sharing a hopeless prefix are skipped
+//! at once. At an `S`-leaf, every *leaf* in the active set is a similar
+//! world pair and contributes `p(s)·p(r)` to `Pr(ed(R,S) ≤ k)`.
+//!
+//! Early termination (optional): accept as soon as the accumulated mass
+//! exceeds `τ`; reject as soon as accumulated + unexplored mass drops to
+//! `≤ τ`.
+
+use usj_model::{Prob, UncertainString};
+
+use crate::active::ActiveSet;
+use crate::trie::InstanceTrie;
+
+/// Statistics of one verification run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyStats {
+    /// Logical `T_S` nodes whose active set was computed.
+    pub s_nodes_expanded: u64,
+    /// Logical `T_S` subtrees pruned by an empty active set.
+    pub s_subtrees_pruned: u64,
+    /// `S`-leaves reached (worlds of S actually examined).
+    pub s_leaves_reached: u64,
+}
+
+/// Result of trie-based verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyOutcome {
+    /// `true` when `Pr(ed ≤ k) > τ`.
+    pub similar: bool,
+    /// Accumulated similar mass at the decision point (exact when early
+    /// termination is off or never fired).
+    pub prob: Prob,
+    /// Work counters.
+    pub stats: VerifyStats,
+}
+
+/// Verifier holding the probe's trie, reusable across all candidates of
+/// the probe (the paper amortises `T_R` construction the same way).
+#[derive(Debug, Clone)]
+pub struct TrieVerifier {
+    trie: InstanceTrie,
+    k: usize,
+    tau: Prob,
+    early_stop: bool,
+}
+
+impl TrieVerifier {
+    /// Builds the verifier for probe `r`; `None` if the probe's trie
+    /// exceeds `max_nodes`.
+    pub fn new(r: &UncertainString, k: usize, tau: Prob, max_nodes: usize) -> Option<TrieVerifier> {
+        assert!((0.0..=1.0).contains(&tau), "tau must lie in [0, 1]");
+        Some(TrieVerifier {
+            trie: InstanceTrie::build(r, max_nodes)?,
+            k,
+            tau,
+            early_stop: true,
+        })
+    }
+
+    /// Disables early termination so `prob` is always the exact
+    /// probability (used by tests and the verification ablation).
+    pub fn without_early_stop(mut self) -> Self {
+        self.early_stop = false;
+        self
+    }
+
+    /// The probe trie (exposed for diagnostics/benchmarks).
+    pub fn trie(&self) -> &InstanceTrie {
+        &self.trie
+    }
+
+    /// Verifies one candidate.
+    pub fn verify(&self, s: &UncertainString) -> VerifyOutcome {
+        let mut stats = VerifyStats::default();
+        if s.len().abs_diff(self.trie.string_len()) > self.k {
+            return VerifyOutcome { similar: false, prob: 0.0, stats };
+        }
+        let initial = ActiveSet::initial(&self.trie, self.k);
+        let mut walker = Walker {
+            verifier: self,
+            s,
+            acc: 0.0,
+            explored: 0.0,
+            stats: &mut stats,
+            decided: None,
+        };
+        walker.dfs(0, 1.0, &initial);
+        let decided = walker.decided;
+        let acc = walker.acc;
+        match decided {
+            Some(similar) => VerifyOutcome { similar, prob: acc, stats },
+            None => VerifyOutcome { similar: acc > self.tau, prob: acc, stats },
+        }
+    }
+}
+
+struct Walker<'a> {
+    verifier: &'a TrieVerifier,
+    s: &'a UncertainString,
+    /// Accumulated similar mass.
+    acc: Prob,
+    /// Mass of S-prefixes fully resolved (explored to leaves or pruned).
+    explored: Prob,
+    stats: &'a mut VerifyStats,
+    decided: Option<bool>,
+}
+
+impl Walker<'_> {
+    /// Depth-first walk over the logical trie of `S`.
+    ///
+    /// `depth` = number of fixed S characters, `prefix_prob` = probability
+    /// of the current S prefix, `active` = A(prefix).
+    fn dfs(&mut self, depth: usize, prefix_prob: Prob, active: &ActiveSet) {
+        if self.decided.is_some() {
+            return;
+        }
+        self.stats.s_nodes_expanded += 1;
+        if depth == self.s.len() {
+            // Full S instance: every leaf in the active set is a world of
+            // R within distance k.
+            self.stats.s_leaves_reached += 1;
+            let mut leaf_mass = 0.0;
+            for &(id, _) in active.entries() {
+                if self.verifier.trie.is_leaf(id) {
+                    leaf_mass += self.verifier.trie.node(id).prob;
+                }
+            }
+            self.acc += prefix_prob * leaf_mass;
+            self.explored += prefix_prob;
+            self.check_termination();
+            return;
+        }
+        for (sym, p) in self.s.position(depth).alternatives() {
+            if self.decided.is_some() {
+                return;
+            }
+            let child_prob = prefix_prob * p;
+            let next = active.advance(&self.verifier.trie, sym, self.verifier.k);
+            if next.is_empty() {
+                // No extension of this prefix can be similar: prune the
+                // whole subtree (and all worlds below it).
+                self.stats.s_subtrees_pruned += 1;
+                self.explored += child_prob;
+                self.check_termination();
+            } else {
+                self.dfs(depth + 1, child_prob, &next);
+            }
+        }
+    }
+
+    fn check_termination(&mut self) {
+        if !self.verifier.early_stop {
+            return;
+        }
+        if self.acc > self.verifier.tau {
+            self.decided = Some(true);
+        } else if self.acc + (1.0 - self.explored) <= self.verifier.tau {
+            // Even if every unexplored world matched with full R mass the
+            // threshold is out of reach.
+            self.decided = Some(false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_verify;
+    use crate::oracle::exact_similarity_prob;
+    use usj_model::Alphabet;
+
+    fn dna(text: &str) -> UncertainString {
+        UncertainString::parse(text, &Alphabet::dna()).unwrap()
+    }
+
+    const CASES: &[(&str, &str)] = &[
+        ("ACGT", "ACGT"),
+        ("ACGT", "AGGT"),
+        ("AAAA", "TTTT"),
+        ("A{(C,0.5),(G,0.5)}GT", "ACG{(T,0.4),(A,0.6)}"),
+        ("{(A,0.9),(T,0.1)}CGT", "ACG{(T,0.5),(G,0.5)}"),
+        (
+            "{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}GT",
+            "{(A,0.3),(C,0.7)}AG{(T,0.8),(G,0.2)}",
+        ),
+        ("ACGTACGT", "ACG{(T,0.5),(A,0.5)}ACGT"),
+    ];
+
+    #[test]
+    fn exact_probability_without_early_stop() {
+        for (rt, st) in CASES {
+            let (r, s) = (dna(rt), dna(st));
+            for k in 0..3 {
+                let v = TrieVerifier::new(&r, k, 0.5, 100_000)
+                    .unwrap()
+                    .without_early_stop();
+                let out = v.verify(&s);
+                let exact = exact_similarity_prob(&r, &s, k);
+                assert!(
+                    (out.prob - exact).abs() < 1e-9,
+                    "{rt} vs {st} k={k}: trie={} exact={exact}",
+                    out.prob
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_stop_agrees_with_naive() {
+        for (rt, st) in CASES {
+            let (r, s) = (dna(rt), dna(st));
+            for k in 0..3 {
+                // τ values chosen off the exact-probability lattice of the
+                // cases above; a τ exactly equal to Pr(ed ≤ k) is a
+                // floating-point knife edge where either decision is
+                // defensible.
+                for tau in [0.01, 0.26, 0.61, 0.93] {
+                    let v = TrieVerifier::new(&r, k, tau, 100_000).unwrap();
+                    let trie_out = v.verify(&s);
+                    let naive_out = naive_verify(&r, &s, k, tau, false);
+                    assert_eq!(
+                        trie_out.similar, naive_out.similar,
+                        "{rt} vs {st} k={k} tau={tau}: trie={trie_out:?} naive={naive_out:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_leaf_visits() {
+        // S has 2^6 worlds but shares a hopeless prefix with R on most of
+        // them.
+        let r = dna("AAAAAAAA");
+        let s = dna(
+            "{(T,0.5),(G,0.5)}{(T,0.5),(G,0.5)}{(T,0.5),(G,0.5)}\
+             {(T,0.5),(G,0.5)}{(T,0.5),(G,0.5)}{(T,0.5),(G,0.5)}AA",
+        );
+        let v = TrieVerifier::new(&r, 2, 0.0, 100_000).unwrap().without_early_stop();
+        let out = v.verify(&s);
+        assert_eq!(out.prob, 0.0);
+        assert!(!out.similar);
+        assert!(
+            out.stats.s_leaves_reached < 64,
+            "expected prefix pruning, visited {} leaves",
+            out.stats.s_leaves_reached
+        );
+        assert!(out.stats.s_subtrees_pruned > 0);
+    }
+
+    #[test]
+    fn early_accept_stops_quickly() {
+        let r = dna("{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}GTGT");
+        let v = TrieVerifier::new(&r, 2, 0.05, 100_000).unwrap();
+        let out = v.verify(&r);
+        assert!(out.similar);
+        let full = TrieVerifier::new(&r, 2, 0.05, 100_000)
+            .unwrap()
+            .without_early_stop()
+            .verify(&r);
+        assert!(out.stats.s_nodes_expanded < full.stats.s_nodes_expanded);
+    }
+
+    #[test]
+    fn length_gap_short_circuits() {
+        let v = TrieVerifier::new(&dna("ACGT"), 1, 0.5, 1000).unwrap();
+        let out = v.verify(&dna("ACGTACGT"));
+        assert!(!out.similar);
+        assert_eq!(out.stats.s_nodes_expanded, 0);
+    }
+
+    #[test]
+    fn trie_cap_respected() {
+        let r = dna("{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}{(A,0.5),(C,0.5)}");
+        assert!(TrieVerifier::new(&r, 1, 0.5, 4).is_none());
+    }
+
+    #[test]
+    fn empty_strings() {
+        let e = UncertainString::empty();
+        let v = TrieVerifier::new(&e, 0, 0.5, 10).unwrap();
+        let out = v.verify(&e);
+        assert!(out.similar);
+        assert!((out.prob - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests: trie verification is exactly the possible-world oracle.
+
+use proptest::prelude::*;
+use usj_model::{Position, UncertainString};
+use usj_verify::{
+    exact_similarity_prob, naive_verify, ActiveSet, InstanceTrie, LazyTrieVerifier, TrieVerifier,
+};
+
+fn arb_position(sigma: u8, max_alts: usize) -> impl Strategy<Value = Position> {
+    prop::collection::vec((0..sigma, 1u32..=100), 1..=max_alts).prop_map(|raw| {
+        let mut seen = std::collections::BTreeMap::new();
+        for (s, w) in raw {
+            *seen.entry(s).or_insert(0u32) += w;
+        }
+        let total: u32 = seen.values().sum();
+        let alts: Vec<(u8, f64)> = seen
+            .into_iter()
+            .map(|(s, w)| (s, w as f64 / total as f64))
+            .collect();
+        Position::uncertain(0, alts).unwrap()
+    })
+}
+
+fn arb_string(sigma: u8, len: std::ops::Range<usize>) -> impl Strategy<Value = UncertainString> {
+    prop::collection::vec(arb_position(sigma, 2), len).prop_map(UncertainString::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Trie verification without early stop computes the oracle exactly.
+    #[test]
+    fn trie_equals_oracle(
+        r in arb_string(3, 0..7),
+        s in arb_string(3, 0..7),
+        k in 0usize..3,
+    ) {
+        let exact = exact_similarity_prob(&r, &s, k);
+        let v = TrieVerifier::new(&r, k, 0.5, 1_000_000).unwrap().without_early_stop();
+        let out = v.verify(&s);
+        prop_assert!((out.prob - exact).abs() < 1e-9, "trie={} oracle={exact}", out.prob);
+    }
+
+    /// Early-stop decisions equal full decisions for any τ.
+    #[test]
+    fn early_stop_decision_correct(
+        r in arb_string(3, 1..7),
+        s in arb_string(3, 1..7),
+        k in 0usize..3,
+        tau_pct in 1u32..99,
+    ) {
+        // Perturb τ off exact-probability ties (see DESIGN.md):
+        let tau = tau_pct as f64 / 100.0 + 1e-4;
+        let exact = exact_similarity_prob(&r, &s, k);
+        prop_assume!((exact - tau).abs() > 1e-6);
+        let v = TrieVerifier::new(&r, k, tau, 1_000_000).unwrap();
+        let out = v.verify(&s);
+        prop_assert_eq!(out.similar, exact > tau, "exact={} tau={} out={:?}", exact, tau, out);
+    }
+
+    /// Naive verification with early stop matches the oracle decision.
+    #[test]
+    fn naive_early_stop_correct(
+        r in arb_string(3, 1..7),
+        s in arb_string(3, 1..7),
+        k in 0usize..3,
+        tau_pct in 1u32..99,
+    ) {
+        let tau = tau_pct as f64 / 100.0 + 1e-4;
+        let exact = exact_similarity_prob(&r, &s, k);
+        prop_assume!((exact - tau).abs() > 1e-6);
+        let out = naive_verify(&r, &s, k, tau, true);
+        prop_assert_eq!(out.similar, exact > tau);
+    }
+
+    /// Active sets advanced character-by-character always agree with
+    /// direct edit distances to every trie prefix.
+    #[test]
+    fn active_sets_are_exact(
+        target in arb_string(3, 1..6),
+        probe in prop::collection::vec(0u8..3, 0..7),
+        k in 0usize..3,
+    ) {
+        let trie = InstanceTrie::build(&target, 1_000_000).unwrap();
+        // Prefix strings per node.
+        let mut prefixes: Vec<Vec<u8>> = vec![Vec::new(); trie.num_nodes()];
+        let mut stack = vec![InstanceTrie::ROOT];
+        while let Some(id) = stack.pop() {
+            for &(sym, child) in &trie.node(id).children {
+                let mut p = prefixes[id as usize].clone();
+                p.push(sym);
+                prefixes[child as usize] = p;
+                stack.push(child);
+            }
+        }
+        let mut active = ActiveSet::initial(&trie, k);
+        for step in 0..=probe.len() {
+            let prefix = &probe[..step];
+            for id in 0..trie.num_nodes() as u32 {
+                let d = usj_editdist::edit_distance(prefix, &prefixes[id as usize]);
+                let got = active.distance_of(id);
+                if d <= k {
+                    prop_assert_eq!(got, Some(d as u8), "node {} prefix {:?}", id, prefix);
+                } else {
+                    prop_assert_eq!(got, None, "node {} prefix {:?}", id, prefix);
+                }
+            }
+            if step < probe.len() {
+                active = active.advance(&trie, probe[step], k);
+            }
+        }
+    }
+
+    /// The lazy trie verifier computes the oracle exactly (no early stop)
+    /// and agrees with the eager verifier's decisions under early stop.
+    #[test]
+    fn lazy_equals_oracle_and_eager(
+        r in arb_string(3, 0..7),
+        s in arb_string(3, 0..7),
+        k in 0usize..3,
+        tau_pct in 1u32..99,
+    ) {
+        let exact = exact_similarity_prob(&r, &s, k);
+        let mut lazy = LazyTrieVerifier::new(&r, k, 0.5).without_early_stop();
+        let out = lazy.verify(&s);
+        prop_assert!((out.prob - exact).abs() < 1e-9, "lazy={} oracle={}", out.prob, exact);
+
+        let tau = tau_pct as f64 / 100.0 + 1e-4;
+        prop_assume!((exact - tau).abs() > 1e-6);
+        let mut lazy = LazyTrieVerifier::new(&r, k, tau);
+        prop_assert_eq!(lazy.verify(&s).similar, exact > tau);
+    }
+
+    /// Verifying several candidates against one lazy verifier (trie
+    /// reuse) gives the same answers as fresh verifiers.
+    #[test]
+    fn lazy_trie_reuse_is_stateless(
+        r in arb_string(3, 1..6),
+        candidates in prop::collection::vec(arb_string(3, 1..6), 1..4),
+        k in 0usize..3,
+    ) {
+        let mut shared = LazyTrieVerifier::new(&r, k, 0.3);
+        for s in &candidates {
+            let shared_out = shared.verify(s);
+            let mut fresh = LazyTrieVerifier::new(&r, k, 0.3);
+            let fresh_out = fresh.verify(s);
+            prop_assert_eq!(shared_out.similar, fresh_out.similar);
+            prop_assert!((shared_out.prob - fresh_out.prob).abs() < 1e-9);
+        }
+    }
+
+    /// The trie verifier's accumulated probability is always a valid
+    /// probability and the leaf mass of the trie is 1.
+    #[test]
+    fn trie_mass_conservation(r in arb_string(4, 0..7)) {
+        let trie = InstanceTrie::build(&r, 1_000_000).unwrap();
+        let leaf_mass: f64 = (0..trie.num_nodes() as u32)
+            .filter(|&id| trie.is_leaf(id))
+            .map(|id| trie.node(id).prob)
+            .sum();
+        prop_assert!((leaf_mass - 1.0).abs() < 1e-9);
+        prop_assert_eq!(trie.num_leaves() as f64, r.num_worlds());
+    }
+}

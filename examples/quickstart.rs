@@ -1,0 +1,40 @@
+//! Quickstart: join a small collection of uncertain strings.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use uncertain_join::join::{JoinConfig, SimilarityJoin};
+use uncertain_join::model::{Alphabet, UncertainString};
+
+fn main() {
+    // DNA reads with sequencing uncertainty: position distributions use
+    // the paper's syntax, e.g. {(A,0.6),(T,0.4)}.
+    let dna = Alphabet::dna();
+    let reads = [
+        "ACGT{(A,0.6),(T,0.4)}CCA",
+        "ACG{(T,0.9),(G,0.1)}ACCA",
+        "ACGTACCA",
+        "TTTTGGGG",
+        "ACGT{(A,0.5),(C,0.5)}CC",
+    ];
+    let strings: Vec<UncertainString> = reads
+        .iter()
+        .map(|t| UncertainString::parse(t, &dna).expect("valid uncertain string"))
+        .collect();
+
+    // Report pairs with Pr(ed ≤ 2) > 0.3. Disable early termination so
+    // the reported probabilities are exact.
+    let config = JoinConfig::new(2, 0.3).with_early_stop(false);
+    let join = SimilarityJoin::new(config, dna.size());
+    let result = join.self_join(&strings);
+
+    println!("similar pairs (k = 2, tau = 0.3):");
+    for pair in &result.pairs {
+        println!(
+            "  #{} ~ #{}  Pr(ed <= 2) = {:.4}",
+            pair.left, pair.right, pair.prob
+        );
+        println!("      {}", strings[pair.left as usize].display(&dna));
+        println!("      {}", strings[pair.right as usize].display(&dna));
+    }
+    println!("\nstats: {}", result.stats.summary());
+}

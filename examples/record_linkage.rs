@@ -1,0 +1,67 @@
+//! Cross-collection record linkage: matching two independent uncertain
+//! name collections (e.g. two noisy data sources covering overlapping
+//! populations).
+//!
+//! Uses the cross-collection join `SimilarityJoin::join(left, right)` —
+//! the generalisation of the paper's self-join (its `R × S` definition).
+//!
+//! Run with `cargo run --release --example record_linkage`.
+
+use uncertain_join::datagen::{DatasetKind, DatasetSpec};
+use uncertain_join::join::{JoinConfig, SimilarityJoin};
+use uncertain_join::model::UncertainString;
+
+fn main() {
+    // Two sources: the second re-digitises a subset of the first with
+    // fresh noise (modelled by regenerating with a different seed and
+    // re-uncertainty-injecting the shared bases).
+    let source_a = DatasetSpec::new(DatasetKind::Dblp, 400, 100).generate();
+
+    // Source B: noisy copies of half of A's records plus fresh ones.
+    let mut b_strings: Vec<UncertainString> = Vec::new();
+    for s in source_a.strings.iter().take(200) {
+        // Take the most probable reading and flip every 9th character into
+        // a two-way uncertainty — a different noise process than A's.
+        let world = s.most_probable_world();
+        let mut text = String::new();
+        for (i, &sym) in world.instance.iter().enumerate() {
+            let c = source_a.alphabet.char_of(sym);
+            if i % 9 == 4 {
+                let alt = source_a.alphabet.char_of((sym + 1) % source_a.alphabet.size() as u8);
+                text.push_str(&format!("{{({c},0.8),({alt},0.2)}}"));
+            } else {
+                text.push(c);
+            }
+        }
+        b_strings.push(UncertainString::parse(&text, &source_a.alphabet).unwrap());
+    }
+    let fresh = DatasetSpec::new(DatasetKind::Dblp, 200, 999).generate();
+    b_strings.extend(fresh.strings);
+
+    let config = JoinConfig::new(2, 0.1);
+    let join = SimilarityJoin::new(config, source_a.alphabet.size());
+    let result = join.join(&source_a.strings, &b_strings);
+
+    println!(
+        "linked {} record pairs between source A ({}) and source B ({})",
+        result.pairs.len(),
+        source_a.strings.len(),
+        b_strings.len()
+    );
+    // The first 200 B records are planted links: measure recall on them.
+    let recalled = (0..200u32)
+        .filter(|&i| result.pairs.iter().any(|p| p.left == i && p.right == i))
+        .count();
+    println!("planted links recovered: {recalled}/200");
+    for pair in result.pairs.iter().take(5) {
+        println!(
+            "  A#{} ~ B#{}  Pr >= {:.3}\n    {}\n    {}",
+            pair.left,
+            pair.right,
+            pair.prob,
+            source_a.strings[pair.left as usize].display(&source_a.alphabet),
+            b_strings[pair.right as usize].display(&source_a.alphabet),
+        );
+    }
+    println!("\nstats: {}", result.stats.summary());
+}

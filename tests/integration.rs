@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: generated datasets through the full
+//! public API, validated against the possible-world oracle.
+
+use uncertain_join::datagen::{DatasetJson, DatasetKind, DatasetSpec};
+use uncertain_join::join::{
+    oracle_self_join, IndexedCollection, JoinConfig, Pipeline, SimilarityJoin, VerifierKind,
+};
+use uncertain_join::model::{Alphabet, UncertainString};
+use uncertain_join::verify::exact_similarity_prob_capped;
+
+/// A small generated dataset whose world counts stay oracle-friendly.
+fn small_dataset(kind: DatasetKind, n: usize, seed: u64) -> uncertain_join::datagen::Dataset {
+    let mut spec = DatasetSpec::new(kind, n, seed);
+    spec.uncertainty.theta = 0.12;
+    spec.uncertainty.gamma = 3;
+    spec.generate()
+}
+
+#[test]
+fn generated_dblp_join_matches_oracle() {
+    let ds = small_dataset(DatasetKind::Dblp, 40, 1);
+    let (k, tau) = (2usize, 0.1001f64);
+    let expected: Vec<(u32, u32)> = oracle_self_join(&ds.strings, k, tau)
+        .iter()
+        .map(|p| (p.left, p.right))
+        .collect();
+    for pipeline in Pipeline::all() {
+        let config = JoinConfig::new(k, tau).with_pipeline(pipeline).with_early_stop(false);
+        let result = SimilarityJoin::new(config, ds.alphabet.size()).self_join(&ds.strings);
+        let got: Vec<(u32, u32)> = result.pairs.iter().map(|p| (p.left, p.right)).collect();
+        assert_eq!(got, expected, "{pipeline:?}");
+    }
+}
+
+#[test]
+fn generated_protein_join_matches_oracle() {
+    let ds = small_dataset(DatasetKind::Protein, 30, 2);
+    let (k, tau) = (4usize, 0.0101f64);
+    let expected: Vec<(u32, u32)> = oracle_self_join(&ds.strings, k, tau)
+        .iter()
+        .map(|p| (p.left, p.right))
+        .collect();
+    let config = JoinConfig::new(k, tau).with_early_stop(false);
+    let result = SimilarityJoin::new(config, ds.alphabet.size()).self_join(&ds.strings);
+    let got: Vec<(u32, u32)> = result.pairs.iter().map(|p| (p.left, p.right)).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn verifier_kinds_agree_on_generated_data() {
+    let ds = small_dataset(DatasetKind::Dblp, 50, 3);
+    let mut reference: Option<Vec<(u32, u32)>> = None;
+    for kind in [VerifierKind::LazyTrie, VerifierKind::Trie, VerifierKind::Naive] {
+        let config = JoinConfig::new(2, 0.1).with_verifier(kind);
+        let result = SimilarityJoin::new(config, ds.alphabet.size()).self_join(&ds.strings);
+        let got: Vec<(u32, u32)> = result.pairs.iter().map(|p| (p.left, p.right)).collect();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "{kind:?}"),
+        }
+    }
+}
+
+#[test]
+fn search_is_consistent_with_join() {
+    // Every join pair (i, j) must be rediscovered by searching string i
+    // against the full collection (and vice versa).
+    let ds = small_dataset(DatasetKind::Dblp, 35, 4);
+    let config = JoinConfig::new(2, 0.1);
+    let join_result =
+        SimilarityJoin::new(config.clone(), ds.alphabet.size()).self_join(&ds.strings);
+    let collection =
+        IndexedCollection::build(config, ds.alphabet.size(), ds.strings.clone());
+    for pair in &join_result.pairs {
+        let hits = collection.search(&ds.strings[pair.left as usize]);
+        assert!(
+            hits.iter().any(|h| h.id == pair.right),
+            "search({}) must find {}",
+            pair.left,
+            pair.right
+        );
+    }
+}
+
+#[test]
+fn search_probe_matches_itself() {
+    let ds = small_dataset(DatasetKind::Protein, 25, 5);
+    let collection = IndexedCollection::build(
+        JoinConfig::new(2, 0.5),
+        ds.alphabet.size(),
+        ds.strings.clone(),
+    );
+    for (i, s) in ds.strings.iter().enumerate() {
+        let hits = collection.search(s);
+        assert!(hits.iter().any(|h| h.id == i as u32), "string {i} must match itself");
+    }
+}
+
+#[test]
+fn dataset_json_roundtrip_preserves_join_results() {
+    let ds = small_dataset(DatasetKind::Dblp, 30, 6);
+    let json = DatasetJson::from(&ds).to_json();
+    let back = DatasetJson::from_json(&json).unwrap().into_dataset().unwrap();
+    let config = JoinConfig::new(2, 0.1);
+    let a = SimilarityJoin::new(config.clone(), ds.alphabet.size()).self_join(&ds.strings);
+    let b = SimilarityJoin::new(config, back.alphabet.size()).self_join(&back.strings);
+    assert_eq!(
+        a.pairs.iter().map(|p| (p.left, p.right)).collect::<Vec<_>>(),
+        b.pairs.iter().map(|p| (p.left, p.right)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn reported_probabilities_are_exact_in_exact_mode() {
+    let ds = small_dataset(DatasetKind::Dblp, 25, 7);
+    let config = JoinConfig::new(2, 0.1).with_early_stop(false);
+    let result = SimilarityJoin::new(config, ds.alphabet.size()).self_join(&ds.strings);
+    for pair in &result.pairs {
+        let exact = exact_similarity_prob_capped(
+            &ds.strings[pair.left as usize],
+            &ds.strings[pair.right as usize],
+            2,
+            1 << 22,
+        )
+        .expect("worlds within cap for this dataset");
+        assert!(
+            (pair.prob - exact).abs() < 1e-9,
+            "pair ({}, {}): reported {} exact {}",
+            pair.left,
+            pair.right,
+            pair.prob,
+            exact
+        );
+    }
+}
+
+#[test]
+fn facade_parse_and_join_roundtrip() {
+    // The README quickstart, as a test.
+    let dna = Alphabet::dna();
+    let strings: Vec<UncertainString> = [
+        "ACGT{(A,0.6),(T,0.4)}CCA",
+        "ACG{(T,0.9),(G,0.1)}ACCA",
+        "TTTTGGGG",
+    ]
+    .iter()
+    .map(|t| UncertainString::parse(t, &dna).unwrap())
+    .collect();
+    let result = SimilarityJoin::new(JoinConfig::new(2, 0.3), dna.size()).self_join(&strings);
+    assert_eq!(result.pairs.len(), 1);
+    assert_eq!((result.pairs[0].left, result.pairs[0].right), (0, 1));
+}
+
+#[test]
+fn self_appended_datasets_still_join_correctly() {
+    let ds = small_dataset(DatasetKind::Dblp, 20, 8);
+    let grown = ds.self_appended(1, 6);
+    let (k, tau) = (2usize, 0.1001f64);
+    let expected: Vec<(u32, u32)> = oracle_self_join(&grown.strings, k, tau)
+        .iter()
+        .map(|p| (p.left, p.right))
+        .collect();
+    let config = JoinConfig::new(k, tau).with_early_stop(false);
+    let result = SimilarityJoin::new(config, grown.alphabet.size()).self_join(&grown.strings);
+    let got: Vec<(u32, u32)> = result.pairs.iter().map(|p| (p.left, p.right)).collect();
+    assert_eq!(got, expected);
+}
