@@ -49,7 +49,12 @@ fn main() {
     let data_bytes: usize = ds
         .strings
         .iter()
-        .map(|s| s.positions().iter().map(|p| p.num_alternatives() * 9 + 1).sum::<usize>())
+        .map(|s| {
+            s.positions()
+                .iter()
+                .map(|p| p.num_alternatives() * 9 + 1)
+                .sum::<usize>()
+        })
         .sum();
 
     // 2. Join times.
@@ -61,20 +66,21 @@ fn main() {
     let eed_time = eed_start.elapsed();
 
     // 3. Verification comparison inside the (k,τ) join.
-    let (naive_result, naive_time) =
-        run_join(config.with_verifier(VerifierKind::Naive), &ds);
+    let (naive_result, naive_time) = run_join(config.with_verifier(VerifierKind::Naive), &ds);
 
     let mut table = Table::new(&["metric", "(k,tau) join", "eed join"]);
     table.row(vec![
         "index bytes / data bytes".into(),
-        format!("{:.2}", disjoint.estimated_bytes() as f64 / data_bytes as f64),
-        format!("{:.2}", overlapping.estimated_bytes() as f64 / data_bytes as f64),
+        format!(
+            "{:.2}",
+            disjoint.estimated_bytes() as f64 / data_bytes as f64
+        ),
+        format!(
+            "{:.2}",
+            overlapping.estimated_bytes() as f64 / data_bytes as f64
+        ),
     ]);
-    table.row(vec![
-        "join time (ms)".into(),
-        ms(qfct_time),
-        ms(eed_time),
-    ]);
+    table.row(vec!["join time (ms)".into(), ms(qfct_time), ms(eed_time)]);
     table.row(vec![
         "pairs fully evaluated".into(),
         qfct_result.stats.verified_pairs().to_string(),
@@ -93,7 +99,11 @@ fn main() {
     table.row(vec![
         "verification time (ms)".into(),
         ms(qfct_result.stats.timings.verify),
-        format!("{} (naive inside (k,tau): {})", "—", ms(naive_result.stats.timings.verify)),
+        format!(
+            "{} (naive inside (k,tau): {})",
+            "—",
+            ms(naive_result.stats.timings.verify)
+        ),
     ]);
 
     println!(

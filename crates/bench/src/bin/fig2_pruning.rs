@@ -9,8 +9,9 @@
 
 use std::time::Instant;
 
-use usj_bench::{dataset, ms, write_result, Args, Table};
+use usj_bench::{dataset, ms, run_join_recorded, write_obs_snapshot, write_result, Args, Table};
 use usj_cdf::{CdfDecision, CdfFilter};
+use usj_core::JoinConfig;
 use usj_datagen::DatasetKind;
 use usj_freq::FreqFilter;
 use usj_qgram::QGramFilter;
@@ -132,6 +133,13 @@ fn main() {
                 }),
             );
         }
+
+        // The full QFCT pipeline over the same dataset, instrumented:
+        // its prune-attribution counters are the join-level counterpart
+        // of the isolated passes above, so the figure and `usj join
+        // --stats-json` report survivors from one instrumentation source.
+        let (_, _, rec) = run_join_recorded(JoinConfig::new(k, tau).with_q(q), &ds);
+        write_obs_snapshot(&format!("fig2_pruning_{name}"), &rec);
     }
 
     println!("Figure 2: effectiveness vs efficiency (n={n}, k={k}, tau={tau}, theta={theta})\n");

@@ -8,7 +8,9 @@
 //! (and QCT) scale best, with QFCT ahead by combining cheap q-grams with
 //! tight CDF bounds.
 
-use usj_bench::{dataset, default_config, ms, run_join, write_result, Args, Table};
+use usj_bench::{
+    dataset, default_config, ms, run_join_recorded, write_obs_snapshot, write_result, Args, Table,
+};
 use usj_core::Pipeline;
 use usj_datagen::DatasetKind;
 
@@ -28,8 +30,15 @@ fn main() {
         let ds = dataset(DatasetKind::Dblp, n, 0.2);
         for pipeline in Pipeline::all() {
             let config = default_config(DatasetKind::Dblp).with_pipeline(pipeline);
-            let (result, total) = run_join(config, &ds);
+            let (result, total, rec) = run_join_recorded(config, &ds);
             let filtering = result.stats.timings.filtering();
+            // Per-phase latency histograms for the largest size, one
+            // snapshot per variant — the per-probe view behind this
+            // figure's aggregate filter/total columns.
+            if Some(&n) == sizes.last() {
+                let variant = pipeline.acronym().to_lowercase();
+                write_obs_snapshot(&format!("fig3_scalability_{variant}"), &rec);
+            }
             table.row(vec![
                 n.to_string(),
                 pipeline.acronym().into(),

@@ -17,7 +17,14 @@ fn main() {
     );
     let n = args.get_usize("n", 600);
 
-    let mut table = Table::new(&["dataset", "theta", "algorithm", "filter_ms", "total_ms", "output"]);
+    let mut table = Table::new(&[
+        "dataset",
+        "theta",
+        "algorithm",
+        "filter_ms",
+        "total_ms",
+        "output",
+    ]);
     let mut records = Vec::new();
 
     let sweeps = [

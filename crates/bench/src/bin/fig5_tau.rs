@@ -21,7 +21,14 @@ fn main() {
     let taus = [0.001, 0.01, 0.05, 0.1, 0.2, 0.4];
 
     let mut table = Table::new(&[
-        "dataset", "tau", "algorithm", "total_ms", "qgram_rej", "cdf_acc", "cdf_rej", "output",
+        "dataset",
+        "tau",
+        "algorithm",
+        "total_ms",
+        "qgram_rej",
+        "cdf_acc",
+        "cdf_rej",
+        "output",
     ]);
     let mut records = Vec::new();
 

@@ -16,7 +16,14 @@ fn main() {
     );
     let n = args.get_usize("n", 2000);
 
-    let mut table = Table::new(&["dataset", "k", "algorithm", "filter_ms", "total_ms", "output"]);
+    let mut table = Table::new(&[
+        "dataset",
+        "k",
+        "algorithm",
+        "filter_ms",
+        "total_ms",
+        "output",
+    ]);
     let mut records = Vec::new();
 
     let sweeps = [

@@ -19,7 +19,12 @@ fn main() {
     let n = args.get_usize("n", 1200);
 
     let mut table = Table::new(&[
-        "dataset", "q", "peak_index_KiB", "filter_ms", "qgram_survivors", "total_ms",
+        "dataset",
+        "q",
+        "peak_index_KiB",
+        "filter_ms",
+        "qgram_survivors",
+        "total_ms",
     ]);
     let mut records = Vec::new();
 

@@ -12,8 +12,9 @@
 
 use std::time::{Duration, Instant};
 
-use usj_bench::{dataset, ms, paper_defaults, write_result, Args, Table};
+use usj_bench::{dataset, ms, paper_defaults, write_obs_snapshot, write_result, Args, Table};
 use usj_cdf::{CdfDecision, CdfFilter};
+use usj_core::obs::{CollectingRecorder, Counter, Phase, Recorder};
 use usj_datagen::DatasetKind;
 use usj_freq::FreqFilter;
 use usj_model::UncertainString;
@@ -58,7 +59,12 @@ fn main() {
     let n = args.get_usize("n", 300);
 
     let mut table = Table::new(&[
-        "dataset", "theta", "pairs", "verifier", "verify_ms", "skipped",
+        "dataset",
+        "theta",
+        "pairs",
+        "verifier",
+        "verify_ms",
+        "skipped",
     ]);
     let mut records = Vec::new();
 
@@ -79,15 +85,36 @@ fn main() {
 
             let mut measurements: Vec<(&str, Duration, usize)> = Vec::new();
 
-            // Lazy trie (this implementation's default).
+            // Lazy trie (this implementation's default), fed through the
+            // same recorder the join pipeline uses, so this figure's
+            // verify cost and `usj join --stats-json` come from one
+            // instrumentation source (per-probe p50/p90/p99 in the
+            // snapshot complement the aggregate column below).
+            let mut rec = CollectingRecorder::new();
             let start = Instant::now();
             for (&j, partners) in &by_probe {
+                rec.probe_start(j as u32);
                 let mut v = LazyTrieVerifier::new(&ds.strings[j], defaults.k, defaults.tau);
                 for &i in partners {
-                    std::hint::black_box(v.verify(&ds.strings[i]).similar);
+                    rec.enter_phase(Phase::Verify);
+                    let candidate = Instant::now();
+                    let similar = v.verify(&ds.strings[i]).similar;
+                    rec.exit_phase(Phase::Verify, candidate.elapsed());
+                    rec.counter(
+                        if similar {
+                            Counter::VerifiedSimilar
+                        } else {
+                            Counter::VerifiedDissimilar
+                        },
+                        1,
+                    );
+                    std::hint::black_box(similar);
                 }
+                rec.probe_end(j as u32);
             }
             measurements.push(("lazy", start.elapsed(), 0));
+            let ds_name = format!("{kind:?}").to_lowercase();
+            write_obs_snapshot(&format!("fig8_verify_{ds_name}_theta{theta:.2}"), &rec);
 
             // Eager trie (the paper's §6.2).
             let mut skipped = 0usize;
@@ -114,8 +141,14 @@ fn main() {
                     continue;
                 }
                 std::hint::black_box(
-                    naive_verify(&ds.strings[j], &ds.strings[i], defaults.k, defaults.tau, true)
-                        .similar,
+                    naive_verify(
+                        &ds.strings[j],
+                        &ds.strings[i],
+                        defaults.k,
+                        defaults.tau,
+                        true,
+                    )
+                    .similar,
                 );
             }
             measurements.push(("naive", start.elapsed(), skipped));

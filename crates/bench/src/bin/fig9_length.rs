@@ -20,7 +20,13 @@ fn main() {
     const MAX_UNCERTAIN: usize = 8;
 
     let mut table = Table::new(&[
-        "dataset", "appends", "avg_len", "algorithm", "filter_ms", "total_ms", "output",
+        "dataset",
+        "appends",
+        "avg_len",
+        "algorithm",
+        "filter_ms",
+        "total_ms",
+        "output",
     ]);
     let mut records = Vec::new();
 

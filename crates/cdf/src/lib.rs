@@ -77,7 +77,10 @@ pub fn cdf_bounds(r: &UncertainString, s: &UncertainString, k: usize) -> CdfBoun
     let (n, m) = (r.len(), s.len());
     let width = k + 1;
     if n.abs_diff(m) > k {
-        return CdfBounds { lower: vec![0.0; width], upper: vec![0.0; width] };
+        return CdfBounds {
+            lower: vec![0.0; width],
+            upper: vec![0.0; width],
+        };
     }
 
     // Flattened rows of (k+1)-wide cells over y = 0..=m. Out-of-band
@@ -251,14 +254,21 @@ mod tests {
     fn deterministic_distance_exact() {
         // ed(kitten-ish, DNA) pairs: check the bounds sandwich the 0/1
         // truth for deterministic inputs.
-        let pairs = [("ACGT", "AGGT", 1usize), ("ACGT", "TTTT", 3), ("AC", "ACGT", 2)];
+        let pairs = [
+            ("ACGT", "AGGT", 1usize),
+            ("ACGT", "TTTT", 3),
+            ("AC", "ACGT", 2),
+        ];
         for (rt, st, d) in pairs {
             let (r, s) = (dna(rt), dna(st));
             for k in 0..=4usize {
                 let b = cdf_bounds(&r, &s, k);
                 let truth = if d <= k { 1.0 } else { 0.0 };
                 let (l, u) = b.at_k();
-                assert!(l <= truth + 1e-9 && truth <= u + 1e-9, "{rt} {st} k={k}: L={l} U={u} truth={truth}");
+                assert!(
+                    l <= truth + 1e-9 && truth <= u + 1e-9,
+                    "{rt} {st} k={k}: L={l} U={u} truth={truth}"
+                );
             }
         }
     }
@@ -289,8 +299,14 @@ mod tests {
         let s = dna("AGG{(T,0.6),(A,0.4)}AC");
         let b = cdf_bounds(&r, &s, 3);
         for j in 1..b.lower.len() {
-            assert!(b.lower[j] + 1e-12 >= b.lower[j - 1], "L not monotone at {j}");
-            assert!(b.upper[j] + 1e-12 >= b.upper[j - 1], "U not monotone at {j}");
+            assert!(
+                b.lower[j] + 1e-12 >= b.lower[j - 1],
+                "L not monotone at {j}"
+            );
+            assert!(
+                b.upper[j] + 1e-12 >= b.upper[j - 1],
+                "U not monotone at {j}"
+            );
         }
     }
 
@@ -318,9 +334,15 @@ mod tests {
     fn filter_decisions() {
         // Certainly-similar pair accepted without verification.
         let f = CdfFilter::new(1, 0.5);
-        assert_eq!(f.evaluate(&dna("ACGT"), &dna("ACGT")).decision, CdfDecision::Accept);
+        assert_eq!(
+            f.evaluate(&dna("ACGT"), &dna("ACGT")).decision,
+            CdfDecision::Accept
+        );
         // Certainly-dissimilar pair rejected.
-        assert_eq!(f.evaluate(&dna("AAAA"), &dna("TTTT")).decision, CdfDecision::Reject);
+        assert_eq!(
+            f.evaluate(&dna("AAAA"), &dna("TTTT")).decision,
+            CdfDecision::Reject
+        );
     }
 
     #[test]

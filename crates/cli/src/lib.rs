@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use usj_core::obs::{CollectingRecorder, TraceRecorder};
 use usj_core::{JoinConfig, Pipeline, SimilarityJoin};
 use usj_datagen::{Dataset, DatasetJson, DatasetKind, DatasetSpec};
 use usj_model::UncertainString;
@@ -43,18 +44,22 @@ pub struct Flags {
 }
 
 impl Flags {
-    /// Parses flags from an argument list (everything is `--name value`).
+    /// Parses flags from an argument list. Flags normally take a value
+    /// (`--name value`); a flag followed by another `--flag` or by the end
+    /// of the list is valueless and stored as `"true"`, so boolean
+    /// switches can be written bare (`--trace` ≡ `--trace true`).
     pub fn parse(args: &[String]) -> Result<Flags, CliError> {
         let mut values = BTreeMap::new();
-        let mut iter = args.iter();
+        let mut iter = args.iter().peekable();
         while let Some(flag) = iter.next() {
             let name = flag
                 .strip_prefix("--")
                 .ok_or_else(|| err(format!("unexpected argument {flag:?}")))?;
-            let value = iter
-                .next()
-                .ok_or_else(|| err(format!("flag --{name} needs a value")))?;
-            values.insert(name.to_string(), value.clone());
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            values.insert(name.to_string(), value);
         }
         Ok(Flags { values })
     }
@@ -64,13 +69,16 @@ impl Flags {
     }
 
     fn require(&self, name: &str) -> Result<&str, CliError> {
-        self.get(name).ok_or_else(|| err(format!("missing required flag --{name}")))
+        self.get(name)
+            .ok_or_else(|| err(format!("missing required flag --{name}")))
     }
 
     fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| err(format!("invalid value for --{name}: {v:?}"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("invalid value for --{name}: {v:?}"))),
         }
     }
 
@@ -81,7 +89,11 @@ impl Flags {
             if !allowed.contains(&name.as_str()) {
                 return Err(err(format!(
                     "unknown flag --{name} (expected one of: {})",
-                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )));
             }
         }
@@ -94,7 +106,7 @@ pub const USAGE: &str = "usj — similarity joins for uncertain strings
 
 USAGE:
   usj generate --kind <dblp|protein> [--n N] [--theta F] [--seed S] --out FILE
-  usj join     --input FILE [--k K] [--tau F] [--q Q] [--pipeline qfct|qct|qft|fct] [--exact true] [--threads N] [--out FILE]
+  usj join     --input FILE [--k K] [--tau F] [--q Q] [--pipeline qfct|qct|qft|fct] [--exact true] [--threads N] [--out FILE] [--stats-json FILE] [--trace]
   usj search   --input FILE --probe STRING [--k K] [--tau F]
   usj stats    --input FILE
 ";
@@ -118,8 +130,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 
 fn load_dataset(flags: &Flags) -> Result<Dataset, CliError> {
     let path = flags.require("input")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
     DatasetJson::from_json(&text)
         .map_err(|e| err(format!("{path} is not a dataset JSON: {e}")))?
         .into_dataset()
@@ -131,7 +143,11 @@ fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
     let kind = match flags.require("kind")? {
         "dblp" => DatasetKind::Dblp,
         "protein" => DatasetKind::Protein,
-        other => return Err(err(format!("unknown dataset kind {other:?} (dblp|protein)"))),
+        other => {
+            return Err(err(format!(
+                "unknown dataset kind {other:?} (dblp|protein)"
+            )))
+        }
     };
     let n: usize = flags.get_parse("n", 1000)?;
     let seed: u64 = flags.get_parse("seed", 42)?;
@@ -162,7 +178,11 @@ fn join_config(flags: &Flags) -> Result<JoinConfig, CliError> {
         "qct" => Pipeline::Qct,
         "qft" => Pipeline::Qft,
         "fct" => Pipeline::Fct,
-        other => return Err(err(format!("unknown pipeline {other:?} (qfct|qct|qft|fct)"))),
+        other => {
+            return Err(err(format!(
+                "unknown pipeline {other:?} (qfct|qct|qft|fct)"
+            )))
+        }
     };
     let exact: bool = flags.get_parse("exact", false)?;
     Ok(JoinConfig::new(k, tau)
@@ -172,14 +192,56 @@ fn join_config(flags: &Flags) -> Result<JoinConfig, CliError> {
 }
 
 fn cmd_join(flags: &Flags) -> Result<String, CliError> {
-    flags.assert_known(&["input", "k", "tau", "q", "pipeline", "exact", "threads", "out"])?;
+    flags.assert_known(&[
+        "input",
+        "k",
+        "tau",
+        "q",
+        "pipeline",
+        "exact",
+        "threads",
+        "out",
+        "stats-json",
+        "trace",
+    ])?;
     let ds = load_dataset(flags)?;
     let config = join_config(flags)?;
     let threads: usize = flags.get_parse("threads", 1)?;
-    let result = if threads == 1 {
-        SimilarityJoin::new(config, ds.alphabet.size()).self_join(&ds.strings)
+    let trace: bool = flags.get_parse("trace", false)?;
+    let stats_json = flags.get("stats-json");
+    let result = if stats_json.is_none() && !trace {
+        if threads == 1 {
+            SimilarityJoin::new(config, ds.alphabet.size()).self_join(&ds.strings)
+        } else {
+            usj_core::par_self_join(config, ds.alphabet.size(), &ds.strings, threads)
+        }
     } else {
-        usj_core::par_self_join(config, ds.alphabet.size(), &ds.strings, threads)
+        // One statically-known recorder shape for every instrumented run:
+        // the collector always gathers the JSON snapshot, the tracer
+        // writes per-probe lines to stderr only under --trace. In the
+        // parallel join each worker gets its own tuple (lock-free hot
+        // loop); they are merged after the join.
+        let make = || {
+            let tracer = if trace {
+                TraceRecorder::stderr()
+            } else {
+                TraceRecorder::silent()
+            };
+            (CollectingRecorder::new(), tracer)
+        };
+        let (result, recorder) = if threads == 1 {
+            let mut recorder = make();
+            let result = SimilarityJoin::new(config, ds.alphabet.size())
+                .self_join_recorded(&ds.strings, &mut recorder);
+            (result, recorder)
+        } else {
+            usj_core::par_self_join_recorded(config, ds.alphabet.size(), &ds.strings, threads, make)
+        };
+        if let Some(path) = stats_json {
+            std::fs::write(path, recorder.0.to_json())
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        }
+        result
     };
     let mut out = String::new();
     for pair in &result.pairs {
@@ -274,7 +336,10 @@ mod tests {
         .unwrap();
         assert!(out.contains("wrote 60"));
 
-        let joined = run(&args(&["join", "--input", &data, "--k", "2", "--tau", "0.1"])).unwrap();
+        let joined = run(&args(&[
+            "join", "--input", &data, "--k", "2", "--tau", "0.1",
+        ]))
+        .unwrap();
         assert!(joined.contains("# n=60"), "{joined}");
 
         let stats = run(&args(&["stats", "--input", &data])).unwrap();
@@ -282,8 +347,13 @@ mod tests {
 
         // Probe with an indexed string's most probable world: must hit.
         let ds_text = std::fs::read_to_string(&data).unwrap();
-        let ds = DatasetJson::from_json(&ds_text).unwrap().into_dataset().unwrap();
-        let probe = ds.alphabet.decode(&ds.strings[0].most_probable_world().instance);
+        let ds = DatasetJson::from_json(&ds_text)
+            .unwrap()
+            .into_dataset()
+            .unwrap();
+        let probe = ds
+            .alphabet
+            .decode(&ds.strings[0].most_probable_world().instance);
         let found = run(&args(&[
             "search", "--input", &data, "--probe", &probe, "--k", "2", "--tau", "0.05",
         ]))
@@ -295,8 +365,10 @@ mod tests {
     fn join_writes_pairs_json() {
         let data = tmpfile("pairs-in.json");
         let pairs = tmpfile("pairs-out.json");
-        run(&args(&["generate", "--kind", "dblp", "--n", "50", "--seed", "9", "--out", &data]))
-            .unwrap();
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "50", "--seed", "9", "--out", &data,
+        ]))
+        .unwrap();
         run(&args(&["join", "--input", &data, "--out", &pairs])).unwrap();
         let parsed: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&pairs).unwrap()).unwrap();
@@ -306,12 +378,22 @@ mod tests {
     #[test]
     fn pipeline_flag_variants_agree() {
         let data = tmpfile("pipelines.json");
-        run(&args(&["generate", "--kind", "protein", "--n", "40", "--seed", "3", "--out", &data]))
-            .unwrap();
+        run(&args(&[
+            "generate", "--kind", "protein", "--n", "40", "--seed", "3", "--out", &data,
+        ]))
+        .unwrap();
         let mut outputs = Vec::new();
         for p in ["qfct", "qct", "qft", "fct"] {
             let out = run(&args(&[
-                "join", "--input", &data, "--k", "4", "--tau", "0.01", "--pipeline", p,
+                "join",
+                "--input",
+                &data,
+                "--k",
+                "4",
+                "--tau",
+                "0.01",
+                "--pipeline",
+                p,
             ]))
             .unwrap();
             let pairs: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
@@ -334,8 +416,10 @@ mod tests {
     #[test]
     fn parallel_join_flag_matches_sequential() {
         let data = tmpfile("parallel.json");
-        run(&args(&["generate", "--kind", "dblp", "--n", "60", "--seed", "2", "--out", &data]))
-            .unwrap();
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "60", "--seed", "2", "--out", &data,
+        ]))
+        .unwrap();
         let seq = run(&args(&["join", "--input", &data])).unwrap();
         let par = run(&args(&["join", "--input", &data, "--threads", "3"])).unwrap();
         let pairs = |s: &str| -> Vec<String> {
@@ -347,6 +431,76 @@ mod tests {
         assert_eq!(pairs(&seq), pairs(&par));
     }
 
+    /// `--stats-json` writes the observability snapshot; its schema is
+    /// pinned here so downstream tooling can rely on the keys, and the
+    /// snapshot must agree with the collection (probes == n).
+    #[test]
+    fn stats_json_snapshot_has_stable_schema() {
+        let data = tmpfile("obs-in.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "60", "--seed", "7", "--out", &data,
+        ]))
+        .unwrap();
+        for threads in ["1", "3"] {
+            let snap = tmpfile(&format!("obs-{threads}.json"));
+            let out = run(&args(&[
+                "join",
+                "--input",
+                &data,
+                "--threads",
+                threads,
+                "--stats-json",
+                &snap,
+            ]))
+            .unwrap();
+            let v: serde_json::Value =
+                serde_json::from_str(&std::fs::read_to_string(&snap).unwrap()).unwrap();
+            assert_eq!(v["schema_version"], 1, "threads={threads}");
+            assert_eq!(v["probes"], 60, "threads={threads}");
+            for key in [
+                "pairs_in_scope",
+                "qgram_survivors",
+                "freq_survivors",
+                "output_pairs",
+            ] {
+                assert!(v["counters"][key].is_u64(), "missing counter {key}");
+            }
+            for key in ["index_bytes", "peak_index_bytes", "num_strings"] {
+                assert!(v["gauges"][key].is_u64(), "missing gauge {key}");
+            }
+            for phase in ["qgram", "freq", "cdf", "verify", "index", "total"] {
+                for field in ["probes", "total_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+                    assert!(v["phases"][phase][field].is_u64(), "phases.{phase}.{field}");
+                }
+            }
+            assert!(v["per_probe"]["pairs_in_scope"]["sum"].is_u64());
+            assert_eq!(v["gauges"]["num_strings"], 60, "threads={threads}");
+            // The snapshot's pair count matches the printed pairs.
+            let printed = out.lines().filter(|l| !l.starts_with('#')).count() as u64;
+            assert_eq!(v["counters"]["output_pairs"].as_u64().unwrap(), printed);
+        }
+    }
+
+    /// `--trace` is a bare switch: parses without a value and must not
+    /// change the join output.
+    #[test]
+    fn trace_flag_is_valueless_and_output_preserving() {
+        let data = tmpfile("trace-in.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "40", "--seed", "11", "--out", &data,
+        ]))
+        .unwrap();
+        let plain = run(&args(&["join", "--input", &data])).unwrap();
+        // Bare --trace followed by another flag: value defaults to "true".
+        let traced = run(&args(&["join", "--trace", "--input", &data])).unwrap();
+        // Compare pair lines only — the `#` summary line carries timings.
+        let pairs = |s: &str| -> Vec<&str> { s.lines().filter(|l| !l.starts_with('#')).collect() };
+        assert_eq!(pairs(&plain), pairs(&traced));
+        // A non-boolean value for --trace is rejected like any bad parse.
+        let e = run(&args(&["join", "--input", &data, "--trace", "maybe"])).unwrap_err();
+        assert!(e.0.contains("--trace"), "{e:?}");
+    }
+
     #[test]
     fn errors_are_reported() {
         assert!(run(&args(&["bogus"])).is_err());
@@ -355,7 +509,14 @@ mod tests {
         assert!(e.0.contains("unknown flag --treads"), "{e:?}");
         assert!(run(&args(&["join"])).is_err());
         assert!(run(&args(&["join", "--input", "/definitely/missing.json"])).is_err());
-        assert!(run(&args(&["generate", "--kind", "klingon", "--out", "/tmp/x.json"])).is_err());
+        assert!(run(&args(&[
+            "generate",
+            "--kind",
+            "klingon",
+            "--out",
+            "/tmp/x.json"
+        ]))
+        .is_err());
         let e = run(&args(&["join", "--input", "x", "--tau", "7"])).unwrap_err();
         assert!(e.0.contains("cannot read") || e.0.contains("tau"));
     }

@@ -8,13 +8,15 @@
 
 use std::time::Instant;
 
-use usj_cdf::{CdfDecision, CdfFilter};
-use usj_freq::{FreqFilter, FreqProfile};
-use usj_model::{Prob, UncertainString};
 use crate::config::JoinConfig;
 use crate::index::SegmentIndex;
+use crate::record::Recording;
 use crate::stats::JoinStats;
-use crate::verifier::ProbeVerifier;
+use crate::verifier::{decide_candidate, ProbeVerifier};
+use usj_cdf::CdfFilter;
+use usj_freq::{FreqFilter, FreqProfile};
+use usj_model::{Prob, UncertainString};
+use usj_obs::{Counter, Gauge, NoopRecorder, Phase, Recorder};
 
 /// One search hit.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,15 +41,38 @@ pub struct IndexedCollection {
 impl IndexedCollection {
     /// Indexes `strings` (segment inverted indices + frequency profiles).
     pub fn build(config: JoinConfig, sigma: usize, strings: Vec<UncertainString>) -> Self {
+        IndexedCollection::build_recorded(config, sigma, strings, &mut NoopRecorder)
+    }
+
+    /// [`IndexedCollection::build`] with the construction instrumented on
+    /// `rec`: one [`Phase::Index`] span for the whole build, an insertion
+    /// counter per string, and the resulting index-memory gauges.
+    pub fn build_recorded<R: Recorder>(
+        config: JoinConfig,
+        sigma: usize,
+        strings: Vec<UncertainString>,
+        rec: &mut R,
+    ) -> Self {
         assert!(sigma >= 1, "alphabet must be non-empty");
+        let build_start = Instant::now();
+        rec.enter_phase(Phase::Index);
         let mut index = SegmentIndex::new();
         let freq = FreqFilter::new(config.k, config.tau, sigma);
         let mut profiles = Vec::with_capacity(strings.len());
         for (i, s) in strings.iter().enumerate() {
-            index.insert(i as u32, s, &config);
+            index.insert_recorded(i as u32, s, &config, &mut *rec);
             profiles.push(freq.profile(s));
         }
-        IndexedCollection { config, sigma, strings, index, profiles }
+        rec.exit_phase(Phase::Index, build_start.elapsed());
+        rec.gauge(Gauge::IndexBytes, index.estimated_bytes() as u64);
+        rec.gauge(Gauge::PeakIndexBytes, index.peak_bytes() as u64);
+        IndexedCollection {
+            config,
+            sigma,
+            strings,
+            index,
+            profiles,
+        }
     }
 
     /// Number of indexed strings.
@@ -86,30 +111,41 @@ impl IndexedCollection {
     /// callers that want custom post-processing.
     pub fn filter_candidates(&self, probe: &UncertainString) -> Vec<u32> {
         let mut stats = JoinStats::default();
-        self.candidate_stage(probe, &mut stats)
+        let mut noop = NoopRecorder;
+        let mut rec = Recording::new(&mut stats, &mut noop);
+        self.candidate_stage(probe, &mut rec)
     }
 
     /// Shared candidate-generation stage: q-gram index lookups, Lemma 5
     /// count condition, sound Theorem 2 bound, frequency filtering.
-    fn candidate_stage(&self, probe: &UncertainString, stats: &mut JoinStats) -> Vec<u32> {
+    fn candidate_stage<R: Recorder>(
+        &self,
+        probe: &UncertainString,
+        rec: &mut Recording<'_, R>,
+    ) -> Vec<u32> {
         let config = &self.config;
         let freq_filter = FreqFilter::new(config.k, config.tau, self.sigma);
         let min_len = probe.len().saturating_sub(config.k);
         let max_len = probe.len() + config.k;
 
-        let qgram_start = Instant::now();
+        let qgram_span = rec.begin(Phase::Qgram);
         let mut candidates: Vec<u32> = Vec::new();
         if config.pipeline.uses_qgram() {
             for len in min_len..=max_len {
-                let Some(li) = self.index.length_index(len) else { continue };
-                stats.pairs_in_scope += li.num_strings() as u64;
+                let Some(li) = self.index.length_index(len) else {
+                    continue;
+                };
+                rec.count(Counter::PairsInScope, li.num_strings() as u64);
                 let m = li.segments().len();
                 let required = m.saturating_sub(config.k);
                 if required == 0 {
                     candidates.extend_from_slice(li.ids());
                     continue;
                 }
-                let Some((alphas, over_cap)) = self.index.query(probe, len, config) else {
+                let Some((alphas, over_cap)) =
+                    self.index
+                        .query_recorded(probe, len, config, rec.recorder())
+                else {
                     continue;
                 };
                 let capped = over_cap.iter().any(|&b| b);
@@ -132,47 +168,56 @@ impl IndexedCollection {
                     }
                     let matched = alpha.iter().filter(|&&a| a > 0.0).count();
                     if matched < required {
-                        stats.qgram_pruned_count += 1;
+                        rec.count(Counter::QgramPrunedCount, 1);
                         continue;
                     }
-                    let bound = if capped { 1.0 } else { bounder.bound(&alpha, required) };
+                    let bound = if capped {
+                        1.0
+                    } else {
+                        bounder.bound(&alpha, required)
+                    };
                     if bound <= config.tau {
-                        stats.qgram_pruned_bound += 1;
+                        rec.count(Counter::QgramPrunedBound, 1);
                         continue;
                     }
                     candidates.push(id);
                 }
-                stats.qgram_pruned_count += li.num_strings() as u64 - surfaced;
+                rec.count(
+                    Counter::QgramPrunedCount,
+                    li.num_strings() as u64 - surfaced,
+                );
             }
         } else {
+            let mut scope = 0u64;
             for (id, s) in self.strings.iter().enumerate() {
                 if s.len() >= min_len && s.len() <= max_len {
-                    stats.pairs_in_scope += 1;
+                    scope += 1;
                     candidates.push(id as u32);
                 }
             }
+            rec.count(Counter::PairsInScope, scope);
         }
-        stats.qgram_survivors += candidates.len() as u64;
-        stats.timings.qgram += qgram_start.elapsed();
+        rec.count(Counter::QgramSurvivors, candidates.len() as u64);
+        rec.end(qgram_span);
         candidates.sort_unstable();
 
         if config.pipeline.uses_freq() && !candidates.is_empty() {
-            let freq_start = Instant::now();
+            let freq_span = rec.begin(Phase::Freq);
             let rp = freq_filter.profile(probe);
             candidates.retain(|&id| {
                 let out = freq_filter.evaluate(&rp, &self.profiles[id as usize]);
                 if !out.candidate {
                     if out.fd_lower as usize > config.k {
-                        stats.freq_pruned_lower += 1;
+                        rec.count(Counter::FreqPrunedLower, 1);
                     } else {
-                        stats.freq_pruned_chebyshev += 1;
+                        rec.count(Counter::FreqPrunedChebyshev, 1);
                     }
                 }
                 out.candidate
             });
-            stats.timings.freq += freq_start.elapsed();
+            rec.end(freq_span);
         }
-        stats.freq_survivors += candidates.len() as u64;
+        rec.count(Counter::FreqSurvivors, candidates.len() as u64);
         candidates
     }
 
@@ -191,13 +236,32 @@ impl IndexedCollection {
         probe: &UncertainString,
         admit: impl Fn(u32) -> bool,
     ) -> (Vec<SearchHit>, JoinStats) {
+        self.search_filtered_recorded(0, probe, admit, &mut NoopRecorder)
+    }
+
+    /// [`IndexedCollection::search_filtered`] with the whole search
+    /// bracketed as probe `probe_id` on `recorder` (phase spans, prune
+    /// counters, and a per-probe [`Phase::Total`] sample). `probe_id` is
+    /// only a label for the event stream; it does not affect the search.
+    pub fn search_filtered_recorded<R: Recorder>(
+        &self,
+        probe_id: u32,
+        probe: &UncertainString,
+        admit: impl Fn(u32) -> bool,
+        recorder: &mut R,
+    ) -> (Vec<SearchHit>, JoinStats) {
         let config = &self.config;
         let total_start = Instant::now();
-        let mut stats = JoinStats { num_strings: self.strings.len(), ..Default::default() };
+        let mut stats = JoinStats {
+            num_strings: self.strings.len(),
+            ..Default::default()
+        };
+        let mut rec = Recording::new(&mut stats, recorder);
+        rec.probe_start(probe_id);
         let cdf_filter = CdfFilter::new(config.k, config.tau);
 
         // ---- Candidate generation + frequency filtering --------------
-        let mut candidates = self.candidate_stage(probe, &mut stats);
+        let mut candidates = self.candidate_stage(probe, &mut rec);
         candidates.retain(|&id| admit(id));
 
         // ---- CDF + verification --------------------------------------
@@ -205,53 +269,27 @@ impl IndexedCollection {
         let mut hits = Vec::new();
         for id in candidates {
             let other = &self.strings[id as usize];
-            let mut decided: Option<(bool, Prob)> = None;
-            if config.pipeline.uses_cdf() {
-                let cdf_start = Instant::now();
-                let out = cdf_filter.evaluate(probe, other);
-                stats.timings.cdf += cdf_start.elapsed();
-                match out.decision {
-                    CdfDecision::Reject => {
-                        stats.cdf_rejected += 1;
-                        continue;
-                    }
-                    CdfDecision::Accept if config.early_stop => {
-                        stats.cdf_accepted += 1;
-                        decided = Some((true, out.bounds.at_k().0));
-                    }
-                    CdfDecision::Accept => {
-                        stats.cdf_accepted += 1;
-                    }
-                    CdfDecision::Undecided => {
-                        stats.cdf_undecided += 1;
-                    }
-                }
-            } else {
-                stats.cdf_undecided += 1;
-            }
-            let (similar, prob) = match decided {
-                Some(d) => d,
-                None => {
-                    let verify_start = Instant::now();
-                    let v = verifier.get_or_insert_with(|| ProbeVerifier::build(probe, config));
-                    let (similar, prob) = v.verify(probe, other, config);
-                    stats.timings.verify += verify_start.elapsed();
-                    if similar {
-                        stats.verified_similar += 1;
-                    } else {
-                        stats.verified_dissimilar += 1;
-                    }
-                    (similar, prob)
-                }
+            let Some((similar, prob)) =
+                decide_candidate(probe, other, &cdf_filter, &mut verifier, config, &mut rec)
+            else {
+                continue;
             };
             if similar {
                 hits.push(SearchHit { id, prob });
             }
         }
-        stats.output_pairs = hits.len() as u64;
+        rec.count(Counter::OutputPairs, hits.len() as u64);
+        // Gauges are set on the stats view directly: the index is static
+        // during a search, so per-probe gauge events would only repeat the
+        // same value into the trace.
+        drop(rec);
         stats.index_bytes = self.index.estimated_bytes();
         stats.peak_index_bytes = self.index.peak_bytes();
-        stats.timings.total = total_start.elapsed();
+        let elapsed = total_start.elapsed();
+        stats.timings.total = elapsed;
+        recorder.enter_phase(Phase::Total);
+        recorder.exit_phase(Phase::Total, elapsed);
+        recorder.probe_end(probe_id);
         (hits, stats)
     }
 }
@@ -281,7 +319,9 @@ mod tests {
     fn search_matches_oracle() {
         let strings = collection();
         for pipeline in Pipeline::all() {
-            let config = JoinConfig::new(2, 0.3).with_pipeline(pipeline).with_early_stop(false);
+            let config = JoinConfig::new(2, 0.3)
+                .with_pipeline(pipeline)
+                .with_early_stop(false);
             let coll = IndexedCollection::build(config, 4, strings.clone());
             for probe_text in ["ACGTACGT", "ACGT{(A,0.5),(C,0.5)}CGT", "GGGGGGGG"] {
                 let probe = dna(probe_text);

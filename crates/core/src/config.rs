@@ -162,7 +162,9 @@ mod tests {
 
     #[test]
     fn pipeline_stage_flags() {
-        assert!(Pipeline::Qfct.uses_qgram() && Pipeline::Qfct.uses_freq() && Pipeline::Qfct.uses_cdf());
+        assert!(
+            Pipeline::Qfct.uses_qgram() && Pipeline::Qfct.uses_freq() && Pipeline::Qfct.uses_cdf()
+        );
         assert!(!Pipeline::Qct.uses_freq());
         assert!(!Pipeline::Qft.uses_cdf());
         assert!(!Pipeline::Fct.uses_qgram());

@@ -16,6 +16,7 @@
 use std::collections::HashMap;
 
 use usj_model::{Prob, Symbol, UncertainString};
+use usj_obs::{Counter, NoopRecorder, Recorder};
 use usj_qgram::{partition, segment_instances, window_range, EquivalentSet, Segment};
 
 use crate::config::JoinConfig;
@@ -46,7 +47,13 @@ impl LengthIndex {
         let segments = partition(len, config.q, config.k);
         let inverted = vec![HashMap::new(); segments.len()];
         let incomplete = vec![false; segments.len()];
-        LengthIndex { segments, inverted, ids: Vec::new(), incomplete, bytes: 0 }
+        LengthIndex {
+            segments,
+            inverted,
+            ids: Vec::new(),
+            incomplete,
+            bytes: 0,
+        }
     }
 
     /// The partition this index was built with.
@@ -80,7 +87,10 @@ impl LengthIndex {
                     self.bytes += seg.len + 48; // key + map overhead estimate
                 }
                 let list = entry.or_default();
-                debug_assert!(list.last().is_none_or(|&(last, _)| last < id), "ids must ascend");
+                debug_assert!(
+                    list.last().is_none_or(|&(last, _)| last < id),
+                    "ids must ascend"
+                );
                 list.push((id, p));
                 self.bytes += std::mem::size_of::<(u32, Prob)>();
             }
@@ -94,17 +104,24 @@ impl LengthIndex {
     ///
     /// `probe_sets[x] = None` means no window of the probe can align with
     /// segment x (α_x = 0 for every candidate).
-    fn query(&self, probe_sets: &[Option<EquivalentSet>]) -> AlphaVectors {
+    ///
+    /// Also returns the number of postings touched during the merge (the
+    /// quantity candidate-generation cost is proportional to).
+    fn query(&self, probe_sets: &[Option<EquivalentSet>]) -> (AlphaVectors, u64) {
         let m = self.segments.len();
         debug_assert_eq!(probe_sets.len(), m);
         let mut alphas: AlphaVectors = HashMap::new();
+        let mut postings = 0u64;
         for (x, set) in probe_sets.iter().enumerate() {
             let Some(set) = set else { continue };
             for (w, p_r) in set.entries() {
                 if *p_r <= 0.0 {
                     continue;
                 }
-                let Some(list) = self.inverted[x].get(w) else { continue };
+                let Some(list) = self.inverted[x].get(w) else {
+                    continue;
+                };
+                postings += list.len() as u64;
                 for &(id, p_s) in list {
                     let entry = alphas.entry(id).or_insert_with(|| vec![0.0; m]);
                     entry[x] += p_r * p_s;
@@ -116,7 +133,7 @@ impl LengthIndex {
                 *a = a.clamp(0.0, 1.0);
             }
         }
-        alphas
+        (alphas, postings)
     }
 
     fn estimated_bytes(&self) -> usize {
@@ -142,6 +159,18 @@ impl SegmentIndex {
     /// Ids must be inserted in ascending order per length (the join driver
     /// visits strings sorted by `(length, id)`, which guarantees this).
     pub fn insert(&mut self, id: u32, s: &UncertainString, config: &JoinConfig) {
+        self.insert_recorded(id, s, config, &mut NoopRecorder);
+    }
+
+    /// [`SegmentIndex::insert`] plus an [`Counter::IndexInsertions`] event
+    /// on `rec` for each string actually indexed.
+    pub fn insert_recorded<R: Recorder>(
+        &mut self,
+        id: u32,
+        s: &UncertainString,
+        config: &JoinConfig,
+        rec: &mut R,
+    ) {
         if s.is_empty() {
             return;
         }
@@ -151,6 +180,7 @@ impl SegmentIndex {
             .insert(id, s, config.max_segment_instances);
         let bytes = self.estimated_bytes();
         self.peak_bytes = self.peak_bytes.max(bytes);
+        rec.counter(Counter::IndexInsertions, 1);
     }
 
     /// Queries candidates of length `indexed_len` for `probe`: builds the
@@ -165,6 +195,20 @@ impl SegmentIndex {
         probe: &UncertainString,
         indexed_len: usize,
         config: &JoinConfig,
+    ) -> Option<(AlphaVectors, Vec<bool>)> {
+        self.query_recorded(probe, indexed_len, config, &mut NoopRecorder)
+    }
+
+    /// [`SegmentIndex::query`] plus [`Counter::IndexPostingsScanned`] and
+    /// [`Counter::IndexCandidatesSurfaced`] events on `rec` (how much
+    /// posting-list work the merge did and how many α-vectors it
+    /// produced, including conservative over-cap fallbacks).
+    pub fn query_recorded<R: Recorder>(
+        &self,
+        probe: &UncertainString,
+        indexed_len: usize,
+        config: &JoinConfig,
+        rec: &mut R,
     ) -> Option<(AlphaVectors, Vec<bool>)> {
         let index = self.by_length.get(&indexed_len)?;
         let mut over_cap = index.incomplete.clone();
@@ -187,7 +231,7 @@ impl SegmentIndex {
                 set
             })
             .collect();
-        let mut alphas = index.query(&probe_sets);
+        let (mut alphas, postings) = index.query(&probe_sets);
         if over_cap.iter().any(|&b| b) {
             // Conservative fallback: an over-cap segment may hide matches,
             // so every indexed id of this length must surface as a
@@ -197,6 +241,8 @@ impl SegmentIndex {
                 alphas.entry(id).or_insert_with(|| vec![0.0; m]);
             }
         }
+        rec.counter(Counter::IndexPostingsScanned, postings);
+        rec.counter(Counter::IndexCandidatesSurfaced, alphas.len() as u64);
         Some((alphas, over_cap))
     }
 
@@ -222,7 +268,10 @@ impl SegmentIndex {
 
     /// Estimated heap footprint of all posting lists, in bytes.
     pub fn estimated_bytes(&self) -> usize {
-        self.by_length.values().map(LengthIndex::estimated_bytes).sum()
+        self.by_length
+            .values()
+            .map(LengthIndex::estimated_bytes)
+            .sum()
     }
 
     /// Largest estimated footprint observed since construction.
@@ -296,13 +345,17 @@ mod tests {
                 .cloned()
                 .unwrap_or_else(|| vec![0.0; direct.alphas.len()]);
             for (x, (a, b)) in via_index.iter().zip(&direct.alphas).enumerate() {
-                assert!((a - b).abs() < 1e-9, "string {i} segment {x}: index={a} direct={b}");
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "string {i} segment {x}: index={a} direct={b}"
+                );
             }
         }
         // Cross-check one α against the standalone helper too.
         let segs = partition(6, config.q, config.k);
         let range = window_range(config.policy, 6, 6, config.k, &segs[0]).unwrap();
-        let set = EquivalentSet::build(&probe, range, segs[0].len, config.alpha_mode, 1 << 14).unwrap();
+        let set =
+            EquivalentSet::build(&probe, range, segs[0].len, config.alpha_mode, 1 << 14).unwrap();
         let direct0 = alpha_for_segment(&set, &strings[0], &segs[0]);
         let got0 = alphas.get(&0).map(|v| v[0]).unwrap_or(0.0);
         assert!((got0 - direct0).abs() < 1e-9);

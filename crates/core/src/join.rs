@@ -3,13 +3,15 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use usj_cdf::{CdfDecision, CdfFilter};
-use usj_freq::{FreqFilter, FreqProfile};
-use usj_model::{Prob, UncertainString};
 use crate::config::JoinConfig;
 use crate::index::SegmentIndex;
+use crate::record::Recording;
 use crate::stats::JoinStats;
-use crate::verifier::ProbeVerifier;
+use crate::verifier::{decide_candidate, ProbeVerifier};
+use usj_cdf::CdfFilter;
+use usj_freq::{FreqFilter, FreqProfile};
+use usj_model::{Prob, UncertainString};
+use usj_obs::{Counter, Gauge, NoopRecorder, Phase, Recorder};
 
 /// One reported pair: `Pr(ed(strings[left], strings[right]) ≤ k) > τ`.
 ///
@@ -67,11 +69,24 @@ impl SimilarityJoin {
     /// `SimilarPair::left` indexes into `left`, `SimilarPair::right` into
     /// `right`.
     pub fn join(&self, left: &[UncertainString], right: &[UncertainString]) -> JoinResult {
+        self.join_recorded(left, right, &mut NoopRecorder)
+    }
+
+    /// [`SimilarityJoin::join`] with every pipeline event forwarded to
+    /// `recorder` (probe boundaries per left string, phase spans,
+    /// counters, gauges).
+    pub fn join_recorded<R: Recorder>(
+        &self,
+        left: &[UncertainString],
+        right: &[UncertainString],
+        recorder: &mut R,
+    ) -> JoinResult {
         let total_start = Instant::now();
-        let collection = crate::collection::IndexedCollection::build(
+        let collection = crate::collection::IndexedCollection::build_recorded(
             self.config.clone(),
             self.sigma,
             right.to_vec(),
+            &mut *recorder,
         );
         let mut pairs = Vec::new();
         let mut stats = JoinStats {
@@ -79,26 +94,54 @@ impl SimilarityJoin {
             ..Default::default()
         };
         for (i, probe) in left.iter().enumerate() {
-            let (hits, probe_stats) = collection.search_with_stats(probe);
+            let (hits, probe_stats) =
+                collection.search_filtered_recorded(i as u32, probe, |_| true, &mut *recorder);
             for hit in hits {
-                pairs.push(SimilarPair { left: i as u32, right: hit.id, prob: hit.prob });
+                pairs.push(SimilarPair {
+                    left: i as u32,
+                    right: hit.id,
+                    prob: hit.prob,
+                });
             }
             stats.absorb(&probe_stats);
         }
         pairs.sort_unstable_by_key(|p| (p.left, p.right));
+        // The recorder already saw one OutputPairs event per probe (their
+        // sum is exactly this count); only the stats view needs the
+        // authoritative value.
         stats.output_pairs = pairs.len() as u64;
-        stats.index_bytes = collection.index_bytes();
-        stats.peak_index_bytes = collection.index_bytes();
-        stats.timings.total = total_start.elapsed();
+        let mut rec = Recording::new(&mut stats, recorder);
+        rec.gauge(Gauge::IndexBytes, collection.index_bytes() as u64);
+        rec.gauge(Gauge::PeakIndexBytes, collection.index_bytes() as u64);
+        rec.gauge(Gauge::NumStrings, (left.len() + right.len()) as u64);
+        rec.set_total(total_start.elapsed());
+        drop(rec);
         JoinResult { pairs, stats }
     }
 
     /// Finds all pairs `(i, j)`, `i < j`, with
     /// `Pr(ed(strings[i], strings[j]) ≤ k) > τ`.
     pub fn self_join(&self, strings: &[UncertainString]) -> JoinResult {
+        self.self_join_recorded(strings, &mut NoopRecorder)
+    }
+
+    /// [`SimilarityJoin::self_join`] with every pipeline event forwarded
+    /// to `recorder`: one probe bracket per string (in visit order), phase
+    /// spans for q-gram/frequency/CDF/verify/index work, prune-attribution
+    /// counters, and index-memory gauges. The returned
+    /// [`JoinResult::stats`] is a view over the same event stream.
+    pub fn self_join_recorded<R: Recorder>(
+        &self,
+        strings: &[UncertainString],
+        recorder: &mut R,
+    ) -> JoinResult {
         let config = &self.config;
         let total_start = Instant::now();
-        let mut stats = JoinStats { num_strings: strings.len(), ..Default::default() };
+        let mut stats = JoinStats {
+            num_strings: strings.len(),
+            ..Default::default()
+        };
+        let mut rec = Recording::new(&mut stats, recorder);
 
         // Visit order: ascending length, ties by id — guarantees that all
         // visited strings are no longer than the probe and that posting
@@ -121,6 +164,7 @@ impl SimilarityJoin {
         for &probe_id in &order {
             let probe = &strings[probe_id as usize];
             let min_len = probe.len().saturating_sub(config.k);
+            rec.probe_start(probe_id);
 
             // Expire index state for lengths the scan has moved past.
             if config.pipeline.uses_qgram() {
@@ -135,13 +179,15 @@ impl SimilarityJoin {
             }
 
             // ---- Candidate generation -------------------------------
-            let qgram_start = Instant::now();
+            let qgram_span = rec.begin(Phase::Qgram);
             // (candidate id, α-vector if the q-gram path produced one)
             let mut candidates: Vec<(u32, Option<Vec<Prob>>)> = Vec::new();
             let mut scope = 0u64;
             if config.pipeline.uses_qgram() {
                 for len in min_len..=probe.len() {
-                    let Some(li) = index.length_index(len) else { continue };
+                    let Some(li) = index.length_index(len) else {
+                        continue;
+                    };
                     let in_scope = li.num_strings() as u64;
                     scope += in_scope;
                     let m = li.segments().len();
@@ -152,7 +198,9 @@ impl SimilarityJoin {
                         candidates.extend(li.ids().iter().map(|&id| (id, None)));
                         continue;
                     }
-                    let Some((alphas, over_cap)) = index.query(probe, len, config) else {
+                    let Some((alphas, over_cap)) =
+                        index.query_recorded(probe, len, config, rec.recorder())
+                    else {
                         continue;
                     };
                     let capped = over_cap.iter().any(|&b| b);
@@ -180,19 +228,23 @@ impl SimilarityJoin {
                         }
                         let matched = alpha.iter().filter(|&&a| a > 0.0).count();
                         if matched < required {
-                            stats.qgram_pruned_count += 1;
+                            rec.count(Counter::QgramPrunedCount, 1);
                             continue;
                         }
-                        let bound = if capped { 1.0 } else { bounder.bound(&alpha, required) };
+                        let bound = if capped {
+                            1.0
+                        } else {
+                            bounder.bound(&alpha, required)
+                        };
                         if bound <= config.tau {
-                            stats.qgram_pruned_bound += 1;
+                            rec.count(Counter::QgramPrunedBound, 1);
                             continue;
                         }
                         candidates.push((id, Some(alpha)));
                     }
                     // Ids that never surfaced have zero matching segments
                     // and were pruned by the count condition implicitly.
-                    stats.qgram_pruned_count += in_scope - surfaced;
+                    rec.count(Counter::QgramPrunedCount, in_scope - surfaced);
                 }
             } else {
                 for (_, ids) in visited.range(min_len..=probe.len()) {
@@ -200,16 +252,16 @@ impl SimilarityJoin {
                     candidates.extend(ids.iter().map(|&id| (id, None)));
                 }
             }
-            stats.pairs_in_scope += scope;
-            stats.qgram_survivors += candidates.len() as u64;
-            stats.timings.qgram += qgram_start.elapsed();
+            rec.count(Counter::PairsInScope, scope);
+            rec.count(Counter::QgramSurvivors, candidates.len() as u64);
+            rec.end(qgram_span);
             // Deterministic candidate order keeps runs reproducible.
             candidates.sort_unstable_by_key(|&(id, _)| id);
 
             // ---- Frequency-distance filtering -----------------------
             let mut probe_profile: Option<FreqProfile> = None;
             if config.pipeline.uses_freq() && !candidates.is_empty() {
-                let freq_start = Instant::now();
+                let freq_span = rec.begin(Phase::Freq);
                 let rp = probe_profile.get_or_insert_with(|| freq_filter.profile(probe));
                 candidates.retain(|&(id, _)| {
                     let sp = profiles[id as usize]
@@ -218,65 +270,25 @@ impl SimilarityJoin {
                     let out = freq_filter.evaluate(rp, sp);
                     if !out.candidate {
                         if out.fd_lower as usize > config.k {
-                            stats.freq_pruned_lower += 1;
+                            rec.count(Counter::FreqPrunedLower, 1);
                         } else {
-                            stats.freq_pruned_chebyshev += 1;
+                            rec.count(Counter::FreqPrunedChebyshev, 1);
                         }
                     }
                     out.candidate
                 });
-                stats.timings.freq += freq_start.elapsed();
+                rec.end(freq_span);
             }
-            stats.freq_survivors += candidates.len() as u64;
+            rec.count(Counter::FreqSurvivors, candidates.len() as u64);
 
             // ---- CDF bounds + verification --------------------------
             let mut verifier: Option<ProbeVerifier> = None; // lazily built
             for (id, _alpha) in candidates {
                 let other = &strings[id as usize];
-                let mut decided: Option<(bool, Prob)> = None;
-
-                if config.pipeline.uses_cdf() {
-                    let cdf_start = Instant::now();
-                    let out = cdf_filter.evaluate(probe, other);
-                    stats.timings.cdf += cdf_start.elapsed();
-                    match out.decision {
-                        CdfDecision::Reject => {
-                            stats.cdf_rejected += 1;
-                            continue;
-                        }
-                        CdfDecision::Accept if config.early_stop => {
-                            stats.cdf_accepted += 1;
-                            decided = Some((true, out.bounds.at_k().0));
-                        }
-                        CdfDecision::Accept => {
-                            // Exact-probability mode verifies accepted
-                            // pairs too (the count still reflects the
-                            // filter's power).
-                            stats.cdf_accepted += 1;
-                        }
-                        CdfDecision::Undecided => {
-                            stats.cdf_undecided += 1;
-                        }
-                    }
-                } else {
-                    stats.cdf_undecided += 1;
-                }
-
-                let (similar, prob) = match decided {
-                    Some(d) => d,
-                    None => {
-                        let verify_start = Instant::now();
-                        let v = verifier
-                            .get_or_insert_with(|| ProbeVerifier::build(probe, config));
-                        let (similar, prob) = v.verify(probe, other, config);
-                        stats.timings.verify += verify_start.elapsed();
-                        if similar {
-                            stats.verified_similar += 1;
-                        } else {
-                            stats.verified_dissimilar += 1;
-                        }
-                        (similar, prob)
-                    }
+                let Some((similar, prob)) =
+                    decide_candidate(probe, other, &cdf_filter, &mut verifier, config, &mut rec)
+                else {
+                    continue;
                 };
                 if similar {
                     pairs.push(SimilarPair {
@@ -288,23 +300,26 @@ impl SimilarityJoin {
             }
 
             // ---- Insert the probe for later probes ------------------
-            let index_start = Instant::now();
+            let index_span = rec.begin(Phase::Index);
             if config.pipeline.uses_qgram() {
-                index.insert(probe_id, probe, config);
+                index.insert_recorded(probe_id, probe, config, rec.recorder());
             }
             if config.pipeline.uses_freq() {
                 profiles[probe_id as usize] =
                     Some(probe_profile.unwrap_or_else(|| freq_filter.profile(probe)));
             }
             visited.entry(probe.len()).or_default().push(probe_id);
-            stats.timings.index += index_start.elapsed();
+            rec.end(index_span);
+            rec.probe_end(probe_id);
         }
 
         pairs.sort_unstable_by_key(|p| (p.left, p.right));
-        stats.output_pairs = pairs.len() as u64;
-        stats.index_bytes = index.estimated_bytes();
-        stats.peak_index_bytes = index.peak_bytes();
-        stats.timings.total = total_start.elapsed();
+        rec.count(Counter::OutputPairs, pairs.len() as u64);
+        rec.gauge(Gauge::IndexBytes, index.estimated_bytes() as u64);
+        rec.gauge(Gauge::PeakIndexBytes, index.peak_bytes() as u64);
+        rec.gauge(Gauge::NumStrings, strings.len() as u64);
+        rec.set_total(total_start.elapsed());
+        drop(rec);
         JoinResult { pairs, stats }
     }
 }
@@ -342,7 +357,9 @@ mod tests {
         assert!(pairs.contains(&(0, 1)), "{pairs:?}");
         assert!(pairs.contains(&(0, 3)), "{pairs:?}");
         assert!(pairs.contains(&(0, 4)), "{pairs:?}");
-        assert!(!pairs.iter().any(|&(a, b)| a == 2 || b == 2 || a == 5 && b == 5));
+        assert!(!pairs
+            .iter()
+            .any(|&(a, b)| a == 2 || b == 2 || a == 5 && b == 5));
         // Every pair is ordered and above threshold.
         for p in &result.pairs {
             assert!(p.left < p.right);
@@ -373,14 +390,19 @@ mod tests {
         let strings = collection();
         let expected = crate::oracle::oracle_self_join(&strings, 2, 0.3);
         for pipeline in Pipeline::all() {
-            let config = JoinConfig::new(2, 0.3).with_pipeline(pipeline).with_early_stop(false);
+            let config = JoinConfig::new(2, 0.3)
+                .with_pipeline(pipeline)
+                .with_early_stop(false);
             let result = SimilarityJoin::new(config, 4).self_join(&strings);
             let got = pair_set(&result);
             let want: Vec<(u32, u32)> = expected.iter().map(|p| (p.left, p.right)).collect();
             assert_eq!(got, want, "{pipeline:?}");
             // Exact-probability mode: probabilities match the oracle.
             for (g, w) in result.pairs.iter().zip(&expected) {
-                assert!((g.prob - w.prob).abs() < 1e-9, "{pipeline:?}: {g:?} vs {w:?}");
+                assert!(
+                    (g.prob - w.prob).abs() < 1e-9,
+                    "{pipeline:?}: {g:?} vs {w:?}"
+                );
             }
         }
     }
@@ -390,12 +412,13 @@ mod tests {
         use crate::config::VerifierKind;
         let strings = collection();
         let reference = SimilarityJoin::new(JoinConfig::new(2, 0.3), 4).self_join(&strings);
-        for kind in [VerifierKind::LazyTrie, VerifierKind::Trie, VerifierKind::Naive] {
-            let result = SimilarityJoin::new(
-                JoinConfig::new(2, 0.3).with_verifier(kind),
-                4,
-            )
-            .self_join(&strings);
+        for kind in [
+            VerifierKind::LazyTrie,
+            VerifierKind::Trie,
+            VerifierKind::Naive,
+        ] {
+            let result = SimilarityJoin::new(JoinConfig::new(2, 0.3).with_verifier(kind), 4)
+                .self_join(&strings);
             assert_eq!(pair_set(&reference), pair_set(&result), "{kind:?}");
         }
     }
@@ -426,9 +449,112 @@ mod tests {
         assert!(s.peak_index_bytes >= s.index_bytes || s.index_bytes == 0);
     }
 
+    /// The recorded driver must leave the output untouched (NoopRecorder
+    /// and CollectingRecorder runs are interchangeable) and the collected
+    /// event stream must mirror every `JoinStats` counter exactly —
+    /// `JoinStats` is a view over the events, so any divergence here is a
+    /// double-count or a dropped event.
+    #[test]
+    fn recorded_self_join_mirrors_stats() {
+        use usj_obs::{CollectingRecorder, Counter, Gauge, Phase};
+        let strings = collection();
+        // Exact-probability mode so CDF-accepted pairs reach the verifier
+        // (guarantees VerifierBuilds fires on this small collection).
+        let join = SimilarityJoin::new(JoinConfig::new(2, 0.3).with_early_stop(false), 4);
+        let plain = join.self_join(&strings);
+        let mut sink = CollectingRecorder::new();
+        let recorded = join.self_join_recorded(&strings, &mut sink);
+        assert_eq!(pair_set(&plain), pair_set(&recorded));
+        let s = &recorded.stats;
+        for (counter, field) in [
+            (Counter::PairsInScope, s.pairs_in_scope),
+            (Counter::QgramSurvivors, s.qgram_survivors),
+            (Counter::QgramPrunedCount, s.qgram_pruned_count),
+            (Counter::QgramPrunedBound, s.qgram_pruned_bound),
+            (Counter::FreqSurvivors, s.freq_survivors),
+            (Counter::FreqPrunedLower, s.freq_pruned_lower),
+            (Counter::FreqPrunedChebyshev, s.freq_pruned_chebyshev),
+            (Counter::CdfAccepted, s.cdf_accepted),
+            (Counter::CdfRejected, s.cdf_rejected),
+            (Counter::CdfUndecided, s.cdf_undecided),
+            (Counter::VerifiedSimilar, s.verified_similar),
+            (Counter::VerifiedDissimilar, s.verified_dissimilar),
+            (Counter::OutputPairs, s.output_pairs),
+        ] {
+            assert_eq!(sink.counter_total(counter), field, "{counter:?}");
+        }
+        assert_eq!(sink.probes(), strings.len() as u64);
+        assert_eq!(sink.gauge_max(Gauge::NumStrings), strings.len() as u64);
+        assert_eq!(
+            sink.gauge_max(Gauge::PeakIndexBytes),
+            s.peak_index_bytes as u64
+        );
+        // One insertion event per (non-empty) string, every probe sampled
+        // a qgram phase, and at least one probe built a verifier.
+        assert_eq!(
+            sink.counter_total(Counter::IndexInsertions),
+            strings.len() as u64
+        );
+        assert_eq!(
+            sink.phase_histogram(Phase::Qgram).count(),
+            strings.len() as u64
+        );
+        assert!(sink.counter_total(Counter::VerifierBuilds) >= 1);
+        assert!(sink.counter_total(Counter::IndexPostingsScanned) > 0);
+    }
+
+    /// The paper's pruning funnel is monotone: each stage only ever
+    /// narrows the candidate pool, and everything the CDF bounds leave
+    /// undecided is verified exactly once.
+    #[test]
+    fn stats_invariants_hold_across_configs() {
+        let strings = collection();
+        for pipeline in Pipeline::all() {
+            for early_stop in [true, false] {
+                let config = JoinConfig::new(2, 0.3)
+                    .with_pipeline(pipeline)
+                    .with_early_stop(early_stop);
+                let s = SimilarityJoin::new(config, 4).self_join(&strings).stats;
+                assert!(s.pairs_in_scope >= s.qgram_survivors, "{pipeline:?}");
+                assert!(s.qgram_survivors >= s.freq_survivors, "{pipeline:?}");
+                assert!(
+                    s.freq_survivors >= s.cdf_accepted + s.cdf_rejected + s.cdf_undecided,
+                    "{pipeline:?}"
+                );
+                // With early stop, exactly the undecided pairs are
+                // verified; exact-probability mode verifies CDF-accepted
+                // pairs as well.
+                let expect_verified = if early_stop {
+                    s.cdf_undecided
+                } else {
+                    s.cdf_undecided + s.cdf_accepted
+                };
+                assert_eq!(
+                    expect_verified,
+                    s.verified_similar + s.verified_dissimilar,
+                    "{pipeline:?} early_stop={early_stop}"
+                );
+                assert_eq!(
+                    s.pairs_in_scope,
+                    s.qgram_survivors + s.qgram_pruned_count + s.qgram_pruned_bound,
+                    "{pipeline:?}"
+                );
+                assert_eq!(
+                    s.qgram_survivors,
+                    s.freq_survivors + s.freq_pruned_lower + s.freq_pruned_chebyshev,
+                    "{pipeline:?}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn cross_join_matches_oracle() {
-        let left = vec![dna("ACGTACGT"), dna("TTTTTTTT"), dna("ACG{(T,0.7),(A,0.3)}ACGT")];
+        let left = vec![
+            dna("ACGTACGT"),
+            dna("TTTTTTTT"),
+            dna("ACG{(T,0.7),(A,0.3)}ACGT"),
+        ];
         let right = collection();
         let join = SimilarityJoin::new(JoinConfig::new(2, 0.3).with_early_stop(false), 4);
         let result = join.join(&left, &right);

@@ -32,17 +32,23 @@ pub mod index;
 pub mod join;
 pub mod oracle;
 pub mod parallel;
+pub mod record;
 pub mod stats;
 pub mod string_level;
 pub mod topk;
 pub mod verifier;
+
+/// The observability substrate (re-exported so downstream crates can name
+/// recorders without depending on `usj-obs` directly).
+pub use usj_obs as obs;
 
 pub use collection::IndexedCollection;
 pub use config::{JoinConfig, Pipeline, VerifierKind};
 pub use index::SegmentIndex;
 pub use join::{JoinResult, SimilarPair, SimilarityJoin};
 pub use oracle::oracle_self_join;
-pub use parallel::par_self_join;
+pub use parallel::{par_self_join, par_self_join_recorded};
+pub use record::{PhaseSpan, Recording};
 pub use stats::{JoinStats, PhaseTimings};
 pub use string_level::{string_level_oracle, StringLevelJoin, StringLevelStats};
 pub use verifier::ProbeVerifier;

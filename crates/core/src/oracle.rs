@@ -15,7 +15,11 @@ pub fn oracle_self_join(strings: &[UncertainString], k: usize, tau: f64) -> Vec<
         for j in i + 1..strings.len() {
             let prob = exact_similarity_prob(&strings[i], &strings[j], k);
             if prob > tau {
-                pairs.push(SimilarPair { left: i as u32, right: j as u32, prob });
+                pairs.push(SimilarPair {
+                    left: i as u32,
+                    right: j as u32,
+                    prob,
+                });
             }
         }
     }

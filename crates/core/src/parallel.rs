@@ -15,13 +15,15 @@
 //! driver and the oracle.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
 use usj_model::UncertainString;
+use usj_obs::{Gauge, MergeRecorder, NoopRecorder};
 
 use crate::collection::IndexedCollection;
 use crate::config::JoinConfig;
 use crate::join::{JoinResult, SimilarPair};
+use crate::record::Recording;
 use crate::stats::JoinStats;
 
 /// Runs the self-join with `threads` worker threads (0 = one per
@@ -32,22 +34,49 @@ pub fn par_self_join(
     strings: &[UncertainString],
     threads: usize,
 ) -> JoinResult {
+    par_self_join_recorded(config, sigma, strings, threads, || NoopRecorder).0
+}
+
+/// [`par_self_join`] with per-worker instrumentation. `make_recorder`
+/// builds one recorder per worker (plus one for the index build), so the
+/// hot probe loop stays lock-free — no shared sink, no atomics. After the
+/// worker scope joins, all recorders are folded into one via
+/// [`MergeRecorder::absorb`] and returned next to the result; the
+/// driver-level events (output count, memory gauges, wall-clock total)
+/// land on the merged recorder.
+pub fn par_self_join_recorded<R, F>(
+    config: JoinConfig,
+    sigma: usize,
+    strings: &[UncertainString],
+    threads: usize,
+    make_recorder: F,
+) -> (JoinResult, R)
+where
+    R: MergeRecorder + Send,
+    F: Fn() -> R + Sync,
+{
     let total_start = std::time::Instant::now();
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads
     };
-    let collection = IndexedCollection::build(config, sigma, strings.to_vec());
+    let mut merged = make_recorder();
+    let collection =
+        IndexedCollection::build_recorded(config, sigma, strings.to_vec(), &mut merged);
     let next = AtomicUsize::new(0);
     let results: Mutex<(Vec<SimilarPair>, JoinStats)> =
         Mutex::new((Vec::new(), JoinStats::default()));
+    let recorders: Mutex<Vec<R>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
                 let mut local_pairs = Vec::new();
                 let mut local_stats = JoinStats::default();
+                let mut local_rec = make_recorder();
                 loop {
                     // Dynamic work stealing in small batches keeps load
                     // balanced (probe costs vary wildly with uncertainty).
@@ -59,8 +88,12 @@ pub fn par_self_join(
                     for probe_id in start..end {
                         // Admit only smaller ids: each unordered pair is
                         // verified exactly once and never against itself.
-                        let (hits, stats) = collection
-                            .search_filtered(&strings[probe_id], |id| (id as usize) < probe_id);
+                        let (hits, stats) = collection.search_filtered_recorded(
+                            probe_id as u32,
+                            &strings[probe_id],
+                            |id| (id as usize) < probe_id,
+                            &mut local_rec,
+                        );
                         local_stats.absorb(&stats);
                         for hit in hits {
                             local_pairs.push(SimilarPair {
@@ -71,21 +104,32 @@ pub fn par_self_join(
                         }
                     }
                 }
-                let mut guard = results.lock();
+                let mut guard = results.lock().unwrap();
                 guard.0.append(&mut local_pairs);
                 guard.1.absorb(&local_stats);
+                drop(guard);
+                recorders.lock().unwrap().push(local_rec);
             });
         }
     });
 
-    let (mut pairs, mut stats) = results.into_inner();
+    for worker_rec in recorders.into_inner().unwrap() {
+        merged.absorb(worker_rec);
+    }
+    let (mut pairs, mut stats) = results.into_inner().unwrap();
     pairs.sort_unstable_by_key(|p| (p.left, p.right));
     stats.num_strings = strings.len();
+    // The merged recorder already saw one OutputPairs event per probe and
+    // each unordered pair surfaced exactly once, so their sum is exactly
+    // this count; only the stats view needs the authoritative value.
     stats.output_pairs = pairs.len() as u64;
-    stats.index_bytes = collection.index_bytes();
-    stats.peak_index_bytes = collection.index_bytes();
-    stats.timings.total = total_start.elapsed();
-    JoinResult { pairs, stats }
+    let mut rec = Recording::new(&mut stats, &mut merged);
+    rec.gauge(Gauge::IndexBytes, collection.index_bytes() as u64);
+    rec.gauge(Gauge::PeakIndexBytes, collection.index_bytes() as u64);
+    rec.gauge(Gauge::NumStrings, strings.len() as u64);
+    rec.set_total(total_start.elapsed());
+    drop(rec);
+    (JoinResult { pairs, stats }, merged)
 }
 
 #[cfg(test)]
@@ -152,5 +196,62 @@ mod tests {
         assert_eq!(result.stats.num_strings, strings.len());
         assert_eq!(result.stats.output_pairs, result.pairs.len() as u64);
         assert!(result.stats.pairs_in_scope > 0);
+    }
+
+    /// The pruning funnel stays monotone after merging worker stats. The
+    /// inequalities are strict-`>=` rather than the sequential driver's
+    /// equalities because the `id < probe_id` admission filter runs after
+    /// the frequency-survivor count.
+    #[test]
+    fn merged_stats_invariants_hold() {
+        let strings = collection();
+        for threads in [1, 3] {
+            let s = par_self_join(JoinConfig::new(2, 0.3), 4, &strings, threads).stats;
+            assert!(s.pairs_in_scope >= s.qgram_survivors, "threads={threads}");
+            assert!(s.qgram_survivors >= s.freq_survivors, "threads={threads}");
+            assert!(
+                s.freq_survivors >= s.cdf_accepted + s.cdf_rejected + s.cdf_undecided,
+                "threads={threads}"
+            );
+            assert_eq!(
+                s.cdf_undecided,
+                s.verified_similar + s.verified_dissimilar,
+                "threads={threads}"
+            );
+            assert!(s.peak_index_bytes >= s.index_bytes);
+        }
+    }
+
+    /// Per-worker recorders merge into one snapshot whose totals mirror
+    /// the merged `JoinStats`, and recording must not perturb the output.
+    #[test]
+    fn recorded_parallel_merges_workers() {
+        use usj_obs::{CollectingRecorder, Counter, Gauge};
+        let strings = collection();
+        let config = JoinConfig::new(2, 0.3);
+        let plain = par_self_join(config.clone(), 4, &strings, 3);
+        let (recorded, sink) =
+            par_self_join_recorded(config, 4, &strings, 3, CollectingRecorder::new);
+        let a: Vec<_> = plain.pairs.iter().map(|p| (p.left, p.right)).collect();
+        let b: Vec<_> = recorded.pairs.iter().map(|p| (p.left, p.right)).collect();
+        assert_eq!(a, b);
+        let s = &recorded.stats;
+        assert_eq!(sink.probes(), strings.len() as u64);
+        assert_eq!(sink.counter_total(Counter::PairsInScope), s.pairs_in_scope);
+        assert_eq!(sink.counter_total(Counter::FreqSurvivors), s.freq_survivors);
+        assert_eq!(sink.counter_total(Counter::CdfUndecided), s.cdf_undecided);
+        assert_eq!(
+            sink.counter_total(Counter::VerifiedSimilar)
+                + sink.counter_total(Counter::VerifiedDissimilar),
+            s.cdf_undecided
+        );
+        // Every string inserted once at build; each unordered pair
+        // surfaced as exactly one per-probe OutputPairs event.
+        assert_eq!(
+            sink.counter_total(Counter::IndexInsertions),
+            strings.len() as u64
+        );
+        assert_eq!(sink.counter_total(Counter::OutputPairs), s.output_pairs);
+        assert_eq!(sink.gauge_max(Gauge::IndexBytes), s.index_bytes as u64);
     }
 }

@@ -4,8 +4,19 @@
 //! each filter (Fig 2, Fig 5), per-phase filtering time vs total time
 //! (Fig 2, Fig 3), verification time (Fig 8), and peak index memory
 //! (Fig 7).
+//!
+//! Since the observability refactor, `JoinStats` is a **view over
+//! recorded events**: the drivers emit every counter, gauge, and phase
+//! span through [`crate::record::Recording`], which applies each event to
+//! this struct ([`JoinStats::apply_counter`], [`JoinStats::apply_gauge`],
+//! [`PhaseTimings::add`]) and forwards it to the attached
+//! [`usj_obs::Recorder`]. Nothing updates these fields directly anymore,
+//! so the sequential and parallel drivers cannot drift apart in their
+//! bookkeeping.
 
 use std::time::Duration;
+
+use usj_obs::{Counter, Gauge, Phase};
 
 /// Wall-clock time spent in each phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -20,7 +31,10 @@ pub struct PhaseTimings {
     pub verify: Duration,
     /// Inserting probes into the index (part of filtering overhead).
     pub index: Duration,
-    /// Whole join.
+    /// Whole join. For a single driver run this is wall-clock; when stats
+    /// are merged ([`JoinStats::absorb`]) it is the *sum* of the parts'
+    /// totals (aggregate work time), and the driver overwrites it with
+    /// the true wall-clock before returning.
     pub total: Duration,
 }
 
@@ -28,6 +42,31 @@ impl PhaseTimings {
     /// Total filtering time (everything except verification).
     pub fn filtering(&self) -> Duration {
         self.qgram + self.freq + self.cdf + self.index
+    }
+
+    /// Adds `elapsed` to the slot for `phase` (the event-application hook
+    /// used by [`crate::record::Recording`]).
+    pub fn add(&mut self, phase: Phase, elapsed: Duration) {
+        match phase {
+            Phase::Qgram => self.qgram += elapsed,
+            Phase::Freq => self.freq += elapsed,
+            Phase::Cdf => self.cdf += elapsed,
+            Phase::Verify => self.verify += elapsed,
+            Phase::Index => self.index += elapsed,
+            Phase::Total => self.total += elapsed,
+        }
+    }
+
+    /// The slot for `phase`.
+    pub fn get(&self, phase: Phase) -> Duration {
+        match phase {
+            Phase::Qgram => self.qgram,
+            Phase::Freq => self.freq,
+            Phase::Cdf => self.cdf,
+            Phase::Verify => self.verify,
+            Phase::Index => self.index,
+            Phase::Total => self.total,
+        }
     }
 }
 
@@ -81,11 +120,59 @@ impl JoinStats {
         self.verified_similar + self.verified_dissimilar
     }
 
-    /// Accumulates another run's counters and timings into this one
-    /// (used by the cross-collection join, which is a sequence of
-    /// searches). `num_strings`, output and index fields are left to the
-    /// caller.
+    /// Applies one counter event (the [`crate::record::Recording`] hook).
+    /// Counters outside the `JoinStats` vocabulary (index/verifier
+    /// internals tracked only by richer recorders) are ignored.
+    pub fn apply_counter(&mut self, counter: Counter, delta: u64) {
+        match counter {
+            Counter::PairsInScope => self.pairs_in_scope += delta,
+            Counter::QgramSurvivors => self.qgram_survivors += delta,
+            Counter::QgramPrunedCount => self.qgram_pruned_count += delta,
+            Counter::QgramPrunedBound => self.qgram_pruned_bound += delta,
+            Counter::FreqSurvivors => self.freq_survivors += delta,
+            Counter::FreqPrunedLower => self.freq_pruned_lower += delta,
+            Counter::FreqPrunedChebyshev => self.freq_pruned_chebyshev += delta,
+            Counter::CdfAccepted => self.cdf_accepted += delta,
+            Counter::CdfRejected => self.cdf_rejected += delta,
+            Counter::CdfUndecided => self.cdf_undecided += delta,
+            Counter::VerifiedSimilar => self.verified_similar += delta,
+            Counter::VerifiedDissimilar => self.verified_dissimilar += delta,
+            Counter::OutputPairs => self.output_pairs += delta,
+            Counter::IndexInsertions
+            | Counter::IndexPostingsScanned
+            | Counter::IndexCandidatesSurfaced
+            | Counter::VerifierBuilds => {}
+        }
+    }
+
+    /// Applies one gauge event (the [`crate::record::Recording`] hook).
+    pub fn apply_gauge(&mut self, gauge: Gauge, value: u64) {
+        match gauge {
+            Gauge::IndexBytes => self.index_bytes = value as usize,
+            Gauge::PeakIndexBytes => {
+                self.peak_index_bytes = self.peak_index_bytes.max(value as usize)
+            }
+            Gauge::NumStrings => self.num_strings = value as usize,
+        }
+    }
+
+    /// Accumulates another run's counters and timings into this one, used
+    /// when a join is a sequence of searches (the cross-collection join)
+    /// or a merge of per-worker partial runs (the parallel join).
+    ///
+    /// Merge rules:
+    /// * counters and per-phase timings **sum** (they measure work done);
+    /// * `timings.total` also **sums** — the merged value is aggregate
+    ///   work time, which the driver overwrites with wall-clock before
+    ///   returning (so a caller-visible `total` is always wall-clock);
+    /// * the memory gauges `index_bytes`/`peak_index_bytes` take the
+    ///   **max** (parallel workers observe the same shared index; a
+    ///   sequence of searches reports its high-water mark);
+    /// * `output_pairs` sums (each search reports its own hits); drivers
+    ///   overwrite it with the final deduplicated count;
+    /// * `num_strings` is left to the caller, which knows the collection.
     pub fn absorb(&mut self, other: &JoinStats) {
+        self.output_pairs += other.output_pairs;
         self.pairs_in_scope += other.pairs_in_scope;
         self.qgram_survivors += other.qgram_survivors;
         self.qgram_pruned_count += other.qgram_pruned_count;
@@ -98,11 +185,14 @@ impl JoinStats {
         self.cdf_undecided += other.cdf_undecided;
         self.verified_similar += other.verified_similar;
         self.verified_dissimilar += other.verified_dissimilar;
+        self.index_bytes = self.index_bytes.max(other.index_bytes);
+        self.peak_index_bytes = self.peak_index_bytes.max(other.peak_index_bytes);
         self.timings.qgram += other.timings.qgram;
         self.timings.freq += other.timings.freq;
         self.timings.cdf += other.timings.cdf;
         self.timings.verify += other.timings.verify;
         self.timings.index += other.timings.index;
+        self.timings.total += other.timings.total;
     }
 
     /// One-line human-readable summary (used by the experiment harness).
@@ -145,9 +235,97 @@ mod tests {
 
     #[test]
     fn summary_mentions_counts() {
-        let stats = JoinStats { num_strings: 7, output_pairs: 3, ..Default::default() };
+        let stats = JoinStats {
+            num_strings: 7,
+            output_pairs: 3,
+            ..Default::default()
+        };
         let s = stats.summary();
         assert!(s.contains("n=7"));
         assert!(s.contains("out=3"));
+    }
+
+    #[test]
+    fn phase_add_and_get_round_trip() {
+        let mut t = PhaseTimings::default();
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            t.add(*p, Duration::from_millis(1 + i as u64));
+            t.add(*p, Duration::from_millis(1));
+            assert_eq!(t.get(*p), Duration::from_millis(2 + i as u64));
+        }
+    }
+
+    #[test]
+    fn counter_events_update_matching_fields() {
+        let mut s = JoinStats::default();
+        s.apply_counter(Counter::PairsInScope, 10);
+        s.apply_counter(Counter::PairsInScope, 5);
+        s.apply_counter(Counter::CdfRejected, 2);
+        s.apply_counter(Counter::OutputPairs, 1);
+        // Obs-only counters leave JoinStats untouched.
+        s.apply_counter(Counter::IndexPostingsScanned, 99);
+        s.apply_counter(Counter::VerifierBuilds, 99);
+        assert_eq!(s.pairs_in_scope, 15);
+        assert_eq!(s.cdf_rejected, 2);
+        assert_eq!(s.output_pairs, 1);
+        assert_eq!(
+            s,
+            JoinStats {
+                pairs_in_scope: 15,
+                cdf_rejected: 2,
+                output_pairs: 1,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn gauge_events_set_and_peak() {
+        let mut s = JoinStats::default();
+        s.apply_gauge(Gauge::IndexBytes, 100);
+        s.apply_gauge(Gauge::PeakIndexBytes, 120);
+        s.apply_gauge(Gauge::IndexBytes, 40);
+        s.apply_gauge(Gauge::PeakIndexBytes, 90); // peak never regresses
+        s.apply_gauge(Gauge::NumStrings, 7);
+        assert_eq!(s.index_bytes, 40);
+        assert_eq!(s.peak_index_bytes, 120);
+        assert_eq!(s.num_strings, 7);
+    }
+
+    #[test]
+    fn absorb_sums_work_and_maxes_memory() {
+        let mut a = JoinStats {
+            pairs_in_scope: 10,
+            cdf_undecided: 2,
+            index_bytes: 100,
+            peak_index_bytes: 150,
+            timings: PhaseTimings {
+                qgram: Duration::from_millis(3),
+                total: Duration::from_millis(10),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let b = JoinStats {
+            pairs_in_scope: 5,
+            cdf_undecided: 1,
+            index_bytes: 120,
+            peak_index_bytes: 130,
+            timings: PhaseTimings {
+                qgram: Duration::from_millis(2),
+                total: Duration::from_millis(4),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.pairs_in_scope, 15);
+        assert_eq!(a.cdf_undecided, 3);
+        // Memory gauges take the max, not the sum (workers share one index).
+        assert_eq!(a.index_bytes, 120);
+        assert_eq!(a.peak_index_bytes, 150);
+        // Work timings sum, including total (aggregate work time).
+        assert_eq!(a.timings.qgram, Duration::from_millis(5));
+        assert_eq!(a.timings.total, Duration::from_millis(14));
     }
 }

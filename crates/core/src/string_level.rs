@@ -52,7 +52,12 @@ impl StringLevelJoin {
     pub fn new(k: usize, tau: f64, q: usize) -> StringLevelJoin {
         assert!((0.0..=1.0).contains(&tau), "tau must lie in [0, 1]");
         assert!(q >= 1, "q must be at least 1");
-        StringLevelJoin { k, tau, q, policy: SelectionPolicy::default() }
+        StringLevelJoin {
+            k,
+            tau,
+            q,
+            policy: SelectionPolicy::default(),
+        }
     }
 
     /// All pairs `(i, j)`, `i < j`, with `Pr(ed ≤ k) > τ`.
@@ -88,8 +93,7 @@ impl StringLevelJoin {
                         continue;
                     }
                     for (x, seg) in segments.iter().enumerate() {
-                        let Some((lo, hi)) =
-                            window_range(self.policy, r.len(), len, self.k, seg)
+                        let Some((lo, hi)) = window_range(self.policy, r.len(), len, self.k, seg)
                         else {
                             continue;
                         };
@@ -123,7 +127,10 @@ impl StringLevelJoin {
 
             // ---- insert probe ------------------------------------------
             for (r, _) in probe.alternatives() {
-                visited_lens.entry(r.len()).or_default().insert(probe_id as u32);
+                visited_lens
+                    .entry(r.len())
+                    .or_default()
+                    .insert(probe_id as u32);
                 for (x, seg) in partition(r.len(), self.q, self.k).iter().enumerate() {
                     let key = (r.len(), x, r[seg.start..seg.end()].to_vec());
                     let ids = index.entry(key).or_default();
@@ -174,7 +181,11 @@ pub fn string_level_oracle(
         for j in (i + 1)..strings.len() {
             let prob = strings[i].similarity_prob(&strings[j], k);
             if prob > tau {
-                pairs.push(SimilarPair { left: i as u32, right: j as u32, prob });
+                pairs.push(SimilarPair {
+                    left: i as u32,
+                    right: j as u32,
+                    prob,
+                });
             }
         }
     }

@@ -1,9 +1,13 @@
-//! Per-probe verifier dispatch shared by the join and search drivers.
+//! Per-probe verifier dispatch shared by the join and search drivers,
+//! plus the shared (instrumented) CDF-then-verify candidate decision.
 
+use usj_cdf::{CdfDecision, CdfFilter};
 use usj_model::{Prob, UncertainString};
+use usj_obs::{Counter, NoopRecorder, Phase, Recorder};
 use usj_verify::{naive_verify, LazyTrieVerifier, TrieVerifier};
 
 use crate::config::{JoinConfig, VerifierKind};
+use crate::record::Recording;
 
 /// A verifier instantiated once per probe and reused for all its
 /// candidates.
@@ -21,20 +25,34 @@ pub enum ProbeVerifier {
 impl ProbeVerifier {
     /// Builds the verifier `config` asks for.
     pub fn build(probe: &UncertainString, config: &JoinConfig) -> ProbeVerifier {
+        ProbeVerifier::build_recorded(probe, config, &mut NoopRecorder)
+    }
+
+    /// [`ProbeVerifier::build`] plus a [`Counter::VerifierBuilds`] event
+    /// on `rec` (the lazy per-probe construction count — probes whose
+    /// candidates are all filtered out never build one).
+    pub fn build_recorded<R: Recorder>(
+        probe: &UncertainString,
+        config: &JoinConfig,
+        rec: &mut R,
+    ) -> ProbeVerifier {
+        rec.counter(Counter::VerifierBuilds, 1);
         match config.verifier {
             VerifierKind::LazyTrie => {
                 let v = LazyTrieVerifier::new(probe, config.k, config.tau);
-                ProbeVerifier::Lazy(if config.early_stop { v } else { v.without_early_stop() })
+                ProbeVerifier::Lazy(if config.early_stop {
+                    v
+                } else {
+                    v.without_early_stop()
+                })
             }
             VerifierKind::Trie => {
                 match TrieVerifier::new(probe, config.k, config.tau, config.max_trie_nodes) {
-                    Some(v) => {
-                        ProbeVerifier::Eager(if config.early_stop {
-                            v
-                        } else {
-                            v.without_early_stop()
-                        })
-                    }
+                    Some(v) => ProbeVerifier::Eager(if config.early_stop {
+                        v
+                    } else {
+                        v.without_early_stop()
+                    }),
                     None => ProbeVerifier::Naive,
                 }
             }
@@ -68,6 +86,72 @@ impl ProbeVerifier {
     }
 }
 
+/// The shared decision tail applied to one surviving candidate: CDF
+/// bounds first, exact verification only when they are inconclusive (or
+/// when exact-probability mode verifies accepts too). Returns `None` when
+/// the CDF bound rejects the pair, otherwise `Some((similar, prob))`.
+///
+/// Both drivers ([`crate::SimilarityJoin::self_join`] and
+/// [`crate::IndexedCollection::search_filtered`]) route candidates through
+/// this one function, so the CDF/verify counters and phase spans cannot
+/// diverge between them.
+pub(crate) fn decide_candidate<R: Recorder>(
+    probe: &UncertainString,
+    other: &UncertainString,
+    cdf_filter: &CdfFilter,
+    verifier: &mut Option<ProbeVerifier>,
+    config: &JoinConfig,
+    rec: &mut Recording<'_, R>,
+) -> Option<(bool, Prob)> {
+    let mut decided: Option<(bool, Prob)> = None;
+    if config.pipeline.uses_cdf() {
+        let span = rec.begin(Phase::Cdf);
+        let out = cdf_filter.evaluate(probe, other);
+        rec.end(span);
+        match out.decision {
+            CdfDecision::Reject => {
+                rec.count(Counter::CdfRejected, 1);
+                return None;
+            }
+            CdfDecision::Accept if config.early_stop => {
+                rec.count(Counter::CdfAccepted, 1);
+                decided = Some((true, out.bounds.at_k().0));
+            }
+            CdfDecision::Accept => {
+                // Exact-probability mode verifies accepted pairs too (the
+                // count still reflects the filter's power).
+                rec.count(Counter::CdfAccepted, 1);
+            }
+            CdfDecision::Undecided => {
+                rec.count(Counter::CdfUndecided, 1);
+            }
+        }
+    } else {
+        rec.count(Counter::CdfUndecided, 1);
+    }
+    let (similar, prob) = match decided {
+        Some(d) => d,
+        None => {
+            let span = rec.begin(Phase::Verify);
+            let v = verifier.get_or_insert_with(|| {
+                ProbeVerifier::build_recorded(probe, config, rec.recorder())
+            });
+            let (similar, prob) = v.verify(probe, other, config);
+            rec.end(span);
+            rec.count(
+                if similar {
+                    Counter::VerifiedSimilar
+                } else {
+                    Counter::VerifiedDissimilar
+                },
+                1,
+            );
+            (similar, prob)
+        }
+    };
+    Some((similar, prob))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,7 +165,11 @@ mod tests {
     fn all_kinds_agree() {
         let r = dna("AC{(G,0.5),(T,0.5)}TAC");
         let s = dna("ACGTAC");
-        for kind in [VerifierKind::LazyTrie, VerifierKind::Trie, VerifierKind::Naive] {
+        for kind in [
+            VerifierKind::LazyTrie,
+            VerifierKind::Trie,
+            VerifierKind::Naive,
+        ] {
             let config = JoinConfig::new(1, 0.3).with_verifier(kind);
             let mut v = ProbeVerifier::build(&r, &config);
             let (similar, prob) = v.verify(&r, &s, &config);

@@ -36,8 +36,7 @@ fn join_matches_oracle_across_thousands_of_cases() {
     for seed in 0u64..1500 {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = rng.gen_range(2..8);
-        let strings: Vec<UncertainString> =
-            (0..n).map(|_| random_string(&mut rng, 3, 9)).collect();
+        let strings: Vec<UncertainString> = (0..n).map(|_| random_string(&mut rng, 3, 9)).collect();
         let k = rng.gen_range(1..=2usize);
         let tau = rng.gen_range(0.02..0.8) + 1e-6;
         let q = rng.gen_range(2..=4usize);
@@ -59,5 +58,10 @@ fn join_matches_oracle_across_thousands_of_cases() {
             }
         }
     }
-    assert!(failures.is_empty(), "{} failures:\n{}", failures.len(), failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "{} failures:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
 }

@@ -22,17 +22,17 @@ const LETTER_WEIGHTS: [u32; 26] = [
 pub fn dblp_like_base(rng: &mut impl Rng, alphabet: &Alphabet) -> Vec<Symbol> {
     debug_assert_eq!(alphabet.size(), 27, "use Alphabet::names()");
     // Approximate a normal via the sum of three uniforms (Irwin–Hall).
-    let len = (10
-        + rng.gen_range(0..=9)
-        + rng.gen_range(0..=8)
-        + rng.gen_range(0..=8))
-    .min(35);
+    let len = (10 + rng.gen_range(0..=9) + rng.gen_range(0..=8) + rng.gen_range(0..=8)).min(35);
     let space = alphabet.symbol(' ').expect("names alphabet has a space");
     let dist = rand::distributions::WeightedIndex::new(LETTER_WEIGHTS).unwrap();
     let mut out = Vec::with_capacity(len);
     // Place 1–2 spaces at plausible word boundaries.
     let first_space = rng.gen_range(3..8).min(len.saturating_sub(2));
-    let second_space = if len > 18 { Some(rng.gen_range(10..16)) } else { None };
+    let second_space = if len > 18 {
+        Some(rng.gen_range(10..16))
+    } else {
+        None
+    };
     for i in 0..len {
         if i == first_space || Some(i) == second_space {
             out.push(space);

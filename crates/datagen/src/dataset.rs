@@ -76,7 +76,10 @@ impl DatasetSpec {
 
     /// Overrides the near-duplicate fraction.
     pub fn with_duplicate_fraction(mut self, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must lie in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must lie in [0, 1]"
+        );
         self.duplicate_fraction = fraction;
         self
     }
@@ -181,7 +184,10 @@ impl Dataset {
                 cap_uncertain(&grown, max_uncertain)
             })
             .collect();
-        Dataset { alphabet: self.alphabet.clone(), strings }
+        Dataset {
+            alphabet: self.alphabet.clone(),
+            strings,
+        }
     }
 }
 
@@ -214,7 +220,11 @@ mod tests {
     fn dblp_dataset_statistics() {
         let ds = DatasetSpec::new(DatasetKind::Dblp, 300, 11).generate();
         assert_eq!(ds.strings.len(), 300);
-        assert!((15.0..26.0).contains(&ds.avg_len()), "avg len {}", ds.avg_len());
+        assert!(
+            (15.0..26.0).contains(&ds.avg_len()),
+            "avg len {}",
+            ds.avg_len()
+        );
         let theta = ds.avg_theta();
         assert!((0.12..0.28).contains(&theta), "avg theta {theta}");
         for s in &ds.strings {
@@ -225,7 +235,11 @@ mod tests {
     #[test]
     fn protein_dataset_statistics() {
         let ds = DatasetSpec::new(DatasetKind::Protein, 200, 12).generate();
-        assert!((28.0..37.0).contains(&ds.avg_len()), "avg len {}", ds.avg_len());
+        assert!(
+            (28.0..37.0).contains(&ds.avg_len()),
+            "avg len {}",
+            ds.avg_len()
+        );
         let theta = ds.avg_theta();
         assert!((0.05..0.15).contains(&theta), "avg theta {theta}");
     }

@@ -82,7 +82,10 @@ mod tests {
     fn roundtrip() {
         let ds = DatasetSpec::new(DatasetKind::Dblp, 25, 3).generate();
         let json = DatasetJson::from(&ds).to_json();
-        let back = DatasetJson::from_json(&json).unwrap().into_dataset().unwrap();
+        let back = DatasetJson::from_json(&json)
+            .unwrap()
+            .into_dataset()
+            .unwrap();
         assert_eq!(ds, back);
     }
 

@@ -25,7 +25,12 @@ pub struct UncertaintySpec {
 
 impl Default for UncertaintySpec {
     fn default() -> Self {
-        UncertaintySpec { theta: 0.2, gamma: 5, variants: 12, max_edits: 4 }
+        UncertaintySpec {
+            theta: 0.2,
+            gamma: 5,
+            variants: 12,
+            max_edits: 4,
+        }
     }
 }
 
@@ -33,7 +38,10 @@ impl UncertaintySpec {
     /// Spec with a given `θ` and the paper's remaining defaults.
     pub fn with_theta(theta: f64) -> Self {
         assert!((0.0..=1.0).contains(&theta), "theta must lie in [0, 1]");
-        UncertaintySpec { theta, ..Default::default() }
+        UncertaintySpec {
+            theta,
+            ..Default::default()
+        }
     }
 }
 
@@ -114,7 +122,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn base(rng: &mut StdRng, alphabet: &Alphabet, len: usize) -> Vec<Symbol> {
-        (0..len).map(|_| rng.gen_range(0..alphabet.size()) as Symbol).collect()
+        (0..len)
+            .map(|_| rng.gen_range(0..alphabet.size()) as Symbol)
+            .collect()
     }
 
     #[test]
@@ -129,7 +139,10 @@ mod tests {
             // certain, so the count may fall slightly short.
             assert!(u.num_uncertain() <= expected);
             if theta > 0.0 {
-                assert!(u.num_uncertain() >= expected.saturating_sub(2), "theta={theta}");
+                assert!(
+                    u.num_uncertain() >= expected.saturating_sub(2),
+                    "theta={theta}"
+                );
             }
             assert!(u.validate().is_ok());
         }
@@ -139,7 +152,10 @@ mod tests {
     fn gamma_bounds_alternatives() {
         let mut rng = StdRng::seed_from_u64(8);
         let protein = Alphabet::protein();
-        let spec = UncertaintySpec { gamma: 5, ..Default::default() };
+        let spec = UncertaintySpec {
+            gamma: 5,
+            ..Default::default()
+        };
         for _ in 0..50 {
             let b = base(&mut rng, &protein, 30);
             let u = make_uncertain(&mut rng, &b, &protein, &spec);

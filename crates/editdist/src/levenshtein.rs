@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn symmetry() {
-        assert_eq!(edit_distance(b"abcdef", b"azced"), edit_distance(b"azced", b"abcdef"));
+        assert_eq!(
+            edit_distance(b"abcdef", b"azced"),
+            edit_distance(b"azced", b"abcdef")
+        );
     }
 
     #[test]
@@ -167,9 +170,10 @@ mod tests {
     #[test]
     fn bounded_exhaustive_small() {
         let strings: Vec<Vec<u8>> = (0..=4usize)
-            .flat_map(|len| (0..(1usize << len)).map(move |bits| {
-                (0..len).map(|i| ((bits >> i) & 1) as u8).collect()
-            }))
+            .flat_map(|len| {
+                (0..(1usize << len))
+                    .map(move |bits| (0..len).map(|i| ((bits >> i) & 1) as u8).collect())
+            })
             .collect();
         for a in &strings {
             for b in &strings {

@@ -130,9 +130,8 @@ mod tests {
     fn exhaustive_small_binary() {
         let strings: Vec<Vec<u8>> = (0..=5usize)
             .flat_map(|len| {
-                (0..(1usize << len)).map(move |bits| {
-                    (0..len).map(|i| ((bits >> i) & 1) as u8).collect()
-                })
+                (0..(1usize << len))
+                    .map(move |bits| (0..len).map(|i| ((bits >> i) & 1) as u8).collect())
             })
             .collect();
         for a in &strings {

@@ -41,7 +41,12 @@ impl PrefixDp {
         let width = target.len() + 1;
         let mut rows = Vec::with_capacity(width * (target.len() + k + 2));
         rows.extend(0..width);
-        PrefixDp { target: target.to_vec(), k, rows, depth: 0 }
+        PrefixDp {
+            target: target.to_vec(),
+            k,
+            rows,
+            depth: 0,
+        }
     }
 
     /// The fixed target string.
@@ -157,7 +162,11 @@ mod tests {
         for &(t, p) in pairs {
             let d = edit_distance(p, t);
             for k in 0..=d + 1 {
-                assert_eq!(PrefixDp::run(t, p, k), (d <= k).then_some(d), "t={t:?} p={p:?} k={k}");
+                assert_eq!(
+                    PrefixDp::run(t, p, k),
+                    (d <= k).then_some(d),
+                    "t={t:?} p={p:?} k={k}"
+                );
             }
         }
     }
@@ -218,9 +227,10 @@ mod tests {
     fn exhaustive_small() {
         fn all(len: usize) -> Vec<Vec<u8>> {
             (0..=len)
-                .flat_map(|l| (0..(1usize << l)).map(move |bits| {
-                    (0..l).map(|i| b'a' + ((bits >> i) & 1) as u8).collect()
-                }))
+                .flat_map(|l| {
+                    (0..(1usize << l))
+                        .map(move |bits| (0..l).map(|i| b'a' + ((bits >> i) & 1) as u8).collect())
+                })
                 .collect()
         }
         for t in all(3) {

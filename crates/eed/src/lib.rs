@@ -93,7 +93,11 @@ impl OverlappingQGramIndex {
     /// Creates an index for q-grams of length `q`.
     pub fn new(q: usize) -> Self {
         assert!(q >= 1);
-        OverlappingQGramIndex { postings: HashMap::new(), bytes: 0, q }
+        OverlappingQGramIndex {
+            postings: HashMap::new(),
+            bytes: 0,
+            q,
+        }
     }
 
     /// Indexes all instances of every overlapping window of `s`.
@@ -162,7 +166,10 @@ pub struct EedJoin {
 impl EedJoin {
     /// Creates the join with threshold `d`.
     pub fn new(d: f64) -> Self {
-        EedJoin { d, max_worlds: 1 << 22 }
+        EedJoin {
+            d,
+            max_worlds: 1 << 22,
+        }
     }
 
     /// Runs the join. Candidates are the length-compatible pairs
@@ -186,7 +193,11 @@ impl EedJoin {
                 }
                 stats.pairs_evaluated += 1;
                 if eed_within(r, s, self.d) {
-                    pairs.push(EedPair { left: i as u32, right: j as u32, eed: None });
+                    pairs.push(EedPair {
+                        left: i as u32,
+                        right: j as u32,
+                        eed: None,
+                    });
                 }
             }
         }
@@ -245,7 +256,11 @@ mod tests {
                 if (exact - d).abs() < 1e-9 {
                     continue; // knife edge
                 }
-                assert_eq!(eed_within(&r, &s, d), exact <= d, "{rt} {st} d={d} exact={exact}");
+                assert_eq!(
+                    eed_within(&r, &s, d),
+                    exact <= d,
+                    "{rt} {st} d={d} exact={exact}"
+                );
             }
         }
     }
@@ -260,7 +275,12 @@ mod tests {
 
     #[test]
     fn join_finds_expected_pairs() {
-        let strings = vec![dna("ACGTAC"), dna("ACGTAC"), dna("AC{(G,0.5),(T,0.5)}TAC"), dna("TTTTTT")];
+        let strings = vec![
+            dna("ACGTAC"),
+            dna("ACGTAC"),
+            dna("AC{(G,0.5),(T,0.5)}TAC"),
+            dna("TTTTTT"),
+        ];
         let (pairs, stats) = EedJoin::new(1.0).self_join(&strings);
         let ids: Vec<_> = pairs.iter().map(|p| (p.left, p.right)).collect();
         assert!(ids.contains(&(0, 1)));

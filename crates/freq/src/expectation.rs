@@ -95,11 +95,20 @@ mod tests {
     #[test]
     fn fast_matches_naive_per_char() {
         let cases = [
-            (CharProfile::new(0, &[0.5, 0.3]), CharProfile::new(1, &[0.9])),
-            (CharProfile::new(2, &[]), CharProfile::new(0, &[0.1, 0.2, 0.3])),
+            (
+                CharProfile::new(0, &[0.5, 0.3]),
+                CharProfile::new(1, &[0.9]),
+            ),
+            (
+                CharProfile::new(2, &[]),
+                CharProfile::new(0, &[0.1, 0.2, 0.3]),
+            ),
             (CharProfile::new(1, &[0.5]), CharProfile::new(1, &[0.5])),
             (CharProfile::new(0, &[]), CharProfile::new(3, &[])),
-            (CharProfile::new(5, &[0.2, 0.4, 0.6, 0.8]), CharProfile::new(0, &[0.5])),
+            (
+                CharProfile::new(5, &[0.2, 0.4, 0.6, 0.8]),
+                CharProfile::new(0, &[0.5]),
+            ),
         ];
         for (r, s) in &cases {
             let fast = expected_nd_char(r, s);

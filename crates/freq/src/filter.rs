@@ -150,7 +150,10 @@ mod tests {
                     }
                     let out = filter.evaluate_strings(&r, &s);
                     if exact > tau + 1e-9 {
-                        assert!(out.candidate, "false negative k={k} tau={tau} {rt} {st}: {out:?} exact={exact}");
+                        assert!(
+                            out.candidate,
+                            "false negative k={k} tau={tau} {rt} {st}: {out:?} exact={exact}"
+                        );
                     }
                     // And the bound itself dominates the exact probability.
                     assert!(out.upper_bound >= exact - 1e-9 || !out.candidate && exact <= tau);

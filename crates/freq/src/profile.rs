@@ -59,7 +59,11 @@ impl CharProfile {
         // S3[x] = S3[x+1] + S2[x] (each +1 shift adds one more copy of the
         // tail mass).
         for x in (0..=u).rev() {
-            let (next2, next3) = if x < u { (s2[x + 1], s3[x + 1]) } else { (0.0, 0.0) };
+            let (next2, next3) = if x < u {
+                (s2[x + 1], s3[x + 1])
+            } else {
+                (0.0, 0.0)
+            };
             s2[x] = next2 + s1[x];
             s3[x] = next3 + s2[x];
         }
@@ -70,7 +74,14 @@ impl CharProfile {
             s4[x] = s4[x - 1] + below;
         }
         let mean_uncertain: f64 = uncertain_probs.iter().sum();
-        CharProfile { certain, s1, s2, s3, s4, mean_uncertain }
+        CharProfile {
+            certain,
+            s1,
+            s2,
+            s3,
+            s4,
+            mean_uncertain,
+        }
     }
 
     /// `f^c`: minimum possible occurrence count.
@@ -176,7 +187,10 @@ impl FreqProfile {
             .zip(uncertain)
             .map(|(c, u)| CharProfile::new(c, &u))
             .collect();
-        FreqProfile { per_char, len: s.len() }
+        FreqProfile {
+            per_char,
+            len: s.len(),
+        }
     }
 
     /// Alphabet size.
@@ -261,7 +275,10 @@ mod tests {
             for count in 0..=4u32 {
                 let expect = hist.get(&count).copied().unwrap_or(0.0);
                 let got = p.char_profile(sym as usize).pmf(count);
-                assert!((got - expect).abs() < 1e-9, "sym={sym} count={count}: {got} vs {expect}");
+                assert!(
+                    (got - expect).abs() < 1e-9,
+                    "sym={sym} count={count}: {got} vs {expect}"
+                );
             }
         }
     }

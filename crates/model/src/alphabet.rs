@@ -46,7 +46,10 @@ impl Alphabet {
     pub fn new(chars: impl IntoIterator<Item = char>) -> Self {
         let chars: Vec<char> = chars.into_iter().collect();
         assert!(!chars.is_empty(), "alphabet must not be empty");
-        assert!(chars.len() < 256, "alphabet must have fewer than 256 symbols");
+        assert!(
+            chars.len() < 256,
+            "alphabet must have fewer than 256 symbols"
+        );
         let mut ascii = [NO_SYMBOL; 128];
         for (i, &c) in chars.iter().enumerate() {
             assert!(c.is_ascii(), "alphabet characters must be ASCII, got {c:?}");

@@ -81,13 +81,22 @@ impl std::fmt::Display for ModelError {
         match self {
             ModelError::UnknownChar(c) => write!(f, "character {c:?} is not in the alphabet"),
             ModelError::BadDistribution { index, sum } => {
-                write!(f, "distribution at position {index} sums to {sum}, expected 1")
+                write!(
+                    f,
+                    "distribution at position {index} sums to {sum}, expected 1"
+                )
             }
             ModelError::DuplicateSymbol { index, symbol } => {
-                write!(f, "distribution at position {index} lists symbol {symbol} twice")
+                write!(
+                    f,
+                    "distribution at position {index} lists symbol {symbol} twice"
+                )
             }
             ModelError::BadProbability { index, value } => {
-                write!(f, "probability {value} at position {index} is outside (0, 1]")
+                write!(
+                    f,
+                    "probability {value} at position {index} is outside (0, 1]"
+                )
             }
             ModelError::EmptyDistribution { index } => {
                 write!(f, "distribution at position {index} has no alternatives")

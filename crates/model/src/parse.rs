@@ -26,7 +26,12 @@ impl UncertainString {
     /// assert_eq!(s.len(), 4);
     /// ```
     pub fn parse(text: &str, alphabet: &Alphabet) -> Result<Self> {
-        Parser { input: text, offset: 0, alphabet }.parse()
+        Parser {
+            input: text,
+            offset: 0,
+            alphabet,
+        }
+        .parse()
     }
 
     /// Formats the string back into the paper's syntax.
@@ -72,7 +77,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn error(&self, message: impl Into<String>) -> ModelError {
-        ModelError::Parse { offset: self.offset, message: message.into() }
+        ModelError::Parse {
+            offset: self.offset,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -179,8 +187,8 @@ mod tests {
     fn parse_paper_example() {
         // String S3 from Table 1 of the paper.
         let dna = Alphabet::dna();
-        let s = UncertainString::parse("G{(A,0.8),(G,0.2)}CT{(A,0.8),(C,0.1),(T,0.1)}C", &dna)
-            .unwrap();
+        let s =
+            UncertainString::parse("G{(A,0.8),(G,0.2)}CT{(A,0.8),(C,0.1),(T,0.1)}C", &dna).unwrap();
         assert_eq!(s.len(), 6);
         assert_eq!(s.num_uncertain(), 2);
         let a = dna.symbol('A').unwrap();
@@ -240,7 +248,10 @@ mod tests {
     fn parse_errors_carry_offsets() {
         let dna = Alphabet::dna();
         let err = UncertainString::parse("AX", &dna).unwrap_err();
-        assert!(matches!(err, ModelError::Parse { offset: 2, .. }), "{err:?}");
+        assert!(
+            matches!(err, ModelError::Parse { offset: 2, .. }),
+            "{err:?}"
+        );
         assert!(UncertainString::parse("{(A,0.5)", &dna).is_err());
         assert!(UncertainString::parse("{(A,0.5),(A,0.5)}", &dna).is_err());
         assert!(UncertainString::parse("{(A,0.5),(C,0.2)}", &dna).is_err());

@@ -46,7 +46,10 @@ impl Position {
         let mut sum = 0.0;
         for window in alts.windows(2) {
             if window[0].0 == window[1].0 {
-                return Err(ModelError::DuplicateSymbol { index, symbol: window[0].0 });
+                return Err(ModelError::DuplicateSymbol {
+                    index,
+                    symbol: window[0].0,
+                });
             }
         }
         for &(_, p) in &alts {
@@ -174,7 +177,10 @@ impl Position {
                 let mut sum = 0.0;
                 for w in alts.windows(2) {
                     if w[0].0 >= w[1].0 {
-                        return Err(ModelError::DuplicateSymbol { index, symbol: w[1].0 });
+                        return Err(ModelError::DuplicateSymbol {
+                            index,
+                            symbol: w[1].0,
+                        });
                     }
                 }
                 for &(_, p) in alts {
@@ -253,7 +259,10 @@ mod tests {
         ));
         assert!(matches!(
             Position::uncertain(1, vec![(0, 0.5), (0, 0.5)]),
-            Err(ModelError::DuplicateSymbol { index: 1, symbol: 0 })
+            Err(ModelError::DuplicateSymbol {
+                index: 1,
+                symbol: 0
+            })
         ));
         assert!(matches!(
             Position::uncertain(2, vec![(0, 0.5), (1, 0.2)]),
@@ -283,8 +292,14 @@ mod tests {
         assert!(approx_eq(a.match_prob(&b), 0.4));
         assert!(approx_eq(a.match_prob(&Position::certain(1)), 0.2));
         assert!(approx_eq(Position::certain(1).match_prob(&a), 0.2));
-        assert!(approx_eq(Position::certain(1).match_prob(&Position::certain(1)), 1.0));
-        assert!(approx_eq(Position::certain(1).match_prob(&Position::certain(0)), 0.0));
+        assert!(approx_eq(
+            Position::certain(1).match_prob(&Position::certain(1)),
+            1.0
+        ));
+        assert!(approx_eq(
+            Position::certain(1).match_prob(&Position::certain(0)),
+            0.0
+        ));
         // match_prob is symmetric
         assert!(approx_eq(a.match_prob(&b), b.match_prob(&a)));
     }

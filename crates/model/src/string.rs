@@ -40,7 +40,9 @@ impl UncertainString {
 
     /// The empty string (zero positions, exactly one empty world).
     pub fn empty() -> Self {
-        UncertainString { positions: Vec::new() }
+        UncertainString {
+            positions: Vec::new(),
+        }
     }
 
     /// Number of positions `l = |S|`.
@@ -128,7 +130,9 @@ impl UncertainString {
     /// `start` (0-based): `Pr(w = S[start .. start+|w|])`. Returns 0 when
     /// the window does not fit.
     pub fn substring_match_prob(&self, start: usize, w: &[Symbol]) -> Prob {
-        let Some(end) = start.checked_add(w.len()) else { return 0.0 };
+        let Some(end) = start.checked_add(w.len()) else {
+            return 0.0;
+        };
         if end > self.positions.len() {
             return 0.0;
         }

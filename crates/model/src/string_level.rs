@@ -59,7 +59,9 @@ impl StringLevelUncertain {
 
     /// A certain (single-instance) string.
     pub fn certain(instance: Vec<Symbol>) -> StringLevelUncertain {
-        StringLevelUncertain { alternatives: vec![(instance, 1.0)] }
+        StringLevelUncertain {
+            alternatives: vec![(instance, 1.0)],
+        }
     }
 
     /// The alternatives, sorted by instance.
@@ -74,12 +76,20 @@ impl StringLevelUncertain {
 
     /// Shortest instance length.
     pub fn min_len(&self) -> usize {
-        self.alternatives.iter().map(|(w, _)| w.len()).min().unwrap_or(0)
+        self.alternatives
+            .iter()
+            .map(|(w, _)| w.len())
+            .min()
+            .unwrap_or(0)
     }
 
     /// Longest instance length.
     pub fn max_len(&self) -> usize {
-        self.alternatives.iter().map(|(w, _)| w.len()).max().unwrap_or(0)
+        self.alternatives
+            .iter()
+            .map(|(w, _)| w.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Probability of a specific instance.
@@ -107,9 +117,7 @@ impl StringLevelUncertain {
         let mut acc = 0.0;
         for (r, p) in &self.alternatives {
             for (s, q) in &other.alternatives {
-                if r.len().abs_diff(s.len()) <= k
-                    && usj_ed_bounded(r, s, k)
-                {
+                if r.len().abs_diff(s.len()) <= k && usj_ed_bounded(r, s, k) {
                     acc += p * q;
                 }
             }
@@ -175,7 +183,9 @@ fn levenshtein(a: &[Symbol], b: &[Symbol]) -> usize {
         let mut diag = row[0];
         row[0] = i + 1;
         for (j, &cb) in b.iter().enumerate() {
-            let val = (diag + usize::from(ca != cb)).min(row[j] + 1).min(row[j + 1] + 1);
+            let val = (diag + usize::from(ca != cb))
+                .min(row[j] + 1)
+                .min(row[j + 1] + 1);
             diag = row[j + 1];
             row[j + 1] = val;
         }

@@ -22,7 +22,11 @@ fn arb_position(sigma: u8, max_alts: usize) -> impl Strategy<Value = Position> {
 }
 
 /// Strategy: a random uncertain string.
-pub fn arb_string(sigma: u8, max_len: usize, max_alts: usize) -> impl Strategy<Value = UncertainString> {
+pub fn arb_string(
+    sigma: u8,
+    max_len: usize,
+    max_alts: usize,
+) -> impl Strategy<Value = UncertainString> {
     prop::collection::vec(arb_position(sigma, max_alts), 0..=max_len).prop_map(UncertainString::new)
 }
 

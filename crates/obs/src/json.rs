@@ -1,0 +1,190 @@
+//! A tiny hand-rolled JSON emitter (no serde — this crate must build with
+//! zero crates.io dependencies).
+//!
+//! Only what snapshots need: objects, string/integer/float values, and
+//! 2-space pretty-printing with insertion-ordered keys so the output is
+//! schema-stable and diffable.
+
+use std::fmt::Write as _;
+
+/// Builds a JSON document into a `String`. Keys appear in insertion
+/// order; the caller is responsible for not repeating keys.
+#[derive(Debug)]
+pub struct JsonWriter {
+    out: String,
+    /// Per-open-scope flag: has this scope already emitted an entry?
+    stack: Vec<bool>,
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        JsonWriter::new()
+    }
+}
+
+impl JsonWriter {
+    /// Starts a document with one open root object.
+    pub fn new() -> Self {
+        JsonWriter {
+            out: String::from("{"),
+            stack: vec![false],
+        }
+    }
+
+    fn indent(&mut self) {
+        for _ in 0..self.stack.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        let first = self.stack.last_mut().expect("scope open");
+        if *first {
+            self.out.push(',');
+        }
+        *first = true;
+        self.out.push('\n');
+        self.indent();
+        self.out.push('"');
+        escape_into(&mut self.out, name);
+        self.out.push_str("\": ");
+    }
+
+    /// `"name": <unsigned integer>`.
+    pub fn field_u64(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// `"name": <string>` (escaped).
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        self.out.push('"');
+        escape_into(&mut self.out, value);
+        self.out.push('"');
+        self
+    }
+
+    /// `"name": <float>`, printed with enough digits to round-trip; NaN
+    /// and infinities (not valid JSON) are emitted as `null`.
+    pub fn field_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        if value.is_finite() {
+            let mut tok = String::new();
+            let _ = write!(tok, "{value}");
+            // `{}` on f64 omits the decimal point for integral values;
+            // keep the token a float so readers infer a stable type.
+            if !tok.contains(['.', 'e', 'E']) {
+                tok.push_str(".0");
+            }
+            self.out.push_str(&tok);
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Opens `"name": { … }`; close with [`JsonWriter::end_object`].
+    pub fn begin_object(&mut self, name: &str) -> &mut Self {
+        self.key(name);
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost object opened by [`JsonWriter::begin_object`].
+    pub fn end_object(&mut self) -> &mut Self {
+        let had_entries = self.stack.pop().expect("scope open");
+        assert!(
+            !self.stack.is_empty(),
+            "cannot close the root object; use finish()"
+        );
+        if had_entries {
+            self.out.push('\n');
+            self.indent();
+        }
+        self.out.push('}');
+        self
+    }
+
+    /// Closes the root object and returns the document.
+    pub fn finish(mut self) -> String {
+        assert_eq!(self.stack.len(), 1, "unclosed nested object");
+        if self.stack[0] {
+            self.out.push('\n');
+        }
+        self.out.push_str("}\n");
+        self.out
+    }
+}
+
+/// Escapes `s` into `out` per RFC 8259 (quotes, backslashes, control
+/// characters).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_object() {
+        let mut w = JsonWriter::new();
+        w.field_u64("a", 1).field_str("b", "x\"y\\z\n");
+        let s = w.finish();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": \"x\\\"y\\\\z\\n\"\n}\n");
+    }
+
+    #[test]
+    fn nested_objects_and_empty() {
+        let mut w = JsonWriter::new();
+        w.begin_object("outer");
+        w.field_u64("n", 2);
+        w.begin_object("empty");
+        w.end_object();
+        w.end_object();
+        let s = w.finish();
+        assert_eq!(
+            s,
+            "{\n  \"outer\": {\n    \"n\": 2,\n    \"empty\": {}\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_document() {
+        assert_eq!(JsonWriter::new().finish(), "{}\n");
+    }
+
+    #[test]
+    fn floats_round_trip_and_stay_floats() {
+        let mut w = JsonWriter::new();
+        w.field_f64("half", 0.5)
+            .field_f64("whole", 3.0)
+            .field_f64("bad", f64::NAN);
+        let s = w.finish();
+        assert!(s.contains("\"half\": 0.5"), "{s}");
+        assert!(s.contains("\"whole\": 3.0"), "{s}");
+        assert!(s.contains("\"bad\": null"), "{s}");
+    }
+
+    #[test]
+    fn control_characters_escaped() {
+        let mut w = JsonWriter::new();
+        w.field_str("c", "\u{1}");
+        assert!(w.finish().contains("\\u0001"));
+    }
+}

@@ -1,0 +1,405 @@
+//! `usj-obs` — dependency-free tracing & metrics for the join pipeline.
+//!
+//! Every figure of the paper is a plot of *internal* pipeline quantities
+//! (per-phase survivors, per-phase wall-clock, verification cost, peak
+//! index memory). This crate is the single instrumentation substrate those
+//! numbers flow through:
+//!
+//! * [`Recorder`] — the event sink trait. Drivers emit **spans**
+//!   ([`Recorder::enter_phase`] / [`Recorder::exit_phase`]), **counters**
+//!   ([`Recorder::counter`]) and **gauges** ([`Recorder::gauge`]), bracketed
+//!   per probe by [`Recorder::probe_start`] / [`Recorder::probe_end`].
+//!   Dispatch is static: generic drivers monomorphise per recorder type, so
+//!   the default [`NoopRecorder`] compiles to nothing on the hot path.
+//! * [`CollectingRecorder`] — aggregates events into log₂-bucketed
+//!   per-probe latency and candidate-count histograms (p50/p90/p99/max per
+//!   phase) plus per-phase prune-attribution counters, and serialises the
+//!   snapshot as schema-stable JSON ([`CollectingRecorder::to_json`]) with
+//!   no serde.
+//! * [`TraceRecorder`] — one event line per probe to any `io::Write`
+//!   (the CLI's `--trace` wires it to stderr).
+//!
+//! Recorders compose: a 2-tuple of recorders is itself a recorder, so
+//! `(CollectingRecorder, TraceRecorder)` collects and traces in one pass.
+//! [`MergeRecorder`] supports the lock-free parallel join: one recorder per
+//! worker, absorbed into a single snapshot at the end.
+//!
+//! This crate is **std-only by design** — the build environment cannot
+//! reach crates.io, and nothing here needs more than the standard library.
+
+#![warn(missing_docs)]
+
+mod collect;
+mod histogram;
+mod json;
+mod trace;
+
+pub use collect::CollectingRecorder;
+pub use histogram::Log2Histogram;
+pub use json::JsonWriter;
+pub use trace::TraceRecorder;
+
+use std::time::Duration;
+
+/// Pipeline phases, mirroring `PhaseTimings` in `usj-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Segment inverted-index querying + Lemma 5 / Theorem 2 pruning.
+    Qgram,
+    /// Frequency-distance filtering (Lemma 6 + Theorem 3).
+    Freq,
+    /// CDF-bound DP (Theorem 4).
+    Cdf,
+    /// Exact verification (trie / naive).
+    Verify,
+    /// Inserting probes into the segment index.
+    Index,
+    /// The whole driver run (join, or one search when probing a standing
+    /// collection).
+    Total,
+}
+
+impl Phase {
+    /// Every phase, in serialisation order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Qgram,
+        Phase::Freq,
+        Phase::Cdf,
+        Phase::Verify,
+        Phase::Index,
+        Phase::Total,
+    ];
+
+    /// Dense index into per-phase arrays.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in JSON snapshots and trace lines.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::Qgram => "qgram",
+            Phase::Freq => "freq",
+            Phase::Cdf => "cdf",
+            Phase::Verify => "verify",
+            Phase::Index => "index",
+            Phase::Total => "total",
+        }
+    }
+}
+
+/// Monotone event counters. The first block mirrors the `JoinStats`
+/// counters (prune attribution per phase); the rest are obs-only extras
+/// the flat stats struct never tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Length-compatible pairs considered at all (the FCT pool).
+    PairsInScope,
+    /// Pairs surviving q-gram filtering.
+    QgramSurvivors,
+    /// Pairs pruned by the Lemma 5 count condition.
+    QgramPrunedCount,
+    /// Pairs pruned by the Theorem 2 probabilistic upper bound.
+    QgramPrunedBound,
+    /// Pairs surviving frequency-distance filtering.
+    FreqSurvivors,
+    /// Pairs pruned by the Lemma 6 lower bound.
+    FreqPrunedLower,
+    /// Pairs pruned by the Theorem 3 Chebyshev bound.
+    FreqPrunedChebyshev,
+    /// Pairs accepted outright by the CDF lower bound.
+    CdfAccepted,
+    /// Pairs rejected by the CDF upper bound.
+    CdfRejected,
+    /// Pairs the CDF bounds left undecided (sent to verification).
+    CdfUndecided,
+    /// Verified pairs found similar.
+    VerifiedSimilar,
+    /// Verified pairs found dissimilar.
+    VerifiedDissimilar,
+    /// Output pairs reported.
+    OutputPairs,
+    /// Strings inserted into the segment inverted indices.
+    IndexInsertions,
+    /// Postings `(id, Pr)` touched while merging posting lists.
+    IndexPostingsScanned,
+    /// Candidate α-vectors surfaced by posting-list merges.
+    IndexCandidatesSurfaced,
+    /// Per-probe verifier constructions.
+    VerifierBuilds,
+}
+
+impl Counter {
+    /// Every counter, in serialisation order.
+    pub const ALL: [Counter; 17] = [
+        Counter::PairsInScope,
+        Counter::QgramSurvivors,
+        Counter::QgramPrunedCount,
+        Counter::QgramPrunedBound,
+        Counter::FreqSurvivors,
+        Counter::FreqPrunedLower,
+        Counter::FreqPrunedChebyshev,
+        Counter::CdfAccepted,
+        Counter::CdfRejected,
+        Counter::CdfUndecided,
+        Counter::VerifiedSimilar,
+        Counter::VerifiedDissimilar,
+        Counter::OutputPairs,
+        Counter::IndexInsertions,
+        Counter::IndexPostingsScanned,
+        Counter::IndexCandidatesSurfaced,
+        Counter::VerifierBuilds,
+    ];
+
+    /// Dense index into per-counter arrays.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in JSON snapshots and trace lines.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::PairsInScope => "pairs_in_scope",
+            Counter::QgramSurvivors => "qgram_survivors",
+            Counter::QgramPrunedCount => "qgram_pruned_count",
+            Counter::QgramPrunedBound => "qgram_pruned_bound",
+            Counter::FreqSurvivors => "freq_survivors",
+            Counter::FreqPrunedLower => "freq_pruned_lower",
+            Counter::FreqPrunedChebyshev => "freq_pruned_chebyshev",
+            Counter::CdfAccepted => "cdf_accepted",
+            Counter::CdfRejected => "cdf_rejected",
+            Counter::CdfUndecided => "cdf_undecided",
+            Counter::VerifiedSimilar => "verified_similar",
+            Counter::VerifiedDissimilar => "verified_dissimilar",
+            Counter::OutputPairs => "output_pairs",
+            Counter::IndexInsertions => "index_insertions",
+            Counter::IndexPostingsScanned => "index_postings_scanned",
+            Counter::IndexCandidatesSurfaced => "index_candidates_surfaced",
+            Counter::VerifierBuilds => "verifier_builds",
+        }
+    }
+}
+
+/// Point-in-time measurements; aggregation over a run takes the maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gauge {
+    /// Estimated current segment-index footprint in bytes.
+    IndexBytes,
+    /// Peak estimated segment-index footprint in bytes (the Fig 7 metric).
+    PeakIndexBytes,
+    /// Strings in the collection(s) under join.
+    NumStrings,
+}
+
+impl Gauge {
+    /// Every gauge, in serialisation order.
+    pub const ALL: [Gauge; 3] = [Gauge::IndexBytes, Gauge::PeakIndexBytes, Gauge::NumStrings];
+
+    /// Dense index into per-gauge arrays.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in JSON snapshots and trace lines.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::IndexBytes => "index_bytes",
+            Gauge::PeakIndexBytes => "peak_index_bytes",
+            Gauge::NumStrings => "num_strings",
+        }
+    }
+}
+
+/// Sink for pipeline events. All methods default to no-ops so sinks only
+/// implement what they consume; dispatch is static (generic, not `dyn`),
+/// so a no-op sink costs nothing after inlining.
+pub trait Recorder {
+    /// A probe's work begins (one probe = one string queried against the
+    /// index). Events until the matching [`Recorder::probe_end`] belong to
+    /// this probe.
+    fn probe_start(&mut self, probe_id: u32) {
+        let _ = probe_id;
+    }
+
+    /// The probe's work is complete; per-probe aggregates may be flushed.
+    fn probe_end(&mut self, probe_id: u32) {
+        let _ = probe_id;
+    }
+
+    /// A phase span opens. Spans of the same phase may open several times
+    /// within one probe (e.g. one CDF evaluation per candidate); sinks
+    /// aggregate per probe.
+    fn enter_phase(&mut self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// A phase span closes after `elapsed`. Always paired with
+    /// [`Recorder::enter_phase`]; the driver measures the duration so
+    /// deterministic tests can replay fixed timings.
+    fn exit_phase(&mut self, phase: Phase, elapsed: Duration) {
+        let _ = (phase, elapsed);
+    }
+
+    /// `counter` increased by `delta` (possibly 0 — a zero delta still
+    /// marks the counter as observed for per-probe histograms).
+    fn counter(&mut self, counter: Counter, delta: u64) {
+        let _ = (counter, delta);
+    }
+
+    /// `gauge` measured at `value`.
+    fn gauge(&mut self, gauge: Gauge, value: u64) {
+        let _ = (gauge, value);
+    }
+}
+
+/// The default sink: discards everything. With this recorder the
+/// instrumented drivers compile to exactly their un-instrumented code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+impl MergeRecorder for NoopRecorder {
+    fn absorb(&mut self, _other: Self) {}
+}
+
+/// A recorder whose per-worker instances can be folded into one — the
+/// parallel join gives each worker its own recorder (keeping the hot loop
+/// lock-free) and absorbs them after the scope joins.
+pub trait MergeRecorder: Recorder {
+    /// Folds `other`'s observations into `self`.
+    fn absorb(&mut self, other: Self);
+}
+
+/// Recorders compose by tupling: every event is forwarded to both halves
+/// (e.g. collect a snapshot *and* trace to stderr in one pass).
+impl<A: Recorder, B: Recorder> Recorder for (A, B) {
+    fn probe_start(&mut self, probe_id: u32) {
+        self.0.probe_start(probe_id);
+        self.1.probe_start(probe_id);
+    }
+
+    fn probe_end(&mut self, probe_id: u32) {
+        self.0.probe_end(probe_id);
+        self.1.probe_end(probe_id);
+    }
+
+    fn enter_phase(&mut self, phase: Phase) {
+        self.0.enter_phase(phase);
+        self.1.enter_phase(phase);
+    }
+
+    fn exit_phase(&mut self, phase: Phase, elapsed: Duration) {
+        self.0.exit_phase(phase, elapsed);
+        self.1.exit_phase(phase, elapsed);
+    }
+
+    fn counter(&mut self, counter: Counter, delta: u64) {
+        self.0.counter(counter, delta);
+        self.1.counter(counter, delta);
+    }
+
+    fn gauge(&mut self, gauge: Gauge, value: u64) {
+        self.0.gauge(gauge, value);
+        self.1.gauge(gauge, value);
+    }
+}
+
+impl<A: MergeRecorder, B: MergeRecorder> MergeRecorder for (A, B) {
+    fn absorb(&mut self, other: Self) {
+        self.0.absorb(other.0);
+        self.1.absorb(other.1);
+    }
+}
+
+/// `&mut R` forwards to `R`, so drivers can hand a reborrowed recorder to
+/// helpers without consuming it.
+impl<R: Recorder> Recorder for &mut R {
+    fn probe_start(&mut self, probe_id: u32) {
+        (**self).probe_start(probe_id);
+    }
+
+    fn probe_end(&mut self, probe_id: u32) {
+        (**self).probe_end(probe_id);
+    }
+
+    fn enter_phase(&mut self, phase: Phase) {
+        (**self).enter_phase(phase);
+    }
+
+    fn exit_phase(&mut self, phase: Phase, elapsed: Duration) {
+        (**self).exit_phase(phase, elapsed);
+    }
+
+    fn counter(&mut self, counter: Counter, delta: u64) {
+        (**self).counter(counter, delta);
+    }
+
+    fn gauge(&mut self, gauge: Gauge, value: u64) {
+        (**self).gauge(gauge, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_indices_are_dense_and_names_unique() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Phase::ALL.iter().map(|p| p.name()));
+        names.extend(Gauge::ALL.iter().map(|g| g.name()));
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(names.len(), deduped.len(), "{names:?}");
+    }
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let mut r = NoopRecorder;
+        r.probe_start(0);
+        r.enter_phase(Phase::Qgram);
+        r.exit_phase(Phase::Qgram, Duration::from_nanos(5));
+        r.counter(Counter::PairsInScope, 3);
+        r.gauge(Gauge::IndexBytes, 100);
+        r.probe_end(0);
+        let mut copy = r;
+        copy.absorb(r);
+    }
+
+    #[test]
+    fn tuple_recorder_forwards_to_both() {
+        let mut pair = (CollectingRecorder::new(), CollectingRecorder::new());
+        pair.probe_start(1);
+        pair.counter(Counter::OutputPairs, 2);
+        pair.probe_end(1);
+        assert_eq!(pair.0.counter_total(Counter::OutputPairs), 2);
+        assert_eq!(pair.1.counter_total(Counter::OutputPairs), 2);
+        assert_eq!(pair.0.probes(), 1);
+        assert_eq!(pair.1.probes(), 1);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        // Generic over R so the call monomorphises against the blanket
+        // `impl Recorder for &mut R` rather than auto-dereferencing.
+        fn feed<R: Recorder>(mut r: R) {
+            r.counter(Counter::CdfAccepted, 7);
+            r.gauge(Gauge::NumStrings, 4);
+        }
+        let mut c = CollectingRecorder::new();
+        feed(&mut c);
+        assert_eq!(c.counter_total(Counter::CdfAccepted), 7);
+        assert_eq!(c.gauge_max(Gauge::NumStrings), 4);
+    }
+}

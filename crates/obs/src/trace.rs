@@ -1,0 +1,227 @@
+//! Per-probe trace lines for a human (or a log pipeline) watching a run.
+
+use std::io::Write;
+use std::time::Duration;
+
+use crate::{Counter, Gauge, MergeRecorder, Phase, Recorder};
+
+const NUM_PHASES: usize = Phase::ALL.len();
+const NUM_COUNTERS: usize = Counter::ALL.len();
+
+/// Emits one `key=value` line per probe (and per out-of-probe gauge /
+/// span) to any `io::Write`. The CLI's `--trace` wires this to stderr:
+///
+/// ```text
+/// probe=17 qgram_ns=10231 cdf_ns=884 verify_ns=120933 pairs_in_scope=42 qgram_survivors=3 cdf_undecided=2 verified_similar=1 verified_dissimilar=1
+/// gauge peak_index_bytes=1048576
+/// span total_ns=193822110
+/// ```
+///
+/// Only phases and counters actually observed during a probe appear on
+/// its line, keeping the output proportional to work done. Write errors
+/// are deliberately swallowed — tracing must never fail a join.
+#[derive(Debug)]
+pub struct TraceRecorder<W: Write = std::io::Stderr> {
+    out: Option<W>,
+    probe_id: u32,
+    phase_ns: [u64; NUM_PHASES],
+    phase_seen: [bool; NUM_PHASES],
+    counter: [u64; NUM_COUNTERS],
+    counter_seen: [bool; NUM_COUNTERS],
+    in_probe: bool,
+}
+
+impl TraceRecorder<std::io::Stderr> {
+    /// Traces to stderr.
+    pub fn stderr() -> Self {
+        TraceRecorder::to(std::io::stderr())
+    }
+}
+
+impl<W: Write> TraceRecorder<W> {
+    /// Traces to `out`.
+    pub fn to(out: W) -> Self {
+        TraceRecorder {
+            out: Some(out),
+            probe_id: 0,
+            phase_ns: [0; NUM_PHASES],
+            phase_seen: [false; NUM_PHASES],
+            counter: [0; NUM_COUNTERS],
+            counter_seen: [false; NUM_COUNTERS],
+            in_probe: false,
+        }
+    }
+
+    /// A disabled tracer: accepts events, writes nothing. Lets callers
+    /// keep one statically-known recorder type for traced and untraced
+    /// runs (e.g. `(CollectingRecorder, TraceRecorder)`).
+    pub fn silent() -> Self {
+        TraceRecorder {
+            out: None,
+            probe_id: 0,
+            phase_ns: [0; NUM_PHASES],
+            phase_seen: [false; NUM_PHASES],
+            counter: [0; NUM_COUNTERS],
+            counter_seen: [false; NUM_COUNTERS],
+            in_probe: false,
+        }
+    }
+
+    /// Consumes the tracer and returns the writer (for tests).
+    pub fn into_inner(self) -> Option<W> {
+        self.out
+    }
+
+    fn flush_probe_line(&mut self) {
+        let Some(out) = self.out.as_mut() else {
+            self.reset_scratch();
+            return;
+        };
+        let mut line = format!("probe={}", self.probe_id);
+        for p in Phase::ALL {
+            if self.phase_seen[p.index()] {
+                line.push_str(&format!(" {}_ns={}", p.name(), self.phase_ns[p.index()]));
+            }
+        }
+        for c in Counter::ALL {
+            if self.counter_seen[c.index()] {
+                line.push_str(&format!(" {}={}", c.name(), self.counter[c.index()]));
+            }
+        }
+        line.push('\n');
+        let _ = out.write_all(line.as_bytes());
+        self.reset_scratch();
+    }
+
+    fn reset_scratch(&mut self) {
+        self.phase_ns = [0; NUM_PHASES];
+        self.phase_seen = [false; NUM_PHASES];
+        self.counter = [0; NUM_COUNTERS];
+        self.counter_seen = [false; NUM_COUNTERS];
+    }
+}
+
+impl<W: Write> Recorder for TraceRecorder<W> {
+    fn probe_start(&mut self, probe_id: u32) {
+        if self.in_probe {
+            self.flush_probe_line();
+        }
+        self.in_probe = true;
+        self.probe_id = probe_id;
+    }
+
+    fn probe_end(&mut self, probe_id: u32) {
+        if self.in_probe {
+            self.probe_id = probe_id;
+            self.flush_probe_line();
+            self.in_probe = false;
+        }
+    }
+
+    fn exit_phase(&mut self, phase: Phase, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        if self.in_probe {
+            let i = phase.index();
+            self.phase_ns[i] = self.phase_ns[i].saturating_add(ns);
+            self.phase_seen[i] = true;
+        } else if let Some(out) = self.out.as_mut() {
+            let _ = writeln!(out, "span {}_ns={}", phase.name(), ns);
+        }
+    }
+
+    fn counter(&mut self, counter: Counter, delta: u64) {
+        if self.in_probe {
+            let i = counter.index();
+            self.counter[i] += delta;
+            self.counter_seen[i] = true;
+        } else if let Some(out) = self.out.as_mut() {
+            let _ = writeln!(out, "count {}={}", counter.name(), delta);
+        }
+    }
+
+    fn gauge(&mut self, gauge: Gauge, value: u64) {
+        // Gauges are run-level; always emitted immediately (index growth
+        // is interesting *between* probes).
+        if let Some(out) = self.out.as_mut() {
+            let _ = writeln!(out, "gauge {}={}", gauge.name(), value);
+        }
+    }
+}
+
+impl<W: Write + Send> MergeRecorder for TraceRecorder<W> {
+    /// Trace lines were already written as events arrived; there is
+    /// nothing to fold. A dangling open probe on the absorbed side is
+    /// flushed so its line is not lost.
+    fn absorb(&mut self, mut other: Self) {
+        if other.in_probe {
+            other.flush_probe_line();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(t: TraceRecorder<Vec<u8>>) -> Vec<String> {
+        String::from_utf8(t.into_inner().unwrap())
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn one_line_per_probe_with_observed_fields_only() {
+        let mut t = TraceRecorder::to(Vec::new());
+        t.probe_start(3);
+        t.enter_phase(Phase::Qgram);
+        t.exit_phase(Phase::Qgram, Duration::from_nanos(40));
+        t.exit_phase(Phase::Qgram, Duration::from_nanos(2));
+        t.counter(Counter::PairsInScope, 5);
+        t.probe_end(3);
+        t.probe_start(4);
+        t.probe_end(4);
+        let lines = lines(t);
+        assert_eq!(
+            lines,
+            vec!["probe=3 qgram_ns=42 pairs_in_scope=5", "probe=4"]
+        );
+    }
+
+    #[test]
+    fn out_of_probe_events_emit_standalone_lines() {
+        let mut t = TraceRecorder::to(Vec::new());
+        t.gauge(Gauge::PeakIndexBytes, 77);
+        t.exit_phase(Phase::Total, Duration::from_nanos(9));
+        t.counter(Counter::OutputPairs, 2);
+        let lines = lines(t);
+        assert_eq!(
+            lines,
+            vec![
+                "gauge peak_index_bytes=77",
+                "span total_ns=9",
+                "count output_pairs=2"
+            ]
+        );
+    }
+
+    #[test]
+    fn gauges_flush_even_inside_probes() {
+        let mut t = TraceRecorder::to(Vec::new());
+        t.probe_start(0);
+        t.gauge(Gauge::IndexBytes, 10);
+        t.probe_end(0);
+        assert_eq!(lines(t), vec!["gauge index_bytes=10", "probe=0"]);
+    }
+
+    #[test]
+    fn silent_tracer_writes_nothing() {
+        let mut t: TraceRecorder<Vec<u8>> = TraceRecorder::silent();
+        t.probe_start(0);
+        t.counter(Counter::OutputPairs, 1);
+        t.probe_end(0);
+        t.gauge(Gauge::IndexBytes, 5);
+        assert!(t.into_inner().is_none());
+    }
+}

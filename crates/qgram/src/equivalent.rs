@@ -89,7 +89,10 @@ impl EquivalentSet {
         for start in lo..=hi {
             for world in probe.substring_worlds(start, window_len) {
                 budget = budget.checked_sub(1)?;
-                occurrences.entry(world.instance).or_default().push((start, world.prob));
+                occurrences
+                    .entry(world.instance)
+                    .or_default()
+                    .push((start, world.prob));
             }
         }
         let mut entries: Vec<(Vec<Symbol>, Prob)> = occurrences
@@ -264,7 +267,10 @@ mod tests {
         for mode in [AlphaMode::Grouped, AlphaMode::Exact] {
             let set = EquivalentSet::build(&r, (0, 2), 3, mode, 1000).unwrap();
             assert_eq!(set.len(), 1);
-            assert!((set.probability_of(&enc("AAA")) - 1.0).abs() < 1e-9, "{mode:?}");
+            assert!(
+                (set.probability_of(&enc("AAA")) - 1.0).abs() < 1e-9,
+                "{mode:?}"
+            );
         }
         // Naive mode triple counts.
         let set = EquivalentSet::build(&r, (0, 2), 3, AlphaMode::Naive, 1000).unwrap();
@@ -281,7 +287,10 @@ mod tests {
         for mode in [AlphaMode::Grouped, AlphaMode::Exact] {
             let set = EquivalentSet::build(&r, (0, 3), 2, mode, 1000).unwrap();
             // Pr(AC at 0 or 3) = 1 − 0.5·0.5 = 0.75.
-            assert!((set.probability_of(&enc("AC")) - 0.75).abs() < 1e-9, "{mode:?}");
+            assert!(
+                (set.probability_of(&enc("AC")) - 0.75).abs() < 1e-9,
+                "{mode:?}"
+            );
         }
     }
 

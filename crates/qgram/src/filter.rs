@@ -173,8 +173,13 @@ impl QGramFilter {
             let alpha = match range {
                 None => 0.0,
                 Some(range) => {
-                    match EquivalentSet::build(probe, range, seg.len, self.alpha_mode, self.max_instances)
-                    {
+                    match EquivalentSet::build(
+                        probe,
+                        range,
+                        seg.len,
+                        self.alpha_mode,
+                        self.max_instances,
+                    ) {
                         // Cap exceeded: cannot evaluate this segment; be
                         // conservative (treat as certain match).
                         None => {

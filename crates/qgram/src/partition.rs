@@ -69,7 +69,10 @@ pub fn partition_into(len: usize, m: usize) -> Vec<Segment> {
     for x in 0..m {
         // The last `extra` segments are longer by one.
         let seg_len = base + usize::from(x >= m - extra);
-        out.push(Segment { start, len: seg_len });
+        out.push(Segment {
+            start,
+            len: seg_len,
+        });
         start += seg_len;
     }
     debug_assert_eq!(start, len);
@@ -108,12 +111,18 @@ mod tests {
     fn uneven_lengths_go_to_tail() {
         // len 10, q 3 → m = 3, lengths 3,3,4 (last len%m = 1 segment longer).
         let segs = partition(10, 3, 1);
-        assert_eq!(segs.iter().map(|s| s.len).collect::<Vec<_>>(), vec![3, 3, 4]);
+        assert_eq!(
+            segs.iter().map(|s| s.len).collect::<Vec<_>>(),
+            vec![3, 3, 4]
+        );
         covers(10, &segs);
 
         // len 11, q 3 → m = 3, lengths 3,4,4.
         let segs = partition(11, 3, 1);
-        assert_eq!(segs.iter().map(|s| s.len).collect::<Vec<_>>(), vec![3, 4, 4]);
+        assert_eq!(
+            segs.iter().map(|s| s.len).collect::<Vec<_>>(),
+            vec![3, 4, 4]
+        );
         covers(11, &segs);
     }
 
@@ -131,7 +140,10 @@ mod tests {
         // len 12, q 4, k 4 → m = max(5, 3) = 5; lengths 2,2,2,3,3.
         let segs = partition(12, 4, 4);
         assert_eq!(segs.len(), 5);
-        assert_eq!(segs.iter().map(|s| s.len).collect::<Vec<_>>(), vec![2, 2, 2, 3, 3]);
+        assert_eq!(
+            segs.iter().map(|s| s.len).collect::<Vec<_>>(),
+            vec![2, 2, 2, 3, 3]
+        );
         covers(12, &segs);
     }
 

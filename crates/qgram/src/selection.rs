@@ -59,7 +59,10 @@ pub fn window_range(
         SelectionPolicy::ShiftBased => {
             let delta = probe_len as i64 - indexed_len as i64;
             // Floor division keeps the bound valid for negative Δ too.
-            (p - (ki - delta).div_euclid(2), p + (ki + delta).div_euclid(2))
+            (
+                p - (ki - delta).div_euclid(2),
+                p + (ki + delta).div_euclid(2),
+            )
         }
     };
     let max_start = (probe_len - segment.len) as i64;
@@ -105,9 +108,13 @@ mod tests {
                 for k in 0..4 {
                     for q in 2..5 {
                         for seg in partition(indexed_len, q, k) {
-                            if let Some((lo, hi)) =
-                                window_range(SelectionPolicy::ShiftBased, probe_len, indexed_len, k, &seg)
-                            {
+                            if let Some((lo, hi)) = window_range(
+                                SelectionPolicy::ShiftBased,
+                                probe_len,
+                                indexed_len,
+                                k,
+                                &seg,
+                            ) {
                                 assert!(hi - lo < k + 1, "len={indexed_len} k={k} seg={seg:?}");
                             }
                         }
@@ -133,14 +140,23 @@ mod tests {
     #[test]
     fn length_gap_rejects() {
         let seg = Segment { start: 0, len: 3 };
-        assert_eq!(window_range(SelectionPolicy::ShiftBased, 10, 6, 2, &seg), None);
-        assert_eq!(window_range(SelectionPolicy::PositionBased, 3, 9, 2, &seg), None);
+        assert_eq!(
+            window_range(SelectionPolicy::ShiftBased, 10, 6, 2, &seg),
+            None
+        );
+        assert_eq!(
+            window_range(SelectionPolicy::PositionBased, 3, 9, 2, &seg),
+            None
+        );
     }
 
     #[test]
     fn segment_longer_than_probe_rejects() {
         let seg = Segment { start: 0, len: 5 };
-        assert_eq!(window_range(SelectionPolicy::ShiftBased, 4, 5, 2, &seg), None);
+        assert_eq!(
+            window_range(SelectionPolicy::ShiftBased, 4, 5, 2, &seg),
+            None
+        );
     }
 
     #[test]

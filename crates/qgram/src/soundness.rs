@@ -58,7 +58,9 @@ pub fn independent_family(regions: &[Option<Region>], probe: &UncertainString) -
     // positions, conflicts impossible for this segment).
     let mut items: Vec<(usize, Option<Region>)> = Vec::new();
     for (x, region) in regions.iter().enumerate() {
-        let Some(&(a, b)) = region.as_ref() else { continue };
+        let Some(&(a, b)) = region.as_ref() else {
+            continue;
+        };
         let mut span: Option<Region> = None;
         for pos in a..=b.min(probe.len().saturating_sub(1)) {
             if !probe.position(pos).is_certain() {
@@ -108,7 +110,9 @@ impl TailBounder {
     pub fn new(regions: &[Option<Region>], probe: &UncertainString) -> TailBounder {
         TailBounder {
             selected: independent_family(regions, probe),
-            possible: (0..regions.len()).filter(|&x| regions[x].is_some()).collect(),
+            possible: (0..regions.len())
+                .filter(|&x| regions[x].is_some())
+                .collect(),
         }
     }
 
@@ -198,13 +202,15 @@ mod tests {
             Position::certain(1),
             Position::uncertain(1, vec![(0, 0.047619047619047616), (1, 0.9523809523809523)])
                 .unwrap(),
-            Position::uncertain(2, vec![(0, 0.7846153846153846), (1, 0.2153846153846154)])
-                .unwrap(),
+            Position::uncertain(2, vec![(0, 0.7846153846153846), (1, 0.2153846153846154)]).unwrap(),
         ]);
         let alphas = [0.0, 0.04761904761904767, 0.7472527472527472];
         let regions = vec![Some((0, 0)), Some((0, 1)), Some((1, 2))];
         let bound = sound_at_least(&alphas, &regions, &probe, 1);
-        assert!(bound >= 0.7948 - 1e-9, "sound bound {bound} must cover exact 0.7949");
+        assert!(
+            bound >= 0.7948 - 1e-9,
+            "sound bound {bound} must cover exact 0.7949"
+        );
     }
 
     #[test]

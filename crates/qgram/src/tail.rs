@@ -176,7 +176,10 @@ mod tests {
                 let tail = at_least(alphas, need);
                 let naive = naive_at_least(alphas, need);
                 assert!((tail - naive).abs() < 1e-9, "alphas={alphas:?} need={need}");
-                assert!((tail_full - naive).abs() < 1e-9, "alphas={alphas:?} need={need}");
+                assert!(
+                    (tail_full - naive).abs() < 1e-9,
+                    "alphas={alphas:?} need={need}"
+                );
             }
         }
     }

@@ -22,7 +22,11 @@ fn arb_position(sigma: u8, max_alts: usize) -> impl Strategy<Value = Position> {
     })
 }
 
-fn arb_string(sigma: u8, len: std::ops::Range<usize>, max_alts: usize) -> impl Strategy<Value = UncertainString> {
+fn arb_string(
+    sigma: u8,
+    len: std::ops::Range<usize>,
+    max_alts: usize,
+) -> impl Strategy<Value = UncertainString> {
     prop::collection::vec(arb_position(sigma, max_alts), len).prop_map(UncertainString::new)
 }
 

@@ -75,7 +75,9 @@ impl ActiveSet {
         let mut map: BTreeMap<u32, u8> = BTreeMap::new();
         let relax = |map: &mut BTreeMap<u32, u8>, id: u32, d: u8| {
             if d <= kk {
-                map.entry(id).and_modify(|old| *old = (*old).min(d)).or_insert(d);
+                map.entry(id)
+                    .and_modify(|old| *old = (*old).min(d))
+                    .or_insert(d);
             }
         };
         for &(v, d) in &self.entries {
@@ -94,7 +96,9 @@ impl ActiveSet {
             if d < kk {
                 for &(_, child) in &trie.node(v).children {
                     let nd = d + 1;
-                    map.entry(child).and_modify(|old| *old = (*old).min(nd)).or_insert(nd);
+                    map.entry(child)
+                        .and_modify(|old| *old = (*old).min(nd))
+                        .or_insert(nd);
                 }
             }
             match v.checked_add(1) {
@@ -102,7 +106,9 @@ impl ActiveSet {
                 None => break,
             }
         }
-        ActiveSet { entries: map.into_iter().collect() }
+        ActiveSet {
+            entries: map.into_iter().collect(),
+        }
     }
 }
 
@@ -141,7 +147,11 @@ mod tests {
                 })
                 .collect();
             expected.sort_unstable_by_key(|&(id, _)| id);
-            assert_eq!(active.entries(), expected.as_slice(), "step {step} prefix {prefix:?}");
+            assert_eq!(
+                active.entries(),
+                expected.as_slice(),
+                "step {step} prefix {prefix:?}"
+            );
             if step < probe.len() {
                 active = active.advance(&trie, probe[step], k);
             }

@@ -43,7 +43,11 @@ impl LazyTrie {
     pub fn new(probe: UncertainString) -> LazyTrie {
         LazyTrie {
             probe,
-            nodes: vec![LazyNode { depth: 0, prob: 1.0, children: None }],
+            nodes: vec![LazyNode {
+                depth: 0,
+                prob: 1.0,
+                children: None,
+            }],
         }
     }
 
@@ -148,7 +152,9 @@ impl LazyActiveSet {
         let mut map: BTreeMap<u32, u8> = BTreeMap::new();
         let relax = |map: &mut BTreeMap<u32, u8>, id: u32, d: u8| {
             if d <= kk {
-                map.entry(id).and_modify(|old| *old = (*old).min(d)).or_insert(d);
+                map.entry(id)
+                    .and_modify(|old| *old = (*old).min(d))
+                    .or_insert(d);
             }
         };
         for &(v, d) in &self.entries {
@@ -169,7 +175,9 @@ impl LazyActiveSet {
             if d < kk {
                 for (_, child) in trie.children(v) {
                     let nd = d + 1;
-                    map.entry(child).and_modify(|old| *old = (*old).min(nd)).or_insert(nd);
+                    map.entry(child)
+                        .and_modify(|old| *old = (*old).min(nd))
+                        .or_insert(nd);
                 }
             }
             match v.checked_add(1) {
@@ -177,7 +185,9 @@ impl LazyActiveSet {
                 None => break,
             }
         }
-        LazyActiveSet { entries: map.into_iter().collect() }
+        LazyActiveSet {
+            entries: map.into_iter().collect(),
+        }
     }
 }
 
@@ -195,7 +205,12 @@ impl LazyTrieVerifier {
     /// Creates the verifier (cheap: only the root is materialised).
     pub fn new(probe: &UncertainString, k: usize, tau: Prob) -> LazyTrieVerifier {
         assert!((0.0..=1.0).contains(&tau), "tau must lie in [0, 1]");
-        LazyTrieVerifier { trie: LazyTrie::new(probe.clone()), k, tau, early_stop: true }
+        LazyTrieVerifier {
+            trie: LazyTrie::new(probe.clone()),
+            k,
+            tau,
+            early_stop: true,
+        }
     }
 
     /// Disables early termination (`prob` becomes exact).
@@ -214,7 +229,11 @@ impl LazyTrieVerifier {
     pub fn verify(&mut self, s: &UncertainString) -> VerifyOutcome {
         let mut stats = VerifyStats::default();
         if s.len().abs_diff(self.trie.string_len()) > self.k {
-            return VerifyOutcome { similar: false, prob: 0.0, stats };
+            return VerifyOutcome {
+                similar: false,
+                prob: 0.0,
+                stats,
+            };
         }
         let initial = LazyActiveSet::initial(&mut self.trie, self.k);
         let mut ctx = LazyWalk {
@@ -228,8 +247,16 @@ impl LazyTrieVerifier {
         };
         ctx.dfs(&mut self.trie, 0, 1.0, &initial, &mut stats);
         match ctx.decided {
-            Some(similar) => VerifyOutcome { similar, prob: ctx.acc, stats },
-            None => VerifyOutcome { similar: ctx.acc > self.tau, prob: ctx.acc, stats },
+            Some(similar) => VerifyOutcome {
+                similar,
+                prob: ctx.acc,
+                stats,
+            },
+            None => VerifyOutcome {
+                similar: ctx.acc > self.tau,
+                prob: ctx.acc,
+                stats,
+            },
         }
     }
 }

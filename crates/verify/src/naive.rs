@@ -33,7 +33,11 @@ pub fn naive_verify(
     early_stop: bool,
 ) -> NaiveOutcome {
     if r.len().abs_diff(s.len()) > k {
-        return NaiveOutcome { similar: false, prob: 0.0, pairs_compared: 0 };
+        return NaiveOutcome {
+            similar: false,
+            prob: 0.0,
+            pairs_compared: 0,
+        };
     }
     let s_worlds: Vec<_> = s.worlds().collect();
     let mut acc = 0.0;
@@ -46,7 +50,11 @@ pub fn naive_verify(
             if usj_editdist::edit_distance_bounded(&rw.instance, &sw.instance, k).is_some() {
                 acc += rw.prob * sw.prob;
                 if early_stop && acc > tau {
-                    return NaiveOutcome { similar: true, prob: acc, pairs_compared: pairs };
+                    return NaiveOutcome {
+                        similar: true,
+                        prob: acc,
+                        pairs_compared: pairs,
+                    };
                 }
             }
             processed_s += sw.prob;
@@ -56,11 +64,19 @@ pub fn naive_verify(
             // Mass that could still be added by the remaining R worlds.
             let remaining = (1.0 - processed_r).max(0.0) + rw.prob * (1.0 - processed_s).max(0.0);
             if acc + remaining <= tau {
-                return NaiveOutcome { similar: false, prob: acc, pairs_compared: pairs };
+                return NaiveOutcome {
+                    similar: false,
+                    prob: acc,
+                    pairs_compared: pairs,
+                };
             }
         }
     }
-    NaiveOutcome { similar: acc > tau, prob: acc, pairs_compared: pairs }
+    NaiveOutcome {
+        similar: acc > tau,
+        prob: acc,
+        pairs_compared: pairs,
+    }
 }
 
 #[cfg(test)]

@@ -39,7 +39,12 @@ impl InstanceTrie {
     /// positions; the paper's experiments cap uncertain characters at 8).
     pub fn build(s: &UncertainString, max_nodes: usize) -> Option<InstanceTrie> {
         let mut nodes = Vec::new();
-        nodes.push(TrieNode { depth: 0, symbol: 0, prob: 1.0, children: Vec::new() });
+        nodes.push(TrieNode {
+            depth: 0,
+            symbol: 0,
+            prob: 1.0,
+            children: Vec::new(),
+        });
         // Iterative DFS carrying (node id, depth, path probability).
         let mut stack = vec![0u32];
         while let Some(id) = stack.pop() {
@@ -65,7 +70,10 @@ impl InstanceTrie {
             }
             nodes[id as usize].children = children;
         }
-        Some(InstanceTrie { nodes, len: s.len() })
+        Some(InstanceTrie {
+            nodes,
+            len: s.len(),
+        })
     }
 
     /// Length of the underlying string (= leaf depth).
@@ -80,7 +88,10 @@ impl InstanceTrie {
 
     /// Number of leaves (= number of possible worlds).
     pub fn num_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| n.depth as usize == self.len).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.depth as usize == self.len)
+            .count()
     }
 
     /// Access a node by id.

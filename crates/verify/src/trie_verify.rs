@@ -80,7 +80,11 @@ impl TrieVerifier {
     pub fn verify(&self, s: &UncertainString) -> VerifyOutcome {
         let mut stats = VerifyStats::default();
         if s.len().abs_diff(self.trie.string_len()) > self.k {
-            return VerifyOutcome { similar: false, prob: 0.0, stats };
+            return VerifyOutcome {
+                similar: false,
+                prob: 0.0,
+                stats,
+            };
         }
         let initial = ActiveSet::initial(&self.trie, self.k);
         let mut walker = Walker {
@@ -95,8 +99,16 @@ impl TrieVerifier {
         let decided = walker.decided;
         let acc = walker.acc;
         match decided {
-            Some(similar) => VerifyOutcome { similar, prob: acc, stats },
-            None => VerifyOutcome { similar: acc > self.tau, prob: acc, stats },
+            Some(similar) => VerifyOutcome {
+                similar,
+                prob: acc,
+                stats,
+            },
+            None => VerifyOutcome {
+                similar: acc > self.tau,
+                prob: acc,
+                stats,
+            },
         }
     }
 }
@@ -239,11 +251,11 @@ mod tests {
         // S has 2^6 worlds but shares a hopeless prefix with R on most of
         // them.
         let r = dna("AAAAAAAA");
-        let s = dna(
-            "{(T,0.5),(G,0.5)}{(T,0.5),(G,0.5)}{(T,0.5),(G,0.5)}\
-             {(T,0.5),(G,0.5)}{(T,0.5),(G,0.5)}{(T,0.5),(G,0.5)}AA",
-        );
-        let v = TrieVerifier::new(&r, 2, 0.0, 100_000).unwrap().without_early_stop();
+        let s = dna("{(T,0.5),(G,0.5)}{(T,0.5),(G,0.5)}{(T,0.5),(G,0.5)}\
+             {(T,0.5),(G,0.5)}{(T,0.5),(G,0.5)}{(T,0.5),(G,0.5)}AA");
+        let v = TrieVerifier::new(&r, 2, 0.0, 100_000)
+            .unwrap()
+            .without_early_stop();
         let out = v.verify(&s);
         assert_eq!(out.prob, 0.0);
         assert!(!out.similar);

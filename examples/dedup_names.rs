@@ -29,7 +29,10 @@ fn main() {
     let join = SimilarityJoin::new(config, ds.alphabet.size());
     let result = join.self_join(&ds.strings);
 
-    println!("\nfound {} probable duplicate pairs; first ten:", result.pairs.len());
+    println!(
+        "\nfound {} probable duplicate pairs; first ten:",
+        result.pairs.len()
+    );
     for pair in result.pairs.iter().take(10) {
         println!(
             "  Pr >= {:.3}  {}\n             {}",

@@ -27,7 +27,9 @@ fn main() {
         for (i, &sym) in world.instance.iter().enumerate() {
             let c = source_a.alphabet.char_of(sym);
             if i % 9 == 4 {
-                let alt = source_a.alphabet.char_of((sym + 1) % source_a.alphabet.size() as u8);
+                let alt = source_a
+                    .alphabet
+                    .char_of((sym + 1) % source_a.alphabet.size() as u8);
                 text.push_str(&format!("{{({c},0.8),({alt},0.2)}}"));
             } else {
                 text.push(c);

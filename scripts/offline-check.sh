@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Offline compile-and-test check for the dependency-free subset of the
+# workspace.
+#
+# The full workspace declares external dev-dependencies (rand, proptest,
+# serde, criterion). On a machine with no network access and no cargo
+# registry cache, `cargo build` cannot even resolve the graph — including
+# for crates that never use those dependencies. This script stages the
+# std-only crates (everything except datagen/cli/bench) into
+# .buildcheck/, strips the unfetchable dev-dependencies, and runs their
+# unit tests with `--offline`.
+#
+# This is a subset check, not a replacement for scripts/verify.sh: it
+# covers usj-model/editdist/qgram/freq/cdf/verify/core/eed/obs (all the
+# algorithmic code), but not the CLI, datagen, or bench binaries.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CRATES=(model editdist qgram freq cdf verify core eed obs)
+
+rm -rf .buildcheck
+mkdir -p .buildcheck/crates
+for c in "${CRATES[@]}"; do
+    mkdir -p ".buildcheck/crates/$c"
+    cp -r "crates/$c/src" ".buildcheck/crates/$c/src"
+    # Strip [dev-dependencies]; integration tests/ and benches/ are not
+    # copied, so only in-src #[cfg(test)] modules build.
+    awk 'BEGIN{skip=0} /^\[dev-dependencies\]/{skip=1;next} /^\[/{skip=0} !skip' \
+        "crates/$c/Cargo.toml" > ".buildcheck/crates/$c/Cargo.toml"
+done
+
+# In-src test modules of these two crates use sibling crates that are
+# themselves stageable — restore just those dev-dependencies.
+printf '\n[dev-dependencies]\nusj-editdist.workspace = true\n' \
+    >> .buildcheck/crates/model/Cargo.toml
+printf '\n[dev-dependencies]\nusj-core.workspace = true\n' \
+    >> .buildcheck/crates/eed/Cargo.toml
+
+cat > .buildcheck/Cargo.toml <<'EOF'
+[workspace]
+members = ["crates/*"]
+resolver = "2"
+
+[workspace.package]
+version = "0.1.0"
+edition = "2021"
+license = "MIT OR Apache-2.0"
+repository = "https://github.com/uncertain-join/uncertain-join"
+rust-version = "1.75"
+
+[workspace.dependencies]
+usj-obs = { path = "crates/obs" }
+usj-model = { path = "crates/model" }
+usj-editdist = { path = "crates/editdist" }
+usj-qgram = { path = "crates/qgram" }
+usj-freq = { path = "crates/freq" }
+usj-cdf = { path = "crates/cdf" }
+usj-verify = { path = "crates/verify" }
+usj-core = { path = "crates/core" }
+usj-eed = { path = "crates/eed" }
+EOF
+
+cd .buildcheck
+cargo test --offline -q "$@"

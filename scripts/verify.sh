@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full verification gate: build, test, format.
+#
+# Requires network access (or a populated cargo registry cache) the first
+# time, because the workspace's external dependencies (rand, serde,
+# serde_json, proptest, criterion) must be fetched; afterwards add
+# `--offline` to every cargo call. On a machine that cannot fetch at all,
+# use scripts/offline-check.sh instead — it builds and tests the
+# dependency-free subset of the workspace (all the algorithmic crates).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo fmt --check

@@ -51,6 +51,7 @@
 
 pub use usj_cdf as cdf;
 pub use usj_core as join;
+pub use usj_core::obs;
 pub use usj_datagen as datagen;
 pub use usj_editdist as editdist;
 pub use usj_eed as eed;

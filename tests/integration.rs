@@ -25,7 +25,9 @@ fn generated_dblp_join_matches_oracle() {
         .map(|p| (p.left, p.right))
         .collect();
     for pipeline in Pipeline::all() {
-        let config = JoinConfig::new(k, tau).with_pipeline(pipeline).with_early_stop(false);
+        let config = JoinConfig::new(k, tau)
+            .with_pipeline(pipeline)
+            .with_early_stop(false);
         let result = SimilarityJoin::new(config, ds.alphabet.size()).self_join(&ds.strings);
         let got: Vec<(u32, u32)> = result.pairs.iter().map(|p| (p.left, p.right)).collect();
         assert_eq!(got, expected, "{pipeline:?}");
@@ -50,7 +52,11 @@ fn generated_protein_join_matches_oracle() {
 fn verifier_kinds_agree_on_generated_data() {
     let ds = small_dataset(DatasetKind::Dblp, 50, 3);
     let mut reference: Option<Vec<(u32, u32)>> = None;
-    for kind in [VerifierKind::LazyTrie, VerifierKind::Trie, VerifierKind::Naive] {
+    for kind in [
+        VerifierKind::LazyTrie,
+        VerifierKind::Trie,
+        VerifierKind::Naive,
+    ] {
         let config = JoinConfig::new(2, 0.1).with_verifier(kind);
         let result = SimilarityJoin::new(config, ds.alphabet.size()).self_join(&ds.strings);
         let got: Vec<(u32, u32)> = result.pairs.iter().map(|p| (p.left, p.right)).collect();
@@ -69,8 +75,7 @@ fn search_is_consistent_with_join() {
     let config = JoinConfig::new(2, 0.1);
     let join_result =
         SimilarityJoin::new(config.clone(), ds.alphabet.size()).self_join(&ds.strings);
-    let collection =
-        IndexedCollection::build(config, ds.alphabet.size(), ds.strings.clone());
+    let collection = IndexedCollection::build(config, ds.alphabet.size(), ds.strings.clone());
     for pair in &join_result.pairs {
         let hits = collection.search(&ds.strings[pair.left as usize]);
         assert!(
@@ -92,7 +97,10 @@ fn search_probe_matches_itself() {
     );
     for (i, s) in ds.strings.iter().enumerate() {
         let hits = collection.search(s);
-        assert!(hits.iter().any(|h| h.id == i as u32), "string {i} must match itself");
+        assert!(
+            hits.iter().any(|h| h.id == i as u32),
+            "string {i} must match itself"
+        );
     }
 }
 
@@ -100,13 +108,22 @@ fn search_probe_matches_itself() {
 fn dataset_json_roundtrip_preserves_join_results() {
     let ds = small_dataset(DatasetKind::Dblp, 30, 6);
     let json = DatasetJson::from(&ds).to_json();
-    let back = DatasetJson::from_json(&json).unwrap().into_dataset().unwrap();
+    let back = DatasetJson::from_json(&json)
+        .unwrap()
+        .into_dataset()
+        .unwrap();
     let config = JoinConfig::new(2, 0.1);
     let a = SimilarityJoin::new(config.clone(), ds.alphabet.size()).self_join(&ds.strings);
     let b = SimilarityJoin::new(config, back.alphabet.size()).self_join(&back.strings);
     assert_eq!(
-        a.pairs.iter().map(|p| (p.left, p.right)).collect::<Vec<_>>(),
-        b.pairs.iter().map(|p| (p.left, p.right)).collect::<Vec<_>>()
+        a.pairs
+            .iter()
+            .map(|p| (p.left, p.right))
+            .collect::<Vec<_>>(),
+        b.pairs
+            .iter()
+            .map(|p| (p.left, p.right))
+            .collect::<Vec<_>>()
     );
 }
 
