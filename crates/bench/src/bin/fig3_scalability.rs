@@ -9,18 +9,21 @@
 //! tight CDF bounds.
 
 use usj_bench::{
-    dataset, default_config, ms, run_join_recorded, write_obs_snapshot, write_result, Args, Table,
+    dataset, default_config, ms, run_join_recorded, run_par_join_recorded, write_obs_snapshot,
+    write_result, Args, Table,
 };
-use usj_core::Pipeline;
+use usj_core::obs::Gauge;
+use usj_core::{IndexedCollection, Pipeline};
 use usj_datagen::DatasetKind;
 
 fn main() {
     let args = Args::parse(
         "fig3_scalability — join time vs dataset size (Fig 3)\n\
-         flags: --base <smallest n, default 500>  --steps <default 4>",
+         flags: --base <smallest n, default 500>  --steps <default 4>  --threads <default 4>",
     );
     let base = args.get_usize("base", 500);
     let steps = args.get_usize("steps", 4);
+    let threads = args.get_usize("threads", 4);
     let sizes: Vec<usize> = (0..steps).map(|i| base << i).collect();
 
     let mut table = Table::new(&["n", "algorithm", "filter_ms", "total_ms", "output"]);
@@ -60,4 +63,49 @@ fn main() {
     println!("Figure 3: scalability on dblp (k=2, tau=0.1, theta=0.2)\n");
     table.print();
     write_result("fig3_scalability", &serde_json::Value::Array(records));
+
+    // Index-memory before/after the length-banded sharded driver: the
+    // pre-sharding parallel join kept the full index resident for the
+    // whole run (peak == the built index), while the banded driver only
+    // holds the shards a wave can reach. `peak_resident_bytes` comes from
+    // the new residency gauge in the merged worker snapshot.
+    let mut mem_table = Table::new(&[
+        "n",
+        "full_index_kb",
+        "peak_resident_kb",
+        "resident/full",
+        "par_total_ms",
+    ]);
+    let mut mem_records = Vec::new();
+    for &n in &sizes {
+        let ds = dataset(DatasetKind::Dblp, n, 0.2);
+        let config = default_config(DatasetKind::Dblp);
+        let full = IndexedCollection::build(config.clone(), ds.alphabet.size(), ds.strings.clone())
+            .index_bytes() as u64;
+        let (result, total, rec) = run_par_join_recorded(config, &ds, threads);
+        let peak = rec.gauge_max(Gauge::PeakResidentBytes);
+        if Some(&n) == sizes.last() {
+            // The parallel snapshot carries the residency gauges that
+            // prove the memory bound (resident_shards, peak_resident_bytes).
+            write_obs_snapshot("fig3_scalability_parallel", &rec);
+        }
+        mem_table.row(vec![
+            n.to_string(),
+            format!("{:.1}", full as f64 / 1024.0),
+            format!("{:.1}", peak as f64 / 1024.0),
+            format!("{:.3}", peak as f64 / full as f64),
+            ms(total),
+        ]);
+        mem_records.push(serde_json::json!({
+            "n": n,
+            "threads": threads,
+            "full_index_bytes": full,
+            "peak_resident_bytes": peak,
+            "output_pairs": result.stats.output_pairs,
+            "par_total_ms": total.as_secs_f64() * 1e3,
+        }));
+    }
+    println!("\nIndex memory: full index vs sharded-driver peak resident ({threads} threads)\n");
+    mem_table.print();
+    write_result("fig3_memory", &serde_json::Value::Array(mem_records));
 }

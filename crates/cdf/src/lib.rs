@@ -43,8 +43,15 @@ pub struct CdfBounds {
 
 impl CdfBounds {
     /// The bound pair at the full threshold `k`.
+    ///
+    /// [`cdf_bounds`] always produces `k + 1 ≥ 1` entries, but the fields
+    /// are public; hand-built empty bounds yield the vacuous `(0.0, 1.0)`
+    /// (which can never accept or reject) instead of panicking.
     pub fn at_k(&self) -> (Prob, Prob) {
-        (*self.lower.last().unwrap(), *self.upper.last().unwrap())
+        match (self.lower.last(), self.upper.last()) {
+            (Some(&l), Some(&u)) => (l, u),
+            _ => (0.0, 1.0),
+        }
     }
 }
 
@@ -349,5 +356,53 @@ mod tests {
     #[should_panic(expected = "tau must lie in [0, 1]")]
     fn invalid_tau_panics() {
         CdfFilter::new(1, -0.5);
+    }
+
+    #[test]
+    fn hand_built_empty_bounds_are_vacuous() {
+        // The fields are public, so degenerate bounds must not panic; the
+        // vacuous pair can neither accept nor reject.
+        let b = CdfBounds {
+            lower: Vec::new(),
+            upper: Vec::new(),
+        };
+        assert_eq!(b.at_k(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn k_zero_bounds_and_decisions() {
+        // k = 0 is the smallest legal threshold: width-1 bound vectors,
+        // never empty, and the filter decides exact-match probability.
+        let b = cdf_bounds(&dna("ACGT"), &dna("ACGT"), 0);
+        assert_eq!(b.lower.len(), 1);
+        assert_eq!(b.at_k(), (1.0, 1.0));
+        let f = CdfFilter::new(0, 0.5);
+        assert_eq!(
+            f.evaluate(&dna("ACGT"), &dna("ACGT")).decision,
+            CdfDecision::Accept
+        );
+        assert_eq!(
+            f.evaluate(&dna("ACGT"), &dna("ACGA")).decision,
+            CdfDecision::Reject
+        );
+        // Uncertain match probability sandwiched at k = 0.
+        let r = dna("AC{(G,0.5),(T,0.5)}T");
+        let e = exact(&r, &dna("ACGT"), 0);
+        let (l, u) = cdf_bounds(&r, &dna("ACGT"), 0).at_k();
+        assert!(l <= e + 1e-9 && e <= u + 1e-9);
+    }
+
+    #[test]
+    fn k_zero_empty_probe_edges() {
+        let e = UncertainString::empty();
+        // Two empty strings at k = 0: surely identical.
+        assert_eq!(cdf_bounds(&e, &e, 0).at_k(), (1.0, 1.0));
+        let f = CdfFilter::new(0, 0.3);
+        assert_eq!(f.evaluate(&e, &e).decision, CdfDecision::Accept);
+        // Empty vs non-empty at k = 0: length gap, surely rejected.
+        assert_eq!(cdf_bounds(&e, &dna("A"), 0).at_k(), (0.0, 0.0));
+        assert_eq!(f.evaluate(&e, &dna("A")).decision, CdfDecision::Reject);
+        // Empty vs length-1 at k = 1: one deletion, surely similar.
+        assert_eq!(cdf_bounds(&e, &dna("A"), 1).at_k(), (1.0, 1.0));
     }
 }

@@ -106,7 +106,7 @@ pub const USAGE: &str = "usj — similarity joins for uncertain strings
 
 USAGE:
   usj generate --kind <dblp|protein> [--n N] [--theta F] [--seed S] --out FILE
-  usj join     --input FILE [--k K] [--tau F] [--q Q] [--pipeline qfct|qct|qft|fct] [--exact true] [--threads N] [--out FILE] [--stats-json FILE] [--trace]
+  usj join     --input FILE [--k K] [--tau F] [--q Q] [--pipeline qfct|qct|qft|fct] [--exact true] [--threads N] [--shard-band B] [--batch-min N] [--batch-max N] [--out FILE] [--stats-json FILE] [--trace]
   usj search   --input FILE --probe STRING [--k K] [--tau F]
   usj stats    --input FILE
 ";
@@ -200,12 +200,31 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
         "pipeline",
         "exact",
         "threads",
+        "shard-band",
+        "batch-min",
+        "batch-max",
         "out",
         "stats-json",
         "trace",
     ])?;
     let ds = load_dataset(flags)?;
-    let config = join_config(flags)?;
+    let mut config = join_config(flags)?;
+    // Parallel-scheduler knobs: how many distinct lengths one wave spans
+    // (0 = auto) and the work-stealing batch-size range.
+    let shard_band: usize = flags.get_parse("shard-band", config.shard_band)?;
+    let batch_min: usize = flags.get_parse("batch-min", config.batch_min)?;
+    let batch_max: usize = flags.get_parse("batch-max", config.batch_max)?;
+    if batch_min == 0 {
+        return Err(err("--batch-min must be at least 1"));
+    }
+    if batch_max < batch_min {
+        return Err(err(format!(
+            "--batch-max ({batch_max}) must be at least --batch-min ({batch_min})"
+        )));
+    }
+    config = config
+        .with_shard_band(shard_band)
+        .with_batch_range(batch_min, batch_max);
     let threads: usize = flags.get_parse("threads", 1)?;
     let trace: bool = flags.get_parse("trace", false)?;
     let stats_json = flags.get("stats-json");
@@ -429,6 +448,48 @@ mod tests {
                 .collect()
         };
         assert_eq!(pairs(&seq), pairs(&par));
+
+        // The scheduler knobs change the wave plan and batching, never
+        // the output.
+        let banded = run(&args(&[
+            "join",
+            "--input",
+            &data,
+            "--threads",
+            "3",
+            "--shard-band",
+            "1",
+            "--batch-min",
+            "1",
+            "--batch-max",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(pairs(&seq), pairs(&banded));
+    }
+
+    #[test]
+    fn scheduler_knobs_are_validated() {
+        let data = tmpfile("knobs.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "20", "--seed", "4", "--out", &data,
+        ]))
+        .unwrap();
+        let e = run(&args(&["join", "--input", &data, "--batch-min", "0"])).unwrap_err();
+        assert!(e.0.contains("--batch-min"), "{e:?}");
+        let e = run(&args(&[
+            "join",
+            "--input",
+            &data,
+            "--batch-min",
+            "8",
+            "--batch-max",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--batch-max"), "{e:?}");
+        let e = run(&args(&["join", "--input", &data, "--shard-band", "x"])).unwrap_err();
+        assert!(e.0.contains("--shard-band"), "{e:?}");
     }
 
     /// `--stats-json` writes the observability snapshot; its schema is

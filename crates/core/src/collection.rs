@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use crate::config::JoinConfig;
-use crate::index::SegmentIndex;
+use crate::index::{EquivCache, SegmentIndex};
 use crate::record::Recording;
 use crate::stats::JoinStats;
 use crate::verifier::{decide_candidate, ProbeVerifier};
@@ -131,62 +131,21 @@ impl IndexedCollection {
         let qgram_span = rec.begin(Phase::Qgram);
         let mut candidates: Vec<u32> = Vec::new();
         if config.pipeline.uses_qgram() {
+            // One equivalent-set cache per probe, shared across lengths.
+            let mut cache = EquivCache::new();
+            let mut scope = 0u64;
             for len in min_len..=max_len {
-                let Some(li) = self.index.length_index(len) else {
-                    continue;
-                };
-                rec.count(Counter::PairsInScope, li.num_strings() as u64);
-                let m = li.segments().len();
-                let required = m.saturating_sub(config.k);
-                if required == 0 {
-                    candidates.extend_from_slice(li.ids());
-                    continue;
-                }
-                let Some((alphas, over_cap)) =
-                    self.index
-                        .query_recorded(probe, len, config, rec.recorder())
-                else {
-                    continue;
-                };
-                let capped = over_cap.iter().any(|&b| b);
-                let regions: Vec<Option<usj_qgram::Region>> = li
-                    .segments()
-                    .iter()
-                    .map(|seg| {
-                        usj_qgram::window_range(config.policy, probe.len(), len, config.k, seg)
-                            .map(|r| usj_qgram::window_region(r, seg.len))
-                    })
-                    .collect();
-                let bounder = usj_qgram::TailBounder::new(&regions, probe);
-                let mut surfaced = 0u64;
-                for (id, mut alpha) in alphas {
-                    surfaced += 1;
-                    for (a, &oc) in alpha.iter_mut().zip(&over_cap) {
-                        if oc {
-                            *a = 1.0;
-                        }
-                    }
-                    let matched = alpha.iter().filter(|&&a| a > 0.0).count();
-                    if matched < required {
-                        rec.count(Counter::QgramPrunedCount, 1);
-                        continue;
-                    }
-                    let bound = if capped {
-                        1.0
-                    } else {
-                        bounder.bound(&alpha, required)
-                    };
-                    if bound <= config.tau {
-                        rec.count(Counter::QgramPrunedBound, 1);
-                        continue;
-                    }
-                    candidates.push(id);
-                }
-                rec.count(
-                    Counter::QgramPrunedCount,
-                    li.num_strings() as u64 - surfaced,
+                scope += self.index.collect_candidates_recorded(
+                    probe,
+                    len,
+                    config,
+                    None,
+                    &mut cache,
+                    &mut candidates,
+                    rec,
                 );
             }
+            rec.count(Counter::PairsInScope, scope);
         } else {
             let mut scope = 0u64;
             for (id, s) in self.strings.iter().enumerate() {
@@ -282,7 +241,6 @@ impl IndexedCollection {
         // Gauges are set on the stats view directly: the index is static
         // during a search, so per-probe gauge events would only repeat the
         // same value into the trace.
-        drop(rec);
         stats.index_bytes = self.index.estimated_bytes();
         stats.peak_index_bytes = self.index.peak_bytes();
         let elapsed = total_start.elapsed();

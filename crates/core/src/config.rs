@@ -97,6 +97,17 @@ pub struct JoinConfig {
     /// Cap on probe trie nodes; probes exceeding it fall back to the
     /// naive verifier.
     pub max_trie_nodes: usize,
+    /// Smallest work-stealing batch the parallel driver hands a worker
+    /// (reached near the tail, where per-probe cost is highest).
+    pub batch_min: usize,
+    /// Largest work-stealing batch (used while plenty of probes remain;
+    /// also the per-worker sizing target for automatic wave planning).
+    pub batch_max: usize,
+    /// Distinct string lengths per parallel wave. `0` (the default) sizes
+    /// waves automatically so each holds enough probes to feed every
+    /// worker; explicit values trade scheduling overhead (small bands)
+    /// against peak resident index memory (large bands).
+    pub shard_band: usize,
 }
 
 impl JoinConfig {
@@ -115,6 +126,9 @@ impl JoinConfig {
             early_stop: true,
             max_segment_instances: 1 << 14,
             max_trie_nodes: 1 << 22,
+            batch_min: 1,
+            batch_max: 32,
+            shard_band: 0,
         }
     }
 
@@ -154,6 +168,21 @@ impl JoinConfig {
         self.early_stop = on;
         self
     }
+
+    /// Sets the parallel driver's work-stealing batch-size range.
+    pub fn with_batch_range(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 1, "batch_min must be at least 1");
+        assert!(max >= min, "batch_max must be at least batch_min");
+        self.batch_min = min;
+        self.batch_max = max;
+        self
+    }
+
+    /// Sets the number of distinct lengths per parallel wave (0 = auto).
+    pub fn with_shard_band(mut self, band: usize) -> Self {
+        self.shard_band = band;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -185,5 +214,21 @@ mod tests {
     #[should_panic(expected = "tau must lie in [0, 1]")]
     fn bad_tau_panics() {
         JoinConfig::new(1, 2.0);
+    }
+
+    #[test]
+    fn scheduler_knob_defaults_and_builders() {
+        let c = JoinConfig::new(2, 0.1);
+        assert_eq!(c.batch_min, 1);
+        assert_eq!(c.batch_max, 32);
+        assert_eq!(c.shard_band, 0);
+        let c = c.with_batch_range(2, 16).with_shard_band(3);
+        assert_eq!((c.batch_min, c.batch_max, c.shard_band), (2, 16, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_max must be at least batch_min")]
+    fn inverted_batch_range_panics() {
+        JoinConfig::new(1, 0.1).with_batch_range(8, 4);
     }
 }

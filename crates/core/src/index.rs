@@ -17,9 +17,45 @@ use std::collections::HashMap;
 
 use usj_model::{Prob, Symbol, UncertainString};
 use usj_obs::{Counter, NoopRecorder, Recorder};
-use usj_qgram::{partition, segment_instances, window_range, EquivalentSet, Segment};
+use usj_qgram::{
+    partition, segment_instances, window_range, window_region, EquivalentSet, Region, Segment,
+    TailBounder,
+};
 
 use crate::config::JoinConfig;
+use crate::record::Recording;
+
+/// Per-probe cache of equivalent sets, keyed by
+/// `(window start, window end, segment length)`.
+///
+/// A probe queries every indexed length in `[|R|−k, |R|+k]`, and the
+/// partitions of nearby lengths share many `(window, segment length)`
+/// combinations, so `q(r, x)` construction — the expensive part of a
+/// query — is reused across lengths (and, in the sharded parallel driver,
+/// across the shards a probe touches). Over-cap results (`None`) are
+/// cached too: re-deriving "too many instances" is as wasteful as
+/// re-deriving the set.
+#[derive(Debug, Default)]
+pub struct EquivCache {
+    map: HashMap<(usize, usize, usize), Option<EquivalentSet>>,
+}
+
+impl EquivCache {
+    /// An empty cache; scope it to one probe (entries are probe-specific).
+    pub fn new() -> Self {
+        EquivCache::default()
+    }
+
+    /// Cached equivalent sets (including negative over-cap entries).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
 
 /// Posting list: `(string id, Pr(w = S_i^x))` sorted by id.
 pub type PostingList = Vec<(u32, Prob)>;
@@ -107,7 +143,7 @@ impl LengthIndex {
     ///
     /// Also returns the number of postings touched during the merge (the
     /// quantity candidate-generation cost is proportional to).
-    fn query(&self, probe_sets: &[Option<EquivalentSet>]) -> (AlphaVectors, u64) {
+    fn query(&self, probe_sets: &[Option<&EquivalentSet>]) -> (AlphaVectors, u64) {
         let m = self.segments.len();
         debug_assert_eq!(probe_sets.len(), m);
         let mut alphas: AlphaVectors = HashMap::new();
@@ -163,7 +199,14 @@ impl SegmentIndex {
     }
 
     /// [`SegmentIndex::insert`] plus an [`Counter::IndexInsertions`] event
-    /// on `rec` for each string actually indexed.
+    /// on `rec` for each string indexed.
+    ///
+    /// Length-0 strings are indexed too (as a segment-less
+    /// [`LengthIndex`]): their partition has no segments, so Lemma 5 can
+    /// never prune at that length and every length-0 id surfaces as a
+    /// candidate — which is exactly right, since two empty strings match
+    /// with probability 1 and must not be silently dropped by the q-gram
+    /// pipelines.
     pub fn insert_recorded<R: Recorder>(
         &mut self,
         id: u32,
@@ -171,9 +214,6 @@ impl SegmentIndex {
         config: &JoinConfig,
         rec: &mut R,
     ) {
-        if s.is_empty() {
-            return;
-        }
         self.by_length
             .entry(s.len())
             .or_insert_with(|| LengthIndex::new(s.len(), config))
@@ -210,25 +250,54 @@ impl SegmentIndex {
         config: &JoinConfig,
         rec: &mut R,
     ) -> Option<(AlphaVectors, Vec<bool>)> {
+        self.query_cached_recorded(probe, indexed_len, config, &mut EquivCache::new(), rec)
+    }
+
+    /// [`SegmentIndex::query_recorded`] with the probe's equivalent sets
+    /// memoised in `cache`, so repeated queries by one probe (against many
+    /// lengths, or many shards) build each `q(r, x)` once.
+    pub fn query_cached_recorded<R: Recorder>(
+        &self,
+        probe: &UncertainString,
+        indexed_len: usize,
+        config: &JoinConfig,
+        cache: &mut EquivCache,
+        rec: &mut R,
+    ) -> Option<(AlphaVectors, Vec<bool>)> {
         let index = self.by_length.get(&indexed_len)?;
         let mut over_cap = index.incomplete.clone();
-        let probe_sets: Vec<Option<EquivalentSet>> = index
+        // Populate the cache first (mutable pass), then collect shared
+        // references for the merge (immutable pass).
+        let keys: Vec<Option<(usize, usize, usize)>> = index
             .segments
             .iter()
-            .enumerate()
-            .map(|(x, seg)| {
+            .map(|seg| {
                 let range = window_range(config.policy, probe.len(), indexed_len, config.k, seg)?;
-                let set = EquivalentSet::build(
-                    probe,
-                    range,
-                    seg.len,
-                    config.alpha_mode,
-                    config.max_segment_instances,
-                );
-                if set.is_none() {
-                    over_cap[x] = true;
-                }
-                set
+                let key = (range.0, range.1, seg.len);
+                cache.map.entry(key).or_insert_with(|| {
+                    EquivalentSet::build(
+                        probe,
+                        range,
+                        seg.len,
+                        config.alpha_mode,
+                        config.max_segment_instances,
+                    )
+                });
+                Some(key)
+            })
+            .collect();
+        let probe_sets: Vec<Option<&EquivalentSet>> = keys
+            .iter()
+            .enumerate()
+            .map(|(x, key)| match key {
+                None => None,
+                Some(key) => match &cache.map[key] {
+                    Some(set) => Some(set),
+                    None => {
+                        over_cap[x] = true;
+                        None
+                    }
+                },
             })
             .collect();
         let (mut alphas, postings) = index.query(&probe_sets);
@@ -244,6 +313,103 @@ impl SegmentIndex {
         rec.counter(Counter::IndexPostingsScanned, postings);
         rec.counter(Counter::IndexCandidatesSurfaced, alphas.len() as u64);
         Some((alphas, over_cap))
+    }
+
+    /// The q-gram candidate stage for one indexed length, shared by the
+    /// sequential, search, and sharded parallel drivers: query the length
+    /// index (through `cache`), apply the Lemma 5 count condition and the
+    /// sound Theorem 2 bound, and push survivors onto `candidates`.
+    ///
+    /// `admit_below = Some(limit)` restricts scope to ids `< limit` — the
+    /// sharded parallel driver probes against a fully-built same-length
+    /// shard and must consider only visit-order-earlier ids to stay
+    /// byte-identical with the sequential driver. `None` admits every
+    /// indexed id (the sequential index only ever contains earlier ids).
+    ///
+    /// Returns the number of admitted pairs in scope at this length;
+    /// prune-attribution counters ([`Counter::QgramPrunedCount`] /
+    /// [`Counter::QgramPrunedBound`]) are emitted on `rec`, survivor
+    /// counting is left to the caller.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn collect_candidates_recorded<R: Recorder>(
+        &self,
+        probe: &UncertainString,
+        indexed_len: usize,
+        config: &JoinConfig,
+        admit_below: Option<u32>,
+        cache: &mut EquivCache,
+        candidates: &mut Vec<u32>,
+        rec: &mut Recording<'_, R>,
+    ) -> u64 {
+        let Some(li) = self.by_length.get(&indexed_len) else {
+            return 0;
+        };
+        let admit = |id: u32| admit_below.is_none_or(|limit| id < limit);
+        let in_scope = match admit_below {
+            None => li.ids.len() as u64,
+            Some(limit) => li.ids.partition_point(|&id| id < limit) as u64,
+        };
+        if in_scope == 0 {
+            return 0;
+        }
+        let m = li.segments.len();
+        let required = m.saturating_sub(config.k);
+        if required == 0 {
+            // m ≤ k: Lemma 5 cannot prune anything at this length — every
+            // admitted indexed string is a candidate.
+            candidates.extend(li.ids.iter().copied().filter(|&id| admit(id)));
+            return in_scope;
+        }
+        let Some((alphas, over_cap)) =
+            self.query_cached_recorded(probe, indexed_len, config, cache, rec.recorder())
+        else {
+            return in_scope;
+        };
+        let capped = over_cap.iter().any(|&b| b);
+        // Independence structure of this (probe, length): shared once
+        // across all candidates (see usj_qgram::soundness for why the
+        // plain Theorem 2 tail would be unsound here).
+        let regions: Vec<Option<Region>> = li
+            .segments
+            .iter()
+            .map(|seg| {
+                window_range(config.policy, probe.len(), indexed_len, config.k, seg)
+                    .map(|r| window_region(r, seg.len))
+            })
+            .collect();
+        let bounder = TailBounder::new(&regions, probe);
+        let mut surfaced = 0u64;
+        for (id, mut alpha) in alphas {
+            if !admit(id) {
+                continue;
+            }
+            surfaced += 1;
+            // Over-cap segments count as matched with α = 1.
+            for (a, &oc) in alpha.iter_mut().zip(&over_cap) {
+                if oc {
+                    *a = 1.0;
+                }
+            }
+            let matched = alpha.iter().filter(|&&a| a > 0.0).count();
+            if matched < required {
+                rec.count(Counter::QgramPrunedCount, 1);
+                continue;
+            }
+            let bound = if capped {
+                1.0
+            } else {
+                bounder.bound(&alpha, required)
+            };
+            if bound <= config.tau {
+                rec.count(Counter::QgramPrunedBound, 1);
+                continue;
+            }
+            candidates.push(id);
+        }
+        // Ids that never surfaced have zero matching segments and were
+        // pruned by the count condition implicitly.
+        rec.count(Counter::QgramPrunedCount, in_scope - surfaced);
+        in_scope
     }
 
     /// Lengths currently indexed, ascending.
@@ -435,10 +601,115 @@ mod tests {
     }
 
     #[test]
-    fn empty_string_not_indexed() {
+    fn empty_string_indexed_as_segmentless_length() {
+        // Length-0 strings used to be silently skipped, which made the
+        // q-gram pipelines miss (empty, empty) pairs the oracle reports.
+        // They are now indexed under a segment-less partition.
         let config = config();
         let mut index = SegmentIndex::new();
         index.insert(0, &UncertainString::empty(), &config);
-        assert_eq!(index.num_strings(), 0);
+        index.insert(1, &UncertainString::empty(), &config);
+        assert_eq!(index.num_strings(), 2);
+        let li = index.length_index(0).unwrap();
+        assert!(li.segments().is_empty());
+        assert_eq!(li.ids(), &[0, 1]);
+        // No segments means Lemma 5 requires zero matches — the candidate
+        // stage surfaces every length-0 id rather than querying postings.
+        let mut stats = crate::stats::JoinStats::default();
+        let mut noop = NoopRecorder;
+        let mut rec = Recording::new(&mut stats, &mut noop);
+        let mut candidates = Vec::new();
+        let scope = index.collect_candidates_recorded(
+            &UncertainString::empty(),
+            0,
+            &config,
+            None,
+            &mut EquivCache::new(),
+            &mut candidates,
+            &mut rec,
+        );
+        assert_eq!(scope, 2);
+        assert_eq!(candidates, vec![0, 1]);
+    }
+
+    #[test]
+    fn cached_query_matches_uncached() {
+        let config = config();
+        let mut index = SegmentIndex::new();
+        for (i, s) in [
+            dna("ACGTAC"),
+            dna("AC{(G,0.6),(T,0.4)}TAC"),
+            dna("ACGTACG"),
+            dna("TTTTTTT"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            index.insert(i as u32, s, &config);
+        }
+        let probe = dna("ACGTACG");
+        // One cache shared across both lengths the probe reaches.
+        let mut cache = EquivCache::new();
+        for len in [6usize, 7] {
+            let plain = index.query(&probe, len, &config).unwrap();
+            let cached = index
+                .query_cached_recorded(&probe, len, &config, &mut cache, &mut NoopRecorder)
+                .unwrap();
+            assert_eq!(plain.1, cached.1, "over-cap flags len={len}");
+            assert_eq!(plain.0.len(), cached.0.len(), "candidates len={len}");
+            for (id, alpha) in &plain.0 {
+                let got = &cached.0[id];
+                for (a, b) in alpha.iter().zip(got) {
+                    assert!((a - b).abs() < 1e-12, "len={len} id={id}");
+                }
+            }
+        }
+        assert!(!cache.is_empty());
+        // The cache held entries across lengths: fewer distinct keys than
+        // total (length × segment) combinations means reuse happened.
+        let total_segments: usize = [6usize, 7]
+            .iter()
+            .map(|&l| index.length_index(l).unwrap().segments().len())
+            .sum();
+        assert!(cache.len() <= total_segments);
+    }
+
+    #[test]
+    fn admit_below_limits_scope_and_candidates() {
+        let config = config();
+        let mut index = SegmentIndex::new();
+        for i in 0..6u32 {
+            index.insert(i, &dna("ACGTAC"), &config);
+        }
+        let probe = dna("ACGTAC");
+        let mut stats = crate::stats::JoinStats::default();
+        let mut noop = NoopRecorder;
+        let mut rec = Recording::new(&mut stats, &mut noop);
+        let mut candidates = Vec::new();
+        let scope = index.collect_candidates_recorded(
+            &probe,
+            6,
+            &config,
+            Some(4),
+            &mut EquivCache::new(),
+            &mut candidates,
+            &mut rec,
+        );
+        assert_eq!(scope, 4);
+        candidates.sort_unstable();
+        assert_eq!(candidates, vec![0, 1, 2, 3]);
+        // First id of its length: nothing admitted, nothing counted.
+        let mut none = Vec::new();
+        let scope = index.collect_candidates_recorded(
+            &probe,
+            6,
+            &config,
+            Some(0),
+            &mut EquivCache::new(),
+            &mut none,
+            &mut rec,
+        );
+        assert_eq!(scope, 0);
+        assert!(none.is_empty());
     }
 }

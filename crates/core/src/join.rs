@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use crate::config::JoinConfig;
-use crate::index::SegmentIndex;
+use crate::index::{EquivCache, SegmentIndex};
 use crate::record::Recording;
 use crate::stats::JoinStats;
 use crate::verifier::{decide_candidate, ProbeVerifier};
@@ -115,7 +115,6 @@ impl SimilarityJoin {
         rec.gauge(Gauge::PeakIndexBytes, collection.index_bytes() as u64);
         rec.gauge(Gauge::NumStrings, (left.len() + right.len()) as u64);
         rec.set_total(total_start.elapsed());
-        drop(rec);
         JoinResult { pairs, stats }
     }
 
@@ -180,90 +179,41 @@ impl SimilarityJoin {
 
             // ---- Candidate generation -------------------------------
             let qgram_span = rec.begin(Phase::Qgram);
-            // (candidate id, α-vector if the q-gram path produced one)
-            let mut candidates: Vec<(u32, Option<Vec<Prob>>)> = Vec::new();
+            let mut candidates: Vec<u32> = Vec::new();
             let mut scope = 0u64;
             if config.pipeline.uses_qgram() {
+                // One equivalent-set cache per probe: lengths with shared
+                // (window, segment length) combinations reuse `q(r, x)`.
+                let mut cache = EquivCache::new();
                 for len in min_len..=probe.len() {
-                    let Some(li) = index.length_index(len) else {
-                        continue;
-                    };
-                    let in_scope = li.num_strings() as u64;
-                    scope += in_scope;
-                    let m = li.segments().len();
-                    let required = m.saturating_sub(config.k);
-                    if required == 0 {
-                        // m ≤ k: Lemma 5 cannot prune anything at this
-                        // length — every indexed string is a candidate.
-                        candidates.extend(li.ids().iter().map(|&id| (id, None)));
-                        continue;
-                    }
-                    let Some((alphas, over_cap)) =
-                        index.query_recorded(probe, len, config, rec.recorder())
-                    else {
-                        continue;
-                    };
-                    let capped = over_cap.iter().any(|&b| b);
-                    // Independence structure of this (probe, length):
-                    // shared once across all candidates (see
-                    // usj_qgram::soundness for why the plain Theorem 2
-                    // tail would be unsound here).
-                    let regions: Vec<Option<usj_qgram::Region>> = li
-                        .segments()
-                        .iter()
-                        .map(|seg| {
-                            usj_qgram::window_range(config.policy, probe.len(), len, config.k, seg)
-                                .map(|r| usj_qgram::window_region(r, seg.len))
-                        })
-                        .collect();
-                    let bounder = usj_qgram::TailBounder::new(&regions, probe);
-                    let mut surfaced = 0u64;
-                    for (id, mut alpha) in alphas {
-                        surfaced += 1;
-                        // Over-cap segments count as matched with α = 1.
-                        for (a, &oc) in alpha.iter_mut().zip(&over_cap) {
-                            if oc {
-                                *a = 1.0;
-                            }
-                        }
-                        let matched = alpha.iter().filter(|&&a| a > 0.0).count();
-                        if matched < required {
-                            rec.count(Counter::QgramPrunedCount, 1);
-                            continue;
-                        }
-                        let bound = if capped {
-                            1.0
-                        } else {
-                            bounder.bound(&alpha, required)
-                        };
-                        if bound <= config.tau {
-                            rec.count(Counter::QgramPrunedBound, 1);
-                            continue;
-                        }
-                        candidates.push((id, Some(alpha)));
-                    }
-                    // Ids that never surfaced have zero matching segments
-                    // and were pruned by the count condition implicitly.
-                    rec.count(Counter::QgramPrunedCount, in_scope - surfaced);
+                    scope += index.collect_candidates_recorded(
+                        probe,
+                        len,
+                        config,
+                        None,
+                        &mut cache,
+                        &mut candidates,
+                        &mut rec,
+                    );
                 }
             } else {
                 for (_, ids) in visited.range(min_len..=probe.len()) {
                     scope += ids.len() as u64;
-                    candidates.extend(ids.iter().map(|&id| (id, None)));
+                    candidates.extend(ids.iter().copied());
                 }
             }
             rec.count(Counter::PairsInScope, scope);
             rec.count(Counter::QgramSurvivors, candidates.len() as u64);
             rec.end(qgram_span);
             // Deterministic candidate order keeps runs reproducible.
-            candidates.sort_unstable_by_key(|&(id, _)| id);
+            candidates.sort_unstable();
 
             // ---- Frequency-distance filtering -----------------------
             let mut probe_profile: Option<FreqProfile> = None;
             if config.pipeline.uses_freq() && !candidates.is_empty() {
                 let freq_span = rec.begin(Phase::Freq);
                 let rp = probe_profile.get_or_insert_with(|| freq_filter.profile(probe));
-                candidates.retain(|&(id, _)| {
+                candidates.retain(|&id| {
                     let sp = profiles[id as usize]
                         .as_ref()
                         .expect("visited strings have profiles");
@@ -283,7 +233,7 @@ impl SimilarityJoin {
 
             // ---- CDF bounds + verification --------------------------
             let mut verifier: Option<ProbeVerifier> = None; // lazily built
-            for (id, _alpha) in candidates {
+            for id in candidates {
                 let other = &strings[id as usize];
                 let Some((similar, prob)) =
                     decide_candidate(probe, other, &cdf_filter, &mut verifier, config, &mut rec)
@@ -319,7 +269,6 @@ impl SimilarityJoin {
         rec.gauge(Gauge::PeakIndexBytes, index.peak_bytes() as u64);
         rec.gauge(Gauge::NumStrings, strings.len() as u64);
         rec.set_total(total_start.elapsed());
-        drop(rec);
         JoinResult { pairs, stats }
     }
 }

@@ -44,7 +44,7 @@ pub use usj_obs as obs;
 
 pub use collection::IndexedCollection;
 pub use config::{JoinConfig, Pipeline, VerifierKind};
-pub use index::SegmentIndex;
+pub use index::{EquivCache, SegmentIndex};
 pub use join::{JoinResult, SimilarPair, SimilarityJoin};
 pub use oracle::oracle_self_join;
 pub use parallel::{par_self_join, par_self_join_recorded};

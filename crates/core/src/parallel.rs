@@ -1,30 +1,49 @@
-//! Parallel self-join.
+//! Parallel self-join: the length-banded sharded driver.
 //!
-//! The sequential driver ([`crate::SimilarityJoin::self_join`]) is
-//! inherently ordered: each probe queries the index of previously-visited
-//! strings, then inserts itself. The parallel variant trades that
-//! incrementality for independence: the **whole** collection is indexed
-//! once ([`crate::IndexedCollection`]), every string probes it
-//! concurrently, and a hit `(probe, id)` is emitted only when
-//! `id < probe` so each unordered pair surfaces exactly once.
+//! The sequential driver ([`crate::SimilarityJoin::self_join`]) visits
+//! strings in ascending `(length, id)` order, probing the index of
+//! previously-visited strings and evicting lengths the sweep has moved
+//! past — its peak index memory is bounded by the `[l − k, l]` window, not
+//! the collection. This driver keeps that bound **across worker threads**:
 //!
-//! Compared to the sequential join this does roughly twice the filtering
-//! work (probes see candidates on both sides) and holds the full index in
-//! memory (no length eviction), in exchange for near-linear scaling with
-//! cores. Output is identical — asserted by tests against the sequential
-//! driver and the oracle.
+//! * Strings are grouped by length into *shards*; consecutive length
+//!   groups form a *wave* ([`JoinConfig::shard_band`] lengths per wave,
+//!   `0` = sized automatically so a wave feeds every worker).
+//! * Waves run in ascending length order. Before a wave for lengths
+//!   `[lo, hi]`, shards below `lo − k` are evicted (no remaining probe can
+//!   reach them — the sweep-line mirror of the sequential driver's
+//!   `evict_below`), then the wave's own shards are built. Only lengths in
+//!   `[lo − k, hi]` are ever resident, reported via
+//!   [`Gauge::ResidentShards`] and [`Gauge::PeakResidentBytes`].
+//! * Within a wave, workers claim probes in adaptive work-stealing
+//!   batches ([`JoinConfig::batch_min`]`..=`[`JoinConfig::batch_max`],
+//!   shrinking near the tail where self-join probes are most expensive),
+//!   counted by [`Counter::StealBatches`]. Each probe admits only
+//!   visit-order-earlier candidates (smaller length, or equal length and
+//!   smaller id), reusing its equivalent sets across every shard it
+//!   touches ([`crate::index::EquivCache`]).
+//!
+//! Because every pair is filtered and verified in the same probe→candidate
+//! direction as the sequential driver, output is **byte-identical** to it
+//! — pairs *and* probabilities — asserted by the differential tests below.
 
+use std::collections::BTreeMap;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
+use usj_cdf::CdfFilter;
+use usj_freq::{FreqFilter, FreqProfile};
 use usj_model::UncertainString;
-use usj_obs::{Gauge, MergeRecorder, NoopRecorder};
+use usj_obs::{Counter, Gauge, MergeRecorder, NoopRecorder, Phase, Recorder};
 
-use crate::collection::IndexedCollection;
 use crate::config::JoinConfig;
-use crate::join::{JoinResult, SimilarPair};
+use crate::index::{EquivCache, SegmentIndex};
+use crate::join::{JoinResult, SimilarPair, SimilarityJoin};
 use crate::record::Recording;
 use crate::stats::JoinStats;
+use crate::verifier::{decide_candidate, ProbeVerifier};
 
 /// Runs the self-join with `threads` worker threads (0 = one per
 /// available core). Returns exactly the pairs of the sequential driver.
@@ -38,12 +57,11 @@ pub fn par_self_join(
 }
 
 /// [`par_self_join`] with per-worker instrumentation. `make_recorder`
-/// builds one recorder per worker (plus one for the index build), so the
-/// hot probe loop stays lock-free — no shared sink, no atomics. After the
-/// worker scope joins, all recorders are folded into one via
-/// [`MergeRecorder::absorb`] and returned next to the result; the
-/// driver-level events (output count, memory gauges, wall-clock total)
-/// land on the merged recorder.
+/// builds one recorder per worker per wave, so the hot probe loop stays
+/// lock-free — no shared sink, no atomics. After each wave's scope joins,
+/// the worker recorders are folded into one via [`MergeRecorder::absorb`]
+/// and returned next to the result; driver-level events (shard builds,
+/// residency gauges, wall-clock total) land on the merged recorder.
 pub fn par_self_join_recorded<R, F>(
     config: JoinConfig,
     sigma: usize,
@@ -55,68 +73,166 @@ where
     R: MergeRecorder + Send,
     F: Fn() -> R + Sync,
 {
-    let total_start = std::time::Instant::now();
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
+    assert!(sigma >= 1, "alphabet must be non-empty");
+    let total_start = Instant::now();
+    let threads = resolve_threads(threads, strings.len());
     let mut merged = make_recorder();
-    let collection =
-        IndexedCollection::build_recorded(config, sigma, strings.to_vec(), &mut merged);
-    let next = AtomicUsize::new(0);
-    let results: Mutex<(Vec<SimilarPair>, JoinStats)> =
-        Mutex::new((Vec::new(), JoinStats::default()));
-    let recorders: Mutex<Vec<R>> = Mutex::new(Vec::new());
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut local_pairs = Vec::new();
-                let mut local_stats = JoinStats::default();
-                let mut local_rec = make_recorder();
-                loop {
-                    // Dynamic work stealing in small batches keeps load
-                    // balanced (probe costs vary wildly with uncertainty).
-                    let start = next.fetch_add(8, Ordering::Relaxed);
-                    if start >= strings.len() {
-                        break;
+    // Fast path: an empty or single-string collection has no pairs to
+    // find, and one worker is just the sequential driver with extra
+    // steps — run it directly, spawning no threads and building no waves.
+    if strings.len() <= 1 || threads <= 1 {
+        let result = SimilarityJoin::new(config, sigma).self_join_recorded(strings, &mut merged);
+        return (result, merged);
+    }
+
+    let batch_min = config.batch_min.max(1);
+    let batch_max = config.batch_max.max(batch_min);
+
+    // Visit order: ascending (length, id) — identical to the sequential
+    // driver, so admission below reproduces its probe→candidate direction.
+    let mut order: Vec<u32> = (0..strings.len() as u32).collect();
+    order.sort_by_key(|&i| (strings[i as usize].len(), i));
+
+    // Length groups (shards-to-be): runs of equal length within `order`.
+    // A group is never split across waves, so a probe's same-length shard
+    // is always fully resident when the probe runs.
+    let mut groups: Vec<(usize, Range<usize>)> = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=order.len() {
+        if i == order.len()
+            || strings[order[i] as usize].len() != strings[order[start] as usize].len()
+        {
+            groups.push((strings[order[start] as usize].len(), start..i));
+            start = i;
+        }
+    }
+
+    // Wave plan: `shard_band` length groups per wave; 0 = grow each wave
+    // until it holds enough probes to hand every worker a full batch.
+    let auto_target = threads * batch_max;
+    let mut waves: Vec<Range<usize>> = Vec::new();
+    let mut g = 0usize;
+    while g < groups.len() {
+        let mut end = g + 1;
+        if config.shard_band == 0 {
+            let mut probes = groups[g].1.len();
+            while end < groups.len() && probes < auto_target {
+                probes += groups[end].1.len();
+                end += 1;
+            }
+        } else {
+            end = (g + config.shard_band).min(groups.len());
+        }
+        waves.push(g..end);
+        g = end;
+    }
+
+    let freq_filter = FreqFilter::new(config.k, config.tau, sigma);
+    let cdf_filter = CdfFilter::new(config.k, config.tau);
+
+    let mut stats = JoinStats {
+        num_strings: strings.len(),
+        ..Default::default()
+    };
+    let mut pairs: Vec<SimilarPair> = Vec::new();
+    // Resident shard state, rebuilt band by band.
+    let mut index = SegmentIndex::new();
+    let mut visited: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+    let mut profiles: Vec<Option<FreqProfile>> = vec![None; strings.len()];
+
+    for wave in waves {
+        let wave_groups = &groups[wave];
+        let wave_lo = wave_groups[0].0;
+        let reach_lo = wave_lo.saturating_sub(config.k);
+        let probe_range = wave_groups[0].1.start..wave_groups[wave_groups.len() - 1].1.end;
+
+        // ---- Evict shards no remaining probe can reach, then build ----
+        {
+            let mut rec = Recording::new(&mut stats, &mut merged);
+            let index_span = rec.begin(Phase::Index);
+            if config.pipeline.uses_qgram() {
+                index.evict_below(reach_lo);
+            }
+            while let Some((&len, _)) = visited.first_key_value() {
+                if len >= reach_lo {
+                    break;
+                }
+                let (_, ids) = visited.pop_first().expect("non-empty first entry");
+                for id in ids {
+                    profiles[id as usize] = None;
+                }
+            }
+            for (len, range) in wave_groups {
+                for idx in range.clone() {
+                    let id = order[idx];
+                    let s = &strings[id as usize];
+                    if config.pipeline.uses_qgram() {
+                        index.insert_recorded(id, s, &config, rec.recorder());
                     }
-                    let end = (start + 8).min(strings.len());
-                    for probe_id in start..end {
-                        // Admit only smaller ids: each unordered pair is
-                        // verified exactly once and never against itself.
-                        let (hits, stats) = collection.search_filtered_recorded(
-                            probe_id as u32,
-                            &strings[probe_id],
-                            |id| (id as usize) < probe_id,
-                            &mut local_rec,
-                        );
-                        local_stats.absorb(&stats);
-                        for hit in hits {
-                            local_pairs.push(SimilarPair {
-                                left: hit.id,
-                                right: probe_id as u32,
-                                prob: hit.prob,
-                            });
+                    if config.pipeline.uses_freq() {
+                        profiles[id as usize] = Some(freq_filter.profile(s));
+                    }
+                    visited.entry(*len).or_default().push(id);
+                }
+            }
+            rec.end(index_span);
+            rec.gauge(Gauge::ResidentShards, index.lengths().len() as u64);
+            rec.gauge(Gauge::IndexBytes, index.estimated_bytes() as u64);
+            rec.gauge(Gauge::PeakIndexBytes, index.peak_bytes() as u64);
+            rec.gauge(Gauge::PeakResidentBytes, index.peak_bytes() as u64);
+        }
+
+        // ---- Probe the wave with adaptive work-stealing batches -------
+        let wave_order = &order[probe_range];
+        let wave_len = wave_order.len();
+        let wave_workers = threads.min(wave_len);
+        let next = AtomicUsize::new(0);
+        let results: Mutex<(Vec<SimilarPair>, JoinStats)> =
+            Mutex::new((Vec::new(), JoinStats::default()));
+        let recorders: Mutex<Vec<R>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..wave_workers {
+                scope.spawn(|| {
+                    let mut local_pairs = Vec::new();
+                    let mut local_stats = JoinStats::default();
+                    let mut local_rec = make_recorder();
+                    while let Some(batch) =
+                        grab_batch(&next, wave_len, wave_workers, batch_min, batch_max)
+                    {
+                        local_rec.counter(Counter::StealBatches, 1);
+                        for &probe_id in &wave_order[batch] {
+                            probe_one(
+                                probe_id,
+                                strings,
+                                &config,
+                                &index,
+                                &visited,
+                                &profiles,
+                                &freq_filter,
+                                &cdf_filter,
+                                &mut local_pairs,
+                                &mut local_stats,
+                                &mut local_rec,
+                            );
                         }
                     }
-                }
-                let mut guard = results.lock().unwrap();
-                guard.0.append(&mut local_pairs);
-                guard.1.absorb(&local_stats);
-                drop(guard);
-                recorders.lock().unwrap().push(local_rec);
-            });
+                    let mut guard = results.lock().unwrap();
+                    guard.0.append(&mut local_pairs);
+                    guard.1.absorb(&local_stats);
+                    drop(guard);
+                    recorders.lock().unwrap().push(local_rec);
+                });
+            }
+        });
+        for worker_rec in recorders.into_inner().unwrap() {
+            merged.absorb(worker_rec);
         }
-    });
-
-    for worker_rec in recorders.into_inner().unwrap() {
-        merged.absorb(worker_rec);
+        let (mut wave_pairs, wave_stats) = results.into_inner().unwrap();
+        pairs.append(&mut wave_pairs);
+        stats.absorb(&wave_stats);
     }
-    let (mut pairs, mut stats) = results.into_inner().unwrap();
+
     pairs.sort_unstable_by_key(|p| (p.left, p.right));
     stats.num_strings = strings.len();
     // The merged recorder already saw one OutputPairs event per probe and
@@ -124,19 +240,179 @@ where
     // this count; only the stats view needs the authoritative value.
     stats.output_pairs = pairs.len() as u64;
     let mut rec = Recording::new(&mut stats, &mut merged);
-    rec.gauge(Gauge::IndexBytes, collection.index_bytes() as u64);
-    rec.gauge(Gauge::PeakIndexBytes, collection.index_bytes() as u64);
+    rec.gauge(Gauge::IndexBytes, index.estimated_bytes() as u64);
+    rec.gauge(Gauge::PeakIndexBytes, index.peak_bytes() as u64);
+    rec.gauge(Gauge::PeakResidentBytes, index.peak_bytes() as u64);
     rec.gauge(Gauge::NumStrings, strings.len() as u64);
     rec.set_total(total_start.elapsed());
-    drop(rec);
     (JoinResult { pairs, stats }, merged)
+}
+
+fn resolve_threads(threads: usize, num_strings: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    // Never spawn more workers than there are probes.
+    t.min(num_strings.max(1))
+}
+
+/// The batch a worker claims when `remaining` probes are left: a quarter
+/// of an even per-worker share, clamped to the configured range. Sizes
+/// shrink toward `batch_min` near the tail, where self-join probes are the
+/// most expensive (later probes admit strictly more candidates), so no
+/// worker is left dragging a large final batch alone.
+fn batch_size(remaining: usize, workers: usize, batch_min: usize, batch_max: usize) -> usize {
+    (remaining / (workers * 4))
+        .clamp(batch_min, batch_max)
+        .min(remaining)
+}
+
+/// Claims the next batch `[start, end)` off the shared cursor. Batch
+/// boundaries depend only on the cursor value — never on which worker
+/// claims — so a wave's partition into batches is deterministic and
+/// [`Counter::StealBatches`] totals are reproducible across runs.
+fn grab_batch(
+    next: &AtomicUsize,
+    total: usize,
+    workers: usize,
+    batch_min: usize,
+    batch_max: usize,
+) -> Option<Range<usize>> {
+    let mut cur = next.load(Ordering::Relaxed);
+    loop {
+        if cur >= total {
+            return None;
+        }
+        let size = batch_size(total - cur, workers, batch_min, batch_max);
+        match next.compare_exchange_weak(cur, cur + size, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return Some(cur..cur + size),
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+/// One probe against the resident shards: the same qgram → freq → CDF →
+/// verify pipeline as the sequential driver, restricted to visit-order-
+/// earlier candidates (all of a smaller length, ids `< probe_id` at equal
+/// length) so each unordered pair is decided exactly once and in the same
+/// probe→candidate direction as the sequential driver.
+#[allow(clippy::too_many_arguments)]
+fn probe_one<R: Recorder>(
+    probe_id: u32,
+    strings: &[UncertainString],
+    config: &JoinConfig,
+    index: &SegmentIndex,
+    visited: &BTreeMap<usize, Vec<u32>>,
+    profiles: &[Option<FreqProfile>],
+    freq_filter: &FreqFilter,
+    cdf_filter: &CdfFilter,
+    pairs: &mut Vec<SimilarPair>,
+    stats: &mut JoinStats,
+    recorder: &mut R,
+) {
+    let probe = &strings[probe_id as usize];
+    let min_len = probe.len().saturating_sub(config.k);
+    let mut rec = Recording::new(stats, recorder);
+    rec.probe_start(probe_id);
+
+    // ---- Candidate generation ---------------------------------------
+    let qgram_span = rec.begin(Phase::Qgram);
+    let mut candidates: Vec<u32> = Vec::new();
+    let mut scope = 0u64;
+    if config.pipeline.uses_qgram() {
+        // One equivalent-set cache per probe, reused across every shard
+        // (indexed length) the probe touches.
+        let mut cache = EquivCache::new();
+        for len in min_len..=probe.len() {
+            let admit_below = (len == probe.len()).then_some(probe_id);
+            scope += index.collect_candidates_recorded(
+                probe,
+                len,
+                config,
+                admit_below,
+                &mut cache,
+                &mut candidates,
+                &mut rec,
+            );
+        }
+    } else {
+        for (&len, ids) in visited.range(min_len..=probe.len()) {
+            if len == probe.len() {
+                let admitted = ids.partition_point(|&id| id < probe_id);
+                scope += admitted as u64;
+                candidates.extend_from_slice(&ids[..admitted]);
+            } else {
+                scope += ids.len() as u64;
+                candidates.extend_from_slice(ids);
+            }
+        }
+    }
+    rec.count(Counter::PairsInScope, scope);
+    rec.count(Counter::QgramSurvivors, candidates.len() as u64);
+    rec.end(qgram_span);
+    // Deterministic candidate order keeps runs reproducible.
+    candidates.sort_unstable();
+
+    // ---- Frequency-distance filtering -------------------------------
+    if config.pipeline.uses_freq() && !candidates.is_empty() {
+        rec.time(Phase::Freq, |rec| {
+            // The probe's own profile was computed when its wave was built.
+            let rp = profiles[probe_id as usize]
+                .as_ref()
+                .expect("wave strings have profiles");
+            candidates.retain(|&id| {
+                let sp = profiles[id as usize]
+                    .as_ref()
+                    .expect("resident strings have profiles");
+                let out = freq_filter.evaluate(rp, sp);
+                if !out.candidate {
+                    if out.fd_lower as usize > config.k {
+                        rec.count(Counter::FreqPrunedLower, 1);
+                    } else {
+                        rec.count(Counter::FreqPrunedChebyshev, 1);
+                    }
+                }
+                out.candidate
+            });
+        });
+    }
+    rec.count(Counter::FreqSurvivors, candidates.len() as u64);
+
+    // ---- CDF bounds + verification ----------------------------------
+    let mut verifier: Option<ProbeVerifier> = None; // lazily built
+    let mut found = 0u64;
+    for id in candidates {
+        let other = &strings[id as usize];
+        let Some((similar, prob)) =
+            decide_candidate(probe, other, cdf_filter, &mut verifier, config, &mut rec)
+        else {
+            continue;
+        };
+        if similar {
+            found += 1;
+            pairs.push(SimilarPair {
+                left: probe_id.min(id),
+                right: probe_id.max(id),
+                prob,
+            });
+        }
+    }
+    rec.count(Counter::OutputPairs, found);
+    rec.probe_end(probe_id);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::join::SimilarityJoin;
-    use usj_model::Alphabet;
+    use crate::collection::IndexedCollection;
+    use crate::config::Pipeline;
+    use crate::oracle::oracle_self_join;
+    use usj_model::{Alphabet, Position};
+    use usj_obs::CollectingRecorder;
 
     fn dna(text: &str) -> UncertainString {
         UncertainString::parse(text, &Alphabet::dna()).unwrap()
@@ -150,108 +426,337 @@ mod tests {
             dna("ACGTACG"),
             dna("{(A,0.6),(C,0.4)}CGTACGT"),
             dna("GGGGGGGG"),
-            dna("ACGTACGA"),
+            dna("ACGT"),
+            dna("ACGTA"),
+        ]
+    }
+
+    /// Pairs *and* probabilities must agree to the last bit — the sharded
+    /// driver's output contract with the sequential driver.
+    fn assert_bit_identical(a: &JoinResult, b: &JoinResult) {
+        let key = |r: &JoinResult| {
+            r.pairs
+                .iter()
+                .map(|p| (p.left, p.right, p.prob.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(a), key(b));
+    }
+
+    /// The funnel counters — everything in `JoinStats` that must be
+    /// invariant under thread count and wave plan.
+    fn counters(s: &JoinStats) -> [u64; 13] {
+        [
+            s.pairs_in_scope,
+            s.qgram_survivors,
+            s.qgram_pruned_count,
+            s.qgram_pruned_bound,
+            s.freq_survivors,
+            s.freq_pruned_lower,
+            s.freq_pruned_chebyshev,
+            s.cdf_accepted,
+            s.cdf_rejected,
+            s.cdf_undecided,
+            s.verified_similar,
+            s.verified_dissimilar,
+            s.output_pairs,
         ]
     }
 
     #[test]
-    fn parallel_matches_sequential() {
+    fn parallel_matches_sequential_bit_for_bit() {
         let strings = collection();
-        let config = JoinConfig::new(2, 0.3);
-        let sequential = SimilarityJoin::new(config.clone(), 4).self_join(&strings);
-        for threads in [1, 2, 4] {
-            let parallel = par_self_join(config.clone(), 4, &strings, threads);
-            let a: Vec<_> = sequential.pairs.iter().map(|p| (p.left, p.right)).collect();
-            let b: Vec<_> = parallel.pairs.iter().map(|p| (p.left, p.right)).collect();
-            assert_eq!(a, b, "threads={threads}");
+        for pipeline in Pipeline::all() {
+            for early_stop in [false, true] {
+                let config = JoinConfig::new(2, 0.5)
+                    .with_pipeline(pipeline)
+                    .with_early_stop(early_stop)
+                    .with_batch_range(1, 2);
+                let seq = SimilarityJoin::new(config.clone(), 4).self_join(&strings);
+                for threads in [2, 3, 8] {
+                    let par = par_self_join(config.clone(), 4, &strings, threads);
+                    assert_bit_identical(&par, &seq);
+                    assert_eq!(
+                        counters(&par.stats),
+                        counters(&seq.stats),
+                        "{pipeline:?} early_stop={early_stop} threads={threads}"
+                    );
+                }
+            }
         }
     }
 
     #[test]
-    fn parallel_exact_probabilities() {
+    fn fast_paths_empty_single_and_one_thread() {
+        let config = JoinConfig::new(1, 0.4);
+        let (res, _rec) =
+            par_self_join_recorded(config.clone(), 4, &[], 4, CollectingRecorder::new);
+        assert!(res.pairs.is_empty());
+        assert_eq!(res.stats.num_strings, 0);
+
+        let single = vec![dna("ACGT")];
+        let res = par_self_join(config.clone(), 4, &single, 4);
+        assert!(res.pairs.is_empty());
+        assert_eq!(res.stats.num_strings, 1);
+
+        // One worker takes the sequential driver verbatim: identical
+        // output *and* identical counters.
         let strings = collection();
-        let config = JoinConfig::new(2, 0.3).with_early_stop(false);
-        let result = par_self_join(config, 4, &strings, 3);
-        for p in &result.pairs {
-            let exact = usj_verify::exact_similarity_prob(
-                &strings[p.left as usize],
-                &strings[p.right as usize],
-                2,
-            );
-            assert!((p.prob - exact).abs() < 1e-9);
+        let seq = SimilarityJoin::new(config.clone(), 4).self_join(&strings);
+        let par = par_self_join(config.clone(), 4, &strings, 1);
+        assert_bit_identical(&par, &seq);
+        assert_eq!(counters(&par.stats), counters(&seq.stats));
+
+        // threads = 0 resolves to the machine's parallelism.
+        let par = par_self_join(config, 4, &strings, 0);
+        assert_bit_identical(&par, &seq);
+    }
+
+    #[test]
+    fn more_threads_than_strings() {
+        let strings = vec![dna("ACGT"), dna("ACGA"), dna("ACG")];
+        let config = JoinConfig::new(1, 0.4);
+        let seq = SimilarityJoin::new(config.clone(), 4).self_join(&strings);
+        let par = par_self_join(config, 4, &strings, 16);
+        assert_bit_identical(&par, &seq);
+    }
+
+    #[test]
+    fn batch_partition_is_deterministic_and_adaptive() {
+        // Drain a 100-probe wave single-threadedly: the partition the CAS
+        // loop produces depends only on the cursor, so this simulation is
+        // exactly what any worker interleaving produces.
+        let next = AtomicUsize::new(0);
+        let mut covered = Vec::new();
+        let mut sizes = Vec::new();
+        while let Some(batch) = grab_batch(&next, 100, 4, 1, 8) {
+            sizes.push(batch.len());
+            covered.extend(batch);
+        }
+        // Disjoint, complete, in order.
+        assert_eq!(covered, (0..100).collect::<Vec<_>>());
+        assert!(sizes.iter().all(|&s| (1..=8).contains(&s)), "{sizes:?}");
+        // Adaptive: large batches up front, batch_min at the tail.
+        assert!(sizes[0] > *sizes.last().unwrap(), "{sizes:?}");
+        assert_eq!(*sizes.last().unwrap(), 1);
+
+        // batch_size respects its bounds and never overshoots the end.
+        assert_eq!(batch_size(100, 2, 1, 8), 8);
+        assert_eq!(batch_size(3, 4, 1, 8), 1);
+        assert_eq!(batch_size(5, 100, 4, 8), 4);
+        assert_eq!(batch_size(2, 1, 4, 8), 2);
+    }
+
+    /// Per-worker recorder used by the load-balance regression test: logs
+    /// each worker's probe/batch totals at absorb time.
+    #[derive(Default)]
+    struct WorkerLog {
+        probes: u64,
+        batches: u64,
+        per_worker: Vec<(u64, u64)>,
+    }
+
+    impl Recorder for WorkerLog {
+        fn probe_start(&mut self, _probe_id: u32) {
+            self.probes += 1;
+        }
+        fn counter(&mut self, counter: Counter, delta: u64) {
+            if counter == Counter::StealBatches {
+                self.batches += delta;
+            }
+        }
+    }
+
+    impl MergeRecorder for WorkerLog {
+        fn absorb(&mut self, other: Self) {
+            if other.probes > 0 || other.batches > 0 {
+                self.per_worker.push((other.probes, other.batches));
+            }
+            self.probes += other.probes;
+            self.batches += other.batches;
+            self.per_worker.extend(other.per_worker);
         }
     }
 
     #[test]
-    fn empty_and_single() {
-        let config = JoinConfig::new(1, 0.1);
-        assert!(par_self_join(config.clone(), 4, &[], 2).pairs.is_empty());
-        assert!(par_self_join(config, 4, &[dna("ACGT")], 2).pairs.is_empty());
-    }
+    fn work_stealing_covers_every_probe_with_expected_batches() {
+        // 24 strings of one length: a single group, hence a single wave,
+        // so the batch partition is the one simulated below.
+        let syms = ['A', 'C', 'G', 'T'];
+        let strings: Vec<UncertainString> = (0..24)
+            .map(|i| {
+                let text: String = (0..6).map(|j| syms[(i + j) % 4]).collect();
+                dna(&text)
+            })
+            .collect();
+        let threads = 3;
+        let config = JoinConfig::new(1, 0.5)
+            .with_batch_range(1, 2)
+            .with_shard_band(1);
+        let seq = SimilarityJoin::new(config.clone(), 4).self_join(&strings);
+        let (par, log) = par_self_join_recorded(config, 4, &strings, threads, WorkerLog::default);
+        assert_bit_identical(&par, &seq);
 
-    #[test]
-    fn stats_accumulate() {
-        let strings = collection();
-        let result = par_self_join(JoinConfig::new(2, 0.3), 4, &strings, 2);
-        assert_eq!(result.stats.num_strings, strings.len());
-        assert_eq!(result.stats.output_pairs, result.pairs.len() as u64);
-        assert!(result.stats.pairs_in_scope > 0);
-    }
+        // Every probe ran exactly once, across all workers combined.
+        assert_eq!(log.probes, 24);
+        assert_eq!(log.per_worker.iter().map(|w| w.0).sum::<u64>(), 24);
 
-    /// The pruning funnel stays monotone after merging worker stats. The
-    /// inequalities are strict-`>=` rather than the sequential driver's
-    /// equalities because the `id < probe_id` admission filter runs after
-    /// the frequency-survivor count.
-    #[test]
-    fn merged_stats_invariants_hold() {
-        let strings = collection();
-        for threads in [1, 3] {
-            let s = par_self_join(JoinConfig::new(2, 0.3), 4, &strings, threads).stats;
-            assert!(s.pairs_in_scope >= s.qgram_survivors, "threads={threads}");
-            assert!(s.qgram_survivors >= s.freq_survivors, "threads={threads}");
-            assert!(
-                s.freq_survivors >= s.cdf_accepted + s.cdf_rejected + s.cdf_undecided,
-                "threads={threads}"
-            );
-            assert_eq!(
-                s.cdf_undecided,
-                s.verified_similar + s.verified_dissimilar,
-                "threads={threads}"
-            );
-            assert!(s.peak_index_bytes >= s.index_bytes);
+        // The batch count is deterministic: replay the cursor arithmetic.
+        let next = AtomicUsize::new(0);
+        let mut expected = 0u64;
+        while grab_batch(&next, 24, threads, 1, 2).is_some() {
+            expected += 1;
         }
-    }
-
-    /// Per-worker recorders merge into one snapshot whose totals mirror
-    /// the merged `JoinStats`, and recording must not perturb the output.
-    #[test]
-    fn recorded_parallel_merges_workers() {
-        use usj_obs::{CollectingRecorder, Counter, Gauge};
-        let strings = collection();
-        let config = JoinConfig::new(2, 0.3);
-        let plain = par_self_join(config.clone(), 4, &strings, 3);
-        let (recorded, sink) =
-            par_self_join_recorded(config, 4, &strings, 3, CollectingRecorder::new);
-        let a: Vec<_> = plain.pairs.iter().map(|p| (p.left, p.right)).collect();
-        let b: Vec<_> = recorded.pairs.iter().map(|p| (p.left, p.right)).collect();
-        assert_eq!(a, b);
-        let s = &recorded.stats;
-        assert_eq!(sink.probes(), strings.len() as u64);
-        assert_eq!(sink.counter_total(Counter::PairsInScope), s.pairs_in_scope);
-        assert_eq!(sink.counter_total(Counter::FreqSurvivors), s.freq_survivors);
-        assert_eq!(sink.counter_total(Counter::CdfUndecided), s.cdf_undecided);
-        assert_eq!(
-            sink.counter_total(Counter::VerifiedSimilar)
-                + sink.counter_total(Counter::VerifiedDissimilar),
-            s.cdf_undecided
+        assert_eq!(log.batches, expected);
+        assert!(
+            expected >= threads as u64,
+            "enough batches to feed every worker: {expected}"
         );
-        // Every string inserted once at build; each unordered pair
-        // surfaced as exactly one per-probe OutputPairs event.
-        assert_eq!(
-            sink.counter_total(Counter::IndexInsertions),
-            strings.len() as u64
+    }
+
+    #[test]
+    fn banded_waves_bound_resident_index_memory() {
+        // Strings spread over lengths 4..=16 so the full index dwarfs the
+        // [l-k, l] band a wave keeps resident.
+        let syms = ['A', 'C', 'G', 'T'];
+        let mut strings = Vec::new();
+        for len in 4usize..=16 {
+            for copy in 0..3 {
+                let text: String = (0..len).map(|i| syms[(i + copy) % 4]).collect();
+                strings.push(dna(&text));
+            }
+        }
+        let config = JoinConfig::new(1, 0.3).with_shard_band(1);
+        let full = IndexedCollection::build(config.clone(), 4, strings.clone()).index_bytes();
+        let (par, sink) =
+            par_self_join_recorded(config.clone(), 4, &strings, 2, CollectingRecorder::new);
+        let peak = sink.gauge_max(Gauge::PeakResidentBytes) as usize;
+        assert!(peak > 0);
+        assert!(
+            peak < full,
+            "peak resident bytes ({peak}) must undercut the full index ({full})"
         );
-        assert_eq!(sink.counter_total(Counter::OutputPairs), s.output_pairs);
-        assert_eq!(sink.gauge_max(Gauge::IndexBytes), s.index_bytes as u64);
+        // A band of one length plus its k-reach keeps at most 2 shards.
+        assert!(sink.gauge_max(Gauge::ResidentShards) <= 2);
+
+        // With shard_band = 1 the eviction points coincide with the
+        // sequential driver's, so the peaks agree exactly.
+        let seq = SimilarityJoin::new(config, 4).self_join(&strings);
+        assert_bit_identical(&par, &seq);
+        assert_eq!(par.stats.peak_index_bytes, seq.stats.peak_index_bytes);
+        assert_eq!(peak, par.stats.peak_index_bytes);
+
+        // The merged recorder and the stats view tell one story.
+        assert_eq!(sink.probes(), 39);
+        assert_eq!(
+            sink.counter_total(Counter::OutputPairs),
+            par.stats.output_pairs
+        );
+    }
+
+    #[test]
+    fn empty_strings_surface_in_every_pipeline_and_driver() {
+        let strings = vec![
+            UncertainString::empty(),
+            dna("A"),
+            UncertainString::empty(),
+            dna("AC"),
+            dna("ACG"),
+        ];
+        for k in [0usize, 1] {
+            let oracle = oracle_self_join(&strings, k, 0.3);
+            let opairs: Vec<(u32, u32)> = oracle.iter().map(|p| (p.left, p.right)).collect();
+            assert!(opairs.contains(&(0, 2)), "k={k}: empty/empty pair expected");
+            for pipeline in Pipeline::all() {
+                let config = JoinConfig::new(k, 0.3).with_pipeline(pipeline);
+                let seq = SimilarityJoin::new(config.clone(), 4).self_join(&strings);
+                let spairs: Vec<(u32, u32)> = seq.pairs.iter().map(|p| (p.left, p.right)).collect();
+                assert_eq!(spairs, opairs, "{pipeline:?} k={k}");
+                let par = par_self_join(config, 4, &strings, 2);
+                assert_bit_identical(&par, &seq);
+            }
+        }
+    }
+
+    /// Tiny xorshift PRNG — the differential test must not depend on
+    /// external crates (see scripts/offline-check.sh).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn random_strings(seed: u64, n: usize, max_len: usize) -> Vec<UncertainString> {
+        // Symbols are alphabet indices in 0..sigma (sigma = 4 below).
+        let mut rng = XorShift(seed);
+        (0..n)
+            .map(|_| {
+                let len = rng.below(max_len as u64 + 1) as usize;
+                let positions = (0..len)
+                    .map(|i| {
+                        let a = rng.below(4) as u8;
+                        if rng.below(4) == 0 {
+                            let b = (a + 1 + rng.below(3) as u8) % 4;
+                            let p = 0.3 + 0.4 * (rng.below(100) as f64) / 100.0;
+                            Position::uncertain(i, vec![(a, p), (b, 1.0 - p)]).unwrap()
+                        } else {
+                            Position::certain(a)
+                        }
+                    })
+                    .collect();
+                UncertainString::new(positions)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn randomized_differential_with_segment_over_cap() {
+        for seed in [7u64, 99] {
+            let strings = random_strings(seed, 32, 8);
+            let oracle = oracle_self_join(&strings, 2, 0.3);
+            let opairs: Vec<(u32, u32)> = oracle.iter().map(|p| (p.left, p.right)).collect();
+            for pipeline in Pipeline::all() {
+                for early_stop in [false, true] {
+                    let mut config = JoinConfig::new(2, 0.3)
+                        .with_pipeline(pipeline)
+                        .with_early_stop(early_stop)
+                        .with_batch_range(1, 2);
+                    // Tiny cap: probes with uncertain positions overflow
+                    // their segment equivalent sets, exercising the
+                    // incomplete (conservative surfacing) path.
+                    config.max_segment_instances = 2;
+                    let seq = SimilarityJoin::new(config.clone(), 4).self_join(&strings);
+                    let spairs: Vec<(u32, u32)> =
+                        seq.pairs.iter().map(|p| (p.left, p.right)).collect();
+                    assert_eq!(spairs, opairs, "seed={seed} {pipeline:?}");
+                    if !early_stop {
+                        // Exact mode reports exact probabilities.
+                        for (s, o) in seq.pairs.iter().zip(&oracle) {
+                            assert!((s.prob - o.prob).abs() < 1e-9);
+                        }
+                    }
+                    let mut seen = Vec::new();
+                    for threads in [2, 3] {
+                        let par = par_self_join(config.clone(), 4, &strings, threads);
+                        assert_bit_identical(&par, &seq);
+                        seen.push(counters(&par.stats));
+                    }
+                    // Funnel counters are thread-count invariant and match
+                    // the sequential driver's.
+                    assert_eq!(seen[0], seen[1]);
+                    assert_eq!(seen[0], counters(&seq.stats));
+                }
+            }
+        }
     }
 }

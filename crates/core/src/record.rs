@@ -76,6 +76,16 @@ impl<'a, R: Recorder> Recording<'a, R> {
         self.recorder.exit_phase(Phase::Total, elapsed);
     }
 
+    /// Runs `f` inside a `phase` span — [`Recording::begin`]/
+    /// [`Recording::end`] without the caller threading the
+    /// [`PhaseSpan`] value through its control flow.
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> T) -> T {
+        let span = self.begin(phase);
+        let out = f(self);
+        self.end(span);
+        out
+    }
+
     /// Increments a counter (a zero `delta` still marks it observed).
     pub fn count(&mut self, counter: Counter, delta: u64) {
         self.stats.apply_counter(counter, delta);
@@ -113,7 +123,6 @@ mod tests {
         rec.probe_end(0);
         rec.gauge(Gauge::PeakIndexBytes, 512);
         rec.set_total(Duration::from_micros(3));
-        drop(rec);
         assert_eq!(stats.pairs_in_scope, 4);
         assert_eq!(stats.qgram_survivors, 2);
         assert_eq!(stats.peak_index_bytes, 512);
@@ -125,13 +134,27 @@ mod tests {
     }
 
     #[test]
+    fn time_brackets_closure_in_span() {
+        let mut stats = JoinStats::default();
+        let mut sink = CollectingRecorder::new();
+        let mut rec = Recording::new(&mut stats, &mut sink);
+        let out = rec.time(Phase::Freq, |rec| {
+            rec.count(Counter::FreqSurvivors, 3);
+            42
+        });
+        assert_eq!(out, 42);
+        assert_eq!(stats.freq_survivors, 3);
+        assert!(stats.timings.freq > Duration::ZERO);
+        assert_eq!(sink.phase_histogram(Phase::Freq).count(), 1);
+    }
+
+    #[test]
     fn set_total_overwrites_merged_totals() {
         let mut stats = JoinStats::default();
         stats.timings.total = Duration::from_secs(99); // aggregate work time
         let mut sink = usj_obs::NoopRecorder;
         let mut rec = Recording::new(&mut stats, &mut sink);
         rec.set_total(Duration::from_millis(5));
-        drop(rec);
         assert_eq!(stats.timings.total, Duration::from_millis(5));
     }
 }

@@ -141,7 +141,8 @@ impl JoinStats {
             Counter::IndexInsertions
             | Counter::IndexPostingsScanned
             | Counter::IndexCandidatesSurfaced
-            | Counter::VerifierBuilds => {}
+            | Counter::VerifierBuilds
+            | Counter::StealBatches => {}
         }
     }
 
@@ -153,6 +154,9 @@ impl JoinStats {
                 self.peak_index_bytes = self.peak_index_bytes.max(value as usize)
             }
             Gauge::NumStrings => self.num_strings = value as usize,
+            // Sharded-driver residency gauges live only in richer
+            // recorders; the flat view keeps the classic memory fields.
+            Gauge::ResidentShards | Gauge::PeakResidentBytes => {}
         }
     }
 

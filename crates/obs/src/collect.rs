@@ -365,12 +365,15 @@ mod tests {
     "index_insertions": 0,
     "index_postings_scanned": 0,
     "index_candidates_surfaced": 0,
-    "verifier_builds": 0
+    "verifier_builds": 0,
+    "steal_batches": 0
   },
   "gauges": {
     "index_bytes": 1000,
     "peak_index_bytes": 1200,
-    "num_strings": 0
+    "num_strings": 0,
+    "resident_shards": 0,
+    "peak_resident_bytes": 0
   },
   "phases": {
     "qgram": {
@@ -552,6 +555,14 @@ mod tests {
       "max": 0
     },
     "verifier_builds": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "steal_batches": {
       "probes": 0,
       "sum": 0,
       "p50": 0,

@@ -127,11 +127,14 @@ pub enum Counter {
     IndexCandidatesSurfaced,
     /// Per-probe verifier constructions.
     VerifierBuilds,
+    /// Work-stealing batches grabbed by parallel workers (one per
+    /// successful cursor advance, so totals reflect scheduler granularity).
+    StealBatches,
 }
 
 impl Counter {
     /// Every counter, in serialisation order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 18] = [
         Counter::PairsInScope,
         Counter::QgramSurvivors,
         Counter::QgramPrunedCount,
@@ -149,6 +152,7 @@ impl Counter {
         Counter::IndexPostingsScanned,
         Counter::IndexCandidatesSurfaced,
         Counter::VerifierBuilds,
+        Counter::StealBatches,
     ];
 
     /// Dense index into per-counter arrays.
@@ -176,6 +180,7 @@ impl Counter {
             Counter::IndexPostingsScanned => "index_postings_scanned",
             Counter::IndexCandidatesSurfaced => "index_candidates_surfaced",
             Counter::VerifierBuilds => "verifier_builds",
+            Counter::StealBatches => "steal_batches",
         }
     }
 }
@@ -189,11 +194,22 @@ pub enum Gauge {
     PeakIndexBytes,
     /// Strings in the collection(s) under join.
     NumStrings,
+    /// Length shards currently resident in the sharded parallel driver.
+    ResidentShards,
+    /// Peak bytes of simultaneously-resident shard indices (the sharded
+    /// driver's analogue of [`Gauge::PeakIndexBytes`]).
+    PeakResidentBytes,
 }
 
 impl Gauge {
     /// Every gauge, in serialisation order.
-    pub const ALL: [Gauge; 3] = [Gauge::IndexBytes, Gauge::PeakIndexBytes, Gauge::NumStrings];
+    pub const ALL: [Gauge; 5] = [
+        Gauge::IndexBytes,
+        Gauge::PeakIndexBytes,
+        Gauge::NumStrings,
+        Gauge::ResidentShards,
+        Gauge::PeakResidentBytes,
+    ];
 
     /// Dense index into per-gauge arrays.
     pub const fn index(self) -> usize {
@@ -206,6 +222,8 @@ impl Gauge {
             Gauge::IndexBytes => "index_bytes",
             Gauge::PeakIndexBytes => "peak_index_bytes",
             Gauge::NumStrings => "num_strings",
+            Gauge::ResidentShards => "resident_shards",
+            Gauge::PeakResidentBytes => "peak_resident_bytes",
         }
     }
 }

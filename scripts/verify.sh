@@ -13,4 +13,5 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+cargo clippy --all-targets -- -D warnings
 cargo fmt --check
