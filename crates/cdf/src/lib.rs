@@ -127,6 +127,13 @@ pub fn cdf_bounds(r: &UncertainString, s: &UncertainString, k: usize) -> CdfBoun
                 continue;
             }
             let p1 = r.position(x - 1).match_prob(s.position(y - 1));
+            // Invariant (debug builds): a match probability outside
+            // [0, 1] means an input pdf upstream was not normalized —
+            // every bound this DP produces from it would be garbage.
+            debug_assert!(
+                (0.0..=1.0 + 1e-9).contains(&p1),
+                "match probability {p1} at cell ({x}, {y}) lies outside [0, 1]"
+            );
             let p2 = 1.0 - p1;
 
             // Neighbour accessors: D1 = (x−1, y−1), D2 = (x, y−1),
@@ -182,8 +189,42 @@ pub fn cdf_bounds(r: &UncertainString, s: &UncertainString, k: usize) -> CdfBoun
 
     let lower = (0..width).map(|j| prev[(m * width + j) * 2]).collect();
     let upper = (0..width).map(|j| prev[(m * width + j) * 2 + 1]).collect();
-    CdfBounds { lower, upper }
+    let bounds = CdfBounds { lower, upper };
+    debug_check_bounds(&bounds, k);
+    bounds
 }
+
+/// Debug-build well-formedness check on a DP result: `k + 1` entries per
+/// side, every value a probability, `L[j] ≤ U[j]`, and both sides
+/// monotone non-decreasing in `j` (a CDF can only grow with the
+/// threshold). Compiles to nothing in release builds.
+#[cfg(debug_assertions)]
+fn debug_check_bounds(b: &CdfBounds, k: usize) {
+    const EPS: f64 = 1e-9;
+    debug_assert_eq!(b.lower.len(), k + 1, "lower bounds must carry k+1 entries");
+    debug_assert_eq!(b.upper.len(), k + 1, "upper bounds must carry k+1 entries");
+    let (mut prev_l, mut prev_u) = (0.0f64, 0.0f64);
+    for j in 0..=k {
+        let (l, u) = (b.lower[j], b.upper[j]);
+        debug_assert!(
+            l.is_finite() && (-EPS..=1.0 + EPS).contains(&l),
+            "L[{j}] = {l} lies outside [0, 1]"
+        );
+        debug_assert!(
+            u.is_finite() && (-EPS..=1.0 + EPS).contains(&u),
+            "U[{j}] = {u} lies outside [0, 1]"
+        );
+        debug_assert!(l <= u + EPS, "L[{j}] = {l} exceeds U[{j}] = {u}");
+        debug_assert!(l + EPS >= prev_l, "lower CDF bound not monotone at j = {j}");
+        debug_assert!(u + EPS >= prev_u, "upper CDF bound not monotone at j = {j}");
+        prev_l = l;
+        prev_u = u;
+    }
+}
+
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+fn debug_check_bounds(_: &CdfBounds, _: usize) {}
 
 /// The CDF filter: computes bounds and compares them against τ.
 #[derive(Debug, Clone)]
@@ -404,5 +445,46 @@ mod tests {
         assert_eq!(f.evaluate(&e, &dna("A")).decision, CdfDecision::Reject);
         // Empty vs length-1 at k = 1: one deletion, surely similar.
         assert_eq!(cdf_bounds(&e, &dna("A"), 1).at_k(), (1.0, 1.0));
+    }
+
+    // The debug-only well-formedness check runs on every cdf_bounds call
+    // in debug builds; these feed it corrupted bounds directly.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds U[0]")]
+    fn debug_check_catches_crossed_bounds() {
+        debug_check_bounds(
+            &CdfBounds {
+                lower: vec![0.5],
+                upper: vec![0.4],
+            },
+            0,
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "upper CDF bound not monotone")]
+    fn debug_check_catches_non_monotone_upper() {
+        debug_check_bounds(
+            &CdfBounds {
+                lower: vec![0.1, 0.2],
+                upper: vec![0.9, 0.5],
+            },
+            1,
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lies outside [0, 1]")]
+    fn debug_check_catches_out_of_range_bound() {
+        debug_check_bounds(
+            &CdfBounds {
+                lower: vec![-0.2],
+                upper: vec![1.4],
+            },
+            0,
+        );
     }
 }

@@ -582,6 +582,68 @@ mod tests {
         assert!(e.0.contains("cannot read") || e.0.contains("tau"));
     }
 
+    /// Every malformed flag takes the error path with a message naming
+    /// the offending flag or path — never a silent default.
+    #[test]
+    fn flag_error_paths_name_the_culprit() {
+        let data = tmpfile("errpaths.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "20", "--seed", "6", "--out", &data,
+        ]))
+        .unwrap();
+
+        // Non-numeric scheduler knobs are parse errors, not defaults.
+        let e = run(&args(&["join", "--input", &data, "--batch-min", "two"])).unwrap_err();
+        assert!(e.0.contains("invalid value for --batch-min"), "{e:?}");
+        let e = run(&args(&["join", "--input", &data, "--batch-max", "2.5"])).unwrap_err();
+        assert!(e.0.contains("invalid value for --batch-max"), "{e:?}");
+        let e = run(&args(&["join", "--input", &data, "--shard-band", "-1"])).unwrap_err();
+        assert!(e.0.contains("invalid value for --shard-band"), "{e:?}");
+        let e = run(&args(&["join", "--input", &data, "--threads", "many"])).unwrap_err();
+        assert!(e.0.contains("invalid value for --threads"), "{e:?}");
+
+        // Threshold validation happens after parsing.
+        let e = run(&args(&["join", "--input", &data, "--tau", "1.5"])).unwrap_err();
+        assert!(e.0.contains("--tau must lie in [0, 1]"), "{e:?}");
+        let e = run(&args(&["join", "--input", &data, "--q", "0"])).unwrap_err();
+        assert!(e.0.contains("--q must be at least 1"), "{e:?}");
+
+        // Positional junk is rejected by the flag parser itself.
+        let e = run(&args(&["join", "extra", "--input", &data])).unwrap_err();
+        assert!(e.0.contains("unexpected argument"), "{e:?}");
+
+        // Missing required flags name themselves.
+        let e = run(&args(&["generate", "--kind", "dblp"])).unwrap_err();
+        assert!(e.0.contains("missing required flag --out"), "{e:?}");
+
+        // An unparsable probe reports the probe, not a panic.
+        let e = run(&args(&["search", "--input", &data, "--probe", "{bad"])).unwrap_err();
+        assert!(e.0.contains("invalid probe"), "{e:?}");
+    }
+
+    /// Unwritable output targets (`--stats-json`, `--out`) fail with the
+    /// path in the message instead of discarding the join results
+    /// silently.
+    #[test]
+    fn malformed_output_targets_are_reported() {
+        let data = tmpfile("badout.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "20", "--seed", "8", "--out", &data,
+        ]))
+        .unwrap();
+        // `data` is a file, so treating it as a directory cannot work.
+        let bad = format!("{data}/nope/target.json");
+        let e = run(&args(&["join", "--input", &data, "--stats-json", &bad])).unwrap_err();
+        assert!(e.0.contains("cannot write"), "{e:?}");
+        let e = run(&args(&["join", "--input", &data, "--out", &bad])).unwrap_err();
+        assert!(e.0.contains("cannot write"), "{e:?}");
+        let e = run(&args(&[
+            "generate", "--kind", "dblp", "--n", "5", "--out", &bad,
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("cannot write"), "{e:?}");
+    }
+
     #[test]
     fn help_prints_usage() {
         assert!(run(&args(&["help"])).unwrap().contains("USAGE"));

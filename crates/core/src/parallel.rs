@@ -30,7 +30,7 @@
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 use usj_cdf::CdfFilter;
@@ -154,12 +154,11 @@ where
             if config.pipeline.uses_qgram() {
                 index.evict_below(reach_lo);
             }
-            while let Some((&len, _)) = visited.first_key_value() {
-                if len >= reach_lo {
+            while let Some(entry) = visited.first_entry() {
+                if *entry.key() >= reach_lo {
                     break;
                 }
-                let (_, ids) = visited.pop_first().expect("non-empty first entry");
-                for id in ids {
+                for id in entry.remove() {
                     profiles[id as usize] = None;
                 }
             }
@@ -217,18 +216,33 @@ where
                             );
                         }
                     }
-                    let mut guard = results.lock().unwrap();
+                    // A poisoned lock only means another worker panicked
+                    // mid-push; the data under it is a plain Vec append,
+                    // always consistent, and the panic itself re-raises at
+                    // the scope join below — so recover instead of
+                    // double-panicking here.
+                    let mut guard = results.lock().unwrap_or_else(PoisonError::into_inner);
                     guard.0.append(&mut local_pairs);
                     guard.1.absorb(&local_stats);
                     drop(guard);
-                    recorders.lock().unwrap().push(local_rec);
+                    recorders
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(local_rec);
                 });
             }
         });
-        for worker_rec in recorders.into_inner().unwrap() {
+        // Workers can no longer hold the locks (the scope joined them, and
+        // any worker panic already propagated there), so poison recovery is
+        // sound: the protected values were fully written or never touched.
+        for worker_rec in recorders
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
             merged.absorb(worker_rec);
         }
-        let (mut wave_pairs, wave_stats) = results.into_inner().unwrap();
+        let (mut wave_pairs, wave_stats) =
+            results.into_inner().unwrap_or_else(PoisonError::into_inner);
         pairs.append(&mut wave_pairs);
         stats.absorb(&wave_stats);
     }
@@ -282,12 +296,18 @@ fn grab_batch(
     batch_min: usize,
     batch_max: usize,
 ) -> Option<Range<usize>> {
+    // ordering: Relaxed is enough for the cursor — workers communicate
+    // only through the claimed ranges themselves (disjoint by CAS), and
+    // all result publication happens-before the scope join via the
+    // Mutex/spawn edges, not through this atomic.
     let mut cur = next.load(Ordering::Relaxed);
     loop {
         if cur >= total {
             return None;
         }
         let size = batch_size(total - cur, workers, batch_min, batch_max);
+        // ordering: same argument as the load above; the CAS only needs
+        // atomicity of the claim, not ordering of other memory.
         match next.compare_exchange_weak(cur, cur + size, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return Some(cur..cur + size),
             Err(observed) => cur = observed,

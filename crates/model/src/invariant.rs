@@ -1,0 +1,39 @@
+//! Debug-build runtime invariant checks for the probability model.
+//!
+//! Every probability kernel downstream (q-gram `α_x`, frequency distance,
+//! CDF bounds) assumes per-position pdfs are normalized. The
+//! [`Position::Uncertain`] variant is public, so strings can be built
+//! without going through [`Position::uncertain`]'s validating constructor
+//! — [`crate::UncertainString::new`] therefore re-checks the invariant in
+//! debug builds. Under `cfg(not(debug_assertions))` the check compiles to
+//! an empty inline function: release joins pay nothing.
+
+use crate::position::Position;
+
+/// Asserts every uncertain position carries a normalized pdf: each
+/// probability finite and in `(0, 1]`, masses summing to `1 ± 1e-6` (the
+/// same tolerance as [`Position::validate`]).
+#[cfg(debug_assertions)]
+pub(crate) fn debug_check_positions(positions: &[Position]) {
+    use crate::prob::PROB_EPS;
+    for (i, pos) in positions.iter().enumerate() {
+        if let Position::Uncertain(alts) = pos {
+            let mut sum = 0.0;
+            for &(sym, p) in alts {
+                debug_assert!(
+                    p.is_finite() && p > 0.0 && p <= 1.0 + PROB_EPS,
+                    "position {i}: Pr(symbol {sym}) = {p} lies outside (0, 1]"
+                );
+                sum += p;
+            }
+            debug_assert!(
+                (sum - 1.0).abs() <= 1e-6,
+                "position {i}: pdf mass {sum} differs from 1 beyond tolerance"
+            );
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+pub(crate) fn debug_check_positions(_: &[Position]) {}

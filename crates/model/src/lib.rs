@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod alphabet;
+mod invariant;
 pub mod parse;
 pub mod position;
 pub mod prob;

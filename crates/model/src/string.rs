@@ -27,7 +27,12 @@ pub struct UncertainString {
 
 impl UncertainString {
     /// Builds an uncertain string from validated positions.
+    ///
+    /// Debug builds re-check that every pdf is normalized (the
+    /// [`Position::Uncertain`] variant is public, so unvalidated
+    /// distributions are constructible); release builds skip the check.
     pub fn new(positions: Vec<Position>) -> Self {
+        crate::invariant::debug_check_positions(&positions);
         UncertainString { positions }
     }
 
@@ -395,6 +400,30 @@ mod tests {
         assert_eq!(worlds.len(), 1);
         assert!(approx_eq(worlds[0].prob, 1.0));
         assert!(worlds[0].instance.is_empty());
+    }
+
+    // The debug-only invariant layer: corrupted pdfs (constructible
+    // because `Position::Uncertain` is public) must trip the check in
+    // debug builds and cost nothing in release.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "pdf mass")]
+    fn debug_build_rejects_unnormalized_pdf() {
+        let _ = UncertainString::new(vec![Position::Uncertain(vec![(0, 0.3), (1, 0.3)])]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn debug_build_rejects_out_of_range_probability() {
+        let _ = UncertainString::new(vec![Position::Uncertain(vec![(0, -0.5), (1, 1.5)])]);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_build_skips_invariant_checks() {
+        let s = UncertainString::new(vec![Position::Uncertain(vec![(0, 0.3), (1, 0.3)])]);
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

@@ -53,10 +53,40 @@ pub fn alpha_for_segment(
         if *p_r == 0.0 {
             continue;
         }
-        alpha += p_r * indexed.substring_match_prob(segment.start, w);
+        let m = indexed.substring_match_prob(segment.start, w);
+        debug_check_addend(*p_r, m);
+        alpha += p_r * m;
     }
+    // Note: the *raw* sum may legitimately exceed 1 — AlphaMode::Naive
+    // double-counts overlapping instances (the paper's 1.32 example below)
+    // — so only the clamped result is asserted to be a probability, never
+    // the sum itself.
+    debug_assert!(
+        alpha.is_finite() && alpha >= 0.0,
+        "accumulated alpha {alpha} is negative or non-finite"
+    );
     alpha.clamp(0.0, 1.0)
 }
+
+/// Debug-build invariant on each α addend: the entry weight must be a
+/// finite non-negative mass and the substring match probability a real
+/// probability — a value outside `[0, 1]` means the indexed string's pdfs
+/// were not normalized. Compiles to nothing in release builds.
+#[cfg(debug_assertions)]
+fn debug_check_addend(p_r: f64, m: f64) {
+    debug_assert!(
+        p_r.is_finite() && p_r >= 0.0,
+        "equivalent-set weight {p_r} is negative or non-finite"
+    );
+    debug_assert!(
+        (0.0..=1.0 + 1e-9).contains(&m),
+        "substring match probability {m} lies outside [0, 1]"
+    );
+}
+
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+fn debug_check_addend(_: f64, _: f64) {}
 
 #[cfg(test)]
 mod tests {
@@ -129,6 +159,21 @@ mod tests {
         let total: f64 = inst.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert!(segment_instances(&s, &seg, 3).is_none());
+    }
+
+    // Debug-only invariant layer: corrupted addends trip the check.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lies outside [0, 1]")]
+    fn debug_check_catches_bad_match_probability() {
+        debug_check_addend(0.5, 1.7);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "negative or non-finite")]
+    fn debug_check_catches_negative_weight() {
+        debug_check_addend(-0.25, 0.5);
     }
 
     #[test]

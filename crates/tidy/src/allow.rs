@@ -1,0 +1,189 @@
+//! The `tidy.allow` allowlist: line-granular, reason-carrying exceptions.
+//!
+//! One entry per line:
+//!
+//! ```text
+//! <lint> <path> -- <line substring> -- <reason>
+//! ```
+//!
+//! An entry suppresses a diagnostic when all three match: the lint name,
+//! the file (workspace-relative path, `/`-separated), and the *content* of
+//! the offending line (substring match — content survives line-number
+//! drift, unlike `file:line` pins). The reason is mandatory: an exception
+//! without a recorded justification is itself a lint violation. Entries
+//! that suppress nothing are reported as `unused-allow` so the file can
+//! never accumulate dead exceptions.
+
+use std::path::Path;
+
+use crate::{Diagnostic, LINT_NAMES};
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// 1-based line in `tidy.allow` (for unused-entry diagnostics).
+    pub line: usize,
+    /// Lint this entry suppresses.
+    pub lint: String,
+    /// Workspace-relative file the exception applies to.
+    pub path: String,
+    /// Substring the offending source line must contain.
+    pub needle: String,
+    /// Human-readable justification (mandatory).
+    pub reason: String,
+}
+
+/// Parsed `tidy.allow` plus per-entry use counts.
+#[derive(Debug, Default)]
+pub struct AllowList {
+    entries: Vec<AllowEntry>,
+    used: Vec<bool>,
+    /// Diagnostics produced while parsing (malformed entries).
+    pub parse_diags: Vec<Diagnostic>,
+}
+
+impl AllowList {
+    /// Loads `tidy.allow` from the workspace root; a missing file is an
+    /// empty allowlist (a workspace with no exceptions needs no file).
+    pub fn load(root: &Path) -> AllowList {
+        let path = root.join("tidy.allow");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => AllowList::parse(&text),
+            Err(_) => AllowList::default(),
+        }
+    }
+
+    /// Parses the allowlist text.
+    pub fn parse(text: &str) -> AllowList {
+        let mut list = AllowList::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let number = i + 1;
+            let mut diag = |message: String| {
+                list.parse_diags.push(Diagnostic {
+                    file: "tidy.allow".to_string(),
+                    line: number,
+                    lint: "allow-syntax".to_string(),
+                    message,
+                });
+            };
+            let parts: Vec<&str> = line.splitn(3, " -- ").collect();
+            if parts.len() != 3 {
+                diag(format!(
+                    "expected `<lint> <path> -- <substring> -- <reason>`, got {line:?}"
+                ));
+                continue;
+            }
+            let head: Vec<&str> = parts[0].split_whitespace().collect();
+            if head.len() != 2 {
+                diag(format!(
+                    "expected `<lint> <path>` before the first ` -- `, got {:?}",
+                    parts[0]
+                ));
+                continue;
+            }
+            let (lint, path) = (head[0], head[1]);
+            if !LINT_NAMES.contains(&lint) {
+                diag(format!(
+                    "unknown lint {lint:?} (expected one of: {})",
+                    LINT_NAMES.join(", ")
+                ));
+                continue;
+            }
+            let needle = parts[1].trim();
+            let reason = parts[2].trim();
+            if needle.is_empty() {
+                diag("empty line-substring matcher".to_string());
+                continue;
+            }
+            if reason.is_empty() {
+                diag("every allow entry must carry a reason".to_string());
+                continue;
+            }
+            list.entries.push(AllowEntry {
+                line: number,
+                lint: lint.to_string(),
+                path: path.to_string(),
+                needle: needle.to_string(),
+                reason: reason.to_string(),
+            });
+            list.used.push(false);
+        }
+        list
+    }
+
+    /// `true` (and marks the entry used) when some entry suppresses a
+    /// `lint` diagnostic for `rel_path` whose offending line text is
+    /// `line_text`.
+    pub fn allows(&mut self, lint: &str, rel_path: &str, line_text: &str) -> bool {
+        let mut hit = false;
+        for (entry, used) in self.entries.iter().zip(self.used.iter_mut()) {
+            if entry.lint == lint && entry.path == rel_path && line_text.contains(&entry.needle) {
+                *used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Diagnostics for entries that never suppressed anything.
+    pub fn unused_entries(&self) -> Vec<Diagnostic> {
+        self.entries
+            .iter()
+            .zip(self.used.iter())
+            .filter(|(_, used)| !**used)
+            .map(|(entry, _)| Diagnostic {
+                file: "tidy.allow".to_string(),
+                line: entry.line,
+                lint: "unused-allow".to_string(),
+                message: format!(
+                    "entry for {} in {} matches nothing — delete it or fix the pattern",
+                    entry.lint, entry.path
+                ),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_matches_entries() {
+        let text = "\
+# comment
+no-unwrap crates/core/src/parallel.rs -- .lock() -- worker panics propagate via scope join
+";
+        let mut list = AllowList::parse(text);
+        assert!(list.parse_diags.is_empty(), "{:?}", list.parse_diags);
+        assert!(list.allows(
+            "no-unwrap",
+            "crates/core/src/parallel.rs",
+            "    let g = results.lock().expect(\"x\");"
+        ));
+        assert!(!list.allows("no-unwrap", "crates/core/src/join.rs", ".lock()"));
+        assert!(!list.allows("ordering-comment", "crates/core/src/parallel.rs", ".lock()"));
+        assert!(list.unused_entries().is_empty());
+    }
+
+    #[test]
+    fn unused_and_malformed_entries_are_reported() {
+        let text = "\
+no-unwrap crates/a.rs -- never_matches -- some reason
+bogus-lint crates/a.rs -- x -- reason
+no-unwrap crates/a.rs -- missing reason separator
+no-unwrap crates/a.rs -- x --
+";
+        let list = AllowList::parse(text);
+        assert_eq!(list.parse_diags.len(), 3, "{:?}", list.parse_diags);
+        assert!(list.parse_diags.iter().all(|d| d.lint == "allow-syntax"));
+        let unused = list.unused_entries();
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].line, 1);
+        assert_eq!(unused[0].lint, "unused-allow");
+    }
+}

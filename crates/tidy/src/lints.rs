@@ -1,0 +1,421 @@
+//! The project-specific lints.
+//!
+//! Each lint is a plain function from workspace state to diagnostics; the
+//! driver in [`crate::run_tidy`] filters the results through `tidy.allow`.
+//! All lints are textual: they never fail on unparseable code, they just
+//! stop matching — the compiler is the authority on syntax, tidy is the
+//! authority on project policy.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::source::SourceFile;
+use crate::{Diagnostic, Workspace};
+
+/// Files where panicking combinators are forbidden outside test code:
+/// the join hot path (driver, parallel driver, index) and the two filter
+/// kernels whose per-candidate cost dominates runs.
+const HOT_PATH_FILES: [&str; 3] = [
+    "crates/core/src/join.rs",
+    "crates/core/src/parallel.rs",
+    "crates/core/src/index.rs",
+];
+const HOT_PATH_DIRS: [&str; 2] = ["crates/cdf/src/", "crates/qgram/src/"];
+
+fn is_hot_path(rel_path: &str) -> bool {
+    HOT_PATH_FILES.contains(&rel_path) || HOT_PATH_DIRS.iter().any(|d| rel_path.starts_with(d))
+}
+
+/// `no-unwrap`: `.unwrap()` / `.expect(` / `panic!` in hot-path modules.
+///
+/// A panic inside the probe loop aborts the whole join (and under the
+/// parallel driver, poisons shared state for every worker). Hot-path code
+/// must either handle the case or carry an allowlisted, reason-bearing
+/// `expect` documenting why the invariant cannot fail.
+pub fn no_unwrap(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in files {
+        if !is_hot_path(&file.rel_path) {
+            continue;
+        }
+        for line in &file.lines {
+            if line.comment_only || line.in_test {
+                continue;
+            }
+            let code = line.code();
+            for pattern in [".unwrap()", ".expect(", "panic!"] {
+                if code.contains(pattern) {
+                    diags.push(Diagnostic {
+                        file: file.rel_path.clone(),
+                        line: line.number,
+                        lint: "no-unwrap".to_string(),
+                        message: format!(
+                            "`{pattern}` in hot-path module — handle the error or allowlist \
+                             with a reason in tidy.allow"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Atomic memory-ordering names (`std::sync::atomic::Ordering`). The
+/// `std::cmp::Ordering` variants (`Less`/`Equal`/`Greater`) are exempt —
+/// comparison results need no fence justification.
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// How many lines above an atomic-ordering use may carry its
+/// justification comment.
+const ORDERING_COMMENT_REACH: usize = 4;
+
+/// `ordering-comment`: every atomic `Ordering::…` use must carry an
+/// `ordering:` justification on the same line or within the preceding
+/// [`ORDERING_COMMENT_REACH`] lines.
+///
+/// Memory orderings encode a proof obligation the type system cannot see
+/// (what happens-before edge makes this access sound?). PR 2's
+/// determinism guarantees rest on exactly these justifications.
+pub fn ordering_comment(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in files {
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.comment_only {
+                continue;
+            }
+            let code = line.code();
+            let uses_atomic = code.match_indices("Ordering::").any(|(at, _)| {
+                let rest = &code[at + "Ordering::".len()..];
+                ATOMIC_ORDERINGS.iter().any(|o| rest.starts_with(o))
+            });
+            if !uses_atomic {
+                continue;
+            }
+            let lo = i.saturating_sub(ORDERING_COMMENT_REACH);
+            let justified = file.lines[lo..=i]
+                .iter()
+                .any(|l| l.text.contains("ordering:"));
+            if !justified {
+                diags.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: line.number,
+                    lint: "ordering-comment".to_string(),
+                    message: "atomic Ordering use without an `// ordering:` justification \
+                              comment on this line or the lines above"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Parsed metric taxonomy from `crates/obs/src/lib.rs`: for `Counter` and
+/// `Gauge`, the enum variants, the variants listed in the `ALL` array, and
+/// the `variant -> "snake_name"` map from the `name()` match arms.
+#[derive(Debug, Default)]
+struct Taxonomy {
+    variants: BTreeMap<String, usize>, // variant -> declaration line
+    in_all: BTreeSet<String>,
+    names: BTreeMap<String, (String, usize)>, // variant -> (snake name, arm line)
+}
+
+fn parse_taxonomy(lib: &SourceFile, kind: &str) -> Taxonomy {
+    let mut t = Taxonomy::default();
+    let enum_header = format!("enum {kind} ");
+    let enum_header_brace = format!("enum {kind} {{");
+    let all_header = format!("ALL: [{kind};");
+    let use_prefix = format!("{kind}::");
+    let mut in_enum = false;
+    let mut in_all = false;
+    for line in &lib.lines {
+        let code = line.code();
+        let trimmed = code.trim();
+        if trimmed.contains(&enum_header_brace) || trimmed.ends_with(enum_header.trim_end()) {
+            in_enum = true;
+            continue;
+        }
+        if in_enum {
+            if trimmed.starts_with('}') {
+                in_enum = false;
+            } else if let Some(variant) = trimmed.strip_suffix(',') {
+                let variant = variant.trim();
+                if !variant.is_empty()
+                    && variant
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_uppercase())
+                    && variant.chars().all(|c| c.is_ascii_alphanumeric())
+                {
+                    t.variants.insert(variant.to_string(), line.number);
+                }
+            }
+            continue;
+        }
+        if trimmed.contains(&all_header) {
+            in_all = true;
+        }
+        if in_all {
+            for (at, _) in code.match_indices(&use_prefix) {
+                let rest = &code[at + use_prefix.len()..];
+                let ident: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric())
+                    .collect();
+                if !ident.is_empty() {
+                    t.in_all.insert(ident);
+                }
+            }
+            if trimmed.ends_with("];") {
+                in_all = false;
+            }
+            continue;
+        }
+        // name() match arms: `Kind::Variant => "snake_name",`
+        if let Some(at) = code.find(&use_prefix) {
+            if let Some(arrow) = code.find("=>") {
+                let ident: String = code[at + use_prefix.len()..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric())
+                    .collect();
+                let after = &code[arrow + 2..];
+                if let Some(q1) = after.find('"') {
+                    if let Some(q2) = after[q1 + 1..].find('"') {
+                        let name = &after[q1 + 1..q1 + 1 + q2];
+                        if !ident.is_empty() {
+                            t.names.insert(ident, (name.to_string(), line.number));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    t
+}
+
+/// `metrics-registered`: every `Counter::X` / `Gauge::X` the workspace
+/// records must be a declared variant that is listed in the `ALL` array,
+/// has a stable snake_case name, and whose name appears in the golden
+/// schema test of `crates/obs/src/collect.rs`.
+///
+/// The obs snapshot is schema-stable by contract (downstream tooling keys
+/// on it); an unregistered metric would silently vanish from snapshots or
+/// shift the dense index arrays.
+pub fn metrics_registered(ws: &Workspace) -> Vec<Diagnostic> {
+    const OBS_LIB: &str = "crates/obs/src/lib.rs";
+    const OBS_GOLDEN: &str = "crates/obs/src/collect.rs";
+    let mut diags = Vec::new();
+
+    let mut uses: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    for file in &ws.rust_files {
+        if file.rel_path == OBS_LIB {
+            continue;
+        }
+        for line in &file.lines {
+            if line.comment_only {
+                continue;
+            }
+            let code = line.code();
+            for kind in ["Counter", "Gauge"] {
+                let prefix = format!("{kind}::");
+                for (at, _) in code.match_indices(&prefix) {
+                    let rest = &code[at + prefix.len()..];
+                    let ident: String = rest
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric())
+                        .collect();
+                    if ident.is_empty() || ident == "ALL" {
+                        continue;
+                    }
+                    uses.entry((kind.to_string(), ident))
+                        .or_insert_with(|| (file.rel_path.clone(), line.number));
+                }
+            }
+        }
+    }
+    if uses.is_empty() {
+        return diags;
+    }
+
+    let Some(lib) = ws.rust_files.iter().find(|f| f.rel_path == OBS_LIB) else {
+        let ((_, ident), (file, line)) = uses.iter().next().expect("uses is non-empty");
+        diags.push(Diagnostic {
+            file: file.clone(),
+            line: *line,
+            lint: "metrics-registered".to_string(),
+            message: format!(
+                "metric `{ident}` recorded but {OBS_LIB} is missing — cannot resolve the taxonomy"
+            ),
+        });
+        return diags;
+    };
+    let golden = ws
+        .rust_files
+        .iter()
+        .find(|f| f.rel_path == OBS_GOLDEN)
+        .map(|f| {
+            f.lines
+                .iter()
+                .map(|l| l.text.as_str())
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .unwrap_or_default();
+
+    for kind in ["Counter", "Gauge"] {
+        let tax = parse_taxonomy(lib, kind);
+        // Every recorded variant must be declared.
+        for ((k, ident), (file, line)) in &uses {
+            if k == kind && !tax.variants.contains_key(ident) {
+                diags.push(Diagnostic {
+                    file: file.clone(),
+                    line: *line,
+                    lint: "metrics-registered".to_string(),
+                    message: format!(
+                        "`{kind}::{ident}` is not a declared {kind} variant in {OBS_LIB}"
+                    ),
+                });
+            }
+        }
+        // Every declared variant must be fully registered.
+        for (variant, decl_line) in &tax.variants {
+            if !tax.in_all.contains(variant) {
+                diags.push(Diagnostic {
+                    file: OBS_LIB.to_string(),
+                    line: *decl_line,
+                    lint: "metrics-registered".to_string(),
+                    message: format!("{kind}::{variant} is missing from {kind}::ALL"),
+                });
+            }
+            match tax.names.get(variant) {
+                None => diags.push(Diagnostic {
+                    file: OBS_LIB.to_string(),
+                    line: *decl_line,
+                    lint: "metrics-registered".to_string(),
+                    message: format!("{kind}::{variant} has no `name()` match arm"),
+                }),
+                Some((name, arm_line)) => {
+                    if !golden.contains(&format!("\"{name}\"")) {
+                        diags.push(Diagnostic {
+                            file: OBS_LIB.to_string(),
+                            line: *arm_line,
+                            lint: "metrics-registered".to_string(),
+                            message: format!(
+                                "metric key \"{name}\" is absent from the golden schema test in \
+                                 {OBS_GOLDEN} — register it in the expected snapshot"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// External crates the workspace may depend on. Everything else must be a
+/// path-internal `usj-*` crate or an explicit tidy.allow exception — the
+/// build environment cannot reach crates.io, so an unvetted dependency is
+/// a broken build, not just a policy question.
+const ALLOWED_EXTERNAL_DEPS: [&str; 5] = ["rand", "proptest", "criterion", "serde", "serde_json"];
+
+/// `dep-allowlist`: scan every manifest's dependency sections.
+pub fn dep_allowlist(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for manifest in &ws.manifests {
+        let mut in_dep_section = false;
+        for (i, raw) in manifest.text.lines().enumerate() {
+            let line = raw.trim();
+            if line.starts_with('[') {
+                in_dep_section = line.ends_with("dependencies]");
+                continue;
+            }
+            if !in_dep_section || line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some(eq) = line.find('=') else { continue };
+            let name = line[..eq].trim().trim_matches('"');
+            let name = name.strip_suffix(".workspace").unwrap_or(name);
+            let value = &line[eq + 1..];
+            let internal = name.starts_with("usj-")
+                || name == "uncertain-join"
+                || value.contains("path =")
+                || value.contains("path=");
+            if !internal && !ALLOWED_EXTERNAL_DEPS.contains(&name) {
+                diags.push(Diagnostic {
+                    file: manifest.rel_path.clone(),
+                    line: i + 1,
+                    lint: "dep-allowlist".to_string(),
+                    message: format!(
+                        "external dependency `{name}` is not in the allowed set \
+                         ({}) — the build environment is offline; vendor, stub, or allowlist it",
+                        ALLOWED_EXTERNAL_DEPS.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// `doc-drift`: the docs the next session navigates by must track the
+/// code. Two checks:
+///
+/// * every crate directory under `crates/` is mentioned in `DESIGN.md`
+///   (as `crates/<name>` or `usj-<name>`);
+/// * `CHANGES.md` carries one `- PR <n>:` line per PR, numbered
+///   consecutively from 1.
+pub fn doc_drift(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if let Some(design) = &ws.design_md {
+        for name in &ws.crate_dirs {
+            if !design.contains(&format!("crates/{name}"))
+                && !design.contains(&format!("usj-{name}"))
+            {
+                diags.push(Diagnostic {
+                    file: "DESIGN.md".to_string(),
+                    line: 1,
+                    lint: "doc-drift".to_string(),
+                    message: format!(
+                        "crate `crates/{name}` is absent from DESIGN.md — add it to the \
+                         system inventory"
+                    ),
+                });
+            }
+        }
+    }
+    if let Some(changes) = &ws.changes_md {
+        let mut expected = 1u64;
+        for (i, raw) in changes.lines().enumerate() {
+            let Some(rest) = raw.strip_prefix("- PR ") else {
+                continue;
+            };
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            let tail = &rest[digits.len()..];
+            let parsed: Option<u64> = digits.parse().ok();
+            match parsed {
+                Some(n) if tail.starts_with(':') => {
+                    if n != expected {
+                        diags.push(Diagnostic {
+                            file: "CHANGES.md".to_string(),
+                            line: i + 1,
+                            lint: "doc-drift".to_string(),
+                            message: format!(
+                                "PR lines must be consecutive: expected `- PR {expected}:`, \
+                                 found `- PR {n}:`"
+                            ),
+                        });
+                    }
+                    expected = n + 1;
+                }
+                _ => diags.push(Diagnostic {
+                    file: "CHANGES.md".to_string(),
+                    line: i + 1,
+                    lint: "doc-drift".to_string(),
+                    message: "malformed PR line — expected `- PR <n>: <summary>`".to_string(),
+                }),
+            }
+        }
+    }
+    diags
+}

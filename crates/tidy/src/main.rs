@@ -1,0 +1,66 @@
+//! Thin CLI wrapper: `cargo run -p usj-tidy [-- --root PATH]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("usj-tidy: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usj-tidy — workspace static-analysis pass\n\n\
+                     USAGE: usj-tidy [--root PATH]\n\n\
+                     Lints: {}\n\
+                     Exceptions: tidy.allow at the workspace root \
+                     (`<lint> <path> -- <substring> -- <reason>`)",
+                    usj_tidy::LINT_NAMES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("usj-tidy: unknown argument {other:?} (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root.or_else(find_root) else {
+        eprintln!("usj-tidy: cannot find a workspace root (Cargo.toml + crates/) above the cwd");
+        return ExitCode::from(2);
+    };
+
+    let diags = usj_tidy::run_tidy(&root);
+    if diags.is_empty() {
+        println!(
+            "tidy: workspace clean ({} lints)",
+            usj_tidy::LINT_NAMES.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    eprintln!("tidy: {} violation(s)", diags.len());
+    ExitCode::FAILURE
+}

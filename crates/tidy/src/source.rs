@@ -1,0 +1,155 @@
+//! Line-classified view of one Rust source file.
+//!
+//! The lints are textual (rustc-`tidy` style, no syn/proc-macro), so the
+//! classifier only needs to answer two questions per line: *is this line
+//! comment-only* (doc or plain — lints never fire on prose) and *is it
+//! inside a `#[cfg(test)]` module* (test code may unwrap freely). Both are
+//! answered with a single forward pass that tracks brace depth from the
+//! `#[cfg(test)]` attribute to the closing brace of the module it gates.
+
+/// One classified source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The raw line text (no trailing newline).
+    pub text: String,
+    /// `true` when the trimmed line is a `//`/`///`/`//!` comment (or
+    /// blank) — prose, never lintable code.
+    pub comment_only: bool,
+    /// `true` when the line sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// The code portion of the line: everything before a trailing `//`
+    /// comment. This is intentionally naive about `//` inside string
+    /// literals; project source keeps URLs and slashes out of hot-path
+    /// string literals, and a false *skip* only makes the lint lenient on
+    /// that line, never wrong on others.
+    pub fn code(&self) -> &str {
+        if self.comment_only {
+            return "";
+        }
+        match self.text.find("//") {
+            Some(i) => &self.text[..i],
+            None => &self.text,
+        }
+    }
+}
+
+/// A source file split into classified [`Line`]s.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// All lines, in order.
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Classifies `text` (the entire file) into lines.
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        // Depth tracking for `#[cfg(test)]`: once the attribute is seen,
+        // the next item that opens a brace starts a gated region that ends
+        // when the depth returns to its pre-item value.
+        let mut depth: i64 = 0;
+        let mut pending_cfg_test = false;
+        let mut test_exit_depth: Option<i64> = None;
+
+        for (i, raw) in text.lines().enumerate() {
+            let trimmed = raw.trim_start();
+            let comment_only =
+                trimmed.is_empty() || trimmed.starts_with("//") || trimmed.starts_with("#!");
+            let in_test = test_exit_depth.is_some();
+
+            if !comment_only {
+                if trimmed.starts_with("#[cfg(test)]") {
+                    pending_cfg_test = true;
+                } else if pending_cfg_test && !trimmed.starts_with("#[") {
+                    // The first non-attribute item after #[cfg(test)] is
+                    // the gated one; it becomes a test region when it
+                    // opens a brace on this line (mod/fn/impl header).
+                    if raw.contains('{') && test_exit_depth.is_none() {
+                        test_exit_depth = Some(depth);
+                    }
+                    pending_cfg_test = false;
+                }
+                for ch in raw.chars() {
+                    match ch {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if let Some(exit) = test_exit_depth {
+                    if depth <= exit {
+                        test_exit_depth = None;
+                    }
+                }
+            }
+
+            lines.push(Line {
+                number: i + 1,
+                text: raw.to_string(),
+                comment_only,
+                in_test,
+            });
+        }
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_comments_and_test_modules() {
+        let text = "\
+use std::fmt; // trailing
+/// doc comment with .unwrap() inside
+fn hot() {
+    let x = compute();
+}
+#[cfg(test)]
+mod tests {
+    fn helper() {
+        value.unwrap();
+    }
+}
+fn after() {}
+";
+        let f = SourceFile::parse("x.rs", text);
+        assert!(!f.lines[0].comment_only);
+        assert_eq!(f.lines[0].code(), "use std::fmt; ");
+        assert!(f.lines[1].comment_only);
+        assert_eq!(f.lines[1].code(), "");
+        assert!(!f.lines[3].in_test);
+        // Lines inside mod tests are gated; the attribute line itself is
+        // not (nothing lintable sits on it).
+        assert!(f.lines[8].in_test, "{:?}", f.lines[8]);
+        assert!(f.lines[8].text.contains("unwrap"));
+        // After the module closes, classification resets.
+        assert!(!f.lines[11].in_test, "{:?}", f.lines[11]);
+    }
+
+    #[test]
+    fn cfg_test_with_intervening_attributes() {
+        let text = "\
+#[cfg(test)]
+#[allow(dead_code)]
+mod tests {
+    fn f() { g(); }
+}
+fn h() {}
+";
+        let f = SourceFile::parse("x.rs", text);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+}

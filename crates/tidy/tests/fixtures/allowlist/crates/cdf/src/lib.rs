@@ -1,0 +1,3 @@
+pub fn kernel(v: Option<u32>) -> u32 {
+    v.expect("bounds are non-empty by construction")
+}

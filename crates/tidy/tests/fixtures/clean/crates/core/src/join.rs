@@ -1,0 +1,4 @@
+//! Fixture: a clean hot-path file.
+pub fn probe(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}

@@ -1,0 +1,5 @@
+pub fn record() {
+    emit(Counter::Alpha);
+    emit(Counter::Gamma);
+    measure(Gauge::Bytes);
+}

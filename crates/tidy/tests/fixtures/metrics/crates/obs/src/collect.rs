@@ -1,0 +1,2 @@
+// Golden schema test fixture: only "alpha_total" and "bytes" are pinned.
+pub const GOLDEN: &str = r#"{"alpha_total": 0, "bytes": 0}"#;

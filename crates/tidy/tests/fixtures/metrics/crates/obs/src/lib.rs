@@ -1,0 +1,24 @@
+pub enum Counter {
+    Alpha,
+    Beta,
+}
+impl Counter {
+    pub const ALL: [Counter; 1] = [Counter::Alpha];
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::Alpha => "alpha_total",
+            Counter::Beta => "beta_total",
+        }
+    }
+}
+pub enum Gauge {
+    Bytes,
+}
+impl Gauge {
+    pub const ALL: [Gauge; 1] = [Gauge::Bytes];
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::Bytes => "bytes",
+        }
+    }
+}

@@ -1,0 +1,12 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+pub fn claims(next: &AtomicUsize) -> usize {
+    // ordering: the cursor is the only shared state; Relaxed suffices
+    // because batch boundaries depend only on the value itself.
+    let a = next.load(Ordering::Relaxed);
+    let _ = match 1.cmp(&2) {
+        std::cmp::Ordering::Less => 0,
+        _ => 1,
+    };
+    let b = next.load(Ordering::Acquire);
+    a + b
+}

@@ -1,0 +1,13 @@
+//! Fixture: hot-path file with panicking combinators.
+/// Doc example with value.unwrap() — must not flag (comment).
+pub fn hot(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("reason");
+    a + b
+}
+#[cfg(test)]
+mod tests {
+    fn in_test(v: Option<u32>) {
+        v.unwrap();
+    }
+}

@@ -1,0 +1,5 @@
+pub fn kernel(x: f64) {
+    if x < 0.0 {
+        panic!("negative");
+    }
+}

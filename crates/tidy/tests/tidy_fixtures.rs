@@ -1,0 +1,120 @@
+//! Fixture-tree tests: each tree under `tests/fixtures/` seeds known
+//! violations; we assert the exact `(file, line, lint)` diagnostics so a
+//! lint that drifts (wrong line, wrong file, extra noise) fails loudly.
+
+use std::path::PathBuf;
+
+use usj_tidy::run_tidy;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Runs tidy on a fixture tree and returns `(file, line, lint)` triples.
+fn triples(name: &str) -> Vec<(String, usize, String)> {
+    run_tidy(&fixture(name))
+        .into_iter()
+        .map(|d| (d.file, d.line, d.lint))
+        .collect()
+}
+
+fn t(file: &str, line: usize, lint: &str) -> (String, usize, String) {
+    (file.to_string(), line, lint.to_string())
+}
+
+#[test]
+fn unwrap_fixture_flags_hot_path_panics_only() {
+    assert_eq!(
+        triples("unwrap"),
+        vec![
+            // Doc-comment unwrap (line 2) and #[cfg(test)] unwrap (line 11)
+            // must NOT appear; crates/verify is not hot-path.
+            t("crates/core/src/parallel.rs", 4, "no-unwrap"),
+            t("crates/core/src/parallel.rs", 5, "no-unwrap"),
+            t("crates/qgram/src/alpha.rs", 3, "no-unwrap"),
+        ]
+    );
+}
+
+#[test]
+fn ordering_fixture_flags_unjustified_atomics_only() {
+    assert_eq!(
+        triples("ordering"),
+        // The Relaxed load is justified by a comment within reach; the
+        // std::cmp::Ordering match is exempt; only the Acquire load fires.
+        vec![t("crates/core/src/parallel.rs", 10, "ordering-comment")]
+    );
+}
+
+#[test]
+fn metrics_fixture_flags_each_registration_gap() {
+    assert_eq!(
+        triples("metrics"),
+        vec![
+            // Counter::Gamma recorded but never declared.
+            t("crates/core/src/join.rs", 3, "metrics-registered"),
+            // Counter::Beta declared (line 3) but missing from ALL.
+            t("crates/obs/src/lib.rs", 3, "metrics-registered"),
+            // Beta's name arm (line 10) not pinned by the golden test.
+            t("crates/obs/src/lib.rs", 10, "metrics-registered"),
+        ]
+    );
+}
+
+#[test]
+fn deps_fixture_flags_unvetted_external_deps() {
+    assert_eq!(
+        triples("deps"),
+        vec![
+            // rand / serde are allowed; path deps are internal.
+            t("Cargo.toml", 6, "dep-allowlist"),
+            t("crates/extra/Cargo.toml", 9, "dep-allowlist"),
+        ]
+    );
+}
+
+#[test]
+fn docdrift_fixture_flags_inventory_and_changelog() {
+    assert_eq!(
+        triples("docdrift"),
+        vec![
+            // `- PR 3:` after `- PR 1:` breaks consecutive numbering, and
+            // `- PR four:` does not parse at all.
+            t("CHANGES.md", 3, "doc-drift"),
+            t("CHANGES.md", 4, "doc-drift"),
+            // crates/ghost exists on disk but not in DESIGN.md.
+            t("DESIGN.md", 1, "doc-drift"),
+        ]
+    );
+}
+
+#[test]
+fn allowlist_fixture_suppresses_matches_and_reports_stale_entries() {
+    assert_eq!(
+        triples("allowlist"),
+        vec![
+            // The cdf expect is suppressed by entry 2; entry 3 matches
+            // nothing and entry 4 is malformed.
+            t("tidy.allow", 3, "unused-allow"),
+            t("tidy.allow", 4, "allow-syntax"),
+        ]
+    );
+}
+
+#[test]
+fn clean_fixture_produces_no_diagnostics() {
+    let diags = run_tidy(&fixture("clean"));
+    assert!(diags.is_empty(), "expected clean, got: {diags:?}");
+}
+
+#[test]
+fn diagnostics_render_as_file_line_lint_message() {
+    let diags = run_tidy(&fixture("unwrap"));
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("crates/core/src/parallel.rs:4: no-unwrap: "),
+        "unexpected rendering: {rendered}"
+    );
+}

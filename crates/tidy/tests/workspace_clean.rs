@@ -1,0 +1,38 @@
+//! The real workspace must pass its own tidy — this is the acceptance
+//! gate: `cargo test -p usj-tidy` fails if anyone introduces a hot-path
+//! unwrap, an unjustified atomic ordering, an unregistered metric, an
+//! unvetted dependency, or lets the docs drift.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // Allow an explicit override (used when the crate is tested from a
+    // staging copy, e.g. scripts/offline-check.sh); default to two levels
+    // above this crate (crates/tidy -> repo root).
+    match std::env::var_os("USJ_TIDY_ROOT") {
+        Some(root) => PathBuf::from(root),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("crates/tidy has a workspace root two levels up"),
+    }
+}
+
+#[test]
+fn real_workspace_is_tidy() {
+    let root = workspace_root();
+    assert!(
+        root.join("crates").is_dir(),
+        "workspace root {root:?} has no crates/ directory"
+    );
+    let diags = usj_tidy::run_tidy(&root);
+    assert!(
+        diags.is_empty(),
+        "tidy violations in the real workspace:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

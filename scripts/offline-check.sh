@@ -12,12 +12,15 @@
 #
 # This is a subset check, not a replacement for scripts/verify.sh: it
 # covers usj-model/editdist/qgram/freq/cdf/verify/core/eed/obs (all the
-# algorithmic code), but not the CLI, datagen, or bench binaries.
+# algorithmic code) plus usj-tidy's in-src unit tests, but not the CLI,
+# datagen, or bench binaries. (usj-tidy's fixture/workspace integration
+# tests live under tests/, which this staging does not copy — run them
+# via `cargo test -p usj-tidy` on a networked machine.)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CRATES=(model editdist qgram freq cdf verify core eed obs)
+CRATES=(model editdist qgram freq cdf verify core eed obs tidy)
 
 rm -rf .buildcheck
 mkdir -p .buildcheck/crates

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Dynamic-analysis gate for the probability and concurrency kernels.
+#
+#  * Miri (nightly) interprets the unit tests of the index-arithmetic-heavy
+#    probability kernels — usj-cdf (banded DP over flattened rows),
+#    usj-qgram (equivalent-set construction), usj-editdist (banded /
+#    bit-parallel DPs) — and catches undefined behaviour that no normal
+#    test run can see.
+#  * ThreadSanitizer (nightly, -Zbuild-std) runs the parallel driver's
+#    differential tests and catches data races that the Relaxed-ordering
+#    batch cursor or a future refactor could introduce; the tests also
+#    re-assert byte-identical output under TSan's altered interleavings.
+#
+# Both halves need rustup pieces that may be missing locally (a nightly
+# toolchain, the miri and rust-src components). By default a missing
+# prerequisite SKIPs that half with a clear notice and the script still
+# exits 0, so it is safe to run on any machine; CI sets SANITIZE_STRICT=1
+# to make missing prerequisites fatal there.
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+STRICT="${SANITIZE_STRICT:-0}"
+FAILED=0
+SKIPPED=0
+
+note() { printf '==> %s\n' "$*"; }
+
+skip_or_die() {
+    if [ "$STRICT" = "1" ]; then
+        note "FATAL (SANITIZE_STRICT=1): $*"
+        exit 1
+    fi
+    note "SKIP: $*"
+    SKIPPED=1
+}
+
+have_nightly() {
+    rustup toolchain list 2>/dev/null | grep -q '^nightly' && return 0
+    note "installing nightly toolchain (minimal profile)"
+    rustup toolchain install nightly --profile minimal >/dev/null 2>&1
+}
+
+have_component() {
+    rustup component list --toolchain nightly --installed 2>/dev/null | grep -q "^$1" \
+        && return 0
+    note "installing nightly component $1"
+    rustup component add --toolchain nightly "$1" >/dev/null 2>&1
+}
+
+# ---- Miri over the probability kernels ----------------------------------
+run_miri() {
+    if ! have_nightly; then
+        skip_or_die "no nightly toolchain and cannot install one (Miri not run)"
+        return
+    fi
+    if ! have_component miri; then
+        skip_or_die "miri component unavailable for nightly (Miri not run)"
+        return
+    fi
+    note "Miri: usj-cdf / usj-qgram / usj-editdist unit tests"
+    if ! cargo +nightly miri test -p usj-cdf -p usj-qgram -p usj-editdist --lib; then
+        note "FAIL: Miri found a problem"
+        FAILED=1
+    fi
+}
+
+# ---- ThreadSanitizer over the parallel driver ---------------------------
+run_tsan() {
+    local host
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    case "$host" in
+        *-linux-*) ;;
+        *)
+            skip_or_die "ThreadSanitizer needs a Linux target (host: $host)"
+            return
+            ;;
+    esac
+    if ! have_nightly; then
+        skip_or_die "no nightly toolchain and cannot install one (TSan not run)"
+        return
+    fi
+    if ! have_component rust-src; then
+        skip_or_die "rust-src component unavailable for nightly (TSan not run)"
+        return
+    fi
+    note "TSan: parallel driver differential tests (-Zsanitizer=thread)"
+    # -Zbuild-std rebuilds std with TSan instrumentation so std::thread's
+    # own synchronisation is visible to the race detector.
+    if ! RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$host" \
+        -p usj-core --test differential -- --test-threads 1; then
+        note "FAIL: ThreadSanitizer found a problem"
+        FAILED=1
+    fi
+}
+
+run_miri
+run_tsan
+
+if [ "$FAILED" = "1" ]; then
+    note "sanitize: FAILED"
+    exit 1
+fi
+if [ "$SKIPPED" = "1" ]; then
+    note "sanitize: passed (with skips — set SANITIZE_STRICT=1 to forbid)"
+else
+    note "sanitize: all checks passed"
+fi

@@ -13,5 +13,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+# Project-policy lints (hot-path panic freedom, ordering justifications,
+# metric registration, dep allowlist, doc drift) — see crates/tidy.
+cargo run -q -p usj-tidy
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
