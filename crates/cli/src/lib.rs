@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use usj_core::obs::{CollectingRecorder, TraceRecorder};
-use usj_core::{JoinConfig, Pipeline, SimilarityJoin};
+use usj_core::{FaultReport, FtOptions, JoinConfig, JoinError, Pipeline, SimilarityJoin};
 use usj_datagen::{Dataset, DatasetJson, DatasetKind, DatasetSpec};
 use usj_model::UncertainString;
 
@@ -106,7 +106,7 @@ pub const USAGE: &str = "usj — similarity joins for uncertain strings
 
 USAGE:
   usj generate --kind <dblp|protein> [--n N] [--theta F] [--seed S] --out FILE
-  usj join     --input FILE [--k K] [--tau F] [--q Q] [--pipeline qfct|qct|qft|fct] [--exact true] [--threads N] [--shard-band B] [--batch-min N] [--batch-max N] [--out FILE] [--stats-json FILE] [--trace]
+  usj join     --input FILE [--k K] [--tau F] [--q Q] [--pipeline qfct|qct|qft|fct] [--exact true] [--threads N] [--shard-band B] [--batch-min N] [--batch-max N] [--deadline-secs S] [--checkpoint DIR] [--resume] [--out FILE] [--stats-json FILE] [--trace]
   usj search   --input FILE --probe STRING [--k K] [--tau F]
   usj stats    --input FILE
 ";
@@ -155,7 +155,8 @@ fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
     let out = flags.require("out")?;
     let ds = DatasetSpec::new(kind, n, seed).with_theta(theta).generate();
     let json = DatasetJson::from(&ds).to_json();
-    std::fs::write(out, json).map_err(|e| err(format!("cannot write {out}: {e}")))?;
+    usj_core::atomic_write(std::path::Path::new(out), &json, "cli.write")
+        .map_err(|e| err(format!("cannot write {out}: {e}")))?;
     Ok(format!(
         "wrote {n} {kind:?} strings (avg len {:.1}, avg theta {:.2}) to {out}\n",
         ds.avg_len(),
@@ -203,6 +204,9 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
         "shard-band",
         "batch-min",
         "batch-max",
+        "deadline-secs",
+        "checkpoint",
+        "resume",
         "out",
         "stats-json",
         "trace",
@@ -227,12 +231,50 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
         .with_batch_range(batch_min, batch_max);
     let threads: usize = flags.get_parse("threads", 1)?;
     let trace: bool = flags.get_parse("trace", false)?;
+    // Fault-tolerance knobs: a wall-clock deadline, a checkpoint directory
+    // committed after every completed wave, and resumption from one.
+    let deadline_secs: f64 = flags.get_parse("deadline-secs", 0.0)?;
+    if !deadline_secs.is_finite() || deadline_secs < 0.0 {
+        return Err(err(format!(
+            "--deadline-secs must be a finite non-negative number, got {deadline_secs}"
+        )));
+    }
+    if deadline_secs > 0.0 {
+        config = config.with_deadline(Some(std::time::Duration::from_secs_f64(deadline_secs)));
+    }
+    let resume: bool = flags.get_parse("resume", false)?;
+    let checkpoint_dir = flags.get("checkpoint").map(std::path::PathBuf::from);
+    if resume && checkpoint_dir.is_none() {
+        return Err(err("--resume requires --checkpoint DIR"));
+    }
+    let ft = FtOptions {
+        checkpoint_dir,
+        resume,
+    };
+    let ft_engaged = ft.checkpoint_dir.is_some() || ft.resume || config.deadline.is_some();
     let stats_json = flags.get("stats-json");
-    let result = if stats_json.is_none() && !trace {
-        if threads == 1 {
-            SimilarityJoin::new(config, ds.alphabet.size()).self_join(&ds.strings)
+    let (result, report) = if stats_json.is_none() && !trace {
+        if ft_engaged {
+            let (result, report, _recorder) = usj_core::par_self_join_ft(
+                config,
+                ds.alphabet.size(),
+                &ds.strings,
+                threads,
+                &ft,
+                || usj_core::obs::NoopRecorder,
+            )
+            .map_err(report_join_error)?;
+            (result, Some(report))
+        } else if threads == 1 {
+            (
+                SimilarityJoin::new(config, ds.alphabet.size()).self_join(&ds.strings),
+                None,
+            )
         } else {
-            usj_core::par_self_join(config, ds.alphabet.size(), &ds.strings, threads)
+            (
+                usj_core::par_self_join(config, ds.alphabet.size(), &ds.strings, threads),
+                None,
+            )
         }
     } else {
         // One statically-known recorder shape for every instrumented run:
@@ -248,19 +290,37 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
             };
             (CollectingRecorder::new(), tracer)
         };
-        let (result, recorder) = if threads == 1 {
+        let (result, report, recorder) = if ft_engaged {
+            let (result, report, recorder) = usj_core::par_self_join_ft(
+                config,
+                ds.alphabet.size(),
+                &ds.strings,
+                threads,
+                &ft,
+                make,
+            )
+            .map_err(report_join_error)?;
+            (result, Some(report), recorder)
+        } else if threads == 1 {
             let mut recorder = make();
             let result = SimilarityJoin::new(config, ds.alphabet.size())
                 .self_join_recorded(&ds.strings, &mut recorder);
-            (result, recorder)
+            (result, None, recorder)
         } else {
-            usj_core::par_self_join_recorded(config, ds.alphabet.size(), &ds.strings, threads, make)
+            let (result, recorder) = usj_core::par_self_join_recorded(
+                config,
+                ds.alphabet.size(),
+                &ds.strings,
+                threads,
+                make,
+            );
+            (result, None, recorder)
         };
         if let Some(path) = stats_json {
-            std::fs::write(path, recorder.0.to_json())
+            usj_core::atomic_write(std::path::Path::new(path), &recorder.0.to_json(), "cli.write")
                 .map_err(|e| err(format!("cannot write {path}: {e}")))?;
         }
-        result
+        (result, report)
     };
     let mut out = String::new();
     for pair in &result.pairs {
@@ -275,6 +335,9 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
         );
     }
     let _ = writeln!(out, "# {}", result.stats.summary());
+    if let Some(report) = &report {
+        append_fault_report(&mut out, report);
+    }
     if let Some(path) = flags.get("out") {
         let records: Vec<serde_json::Value> = result
             .pairs
@@ -282,9 +345,81 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
             .map(|p| serde_json::json!({"left": p.left, "right": p.right, "prob": p.prob}))
             .collect();
         let text = serde_json::to_string_pretty(&records).expect("pairs serialise");
-        std::fs::write(path, text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        usj_core::atomic_write(std::path::Path::new(path), &text, "cli.write")
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
     }
     Ok(out)
+}
+
+/// Renders the fault-tolerant driver's [`FaultReport`] as `#`-comment
+/// lines after the summary, so recovered faults are visible without
+/// disturbing the tab-separated pair records.
+fn append_fault_report(out: &mut String, report: &FaultReport) {
+    if !report.quarantined.is_empty() {
+        let ids: Vec<String> = report.quarantined.iter().map(u32::to_string).collect();
+        let _ = writeln!(
+            out,
+            "# WARNING: results incomplete; quarantined probes: {}",
+            ids.join(", ")
+        );
+    }
+    if report.waves_resumed > 0
+        || report.batches_retried > 0
+        || report.faults_injected > 0
+        || !report.quarantined.is_empty()
+    {
+        let _ = writeln!(
+            out,
+            "# fault-tolerance: waves_resumed={} batches_retried={} probes_quarantined={} faults_injected={}",
+            report.waves_resumed,
+            report.batches_retried,
+            report.quarantined.len(),
+            report.faults_injected
+        );
+    }
+}
+
+/// Turns a [`JoinError`] into the structured multi-line report the CLI
+/// prints on stderr (via `error: {message}`): the first line says what
+/// happened, the indented lines carry machine-checkable fields, and a
+/// resume hint is included whenever a checkpoint survived.
+fn report_join_error(e: JoinError) -> CliError {
+    let mut msg = format!("join failed: {e}\n");
+    let (kind, wave, completed, checkpoint) = match &e {
+        JoinError::Deadline {
+            completed_waves,
+            checkpoint,
+            ..
+        } => ("deadline", None, Some(*completed_waves), checkpoint.clone()),
+        JoinError::Faulted {
+            wave,
+            completed_waves,
+            checkpoint,
+            ..
+        } => ("fault", Some(*wave), Some(*completed_waves), checkpoint.clone()),
+        JoinError::Checkpoint(_) => ("checkpoint", None, None, None),
+    };
+    let _ = writeln!(msg, "  kind: {kind}");
+    if let Some(w) = wave {
+        let _ = writeln!(msg, "  wave: {w}");
+    }
+    if let Some(c) = completed {
+        let _ = writeln!(msg, "  completed_waves: {c}");
+    }
+    match &checkpoint {
+        Some(path) => {
+            let _ = writeln!(msg, "  checkpoint: {}", path.display());
+            let _ = write!(
+                msg,
+                "  hint: re-run with --checkpoint {} --resume to continue",
+                path.parent().unwrap_or(std::path::Path::new(".")).display()
+            );
+        }
+        None => {
+            let _ = write!(msg, "  checkpoint: none");
+        }
+    }
+    CliError(msg)
 }
 
 fn cmd_search(flags: &Flags) -> Result<String, CliError> {
@@ -642,6 +777,90 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.0.contains("cannot write"), "{e:?}");
+    }
+
+    /// `--checkpoint` commits per-wave state; `--resume` replays it. With
+    /// no faults injected the resumed run of an already-complete
+    /// checkpoint must reproduce the uninterrupted output bit-for-bit.
+    #[test]
+    fn checkpoint_and_resume_flags_roundtrip() {
+        let data = tmpfile("ckpt-in.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "50", "--seed", "13", "--out", &data,
+        ]))
+        .unwrap();
+        let dir = tmpfile("ckpt-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pairs = |s: &str| -> Vec<&str> { s.lines().filter(|l| !l.starts_with('#')).collect() };
+
+        let plain = run(&args(&["join", "--input", &data, "--threads", "2"])).unwrap();
+        let ckpt = run(&args(&[
+            "join", "--input", &data, "--threads", "2", "--checkpoint", &dir,
+        ]))
+        .unwrap();
+        assert_eq!(pairs(&plain), pairs(&ckpt));
+        let file = std::path::Path::new(&dir).read_dir().unwrap().count();
+        assert!(file >= 1, "checkpoint directory left empty");
+
+        let resumed = run(&args(&[
+            "join", "--input", &data, "--threads", "2", "--checkpoint", &dir, "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(pairs(&plain), pairs(&resumed));
+        assert!(
+            resumed.contains("# fault-tolerance: waves_resumed="),
+            "{resumed}"
+        );
+
+        // Resuming under a different config must be rejected with the
+        // structured report, not silently merged.
+        let e = run(&args(&[
+            "join", "--input", &data, "--threads", "2", "--tau", "0.2", "--checkpoint", &dir,
+            "--resume",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("kind: checkpoint"), "{e:?}");
+    }
+
+    /// The fault-tolerance flags are validated before any work happens.
+    #[test]
+    fn fault_tolerance_flags_are_validated() {
+        let data = tmpfile("ftflags.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "20", "--seed", "14", "--out", &data,
+        ]))
+        .unwrap();
+        let e = run(&args(&["join", "--input", &data, "--resume"])).unwrap_err();
+        assert!(e.0.contains("--resume requires --checkpoint"), "{e:?}");
+        let e = run(&args(&["join", "--input", &data, "--deadline-secs", "-1"])).unwrap_err();
+        assert!(e.0.contains("--deadline-secs"), "{e:?}");
+        let e = run(&args(&["join", "--input", &data, "--deadline-secs", "soon"])).unwrap_err();
+        assert!(e.0.contains("invalid value for --deadline-secs"), "{e:?}");
+    }
+
+    /// An unmeetable deadline produces the structured report with the
+    /// `deadline` kind and a checkpoint pointer when one was committed.
+    #[test]
+    fn deadline_produces_structured_report() {
+        let data = tmpfile("deadline.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "50", "--seed", "15", "--out", &data,
+        ]))
+        .unwrap();
+        let e = run(&args(&[
+            "join",
+            "--input",
+            &data,
+            "--threads",
+            "2",
+            "--deadline-secs",
+            "0.000000001",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("join failed: deadline exceeded"), "{e:?}");
+        assert!(e.0.contains("kind: deadline"), "{e:?}");
+        assert!(e.0.contains("completed_waves: 0"), "{e:?}");
+        assert!(e.0.contains("checkpoint: none"), "{e:?}");
     }
 
     #[test]

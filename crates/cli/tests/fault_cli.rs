@@ -1,0 +1,234 @@
+//! Process-level fault-injection tests for the `usj` binary.
+//!
+//! Each invocation is its own process, so plans armed through the
+//! `USJ_FAULT_PLAN` environment variable cannot interfere across tests
+//! (unlike in-process arming, which is global). The contract under test:
+//! the CLI *never* prints a raw panic backtrace — every failure is a
+//! structured `error:` report on stderr — and output files are written
+//! atomically, so an injected crash can tear neither `--out` targets nor
+//! checkpoints.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn usj(args: &[&str], plan: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_usj"));
+    cmd.args(args).env_remove("USJ_FAULT_PLAN");
+    if let Some(p) = plan {
+        cmd.env("USJ_FAULT_PLAN", p);
+    }
+    cmd.output().expect("spawn usj binary")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("usj-fault-cli").join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn pairs(out: &Output) -> Vec<String> {
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Shared stderr assertion: whatever went wrong, the report is the
+/// structured one — not the default panic handler's output.
+fn assert_no_backtrace(stderr: &str) {
+    assert!(!stderr.contains("panicked at"), "raw panic leaked:\n{stderr}");
+    assert!(
+        !stderr.contains("stack backtrace"),
+        "backtrace leaked:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("RUST_BACKTRACE"),
+        "backtrace hint leaked:\n{stderr}"
+    );
+}
+
+fn generate(dir: &Path, n: &str, seed: &str) -> String {
+    let data = dir.join("data.json").to_string_lossy().into_owned();
+    let out = usj(
+        &[
+            "generate",
+            "--kind",
+            "dblp",
+            "--n",
+            n,
+            "--seed",
+            seed,
+            "--out",
+            data.as_str(),
+        ],
+        None,
+    );
+    assert!(out.status.success(), "generate failed: {}", stderr_of(&out));
+    data
+}
+
+/// A fatal injected fault mid-join exits nonzero with the structured
+/// report (kind, wave, checkpoint path, resume hint); `--resume` from the
+/// surviving checkpoint then reproduces the uninterrupted output exactly.
+#[test]
+fn fatal_fault_reports_structured_error_and_resume_reproduces_output() {
+    let dir = tmpdir("fatal-resume");
+    let data = generate(&dir, "50", "21");
+    let ckpt = dir.join("ckpt").to_string_lossy().into_owned();
+    std::fs::create_dir_all(&ckpt).unwrap();
+    let join_args = |extra: &[&str]| -> Vec<String> {
+        let mut v: Vec<String> = [
+            "join",
+            "--input",
+            data.as_str(),
+            "--threads",
+            "2",
+            "--shard-band",
+            "1",
+            "--batch-min",
+            "1",
+            "--batch-max",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+    let run = |extra: &[&str], plan: Option<&str>| -> Output {
+        let owned = join_args(extra);
+        let view: Vec<&str> = owned.iter().map(String::as_str).collect();
+        usj(&view, plan)
+    };
+
+    let clean = run(&[], None);
+    assert!(clean.status.success(), "{}", stderr_of(&clean));
+
+    // Kill the second wave's shard eviction: wave 0 has committed a
+    // checkpoint by then, so recovery has something to resume from.
+    let killed = run(
+        &["--checkpoint", ckpt.as_str()],
+        Some("parallel.evict#1=panic"),
+    );
+    assert_eq!(killed.status.code(), Some(2), "{}", stderr_of(&killed));
+    let stderr = stderr_of(&killed);
+    assert_no_backtrace(&stderr);
+    assert!(stderr.contains("error: join failed"), "{stderr}");
+    assert!(stderr.contains("kind: fault"), "{stderr}");
+    assert!(stderr.contains("wave: 1"), "{stderr}");
+    assert!(stderr.contains("completed_waves: 1"), "{stderr}");
+    assert!(stderr.contains("checkpoint: "), "{stderr}");
+    assert!(stderr.contains("--resume"), "{stderr}");
+
+    let resumed = run(&["--checkpoint", ckpt.as_str(), "--resume"], None);
+    assert!(resumed.status.success(), "{}", stderr_of(&resumed));
+    assert_eq!(
+        pairs(&clean),
+        pairs(&resumed),
+        "resume diverged from clean run"
+    );
+    assert!(
+        String::from_utf8_lossy(&resumed.stdout).contains("# fault-tolerance: waves_resumed="),
+        "resume not reported"
+    );
+}
+
+/// A batch-level panic is recovered in-process: exit 0, bit-identical
+/// pairs, and the recovery surfaces only as a `#` comment.
+#[test]
+fn recovered_batch_fault_leaves_output_bit_identical() {
+    let dir = tmpdir("recovered");
+    let data = generate(&dir, "40", "22");
+    let ckpt = dir.join("ckpt").to_string_lossy().into_owned();
+    std::fs::create_dir_all(&ckpt).unwrap();
+    let args = [
+        "join",
+        "--input",
+        data.as_str(),
+        "--threads",
+        "2",
+        "--shard-band",
+        "1",
+        "--batch-min",
+        "1",
+        "--batch-max",
+        "2",
+    ];
+    let clean = usj(&args, None);
+    assert!(clean.status.success(), "{}", stderr_of(&clean));
+    // The checkpoint flag engages the fault-tolerant driver, whose
+    // recovery counters surface in the `# fault-tolerance:` comment.
+    let mut ft_args: Vec<&str> = args.to_vec();
+    ft_args.extend(["--checkpoint", ckpt.as_str()]);
+    let faulted = usj(&ft_args, Some("parallel.batch#0=panic"));
+    assert!(faulted.status.success(), "{}", stderr_of(&faulted));
+    assert_no_backtrace(&stderr_of(&faulted));
+    assert_eq!(pairs(&clean), pairs(&faulted));
+    assert!(
+        String::from_utf8_lossy(&faulted.stdout).contains("batches_retried=1"),
+        "retry not reported"
+    );
+}
+
+/// A malformed plan is an operator error: exit 2 naming the variable.
+#[test]
+fn malformed_fault_plan_is_rejected() {
+    let out = usj(&["stats", "--input", "/nonexistent"], Some("not a plan"));
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("USJ_FAULT_PLAN"), "{stderr}");
+    assert_no_backtrace(&stderr);
+}
+
+/// An injected write error must not tear the `--out` target: the file is
+/// either absent or complete, and no `.tmp` residue survives.
+#[test]
+fn failed_output_write_leaves_no_torn_file() {
+    let dir = tmpdir("torn");
+    let data = generate(&dir, "30", "23");
+    let target = dir.join("pairs.json");
+    let target_s = target.to_string_lossy().into_owned();
+    let out = usj(
+        &["join", "--input", data.as_str(), "--out", target_s.as_str()],
+        Some("cli.write#0=error:disk full"),
+    );
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("cannot write"), "{stderr}");
+    assert!(stderr.contains("disk full"), "{stderr}");
+    assert_no_backtrace(&stderr);
+    assert!(!target.exists(), "torn output file left behind");
+    let residue: Vec<_> = dir
+        .read_dir()
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .collect();
+    assert!(residue.is_empty(), "tmp residue: {residue:?}");
+}
+
+/// A panic that escapes the library entirely (injected inside the writer)
+/// still comes out as a structured report — exit 3, no backtrace.
+#[test]
+fn escaped_panic_is_reported_without_backtrace() {
+    let dir = tmpdir("escaped");
+    let data = generate(&dir, "30", "24");
+    let target = dir.join("pairs.json").to_string_lossy().into_owned();
+    let out = usj(
+        &["join", "--input", data.as_str(), "--out", target.as_str()],
+        Some("cli.write#0=panic"),
+    );
+    assert_eq!(out.status.code(), Some(3), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("error: internal panic"), "{stderr}");
+    assert!(stderr.contains("injected fault at cli.write#0"), "{stderr}");
+    assert!(stderr.contains("kind: panic"), "{stderr}");
+    assert_no_backtrace(&stderr);
+}

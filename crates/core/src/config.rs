@@ -108,6 +108,12 @@ pub struct JoinConfig {
     /// worker; explicit values trade scheduling overhead (small bands)
     /// against peak resident index memory (large bands).
     pub shard_band: usize,
+    /// Wall-clock budget for the fault-tolerant parallel driver, checked
+    /// at batch granularity. `None` (the default) never times out; when
+    /// exceeded, the run ends with a clean partial-result error (and a
+    /// checkpoint, if checkpointing is on) instead of hanging on a
+    /// pathological probe.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl JoinConfig {
@@ -129,6 +135,7 @@ impl JoinConfig {
             batch_min: 1,
             batch_max: 32,
             shard_band: 0,
+            deadline: None,
         }
     }
 
@@ -181,6 +188,13 @@ impl JoinConfig {
     /// Sets the number of distinct lengths per parallel wave (0 = auto).
     pub fn with_shard_band(mut self, band: usize) -> Self {
         self.shard_band = band;
+        self
+    }
+
+    /// Sets the wall-clock deadline for the fault-tolerant driver
+    /// (`None` = no limit).
+    pub fn with_deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
+        self.deadline = deadline;
         self
     }
 }

@@ -214,6 +214,12 @@ impl SegmentIndex {
         config: &JoinConfig,
         rec: &mut R,
     ) {
+        // Failpoint: a crash while building a shard. A delay action here
+        // is an uncounted sleep (this entry point only sees the recorder
+        // half of a `Recording`, and counting on one side would let stats
+        // and recorder views diverge); panic/error actions abort the build
+        // and surface through the driver's `Faulted` path.
+        usj_fault::fail_point!("index.build");
         self.by_length
             .entry(s.len())
             .or_insert_with(|| LengthIndex::new(s.len(), config))

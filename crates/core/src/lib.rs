@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod collection;
 pub mod config;
 pub mod index;
@@ -42,12 +43,15 @@ pub mod verifier;
 /// recorders without depending on `usj-obs` directly).
 pub use usj_obs as obs;
 
+pub use checkpoint::{atomic_write, Checkpoint, CheckpointError};
 pub use collection::IndexedCollection;
 pub use config::{JoinConfig, Pipeline, VerifierKind};
 pub use index::{EquivCache, SegmentIndex};
 pub use join::{JoinResult, SimilarPair, SimilarityJoin};
 pub use oracle::oracle_self_join;
-pub use parallel::{par_self_join, par_self_join_recorded};
+pub use parallel::{
+    par_self_join, par_self_join_ft, par_self_join_recorded, FaultReport, FtOptions, JoinError,
+};
 pub use record::{PhaseSpan, Recording};
 pub use stats::{JoinStats, PhaseTimings};
 pub use string_level::{string_level_oracle, StringLevelJoin, StringLevelStats};

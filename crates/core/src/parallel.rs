@@ -26,24 +26,154 @@
 //! Because every pair is filtered and verified in the same probe→candidate
 //! direction as the sequential driver, output is **byte-identical** to it
 //! — pairs *and* probabilities — asserted by the differential tests below.
+//!
+//! # Fault tolerance
+//!
+//! [`par_self_join_ft`] wraps the same wave machinery in a recovery
+//! layer. Each work-stealing batch runs against **fresh scratch** (pairs,
+//! stats, recorder) inside `catch_unwind`: a panicking batch discards its
+//! scratch wholesale — no half-counted funnel counters — and is retried
+//! probe-by-probe; a probe that panics even in isolation is
+//! **quarantined** ([`Counter::ProbesQuarantined`]) and the run continues
+//! without its pairs. A wall-clock [`JoinConfig::deadline`] is checked at
+//! batch granularity through a cooperative cancel flag, ending a stuck
+//! run with a clean [`JoinError::Deadline`]. With a checkpoint directory
+//! ([`FtOptions::checkpoint_dir`]), every completed wave atomically
+//! commits a [`Checkpoint`] (pairs, funnel counters, config/input
+//! fingerprint), and [`FtOptions::resume`] replays index construction for
+//! committed waves while skipping their probes — the resumed output is
+//! bit-identical to an uninterrupted run. Failpoints (`parallel.evict`,
+//! `parallel.batch`, `parallel.verify`, `index.build`,
+//! `checkpoint.write`) let tests inject each failure deterministically
+//! (see `usj-fault`).
 
+use std::any::Any;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use usj_cdf::CdfFilter;
+use usj_fault::{shield, InjectedFault};
 use usj_freq::{FreqFilter, FreqProfile};
 use usj_model::UncertainString;
 use usj_obs::{Counter, Gauge, MergeRecorder, NoopRecorder, Phase, Recorder};
 
+use crate::checkpoint::{fnv1a_fold, Checkpoint, CheckpointError, FNV_SEED};
 use crate::config::JoinConfig;
 use crate::index::{EquivCache, SegmentIndex};
 use crate::join::{JoinResult, SimilarPair, SimilarityJoin};
 use crate::record::Recording;
 use crate::stats::JoinStats;
 use crate::verifier::{decide_candidate, ProbeVerifier};
+
+/// Fault-tolerance options for [`par_self_join_ft`].
+#[derive(Debug, Clone, Default)]
+pub struct FtOptions {
+    /// Directory to commit a checkpoint into after every completed wave
+    /// (created if absent). `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the checkpoint in `checkpoint_dir`: committed waves
+    /// replay index construction but skip probing. Requires a matching
+    /// config/input fingerprint and a valid checkpoint file.
+    pub resume: bool,
+}
+
+/// What the fault-tolerance layer observed during a successful run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// Probes whose pairs are missing from the output because they
+    /// panicked even when retried in isolation (ascending ids).
+    pub quarantined: Vec<u32>,
+    /// Waves skipped because a checkpoint already covered them.
+    pub waves_resumed: u64,
+    /// Batches that panicked and were re-run probe-by-probe.
+    pub batches_retried: u64,
+    /// Injected faults the run survived (delays + recovered panics).
+    pub faults_injected: u64,
+    /// The last committed checkpoint, if checkpointing was on.
+    pub checkpoint: Option<PathBuf>,
+}
+
+/// Why a fault-tolerant join ended without a complete result.
+#[derive(Debug)]
+pub enum JoinError {
+    /// The wall-clock deadline expired. Committed waves (and their
+    /// checkpoint, when enabled) survive; resume to finish the rest.
+    Deadline {
+        /// Wall-clock time elapsed when the run gave up.
+        elapsed: Duration,
+        /// Waves fully processed before the deadline hit.
+        completed_waves: usize,
+        /// The last committed checkpoint, if checkpointing was on.
+        checkpoint: Option<PathBuf>,
+    },
+    /// A panic outside the per-batch recovery perimeter (index build,
+    /// shard eviction, or checkpoint serialisation) aborted the run.
+    Faulted {
+        /// The panic message.
+        message: String,
+        /// The wave being processed when the panic struck.
+        wave: usize,
+        /// Waves fully committed before the fault.
+        completed_waves: usize,
+        /// The last committed checkpoint, if checkpointing was on.
+        checkpoint: Option<PathBuf>,
+    },
+    /// Checkpointing or resuming failed (missing/corrupt file, fingerprint
+    /// mismatch, or an I/O error writing the checkpoint).
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Deadline {
+                elapsed,
+                completed_waves,
+                checkpoint,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded after {elapsed:.2?}; {completed_waves} wave(s) completed"
+                )?;
+                if let Some(path) = checkpoint {
+                    write!(f, "; checkpoint at {}", path.display())?;
+                }
+                Ok(())
+            }
+            JoinError::Faulted {
+                message,
+                wave,
+                completed_waves,
+                checkpoint,
+            } => {
+                write!(
+                    f,
+                    "join faulted in wave {wave} ({completed_waves} committed): {message}"
+                )?;
+                if let Some(path) = checkpoint {
+                    write!(f, "; checkpoint at {}", path.display())?;
+                }
+                Ok(())
+            }
+            JoinError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JoinError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Runs the self-join with `threads` worker threads (0 = one per
 /// available core). Returns exactly the pairs of the sequential driver.
@@ -57,11 +187,18 @@ pub fn par_self_join(
 }
 
 /// [`par_self_join`] with per-worker instrumentation. `make_recorder`
-/// builds one recorder per worker per wave, so the hot probe loop stays
-/// lock-free — no shared sink, no atomics. After each wave's scope joins,
-/// the worker recorders are folded into one via [`MergeRecorder::absorb`]
-/// and returned next to the result; driver-level events (shard builds,
-/// residency gauges, wall-clock total) land on the merged recorder.
+/// builds one recorder per worker per wave (plus one per batch of
+/// scratch), so the hot probe loop stays lock-free — no shared sink, no
+/// atomics. After each wave's scope joins, the worker recorders are
+/// folded into one via [`MergeRecorder::absorb`] and returned next to the
+/// result; driver-level events (shard builds, residency gauges,
+/// wall-clock total) land on the merged recorder.
+///
+/// This classic API has no error channel: it never checkpoints, ignores
+/// any configured deadline, and benefits from batch-level panic recovery
+/// — the only error the fault-tolerant core can still surface is an
+/// unrecovered driver-level panic, which is re-raised as the panic it
+/// was.
 pub fn par_self_join_recorded<R, F>(
     config: JoinConfig,
     sigma: usize,
@@ -69,6 +206,49 @@ pub fn par_self_join_recorded<R, F>(
     threads: usize,
     make_recorder: F,
 ) -> (JoinResult, R)
+where
+    R: MergeRecorder + Send,
+    F: Fn() -> R + Sync,
+{
+    let mut config = config;
+    config.deadline = None;
+    match par_self_join_ft(
+        config,
+        sigma,
+        strings,
+        threads,
+        &FtOptions::default(),
+        make_recorder,
+    ) {
+        Ok((result, _report, recorder)) => (result, recorder),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Shared read-only state a wave's probes run against.
+struct WaveCtx<'a> {
+    strings: &'a [UncertainString],
+    config: &'a JoinConfig,
+    index: &'a SegmentIndex,
+    visited: &'a BTreeMap<usize, Vec<u32>>,
+    profiles: &'a [Option<FreqProfile>],
+    freq_filter: &'a FreqFilter,
+    cdf_filter: &'a CdfFilter,
+}
+
+/// The fault-tolerant self-join (see the module docs' *Fault tolerance*
+/// section). On success returns the result (bit-identical to the plain
+/// driver whenever nothing was quarantined), the [`FaultReport`], and the
+/// merged recorder; on deadline/fault/checkpoint failure returns a
+/// structured [`JoinError`] that names what survives.
+pub fn par_self_join_ft<R, F>(
+    config: JoinConfig,
+    sigma: usize,
+    strings: &[UncertainString],
+    threads: usize,
+    opts: &FtOptions,
+    make_recorder: F,
+) -> Result<(JoinResult, FaultReport, R), JoinError>
 where
     R: MergeRecorder + Send,
     F: Fn() -> R + Sync,
@@ -81,9 +261,17 @@ where
     // Fast path: an empty or single-string collection has no pairs to
     // find, and one worker is just the sequential driver with extra
     // steps — run it directly, spawning no threads and building no waves.
-    if strings.len() <= 1 || threads <= 1 {
+    // Only when no fault-tolerance feature is engaged: deadlines and
+    // checkpoints always take the wave machinery.
+    let plain = opts.checkpoint_dir.is_none() && !opts.resume && config.deadline.is_none();
+    if plain && (strings.len() <= 1 || threads <= 1) {
         let result = SimilarityJoin::new(config, sigma).self_join_recorded(strings, &mut merged);
-        return (result, merged);
+        return Ok((result, FaultReport::default(), merged));
+    }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return Err(JoinError::Checkpoint(CheckpointError::Io(
+            "resume requires a checkpoint directory".to_string(),
+        )));
     }
 
     let batch_min = config.batch_min.max(1);
@@ -128,6 +316,8 @@ where
         g = end;
     }
 
+    let run_fp = run_fingerprint(&config, sigma, strings, &order, &groups, &waves);
+
     let freq_filter = FreqFilter::new(config.k, config.tau, sigma);
     let cdf_filter = CdfFilter::new(config.k, config.tau);
 
@@ -136,21 +326,72 @@ where
         ..Default::default()
     };
     let mut pairs: Vec<SimilarPair> = Vec::new();
+    let mut quarantined: Vec<u32> = Vec::new();
     // Resident shard state, rebuilt band by band.
     let mut index = SegmentIndex::new();
     let mut visited: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
     let mut profiles: Vec<Option<FreqProfile>> = vec![None; strings.len()];
 
-    for wave in waves {
-        let wave_groups = &groups[wave];
+    // ---- Resume: adopt the committed prefix ---------------------------
+    let mut resumed_waves = 0usize;
+    let mut last_checkpoint: Option<PathBuf> = None;
+    if opts.resume {
+        if let Some(dir) = &opts.checkpoint_dir {
+            let ck = Checkpoint::load(dir).map_err(JoinError::Checkpoint)?;
+            if ck.fingerprint != run_fp {
+                return Err(JoinError::Checkpoint(CheckpointError::FingerprintMismatch {
+                    checkpoint: ck.fingerprint,
+                    run: run_fp,
+                }));
+            }
+            if ck.completed_waves > waves.len() {
+                return Err(JoinError::Checkpoint(CheckpointError::Corrupt(format!(
+                    "checkpoint claims {} completed wave(s) but the plan has {}",
+                    ck.completed_waves,
+                    waves.len()
+                ))));
+            }
+            resumed_waves = ck.completed_waves;
+            stats.absorb(&ck.funnel);
+            pairs = ck.pairs;
+            last_checkpoint = Some(Checkpoint::path_in(dir));
+            let mut rec = Recording::new(&mut stats, &mut merged);
+            rec.count(Counter::WavesResumed, resumed_waves as u64);
+        }
+    }
+
+    let mut completed_waves = resumed_waves;
+    for (wave_idx, wave) in waves.iter().enumerate() {
+        let wave_groups = &groups[wave.clone()];
         let wave_lo = wave_groups[0].0;
         let reach_lo = wave_lo.saturating_sub(config.k);
         let probe_range = wave_groups[0].1.start..wave_groups[wave_groups.len() - 1].1.end;
 
+        // Deadline check between waves (workers re-check per batch below).
+        if let Some(deadline) = config.deadline {
+            if total_start.elapsed() > deadline {
+                return Err(JoinError::Deadline {
+                    elapsed: total_start.elapsed(),
+                    completed_waves,
+                    checkpoint: last_checkpoint,
+                });
+            }
+        }
+
         // ---- Evict shards no remaining probe can reach, then build ----
-        {
+        // Runs for resumed waves too: later probes need their index,
+        // profiles, and visited sets resident. A panic in here (including
+        // the `parallel.evict` / `index.build` failpoints) cannot be
+        // isolated to one probe, so it aborts the run as a clean
+        // `Faulted` error pointing at the last committed checkpoint.
+        let build = catching(|| {
             let mut rec = Recording::new(&mut stats, &mut merged);
             let index_span = rec.begin(Phase::Index);
+            // Failpoint: a crash in shard eviction; a delay that fires is
+            // a survived fault.
+            if usj_fault::fail_point!("parallel.evict") {
+                rec.count(Counter::FaultsInjected, 1);
+            }
             if config.pipeline.uses_qgram() {
                 index.evict_below(reach_lo);
             }
@@ -180,15 +421,39 @@ where
             rec.gauge(Gauge::IndexBytes, index.estimated_bytes() as u64);
             rec.gauge(Gauge::PeakIndexBytes, index.peak_bytes() as u64);
             rec.gauge(Gauge::PeakResidentBytes, index.peak_bytes() as u64);
+        });
+        if let Err(message) = build {
+            return Err(JoinError::Faulted {
+                message,
+                wave: wave_idx,
+                completed_waves,
+                checkpoint: last_checkpoint,
+            });
+        }
+
+        // A committed wave's probes are already in `pairs` — only its
+        // index state (rebuilt above) was needed.
+        if wave_idx < resumed_waves {
+            continue;
         }
 
         // ---- Probe the wave with adaptive work-stealing batches -------
         let wave_order = &order[probe_range];
         let wave_len = wave_order.len();
-        let wave_workers = threads.min(wave_len);
+        let wave_workers = threads.min(wave_len).max(1);
         let next = AtomicUsize::new(0);
-        let results: Mutex<(Vec<SimilarPair>, JoinStats)> =
-            Mutex::new((Vec::new(), JoinStats::default()));
+        let cancel = AtomicBool::new(false);
+        let ctx = WaveCtx {
+            strings,
+            config: &config,
+            index: &index,
+            visited: &visited,
+            profiles: &profiles,
+            freq_filter: &freq_filter,
+            cdf_filter: &cdf_filter,
+        };
+        let results: Mutex<(Vec<SimilarPair>, JoinStats, Vec<u32>)> =
+            Mutex::new((Vec::new(), JoinStats::default(), Vec::new()));
         let recorders: Mutex<Vec<R>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for _ in 0..wave_workers {
@@ -196,34 +461,79 @@ where
                     let mut local_pairs = Vec::new();
                     let mut local_stats = JoinStats::default();
                     let mut local_rec = make_recorder();
-                    while let Some(batch) =
-                        grab_batch(&next, wave_len, wave_workers, batch_min, batch_max)
-                    {
+                    let mut local_quarantine: Vec<u32> = Vec::new();
+                    loop {
+                        // ordering: Relaxed — the cancel flag is advisory
+                        // (a worker that misses it merely finishes one more
+                        // batch); result publication synchronises through
+                        // the mutexes and the scope join, not this flag.
+                        if cancel.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if let Some(deadline) = ctx.config.deadline {
+                            if total_start.elapsed() > deadline {
+                                // ordering: Relaxed — same advisory-flag
+                                // argument as the load above.
+                                cancel.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        let Some(batch) =
+                            grab_batch(&next, wave_len, wave_workers, batch_min, batch_max)
+                        else {
+                            break;
+                        };
                         local_rec.counter(Counter::StealBatches, 1);
-                        for &probe_id in &wave_order[batch] {
-                            probe_one(
-                                probe_id,
-                                strings,
-                                &config,
-                                &index,
-                                &visited,
-                                &profiles,
-                                &freq_filter,
-                                &cdf_filter,
-                                &mut local_pairs,
-                                &mut local_stats,
-                                &mut local_rec,
-                            );
+                        let ids = &wave_order[batch];
+                        match run_batch_caught(ids, &ctx, &make_recorder) {
+                            Ok((mut bp, bs, br)) => {
+                                local_pairs.append(&mut bp);
+                                local_stats.absorb(&bs);
+                                local_rec.absorb(br);
+                            }
+                            Err(payload) => {
+                                {
+                                    let mut rec =
+                                        Recording::new(&mut local_stats, &mut local_rec);
+                                    rec.count(Counter::BatchesRetried, 1);
+                                    if payload.downcast_ref::<InjectedFault>().is_some() {
+                                        rec.count(Counter::FaultsInjected, 1);
+                                    }
+                                }
+                                // The batch's scratch is gone; replay it
+                                // probe-by-probe so one poisonous probe
+                                // cannot take its batchmates down with it.
+                                for &id in ids {
+                                    match run_batch_caught(&[id], &ctx, &make_recorder) {
+                                        Ok((mut pp, ps, pr)) => {
+                                            local_pairs.append(&mut pp);
+                                            local_stats.absorb(&ps);
+                                            local_rec.absorb(pr);
+                                        }
+                                        Err(p2) => {
+                                            let mut rec = Recording::new(
+                                                &mut local_stats,
+                                                &mut local_rec,
+                                            );
+                                            rec.count(Counter::ProbesQuarantined, 1);
+                                            if p2.downcast_ref::<InjectedFault>().is_some() {
+                                                rec.count(Counter::FaultsInjected, 1);
+                                            }
+                                            local_quarantine.push(id);
+                                        }
+                                    }
+                                }
+                            }
                         }
                     }
                     // A poisoned lock only means another worker panicked
                     // mid-push; the data under it is a plain Vec append,
-                    // always consistent, and the panic itself re-raises at
-                    // the scope join below — so recover instead of
+                    // always consistent — so recover instead of
                     // double-panicking here.
                     let mut guard = results.lock().unwrap_or_else(PoisonError::into_inner);
                     guard.0.append(&mut local_pairs);
                     guard.1.absorb(&local_stats);
+                    guard.2.append(&mut local_quarantine);
                     drop(guard);
                     recorders
                         .lock()
@@ -232,34 +542,198 @@ where
                 });
             }
         });
-        // Workers can no longer hold the locks (the scope joined them, and
-        // any worker panic already propagated there), so poison recovery is
-        // sound: the protected values were fully written or never touched.
+        // Workers can no longer hold the locks (the scope joined them), so
+        // poison recovery is sound: the protected values were fully
+        // written or never touched.
         for worker_rec in recorders
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner)
         {
             merged.absorb(worker_rec);
         }
-        let (mut wave_pairs, wave_stats) =
+        let (mut wave_pairs, wave_stats, mut wave_quar) =
             results.into_inner().unwrap_or_else(PoisonError::into_inner);
+        // ordering: Relaxed — workers finished; this is a plain read of
+        // whether anyone tripped the deadline.
+        if cancel.load(Ordering::Relaxed) {
+            // The wave is incomplete; its partial results are discarded —
+            // a resume re-runs the whole wave from the last checkpoint.
+            return Err(JoinError::Deadline {
+                elapsed: total_start.elapsed(),
+                completed_waves,
+                checkpoint: last_checkpoint,
+            });
+        }
         pairs.append(&mut wave_pairs);
         stats.absorb(&wave_stats);
+        quarantined.append(&mut wave_quar);
+        completed_waves = wave_idx + 1;
+
+        // ---- Commit the completed prefix ------------------------------
+        if let Some(dir) = &opts.checkpoint_dir {
+            // Canonical order makes checkpoint bytes independent of
+            // worker scheduling (the digest is reproducible).
+            pairs.sort_unstable_by_key(|p| (p.left, p.right));
+            let ck = Checkpoint {
+                fingerprint: run_fp,
+                completed_waves,
+                funnel: stats.clone(),
+                pairs: pairs.clone(),
+            };
+            match catching(|| ck.save(dir)) {
+                Ok(Ok(path)) => last_checkpoint = Some(path),
+                Ok(Err(e)) => return Err(JoinError::Checkpoint(e)),
+                Err(message) => {
+                    // The wave ran but its checkpoint never committed:
+                    // report the previous wave count so a resume replays
+                    // this wave from the surviving checkpoint.
+                    return Err(JoinError::Faulted {
+                        message,
+                        wave: wave_idx,
+                        completed_waves: completed_waves - 1,
+                        checkpoint: last_checkpoint,
+                    });
+                }
+            }
+        }
     }
 
     pairs.sort_unstable_by_key(|p| (p.left, p.right));
+    quarantined.sort_unstable();
     stats.num_strings = strings.len();
     // The merged recorder already saw one OutputPairs event per probe and
     // each unordered pair surfaced exactly once, so their sum is exactly
     // this count; only the stats view needs the authoritative value.
     stats.output_pairs = pairs.len() as u64;
-    let mut rec = Recording::new(&mut stats, &mut merged);
-    rec.gauge(Gauge::IndexBytes, index.estimated_bytes() as u64);
-    rec.gauge(Gauge::PeakIndexBytes, index.peak_bytes() as u64);
-    rec.gauge(Gauge::PeakResidentBytes, index.peak_bytes() as u64);
-    rec.gauge(Gauge::NumStrings, strings.len() as u64);
-    rec.set_total(total_start.elapsed());
-    (JoinResult { pairs, stats }, merged)
+    {
+        let mut rec = Recording::new(&mut stats, &mut merged);
+        rec.gauge(Gauge::IndexBytes, index.estimated_bytes() as u64);
+        rec.gauge(Gauge::PeakIndexBytes, index.peak_bytes() as u64);
+        rec.gauge(Gauge::PeakResidentBytes, index.peak_bytes() as u64);
+        rec.gauge(Gauge::NumStrings, strings.len() as u64);
+        rec.set_total(total_start.elapsed());
+    }
+    let report = FaultReport {
+        quarantined,
+        waves_resumed: stats.waves_resumed,
+        batches_retried: stats.batches_retried,
+        faults_injected: stats.faults_injected,
+        checkpoint: last_checkpoint,
+    };
+    Ok((JoinResult { pairs, stats }, report, merged))
+}
+
+/// Runs `f` with panics caught (hook-silenced via the fault shield) and
+/// converted to their message — the driver-level recovery primitive for
+/// sections that cannot be isolated per probe.
+fn catching<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    // AssertUnwindSafe: every caller aborts the run (or discards the
+    // scratch wholesale) on Err, so no broken invariant is ever reused.
+    shield::shielded(|| catch_unwind(AssertUnwindSafe(f))).map_err(|p| panic_message(&*p))
+}
+
+/// Best-effort extraction of a panic payload's human-readable message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(fault) = payload.downcast_ref::<InjectedFault>() {
+        fault.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs one batch of probes against **fresh scratch** (pairs, stats,
+/// recorder), returning the scratch on success. On a panic anywhere in
+/// the batch the scratch is discarded wholesale — no half-counted funnel
+/// counters, no partial pairs — and the payload is returned for the
+/// caller to triage (retry, quarantine, count injected faults).
+fn run_batch_caught<R, F>(
+    ids: &[u32],
+    ctx: &WaveCtx<'_>,
+    make_recorder: &F,
+) -> Result<(Vec<SimilarPair>, JoinStats, R), Box<dyn Any + Send>>
+where
+    R: MergeRecorder + Send,
+    F: Fn() -> R + Sync,
+{
+    // AssertUnwindSafe: the closure only reads the shared wave state and
+    // writes the scratch it returns; a panic drops the scratch entirely.
+    shield::shielded(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut pairs = Vec::new();
+            let mut stats = JoinStats::default();
+            let mut recorder = make_recorder();
+            {
+                let mut rec = Recording::new(&mut stats, &mut recorder);
+                // Failpoint: a crash taking down a whole batch; a delay
+                // that fires is a survived fault.
+                if usj_fault::fail_point!("parallel.batch") {
+                    rec.count(Counter::FaultsInjected, 1);
+                }
+            }
+            for &id in ids {
+                probe_one(id, ctx, &mut pairs, &mut stats, &mut recorder);
+            }
+            (pairs, stats, recorder)
+        }))
+    })
+}
+
+/// Fingerprint of everything that determines the join's output and its
+/// wave decomposition: the output-affecting configuration, the alphabet
+/// size, the input collection (in visit order), and the wave boundaries.
+/// Scheduling knobs (thread count, batch sizes, deadline) are excluded —
+/// except insofar as they shaped the wave plan, which is hashed directly,
+/// so a resume with an incompatible plan is refused.
+fn run_fingerprint(
+    config: &JoinConfig,
+    sigma: usize,
+    strings: &[UncertainString],
+    order: &[u32],
+    groups: &[(usize, Range<usize>)],
+    waves: &[Range<usize>],
+) -> u64 {
+    fn fold(h: u64, v: u64) -> u64 {
+        fnv1a_fold(h, &v.to_le_bytes())
+    }
+    let mut h = FNV_SEED;
+    h = fold(h, config.k as u64);
+    h = fold(h, config.tau.to_bits());
+    h = fold(h, config.q as u64);
+    h = fnv1a_fold(
+        h,
+        format!(
+            "{:?}/{:?}/{:?}/{:?}",
+            config.policy, config.alpha_mode, config.pipeline, config.verifier
+        )
+        .as_bytes(),
+    );
+    h = fold(h, config.early_stop as u64);
+    h = fold(h, config.max_segment_instances as u64);
+    h = fold(h, config.max_trie_nodes as u64);
+    h = fold(h, sigma as u64);
+    h = fold(h, strings.len() as u64);
+    for &id in order {
+        let s = &strings[id as usize];
+        h = fold(h, id as u64);
+        h = fold(h, s.len() as u64);
+        for pos in s.positions() {
+            h = fold(h, pos.num_alternatives() as u64);
+            for (sym, prob) in pos.alternatives() {
+                h = fold(h, sym as u64);
+                h = fold(h, prob.to_bits());
+            }
+        }
+    }
+    h = fold(h, waves.len() as u64);
+    for w in waves {
+        h = fold(h, groups[w.start].1.start as u64);
+        h = fold(h, groups[w.end - 1].1.end as u64);
+    }
+    h
 }
 
 fn resolve_threads(threads: usize, num_strings: usize) -> usize {
@@ -320,21 +794,15 @@ fn grab_batch(
 /// earlier candidates (all of a smaller length, ids `< probe_id` at equal
 /// length) so each unordered pair is decided exactly once and in the same
 /// probe→candidate direction as the sequential driver.
-#[allow(clippy::too_many_arguments)]
 fn probe_one<R: Recorder>(
     probe_id: u32,
-    strings: &[UncertainString],
-    config: &JoinConfig,
-    index: &SegmentIndex,
-    visited: &BTreeMap<usize, Vec<u32>>,
-    profiles: &[Option<FreqProfile>],
-    freq_filter: &FreqFilter,
-    cdf_filter: &CdfFilter,
+    ctx: &WaveCtx<'_>,
     pairs: &mut Vec<SimilarPair>,
     stats: &mut JoinStats,
     recorder: &mut R,
 ) {
-    let probe = &strings[probe_id as usize];
+    let config = ctx.config;
+    let probe = &ctx.strings[probe_id as usize];
     let min_len = probe.len().saturating_sub(config.k);
     let mut rec = Recording::new(stats, recorder);
     rec.probe_start(probe_id);
@@ -349,7 +817,7 @@ fn probe_one<R: Recorder>(
         let mut cache = EquivCache::new();
         for len in min_len..=probe.len() {
             let admit_below = (len == probe.len()).then_some(probe_id);
-            scope += index.collect_candidates_recorded(
+            scope += ctx.index.collect_candidates_recorded(
                 probe,
                 len,
                 config,
@@ -360,7 +828,7 @@ fn probe_one<R: Recorder>(
             );
         }
     } else {
-        for (&len, ids) in visited.range(min_len..=probe.len()) {
+        for (&len, ids) in ctx.visited.range(min_len..=probe.len()) {
             if len == probe.len() {
                 let admitted = ids.partition_point(|&id| id < probe_id);
                 scope += admitted as u64;
@@ -381,14 +849,14 @@ fn probe_one<R: Recorder>(
     if config.pipeline.uses_freq() && !candidates.is_empty() {
         rec.time(Phase::Freq, |rec| {
             // The probe's own profile was computed when its wave was built.
-            let rp = profiles[probe_id as usize]
+            let rp = ctx.profiles[probe_id as usize]
                 .as_ref()
                 .expect("wave strings have profiles");
             candidates.retain(|&id| {
-                let sp = profiles[id as usize]
+                let sp = ctx.profiles[id as usize]
                     .as_ref()
                     .expect("resident strings have profiles");
-                let out = freq_filter.evaluate(rp, sp);
+                let out = ctx.freq_filter.evaluate(rp, sp);
                 if !out.candidate {
                     if out.fd_lower as usize > config.k {
                         rec.count(Counter::FreqPrunedLower, 1);
@@ -403,12 +871,17 @@ fn probe_one<R: Recorder>(
     rec.count(Counter::FreqSurvivors, candidates.len() as u64);
 
     // ---- CDF bounds + verification ----------------------------------
+    // Failpoint: a stuck or crashing verification (the heaviest per-probe
+    // phase); a delay that fires is a survived fault.
+    if usj_fault::fail_point!("parallel.verify") {
+        rec.count(Counter::FaultsInjected, 1);
+    }
     let mut verifier: Option<ProbeVerifier> = None; // lazily built
     let mut found = 0u64;
     for id in candidates {
-        let other = &strings[id as usize];
+        let other = &ctx.strings[id as usize];
         let Some((similar, prob)) =
-            decide_candidate(probe, other, cdf_filter, &mut verifier, config, &mut rec)
+            decide_candidate(probe, other, ctx.cdf_filter, &mut verifier, config, &mut rec)
         else {
             continue;
         };
@@ -567,13 +1040,14 @@ mod tests {
         assert_eq!(batch_size(2, 1, 4, 8), 2);
     }
 
-    /// Per-worker recorder used by the load-balance regression test: logs
-    /// each worker's probe/batch totals at absorb time.
+    /// Per-worker recorder used by the load-balance regression test: the
+    /// driver absorbs one of these per batch of scratch and per worker,
+    /// so only the *totals* are meaningful — which is exactly what the
+    /// test pins.
     #[derive(Default)]
     struct WorkerLog {
         probes: u64,
         batches: u64,
-        per_worker: Vec<(u64, u64)>,
     }
 
     impl Recorder for WorkerLog {
@@ -589,12 +1063,8 @@ mod tests {
 
     impl MergeRecorder for WorkerLog {
         fn absorb(&mut self, other: Self) {
-            if other.probes > 0 || other.batches > 0 {
-                self.per_worker.push((other.probes, other.batches));
-            }
             self.probes += other.probes;
             self.batches += other.batches;
-            self.per_worker.extend(other.per_worker);
         }
     }
 
@@ -619,7 +1089,6 @@ mod tests {
 
         // Every probe ran exactly once, across all workers combined.
         assert_eq!(log.probes, 24);
-        assert_eq!(log.per_worker.iter().map(|w| w.0).sum::<u64>(), 24);
 
         // The batch count is deterministic: replay the cursor arithmetic.
         let next = AtomicUsize::new(0);
@@ -696,6 +1165,63 @@ mod tests {
                 assert_bit_identical(&par, &seq);
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_separates_config_input_and_plan() {
+        let strings = collection();
+        let fp = |config: &JoinConfig, strings: &[UncertainString], threads: usize| {
+            let mut order: Vec<u32> = (0..strings.len() as u32).collect();
+            order.sort_by_key(|&i| (strings[i as usize].len(), i));
+            let mut groups: Vec<(usize, Range<usize>)> = Vec::new();
+            let mut start = 0usize;
+            for i in 1..=order.len() {
+                if i == order.len()
+                    || strings[order[i] as usize].len() != strings[order[start] as usize].len()
+                {
+                    groups.push((strings[order[start] as usize].len(), start..i));
+                    start = i;
+                }
+            }
+            let band = config.shard_band.max(1);
+            let mut waves = Vec::new();
+            let mut g = 0usize;
+            while g < groups.len() {
+                let end = (g + band).min(groups.len());
+                waves.push(g..end);
+                g = end;
+            }
+            let _ = threads;
+            run_fingerprint(config, 4, strings, &order, &groups, &waves)
+        };
+        let base = JoinConfig::new(2, 0.5).with_shard_band(1);
+        let a = fp(&base, &strings, 2);
+        // Deterministic.
+        assert_eq!(a, fp(&base, &strings, 2));
+        // Output-affecting knobs move it.
+        assert_ne!(a, fp(&JoinConfig::new(1, 0.5).with_shard_band(1), &strings, 2));
+        assert_ne!(a, fp(&base.clone().with_early_stop(false), &strings, 2));
+        // The input moves it.
+        let mut fewer = strings.clone();
+        fewer.pop();
+        assert_ne!(a, fp(&base, &fewer, 2));
+        // The wave plan moves it.
+        assert_ne!(a, fp(&base.clone().with_shard_band(2), &strings, 2));
+        // Pure scheduling knobs do not.
+        assert_eq!(
+            a,
+            fp(&base.clone().with_batch_range(4, 64), &strings, 2)
+        );
+        assert_eq!(
+            a,
+            fp(
+                &base
+                    .clone()
+                    .with_deadline(Some(Duration::from_secs(5))),
+                &strings,
+                2
+            )
+        );
     }
 
     /// Tiny xorshift PRNG — the differential test must not depend on

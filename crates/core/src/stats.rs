@@ -105,6 +105,19 @@ pub struct JoinStats {
     pub verified_dissimilar: u64,
     /// Total output pairs.
     pub output_pairs: u64,
+    /// Injected faults the run survived (delays absorbed + panics
+    /// recovered by batch isolation); faults that abort the run surface
+    /// through the error path instead.
+    pub faults_injected: u64,
+    /// Work-stealing batches that panicked and were re-run probe-by-probe
+    /// by the fault-tolerant driver.
+    pub batches_retried: u64,
+    /// Probes quarantined after panicking even in isolated retry (their
+    /// pairs are absent from the output).
+    pub probes_quarantined: u64,
+    /// Length-band waves skipped on resume because a checkpoint already
+    /// covered them.
+    pub waves_resumed: u64,
     /// Estimated current index size in bytes at the end of the run.
     pub index_bytes: usize,
     /// Peak estimated index size (the paper's Fig 7 memory metric; expired
@@ -138,6 +151,10 @@ impl JoinStats {
             Counter::VerifiedSimilar => self.verified_similar += delta,
             Counter::VerifiedDissimilar => self.verified_dissimilar += delta,
             Counter::OutputPairs => self.output_pairs += delta,
+            Counter::FaultsInjected => self.faults_injected += delta,
+            Counter::BatchesRetried => self.batches_retried += delta,
+            Counter::ProbesQuarantined => self.probes_quarantined += delta,
+            Counter::WavesResumed => self.waves_resumed += delta,
             Counter::IndexInsertions
             | Counter::IndexPostingsScanned
             | Counter::IndexCandidatesSurfaced
@@ -189,6 +206,10 @@ impl JoinStats {
         self.cdf_undecided += other.cdf_undecided;
         self.verified_similar += other.verified_similar;
         self.verified_dissimilar += other.verified_dissimilar;
+        self.faults_injected += other.faults_injected;
+        self.batches_retried += other.batches_retried;
+        self.probes_quarantined += other.probes_quarantined;
+        self.waves_resumed += other.waves_resumed;
         self.index_bytes = self.index_bytes.max(other.index_bytes);
         self.peak_index_bytes = self.peak_index_bytes.max(other.peak_index_bytes);
         self.timings.qgram += other.timings.qgram;

@@ -1,0 +1,473 @@
+//! Fault-injection differential suite for the fault-tolerant parallel
+//! driver: every registered failpoint is killed deterministically, and
+//! the join must either complete bit-identically (recovered) or fail
+//! cleanly with a checkpoint from which `resume` reproduces the
+//! uninterrupted run — pairs *and* funnel counters.
+//!
+//! All tests serialise on a file-local mutex: `usj-fault` plans are
+//! process-global, so a concurrently running test would consume another
+//! plan's scheduled hits.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use usj_core::obs::NoopRecorder;
+use usj_core::{
+    par_self_join, par_self_join_ft, Checkpoint, CheckpointError, FaultReport, FtOptions,
+    JoinConfig, JoinError, JoinResult,
+};
+use usj_fault::{shield, FaultAction, FaultPlan};
+use usj_model::{Alphabet, UncertainString};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    shield::install();
+    // A poisoned lock only means an earlier test failed; the guard
+    // protects no data.
+    TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// 15 strings over 5 length groups (4..=8), so `shard_band = 1` yields a
+/// 5-wave plan with matches inside and across adjacent waves.
+fn collection() -> Vec<UncertainString> {
+    let alpha = Alphabet::dna();
+    let base = "ACGTACGTACGT";
+    let mut out = Vec::new();
+    for len in 4usize..=8 {
+        let prefix = &base[..len];
+        out.push(UncertainString::parse(prefix, &alpha).unwrap());
+        // One substitution away from the prefix.
+        let mut t: Vec<char> = prefix.chars().collect();
+        t[len - 2] = 'T';
+        let sub: String = t.iter().collect();
+        out.push(UncertainString::parse(&sub, &alpha).unwrap());
+        // An uncertain variant of the prefix.
+        let uncertain = format!("{}{{(A,0.6),(C,0.4)}}{}", &prefix[..1], &prefix[2..]);
+        out.push(UncertainString::parse(&uncertain, &alpha).unwrap());
+    }
+    out
+}
+
+fn config() -> JoinConfig {
+    JoinConfig::new(1, 0.3).with_shard_band(1).with_batch_range(1, 2)
+}
+
+fn run_ft(
+    config: &JoinConfig,
+    strings: &[UncertainString],
+    opts: &FtOptions,
+) -> Result<(JoinResult, FaultReport, NoopRecorder), JoinError> {
+    par_self_join_ft(config.clone(), 4, strings, 3, opts, || NoopRecorder)
+}
+
+fn pairs_key(r: &JoinResult) -> Vec<(u32, u32, u64)> {
+    r.pairs
+        .iter()
+        .map(|p| (p.left, p.right, p.prob.to_bits()))
+        .collect()
+}
+
+/// The funnel counters that must be invariant under faults the run
+/// survived or resumed across.
+fn funnel(r: &JoinResult) -> [u64; 13] {
+    let s = &r.stats;
+    [
+        s.pairs_in_scope,
+        s.qgram_survivors,
+        s.qgram_pruned_count,
+        s.qgram_pruned_bound,
+        s.freq_survivors,
+        s.freq_pruned_lower,
+        s.freq_pruned_chebyshev,
+        s.cdf_accepted,
+        s.cdf_rejected,
+        s.cdf_undecided,
+        s.verified_similar,
+        s.verified_dissimilar,
+        s.output_pairs,
+    ]
+}
+
+fn ckdir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    // ordering: Relaxed — only uniqueness matters.
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("usj-ft-test-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn error_checkpoint(e: &JoinError) -> Option<PathBuf> {
+    match e {
+        JoinError::Deadline { checkpoint, .. } | JoinError::Faulted { checkpoint, .. } => {
+            checkpoint.clone()
+        }
+        JoinError::Checkpoint(_) => None,
+    }
+}
+
+#[test]
+fn ft_without_faults_matches_classic_driver_and_commits_checkpoints() {
+    let _g = lock();
+    let strings = collection();
+    let baseline = par_self_join(config(), 4, &strings, 3);
+    assert!(!baseline.pairs.is_empty(), "test collection must produce pairs");
+
+    let dir = ckdir("clean");
+    let opts = FtOptions {
+        checkpoint_dir: Some(dir.clone()),
+        resume: false,
+    };
+    let (result, report, _rec) = run_ft(&config(), &strings, &opts).unwrap();
+    assert_eq!(pairs_key(&result), pairs_key(&baseline));
+    assert_eq!(funnel(&result), funnel(&baseline));
+    assert_eq!(report.quarantined, Vec::<u32>::new());
+    assert_eq!(report.batches_retried, 0);
+    assert_eq!(report.faults_injected, 0);
+    assert_eq!(report.waves_resumed, 0);
+
+    // The final checkpoint covers the whole run.
+    let ck = Checkpoint::load(&dir).unwrap();
+    assert_eq!(report.checkpoint, Some(Checkpoint::path_in(&dir)));
+    assert_eq!(ck.pairs.len(), result.pairs.len());
+
+    // Resuming a *finished* run replays nothing and probes nothing new.
+    let resumed = run_ft(
+        &config(),
+        &strings,
+        &FtOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+        },
+    );
+    let (res2, rep2, _) = resumed.unwrap();
+    assert_eq!(pairs_key(&res2), pairs_key(&baseline));
+    assert_eq!(funnel(&res2), funnel(&baseline));
+    assert!(rep2.waves_resumed > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadlines_fail_cleanly_at_batch_granularity() {
+    let _g = lock();
+    let strings = collection();
+
+    // An already-expired deadline dies before wave 0 with no partial junk.
+    let cfg = config().with_deadline(Some(Duration::ZERO));
+    let err = run_ft(&cfg, &strings, &FtOptions::default()).unwrap_err();
+    match &err {
+        JoinError::Deadline {
+            completed_waves,
+            checkpoint,
+            ..
+        } => {
+            assert_eq!(*completed_waves, 0);
+            assert_eq!(*checkpoint, None);
+        }
+        other => panic!("expected Deadline, got {other}"),
+    }
+    assert!(err.to_string().contains("deadline exceeded"));
+
+    // A delay fault longer than the deadline trips the in-wave check.
+    let cfg = config().with_deadline(Some(Duration::from_millis(10)));
+    let _armed = FaultPlan::new()
+        .fail_at("parallel.batch", 0, FaultAction::Delay(Duration::from_millis(100)))
+        .arm();
+    let err = run_ft(&cfg, &strings, &FtOptions::default()).unwrap_err();
+    assert!(matches!(err, JoinError::Deadline { completed_waves: 0, .. }), "{err}");
+}
+
+#[test]
+fn recovered_batch_panic_is_bit_identical() {
+    let _g = lock();
+    let strings = collection();
+    let baseline = par_self_join(config(), 4, &strings, 3);
+
+    let armed = FaultPlan::one_shot_panic("parallel.batch").arm();
+    let (result, report, _rec) = run_ft(&config(), &strings, &FtOptions::default()).unwrap();
+    drop(armed);
+
+    assert_eq!(pairs_key(&result), pairs_key(&baseline));
+    assert_eq!(funnel(&result), funnel(&baseline));
+    assert_eq!(report.batches_retried, 1);
+    assert_eq!(report.faults_injected, 1);
+    assert!(report.quarantined.is_empty());
+    assert_eq!(result.stats.batches_retried, 1);
+    assert_eq!(result.stats.probes_quarantined, 0);
+}
+
+#[test]
+fn persistent_probe_panic_is_quarantined_not_fatal() {
+    let _g = lock();
+    let strings = collection();
+    let baseline = par_self_join(config(), 4, &strings, 3);
+
+    // Fire on the batch run *and* on the isolation retry: the probe under
+    // that failpoint consult is poison.
+    let armed = FaultPlan::new()
+        .fail_at("parallel.verify", 0, FaultAction::Panic)
+        .fail_at("parallel.verify", 1, FaultAction::Panic)
+        .arm();
+    let (result, report, _rec) = run_ft(&config(), &strings, &FtOptions::default()).unwrap();
+    drop(armed);
+
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(result.stats.probes_quarantined, 1);
+    assert!(report.batches_retried >= 1);
+    assert_eq!(report.faults_injected, 2);
+    let q = report.quarantined[0];
+
+    // The output is exactly the baseline minus pairs the quarantined
+    // probe was responsible for deciding.
+    let got = pairs_key(&result);
+    let want = pairs_key(&baseline);
+    assert!(got.iter().all(|p| want.contains(p)));
+    let missing: Vec<_> = want.iter().filter(|p| !got.contains(p)).collect();
+    assert!(
+        missing.iter().all(|p| p.0 == q || p.1 == q),
+        "missing pairs {missing:?} must all involve quarantined probe {q}"
+    );
+}
+
+#[test]
+fn delay_faults_are_survived_and_counted() {
+    let _g = lock();
+    let strings = collection();
+    let baseline = par_self_join(config(), 4, &strings, 3);
+
+    let tick = Duration::from_millis(1);
+    let armed = FaultPlan::new()
+        .fail_at("parallel.verify", 0, FaultAction::Delay(tick))
+        .fail_at("parallel.evict", 0, FaultAction::Delay(tick))
+        // index.build delays are deliberately uncounted (see the failpoint
+        // comment in index.rs): the total below must stay 2.
+        .fail_at("index.build", 0, FaultAction::Delay(tick))
+        .arm();
+    let (result, report, _rec) = run_ft(&config(), &strings, &FtOptions::default()).unwrap();
+    drop(armed);
+
+    assert_eq!(pairs_key(&result), pairs_key(&baseline));
+    assert_eq!(funnel(&result), funnel(&baseline));
+    assert_eq!(report.faults_injected, 2);
+    assert_eq!(report.batches_retried, 0);
+    assert!(report.quarantined.is_empty());
+}
+
+#[test]
+fn kill_at_every_failpoint_completes_or_resumes_bit_identically() {
+    let _g = lock();
+    let strings = collection();
+    let baseline = par_self_join(config(), 4, &strings, 3);
+
+    let points = [
+        "parallel.evict",
+        "parallel.batch",
+        "parallel.verify",
+        "index.build",
+        "checkpoint.write",
+    ];
+    for point in points {
+        for nth in [0u64, 1, 2] {
+            let dir = ckdir("sweep");
+            let opts = FtOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: false,
+            };
+            let armed = FaultPlan::new().fail_at(point, nth, FaultAction::Panic).arm();
+            let outcome = run_ft(&config(), &strings, &opts);
+            drop(armed);
+
+            let final_result = match outcome {
+                // Recovered in-run (batch retry absorbed the panic).
+                Ok((result, _report, _rec)) => result,
+                Err(e) => {
+                    // Fatal: must be a structured error, and resume (or a
+                    // fresh run, if the fault struck before any wave
+                    // committed) must reproduce the uninterrupted output.
+                    let resume_from = error_checkpoint(&e);
+                    match &e {
+                        JoinError::Faulted { message, .. } => {
+                            assert!(
+                                message.contains(point),
+                                "{point}#{nth}: fault message {message:?} should name the failpoint"
+                            );
+                        }
+                        JoinError::Checkpoint(CheckpointError::Io(_)) => {
+                            assert_eq!(point, "checkpoint.write");
+                        }
+                        other => panic!("{point}#{nth}: unexpected error {other}"),
+                    }
+                    let opts = FtOptions {
+                        checkpoint_dir: Some(dir.clone()),
+                        resume: resume_from.is_some(),
+                    };
+                    let (result, report, _rec) = run_ft(&config(), &strings, &opts)
+                        .unwrap_or_else(|e| panic!("{point}#{nth}: resume failed: {e}"));
+                    if resume_from.is_some() {
+                        assert!(report.waves_resumed > 0, "{point}#{nth}");
+                    }
+                    result
+                }
+            };
+            assert_eq!(
+                pairs_key(&final_result),
+                pairs_key(&baseline),
+                "{point}#{nth}: pairs must match the uninterrupted run"
+            );
+            assert_eq!(
+                funnel(&final_result),
+                funnel(&baseline),
+                "{point}#{nth}: funnel counters must match the uninterrupted run"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn resume_after_fatal_mid_join_fault_reproduces_everything() {
+    let _g = lock();
+    let strings = collection();
+    let baseline = par_self_join(config(), 4, &strings, 3);
+    let dir = ckdir("resume");
+    let opts = FtOptions {
+        checkpoint_dir: Some(dir.clone()),
+        resume: false,
+    };
+
+    // Kill the build of wave 2: waves 0 and 1 are committed.
+    let armed = FaultPlan::new()
+        .fail_at("parallel.evict", 2, FaultAction::Panic)
+        .arm();
+    let err = run_ft(&config(), &strings, &opts).unwrap_err();
+    drop(armed);
+    let ck_path = match &err {
+        JoinError::Faulted {
+            wave,
+            completed_waves,
+            checkpoint,
+            ..
+        } => {
+            assert_eq!(*wave, 2);
+            assert_eq!(*completed_waves, 2);
+            checkpoint.clone().expect("two waves committed a checkpoint")
+        }
+        other => panic!("expected Faulted, got {other}"),
+    };
+    assert!(ck_path.exists());
+
+    let (result, report, _rec) = run_ft(
+        &config(),
+        &strings,
+        &FtOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.waves_resumed, 2);
+    assert_eq!(result.stats.waves_resumed, 2);
+    assert_eq!(pairs_key(&result), pairs_key(&baseline));
+    assert_eq!(funnel(&result), funnel(&baseline));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_defects_are_rejected_cleanly() {
+    let _g = lock();
+    let strings = collection();
+    let dir = ckdir("defects");
+    let opts = FtOptions {
+        checkpoint_dir: Some(dir.clone()),
+        resume: false,
+    };
+
+    // Manufacture a valid one-wave checkpoint via a fatal wave-1 fault.
+    let armed = FaultPlan::new()
+        .fail_at("parallel.evict", 1, FaultAction::Panic)
+        .arm();
+    let err = run_ft(&config(), &strings, &opts).unwrap_err();
+    drop(armed);
+    let ck_path = error_checkpoint(&err).expect("wave 0 committed a checkpoint");
+    let resume = FtOptions {
+        checkpoint_dir: Some(dir.clone()),
+        resume: true,
+    };
+
+    // A different config (tau) is a fingerprint mismatch.
+    let other_cfg = JoinConfig::new(1, 0.5).with_shard_band(1).with_batch_range(1, 2);
+    let err = run_ft(&other_cfg, &strings, &resume).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            JoinError::Checkpoint(CheckpointError::FingerprintMismatch { .. })
+        ),
+        "{err}"
+    );
+    // ... and so is a different input collection.
+    let mut fewer = strings.clone();
+    fewer.pop();
+    let err = run_ft(&config(), &fewer, &resume).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            JoinError::Checkpoint(CheckpointError::FingerprintMismatch { .. })
+        ),
+        "{err}"
+    );
+
+    // Truncation and corruption are rejected, not resumed.
+    let intact = std::fs::read_to_string(&ck_path).unwrap();
+    std::fs::write(&ck_path, &intact[..intact.len() / 2]).unwrap();
+    let err = run_ft(&config(), &strings, &resume).unwrap_err();
+    assert!(
+        matches!(err, JoinError::Checkpoint(CheckpointError::Corrupt(_))),
+        "{err}"
+    );
+    let mut flipped = intact.clone().into_bytes();
+    flipped[intact.len() / 3] ^= 0x20;
+    std::fs::write(&ck_path, flipped).unwrap();
+    let err = run_ft(&config(), &strings, &resume).unwrap_err();
+    assert!(
+        matches!(err, JoinError::Checkpoint(CheckpointError::Corrupt(_))),
+        "{err}"
+    );
+
+    // A missing file and a missing directory are distinct, clean errors.
+    std::fs::remove_file(&ck_path).unwrap();
+    let err = run_ft(&config(), &strings, &resume).unwrap_err();
+    assert!(
+        matches!(err, JoinError::Checkpoint(CheckpointError::Missing(_))),
+        "{err}"
+    );
+    let err = run_ft(
+        &config(),
+        &strings,
+        &FtOptions {
+            checkpoint_dir: None,
+            resume: true,
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, JoinError::Checkpoint(CheckpointError::Io(_))),
+        "{err}"
+    );
+
+    // An injected *error* (not panic) on the checkpoint write surfaces as
+    // a checkpoint I/O error naming the injected message.
+    let armed = FaultPlan::new()
+        .fail_at("checkpoint.write", 0, FaultAction::Error("disk full".to_string()))
+        .arm();
+    let err = run_ft(&config(), &strings, &opts).unwrap_err();
+    drop(armed);
+    match &err {
+        JoinError::Checkpoint(CheckpointError::Io(msg)) => {
+            assert!(msg.contains("disk full"), "{msg}");
+        }
+        other => panic!("expected Checkpoint(Io), got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,82 @@
+//! Panic-hook shielding for recoverable sections.
+//!
+//! A driver that catches a worker panic (to quarantine the probe and
+//! retry the batch) has *handled* the failure — yet the default panic
+//! hook has already printed `thread '...' panicked at ...` and possibly a
+//! backtrace by the time `catch_unwind` returns. This module installs a
+//! wrapping hook once: while the current thread is inside [`shielded`],
+//! the hook prints nothing; everywhere else it defers to whatever hook
+//! was installed before (so organic panics stay as loud as ever).
+
+use std::cell::Cell;
+use std::panic;
+use std::sync::Once;
+
+thread_local! {
+    static SHIELDED: Cell<bool> = const { Cell::new(false) };
+}
+
+static INSTALL: Once = Once::new();
+
+/// Installs the wrapping panic hook (idempotent, thread-safe). Called
+/// automatically by [`shielded`]; exposed so binaries can install it
+/// before spawning workers.
+pub fn install() {
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !is_shielded() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// True when the current thread is inside a [`shielded`] section.
+pub fn is_shielded() -> bool {
+    SHIELDED.with(|s| s.get())
+}
+
+/// Runs `f` with this thread's panics silenced at the hook level. The
+/// caller is expected to `catch_unwind` inside `f`; the flag is restored
+/// on the way out even if a panic escapes `f` (drop guard), so an
+/// unhandled panic that unwinds further up the stack reports normally.
+pub fn shielded<T>(f: impl FnOnce() -> T) -> T {
+    install();
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SHIELDED.with(|s| s.set(self.0));
+        }
+    }
+    let _restore = Restore(SHIELDED.with(|s| s.replace(true)));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn flag_is_scoped_and_restored_on_unwind() {
+        assert!(!is_shielded());
+        shielded(|| assert!(is_shielded()));
+        assert!(!is_shielded());
+
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            shielded(|| panic!("escapes the shield"));
+        }));
+        assert!(r.is_err());
+        assert!(!is_shielded());
+    }
+
+    #[test]
+    fn nested_shields_stack() {
+        shielded(|| {
+            shielded(|| assert!(is_shielded()));
+            assert!(is_shielded());
+        });
+        assert!(!is_shielded());
+    }
+}

@@ -111,10 +111,19 @@ impl<'a> Parser<'a> {
         let mut positions = Vec::new();
         while let Some(c) = self.peek() {
             if c == '{' {
+                // Remember where the distribution started: validation
+                // failures (mass ≠ 1, NaN/negative/zero probabilities,
+                // duplicate symbols) are detected only after the closing
+                // brace, but should point the user at the distribution.
+                let brace = self.offset;
                 self.bump();
                 let index = positions.len();
                 let alts = self.parse_alternatives()?;
-                positions.push(Position::uncertain(index, alts)?);
+                let pos = Position::uncertain(index, alts).map_err(|e| ModelError::Parse {
+                    offset: brace,
+                    message: format!("invalid distribution: {e}"),
+                })?;
+                positions.push(pos);
             } else {
                 self.bump();
                 let sym = self
@@ -256,6 +265,12 @@ mod tests {
         assert!(UncertainString::parse("{(A,0.5),(A,0.5)}", &dna).is_err());
         assert!(UncertainString::parse("{(A,0.5),(C,0.2)}", &dna).is_err());
         assert!(UncertainString::parse("{(A,abc)}", &dna).is_err());
+        // Distribution validation failures point at the opening brace.
+        let err = UncertainString::parse("AC{(G,0.5),(T,0.2)}", &dna).unwrap_err();
+        assert!(
+            matches!(err, ModelError::Parse { offset: 2, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Malformed-input corpus for the uncertain-string parser: every corpus
+//! line must be rejected with a *positioned* `ModelError::Parse` — the
+//! parser must never panic, never loop, and never silently accept a
+//! defective distribution.
+
+use usj_model::{Alphabet, ModelError, UncertainString};
+
+/// Corpus lines use `\0` to denote an embedded NUL byte (a text file
+/// cannot hold one literally without upsetting editors and diff tools).
+fn unescape(line: &str) -> String {
+    line.replace("\\0", "\0")
+}
+
+fn corpus() -> Vec<String> {
+    include_str!("corpus/malformed.txt")
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(unescape)
+        .collect()
+}
+
+#[test]
+fn every_corpus_line_is_rejected_with_a_positioned_error() {
+    let dna = Alphabet::dna();
+    let inputs = corpus();
+    assert!(inputs.len() >= 30, "corpus unexpectedly small: {}", inputs.len());
+    for input in &inputs {
+        match UncertainString::parse(input, &dna) {
+            Ok(s) => panic!("corpus input {input:?} parsed to a {}-position string", s.len()),
+            Err(ModelError::Parse { offset, message }) => {
+                assert!(
+                    offset <= input.len(),
+                    "{input:?}: offset {offset} beyond input length {}",
+                    input.len()
+                );
+                assert!(!message.is_empty(), "{input:?}: empty error message");
+                // The Display form is what the CLI prints; it must carry
+                // the position.
+                let shown = ModelError::Parse { offset, message }.to_string();
+                assert!(shown.contains(&format!("byte {offset}")), "{shown}");
+            }
+            Err(other) => {
+                panic!("corpus input {input:?} produced unpositioned error {other:?}")
+            }
+        }
+    }
+}
+
+#[test]
+fn defect_positions_are_precise() {
+    let dna = Alphabet::dna();
+    let at = |text: &str| match UncertainString::parse(text, &dna) {
+        Err(ModelError::Parse { offset, .. }) => offset,
+        other => panic!("{text:?}: expected parse error, got {other:?}"),
+    };
+    // Mass/validation defects point at the opening brace of the
+    // offending distribution, even though they are detected at '}'.
+    assert_eq!(at("AC{(G,0.5),(T,0.2)}AC"), 2);
+    assert_eq!(at("{(A,0.5),(A,0.5)}"), 0);
+    assert_eq!(at("ACGT{(A,-0.5),(C,1.5)}"), 4);
+    // Lexical defects point just past the offending character.
+    assert_eq!(at("AXC"), 2);
+    assert_eq!(at("A\0C"), 2);
+}
+
+#[test]
+fn nearby_wellformed_inputs_still_parse() {
+    // Over-rejection guard: the hardened paths must not refuse the valid
+    // neighbours of the corpus defects.
+    let dna = Alphabet::dna();
+    for text in [
+        "A{(C,0.5),(G,0.5)}A",
+        "{(A,0.8),(C,0.1),(T,0.1)}",
+        "{ (A, 0.5) , (C, 0.5) }T",
+        "{(A,1.0)}C",
+        "",
+        "ACGT",
+    ] {
+        UncertainString::parse(text, &dna)
+            .unwrap_or_else(|e| panic!("{text:?} must parse: {e}"));
+    }
+}

@@ -366,7 +366,11 @@ mod tests {
     "index_postings_scanned": 0,
     "index_candidates_surfaced": 0,
     "verifier_builds": 0,
-    "steal_batches": 0
+    "steal_batches": 0,
+    "faults_injected": 0,
+    "batches_retried": 0,
+    "probes_quarantined": 0,
+    "waves_resumed": 0
   },
   "gauges": {
     "index_bytes": 1000,
@@ -563,6 +567,38 @@ mod tests {
       "max": 0
     },
     "steal_batches": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "faults_injected": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "batches_retried": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "probes_quarantined": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "waves_resumed": {
       "probes": 0,
       "sum": 0,
       "p50": 0,

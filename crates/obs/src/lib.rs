@@ -130,11 +130,22 @@ pub enum Counter {
     /// Work-stealing batches grabbed by parallel workers (one per
     /// successful cursor advance, so totals reflect scheduler granularity).
     StealBatches,
+    /// Injected faults the run survived (delays absorbed plus panics
+    /// recovered by batch isolation); faults that abort the run are
+    /// reported through the error path, not counted here.
+    FaultsInjected,
+    /// Work-stealing batches that panicked and were re-run probe-by-probe.
+    BatchesRetried,
+    /// Probes quarantined after panicking even in isolated retry.
+    ProbesQuarantined,
+    /// Length-band waves skipped on `--resume` because a checkpoint
+    /// already covered them.
+    WavesResumed,
 }
 
 impl Counter {
     /// Every counter, in serialisation order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 22] = [
         Counter::PairsInScope,
         Counter::QgramSurvivors,
         Counter::QgramPrunedCount,
@@ -153,6 +164,10 @@ impl Counter {
         Counter::IndexCandidatesSurfaced,
         Counter::VerifierBuilds,
         Counter::StealBatches,
+        Counter::FaultsInjected,
+        Counter::BatchesRetried,
+        Counter::ProbesQuarantined,
+        Counter::WavesResumed,
     ];
 
     /// Dense index into per-counter arrays.
@@ -181,6 +196,10 @@ impl Counter {
             Counter::IndexCandidatesSurfaced => "index_candidates_surfaced",
             Counter::VerifierBuilds => "verifier_builds",
             Counter::StealBatches => "steal_batches",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::BatchesRetried => "batches_retried",
+            Counter::ProbesQuarantined => "probes_quarantined",
+            Counter::WavesResumed => "waves_resumed",
         }
     }
 }

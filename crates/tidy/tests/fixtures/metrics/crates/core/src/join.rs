@@ -1,5 +1,8 @@
 pub fn record() {
     emit(Counter::Alpha);
     emit(Counter::Gamma);
+    emit(Counter::Delta);
+    emit(Counter::FaultsInjected);
+    emit(Counter::WavesResumed);
     measure(Gauge::Bytes);
 }

@@ -1,13 +1,24 @@
 pub enum Counter {
     Alpha,
     Beta,
+    Delta,
+    FaultsInjected,
+    WavesResumed,
 }
 impl Counter {
-    pub const ALL: [Counter; 1] = [Counter::Alpha];
+    pub const ALL: [Counter; 4] = [
+        Counter::Alpha,
+        Counter::Delta,
+        Counter::FaultsInjected,
+        Counter::WavesResumed,
+    ];
     pub const fn name(self) -> &'static str {
         match self {
             Counter::Alpha => "alpha_total",
             Counter::Beta => "beta_total",
+            Counter::Delta => "delta_total",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::WavesResumed => "waves_resumed",
         }
     }
 }

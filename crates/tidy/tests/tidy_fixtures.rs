@@ -57,8 +57,13 @@ fn metrics_fixture_flags_each_registration_gap() {
             t("crates/core/src/join.rs", 3, "metrics-registered"),
             // Counter::Beta declared (line 3) but missing from ALL.
             t("crates/obs/src/lib.rs", 3, "metrics-registered"),
-            // Beta's name arm (line 10) not pinned by the golden test.
-            t("crates/obs/src/lib.rs", 10, "metrics-registered"),
+            // Beta's name arm (line 18) not pinned by the golden test.
+            t("crates/obs/src/lib.rs", 18, "metrics-registered"),
+            // Delta is declared, in ALL, and named — but "delta_total"
+            // never made it into the golden schema. This is the gap the
+            // fault-tolerance counters (faults_injected, waves_resumed,
+            // pinned in the golden fixture) must not fall into.
+            t("crates/obs/src/lib.rs", 19, "metrics-registered"),
         ]
     );
 }

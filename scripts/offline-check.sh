@@ -20,7 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CRATES=(model editdist qgram freq cdf verify core eed obs tidy)
+CRATES=(fault model editdist qgram freq cdf verify core eed obs tidy)
 
 rm -rf .buildcheck
 mkdir -p .buildcheck/crates
@@ -32,6 +32,14 @@ for c in "${CRATES[@]}"; do
     awk 'BEGIN{skip=0} /^\[dev-dependencies\]/{skip=1;next} /^\[/{skip=0} !skip' \
         "crates/$c/Cargo.toml" > ".buildcheck/crates/$c/Cargo.toml"
 done
+
+# Std-only integration suites (they use only staged sibling crates, no
+# external dev-dependencies) ride along; the proptest/rand-based suites
+# next to them deliberately do not.
+mkdir -p .buildcheck/crates/core/tests .buildcheck/crates/model/tests
+cp crates/core/tests/fault_tolerance.rs .buildcheck/crates/core/tests/
+cp crates/model/tests/malformed.rs .buildcheck/crates/model/tests/
+cp -r crates/model/tests/corpus .buildcheck/crates/model/tests/corpus
 
 # In-src test modules of these two crates use sibling crates that are
 # themselves stageable — restore just those dev-dependencies.
@@ -54,6 +62,7 @@ rust-version = "1.75"
 
 [workspace.dependencies]
 usj-obs = { path = "crates/obs" }
+usj-fault = { path = "crates/fault" }
 usj-model = { path = "crates/model" }
 usj-editdist = { path = "crates/editdist" }
 usj-qgram = { path = "crates/qgram" }

@@ -93,6 +93,18 @@ run_tsan() {
         note "FAIL: ThreadSanitizer found a problem"
         FAILED=1
     fi
+    note "TSan: panic isolation / checkpoint-resume tests (-Zsanitizer=thread)"
+    # The fault-tolerant driver unwinds worker panics across the
+    # work-stealing cursor and cancellation flag; TSan checks that the
+    # recovery paths (batch retry, quarantine, deadline cancel) are as
+    # race-free as the happy path. Single-threaded test order because the
+    # injection plans are process-global.
+    if ! RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$host" \
+        -p usj-core --test fault_tolerance -- --test-threads 1; then
+        note "FAIL: ThreadSanitizer found a problem in the fault paths"
+        FAILED=1
+    fi
 }
 
 run_miri
