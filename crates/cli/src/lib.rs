@@ -5,7 +5,11 @@
 //! * `usj generate` — write a seeded synthetic dataset as JSON;
 //! * `usj join` — self-join a dataset file and print/emit similar pairs;
 //! * `usj search` — probe a dataset with one uncertain string;
-//! * `usj stats` — dataset summary statistics.
+//! * `usj stats` — dataset summary statistics;
+//! * `usj serve` — expose a dataset index as an overload-resilient TCP
+//!   query service (bounded admission, degradation ladder, graceful drain);
+//! * `usj probe` — query a running `usj serve` instance, with backoff on
+//!   `BUSY` and client-side deadline propagation.
 //!
 //! The library surface exists so the commands are unit-testable; the
 //! binary in `main.rs` is a thin wrapper.
@@ -19,6 +23,7 @@ use usj_core::obs::{CollectingRecorder, TraceRecorder};
 use usj_core::{FaultReport, FtOptions, JoinConfig, JoinError, Pipeline, SimilarityJoin};
 use usj_datagen::{Dataset, DatasetJson, DatasetKind, DatasetSpec};
 use usj_model::UncertainString;
+use usj_serve::{Client, ClientConfig, DegradeConfig, ProbeOutcome, ServeConfig, ServerHandle};
 
 /// CLI error type: every failure is a printable message with an exit code
 /// of 2.
@@ -109,6 +114,8 @@ USAGE:
   usj join     --input FILE [--k K] [--tau F] [--q Q] [--pipeline qfct|qct|qft|fct] [--exact true] [--threads N] [--shard-band B] [--batch-min N] [--batch-max N] [--deadline-secs S] [--checkpoint DIR] [--resume] [--out FILE] [--stats-json FILE] [--trace]
   usj search   --input FILE --probe STRING [--k K] [--tau F]
   usj stats    --input FILE
+  usj serve    --input FILE [--k K] [--tau F] [--q Q] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--queue-degrade N] [--queue-shed N] [--io-timeout-secs S] [--default-deadline-ms MS] [--retry-after-ms MS]
+  usj probe    --addr HOST:PORT --probe STRING [--k K] [--tau F] [--deadline-ms MS] [--retries N]
 ";
 
 /// Runs a command line (without the program name); returns the text to
@@ -123,6 +130,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "join" => cmd_join(&flags),
         "search" => cmd_search(&flags),
         "stats" => cmd_stats(&flags),
+        "serve" => cmd_serve(&flags),
+        "probe" => cmd_probe(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -464,6 +473,129 @@ fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
     let _ = writeln!(out, "avg theta:            {:.3}", ds.avg_theta());
     let _ = writeln!(out, "max uncertain pos:    {max_uncertain}");
     let _ = writeln!(out, "strings > 2^20 worlds: {worlds_exceeding}");
+    Ok(out)
+}
+
+/// Builds the index and starts the query service without blocking —
+/// split from [`cmd_serve`] so tests can reach the bound address and
+/// drive the drain themselves.
+fn start_serve(flags: &Flags) -> Result<ServerHandle, CliError> {
+    flags.assert_known(&[
+        "input",
+        "k",
+        "tau",
+        "q",
+        "pipeline",
+        "exact",
+        "addr",
+        "workers",
+        "queue-cap",
+        "queue-degrade",
+        "queue-shed",
+        "io-timeout-secs",
+        "default-deadline-ms",
+        "retry-after-ms",
+    ])?;
+    let ds = load_dataset(flags)?;
+    let config = join_config(flags)?;
+    let mut cfg = ServeConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        ..ServeConfig::default()
+    };
+    cfg.workers = flags.get_parse("workers", cfg.workers)?;
+    if cfg.workers == 0 {
+        return Err(err("--workers must be at least 1"));
+    }
+    cfg.queue_cap = flags.get_parse("queue-cap", cfg.queue_cap)?;
+    if cfg.queue_cap == 0 {
+        return Err(err("--queue-cap must be at least 1"));
+    }
+    let io_timeout_secs: f64 = flags.get_parse("io-timeout-secs", 5.0)?;
+    if !io_timeout_secs.is_finite() || io_timeout_secs <= 0.0 {
+        return Err(err(format!(
+            "--io-timeout-secs must be a finite positive number, got {io_timeout_secs}"
+        )));
+    }
+    cfg.io_timeout = std::time::Duration::from_secs_f64(io_timeout_secs);
+    let default_deadline_ms: u64 = flags.get_parse("default-deadline-ms", 0)?;
+    if default_deadline_ms > 0 {
+        cfg.default_deadline = Some(std::time::Duration::from_millis(default_deadline_ms));
+    }
+    cfg.retry_after_ms = flags.get_parse("retry-after-ms", cfg.retry_after_ms)?;
+    let degrade = DegradeConfig::default();
+    let queue_degrade: usize = flags.get_parse("queue-degrade", degrade.queue_degrade)?;
+    let queue_shed: usize = flags.get_parse("queue-shed", degrade.queue_shed)?;
+    if queue_shed < queue_degrade {
+        return Err(err(format!(
+            "--queue-shed ({queue_shed}) must be at least --queue-degrade ({queue_degrade})"
+        )));
+    }
+    cfg.degrade = DegradeConfig {
+        queue_degrade,
+        queue_shed,
+        ..degrade
+    };
+    let k = config.k;
+    let tau = config.tau;
+    let collection =
+        usj_core::IndexedCollection::build(config, ds.alphabet.size(), ds.strings.clone());
+    let handle = usj_serve::serve(collection, ds.alphabet, cfg)
+        .map_err(|e| err(format!("cannot bind query service: {e}")))?;
+    // The banner goes to stderr: stdout is reserved for the final stats
+    // snapshot flushed on drain.
+    eprintln!(
+        "usj-serve listening on {} (k={k} tau={tau}, {} strings); \
+         send SHUTDOWN to drain",
+        handle.addr(),
+        ds.strings.len()
+    );
+    Ok(handle)
+}
+
+fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    let handle = start_serve(flags)?;
+    // Blocks until a wire-level SHUTDOWN drains the server; the returned
+    // snapshot is the flushed final stats.
+    let stats = handle.wait();
+    Ok(format!("{stats}\n"))
+}
+
+fn cmd_probe(flags: &Flags) -> Result<String, CliError> {
+    flags.assert_known(&["addr", "probe", "k", "tau", "deadline-ms", "retries"])?;
+    let addr = flags.require("addr")?;
+    let probe = flags.require("probe")?;
+    let k: usize = flags.get_parse("k", 2)?;
+    let tau: f64 = flags.get_parse("tau", 0.1)?;
+    let max_retries = flags.get_parse("retries", ClientConfig::default().max_retries)?;
+    let deadline_ms: u64 = flags.get_parse("deadline-ms", 0)?;
+    let cfg = ClientConfig {
+        max_retries,
+        deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        ..ClientConfig::default()
+    };
+    let mut client = Client::new(addr, cfg);
+    let outcome = client
+        .probe(k, tau, probe)
+        .map_err(|e| err(format!("probe failed: {e}")))?;
+    let mut out = String::new();
+    match outcome {
+        ProbeOutcome::Exact(hits) => {
+            for (id, prob) in &hits {
+                let _ = writeln!(out, "{id}\t{prob:.6}");
+            }
+            let _ = writeln!(out, "# {} hits (exact)", hits.len());
+        }
+        ProbeOutcome::Degraded(ids) => {
+            for id in &ids {
+                let _ = writeln!(out, "{id}");
+            }
+            let _ = writeln!(
+                out,
+                "# {} candidates (DEGRADED: filter-only superset, server under load)",
+                ids.len()
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -867,5 +999,90 @@ mod tests {
     fn help_prints_usage() {
         assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
         assert!(run(&[]).is_err());
+    }
+
+    /// End-to-end over loopback: `usj serve` (via the non-blocking
+    /// half) answers a `usj probe` with the same hits as a local
+    /// `usj search`, and drains cleanly.
+    #[test]
+    fn serve_and_probe_roundtrip() {
+        let data = tmpfile("serve.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "30", "--seed", "21", "--out", &data,
+        ]))
+        .unwrap();
+        let flags = Flags::parse(&args(&[
+            "--input", &data, "--addr", "127.0.0.1:0", "--workers", "2",
+        ]))
+        .unwrap();
+        let handle = start_serve(&flags).unwrap();
+        let addr = handle.addr().to_string();
+
+        let ds_text = std::fs::read_to_string(&data).unwrap();
+        let ds = DatasetJson::from_json(&ds_text)
+            .unwrap()
+            .into_dataset()
+            .unwrap();
+        let probe = ds
+            .alphabet
+            .decode(&ds.strings[0].most_probable_world().instance);
+        let local = run(&args(&["search", "--input", &data, "--probe", &probe])).unwrap();
+        let served = run(&args(&["probe", "--addr", &addr, "--probe", &probe])).unwrap();
+        assert!(served.contains("hits (exact)"), "{served}");
+        let ids = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(|l| l.split('\t').next().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(ids(&local), ids(&served), "served hits diverge from local search");
+        assert!(ids(&served).contains(&"0".to_string()), "{served}");
+
+        // Mismatched parameters are refused, not silently wrong.
+        let e = run(&args(&[
+            "probe", "--addr", &addr, "--probe", &probe, "--k", "5",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("indexed for"), "{e:?}");
+
+        let stats = handle.shutdown();
+        assert!(stats.contains("\"serve_full\""), "{stats}");
+    }
+
+    #[test]
+    fn serve_and_probe_flags_are_validated() {
+        let data = tmpfile("serveflags.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "10", "--seed", "22", "--out", &data,
+        ]))
+        .unwrap();
+        let e = run(&args(&["serve"])).unwrap_err();
+        assert!(e.0.contains("missing required flag --input"), "{e:?}");
+        let bad = |extra: &[&str]| {
+            let mut a = vec!["serve", "--input", data.as_str()];
+            a.extend_from_slice(extra);
+            run(&args(&a)).unwrap_err()
+        };
+        let e = bad(&["--workers", "0"]);
+        assert!(e.0.contains("--workers must be at least 1"), "{e:?}");
+        let e = bad(&["--queue-cap", "0"]);
+        assert!(e.0.contains("--queue-cap must be at least 1"), "{e:?}");
+        let e = bad(&["--io-timeout-secs", "-2"]);
+        assert!(e.0.contains("--io-timeout-secs"), "{e:?}");
+        let e = bad(&["--queue-degrade", "8", "--queue-shed", "2"]);
+        assert!(e.0.contains("--queue-shed"), "{e:?}");
+        let e = bad(&["--listeners", "2"]);
+        assert!(e.0.contains("unknown flag --listeners"), "{e:?}");
+
+        let e = run(&args(&["probe", "--probe", "ABC"])).unwrap_err();
+        assert!(e.0.contains("missing required flag --addr"), "{e:?}");
+        let e = run(&args(&["probe", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(e.0.contains("missing required flag --probe"), "{e:?}");
+        // A dead endpoint is a reported transport failure, not a hang.
+        let e = run(&args(&[
+            "probe", "--addr", "127.0.0.1:1", "--probe", "ABC", "--retries", "0",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("probe failed:"), "{e:?}");
     }
 }

@@ -202,93 +202,120 @@ impl Checkpoint {
     }
 
     /// Parses and validates the text format. Any defect — bad magic,
-    /// missing or wrong digest, malformed line — is [`CheckpointError::Corrupt`].
+    /// missing or wrong digest, malformed line — is
+    /// [`CheckpointError::Corrupt`], with the offending 1-based line
+    /// position in the message so a damaged file can be inspected, and
+    /// never a silent partial resume.
     pub fn decode(text: &str) -> Result<Checkpoint, CheckpointError> {
         let corrupt = |msg: String| CheckpointError::Corrupt(msg);
+        let total_lines = text.lines().count();
         // Every record — the digest included — is newline-terminated, so a
         // file that does not end in '\n' lost at least its last byte.
         if !text.ends_with('\n') {
-            return Err(corrupt("file does not end in a newline (truncated?)".to_string()));
+            return Err(corrupt(format!(
+                "line {total_lines}: file does not end in a newline (truncated?)"
+            )));
         }
-        let digest_at = text
-            .trim_end_matches('\n')
-            .rfind("digest ")
-            .ok_or_else(|| corrupt("missing digest line (truncated?)".to_string()))?;
+        let digest_at = text.trim_end_matches('\n').rfind("digest ").ok_or_else(|| {
+            corrupt(format!(
+                "line {total_lines}: missing digest line (truncated?)"
+            ))
+        })?;
         // The digest line must start a line, and the digest must cover
         // exactly the bytes before it.
+        let digest_line_no = text[..digest_at].matches('\n').count() + 1;
         if digest_at > 0 && text.as_bytes()[digest_at - 1] != b'\n' {
-            return Err(corrupt("digest marker not at start of line".to_string()));
+            return Err(corrupt(format!(
+                "line {digest_line_no}: digest marker not at start of line"
+            )));
         }
         let (body, digest_line) = text.split_at(digest_at);
         let digest_hex = digest_line
             .trim_end()
             .strip_prefix("digest ")
-            .ok_or_else(|| corrupt("malformed digest line".to_string()))?;
-        let digest = u64::from_str_radix(digest_hex, 16)
-            .map_err(|_| corrupt(format!("digest {digest_hex:?} is not hex")))?;
+            .ok_or_else(|| corrupt(format!("line {digest_line_no}: malformed digest line")))?;
+        let digest = u64::from_str_radix(digest_hex, 16).map_err(|_| {
+            corrupt(format!(
+                "line {digest_line_no}: digest {digest_hex:?} is not hex"
+            ))
+        })?;
         let actual = fnv1a(body.as_bytes());
         if digest != actual {
             return Err(corrupt(format!(
-                "digest mismatch (file says {digest:016x}, contents hash to {actual:016x})"
+                "line {digest_line_no}: digest mismatch \
+                 (file says {digest:016x}, contents hash to {actual:016x})"
             )));
         }
 
         let mut lines = body.lines();
         if lines.next() != Some(MAGIC) {
-            return Err(corrupt(format!("bad magic (expected {MAGIC:?})")));
+            return Err(corrupt(format!("line 1: bad magic (expected {MAGIC:?})")));
         }
         let mut fingerprint = None;
         let mut completed_waves = None;
         let mut stats = JoinStats::default();
         let mut pairs = Vec::new();
-        for line in lines {
+        // The magic is body line 1; records start on line 2.
+        for (idx, line) in lines.enumerate() {
+            let ln = idx + 2;
             let mut parts = line.split_ascii_whitespace();
             match parts.next() {
                 Some("fingerprint") => {
-                    let hex = parts.next().ok_or_else(|| corrupt(format!("bare fingerprint line {line:?}")))?;
-                    fingerprint = Some(
-                        u64::from_str_radix(hex, 16)
-                            .map_err(|_| corrupt(format!("fingerprint {hex:?} is not hex")))?,
-                    );
+                    let hex = parts
+                        .next()
+                        .ok_or_else(|| corrupt(format!("line {ln}: bare fingerprint line {line:?}")))?;
+                    fingerprint = Some(u64::from_str_radix(hex, 16).map_err(|_| {
+                        corrupt(format!("line {ln}: fingerprint {hex:?} is not hex"))
+                    })?);
                 }
                 Some("waves") => {
-                    let n = parts.next().ok_or_else(|| corrupt(format!("bare waves line {line:?}")))?;
-                    completed_waves = Some(
-                        n.parse::<usize>()
-                            .map_err(|_| corrupt(format!("wave count {n:?} is not a number")))?,
-                    );
+                    let n = parts
+                        .next()
+                        .ok_or_else(|| corrupt(format!("line {ln}: bare waves line {line:?}")))?;
+                    completed_waves = Some(n.parse::<usize>().map_err(|_| {
+                        corrupt(format!("line {ln}: wave count {n:?} is not a number"))
+                    })?);
                 }
                 Some("counter") => {
-                    let name = parts.next().ok_or_else(|| corrupt(format!("bare counter line {line:?}")))?;
-                    let v = parts.next().ok_or_else(|| corrupt(format!("counter {name:?} has no value")))?;
-                    let v: u64 = v
-                        .parse()
-                        .map_err(|_| corrupt(format!("counter {name:?} value {v:?} is not a number")))?;
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| corrupt(format!("line {ln}: bare counter line {line:?}")))?;
+                    let v = parts.next().ok_or_else(|| {
+                        corrupt(format!("line {ln}: counter {name:?} has no value"))
+                    })?;
+                    let v: u64 = v.parse().map_err(|_| {
+                        corrupt(format!(
+                            "line {ln}: counter {name:?} value {v:?} is not a number"
+                        ))
+                    })?;
                     if !set_funnel(&mut stats, name, v) {
-                        return Err(corrupt(format!("unknown counter {name:?}")));
+                        return Err(corrupt(format!("line {ln}: unknown counter {name:?}")));
                     }
                 }
                 Some("pair") => {
                     let mut field = || {
                         parts
                             .next()
-                            .ok_or_else(|| corrupt(format!("short pair line {line:?}")))
+                            .ok_or_else(|| corrupt(format!("line {ln}: short pair line {line:?}")))
                     };
                     let left: u32 = field()?
                         .parse()
-                        .map_err(|_| corrupt(format!("bad pair id in {line:?}")))?;
+                        .map_err(|_| corrupt(format!("line {ln}: bad pair id in {line:?}")))?;
                     let right: u32 = field()?
                         .parse()
-                        .map_err(|_| corrupt(format!("bad pair id in {line:?}")))?;
-                    let bits = u64::from_str_radix(field()?, 16)
-                        .map_err(|_| corrupt(format!("bad probability bits in {line:?}")))?;
+                        .map_err(|_| corrupt(format!("line {ln}: bad pair id in {line:?}")))?;
+                    let bits = u64::from_str_radix(field()?, 16).map_err(|_| {
+                        corrupt(format!("line {ln}: bad probability bits in {line:?}"))
+                    })?;
                     pairs.push(SimilarPair {
                         left,
                         right,
                         prob: f64::from_bits(bits),
                     });
                 }
-                Some(other) => return Err(corrupt(format!("unknown record {other:?}"))),
+                Some(other) => {
+                    return Err(corrupt(format!("line {ln}: unknown record {other:?}")))
+                }
                 None => {}
             }
         }

@@ -6,7 +6,8 @@
 //! driver, a search probe may be shorter *or* longer than indexed strings,
 //! so all lengths in `[|R|−k, |R|+k]` are queried.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use crate::config::JoinConfig;
 use crate::index::{EquivCache, SegmentIndex};
@@ -26,6 +27,78 @@ pub struct SearchHit {
     /// Best known lower bound on `Pr(ed ≤ k)` (exact when early stop is
     /// disabled); always `> τ`.
     pub prob: Prob,
+}
+
+/// Why a budgeted search was abandoned before producing a result.
+///
+/// Partial results are refused on principle: a probe that runs out of
+/// budget mid-funnel returns this error and *no* hits, because a
+/// truncated hit list is indistinguishable from a complete one to the
+/// caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchAbort {
+    /// The wall-clock deadline expired mid-probe.
+    Deadline {
+        /// Time spent on the probe before it was abandoned.
+        elapsed: Duration,
+    },
+    /// The cooperative cancel flag was raised by another thread.
+    Cancelled,
+}
+
+impl std::fmt::Display for SearchAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchAbort::Deadline { elapsed } => {
+                write!(f, "probe deadline exceeded after {elapsed:.2?}")
+            }
+            SearchAbort::Cancelled => write!(f, "probe cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for SearchAbort {}
+
+/// Cooperative execution budget for one probe: an optional absolute
+/// wall-clock deadline plus an optional cancel flag another thread may
+/// raise. The default budget is unlimited, under which a budgeted
+/// search can never abort.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ProbeBudget<'a> {
+    /// Absolute instant after which the probe must abort.
+    pub deadline: Option<Instant>,
+    /// Flag another thread raises to abandon the probe early.
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+impl<'a> ProbeBudget<'a> {
+    /// Budget with only a deadline, `duration` from now.
+    pub fn with_deadline(duration: Duration) -> Self {
+        ProbeBudget {
+            deadline: Instant::now().checked_add(duration),
+            cancel: None,
+        }
+    }
+
+    /// Returns the abort reason if the budget is exhausted.
+    fn check(&self, started: Instant) -> Result<(), SearchAbort> {
+        if let Some(cancel) = self.cancel {
+            // ordering: Relaxed — the cancel flag is advisory; the only
+            // requirement is eventual visibility, not ordering against
+            // any other memory operation.
+            if cancel.load(Ordering::Relaxed) {
+                return Err(SearchAbort::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(SearchAbort::Deadline {
+                    elapsed: started.elapsed(),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A collection indexed for repeated similarity searches.
@@ -209,35 +282,76 @@ impl IndexedCollection {
         admit: impl Fn(u32) -> bool,
         recorder: &mut R,
     ) -> (Vec<SearchHit>, JoinStats) {
+        match self.search_budgeted_recorded(probe_id, probe, admit, ProbeBudget::default(), recorder)
+        {
+            Ok(out) => out,
+            // An unlimited budget has nothing to exhaust.
+            Err(abort) => unreachable!("unlimited budget aborted: {abort}"),
+        }
+    }
+
+    /// [`IndexedCollection::search_filtered_recorded`] under a cooperative
+    /// [`ProbeBudget`]: the deadline / cancel flag is checked before
+    /// candidate generation, after the filter stages, and between
+    /// candidate verifications (the expensive CDF + DP loop). On abort
+    /// the partial hit list is *discarded* — the caller gets `Err`, never
+    /// a silently truncated answer — but the probe's recorded events up
+    /// to that point, including the [`Phase::Total`] sample, are kept so
+    /// latency histograms still see abandoned probes.
+    pub fn search_budgeted_recorded<R: Recorder>(
+        &self,
+        probe_id: u32,
+        probe: &UncertainString,
+        admit: impl Fn(u32) -> bool,
+        budget: ProbeBudget<'_>,
+        recorder: &mut R,
+    ) -> Result<(Vec<SearchHit>, JoinStats), SearchAbort> {
         let config = &self.config;
         let total_start = Instant::now();
         let mut stats = JoinStats {
             num_strings: self.strings.len(),
             ..Default::default()
         };
-        let mut rec = Recording::new(&mut stats, recorder);
-        rec.probe_start(probe_id);
-        let cdf_filter = CdfFilter::new(config.k, config.tau);
-
-        // ---- Candidate generation + frequency filtering --------------
-        let mut candidates = self.candidate_stage(probe, &mut rec);
-        candidates.retain(|&id| admit(id));
-
-        // ---- CDF + verification --------------------------------------
-        let mut verifier: Option<ProbeVerifier> = None;
         let mut hits = Vec::new();
-        for id in candidates {
-            let other = &self.strings[id as usize];
-            let Some((similar, prob)) =
-                decide_candidate(probe, other, &cdf_filter, &mut verifier, config, &mut rec)
-            else {
-                continue;
-            };
-            if similar {
-                hits.push(SearchHit { id, prob });
+        let mut abort;
+        {
+            let mut rec = Recording::new(&mut stats, recorder);
+            rec.probe_start(probe_id);
+            abort = budget.check(total_start).err();
+
+            // ---- Candidate generation + frequency filtering ----------
+            if abort.is_none() {
+                let cdf_filter = CdfFilter::new(config.k, config.tau);
+                let mut candidates = self.candidate_stage(probe, &mut rec);
+                candidates.retain(|&id| admit(id));
+                abort = budget.check(total_start).err();
+
+                // ---- CDF + verification ------------------------------
+                let mut verifier: Option<ProbeVerifier> = None;
+                for id in candidates {
+                    if abort.is_some() {
+                        break;
+                    }
+                    let other = &self.strings[id as usize];
+                    if let Some((similar, prob)) = decide_candidate(
+                        probe,
+                        other,
+                        &cdf_filter,
+                        &mut verifier,
+                        config,
+                        &mut rec,
+                    ) {
+                        if similar {
+                            hits.push(SearchHit { id, prob });
+                        }
+                    }
+                    abort = budget.check(total_start).err();
+                }
+            }
+            if abort.is_none() {
+                rec.count(Counter::OutputPairs, hits.len() as u64);
             }
         }
-        rec.count(Counter::OutputPairs, hits.len() as u64);
         // Gauges are set on the stats view directly: the index is static
         // during a search, so per-probe gauge events would only repeat the
         // same value into the trace.
@@ -248,7 +362,10 @@ impl IndexedCollection {
         recorder.enter_phase(Phase::Total);
         recorder.exit_phase(Phase::Total, elapsed);
         recorder.probe_end(probe_id);
-        (hits, stats)
+        match abort {
+            Some(abort) => Err(abort),
+            None => Ok((hits, stats)),
+        }
     }
 }
 
@@ -335,6 +452,60 @@ mod tests {
             );
             let hits = coll.search(&dna("ACGT"));
             assert_eq!(!hits.is_empty(), expect, "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_refuses_partial_results() {
+        let coll = IndexedCollection::build(JoinConfig::new(2, 0.3), 4, collection());
+        let budget = ProbeBudget {
+            deadline: Some(Instant::now()),
+            cancel: None,
+        };
+        let err = coll
+            .search_budgeted_recorded(0, &dna("ACGTACGT"), |_| true, budget, &mut NoopRecorder)
+            .unwrap_err();
+        assert!(matches!(err, SearchAbort::Deadline { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn raised_cancel_flag_aborts() {
+        let coll = IndexedCollection::build(JoinConfig::new(2, 0.3), 4, collection());
+        let cancel = AtomicBool::new(true);
+        let budget = ProbeBudget {
+            deadline: None,
+            cancel: Some(&cancel),
+        };
+        let err = coll
+            .search_budgeted_recorded(0, &dna("ACGTACGT"), |_| true, budget, &mut NoopRecorder)
+            .unwrap_err();
+        assert_eq!(err, SearchAbort::Cancelled);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_search() {
+        let coll = IndexedCollection::build(JoinConfig::new(2, 0.3), 4, collection());
+        let probe = dna("ACGT{(A,0.5),(C,0.5)}CGT");
+        let plain = coll.search(&probe);
+        let (budgeted, _) = coll
+            .search_budgeted_recorded(0, &probe, |_| true, ProbeBudget::default(), &mut NoopRecorder)
+            .expect("unlimited budget cannot abort");
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn degraded_candidates_are_superset_of_exact_hits() {
+        let coll = IndexedCollection::build(JoinConfig::new(2, 0.3), 4, collection());
+        for probe_text in ["ACGTACGT", "ACGT{(A,0.5),(C,0.5)}CGT", "GGGGGGGG"] {
+            let probe = dna(probe_text);
+            let candidates = coll.filter_candidates(&probe);
+            for hit in coll.search(&probe) {
+                assert!(
+                    candidates.contains(&hit.id),
+                    "degraded answer dropped exact hit {} for {probe_text}",
+                    hit.id
+                );
+            }
         }
     }
 

@@ -108,11 +108,13 @@ pub struct JoinConfig {
     /// worker; explicit values trade scheduling overhead (small bands)
     /// against peak resident index memory (large bands).
     pub shard_band: usize,
-    /// Wall-clock budget for the fault-tolerant parallel driver, checked
-    /// at batch granularity. `None` (the default) never times out; when
-    /// exceeded, the run ends with a clean partial-result error (and a
-    /// checkpoint, if checkpointing is on) instead of hanging on a
-    /// pathological probe.
+    /// Wall-clock budget for the joining drivers with an error channel:
+    /// the fault-tolerant parallel driver checks it at batch granularity,
+    /// the sequential `try_self_join` drivers between probes. `None`
+    /// (the default) never times out; when exceeded, the run ends with a
+    /// clean partial-result error (and a checkpoint, if checkpointing is
+    /// on) instead of hanging on a pathological probe. The classic
+    /// panicking APIs (`self_join`, `par_self_join`) ignore it.
     pub deadline: Option<std::time::Duration>,
 }
 
@@ -191,7 +193,8 @@ impl JoinConfig {
         self
     }
 
-    /// Sets the wall-clock deadline for the fault-tolerant driver
+    /// Sets the wall-clock deadline for the fault-tolerant parallel
+    /// driver and the sequential `try_self_join` drivers
     /// (`None` = no limit).
     pub fn with_deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
         self.deadline = deadline;

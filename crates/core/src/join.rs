@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use crate::config::JoinConfig;
 use crate::index::{EquivCache, SegmentIndex};
+use crate::parallel::JoinError;
 use crate::record::Recording;
 use crate::stats::JoinStats;
 use crate::verifier::{decide_candidate, ProbeVerifier};
@@ -129,11 +130,52 @@ impl SimilarityJoin {
     /// spans for q-gram/frequency/CDF/verify/index work, prune-attribution
     /// counters, and index-memory gauges. The returned
     /// [`JoinResult::stats`] is a view over the same event stream.
+    ///
+    /// This classic API has no error channel, so it ignores any
+    /// configured [`JoinConfig::deadline`] (mirroring
+    /// [`crate::parallel::par_self_join`]); use
+    /// [`SimilarityJoin::try_self_join_recorded`] to have the deadline
+    /// enforced.
     pub fn self_join_recorded<R: Recorder>(
         &self,
         strings: &[UncertainString],
         recorder: &mut R,
     ) -> JoinResult {
+        match self.self_join_impl(strings, recorder, false) {
+            Ok(result) => result,
+            // With deadline enforcement off the impl cannot fail.
+            Err(e) => unreachable!("undeadlined sequential join failed: {e}"),
+        }
+    }
+
+    /// [`SimilarityJoin::self_join`] with [`JoinConfig::deadline`]
+    /// enforced: the wall clock is checked between probes and the run
+    /// aborts with [`JoinError::Deadline`] once it expires. The
+    /// sequential driver has no waves or checkpoints, so the error
+    /// reports `completed_waves: 0` and no checkpoint path — the same
+    /// shape [`crate::parallel::par_self_join_ft`] produces when the
+    /// deadline hits before any wave commits.
+    pub fn try_self_join(&self, strings: &[UncertainString]) -> Result<JoinResult, JoinError> {
+        self.try_self_join_recorded(strings, &mut NoopRecorder)
+    }
+
+    /// [`SimilarityJoin::try_self_join`] with recorded events, combining
+    /// deadline enforcement with the instrumentation of
+    /// [`SimilarityJoin::self_join_recorded`].
+    pub fn try_self_join_recorded<R: Recorder>(
+        &self,
+        strings: &[UncertainString],
+        recorder: &mut R,
+    ) -> Result<JoinResult, JoinError> {
+        self.self_join_impl(strings, recorder, true)
+    }
+
+    fn self_join_impl<R: Recorder>(
+        &self,
+        strings: &[UncertainString],
+        recorder: &mut R,
+        enforce_deadline: bool,
+    ) -> Result<JoinResult, JoinError> {
         let config = &self.config;
         let total_start = Instant::now();
         let mut stats = JoinStats {
@@ -159,8 +201,27 @@ impl SimilarityJoin {
         let mut profiles: Vec<Option<FreqProfile>> = vec![None; strings.len()];
 
         let mut pairs: Vec<SimilarPair> = Vec::new();
+        let deadline = if enforce_deadline {
+            config.deadline
+        } else {
+            None
+        };
 
         for &probe_id in &order {
+            // Cooperative deadline: checked between probes, so one probe
+            // is the abort granularity (as one batch is for the
+            // fault-tolerant parallel driver). No partial result leaks:
+            // the whole join errors out.
+            if let Some(limit) = deadline {
+                let elapsed = total_start.elapsed();
+                if elapsed >= limit {
+                    return Err(JoinError::Deadline {
+                        elapsed,
+                        completed_waves: 0,
+                        checkpoint: None,
+                    });
+                }
+            }
             let probe = &strings[probe_id as usize];
             let min_len = probe.len().saturating_sub(config.k);
             rec.probe_start(probe_id);
@@ -269,7 +330,7 @@ impl SimilarityJoin {
         rec.gauge(Gauge::PeakIndexBytes, index.peak_bytes() as u64);
         rec.gauge(Gauge::NumStrings, strings.len() as u64);
         rec.set_total(total_start.elapsed());
-        JoinResult { pairs, stats }
+        Ok(JoinResult { pairs, stats })
     }
 }
 
@@ -538,5 +599,42 @@ mod tests {
         let result = SimilarityJoin::new(JoinConfig::new(1, 0.5), 4).self_join(&strings);
         // C(4,2) = 6 pairs.
         assert_eq!(result.pairs.len(), 6);
+    }
+
+    #[test]
+    fn try_self_join_enforces_deadline_between_probes() {
+        let config = JoinConfig::new(2, 0.3).with_deadline(Some(std::time::Duration::ZERO));
+        let join = SimilarityJoin::new(config, 4);
+        match join.try_self_join(&collection()) {
+            Err(JoinError::Deadline {
+                completed_waves,
+                checkpoint,
+                ..
+            }) => {
+                assert_eq!(completed_waves, 0);
+                assert!(checkpoint.is_none());
+            }
+            other => panic!("expected Deadline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_self_join_without_deadline_matches_classic_driver() {
+        let strings = collection();
+        let join = SimilarityJoin::new(JoinConfig::new(2, 0.3), 4);
+        let classic = join.self_join(&strings);
+        let tried = join.try_self_join(&strings).expect("no deadline configured");
+        assert_eq!(classic.pairs, tried.pairs);
+    }
+
+    #[test]
+    fn classic_driver_ignores_deadline() {
+        // The panicking API has no error channel; a configured deadline
+        // must not change its output.
+        let config = JoinConfig::new(2, 0.3).with_deadline(Some(std::time::Duration::ZERO));
+        let strings = collection();
+        let with_deadline = SimilarityJoin::new(config, 4).self_join(&strings);
+        let without = SimilarityJoin::new(JoinConfig::new(2, 0.3), 4).self_join(&strings);
+        assert_eq!(with_deadline.pairs, without.pairs);
     }
 }

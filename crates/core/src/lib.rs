@@ -44,7 +44,7 @@ pub mod verifier;
 pub use usj_obs as obs;
 
 pub use checkpoint::{atomic_write, Checkpoint, CheckpointError};
-pub use collection::IndexedCollection;
+pub use collection::{IndexedCollection, ProbeBudget, SearchAbort, SearchHit};
 pub use config::{JoinConfig, Pipeline, VerifierKind};
 pub use index::{EquivCache, SegmentIndex};
 pub use join::{JoinResult, SimilarPair, SimilarityJoin};

@@ -159,7 +159,13 @@ impl JoinStats {
             | Counter::IndexPostingsScanned
             | Counter::IndexCandidatesSurfaced
             | Counter::VerifierBuilds
-            | Counter::StealBatches => {}
+            | Counter::StealBatches
+            | Counter::ServeAccepted
+            | Counter::ServeFull
+            | Counter::ServeDegraded
+            | Counter::ServeShed
+            | Counter::ServeDeadline
+            | Counter::ServePanics => {}
         }
     }
 
@@ -171,9 +177,10 @@ impl JoinStats {
                 self.peak_index_bytes = self.peak_index_bytes.max(value as usize)
             }
             Gauge::NumStrings => self.num_strings = value as usize,
-            // Sharded-driver residency gauges live only in richer
-            // recorders; the flat view keeps the classic memory fields.
-            Gauge::ResidentShards | Gauge::PeakResidentBytes => {}
+            // Sharded-driver residency and server queue gauges live only
+            // in richer recorders; the flat view keeps the classic
+            // memory fields.
+            Gauge::ResidentShards | Gauge::PeakResidentBytes | Gauge::ServeQueueDepth => {}
         }
     }
 

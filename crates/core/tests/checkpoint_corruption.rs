@@ -1,0 +1,248 @@
+//! Corruption corpus for the checkpoint codec: every byte-level defect —
+//! truncated lines, bit-flipped FNV digests, garbage records — must be
+//! rejected with a *positioned* [`CheckpointError::Corrupt`] (the message
+//! names the offending 1-based line), and a resume over a damaged file
+//! must fail loudly instead of silently replaying a partial prefix.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use usj_core::obs::NoopRecorder;
+use usj_core::{
+    par_self_join_ft, Checkpoint, CheckpointError, FtOptions, JoinConfig, JoinStats, SimilarPair,
+};
+use usj_fault::shield;
+use usj_model::{Alphabet, UncertainString};
+
+/// Serialise with the rest of the fault suite: `usj-fault` plans are
+/// process-global, and resume runs below go through the same driver.
+fn lock() -> MutexGuard<'static, ()> {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    shield::install();
+    TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A well-formed checkpoint with every record kind present.
+fn sample() -> Checkpoint {
+    let funnel = JoinStats {
+        pairs_in_scope: 9,
+        qgram_survivors: 5,
+        freq_survivors: 3,
+        cdf_accepted: 1,
+        verified_similar: 1,
+        output_pairs: 2,
+        ..Default::default()
+    };
+    Checkpoint {
+        fingerprint: 0x00c0ffee_u64,
+        completed_waves: 3,
+        funnel,
+        pairs: vec![
+            SimilarPair {
+                left: 0,
+                right: 4,
+                prob: 0.75,
+            },
+            SimilarPair {
+                left: 2,
+                right: 7,
+                prob: 0.5000000001,
+            },
+        ],
+    }
+}
+
+fn decode_err(text: &str) -> String {
+    match Checkpoint::decode(text) {
+        Err(CheckpointError::Corrupt(msg)) => msg,
+        Err(other) => panic!("expected Corrupt, got {other}"),
+        Ok(_) => panic!("corrupted checkpoint decoded successfully"),
+    }
+}
+
+#[test]
+fn roundtrip_is_exact() {
+    let ck = sample();
+    let decoded = Checkpoint::decode(&ck.encode()).expect("clean roundtrip");
+    assert_eq!(decoded.fingerprint, ck.fingerprint);
+    assert_eq!(decoded.completed_waves, ck.completed_waves);
+    assert_eq!(decoded.pairs.len(), ck.pairs.len());
+    for (a, b) in decoded.pairs.iter().zip(&ck.pairs) {
+        assert_eq!((a.left, a.right), (b.left, b.right));
+        assert_eq!(a.prob.to_bits(), b.prob.to_bits(), "bit-exact probability");
+    }
+}
+
+#[test]
+fn truncated_final_line_is_positioned() {
+    let text = sample().encode();
+    // Drop the trailing newline: the digest line lost its last byte.
+    let cut = &text[..text.len() - 1];
+    let msg = decode_err(cut);
+    let lines = cut.lines().count();
+    assert!(
+        msg.contains(&format!("line {lines}")),
+        "no position in {msg:?}"
+    );
+    assert!(msg.contains("truncated"), "{msg:?}");
+}
+
+#[test]
+fn truncation_losing_the_digest_is_positioned() {
+    let text = sample().encode();
+    // Cut the whole digest line off (keep the preceding newline).
+    let digest_at = text.rfind("digest ").expect("encoded digest");
+    let cut = &text[..digest_at];
+    let msg = decode_err(cut);
+    assert!(msg.contains("missing digest"), "{msg:?}");
+    assert!(
+        msg.contains(&format!("line {}", cut.lines().count())),
+        "no position in {msg:?}"
+    );
+}
+
+#[test]
+fn every_single_bit_flip_in_the_digest_is_caught() {
+    let text = sample().encode();
+    let digest_at = text.rfind("digest ").expect("encoded digest");
+    let hex_start = digest_at + "digest ".len();
+    // Flip each hex digit of the digest to a different valid hex digit;
+    // the file must be rejected with the digest line's position.
+    let digest_line_no = text[..digest_at].matches('\n').count() + 1;
+    for i in 0..16 {
+        let mut bytes = text.clone().into_bytes();
+        let pos = hex_start + i;
+        bytes[pos] = if bytes[pos] == b'0' { b'1' } else { b'0' };
+        let flipped = String::from_utf8(bytes).expect("still utf-8");
+        if flipped == text {
+            continue;
+        }
+        let msg = decode_err(&flipped);
+        assert!(msg.contains("digest mismatch"), "flip {i}: {msg:?}");
+        assert!(
+            msg.contains(&format!("line {digest_line_no}")),
+            "flip {i}: no position in {msg:?}"
+        );
+    }
+}
+
+#[test]
+fn body_byte_flip_breaks_the_digest() {
+    let text = sample().encode();
+    // Flip one digit inside a pair record; the FNV digest must notice.
+    let pair_at = text.find("pair 0 4").expect("first pair record");
+    let mut bytes = text.clone().into_bytes();
+    bytes[pair_at + 5] = b'9'; // pair 0 -> pair 9
+    let msg = decode_err(&String::from_utf8(bytes).expect("still utf-8"));
+    assert!(msg.contains("digest mismatch"), "{msg:?}");
+}
+
+/// Re-encodes `body` lines with a fresh valid digest, so defects survive
+/// the digest check and exercise the record parsers.
+fn with_valid_digest(body: &str) -> String {
+    // Mirror the file layout: body then `digest <fnv1a(body)>`.
+    let mut text = String::from(body);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    text.push_str(&format!("digest {hash:016x}\n"));
+    text
+}
+
+#[test]
+fn garbage_records_are_positioned() {
+    // Each (body, expected-position, expected-fragment) triple plants one
+    // defect on a known line of an otherwise plausible file.
+    let cases = [
+        (
+            "usj-checkpoint v1\nfingerprint 00c0ffee\nwaves three\n",
+            "line 3",
+            "is not a number",
+        ),
+        (
+            "usj-checkpoint v1\nfingerprint xyz\nwaves 1\n",
+            "line 2",
+            "is not hex",
+        ),
+        (
+            "usj-checkpoint v1\nfingerprint 00c0ffee\nwaves 1\ngrble 1 2\n",
+            "line 4",
+            "unknown record",
+        ),
+        (
+            "usj-checkpoint v1\nfingerprint 00c0ffee\nwaves 1\npair 0\n",
+            "line 4",
+            "short pair line",
+        ),
+        (
+            "usj-checkpoint v1\nfingerprint 00c0ffee\nwaves 1\ncounter bogus_total 4\n",
+            "line 4",
+            "unknown counter",
+        ),
+        (
+            "usj-checkpoint v1\nfingerprint 00c0ffee\nwaves 1\npair 0 1 zz\n",
+            "line 4",
+            "bad probability bits",
+        ),
+    ];
+    for (body, position, fragment) in cases {
+        let msg = decode_err(&with_valid_digest(body));
+        assert!(msg.contains(position), "{body:?}: no {position} in {msg:?}");
+        assert!(msg.contains(fragment), "{body:?}: {msg:?}");
+    }
+    // Bad magic is always line 1.
+    let msg = decode_err(&with_valid_digest("usj-checkpoint v9\nwaves 1\n"));
+    assert!(msg.contains("line 1"), "{msg:?}");
+    assert!(msg.contains("bad magic"), "{msg:?}");
+}
+
+#[test]
+fn corrupted_file_on_disk_fails_resume_loudly() {
+    let _g = lock();
+    // A real driver run commits a checkpoint; damaging the file must turn
+    // resume into a positioned error, never a silent partial resume.
+    let alpha = Alphabet::dna();
+    let strings: Vec<UncertainString> = ["ACGT", "ACGG", "ACGTA", "ACGTC", "ACGTAC", "ACGTAG"]
+        .iter()
+        .map(|s| UncertainString::parse(s, &alpha).unwrap())
+        .collect();
+    let config = JoinConfig::new(1, 0.3)
+        .with_shard_band(1)
+        .with_batch_range(1, 2);
+    let dir = std::env::temp_dir().join(format!("usj-ckpt-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = FtOptions {
+        checkpoint_dir: Some(dir.clone()),
+        resume: false,
+    };
+    par_self_join_ft(config.clone(), 4, &strings, 2, &opts, || NoopRecorder)
+        .expect("clean run commits");
+    let path = Checkpoint::path_in(&dir);
+    let text = std::fs::read_to_string(&path).expect("checkpoint written");
+
+    // Truncate mid-line on disk.
+    std::fs::write(&path, &text[..text.len() - 3]).expect("rewrite");
+    let err = Checkpoint::load(&dir).expect_err("truncated file must not load");
+    assert!(
+        matches!(&err, CheckpointError::Corrupt(msg) if msg.contains("line ")),
+        "{err}"
+    );
+
+    // Bit-flip the digest on disk and resume through the driver.
+    let digest_at = text.rfind("digest ").expect("digest line");
+    let mut bytes = text.clone().into_bytes();
+    let pos = digest_at + "digest ".len();
+    bytes[pos] = if bytes[pos] == b'0' { b'1' } else { b'0' };
+    std::fs::write(&path, &bytes).expect("rewrite");
+    let resume = FtOptions {
+        checkpoint_dir: Some(dir.clone()),
+        resume: true,
+    };
+    let err = par_self_join_ft(config, 4, &strings, 2, &resume, || NoopRecorder)
+        .expect_err("resume over a corrupt checkpoint must fail");
+    let msg = err.to_string();
+    assert!(msg.contains("digest mismatch"), "{msg}");
+    assert!(msg.contains("line "), "no position in {msg}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

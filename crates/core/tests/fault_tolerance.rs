@@ -180,6 +180,37 @@ fn deadlines_fail_cleanly_at_batch_granularity() {
 }
 
 #[test]
+fn tight_deadline_aborts_sequential_and_parallel_drivers_identically() {
+    let _g = lock();
+    let strings = collection();
+    let cfg = config().with_deadline(Some(Duration::ZERO));
+
+    // Same deadline, both drivers: the sequential `try_self_join` and the
+    // fault-tolerant parallel driver must refuse with the same error
+    // shape — a Deadline with zero committed waves and no checkpoint —
+    // and the same leading error text.
+    let seq_err = usj_core::SimilarityJoin::new(cfg.clone(), 4)
+        .try_self_join(&strings)
+        .unwrap_err();
+    let par_err = run_ft(&cfg, &strings, &FtOptions::default()).unwrap_err();
+    for err in [&seq_err, &par_err] {
+        match err {
+            JoinError::Deadline {
+                completed_waves,
+                checkpoint,
+                ..
+            } => {
+                assert_eq!(*completed_waves, 0);
+                assert_eq!(*checkpoint, None);
+            }
+            other => panic!("expected Deadline, got {other}"),
+        }
+        assert!(err.to_string().contains("deadline exceeded"), "{err}");
+        assert!(err.to_string().contains("0 wave(s) completed"), "{err}");
+    }
+}
+
+#[test]
 fn recovered_batch_panic_is_bit_identical() {
     let _g = lock();
     let strings = collection();

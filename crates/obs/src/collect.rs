@@ -370,14 +370,21 @@ mod tests {
     "faults_injected": 0,
     "batches_retried": 0,
     "probes_quarantined": 0,
-    "waves_resumed": 0
+    "waves_resumed": 0,
+    "serve_accepted": 0,
+    "serve_full": 0,
+    "serve_degraded": 0,
+    "serve_shed": 0,
+    "serve_deadline": 0,
+    "serve_panics": 0
   },
   "gauges": {
     "index_bytes": 1000,
     "peak_index_bytes": 1200,
     "num_strings": 0,
     "resident_shards": 0,
-    "peak_resident_bytes": 0
+    "peak_resident_bytes": 0,
+    "serve_queue_depth": 0
   },
   "phases": {
     "qgram": {
@@ -599,6 +606,54 @@ mod tests {
       "max": 0
     },
     "waves_resumed": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "serve_accepted": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "serve_full": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "serve_degraded": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "serve_shed": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "serve_deadline": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "serve_panics": {
       "probes": 0,
       "sum": 0,
       "p50": 0,

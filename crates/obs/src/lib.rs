@@ -141,11 +141,27 @@ pub enum Counter {
     /// Length-band waves skipped on `--resume` because a checkpoint
     /// already covered them.
     WavesResumed,
+    /// Connections admitted into the query server's bounded queue.
+    ServeAccepted,
+    /// Probe requests answered through the full exact pipeline.
+    ServeFull,
+    /// Probe requests answered in degraded (filter-only) mode: the
+    /// q-gram + frequency-distance funnel without CDF/verification, a
+    /// sound superset of the exact answer flagged `DEGRADED` on the wire.
+    ServeDegraded,
+    /// Requests shed with `BUSY` (admission queue full or ladder level 2).
+    ServeShed,
+    /// Probe requests refused because their per-request deadline expired
+    /// mid-pipeline (partial results are discarded, never served).
+    ServeDeadline,
+    /// Worker panics isolated by the server's `catch_unwind` perimeter;
+    /// the poisoned request gets `ERR`, the listener survives.
+    ServePanics,
 }
 
 impl Counter {
     /// Every counter, in serialisation order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 28] = [
         Counter::PairsInScope,
         Counter::QgramSurvivors,
         Counter::QgramPrunedCount,
@@ -168,6 +184,12 @@ impl Counter {
         Counter::BatchesRetried,
         Counter::ProbesQuarantined,
         Counter::WavesResumed,
+        Counter::ServeAccepted,
+        Counter::ServeFull,
+        Counter::ServeDegraded,
+        Counter::ServeShed,
+        Counter::ServeDeadline,
+        Counter::ServePanics,
     ];
 
     /// Dense index into per-counter arrays.
@@ -200,6 +222,12 @@ impl Counter {
             Counter::BatchesRetried => "batches_retried",
             Counter::ProbesQuarantined => "probes_quarantined",
             Counter::WavesResumed => "waves_resumed",
+            Counter::ServeAccepted => "serve_accepted",
+            Counter::ServeFull => "serve_full",
+            Counter::ServeDegraded => "serve_degraded",
+            Counter::ServeShed => "serve_shed",
+            Counter::ServeDeadline => "serve_deadline",
+            Counter::ServePanics => "serve_panics",
         }
     }
 }
@@ -218,16 +246,19 @@ pub enum Gauge {
     /// Peak bytes of simultaneously-resident shard indices (the sharded
     /// driver's analogue of [`Gauge::PeakIndexBytes`]).
     PeakResidentBytes,
+    /// Peak depth of the query server's bounded admission queue.
+    ServeQueueDepth,
 }
 
 impl Gauge {
     /// Every gauge, in serialisation order.
-    pub const ALL: [Gauge; 5] = [
+    pub const ALL: [Gauge; 6] = [
         Gauge::IndexBytes,
         Gauge::PeakIndexBytes,
         Gauge::NumStrings,
         Gauge::ResidentShards,
         Gauge::PeakResidentBytes,
+        Gauge::ServeQueueDepth,
     ];
 
     /// Dense index into per-gauge arrays.
@@ -243,6 +274,7 @@ impl Gauge {
             Gauge::NumStrings => "num_strings",
             Gauge::ResidentShards => "resident_shards",
             Gauge::PeakResidentBytes => "peak_resident_bytes",
+            Gauge::ServeQueueDepth => "serve_queue_depth",
         }
     }
 }

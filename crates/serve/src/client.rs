@@ -1,0 +1,398 @@
+//! Blocking client with capped exponential backoff + jitter and
+//! per-request deadline propagation.
+//!
+//! Each probe opens one connection (the protocol is a single
+//! request/response line, and one-shot connections keep retry semantics
+//! trivial: a retried request can land on any worker). On `BUSY` the
+//! client backs off — at least the server's `retry_after_ms` hint,
+//! jittered — and retries up to `max_retries` times. When a deadline is
+//! set, the *remaining* budget is recomputed before every attempt, sent
+//! to the server as `deadline_ms=`, and mirrored into the socket
+//! read/write timeouts so a stalled server cannot overrun it.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::proto::Response;
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Retries after the first attempt (on `BUSY` or connect failure).
+    pub max_retries: u32,
+    /// First backoff step; doubles per retry up to `max_backoff`.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// End-to-end deadline across *all* attempts, propagated to the
+    /// server per attempt as the remaining budget.
+    pub deadline: Option<Duration>,
+    /// Jitter seed, so tests are reproducible.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            deadline: None,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// A successful probe's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeOutcome {
+    /// Exact `(id, Pr(ed ≤ k))` hits from the full pipeline.
+    Exact(Vec<(u32, f64)>),
+    /// Filter-only candidate ids — a sound superset of the exact hit
+    /// ids, served while the server is degraded.
+    Degraded(Vec<u32>),
+}
+
+/// Why a probe ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every attempt was shed with `BUSY`.
+    Busy {
+        /// Attempts made (initial + retries) before giving up.
+        attempts: u32,
+    },
+    /// The deadline expired — locally between attempts or server-side
+    /// (a `DEADLINE` response is not retried: the budget is gone).
+    Deadline,
+    /// Connection/transport failure on the final attempt.
+    Io(io::Error),
+    /// The server answered, but not with a line this client understands.
+    Protocol(String),
+    /// The server reported a request-level error (`ERR ...`).
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Busy { attempts } => {
+                write!(f, "server busy after {attempts} attempt(s)")
+            }
+            ClientError::Deadline => write!(f, "deadline exceeded"),
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Blocking one-shot probe client.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    cfg: ClientConfig,
+    rng: u64,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn new(addr: impl Into<String>, cfg: ClientConfig) -> Client {
+        let seed = cfg.seed;
+        Client {
+            addr: addr.into(),
+            cfg,
+            // xorshift state must be non-zero.
+            rng: seed | 1,
+        }
+    }
+
+    /// Issues `PROBE k tau text`, retrying on `BUSY`/transport errors
+    /// with capped exponential backoff + jitter.
+    pub fn probe(&mut self, k: usize, tau: f64, text: &str) -> Result<ProbeOutcome, ClientError> {
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        let mut saw_busy = false;
+        let mut backoff_hint = 0u64;
+        loop {
+            attempts += 1;
+            let remaining = self.remaining(started)?;
+            match self.attempt(k, tau, text, remaining) {
+                Ok(Response::Ok(hits)) => return Ok(ProbeOutcome::Exact(hits)),
+                Ok(Response::Degraded(ids)) => return Ok(ProbeOutcome::Degraded(ids)),
+                Ok(Response::Deadline { .. }) => return Err(ClientError::Deadline),
+                Ok(Response::Busy { retry_after_ms }) => {
+                    saw_busy = true;
+                    backoff_hint = retry_after_ms;
+                }
+                Ok(Response::Err(msg)) => return Err(ClientError::Server(msg)),
+                Ok(other) => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected response {:?}",
+                        other.encode()
+                    )))
+                }
+                Err(RetryableError::Fatal(e)) => return Err(e),
+                Err(RetryableError::Transport(e)) => {
+                    if attempts > self.cfg.max_retries {
+                        return Err(ClientError::Io(e));
+                    }
+                }
+            }
+            if attempts > self.cfg.max_retries {
+                if saw_busy {
+                    return Err(ClientError::Busy { attempts });
+                }
+                return Err(ClientError::Deadline);
+            }
+            let pause = self.backoff(attempts, backoff_hint);
+            if let Some(deadline) = self.cfg.deadline {
+                if started.elapsed() + pause >= deadline {
+                    return Err(ClientError::Deadline);
+                }
+            }
+            std::thread::sleep(pause);
+        }
+    }
+
+    /// One `HEALTH` round-trip.
+    pub fn health(&mut self) -> Result<(u8, usize, usize), ClientError> {
+        match self.attempt_line("HEALTH", None) {
+            Ok(Response::Health {
+                level,
+                queue,
+                inflight,
+            }) => Ok((level, queue, inflight)),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "unexpected response {:?}",
+                other.encode()
+            ))),
+            Err(RetryableError::Fatal(e)) => Err(e),
+            Err(RetryableError::Transport(e)) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// One `STATS` round-trip: the server's one-line obs JSON snapshot.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.attempt_line("STATS", None) {
+            Ok(Response::Stats(json)) => Ok(json),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "unexpected response {:?}",
+                other.encode()
+            ))),
+            Err(RetryableError::Fatal(e)) => Err(e),
+            Err(RetryableError::Transport(e)) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// Asks the server to drain gracefully (`SHUTDOWN` → `BYE`).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.attempt_line("SHUTDOWN", None) {
+            Ok(Response::Bye) => Ok(()),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "unexpected response {:?}",
+                other.encode()
+            ))),
+            Err(RetryableError::Fatal(e)) => Err(e),
+            Err(RetryableError::Transport(e)) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// Remaining deadline budget, or `None` when no deadline is set.
+    fn remaining(&self, started: Instant) -> Result<Option<Duration>, ClientError> {
+        match self.cfg.deadline {
+            None => Ok(None),
+            Some(deadline) => {
+                let spent = started.elapsed();
+                if spent >= deadline {
+                    Err(ClientError::Deadline)
+                } else {
+                    Ok(Some(deadline - spent))
+                }
+            }
+        }
+    }
+
+    fn attempt(
+        &mut self,
+        k: usize,
+        tau: f64,
+        text: &str,
+        remaining: Option<Duration>,
+    ) -> Result<Response, RetryableError> {
+        let line = match remaining {
+            Some(budget) => {
+                let ms = budget.as_millis().clamp(1, u64::MAX as u128) as u64;
+                format!("PROBE {k} {tau} deadline_ms={ms} {text}")
+            }
+            None => format!("PROBE {k} {tau} {text}"),
+        };
+        self.attempt_line(&line, remaining)
+    }
+
+    /// One connection, one request line, one response line.
+    fn attempt_line(
+        &mut self,
+        line: &str,
+        remaining: Option<Duration>,
+    ) -> Result<Response, RetryableError> {
+        let addrs = self
+            .addr
+            .to_socket_addrs()
+            .map_err(RetryableError::Transport)?
+            .collect::<Vec<_>>();
+        let stream = match remaining {
+            // The socket timeouts mirror the deadline so a stalled
+            // server cannot overrun the budget.
+            Some(budget) => addrs
+                .first()
+                .ok_or_else(|| {
+                    RetryableError::Fatal(ClientError::Protocol(format!(
+                        "address {:?} resolves to nothing",
+                        self.addr
+                    )))
+                })
+                .and_then(|addr| {
+                    TcpStream::connect_timeout(addr, budget).map_err(RetryableError::Transport)
+                })?,
+            None => TcpStream::connect(&*addrs).map_err(RetryableError::Transport)?,
+        };
+        // Cap even deadline-free requests: the client must never hang
+        // forever on a stalled server.
+        const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+        let io_timeout = remaining.unwrap_or(DEFAULT_IO_TIMEOUT);
+        stream
+            .set_read_timeout(Some(io_timeout))
+            .map_err(RetryableError::Transport)?;
+        stream
+            .set_write_timeout(Some(io_timeout))
+            .map_err(RetryableError::Transport)?;
+        let mut writer = stream.try_clone().map_err(RetryableError::Transport)?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(RetryableError::Transport)?;
+        let mut reply = String::new();
+        let mut reader = BufReader::new(stream);
+        let n = reader
+            .read_line(&mut reply)
+            .map_err(RetryableError::Transport)?;
+        if n == 0 {
+            // The server dropped the connection without answering (e.g.
+            // an admission-path fault) — retryable.
+            return Err(RetryableError::Transport(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a response",
+            )));
+        }
+        Response::parse(&reply).map_err(|msg| RetryableError::Fatal(ClientError::Protocol(msg)))
+    }
+
+    /// Capped exponential backoff with 50–100% jitter, floored at the
+    /// server's `retry_after_ms` hint.
+    fn backoff(&mut self, attempt: u32, hint_ms: u64) -> Duration {
+        let exp = self
+            .cfg
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cfg.max_backoff);
+        let floor = Duration::from_millis(hint_ms);
+        let full = exp.max(floor);
+        // Jitter in [50%, 100%] of the window spreads synchronized
+        // retry storms without ever retrying *before* half the hint.
+        let half = full / 2;
+        half + Duration::from_nanos(self.next_u64() % (half.as_nanos().max(1) as u64))
+    }
+
+    /// xorshift64: deterministic, dependency-free jitter.
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+}
+
+enum RetryableError {
+    /// Transport-level failure: worth another attempt.
+    Transport(io::Error),
+    /// Semantic failure: retrying cannot help.
+    Fatal(ClientError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_jittered_and_respects_hints() {
+        let mut c = Client::new("127.0.0.1:1", ClientConfig::default());
+        for attempt in 1..=10 {
+            let pause = c.backoff(attempt, 0);
+            assert!(pause <= c.cfg.max_backoff, "attempt {attempt}: {pause:?}");
+            let floor_half = c.cfg.base_backoff / 2;
+            assert!(pause >= floor_half, "attempt {attempt}: {pause:?}");
+        }
+        // A server hint larger than the exponential window becomes the
+        // floor: the client never retries before half the hint.
+        let pause = c.backoff(1, 800);
+        assert!(pause >= Duration::from_millis(400), "{pause:?}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = Client::new("127.0.0.1:1", ClientConfig::default());
+        let mut b = Client::new("127.0.0.1:1", ClientConfig::default());
+        let seq_a: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        let mut c = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                seed: 42,
+                ..ClientConfig::default()
+            },
+        );
+        let seq_c: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn connecting_to_a_dead_port_fails_with_io_after_retries() {
+        let mut client = Client::new(
+            // Reserved port that nothing listens on.
+            "127.0.0.1:1",
+            ClientConfig {
+                max_retries: 1,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                ..ClientConfig::default()
+            },
+        );
+        match client.probe(1, 0.3, "ACGT") {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_connecting() {
+        let mut client = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                deadline: Some(Duration::ZERO),
+                ..ClientConfig::default()
+            },
+        );
+        match client.probe(1, 0.3, "ACGT") {
+            Err(ClientError::Deadline) => {}
+            other => panic!("expected Deadline, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The three-level degradation ladder.
+//!
+//! Overload is answered in stages rather than by falling over:
+//!
+//! | level | name | behaviour |
+//! |-------|------|-----------|
+//! | 0 | Full | complete q-gram → frequency → CDF → verification pipeline |
+//! | 1 | Degraded | filter-only answers (q-gram + frequency-distance lower bounds), flagged `DEGRADED` — a sound superset of the exact answer at a fraction of the cost |
+//! | 2 | Shed | reject with `BUSY` + retry-after hint |
+//!
+//! The controller climbs on *either* pressure signal — admission-queue
+//! depth or p99 service latency over a sliding window — and recomputes
+//! from current readings on every observation, so the ladder descends
+//! again once pressure clears.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// One rung of the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Full exact pipeline.
+    Full = 0,
+    /// Filter-only answers, flagged `DEGRADED`.
+    Degraded = 1,
+    /// Reject new work with `BUSY`.
+    Shed = 2,
+}
+
+impl Level {
+    /// Decodes a stored level (saturating: unknown values shed).
+    pub fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Full,
+            1 => Level::Degraded,
+            _ => Level::Shed,
+        }
+    }
+}
+
+/// Thresholds driving the ladder.
+#[derive(Debug, Clone)]
+pub struct DegradeConfig {
+    /// Queue depth at which answers degrade to filter-only.
+    pub queue_degrade: usize,
+    /// Queue depth at which new work is shed.
+    pub queue_shed: usize,
+    /// p99 service latency at which answers degrade.
+    pub p99_degrade: Duration,
+    /// p99 service latency at which new work is shed.
+    pub p99_shed: Duration,
+    /// Sliding-window size (completed requests) for the p99 estimate.
+    pub window: usize,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            queue_degrade: 4,
+            queue_shed: 16,
+            p99_degrade: Duration::from_millis(250),
+            p99_shed: Duration::from_secs(2),
+            window: 64,
+        }
+    }
+}
+
+/// Shared ladder state. All methods take `&self`; the level itself is an
+/// atomic so admission can read it without the latency lock.
+#[derive(Debug)]
+pub struct Controller {
+    cfg: DegradeConfig,
+    /// Current level as `u8`.
+    level: AtomicU8,
+    /// Ring of recent service latencies (nanoseconds).
+    window: Mutex<LatencyRing>,
+}
+
+#[derive(Debug)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl Controller {
+    /// A controller starting at [`Level::Full`].
+    pub fn new(cfg: DegradeConfig) -> Controller {
+        let cap = cfg.window.max(1);
+        Controller {
+            cfg,
+            level: AtomicU8::new(Level::Full as u8),
+            window: Mutex::new(LatencyRing {
+                samples: Vec::with_capacity(cap),
+                next: 0,
+            }),
+        }
+    }
+
+    /// The level admission and probe handling act on right now.
+    pub fn level(&self) -> Level {
+        // ordering: Relaxed — the level is an advisory snapshot; a
+        // stale read only means one request is served at the previous
+        // rung, which the ladder tolerates by design.
+        Level::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    /// Records a completed request's service latency and re-evaluates
+    /// the ladder against the current queue depth. Returns the new level.
+    pub fn observe(&self, latency: Duration, queue_depth: usize) -> Level {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        let p99 = {
+            // A poisoned lock only means another worker panicked while
+            // recording a sample; the ring stays usable.
+            let mut ring = self.window.lock().unwrap_or_else(PoisonError::into_inner);
+            if ring.samples.len() < self.cfg.window.max(1) {
+                ring.samples.push(ns);
+            } else {
+                let at = ring.next;
+                ring.samples[at] = ns;
+                ring.next = (at + 1) % ring.samples.len();
+            }
+            percentile_99(&ring.samples)
+        };
+        self.reassess(queue_depth, p99)
+    }
+
+    /// Re-evaluates the ladder from the queue depth alone (used at
+    /// admission, where no latency sample is available yet).
+    pub fn note_queue(&self, queue_depth: usize) -> Level {
+        let p99 = {
+            let ring = self.window.lock().unwrap_or_else(PoisonError::into_inner);
+            percentile_99(&ring.samples)
+        };
+        self.reassess(queue_depth, p99)
+    }
+
+    fn reassess(&self, queue_depth: usize, p99_ns: u64) -> Level {
+        let p99 = Duration::from_nanos(p99_ns);
+        let level = if queue_depth >= self.cfg.queue_shed || p99 >= self.cfg.p99_shed {
+            Level::Shed
+        } else if queue_depth >= self.cfg.queue_degrade || p99 >= self.cfg.p99_degrade {
+            Level::Degraded
+        } else {
+            Level::Full
+        };
+        // ordering: Relaxed — see `level()`; the write needs no
+        // synchronisation beyond eventual visibility.
+        self.level.store(level as u8, Ordering::Relaxed);
+        level
+    }
+}
+
+/// p99 over a small sample set (exact nearest-rank; the window is tiny).
+fn percentile_99(samples: &[u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as f64) * 0.99).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DegradeConfig {
+        DegradeConfig {
+            queue_degrade: 2,
+            queue_shed: 4,
+            p99_degrade: Duration::from_millis(10),
+            p99_shed: Duration::from_millis(100),
+            window: 8,
+        }
+    }
+
+    #[test]
+    fn queue_depth_climbs_and_descends_the_ladder() {
+        let c = Controller::new(cfg());
+        assert_eq!(c.level(), Level::Full);
+        assert_eq!(c.note_queue(2), Level::Degraded);
+        assert_eq!(c.note_queue(4), Level::Shed);
+        // Pressure clears -> back to full service.
+        assert_eq!(c.note_queue(0), Level::Full);
+    }
+
+    #[test]
+    fn p99_latency_climbs_the_ladder() {
+        let c = Controller::new(cfg());
+        for _ in 0..8 {
+            c.observe(Duration::from_millis(1), 0);
+        }
+        assert_eq!(c.level(), Level::Full);
+        for _ in 0..8 {
+            c.observe(Duration::from_millis(20), 0);
+        }
+        assert_eq!(c.level(), Level::Degraded);
+        for _ in 0..8 {
+            c.observe(Duration::from_millis(200), 0);
+        }
+        assert_eq!(c.level(), Level::Shed);
+        // The window slides: fast requests recover the ladder.
+        for _ in 0..8 {
+            c.observe(Duration::from_micros(10), 0);
+        }
+        assert_eq!(c.level(), Level::Full);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile_99(&[]), 0);
+        assert_eq!(percentile_99(&[7]), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_99(&v), 99);
+    }
+}

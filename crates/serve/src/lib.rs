@@ -1,0 +1,47 @@
+//! # usj-serve — overload-resilient query service
+//!
+//! A threaded TCP line-protocol server exposing the uncertain-string
+//! search primitive (`PROBE <k> <tau> <uncertain-string>`) over one
+//! shared [`usj_core::IndexedCollection`], built to stay correct and
+//! alive under overload:
+//!
+//! - **Bounded admission** — a fixed-capacity queue in front of the
+//!   worker pool; when it fills, new connections are rejected with an
+//!   explicit `BUSY retry_after_ms=..` instead of queueing without
+//!   limit ([`server::ServeConfig::queue_cap`]).
+//! - **Degradation ladder** — three service levels driven by queue
+//!   depth and p99 latency ([`degrade::Controller`]): the full
+//!   qgram→freq→CDF→verify pipeline, then filter-only answers flagged
+//!   `DEGRADED` (a sound superset of the exact answer, per the q-gram
+//!   and frequency-distance lower bounds), then load shedding.
+//! - **Deadline propagation** — clients send `deadline_ms=`, the server
+//!   enforces it *inside* the probe loop via
+//!   [`usj_core::ProbeBudget`] (cooperative cancellation, partial
+//!   results refused, `DEADLINE` on the wire).
+//! - **Panic isolation** — every admission decision and request line is
+//!   handled under `catch_unwind` behind `usj_fault::shield`, so one
+//!   poisoned request answers `ERR internal panic: ..` and the listener
+//!   survives. Failpoints `serve.accept`, `serve.parse` and
+//!   `serve.probe` let the fault suite drive this path deliberately.
+//! - **Graceful drain** — `SHUTDOWN` (or
+//!   [`server::ServerHandle::shutdown`]) stops admission, lets queued
+//!   and in-flight requests finish, and flushes the final stats
+//!   snapshot.
+//!
+//! The [`client`] pairs with it: blocking, one connection per request,
+//! capped exponential backoff with deterministic jitter on `BUSY`, and
+//! per-attempt deadline recomputation mirrored into socket timeouts.
+//!
+//! Everything is std-only: no async runtime, no protocol frameworks.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod degrade;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientConfig, ClientError, ProbeOutcome};
+pub use degrade::{Controller, DegradeConfig, Level};
+pub use proto::{parse_request, Request, Response};
+pub use server::{serve, ServeConfig, ServerHandle};

@@ -1,0 +1,333 @@
+//! Line protocol for the query service.
+//!
+//! Requests and responses are single UTF-8 lines, so the protocol can be
+//! driven by `nc` and inspected in logs. Hit probabilities travel as
+//! 16-digit hex `f64` bit patterns — the same convention as the
+//! checkpoint format — so a served result is bit-identical to a local
+//! [`usj_core::IndexedCollection::search`], never a decimal
+//! approximation.
+//!
+//! ```text
+//! -> PROBE <k> <tau> [deadline_ms=<n>] <uncertain-string>
+//! <- OK <n> <id>:<prob-bits> ...          exact answer
+//! <- DEGRADED <n> <id> ...                filter-only superset answer
+//! <- BUSY retry_after_ms=<n>              shed; retry after the hint
+//! <- DEADLINE elapsed_ms=<n>              per-request deadline expired
+//! -> HEALTH                               -> HEALTH level=.. queue=.. inflight=..
+//! -> STATS                                -> STATS <one-line obs JSON>
+//! -> SHUTDOWN                             -> BYE (starts graceful drain)
+//! <- ERR <message>                        any malformed/failed request
+//! ```
+//!
+//! The uncertain-string operand is the *remainder* of the line (it may
+//! contain spaces: `jo{(h,0.7),(n,0.3)}n doe`), so options precede it.
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A (k, τ)-similarity probe against the served collection.
+    Probe {
+        /// Edit-distance threshold; must match the serving index.
+        k: usize,
+        /// Probability threshold; must match the serving index.
+        tau: f64,
+        /// Per-request deadline in milliseconds, if the client set one.
+        deadline_ms: Option<u64>,
+        /// Uncertain-string text (unparsed; the worker owns the alphabet).
+        text: String,
+    },
+    /// Liveness + degradation-level probe.
+    Health,
+    /// Full observability snapshot as one-line JSON.
+    Stats,
+    /// Begin graceful drain: stop accepting, finish in-flight, flush.
+    Shutdown,
+}
+
+/// Splits the first whitespace-delimited token off `s` (which must be
+/// left-trimmed), returning `(token, rest)`.
+fn split_token(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(at) => (&s[..at], s[at..].trim_start()),
+        None => (s, ""),
+    }
+}
+
+/// Parses one request line. Errors are protocol-level messages sent back
+/// verbatim in an `ERR` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = split_token(line);
+    match verb {
+        "PROBE" => {
+            let (k_tok, rest) = split_token(rest);
+            let k: usize = k_tok
+                .parse()
+                .map_err(|_| format!("bad k {k_tok:?} (expected a non-negative integer)"))?;
+            let (tau_tok, rest) = split_token(rest);
+            let tau: f64 = tau_tok
+                .parse()
+                .map_err(|_| format!("bad tau {tau_tok:?} (expected a number in [0, 1))"))?;
+            if !(0.0..1.0).contains(&tau) {
+                return Err(format!("tau {tau} out of range [0, 1)"));
+            }
+            let mut deadline_ms = None;
+            let mut rest = rest;
+            if let Some(value) = split_token(rest).0.strip_prefix("deadline_ms=") {
+                deadline_ms = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad deadline_ms {value:?}"))?,
+                );
+                rest = split_token(rest).1;
+            }
+            if rest.is_empty() {
+                return Err("PROBE needs an uncertain-string operand".to_string());
+            }
+            Ok(Request::Probe {
+                k,
+                tau,
+                deadline_ms,
+                text: rest.to_string(),
+            })
+        }
+        "HEALTH" => Ok(Request::Health),
+        "STATS" => Ok(Request::Stats),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "" => Err("empty request".to_string()),
+        other => Err(format!(
+            "unknown verb {other:?} (expected PROBE/HEALTH/STATS/SHUTDOWN)"
+        )),
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Exact answer: `(id, Pr(ed ≤ k))` per hit, ascending by id.
+    Ok(Vec<(u32, f64)>),
+    /// Degraded answer: filter-only candidate ids (a sound superset of
+    /// the exact hit ids), ascending.
+    Degraded(Vec<u32>),
+    /// Shed: retry after the hinted backoff.
+    Busy {
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The per-request deadline expired mid-probe; no partial results.
+    Deadline {
+        /// Time spent before the probe was abandoned.
+        elapsed_ms: u64,
+    },
+    /// Liveness report.
+    Health {
+        /// Current degradation-ladder level (0 full, 1 degraded, 2 shed).
+        level: u8,
+        /// Current admission-queue depth.
+        queue: usize,
+        /// Requests currently being processed by workers.
+        inflight: usize,
+    },
+    /// One-line observability snapshot JSON.
+    Stats(String),
+    /// Graceful-drain acknowledgement.
+    Bye,
+    /// Request-level failure (parse error, isolated panic, bad probe).
+    Err(String),
+}
+
+impl Response {
+    /// Encodes the response as one protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Ok(hits) => {
+                let mut out = format!("OK {}", hits.len());
+                for (id, prob) in hits {
+                    out.push_str(&format!(" {id}:{:016x}", prob.to_bits()));
+                }
+                out
+            }
+            Response::Degraded(ids) => {
+                let mut out = format!("DEGRADED {}", ids.len());
+                for id in ids {
+                    out.push_str(&format!(" {id}"));
+                }
+                out
+            }
+            Response::Busy { retry_after_ms } => format!("BUSY retry_after_ms={retry_after_ms}"),
+            Response::Deadline { elapsed_ms } => format!("DEADLINE elapsed_ms={elapsed_ms}"),
+            Response::Health {
+                level,
+                queue,
+                inflight,
+            } => format!("HEALTH level={level} queue={queue} inflight={inflight}"),
+            Response::Stats(json) => format!("STATS {json}"),
+            Response::Bye => "BYE".to_string(),
+            Response::Err(msg) => format!("ERR {}", msg.replace('\n', " ")),
+        }
+    }
+
+    /// Parses one response line (the client half of the protocol).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let line = line.trim();
+        let (verb, rest) = split_token(line);
+        let count = |rest: &str| -> Result<(usize, String), String> {
+            let (n_tok, tail) = split_token(rest);
+            let n = n_tok
+                .parse::<usize>()
+                .map_err(|_| format!("bad count {n_tok:?}"))?;
+            Ok((n, tail.to_string()))
+        };
+        match verb {
+            "OK" => {
+                let (n, tail) = count(rest)?;
+                let mut hits = Vec::with_capacity(n);
+                for tok in tail.split_whitespace() {
+                    let (id, bits) = tok
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad hit {tok:?}"))?;
+                    let id: u32 = id.parse().map_err(|_| format!("bad hit id {id:?}"))?;
+                    let bits = u64::from_str_radix(bits, 16)
+                        .map_err(|_| format!("bad probability bits {bits:?}"))?;
+                    hits.push((id, f64::from_bits(bits)));
+                }
+                if hits.len() != n {
+                    return Err(format!("OK count {n} but {} hits", hits.len()));
+                }
+                Ok(Response::Ok(hits))
+            }
+            "DEGRADED" => {
+                let (n, tail) = count(rest)?;
+                let ids: Vec<u32> = tail
+                    .split_whitespace()
+                    .map(|tok| tok.parse().map_err(|_| format!("bad candidate id {tok:?}")))
+                    .collect::<Result<_, _>>()?;
+                if ids.len() != n {
+                    return Err(format!("DEGRADED count {n} but {} ids", ids.len()));
+                }
+                Ok(Response::Degraded(ids))
+            }
+            "BUSY" => {
+                let ms = rest
+                    .strip_prefix("retry_after_ms=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad BUSY line {line:?}"))?;
+                Ok(Response::Busy { retry_after_ms: ms })
+            }
+            "DEADLINE" => {
+                let ms = rest
+                    .strip_prefix("elapsed_ms=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad DEADLINE line {line:?}"))?;
+                Ok(Response::Deadline { elapsed_ms: ms })
+            }
+            "HEALTH" => {
+                let mut level = None;
+                let mut queue = None;
+                let mut inflight = None;
+                for tok in rest.split_whitespace() {
+                    if let Some(v) = tok.strip_prefix("level=") {
+                        level = v.parse().ok();
+                    } else if let Some(v) = tok.strip_prefix("queue=") {
+                        queue = v.parse().ok();
+                    } else if let Some(v) = tok.strip_prefix("inflight=") {
+                        inflight = v.parse().ok();
+                    }
+                }
+                match (level, queue, inflight) {
+                    (Some(level), Some(queue), Some(inflight)) => Ok(Response::Health {
+                        level,
+                        queue,
+                        inflight,
+                    }),
+                    _ => Err(format!("bad HEALTH line {line:?}")),
+                }
+            }
+            "STATS" => Ok(Response::Stats(rest.to_string())),
+            "BYE" => Ok(Response::Bye),
+            "ERR" => Ok(Response::Err(rest.to_string())),
+            other => Err(format!("unknown response verb {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_requests_parse_with_options_and_spaces() {
+        assert_eq!(
+            parse_request("PROBE 2 0.3 ACGT").unwrap(),
+            Request::Probe {
+                k: 2,
+                tau: 0.3,
+                deadline_ms: None,
+                text: "ACGT".to_string(),
+            }
+        );
+        assert_eq!(
+            parse_request("PROBE 1 0.5 deadline_ms=250 jo{(h,0.7),(n,0.3)}n doe").unwrap(),
+            Request::Probe {
+                k: 1,
+                tau: 0.5,
+                deadline_ms: Some(250),
+                text: "jo{(h,0.7),(n,0.3)}n doe".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (line, fragment) in [
+            ("PROBE x 0.3 ACGT", "bad k"),
+            ("PROBE 1 nope ACGT", "bad tau"),
+            ("PROBE 1 1.5 ACGT", "out of range"),
+            ("PROBE 1 0.3 deadline_ms=abc ACGT", "bad deadline_ms"),
+            ("PROBE 1 0.3", "needs an uncertain-string"),
+            ("PROBE 1 0.3 deadline_ms=5", "needs an uncertain-string"),
+            ("FROBNICATE", "unknown verb"),
+            ("", "empty request"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(fragment), "{line:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_bit_exactly() {
+        let cases = [
+            Response::Ok(vec![(3, 0.75), (9, 0.5000000001)]),
+            Response::Ok(Vec::new()),
+            Response::Degraded(vec![1, 2, 8]),
+            Response::Busy { retry_after_ms: 40 },
+            Response::Deadline { elapsed_ms: 17 },
+            Response::Health {
+                level: 1,
+                queue: 4,
+                inflight: 2,
+            },
+            Response::Stats("{\"probes\":3}".to_string()),
+            Response::Bye,
+            Response::Err("bad probe".to_string()),
+        ];
+        for resp in cases {
+            let line = resp.encode();
+            assert!(!line.contains('\n'));
+            let parsed = Response::parse(&line).unwrap();
+            if let (Response::Ok(a), Response::Ok(b)) = (&resp, &parsed) {
+                for ((ia, pa), (ib, pb)) in a.iter().zip(b) {
+                    assert_eq!(ia, ib);
+                    assert_eq!(pa.to_bits(), pb.to_bits(), "bit-exact probabilities");
+                }
+            }
+            assert_eq!(parsed, resp, "{line:?}");
+        }
+    }
+
+    #[test]
+    fn count_mismatch_is_a_protocol_error() {
+        assert!(Response::parse("OK 2 1:3fe8000000000000").is_err());
+        assert!(Response::parse("DEGRADED 1").is_err());
+    }
+}

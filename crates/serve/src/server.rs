@@ -1,0 +1,503 @@
+//! The threaded TCP server: bounded admission, worker pool, degradation
+//! ladder, panic isolation, graceful drain.
+//!
+//! Thread layout: one accept thread owns the listener and performs
+//! admission (push into a bounded queue or reject with `BUSY`); `workers`
+//! threads pop connections and serve request lines. Every stage is
+//! failpoint-instrumented (`serve.accept` / `serve.parse` / `serve.probe`)
+//! so the fault suite can drive injected panics and delays through the
+//! full path, and every request outcome is counted into a shared
+//! [`CollectingRecorder`] using the golden `usj-obs` schema.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use usj_core::{IndexedCollection, ProbeBudget, SearchAbort};
+use usj_fault::shield;
+use usj_model::{Alphabet, UncertainString};
+use usj_obs::{CollectingRecorder, Counter, Gauge, MergeRecorder, Phase, Recorder};
+
+use crate::degrade::{Controller, DegradeConfig, Level};
+use crate::proto::{parse_request, Request, Response};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads serving popped connections.
+    pub workers: usize,
+    /// Admission-queue capacity; a full queue rejects with `BUSY`.
+    pub queue_cap: usize,
+    /// Socket read/write timeout — a worker must never block forever on
+    /// a slow client.
+    pub io_timeout: Duration,
+    /// Deadline applied to probes that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Backoff hint sent with `BUSY` rejections.
+    pub retry_after_ms: u64,
+    /// Degradation-ladder thresholds.
+    pub degrade: DegradeConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_cap: 16,
+            io_timeout: Duration::from_secs(5),
+            default_deadline: None,
+            retry_after_ms: 50,
+            degrade: DegradeConfig::default(),
+        }
+    }
+}
+
+/// State shared by the accept thread, the workers, and the handle.
+struct Shared {
+    coll: IndexedCollection,
+    alphabet: Alphabet,
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    /// Drain flag: once set, admission stops and workers exit after the
+    /// queue empties.
+    stop: AtomicBool,
+    inflight: AtomicUsize,
+    probe_seq: AtomicU32,
+    controller: Controller,
+    recorder: Mutex<CollectingRecorder>,
+}
+
+/// Handle to a running server. Dropping it does *not* stop the server;
+/// call [`ServerHandle::shutdown`] (or send `SHUTDOWN` on the wire and
+/// [`ServerHandle::wait`]) for a graceful drain.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds, spawns the accept thread and worker pool, and returns
+/// immediately. The collection is the single shared index all probes
+/// search; `alphabet` parses incoming probe operands.
+pub fn serve(
+    coll: IndexedCollection,
+    alphabet: Alphabet,
+    cfg: ServeConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        controller: Controller::new(cfg.degrade.clone()),
+        coll,
+        alphabet,
+        cfg,
+        addr,
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        stop: AtomicBool::new(false),
+        inflight: AtomicUsize::new(0),
+        probe_seq: AtomicU32::new(0),
+        recorder: Mutex::new(CollectingRecorder::new()),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("usj-serve-accept".to_string())
+            .spawn(move || accept_loop(&shared, listener))?
+    };
+    let worker_threads = (0..workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("usj-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers: worker_threads,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A live observability snapshot (pretty JSON, golden schema).
+    pub fn stats_json(&self) -> String {
+        self.shared
+            .recorder
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .to_json()
+    }
+
+    /// Graceful drain: stop accepting, let workers finish queued and
+    /// in-flight requests, join every thread, and return the final
+    /// flushed stats snapshot.
+    pub fn shutdown(mut self) -> String {
+        self.shared.begin_drain();
+        self.join_all();
+        self.stats_json()
+    }
+
+    /// Blocks until a wire-level `SHUTDOWN` (or an earlier
+    /// [`ServerHandle::shutdown`]) drains the server, then returns the
+    /// final stats snapshot. This is what `usj serve` parks on.
+    pub fn wait(mut self) -> String {
+        self.join_all();
+        self.stats_json()
+    }
+
+    fn join_all(&mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Shared {
+    fn record<T>(&self, f: impl FnOnce(&mut CollectingRecorder) -> T) -> T {
+        // A poisoned recorder lock only means a panic elsewhere while
+        // recording; the metrics stay usable.
+        let mut r = self.recorder.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut r)
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    fn draining(&self) -> bool {
+        // ordering: Acquire — pairs with the Release store in
+        // `begin_drain`, so a thread observing the flag also observes
+        // everything the draining thread wrote before raising it.
+        self.stop.load(Ordering::Acquire)
+    }
+
+    fn begin_drain(&self) {
+        // ordering: Release — pairs with the Acquire loads in
+        // `draining()` on the accept and worker threads.
+        self.stop.store(true, Ordering::Release);
+        self.queue_cv.notify_all();
+        // Unblock the accept() call so the accept thread can observe the
+        // flag; the woken connection is dropped unanswered.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (mirrors the CLI
+/// perimeter; injected faults downcast to their Display form).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(fault) = payload.downcast_ref::<usj_fault::InjectedFault>() {
+        fault.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.draining() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Admission runs inside the panic perimeter: a fault injected at
+        // `serve.accept` (or any admission bug) drops one connection,
+        // never the listener.
+        let admitted =
+            shield::shielded(|| catch_unwind(AssertUnwindSafe(|| admit(shared, stream))));
+        if admitted.is_err() {
+            shared.record(|r| r.counter(Counter::ServePanics, 1));
+        }
+    }
+}
+
+/// Bounded admission: reject with `BUSY` instead of queueing without
+/// limit. The rejected client gets a retry-after hint and a closed
+/// connection; the admitted one is queued for a worker.
+fn admit(shared: &Shared, stream: TcpStream) {
+    if usj_fault::fire("serve.accept") {
+        shared.record(|r| r.counter(Counter::FaultsInjected, 1));
+    }
+    let depth = {
+        let queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        queue.len()
+    };
+    let level = shared.controller.note_queue(depth);
+    if depth >= shared.cfg.queue_cap || level == Level::Shed {
+        shared.record(|r| r.counter(Counter::ServeShed, 1));
+        let mut stream = stream;
+        let _ = stream.set_write_timeout(Some(shared.cfg.io_timeout));
+        let busy = Response::Busy {
+            retry_after_ms: shared.cfg.retry_after_ms,
+        };
+        let _ = stream.write_all(busy.encode().as_bytes());
+        let _ = stream.write_all(b"\n");
+        return;
+    }
+    let depth = {
+        let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        queue.push_back(stream);
+        queue.len()
+    };
+    shared.controller.note_queue(depth);
+    shared.record(|r| {
+        r.counter(Counter::ServeAccepted, 1);
+        r.gauge(Gauge::ServeQueueDepth, depth as u64);
+    });
+    shared.queue_cv.notify_one();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                // Drain contract: exit only once the flag is up *and*
+                // the queue is empty — queued work always completes.
+                if shared.draining() {
+                    return;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        // ordering: Relaxed — inflight is reported in HEALTH only; no
+        // other memory depends on it.
+        shared.inflight.fetch_add(1, Ordering::Relaxed);
+        handle_conn(shared, stream);
+        shared.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Serves one connection: line in, line out, until EOF, I/O timeout,
+/// `BYE`, or drain. Each line is handled inside the panic perimeter.
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    // A worker must never block forever on a slow client: both
+    // directions are capped before the first read.
+    if stream
+        .set_read_timeout(Some(shared.cfg.io_timeout))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_write_timeout(Some(shared.cfg.io_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(_) => return, // timed out or reset: drop the connection
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let outcome =
+            shield::shielded(|| catch_unwind(AssertUnwindSafe(|| handle_line(shared, &line))));
+        let response = outcome.unwrap_or_else(|payload| {
+            // One poisoned request gets ERR; the worker (and listener)
+            // survive to serve the next one.
+            shared.record(|r| r.counter(Counter::ServePanics, 1));
+            Response::Err(format!("internal panic: {}", panic_message(&*payload)))
+        });
+        let done = matches!(response, Response::Bye);
+        if writer.write_all(response.encode().as_bytes()).is_err() {
+            return;
+        }
+        if writer.write_all(b"\n").is_err() {
+            return;
+        }
+        let _ = writer.flush();
+        // Draining: answer the current request, then close so the worker
+        // can exit instead of idling on a held-open connection.
+        if done || shared.draining() {
+            return;
+        }
+    }
+}
+
+fn handle_line(shared: &Shared, line: &str) -> Response {
+    if usj_fault::fire("serve.parse") {
+        shared.record(|r| r.counter(Counter::FaultsInjected, 1));
+    }
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(msg) => return Response::Err(msg),
+    };
+    match request {
+        Request::Health => Response::Health {
+            level: shared.controller.level() as u8,
+            queue: shared.queue_depth(),
+            // ordering: Relaxed — monitoring read, see worker_loop.
+            inflight: shared.inflight.load(Ordering::Relaxed),
+        },
+        Request::Stats => {
+            let json = shared.record(|r| r.to_json());
+            Response::Stats(compact_json(&json))
+        }
+        Request::Shutdown => {
+            shared.begin_drain();
+            Response::Bye
+        }
+        Request::Probe {
+            k,
+            tau,
+            deadline_ms,
+            text,
+        } => handle_probe(shared, k, tau, deadline_ms, &text),
+    }
+}
+
+fn handle_probe(
+    shared: &Shared,
+    k: usize,
+    tau: f64,
+    deadline_ms: Option<u64>,
+    text: &str,
+) -> Response {
+    let started = Instant::now();
+    if usj_fault::fire("serve.probe") {
+        shared.record(|r| r.counter(Counter::FaultsInjected, 1));
+    }
+    // The index is built for one (k, τ): segment partitioning depends on
+    // k, filter thresholds on τ. Serving a different pair would be
+    // silently wrong, so it is an explicit protocol error instead.
+    let config = shared.coll.config();
+    if k != config.k || (tau - config.tau).abs() > 1e-9 {
+        return Response::Err(format!(
+            "this server is indexed for k={} tau={} (got k={k} tau={tau})",
+            config.k, config.tau
+        ));
+    }
+    let probe = match UncertainString::parse(text, &shared.alphabet) {
+        Ok(probe) => probe,
+        Err(e) => return Response::Err(format!("bad probe: {e}")),
+    };
+    let deadline = deadline_ms
+        .map(Duration::from_millis)
+        .or(shared.cfg.default_deadline);
+    // ordering: Relaxed — the id is only a label in the event stream.
+    let probe_id = shared.probe_seq.fetch_add(1, Ordering::Relaxed);
+    let mut local = CollectingRecorder::new();
+    let level = shared.controller.level();
+    let response = match level {
+        Level::Shed => {
+            local.counter(Counter::ServeShed, 1);
+            Response::Busy {
+                retry_after_ms: shared.cfg.retry_after_ms,
+            }
+        }
+        Level::Degraded => {
+            // Filter-only answer: q-gram + frequency-distance lower
+            // bounds never prune a true match, so the candidate list is
+            // a sound superset of the exact answer — served at a
+            // fraction of the cost and flagged on the wire.
+            local.probe_start(probe_id);
+            let ids = shared.coll.filter_candidates(&probe);
+            local.counter(Counter::ServeDegraded, 1);
+            local.enter_phase(Phase::Total);
+            local.exit_phase(Phase::Total, started.elapsed());
+            local.probe_end(probe_id);
+            Response::Degraded(ids)
+        }
+        Level::Full => {
+            let budget = ProbeBudget {
+                deadline: deadline.and_then(|d| started.checked_add(d)),
+                cancel: None,
+            };
+            match shared.coll.search_budgeted_recorded(
+                probe_id,
+                &probe,
+                |_| true,
+                budget,
+                &mut local,
+            ) {
+                Ok((hits, _stats)) => {
+                    local.counter(Counter::ServeFull, 1);
+                    Response::Ok(hits.into_iter().map(|h| (h.id, h.prob)).collect())
+                }
+                Err(SearchAbort::Deadline { elapsed }) => {
+                    local.counter(Counter::ServeDeadline, 1);
+                    // The abort reports time inside the search; the wire
+                    // reports the whole request (parse + queue-side stalls
+                    // count against the budget too).
+                    let total = started.elapsed().max(elapsed);
+                    Response::Deadline {
+                        elapsed_ms: total.as_millis().min(u64::MAX as u128) as u64,
+                    }
+                }
+                Err(SearchAbort::Cancelled) => {
+                    local.counter(Counter::ServeDeadline, 1);
+                    Response::Err("probe cancelled".to_string())
+                }
+            }
+        }
+    };
+    shared.record(|r| r.absorb(local));
+    shared
+        .controller
+        .observe(started.elapsed(), shared.queue_depth());
+    response
+}
+
+/// Flattens the pretty-printed golden-schema JSON to one protocol line.
+/// No string value in the schema contains a newline, so stripping
+/// newlines plus indentation preserves validity.
+fn compact_json(json: &str) -> String {
+    json.lines().map(str::trim_start).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_json_is_single_line_and_balanced() {
+        let json = "{\n  \"a\": 1,\n  \"b\": {\n    \"c\": [1, 2]\n  }\n}\n";
+        let flat = compact_json(json);
+        assert!(!flat.contains('\n'));
+        assert_eq!(flat, "{\"a\": 1,\"b\": {\"c\": [1, 2]}}");
+        assert_eq!(
+            flat.matches('{').count(),
+            flat.matches('}').count(),
+            "braces stay balanced"
+        );
+    }
+}

@@ -14,6 +14,7 @@
 //! | `metrics-registered` | every recorded `Counter`/`Gauge` is declared, in `ALL`, named, and pinned by the golden schema test |
 //! | `dep-allowlist` | no external dependencies outside the vetted set |
 //! | `doc-drift` | `DESIGN.md` inventories every crate; `CHANGES.md` has one consecutive `- PR n:` line per PR |
+//! | `socket-timeout` | no blocking socket read in `crates/serve/src/` without a prior `set_read_timeout` |
 //!
 //! Exceptions live in `tidy.allow` at the workspace root — line-granular,
 //! content-matched, and reason-bearing (see [`allow`]). Unused entries are
@@ -35,12 +36,13 @@ use allow::AllowList;
 use source::SourceFile;
 
 /// Every lint name, for allowlist validation and `--help` output.
-pub const LINT_NAMES: [&str; 5] = [
+pub const LINT_NAMES: [&str; 6] = [
     "no-unwrap",
     "ordering-comment",
     "metrics-registered",
     "dep-allowlist",
     "doc-drift",
+    "socket-timeout",
 ];
 
 /// Directory names never walked: build artifacts, VCS state, the offline
@@ -186,6 +188,7 @@ pub fn run_tidy(root: &Path) -> Vec<Diagnostic> {
     raw.extend(lints::metrics_registered(&ws));
     raw.extend(lints::dep_allowlist(&ws));
     raw.extend(lints::doc_drift(&ws));
+    raw.extend(lints::socket_timeout(&ws.rust_files));
 
     let mut diags: Vec<Diagnostic> = Vec::new();
     for diag in raw {

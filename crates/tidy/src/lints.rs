@@ -110,6 +110,63 @@ pub fn ordering_comment(files: &[SourceFile]) -> Vec<Diagnostic> {
     diags
 }
 
+/// Blocking socket-read method calls. Each stalls a server worker thread
+/// for as long as the peer cares to keep the connection open unless the
+/// stream carries a read timeout.
+const BLOCKING_READS: [&str; 5] = [
+    ".read_line(",
+    ".read_to_string(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read(",
+];
+
+/// `socket-timeout`: in `crates/serve/src/` (the only crate that owns
+/// sockets), every blocking read must come after a `set_read_timeout`
+/// call earlier in the same file.
+///
+/// A worker that blocks forever on a slow-loris peer is a capacity leak
+/// the admission controller cannot see: the queue stays short while every
+/// worker is wedged. `usj-serve`'s overload guarantees assume all socket
+/// IO is bounded, so the timeout must be installed before the first read
+/// on every code path.
+pub fn socket_timeout(files: &[SourceFile]) -> Vec<Diagnostic> {
+    const SERVE_SRC: &str = "crates/serve/src/";
+    let mut diags = Vec::new();
+    for file in files {
+        if !file.rel_path.starts_with(SERVE_SRC) {
+            continue;
+        }
+        // First line (0-based) of non-test code that installs a read
+        // timeout; reads on later lines are considered bounded.
+        let timeout_at = file
+            .lines
+            .iter()
+            .position(|l| !l.comment_only && !l.in_test && l.code().contains("set_read_timeout"));
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.comment_only || line.in_test {
+                continue;
+            }
+            let code = line.code();
+            if !BLOCKING_READS.iter().any(|p| code.contains(p)) {
+                continue;
+            }
+            if timeout_at.is_some_and(|t| t < i) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: line.number,
+                lint: "socket-timeout".to_string(),
+                message: "blocking read without a `set_read_timeout` earlier in this file — \
+                          a slow peer would wedge the worker and starve the admission queue"
+                    .to_string(),
+            });
+        }
+    }
+    diags
+}
+
 /// Parsed metric taxonomy from `crates/obs/src/lib.rs`: for `Counter` and
 /// `Gauge`, the enum variants, the variants listed in the `ALL` array, and
 /// the `variant -> "snake_name"` map from the `name()` match arms.

@@ -4,5 +4,6 @@ pub fn record() {
     emit(Counter::Delta);
     emit(Counter::FaultsInjected);
     emit(Counter::WavesResumed);
+    emit(Counter::ServeShed);
     measure(Gauge::Bytes);
 }

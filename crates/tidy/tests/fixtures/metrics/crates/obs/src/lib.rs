@@ -4,13 +4,15 @@ pub enum Counter {
     Delta,
     FaultsInjected,
     WavesResumed,
+    ServeShed,
 }
 impl Counter {
-    pub const ALL: [Counter; 4] = [
+    pub const ALL: [Counter; 5] = [
         Counter::Alpha,
         Counter::Delta,
         Counter::FaultsInjected,
         Counter::WavesResumed,
+        Counter::ServeShed,
     ];
     pub const fn name(self) -> &'static str {
         match self {
@@ -19,6 +21,7 @@ impl Counter {
             Counter::Delta => "delta_total",
             Counter::FaultsInjected => "faults_injected",
             Counter::WavesResumed => "waves_resumed",
+            Counter::ServeShed => "serve_shed",
         }
     }
 }

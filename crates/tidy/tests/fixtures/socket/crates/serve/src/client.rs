@@ -1,0 +1,15 @@
+use std::io::Read;
+// A comment mentioning .read_line( must never fire the lint.
+pub fn attempt(stream: &mut std::net::TcpStream) {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(1))).ok();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).ok(); // bounded: timeout above
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_reads_freely() {
+        let mut s = String::new();
+        std::io::stdin().read_line(&mut s).ok();
+    }
+}

@@ -1,0 +1,8 @@
+use std::io::{BufRead, BufReader};
+pub fn handle(stream: std::net::TcpStream) {
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5))).ok();
+    reader.read_line(&mut line).ok();
+}

@@ -53,18 +53,32 @@ fn metrics_fixture_flags_each_registration_gap() {
     assert_eq!(
         triples("metrics"),
         vec![
-            // Counter::Gamma recorded but never declared.
+            // Counter::Gamma recorded but never declared. ServeShed is
+            // fully registered (declared, in ALL, named, pinned by the
+            // golden fixture) and must stay silent.
             t("crates/core/src/join.rs", 3, "metrics-registered"),
             // Counter::Beta declared (line 3) but missing from ALL.
             t("crates/obs/src/lib.rs", 3, "metrics-registered"),
-            // Beta's name arm (line 18) not pinned by the golden test.
-            t("crates/obs/src/lib.rs", 18, "metrics-registered"),
+            // Beta's name arm (line 20) not pinned by the golden test.
+            t("crates/obs/src/lib.rs", 20, "metrics-registered"),
             // Delta is declared, in ALL, and named — but "delta_total"
             // never made it into the golden schema. This is the gap the
             // fault-tolerance counters (faults_injected, waves_resumed,
             // pinned in the golden fixture) must not fall into.
-            t("crates/obs/src/lib.rs", 19, "metrics-registered"),
+            t("crates/obs/src/lib.rs", 21, "metrics-registered"),
         ]
+    );
+}
+
+#[test]
+fn socket_fixture_flags_reads_before_the_timeout_only() {
+    assert_eq!(
+        triples("socket"),
+        // server.rs: the line-5 read precedes set_read_timeout (line 6)
+        // and fires; the line-7 read is bounded. client.rs installs the
+        // timeout first (its comment mention and #[cfg(test)] read are
+        // exempt), and crates/core is out of the lint's scope entirely.
+        vec![t("crates/serve/src/server.rs", 5, "socket-timeout")]
     );
 }
 

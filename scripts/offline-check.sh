@@ -12,15 +12,15 @@
 #
 # This is a subset check, not a replacement for scripts/verify.sh: it
 # covers usj-model/editdist/qgram/freq/cdf/verify/core/eed/obs (all the
-# algorithmic code) plus usj-tidy's in-src unit tests, but not the CLI,
-# datagen, or bench binaries. (usj-tidy's fixture/workspace integration
-# tests live under tests/, which this staging does not copy — run them
-# via `cargo test -p usj-tidy` on a networked machine.)
+# algorithmic code), usj-serve, and usj-tidy — including tidy's fixture
+# and workspace integration suites, with USJ_TIDY_ROOT pointed at the
+# real repo root so the staged copy lints the actual tree — but not the
+# CLI, datagen, or bench binaries.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CRATES=(fault model editdist qgram freq cdf verify core eed obs tidy)
+CRATES=(fault model editdist qgram freq cdf verify core eed obs tidy serve)
 
 rm -rf .buildcheck
 mkdir -p .buildcheck/crates
@@ -36,10 +36,22 @@ done
 # Std-only integration suites (they use only staged sibling crates, no
 # external dev-dependencies) ride along; the proptest/rand-based suites
 # next to them deliberately do not.
-mkdir -p .buildcheck/crates/core/tests .buildcheck/crates/model/tests
+mkdir -p .buildcheck/crates/core/tests .buildcheck/crates/model/tests \
+    .buildcheck/crates/serve/tests
 cp crates/core/tests/fault_tolerance.rs .buildcheck/crates/core/tests/
+cp crates/core/tests/checkpoint_corruption.rs .buildcheck/crates/core/tests/
+cp crates/core/tests/concurrent_probes.rs .buildcheck/crates/core/tests/
+cp crates/serve/tests/overload.rs .buildcheck/crates/serve/tests/
 cp crates/model/tests/malformed.rs .buildcheck/crates/model/tests/
 cp -r crates/model/tests/corpus .buildcheck/crates/model/tests/corpus
+
+# usj-tidy's integration suites are std-only too; point the workspace
+# self-check at the real tree (the staged copy has no tidy.allow).
+mkdir -p .buildcheck/crates/tidy/tests
+cp crates/tidy/tests/tidy_fixtures.rs crates/tidy/tests/workspace_clean.rs \
+    .buildcheck/crates/tidy/tests/
+cp -r crates/tidy/tests/fixtures .buildcheck/crates/tidy/tests/fixtures
+export USJ_TIDY_ROOT="$PWD"
 
 # In-src test modules of these two crates use sibling crates that are
 # themselves stageable — restore just those dev-dependencies.
@@ -71,6 +83,7 @@ usj-cdf = { path = "crates/cdf" }
 usj-verify = { path = "crates/verify" }
 usj-core = { path = "crates/core" }
 usj-eed = { path = "crates/eed" }
+usj-serve = { path = "crates/serve" }
 EOF
 
 cd .buildcheck

@@ -10,19 +10,36 @@
 #    differential tests and catches data races that the Relaxed-ordering
 #    batch cursor or a future refactor could introduce; the tests also
 #    re-assert byte-identical output under TSan's altered interleavings.
+#    The same instrumentation covers usj-serve's overload and fault-plan
+#    server tests (accept/worker/client threads over one shared index).
 #
 # Both halves need rustup pieces that may be missing locally (a nightly
 # toolchain, the miri and rust-src components). By default a missing
 # prerequisite SKIPs that half with a clear notice and the script still
 # exits 0, so it is safe to run on any machine; CI sets SANITIZE_STRICT=1
 # to make missing prerequisites fatal there.
+#
+# Usage: sanitize.sh [all|kernels|serve] — `all` (default) runs every
+# check; `kernels` runs Miri plus the parallel-driver TSan blocks; and
+# `serve` runs only the usj-serve TSan block. The sanitize and serve CI
+# jobs use `kernels`/`serve` so neither suite is instrumented twice.
 
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
+ONLY="${1:-all}"
+case "$ONLY" in
+    all | kernels | serve) ;;
+    *)
+        printf 'usage: %s [all|kernels|serve]\n' "$0" >&2
+        exit 2
+        ;;
+esac
+
 STRICT="${SANITIZE_STRICT:-0}"
 FAILED=0
 SKIPPED=0
+HOST=""
 
 note() { printf '==> %s\n' "$*"; }
 
@@ -65,30 +82,34 @@ run_miri() {
     fi
 }
 
-# ---- ThreadSanitizer over the parallel driver ---------------------------
-run_tsan() {
-    local host
-    host="$(rustc -vV | sed -n 's/^host: //p')"
-    case "$host" in
+# ---- ThreadSanitizer prerequisites (shared by both TSan blocks) ---------
+tsan_prereqs() {
+    HOST="$(rustc -vV | sed -n 's/^host: //p')"
+    case "$HOST" in
         *-linux-*) ;;
         *)
-            skip_or_die "ThreadSanitizer needs a Linux target (host: $host)"
-            return
+            skip_or_die "ThreadSanitizer needs a Linux target (host: $HOST)"
+            return 1
             ;;
     esac
     if ! have_nightly; then
         skip_or_die "no nightly toolchain and cannot install one (TSan not run)"
-        return
+        return 1
     fi
     if ! have_component rust-src; then
         skip_or_die "rust-src component unavailable for nightly (TSan not run)"
-        return
+        return 1
     fi
+}
+
+# ---- ThreadSanitizer over the parallel driver ---------------------------
+run_tsan() {
+    tsan_prereqs || return 0
     note "TSan: parallel driver differential tests (-Zsanitizer=thread)"
     # -Zbuild-std rebuilds std with TSan instrumentation so std::thread's
     # own synchronisation is visible to the race detector.
     if ! RUSTFLAGS="-Zsanitizer=thread" \
-        cargo +nightly test -Zbuild-std --target "$host" \
+        cargo +nightly test -Zbuild-std --target "$HOST" \
         -p usj-core --test differential -- --test-threads 1; then
         note "FAIL: ThreadSanitizer found a problem"
         FAILED=1
@@ -100,15 +121,38 @@ run_tsan() {
     # race-free as the happy path. Single-threaded test order because the
     # injection plans are process-global.
     if ! RUSTFLAGS="-Zsanitizer=thread" \
-        cargo +nightly test -Zbuild-std --target "$host" \
+        cargo +nightly test -Zbuild-std --target "$HOST" \
         -p usj-core --test fault_tolerance -- --test-threads 1; then
         note "FAIL: ThreadSanitizer found a problem in the fault paths"
         FAILED=1
     fi
 }
 
-run_miri
-run_tsan
+# ---- ThreadSanitizer over the query server ------------------------------
+run_tsan_serve() {
+    tsan_prereqs || return 0
+    note "TSan: usj-serve overload / fault-plan server tests (-Zsanitizer=thread)"
+    # The server shares one immutable index across accept, worker, and
+    # client threads while the degradation controller mixes atomics with a
+    # mutexed latency ring; re-run the whole overload suite (shedding,
+    # injected panics, deadline aborts, wire-driven drain) under TSan's
+    # altered interleavings. Single-threaded test order because the fault
+    # injection plans are process-global.
+    if ! RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$HOST" \
+        -p usj-serve -- --test-threads 1; then
+        note "FAIL: ThreadSanitizer found a problem in usj-serve"
+        FAILED=1
+    fi
+}
+
+if [ "$ONLY" != "serve" ]; then
+    run_miri
+    run_tsan
+fi
+if [ "$ONLY" != "kernels" ]; then
+    run_tsan_serve
+fi
 
 if [ "$FAILED" = "1" ]; then
     note "sanitize: FAILED"

@@ -58,6 +58,7 @@ pub use usj_eed as eed;
 pub use usj_freq as freq;
 pub use usj_model as model;
 pub use usj_qgram as qgram;
+pub use usj_serve as serve;
 pub use usj_verify as verify;
 
 pub use usj_core::{JoinConfig, JoinResult, SimilarityJoin};
