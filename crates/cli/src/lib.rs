@@ -9,7 +9,12 @@
 //! * `usj serve` — expose a dataset index as an overload-resilient TCP
 //!   query service (bounded admission, degradation ladder, graceful drain);
 //! * `usj probe` — query a running `usj serve` instance, with backoff on
-//!   `BUSY` and client-side deadline propagation.
+//!   `BUSY` and client-side deadline propagation (`--trace-out FILE`
+//!   requests and saves the server-side Chrome trace);
+//! * `usj metrics` — scrape a running `usj serve` instance's Prometheus
+//!   text exposition (`METRICS` on the wire);
+//! * `usj bench` — run the fixed-seed kernel benchmark suite and write a
+//!   schema-stable `BENCH_<label>.json` report.
 //!
 //! The library surface exists so the commands are unit-testable; the
 //! binary in `main.rs` is a thin wrapper.
@@ -19,7 +24,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use usj_core::obs::{CollectingRecorder, TraceRecorder};
+use usj_core::obs::bench::{compare_reports, BenchReport, BenchSpec};
+use usj_core::obs::{ChromeTraceRecorder, CollectingRecorder, TraceRecorder};
 use usj_core::{FaultReport, FtOptions, JoinConfig, JoinError, Pipeline, SimilarityJoin};
 use usj_datagen::{Dataset, DatasetJson, DatasetKind, DatasetSpec};
 use usj_model::UncertainString;
@@ -111,11 +117,13 @@ pub const USAGE: &str = "usj — similarity joins for uncertain strings
 
 USAGE:
   usj generate --kind <dblp|protein> [--n N] [--theta F] [--seed S] --out FILE
-  usj join     --input FILE [--k K] [--tau F] [--q Q] [--pipeline qfct|qct|qft|fct] [--exact true] [--threads N] [--shard-band B] [--batch-min N] [--batch-max N] [--deadline-secs S] [--checkpoint DIR] [--resume] [--out FILE] [--stats-json FILE] [--trace]
+  usj join     --input FILE [--k K] [--tau F] [--q Q] [--pipeline qfct|qct|qft|fct] [--exact true] [--threads N] [--shard-band B] [--batch-min N] [--batch-max N] [--deadline-secs S] [--checkpoint DIR] [--resume] [--out FILE] [--stats-json FILE] [--trace] [--chrome-trace FILE]
   usj search   --input FILE --probe STRING [--k K] [--tau F]
   usj stats    --input FILE
   usj serve    --input FILE [--k K] [--tau F] [--q Q] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--queue-degrade N] [--queue-shed N] [--io-timeout-secs S] [--default-deadline-ms MS] [--retry-after-ms MS]
-  usj probe    --addr HOST:PORT --probe STRING [--k K] [--tau F] [--deadline-ms MS] [--retries N]
+  usj probe    --addr HOST:PORT --probe STRING [--k K] [--tau F] [--deadline-ms MS] [--retries N] [--trace-out FILE]
+  usj metrics  --addr HOST:PORT
+  usj bench    [--label L] [--n N] [--seed S] [--iters N] [--warmup N] [--out FILE] [--baseline FILE]
 ";
 
 /// Runs a command line (without the program name); returns the text to
@@ -132,6 +140,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "stats" => cmd_stats(&flags),
         "serve" => cmd_serve(&flags),
         "probe" => cmd_probe(&flags),
+        "metrics" => cmd_metrics(&flags),
+        "bench" => cmd_bench(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -219,6 +229,7 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
         "out",
         "stats-json",
         "trace",
+        "chrome-trace",
     ])?;
     let ds = load_dataset(flags)?;
     let mut config = join_config(flags)?;
@@ -262,7 +273,8 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
     };
     let ft_engaged = ft.checkpoint_dir.is_some() || ft.resume || config.deadline.is_some();
     let stats_json = flags.get("stats-json");
-    let (result, report) = if stats_json.is_none() && !trace {
+    let chrome_trace = flags.get("chrome-trace");
+    let (result, report) = if stats_json.is_none() && !trace && chrome_trace.is_none() {
         if ft_engaged {
             let (result, report, _recorder) = usj_core::par_self_join_ft(
                 config,
@@ -288,7 +300,9 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
     } else {
         // One statically-known recorder shape for every instrumented run:
         // the collector always gathers the JSON snapshot, the tracer
-        // writes per-probe lines to stderr only under --trace. In the
+        // writes per-probe lines to stderr only under --trace, and the
+        // Chrome recorder buffers trace-event spans only under
+        // --chrome-trace (silent lanes cost a branch per event). In the
         // parallel join each worker gets its own tuple (lock-free hot
         // loop); they are merged after the join.
         let make = || {
@@ -297,7 +311,12 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
             } else {
                 TraceRecorder::silent()
             };
-            (CollectingRecorder::new(), tracer)
+            let chrome = if chrome_trace.is_some() {
+                ChromeTraceRecorder::new()
+            } else {
+                ChromeTraceRecorder::silent()
+            };
+            (CollectingRecorder::new(), (tracer, chrome))
         };
         let (result, report, recorder) = if ft_engaged {
             let (result, report, recorder) = usj_core::par_self_join_ft(
@@ -325,8 +344,17 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
             );
             (result, None, recorder)
         };
+        let (collected, (_tracer, chrome)) = recorder;
         if let Some(path) = stats_json {
-            usj_core::atomic_write(std::path::Path::new(path), &recorder.0.to_json(), "cli.write")
+            usj_core::atomic_write(std::path::Path::new(path), &collected.to_json(), "cli.write")
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        }
+        if let Some(path) = chrome_trace {
+            // finish() is Some exactly when --chrome-trace enabled the lane.
+            let json = chrome
+                .finish()
+                .unwrap_or_else(|| "{\"traceEvents\":[]}".to_string());
+            usj_core::atomic_write(std::path::Path::new(path), &json, "cli.write")
                 .map_err(|e| err(format!("cannot write {path}: {e}")))?;
         }
         (result, report)
@@ -561,7 +589,7 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_probe(flags: &Flags) -> Result<String, CliError> {
-    flags.assert_known(&["addr", "probe", "k", "tau", "deadline-ms", "retries"])?;
+    flags.assert_known(&["addr", "probe", "k", "tau", "deadline-ms", "retries", "trace-out"])?;
     let addr = flags.require("addr")?;
     let probe = flags.require("probe")?;
     let k: usize = flags.get_parse("k", 2)?;
@@ -574,9 +602,30 @@ fn cmd_probe(flags: &Flags) -> Result<String, CliError> {
         ..ClientConfig::default()
     };
     let mut client = Client::new(addr, cfg);
-    let outcome = client
-        .probe(k, tau, probe)
-        .map_err(|e| err(format!("probe failed: {e}")))?;
+    let trace_out = flags.get("trace-out");
+    let mut trace_note = String::new();
+    let outcome = if let Some(path) = trace_out {
+        // Traced probe: mint a trace id, send it with the request, and
+        // save the server-echoed Chrome trace-event JSON for Perfetto.
+        let (outcome, probe_trace) = client
+            .probe_traced(k, tau, probe)
+            .map_err(|e| err(format!("probe failed: {e}")))?;
+        match probe_trace {
+            Some(t) => {
+                usj_core::atomic_write(std::path::Path::new(path), &t.json, "cli.write")
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                let _ = writeln!(trace_note, "# trace {:016x} written to {path}", t.trace_id);
+            }
+            None => {
+                let _ = writeln!(trace_note, "# no trace returned (request answered pre-probe)");
+            }
+        }
+        outcome
+    } else {
+        client
+            .probe(k, tau, probe)
+            .map_err(|e| err(format!("probe failed: {e}")))?
+    };
     let mut out = String::new();
     match outcome {
         ProbeOutcome::Exact(hits) => {
@@ -594,6 +643,72 @@ fn cmd_probe(flags: &Flags) -> Result<String, CliError> {
                 "# {} candidates (DEGRADED: filter-only superset, server under load)",
                 ids.len()
             );
+        }
+    }
+    out.push_str(&trace_note);
+    Ok(out)
+}
+
+fn cmd_metrics(flags: &Flags) -> Result<String, CliError> {
+    flags.assert_known(&["addr"])?;
+    let addr = flags.require("addr")?;
+    let mut client = Client::new(addr, ClientConfig::default());
+    client
+        .metrics()
+        .map_err(|e| err(format!("metrics scrape failed: {e}")))
+}
+
+fn cmd_bench(flags: &Flags) -> Result<String, CliError> {
+    flags.assert_known(&["label", "n", "seed", "iters", "warmup", "out", "baseline"])?;
+    let label = flags.get("label").unwrap_or("local");
+    if label.is_empty()
+        || !label
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(err(format!(
+            "--label must be non-empty [A-Za-z0-9_-], got {label:?}"
+        )));
+    }
+    // Default n matches the experiment harness's DEFAULT_N scale.
+    let n: usize = flags.get_parse("n", 2000)?;
+    if n < 8 {
+        return Err(err("--n must be at least 8"));
+    }
+    let seed: u64 = flags.get_parse("seed", 0x5347_4D4F_4421_0006)?;
+    let iters: u32 = flags.get_parse("iters", 32)?;
+    if iters == 0 {
+        return Err(err("--iters must be at least 1"));
+    }
+    let warmup: u32 = flags.get_parse("warmup", 3)?;
+    let report = usj_core::bench::kernel_suite(label, n, seed, BenchSpec { warmup, iters });
+    let default_out = format!("BENCH_{label}.json");
+    let out_path = flags.get("out").unwrap_or(default_out.as_str());
+    usj_core::atomic_write(std::path::Path::new(out_path), &report.to_json(), "cli.write")
+        .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+    let mut out = String::new();
+    for b in &report.benches {
+        let _ = writeln!(
+            out,
+            "{}: median={}ns mean={}ns min={}ns max={}ns (iters={})",
+            b.name, b.median_ns, b.mean_ns, b.min_ns, b.max_ns, b.iters
+        );
+    }
+    let _ = writeln!(out, "# wrote {out_path} (n={n}, seed={seed:#018x})");
+    if let Some(base_path) = flags.get("baseline") {
+        let base_text = std::fs::read_to_string(base_path)
+            .map_err(|e| err(format!("cannot read {base_path}: {e}")))?;
+        let base = BenchReport::parse(&base_text)
+            .map_err(|e| err(format!("{base_path} is not a bench report: {e}")))?;
+        let mut regressed = false;
+        for line in compare_reports(&base, &report, 0.15) {
+            regressed |= line.regressed;
+            let _ = writeln!(out, "{}", line.rendered);
+        }
+        if regressed {
+            return Err(err(format!(
+                "median regression beyond 15% vs {base_path}:\n{out}"
+            )));
         }
     }
     Ok(out)
@@ -999,6 +1114,156 @@ mod tests {
     fn help_prints_usage() {
         assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
         assert!(run(&[]).is_err());
+    }
+
+    /// `--chrome-trace` writes a Chrome trace-event file that is valid
+    /// JSON with nested probe/phase spans, without changing the pairs.
+    #[test]
+    fn join_chrome_trace_writes_loadable_trace_events() {
+        let data = tmpfile("chrome-in.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "40", "--seed", "17", "--out", &data,
+        ]))
+        .unwrap();
+        let trace = tmpfile("chrome-out.json");
+        let plain = run(&args(&["join", "--input", &data])).unwrap();
+        let traced = run(&args(&[
+            "join", "--input", &data, "--chrome-trace", &trace,
+        ]))
+        .unwrap();
+        let pairs = |s: &str| -> Vec<&str> { s.lines().filter(|l| !l.starts_with('#')).collect() };
+        assert_eq!(pairs(&plain), pairs(&traced));
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = v["traceEvents"].as_array().expect("traceEvents array");
+        assert!(!events.is_empty(), "trace has spans");
+        // Complete events with span/parent nesting and µs timestamps.
+        for e in events {
+            assert_eq!(e["ph"], "X", "{e}");
+            assert!(e["ts"].is_u64() || e["ts"].is_i64(), "{e}");
+            assert!(e["dur"].is_u64() || e["dur"].is_i64(), "{e}");
+            assert!(e["args"]["span"].is_u64(), "{e}");
+            assert!(e["args"]["parent"].is_u64(), "{e}");
+        }
+        assert!(events.iter().any(|e| e["cat"] == "probe"));
+        assert!(events.iter().any(|e| e["cat"] == "phase"
+            && e["args"]["parent"].as_u64().unwrap() != 0));
+        // The parallel path merges per-worker Chrome lanes.
+        let trace_par = tmpfile("chrome-out-par.json");
+        run(&args(&[
+            "join", "--input", &data, "--threads", "3", "--chrome-trace", &trace_par,
+        ]))
+        .unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace_par).unwrap()).unwrap();
+        assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+    }
+
+    /// `usj metrics` scrapes the Prometheus exposition from a running
+    /// server, and `usj probe --trace-out` round-trips the server-side
+    /// Chrome trace.
+    #[test]
+    fn metrics_and_traced_probe_roundtrip_over_loopback() {
+        let data = tmpfile("metrics.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "30", "--seed", "23", "--out", &data,
+        ]))
+        .unwrap();
+        let flags = Flags::parse(&args(&[
+            "--input", &data, "--addr", "127.0.0.1:0", "--workers", "2",
+        ]))
+        .unwrap();
+        let handle = start_serve(&flags).unwrap();
+        let addr = handle.addr().to_string();
+
+        let ds_text = std::fs::read_to_string(&data).unwrap();
+        let ds = DatasetJson::from_json(&ds_text)
+            .unwrap()
+            .into_dataset()
+            .unwrap();
+        let probe = ds
+            .alphabet
+            .decode(&ds.strings[0].most_probable_world().instance);
+
+        let trace = tmpfile("probe-trace.json");
+        let served = run(&args(&[
+            "probe", "--addr", &addr, "--probe", &probe, "--trace-out", &trace,
+        ]))
+        .unwrap();
+        assert!(served.contains("hits (exact)"), "{served}");
+        assert!(served.contains("# trace "), "{served}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert!(!events.is_empty());
+        // Every span carries the client-minted trace id the server echoed.
+        let id_hex = served
+            .lines()
+            .find(|l| l.starts_with("# trace "))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .unwrap()
+            .to_string();
+        assert!(events.iter().all(|e| e["args"]["trace"] == id_hex.as_str()));
+
+        let scraped = run(&args(&["metrics", "--addr", &addr])).unwrap();
+        assert!(scraped.contains("# TYPE usj_probes_total counter"), "{scraped}");
+        assert!(scraped.contains("usj_probes_total 1"), "{scraped}");
+        assert!(
+            scraped.contains("usj_funnel_candidates_total{band="),
+            "{scraped}"
+        );
+        handle.shutdown();
+    }
+
+    /// `usj bench` writes the schema-stable report; `--baseline` gates on
+    /// the 15% median regression threshold.
+    #[test]
+    fn bench_writes_report_and_gates_on_baseline() {
+        let out_path = tmpfile("BENCH_test.json");
+        let printed = run(&args(&[
+            "bench", "--label", "test", "--n", "16", "--iters", "2", "--warmup", "0", "--out",
+            &out_path,
+        ]))
+        .unwrap();
+        assert!(printed.contains("join_end_to_end: median="), "{printed}");
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        let report = BenchReport::parse(&text).expect("schema-stable report");
+        assert_eq!(report.label, "test");
+        assert_eq!(report.benches.len(), 5);
+        // serde_json agrees the document is valid JSON.
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["schema_version"], 1);
+
+        // A generous baseline passes the gate...
+        let mut base = report.clone();
+        for b in &mut base.benches {
+            b.median_ns = u64::MAX / 2;
+        }
+        let base_path = tmpfile("BENCH_base.json");
+        std::fs::write(&base_path, base.to_json()).unwrap();
+        run(&args(&[
+            "bench", "--label", "test", "--n", "16", "--iters", "2", "--warmup", "0", "--out",
+            &out_path, "--baseline", &base_path,
+        ]))
+        .unwrap();
+        // ...an unmeetable one reports the regression and fails.
+        for b in &mut base.benches {
+            b.median_ns = 1;
+        }
+        std::fs::write(&base_path, base.to_json()).unwrap();
+        let e = run(&args(&[
+            "bench", "--label", "test", "--n", "16", "--iters", "2", "--warmup", "0", "--out",
+            &out_path, "--baseline", &base_path,
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("median regression"), "{e:?}");
+        assert!(e.0.contains("REGRESSION"), "{e:?}");
+
+        // Flag validation.
+        let e = run(&args(&["bench", "--n", "2"])).unwrap_err();
+        assert!(e.0.contains("--n must be at least 8"), "{e:?}");
+        let e = run(&args(&["bench", "--label", "no/slash"])).unwrap_err();
+        assert!(e.0.contains("--label"), "{e:?}");
     }
 
     /// End-to-end over loopback: `usj serve` (via the non-blocking

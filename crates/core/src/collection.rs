@@ -17,7 +17,7 @@ use crate::verifier::{decide_candidate, ProbeVerifier};
 use usj_cdf::CdfFilter;
 use usj_freq::{FreqFilter, FreqProfile};
 use usj_model::{Prob, UncertainString};
-use usj_obs::{Counter, Gauge, NoopRecorder, Phase, Recorder};
+use usj_obs::{Counter, Gauge, NoopRecorder, Phase, PhaseGuard, Recorder};
 
 /// One search hit.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,16 +127,17 @@ impl IndexedCollection {
         rec: &mut R,
     ) -> Self {
         assert!(sigma >= 1, "alphabet must be non-empty");
-        let build_start = Instant::now();
-        rec.enter_phase(Phase::Index);
         let mut index = SegmentIndex::new();
         let freq = FreqFilter::new(config.k, config.tau, sigma);
         let mut profiles = Vec::with_capacity(strings.len());
-        for (i, s) in strings.iter().enumerate() {
-            index.insert_recorded(i as u32, s, &config, &mut *rec);
-            profiles.push(freq.profile(s));
+        {
+            // RAII span: exits Phase::Index on every path out of the block.
+            let mut span = PhaseGuard::enter(rec, Phase::Index);
+            for (i, s) in strings.iter().enumerate() {
+                index.insert_recorded(i as u32, s, &config, span.rec());
+                profiles.push(freq.profile(s));
+            }
         }
-        rec.exit_phase(Phase::Index, build_start.elapsed());
         rec.gauge(Gauge::IndexBytes, index.estimated_bytes() as u64);
         rec.gauge(Gauge::PeakIndexBytes, index.peak_bytes() as u64);
         IndexedCollection {

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod checkpoint;
 pub mod collection;
 pub mod config;

@@ -83,6 +83,24 @@ impl Log2Histogram {
         self.max
     }
 
+    /// Raw per-bucket sample counts (bucket 0 = value 0, bucket `i ≥ 1` =
+    /// `[2^(i-1), 2^i)`), for sinks that fold histograms into their own
+    /// storage (e.g. the atomic [`crate::MetricsRegistry`]).
+    pub fn bucket_counts(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from raw parts (the inverse of the accessors;
+    /// used to snapshot the atomic registry back into quantile queries).
+    pub(crate) fn from_raw(buckets: [u64; 65], count: u64, sum: u64, max: u64) -> Self {
+        Log2Histogram {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -158,6 +176,80 @@ mod tests {
         h.record(8);
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.quantile(1.0), 8);
+    }
+
+    /// Seeded xorshift64 — keeps the randomized merge-law tests std-only
+    /// and deterministic (the proptest suite in tests/histogram_props.rs
+    /// explores the same laws with shrinking).
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    fn random_hist(state: &mut u64, samples: usize) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for _ in 0..samples {
+            // Exercise every magnitude: shift a full-width draw by a
+            // random amount so small and huge values are equally likely.
+            let v = xorshift(state) >> (xorshift(state) % 64);
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let mut state = 0x5347_4D4F_4421_7031u64;
+        for round in 0..50usize {
+            let a = random_hist(&mut state, round % 7);
+            let b = random_hist(&mut state, 5);
+            let c = random_hist(&mut state, 3);
+            // a ∪ b == b ∪ a
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba);
+            // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            assert_eq!(ab_c, a_bc);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero_for_all_q() {
+        let h = Log2Histogram::new();
+        for q in [0.0, 0.001, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn u64_max_saturates_top_bucket_and_sum() {
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        // All three land in bucket 64, whose upper bound is u64::MAX.
+        assert_eq!(h.bucket_counts()[64], 3);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        // The sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        let mut other = Log2Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 4);
     }
 
     #[test]

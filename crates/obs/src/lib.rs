@@ -18,28 +18,66 @@
 //!   no serde.
 //! * [`TraceRecorder`] — one event line per probe to any `io::Write`
 //!   (the CLI's `--trace` wires it to stderr).
+//! * [`ChromeTraceRecorder`] — the same event stream rendered as Chrome
+//!   trace-event JSON ([`SpanId`]/parent-id causal tree, loadable in
+//!   Perfetto or `chrome://tracing`).
+//! * [`MetricsRegistry`] — a shared atomic counter/gauge/histogram
+//!   registry for long-running processes (`usj-serve`), rendered in
+//!   Prometheus text exposition format.
+//! * [`bench`] — a fixed-seed micro-benchmark harness with a
+//!   schema-stable `BENCH_<label>.json` report and a median-regression
+//!   comparator.
 //!
 //! Recorders compose: a 2-tuple of recorders is itself a recorder, so
 //! `(CollectingRecorder, TraceRecorder)` collects and traces in one pass.
 //! [`MergeRecorder`] supports the lock-free parallel join: one recorder per
 //! worker, absorbed into a single snapshot at the end.
 //!
+//! # Trace ids and span nesting
+//!
+//! An end-to-end **trace id** (a nonzero `u64`, minted by the serve
+//! client and carried over the wire as 16 lowercase hex digits) names one
+//! request across process boundaries. [`Recorder::set_trace_id`] stamps
+//! it on a sink; sinks that render causal output ([`TraceRecorder`],
+//! [`ChromeTraceRecorder`]) attach it to every line/span they emit.
+//! Within a trace, spans form a tree of [`SpanId`]s: each probe span is
+//! the parent of the phase spans opened while it is active, so a slow
+//! PROBE can be followed from the client call down to the exact CDF-bound
+//! DP that ate the deadline.
+//!
 //! This crate is **std-only by design** — the build environment cannot
 //! reach crates.io, and nothing here needs more than the standard library.
 
 #![warn(missing_docs)]
 
+pub mod bench;
+mod chrome;
 mod collect;
 mod histogram;
 mod json;
+mod registry;
 mod trace;
 
+pub use chrome::ChromeTraceRecorder;
 pub use collect::CollectingRecorder;
 pub use histogram::Log2Histogram;
 pub use json::JsonWriter;
+pub use registry::{band_label, band_of, MetricsRegistry, FUNNEL_BANDS, FUNNEL_STAGES};
 pub use trace::TraceRecorder;
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Identifies one span within a trace. Span ids are allocated per sink
+/// (high bits: sink/thread lane, low bits: a monotonic counter) so spans
+/// from parallel workers never collide after a [`MergeRecorder::absorb`].
+/// [`SpanId::ROOT`] (zero) is the parent of top-level spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The implicit parent of top-level spans; never allocated to a span.
+    pub const ROOT: SpanId = SpanId(0);
+}
 
 /// Pipeline phases, mirroring `PhaseTimings` in `usj-core`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -319,6 +357,48 @@ pub trait Recorder {
     fn gauge(&mut self, gauge: Gauge, value: u64) {
         let _ = (gauge, value);
     }
+
+    /// Associates subsequent events with an end-to-end trace id (see the
+    /// crate docs). Zero means "untraced" and is the default; sinks that
+    /// do not render causal output ignore this.
+    fn set_trace_id(&mut self, trace_id: u64) {
+        let _ = trace_id;
+    }
+}
+
+/// RAII phase span: opens `phase` on construction, closes it (with the
+/// measured wall-clock) when dropped — on *every* path out of the scope,
+/// including early `return` and `?`. The `span-paired` tidy lint flags
+/// manual [`Recorder::enter_phase`]/[`Recorder::exit_phase`] pairs with
+/// early exits between them; this guard is the sanctioned fix.
+#[derive(Debug)]
+pub struct PhaseGuard<'a, R: Recorder> {
+    rec: &'a mut R,
+    phase: Phase,
+    start: Instant,
+}
+
+impl<'a, R: Recorder> PhaseGuard<'a, R> {
+    /// Opens a `phase` span on `rec`.
+    pub fn enter(rec: &'a mut R, phase: Phase) -> Self {
+        rec.enter_phase(phase);
+        PhaseGuard {
+            rec,
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// The guarded recorder, for events emitted inside the span.
+    pub fn rec(&mut self) -> &mut R {
+        self.rec
+    }
+}
+
+impl<R: Recorder> Drop for PhaseGuard<'_, R> {
+    fn drop(&mut self) {
+        self.rec.exit_phase(self.phase, self.start.elapsed());
+    }
 }
 
 /// The default sink: discards everything. With this recorder the
@@ -372,6 +452,11 @@ impl<A: Recorder, B: Recorder> Recorder for (A, B) {
         self.0.gauge(gauge, value);
         self.1.gauge(gauge, value);
     }
+
+    fn set_trace_id(&mut self, trace_id: u64) {
+        self.0.set_trace_id(trace_id);
+        self.1.set_trace_id(trace_id);
+    }
 }
 
 impl<A: MergeRecorder, B: MergeRecorder> MergeRecorder for (A, B) {
@@ -406,6 +491,10 @@ impl<R: Recorder> Recorder for &mut R {
 
     fn gauge(&mut self, gauge: Gauge, value: u64) {
         (**self).gauge(gauge, value);
+    }
+
+    fn set_trace_id(&mut self, trace_id: u64) {
+        (**self).set_trace_id(trace_id);
     }
 }
 
@@ -456,6 +545,23 @@ mod tests {
         assert_eq!(pair.1.counter_total(Counter::OutputPairs), 2);
         assert_eq!(pair.0.probes(), 1);
         assert_eq!(pair.1.probes(), 1);
+    }
+
+    #[test]
+    fn phase_guard_closes_span_on_early_return() {
+        fn body(rec: &mut CollectingRecorder, bail: bool) -> Option<u32> {
+            let mut guard = PhaseGuard::enter(rec, Phase::Cdf);
+            guard.rec().counter(Counter::CdfUndecided, 1);
+            if bail {
+                return None; // guard still exits the phase
+            }
+            Some(7)
+        }
+        let mut rec = CollectingRecorder::new();
+        assert_eq!(body(&mut rec, true), None);
+        assert_eq!(body(&mut rec, false), Some(7));
+        assert_eq!(rec.phase_histogram(Phase::Cdf).count(), 2);
+        assert_eq!(rec.counter_total(Counter::CdfUndecided), 2);
     }
 
     #[test]

@@ -1,4 +1,28 @@
 //! Per-probe trace lines for a human (or a log pipeline) watching a run.
+//!
+//! # Line format (pinned by a golden test)
+//!
+//! Every line starts with `seq=<n>` — a per-sink monotonic sequence
+//! number starting at 1, so dropped or reordered log lines are
+//! detectable. Four line shapes follow the sequence field:
+//!
+//! ```text
+//! seq=<n> probe=<id> [trace=<16 hex>] [<phase>_ns=<ns>]… [<counter>=<v>]…
+//! seq=<n> span <phase>_ns=<ns>
+//! seq=<n> count <counter>=<v>
+//! seq=<n> gauge <gauge>=<v>
+//! ```
+//!
+//! * `probe` lines aggregate one probe's spans and counters; only phases
+//!   and counters actually observed appear, in [`Phase::ALL`] /
+//!   [`Counter::ALL`] order, keeping output proportional to work done.
+//! * `trace=` carries the end-to-end trace id
+//!   ([`Recorder::set_trace_id`], 16 lowercase hex digits) and appears
+//!   only when a nonzero id is set — it links a probe line to the same
+//!   request's wire-protocol id and Chrome trace spans.
+//! * `span` / `count` lines report phase exits and counter increments
+//!   observed outside any probe (index build, driver totals).
+//! * `gauge` lines are always emitted immediately, even mid-probe.
 
 use std::io::Write;
 use std::time::Duration;
@@ -9,17 +33,17 @@ const NUM_PHASES: usize = Phase::ALL.len();
 const NUM_COUNTERS: usize = Counter::ALL.len();
 
 /// Emits one `key=value` line per probe (and per out-of-probe gauge /
-/// span) to any `io::Write`. The CLI's `--trace` wires this to stderr:
+/// span) to any `io::Write` — see the module docs for the exact line
+/// format. The CLI's `--trace` wires this to stderr:
 ///
 /// ```text
-/// probe=17 qgram_ns=10231 cdf_ns=884 verify_ns=120933 pairs_in_scope=42 qgram_survivors=3 cdf_undecided=2 verified_similar=1 verified_dissimilar=1
-/// gauge peak_index_bytes=1048576
-/// span total_ns=193822110
+/// seq=1 probe=17 qgram_ns=10231 cdf_ns=884 verify_ns=120933 pairs_in_scope=42 qgram_survivors=3 cdf_undecided=2 verified_similar=1 verified_dissimilar=1
+/// seq=2 gauge peak_index_bytes=1048576
+/// seq=3 span total_ns=193822110
 /// ```
 ///
-/// Only phases and counters actually observed during a probe appear on
-/// its line, keeping the output proportional to work done. Write errors
-/// are deliberately swallowed — tracing must never fail a join.
+/// Write errors are deliberately swallowed — tracing must never fail a
+/// join.
 #[derive(Debug)]
 pub struct TraceRecorder<W: Write = std::io::Stderr> {
     out: Option<W>,
@@ -29,6 +53,8 @@ pub struct TraceRecorder<W: Write = std::io::Stderr> {
     counter: [u64; NUM_COUNTERS],
     counter_seen: [bool; NUM_COUNTERS],
     in_probe: bool,
+    seq: u64,
+    trace_id: u64,
 }
 
 impl TraceRecorder<std::io::Stderr> {
@@ -49,6 +75,8 @@ impl<W: Write> TraceRecorder<W> {
             counter: [0; NUM_COUNTERS],
             counter_seen: [false; NUM_COUNTERS],
             in_probe: false,
+            seq: 0,
+            trace_id: 0,
         }
     }
 
@@ -64,6 +92,8 @@ impl<W: Write> TraceRecorder<W> {
             counter: [0; NUM_COUNTERS],
             counter_seen: [false; NUM_COUNTERS],
             in_probe: false,
+            seq: 0,
+            trace_id: 0,
         }
     }
 
@@ -72,12 +102,21 @@ impl<W: Write> TraceRecorder<W> {
         self.out
     }
 
+    /// The next line's `seq=` value (per-sink, monotonic from 1).
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
     fn flush_probe_line(&mut self) {
-        let Some(out) = self.out.as_mut() else {
+        if self.out.is_none() {
             self.reset_scratch();
             return;
-        };
-        let mut line = format!("probe={}", self.probe_id);
+        }
+        let mut line = format!("seq={} probe={}", self.next_seq(), self.probe_id);
+        if self.trace_id != 0 {
+            line.push_str(&format!(" trace={:016x}", self.trace_id));
+        }
         for p in Phase::ALL {
             if self.phase_seen[p.index()] {
                 line.push_str(&format!(" {}_ns={}", p.name(), self.phase_ns[p.index()]));
@@ -89,7 +128,9 @@ impl<W: Write> TraceRecorder<W> {
             }
         }
         line.push('\n');
-        let _ = out.write_all(line.as_bytes());
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.write_all(line.as_bytes());
+        }
         self.reset_scratch();
     }
 
@@ -124,8 +165,11 @@ impl<W: Write> Recorder for TraceRecorder<W> {
             let i = phase.index();
             self.phase_ns[i] = self.phase_ns[i].saturating_add(ns);
             self.phase_seen[i] = true;
-        } else if let Some(out) = self.out.as_mut() {
-            let _ = writeln!(out, "span {}_ns={}", phase.name(), ns);
+        } else if self.out.is_some() {
+            let seq = self.next_seq();
+            if let Some(out) = self.out.as_mut() {
+                let _ = writeln!(out, "seq={seq} span {}_ns={}", phase.name(), ns);
+            }
         }
     }
 
@@ -134,17 +178,27 @@ impl<W: Write> Recorder for TraceRecorder<W> {
             let i = counter.index();
             self.counter[i] += delta;
             self.counter_seen[i] = true;
-        } else if let Some(out) = self.out.as_mut() {
-            let _ = writeln!(out, "count {}={}", counter.name(), delta);
+        } else if self.out.is_some() {
+            let seq = self.next_seq();
+            if let Some(out) = self.out.as_mut() {
+                let _ = writeln!(out, "seq={seq} count {}={}", counter.name(), delta);
+            }
         }
     }
 
     fn gauge(&mut self, gauge: Gauge, value: u64) {
         // Gauges are run-level; always emitted immediately (index growth
         // is interesting *between* probes).
-        if let Some(out) = self.out.as_mut() {
-            let _ = writeln!(out, "gauge {}={}", gauge.name(), value);
+        if self.out.is_some() {
+            let seq = self.next_seq();
+            if let Some(out) = self.out.as_mut() {
+                let _ = writeln!(out, "seq={seq} gauge {}={}", gauge.name(), value);
+            }
         }
+    }
+
+    fn set_trace_id(&mut self, trace_id: u64) {
+        self.trace_id = trace_id;
     }
 }
 
@@ -185,7 +239,38 @@ mod tests {
         let lines = lines(t);
         assert_eq!(
             lines,
-            vec!["probe=3 qgram_ns=42 pairs_in_scope=5", "probe=4"]
+            vec!["seq=1 probe=3 qgram_ns=42 pairs_in_scope=5", "seq=2 probe=4"]
+        );
+    }
+
+    /// Golden test for the documented line format: sequence numbers are
+    /// per-sink and monotonic from 1, the trace id appears on probe lines
+    /// as 16 lowercase hex digits, and the four line shapes render
+    /// exactly as the module docs promise.
+    #[test]
+    fn golden_line_format() {
+        let mut t = TraceRecorder::to(Vec::new());
+        t.set_trace_id(0x00ab_cdef_0123_4567);
+        t.gauge(Gauge::NumStrings, 2000);
+        t.probe_start(17);
+        t.enter_phase(Phase::Qgram);
+        t.exit_phase(Phase::Qgram, Duration::from_nanos(10231));
+        t.enter_phase(Phase::Cdf);
+        t.exit_phase(Phase::Cdf, Duration::from_nanos(884));
+        t.counter(Counter::PairsInScope, 42);
+        t.counter(Counter::CdfUndecided, 2);
+        t.probe_end(17);
+        t.exit_phase(Phase::Total, Duration::from_nanos(193822));
+        t.counter(Counter::OutputPairs, 7);
+        assert_eq!(
+            lines(t),
+            vec![
+                "seq=1 gauge num_strings=2000",
+                "seq=2 probe=17 trace=00abcdef01234567 qgram_ns=10231 cdf_ns=884 \
+                 pairs_in_scope=42 cdf_undecided=2",
+                "seq=3 span total_ns=193822",
+                "seq=4 count output_pairs=7",
+            ]
         );
     }
 
@@ -199,9 +284,9 @@ mod tests {
         assert_eq!(
             lines,
             vec![
-                "gauge peak_index_bytes=77",
-                "span total_ns=9",
-                "count output_pairs=2"
+                "seq=1 gauge peak_index_bytes=77",
+                "seq=2 span total_ns=9",
+                "seq=3 count output_pairs=2"
             ]
         );
     }
@@ -212,7 +297,7 @@ mod tests {
         t.probe_start(0);
         t.gauge(Gauge::IndexBytes, 10);
         t.probe_end(0);
-        assert_eq!(lines(t), vec!["gauge index_bytes=10", "probe=0"]);
+        assert_eq!(lines(t), vec!["seq=1 gauge index_bytes=10", "seq=2 probe=0"]);
     }
 
     #[test]

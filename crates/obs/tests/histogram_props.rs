@@ -1,0 +1,129 @@
+//! Property tests for [`Log2Histogram`] and the merge laws
+//! [`MergeRecorder::absorb`] relies on: serve's degradation-ladder p99s
+//! and the `METRICS` exposition both aggregate histograms across workers
+//! and requests, which is only sound if merging is order-insensitive.
+//!
+//! (The in-src histogram tests cover the same laws with a seeded
+//! xorshift so they run in the std-only offline subset; this suite adds
+//! proptest's shrinking and wider exploration.)
+
+use proptest::prelude::*;
+use usj_obs::{
+    CollectingRecorder, Counter, Log2Histogram, MergeRecorder, Phase, Recorder,
+};
+
+fn hist_of(samples: &[u64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Samples spanning every magnitude, u64::MAX included.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            Just(u64::MAX),
+            any::<u64>(),
+            (0u32..64).prop_map(|s| 1u64 << s),
+        ],
+        0..24,
+    )
+}
+
+/// One scripted probe per sample batch, so CollectingRecorder absorb
+/// exercises phase and counter histograms together.
+fn recorder_of(samples: &[u64]) -> CollectingRecorder {
+    let mut r = CollectingRecorder::new();
+    for (i, &v) in samples.iter().enumerate() {
+        r.probe_start(i as u32);
+        r.enter_phase(Phase::Cdf);
+        r.exit_phase(Phase::Cdf, std::time::Duration::from_nanos(v.min(1 << 40)));
+        r.counter(Counter::CdfUndecided, v);
+        r.probe_end(i as u32);
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// a ∪ b == b ∪ a, bucket-for-bucket.
+    #[test]
+    fn merge_is_commutative(a in arb_samples(), b in arb_samples()) {
+        let mut ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let mut ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(a in arb_samples(), b in arb_samples(), c in arb_samples()) {
+        let mut left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        let mut bc = hist_of(&b);
+        bc.merge(&hist_of(&c));
+        let mut right = hist_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging equals recording the concatenation directly.
+    #[test]
+    fn merge_equals_concatenation(a in arb_samples(), b in arb_samples()) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut concat: Vec<u64> = a.clone();
+        concat.extend(&b);
+        prop_assert_eq!(merged, hist_of(&concat));
+    }
+
+    /// CollectingRecorder::absorb inherits the merge laws: worker
+    /// recorders folded in either order yield identical counter
+    /// histograms (phase histograms carry real wall-clock, so only the
+    /// deterministic counter side is compared bit-for-bit).
+    #[test]
+    fn absorb_order_does_not_matter(a in arb_samples(), b in arb_samples()) {
+        let (ra, rb) = (recorder_of(&a), recorder_of(&b));
+        let mut ab = CollectingRecorder::new();
+        ab.absorb(ra.clone());
+        ab.absorb(rb.clone());
+        let mut ba = CollectingRecorder::new();
+        ba.absorb(rb);
+        ba.absorb(ra);
+        prop_assert_eq!(
+            ab.counter_histogram(Counter::CdfUndecided),
+            ba.counter_histogram(Counter::CdfUndecided)
+        );
+        prop_assert_eq!(ab.probes(), ba.probes());
+        prop_assert_eq!(
+            ab.phase_histogram(Phase::Cdf).count(),
+            ba.phase_histogram(Phase::Cdf).count()
+        );
+    }
+
+    /// Quantiles never exceed the exact max, never undershoot the true
+    /// quantile's bucket, and are monotone in q.
+    #[test]
+    fn quantiles_are_sound(samples in arb_samples()) {
+        let h = hist_of(&samples);
+        let mut prev = 0u64;
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v <= h.max());
+            prop_assert!(v >= prev, "quantile not monotone at q={q}");
+            prev = v;
+        }
+        if !samples.is_empty() {
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            // The bucket upper bound never underestimates: p100 >= max.
+            prop_assert_eq!(h.quantile(1.0), *sorted.last().unwrap());
+        }
+    }
+}

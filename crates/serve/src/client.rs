@@ -55,6 +55,16 @@ pub enum ProbeOutcome {
     Degraded(Vec<u32>),
 }
 
+/// The server-side trace a traced probe came back with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeTrace {
+    /// The trace id this client minted and the server echoed.
+    pub trace_id: u64,
+    /// Single-line Chrome trace-event JSON (`{"traceEvents":[...]}`),
+    /// loadable in Perfetto / `chrome://tracing`.
+    pub json: String,
+}
+
 /// Why a probe ultimately failed.
 #[derive(Debug)]
 pub enum ClientError {
@@ -113,6 +123,37 @@ impl Client {
     /// Issues `PROBE k tau text`, retrying on `BUSY`/transport errors
     /// with capped exponential backoff + jitter.
     pub fn probe(&mut self, k: usize, tau: f64, text: &str) -> Result<ProbeOutcome, ClientError> {
+        self.probe_inner(k, tau, text, None).map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`Client::probe`], but mints a trace id, sends it as
+    /// `trace_id=`, and returns the server's `TRACE` line (the Chrome
+    /// trace-event JSON for the request) alongside the answer. The trace
+    /// is `None` only if the answer arrived without one (e.g. the probe
+    /// was shed at admission, before the traced path).
+    pub fn probe_traced(
+        &mut self,
+        k: usize,
+        tau: f64,
+        text: &str,
+    ) -> Result<(ProbeOutcome, Option<ProbeTrace>), ClientError> {
+        let trace_id = self.mint_trace_id();
+        self.probe_inner(k, tau, text, Some(trace_id))
+    }
+
+    /// A fresh nonzero trace id (xorshift over the jitter state; the low
+    /// bit is forced so 0 — the "untraced" sentinel — never escapes).
+    pub fn mint_trace_id(&mut self) -> u64 {
+        self.next_u64() | 1
+    }
+
+    fn probe_inner(
+        &mut self,
+        k: usize,
+        tau: f64,
+        text: &str,
+        trace_id: Option<u64>,
+    ) -> Result<(ProbeOutcome, Option<ProbeTrace>), ClientError> {
         let started = Instant::now();
         let mut attempts = 0u32;
         let mut saw_busy = false;
@@ -120,16 +161,18 @@ impl Client {
         loop {
             attempts += 1;
             let remaining = self.remaining(started)?;
-            match self.attempt(k, tau, text, remaining) {
-                Ok(Response::Ok(hits)) => return Ok(ProbeOutcome::Exact(hits)),
-                Ok(Response::Degraded(ids)) => return Ok(ProbeOutcome::Degraded(ids)),
-                Ok(Response::Deadline { .. }) => return Err(ClientError::Deadline),
-                Ok(Response::Busy { retry_after_ms }) => {
+            match self.attempt(k, tau, text, trace_id, remaining) {
+                Ok((trace, Response::Ok(hits))) => return Ok((ProbeOutcome::Exact(hits), trace)),
+                Ok((trace, Response::Degraded(ids))) => {
+                    return Ok((ProbeOutcome::Degraded(ids), trace))
+                }
+                Ok((_, Response::Deadline { .. })) => return Err(ClientError::Deadline),
+                Ok((_, Response::Busy { retry_after_ms })) => {
                     saw_busy = true;
                     backoff_hint = retry_after_ms;
                 }
-                Ok(Response::Err(msg)) => return Err(ClientError::Server(msg)),
-                Ok(other) => {
+                Ok((_, Response::Err(msg))) => return Err(ClientError::Server(msg)),
+                Ok((_, other)) => {
                     return Err(ClientError::Protocol(format!(
                         "unexpected response {:?}",
                         other.encode()
@@ -188,6 +231,20 @@ impl Client {
         }
     }
 
+    /// One `METRICS` round-trip: the server's live Prometheus text
+    /// exposition (unescaped, multi-line).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.attempt_line("METRICS", None) {
+            Ok(Response::Metrics(text)) => Ok(text),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "unexpected response {:?}",
+                other.encode()
+            ))),
+            Err(RetryableError::Fatal(e)) => Err(e),
+            Err(RetryableError::Transport(e)) => Err(ClientError::Io(e)),
+        }
+    }
+
     /// Asks the server to drain gracefully (`SHUTDOWN` → `BYE`).
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.attempt_line("SHUTDOWN", None) {
@@ -221,16 +278,20 @@ impl Client {
         k: usize,
         tau: f64,
         text: &str,
+        trace_id: Option<u64>,
         remaining: Option<Duration>,
-    ) -> Result<Response, RetryableError> {
-        let line = match remaining {
-            Some(budget) => {
-                let ms = budget.as_millis().clamp(1, u64::MAX as u128) as u64;
-                format!("PROBE {k} {tau} deadline_ms={ms} {text}")
-            }
-            None => format!("PROBE {k} {tau} {text}"),
-        };
-        self.attempt_line(&line, remaining)
+    ) -> Result<(Option<ProbeTrace>, Response), RetryableError> {
+        let mut line = format!("PROBE {k} {tau}");
+        if let Some(budget) = remaining {
+            let ms = budget.as_millis().clamp(1, u64::MAX as u128) as u64;
+            line.push_str(&format!(" deadline_ms={ms}"));
+        }
+        if let Some(id) = trace_id {
+            line.push_str(&format!(" trace_id={id:016x}"));
+        }
+        line.push(' ');
+        line.push_str(text);
+        self.attempt_request(&line, remaining)
     }
 
     /// One connection, one request line, one response line.
@@ -239,6 +300,17 @@ impl Client {
         line: &str,
         remaining: Option<Duration>,
     ) -> Result<Response, RetryableError> {
+        self.attempt_request(line, remaining)
+            .map(|(_, response)| response)
+    }
+
+    /// One connection, one request line, and the response — preceded by
+    /// an optional `TRACE` line when the request was a traced probe.
+    fn attempt_request(
+        &mut self,
+        line: &str,
+        remaining: Option<Duration>,
+    ) -> Result<(Option<ProbeTrace>, Response), RetryableError> {
         let addrs = self
             .addr
             .to_socket_addrs()
@@ -289,7 +361,25 @@ impl Client {
                 "connection closed before a response",
             )));
         }
-        Response::parse(&reply).map_err(|msg| RetryableError::Fatal(ClientError::Protocol(msg)))
+        let first = Response::parse(&reply)
+            .map_err(|msg| RetryableError::Fatal(ClientError::Protocol(msg)))?;
+        let Response::Trace { trace_id, json } = first else {
+            return Ok((None, first));
+        };
+        // A TRACE line always precedes the traced probe's real answer.
+        let mut second = String::new();
+        let n = reader
+            .read_line(&mut second)
+            .map_err(RetryableError::Transport)?;
+        if n == 0 {
+            return Err(RetryableError::Transport(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed after TRACE, before the answer",
+            )));
+        }
+        let response = Response::parse(&second)
+            .map_err(|msg| RetryableError::Fatal(ClientError::Protocol(msg)))?;
+        Ok((Some(ProbeTrace { trace_id, json }), response))
     }
 
     /// Capped exponential backoff with 50–100% jitter, floored at the

@@ -28,6 +28,13 @@
 //!   and in-flight requests finish, and flushes the final stats
 //!   snapshot.
 //!
+//! - **Live observability** — a `METRICS` request renders the shared
+//!   [`usj_obs::MetricsRegistry`] (every golden-schema counter/gauge,
+//!   per-phase latency summaries, and the per-length-band candidate
+//!   funnel) in Prometheus text exposition format; a probe carrying a
+//!   client-minted `trace_id=` is answered with an extra `TRACE` line
+//!   holding its Chrome trace-event JSON (see [`usj_obs::ChromeTraceRecorder`]).
+//!
 //! The [`client`] pairs with it: blocking, one connection per request,
 //! capped exponential backoff with deterministic jitter on `BUSY`, and
 //! per-attempt deadline recomputation mirrored into socket timeouts.
@@ -41,7 +48,7 @@ pub mod degrade;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientConfig, ClientError, ProbeOutcome};
+pub use client::{Client, ClientConfig, ClientError, ProbeOutcome, ProbeTrace};
 pub use degrade::{Controller, DegradeConfig, Level};
 pub use proto::{parse_request, Request, Response};
 pub use server::{serve, ServeConfig, ServerHandle};

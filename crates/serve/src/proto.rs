@@ -8,19 +8,28 @@
 //! approximation.
 //!
 //! ```text
-//! -> PROBE <k> <tau> [deadline_ms=<n>] <uncertain-string>
+//! -> PROBE <k> <tau> [deadline_ms=<n>] [trace_id=<16-hex>] <uncertain-string>
+//! <- TRACE <16-hex> <chrome-trace-json>   only for traced probes, before the answer
 //! <- OK <n> <id>:<prob-bits> ...          exact answer
 //! <- DEGRADED <n> <id> ...                filter-only superset answer
 //! <- BUSY retry_after_ms=<n>              shed; retry after the hint
 //! <- DEADLINE elapsed_ms=<n>              per-request deadline expired
 //! -> HEALTH                               -> HEALTH level=.. queue=.. inflight=..
 //! -> STATS                                -> STATS <one-line obs JSON>
+//! -> METRICS                              -> METRICS <escaped Prometheus text>
 //! -> SHUTDOWN                             -> BYE (starts graceful drain)
 //! <- ERR <message>                        any malformed/failed request
 //! ```
 //!
 //! The uncertain-string operand is the *remainder* of the line (it may
 //! contain spaces: `jo{(h,0.7),(n,0.3)}n doe`), so options precede it.
+//!
+//! A probe carrying a nonzero `trace_id` (client-minted, 16 hex digits)
+//! is answered with an extra `TRACE` line *before* its result line: the
+//! echoed trace id plus the server-side Chrome trace-event JSON for that
+//! request (already single-line). The Prometheus exposition in `METRICS`
+//! is multi-line text; on the wire each backslash becomes `\\` and each
+//! newline `\n`, and [`Response::parse`] undoes the escaping.
 
 /// One parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +42,8 @@ pub enum Request {
         tau: f64,
         /// Per-request deadline in milliseconds, if the client set one.
         deadline_ms: Option<u64>,
+        /// Client-minted trace id (nonzero) requesting a `TRACE` line.
+        trace_id: Option<u64>,
         /// Uncertain-string text (unparsed; the worker owns the alphabet).
         text: String,
     },
@@ -40,6 +51,8 @@ pub enum Request {
     Health,
     /// Full observability snapshot as one-line JSON.
     Stats,
+    /// Prometheus text exposition of the live metrics registry.
+    Metrics,
     /// Begin graceful drain: stop accepting, finish in-flight, flush.
     Shutdown,
 }
@@ -72,14 +85,27 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 return Err(format!("tau {tau} out of range [0, 1)"));
             }
             let mut deadline_ms = None;
+            let mut trace_id = None;
             let mut rest = rest;
-            if let Some(value) = split_token(rest).0.strip_prefix("deadline_ms=") {
-                deadline_ms = Some(
-                    value
-                        .parse::<u64>()
-                        .map_err(|_| format!("bad deadline_ms {value:?}"))?,
-                );
-                rest = split_token(rest).1;
+            loop {
+                let (tok, tail) = split_token(rest);
+                if let Some(value) = tok.strip_prefix("deadline_ms=") {
+                    deadline_ms = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad deadline_ms {value:?}"))?,
+                    );
+                } else if let Some(value) = tok.strip_prefix("trace_id=") {
+                    let id = u64::from_str_radix(value, 16)
+                        .map_err(|_| format!("bad trace_id {value:?} (expected hex)"))?;
+                    if id == 0 {
+                        return Err("trace_id must be nonzero".to_string());
+                    }
+                    trace_id = Some(id);
+                } else {
+                    break;
+                }
+                rest = tail;
             }
             if rest.is_empty() {
                 return Err("PROBE needs an uncertain-string operand".to_string());
@@ -88,15 +114,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 k,
                 tau,
                 deadline_ms,
+                trace_id,
                 text: rest.to_string(),
             })
         }
         "HEALTH" => Ok(Request::Health),
         "STATS" => Ok(Request::Stats),
+        "METRICS" => Ok(Request::Metrics),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "" => Err("empty request".to_string()),
         other => Err(format!(
-            "unknown verb {other:?} (expected PROBE/HEALTH/STATS/SHUTDOWN)"
+            "unknown verb {other:?} (expected PROBE/HEALTH/STATS/METRICS/SHUTDOWN)"
         )),
     }
 }
@@ -130,10 +158,52 @@ pub enum Response {
     },
     /// One-line observability snapshot JSON.
     Stats(String),
+    /// Prometheus text exposition (multi-line; escaped on the wire).
+    Metrics(String),
+    /// Chrome trace-event JSON for one traced probe, echoing the
+    /// client-minted trace id; sent before the probe's result line.
+    Trace {
+        /// The trace id the client attached to the probe.
+        trace_id: u64,
+        /// Single-line Chrome trace-event JSON (`{"traceEvents":[...]}`).
+        json: String,
+    },
     /// Graceful-drain acknowledgement.
     Bye,
     /// Request-level failure (parse error, isolated panic, bad probe).
     Err(String),
+}
+
+/// Escapes multi-line payloads onto one protocol line: `\` → `\\`,
+/// newline → `\n`.
+fn escape_line(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_line`]. A trailing lone backslash is an error.
+fn unescape_line(text: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            other => return Err(format!("bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
 }
 
 impl Response {
@@ -162,6 +232,10 @@ impl Response {
                 inflight,
             } => format!("HEALTH level={level} queue={queue} inflight={inflight}"),
             Response::Stats(json) => format!("STATS {json}"),
+            Response::Metrics(text) => format!("METRICS {}", escape_line(text)),
+            Response::Trace { trace_id, json } => {
+                format!("TRACE {trace_id:016x} {}", json.replace('\n', " "))
+            }
             Response::Bye => "BYE".to_string(),
             Response::Err(msg) => format!("ERR {}", msg.replace('\n', " ")),
         }
@@ -244,6 +318,16 @@ impl Response {
                 }
             }
             "STATS" => Ok(Response::Stats(rest.to_string())),
+            "METRICS" => Ok(Response::Metrics(unescape_line(rest)?)),
+            "TRACE" => {
+                let (id_tok, json) = split_token(rest);
+                let trace_id = u64::from_str_radix(id_tok, 16)
+                    .map_err(|_| format!("bad trace id {id_tok:?}"))?;
+                Ok(Response::Trace {
+                    trace_id,
+                    json: json.to_string(),
+                })
+            }
             "BYE" => Ok(Response::Bye),
             "ERR" => Ok(Response::Err(rest.to_string())),
             other => Err(format!("unknown response verb {other:?}")),
@@ -263,6 +347,7 @@ mod tests {
                 k: 2,
                 tau: 0.3,
                 deadline_ms: None,
+                trace_id: None,
                 text: "ACGT".to_string(),
             }
         );
@@ -272,9 +357,27 @@ mod tests {
                 k: 1,
                 tau: 0.5,
                 deadline_ms: Some(250),
+                trace_id: None,
                 text: "jo{(h,0.7),(n,0.3)}n doe".to_string(),
             }
         );
+        // Options compose in either order; trace ids are 16-hex.
+        assert_eq!(
+            parse_request("PROBE 1 0.5 trace_id=00ab0cd0ef012345 deadline_ms=9 ACGT").unwrap(),
+            Request::Probe {
+                k: 1,
+                tau: 0.5,
+                deadline_ms: Some(9),
+                trace_id: Some(0x00ab_0cd0_ef01_2345),
+                text: "ACGT".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn metrics_request_parses() {
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(parse_request("  METRICS  ").unwrap(), Request::Metrics);
     }
 
     #[test]
@@ -284,8 +387,11 @@ mod tests {
             ("PROBE 1 nope ACGT", "bad tau"),
             ("PROBE 1 1.5 ACGT", "out of range"),
             ("PROBE 1 0.3 deadline_ms=abc ACGT", "bad deadline_ms"),
+            ("PROBE 1 0.3 trace_id=zzzz ACGT", "bad trace_id"),
+            ("PROBE 1 0.3 trace_id=0 ACGT", "trace_id must be nonzero"),
             ("PROBE 1 0.3", "needs an uncertain-string"),
             ("PROBE 1 0.3 deadline_ms=5", "needs an uncertain-string"),
+            ("PROBE 1 0.3 trace_id=1f", "needs an uncertain-string"),
             ("FROBNICATE", "unknown verb"),
             ("", "empty request"),
         ] {
@@ -308,6 +414,12 @@ mod tests {
                 inflight: 2,
             },
             Response::Stats("{\"probes\":3}".to_string()),
+            Response::Metrics("# TYPE usj_probes_total counter\nusj_probes_total 3\n".to_string()),
+            Response::Metrics("label=\"a\\b\"\n".to_string()),
+            Response::Trace {
+                trace_id: 0x00ab_cdef_0123_4567,
+                json: "{\"traceEvents\":[]}".to_string(),
+            },
             Response::Bye,
             Response::Err("bad probe".to_string()),
         ];
@@ -329,5 +441,19 @@ mod tests {
     fn count_mismatch_is_a_protocol_error() {
         assert!(Response::parse("OK 2 1:3fe8000000000000").is_err());
         assert!(Response::parse("DEGRADED 1").is_err());
+    }
+
+    #[test]
+    fn metrics_escaping_is_lossless_and_single_line() {
+        let text = "a\nb\\c\nd\\\\e\n";
+        let line = Response::Metrics(text.to_string()).encode();
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            Response::parse(&line).unwrap(),
+            Response::Metrics(text.to_string())
+        );
+        // A dangling escape is a protocol error, not silent truncation.
+        assert!(Response::parse("METRICS trailing\\").is_err());
+        assert!(Response::parse("TRACE nothex {}").is_err());
     }
 }

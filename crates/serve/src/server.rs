@@ -21,7 +21,10 @@ use std::time::{Duration, Instant};
 use usj_core::{IndexedCollection, ProbeBudget, SearchAbort};
 use usj_fault::shield;
 use usj_model::{Alphabet, UncertainString};
-use usj_obs::{CollectingRecorder, Counter, Gauge, MergeRecorder, Phase, Recorder};
+use usj_obs::{
+    band_of, ChromeTraceRecorder, CollectingRecorder, Counter, Gauge, MergeRecorder,
+    MetricsRegistry, Phase, Recorder,
+};
 
 use crate::degrade::{Controller, DegradeConfig, Level};
 use crate::proto::{parse_request, Request, Response};
@@ -75,6 +78,9 @@ struct Shared {
     probe_seq: AtomicU32,
     controller: Controller,
     recorder: Mutex<CollectingRecorder>,
+    /// Lock-free aggregate behind the `METRICS` exposition: folded once
+    /// per finished probe, keyed by the probe's length band.
+    registry: MetricsRegistry,
 }
 
 /// Handle to a running server. Dropping it does *not* stop the server;
@@ -109,6 +115,7 @@ pub fn serve(
         inflight: AtomicUsize::new(0),
         probe_seq: AtomicU32::new(0),
         recorder: Mutex::new(CollectingRecorder::new()),
+        registry: MetricsRegistry::default(),
     });
     let accept = {
         let shared = Arc::clone(&shared);
@@ -135,6 +142,12 @@ impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The live Prometheus text exposition (what `METRICS` returns on
+    /// the wire, unescaped).
+    pub fn metrics_text(&self) -> String {
+        self.shared.registry.render_prometheus()
     }
 
     /// A live observability snapshot (pretty JSON, golden schema).
@@ -331,18 +344,23 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
         }
         let outcome =
             shield::shielded(|| catch_unwind(AssertUnwindSafe(|| handle_line(shared, &line))));
-        let response = outcome.unwrap_or_else(|payload| {
+        let responses = outcome.unwrap_or_else(|payload| {
             // One poisoned request gets ERR; the worker (and listener)
             // survive to serve the next one.
             shared.record(|r| r.counter(Counter::ServePanics, 1));
-            Response::Err(format!("internal panic: {}", panic_message(&*payload)))
+            vec![Response::Err(format!(
+                "internal panic: {}",
+                panic_message(&*payload)
+            ))]
         });
-        let done = matches!(response, Response::Bye);
-        if writer.write_all(response.encode().as_bytes()).is_err() {
-            return;
-        }
-        if writer.write_all(b"\n").is_err() {
-            return;
+        let done = responses.iter().any(|r| matches!(r, Response::Bye));
+        for response in responses {
+            if writer.write_all(response.encode().as_bytes()).is_err() {
+                return;
+            }
+            if writer.write_all(b"\n").is_err() {
+                return;
+            }
         }
         let _ = writer.flush();
         // Draining: answer the current request, then close so the worker
@@ -353,35 +371,39 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
     }
 }
 
-fn handle_line(shared: &Shared, line: &str) -> Response {
+/// Handles one request line. Most requests yield one response line; a
+/// traced probe yields its `TRACE` line followed by the result.
+fn handle_line(shared: &Shared, line: &str) -> Vec<Response> {
     if usj_fault::fire("serve.parse") {
         shared.record(|r| r.counter(Counter::FaultsInjected, 1));
     }
     let request = match parse_request(line) {
         Ok(request) => request,
-        Err(msg) => return Response::Err(msg),
+        Err(msg) => return vec![Response::Err(msg)],
     };
     match request {
-        Request::Health => Response::Health {
+        Request::Health => vec![Response::Health {
             level: shared.controller.level() as u8,
             queue: shared.queue_depth(),
             // ordering: Relaxed — monitoring read, see worker_loop.
             inflight: shared.inflight.load(Ordering::Relaxed),
-        },
+        }],
         Request::Stats => {
             let json = shared.record(|r| r.to_json());
-            Response::Stats(compact_json(&json))
+            vec![Response::Stats(compact_json(&json))]
         }
+        Request::Metrics => vec![Response::Metrics(shared.registry.render_prometheus())],
         Request::Shutdown => {
             shared.begin_drain();
-            Response::Bye
+            vec![Response::Bye]
         }
         Request::Probe {
             k,
             tau,
             deadline_ms,
+            trace_id,
             text,
-        } => handle_probe(shared, k, tau, deadline_ms, &text),
+        } => handle_probe(shared, k, tau, deadline_ms, trace_id, &text),
     }
 }
 
@@ -390,8 +412,9 @@ fn handle_probe(
     k: usize,
     tau: f64,
     deadline_ms: Option<u64>,
+    trace_id: Option<u64>,
     text: &str,
-) -> Response {
+) -> Vec<Response> {
     let started = Instant::now();
     if usj_fault::fire("serve.probe") {
         shared.record(|r| r.counter(Counter::FaultsInjected, 1));
@@ -401,21 +424,30 @@ fn handle_probe(
     // silently wrong, so it is an explicit protocol error instead.
     let config = shared.coll.config();
     if k != config.k || (tau - config.tau).abs() > 1e-9 {
-        return Response::Err(format!(
+        return vec![Response::Err(format!(
             "this server is indexed for k={} tau={} (got k={k} tau={tau})",
             config.k, config.tau
-        ));
+        ))];
     }
     let probe = match UncertainString::parse(text, &shared.alphabet) {
         Ok(probe) => probe,
-        Err(e) => return Response::Err(format!("bad probe: {e}")),
+        Err(e) => return vec![Response::Err(format!("bad probe: {e}"))],
     };
     let deadline = deadline_ms
         .map(Duration::from_millis)
         .or(shared.cfg.default_deadline);
     // ordering: Relaxed — the id is only a label in the event stream.
     let probe_id = shared.probe_seq.fetch_add(1, Ordering::Relaxed);
-    let mut local = CollectingRecorder::new();
+    // Untraced probes pair the collector with a silent Chrome recorder,
+    // so the hot path pays only a few branch checks for tracing.
+    let chrome = match trace_id {
+        Some(_) => ChromeTraceRecorder::new(),
+        None => ChromeTraceRecorder::silent(),
+    };
+    let mut local = (CollectingRecorder::new(), chrome);
+    if let Some(id) = trace_id {
+        local.set_trace_id(id);
+    }
     let level = shared.controller.level();
     let response = match level {
         Level::Shed => {
@@ -470,11 +502,21 @@ fn handle_probe(
             }
         }
     };
-    shared.record(|r| r.absorb(local));
+    let (collected, chrome) = local;
+    // Funnel exposition buckets this probe's counters by its length band.
+    shared
+        .registry
+        .fold(Some(band_of(probe.len())), &collected);
+    shared.record(|r| r.absorb(collected));
     shared
         .controller
         .observe(started.elapsed(), shared.queue_depth());
-    response
+    let mut out = Vec::with_capacity(2);
+    if let (Some(id), Some(json)) = (trace_id, chrome.finish()) {
+        out.push(Response::Trace { trace_id: id, json });
+    }
+    out.push(response);
+    out
 }
 
 /// Flattens the pretty-printed golden-schema JSON to one protocol line.

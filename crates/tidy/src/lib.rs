@@ -15,6 +15,7 @@
 //! | `dep-allowlist` | no external dependencies outside the vetted set |
 //! | `doc-drift` | `DESIGN.md` inventories every crate; `CHANGES.md` has one consecutive `- PR n:` line per PR |
 //! | `socket-timeout` | no blocking socket read in `crates/serve/src/` without a prior `set_read_timeout` |
+//! | `span-paired` | every manual `enter_phase` in `crates/{core,serve}/src/` is exited in-file, with no early `return`/`?` while open (RAII `PhaseGuard` is exempt) |
 //!
 //! Exceptions live in `tidy.allow` at the workspace root — line-granular,
 //! content-matched, and reason-bearing (see [`allow`]). Unused entries are
@@ -36,13 +37,14 @@ use allow::AllowList;
 use source::SourceFile;
 
 /// Every lint name, for allowlist validation and `--help` output.
-pub const LINT_NAMES: [&str; 6] = [
+pub const LINT_NAMES: [&str; 7] = [
     "no-unwrap",
     "ordering-comment",
     "metrics-registered",
     "dep-allowlist",
     "doc-drift",
     "socket-timeout",
+    "span-paired",
 ];
 
 /// Directory names never walked: build artifacts, VCS state, the offline
@@ -189,6 +191,7 @@ pub fn run_tidy(root: &Path) -> Vec<Diagnostic> {
     raw.extend(lints::dep_allowlist(&ws));
     raw.extend(lints::doc_drift(&ws));
     raw.extend(lints::socket_timeout(&ws.rust_files));
+    raw.extend(lints::span_paired(&ws.rust_files));
 
     let mut diags: Vec<Diagnostic> = Vec::new();
     for diag in raw {

@@ -370,6 +370,100 @@ pub fn metrics_registered(ws: &Workspace) -> Vec<Diagnostic> {
     diags
 }
 
+/// Directories where phase spans must stay balanced: the join drivers and
+/// the query service — the two places whose spans feed the Chrome trace
+/// and the Prometheus phase series.
+const SPAN_PAIRED_DIRS: [&str; 2] = ["crates/core/src/", "crates/serve/src/"];
+
+/// A `?` acting as the try operator (as opposed to `{x:?}` debug formats
+/// or a question mark inside a string literal): previous char closes an
+/// expression, next non-space char ends one.
+fn has_try_operator(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'?' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1] as char;
+        if !(prev == ')' || prev == ']' || prev == '}' || prev.is_ascii_alphanumeric() || prev == '_')
+        {
+            continue;
+        }
+        let next = code[i + 1..].trim_start().chars().next();
+        if matches!(next, None | Some(';' | '.' | ')' | ',' | '}')) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `span-paired`: in the span-bearing directories, every manual
+/// `.enter_phase(` must be closed by an `.exit_phase(` in the same file,
+/// with no early exit (`return` or `?`) while a span is open.
+///
+/// An unexited span skews `usj_phase_ns_total`, leaves its Chrome trace
+/// event unclosed, and (under the tuple recorders) desynchronises the
+/// span stack for every later phase. The RAII [`usj_obs::PhaseGuard`]
+/// closes on every path — code with nontrivial control flow should use it
+/// instead of the raw pair.
+pub fn span_paired(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in files {
+        if !SPAN_PAIRED_DIRS.iter().any(|d| file.rel_path.starts_with(d)) {
+            continue;
+        }
+        // Line numbers of enter_phase calls not yet matched by an exit.
+        let mut open: Vec<usize> = Vec::new();
+        for line in &file.lines {
+            if line.comment_only || line.in_test {
+                continue;
+            }
+            let code = line.code();
+            if !open.is_empty()
+                && (code.contains("return") || has_try_operator(code))
+                && !code.contains(".exit_phase(")
+            {
+                diags.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: line.number,
+                    lint: "span-paired".to_string(),
+                    message: format!(
+                        "early exit while the phase span opened on line {} is still open — \
+                         the span would leak; close it first or use `usj_obs::PhaseGuard`",
+                        open[open.len() - 1]
+                    ),
+                });
+            }
+            for _ in code.match_indices(".enter_phase(") {
+                open.push(line.number);
+            }
+            for _ in code.match_indices(".exit_phase(") {
+                if open.pop().is_none() {
+                    diags.push(Diagnostic {
+                        file: file.rel_path.clone(),
+                        line: line.number,
+                        lint: "span-paired".to_string(),
+                        message: "`.exit_phase(` without a matching `.enter_phase(` earlier \
+                                  in this file"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        for opened_at in open {
+            diags.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: opened_at,
+                lint: "span-paired".to_string(),
+                message: "`.enter_phase(` never matched by an `.exit_phase(` in this file — \
+                          the span leaks; pair it or use `usj_obs::PhaseGuard`"
+                    .to_string(),
+            });
+        }
+    }
+    diags
+}
+
 /// External crates the workspace may depend on. Everything else must be a
 /// path-internal `usj-*` crate or an explicit tidy.allow exception — the
 /// build environment cannot reach crates.io, so an unvetted dependency is

@@ -1,0 +1,37 @@
+//! Span-pairing fixture: early exits and EOF leaks fire; balanced pairs,
+//! comments, tests, and RAII `PhaseGuard` spans stay silent.
+
+pub fn leaky(rec: &mut impl Recorder) -> Result<u32, Error> {
+    rec.enter_phase(Phase::Index);
+    let rows = load_rows()?;
+    if rows == 0 {
+        return Err(Error::Empty);
+    }
+    rec.exit_phase(Phase::Index, started.elapsed());
+    Ok(rows)
+}
+
+pub fn balanced(rec: &mut impl Recorder) {
+    rec.enter_phase(Phase::Total);
+    rec.exit_phase(Phase::Total, started.elapsed());
+}
+
+// A comment mentioning rec.enter_phase( does not open a span.
+pub fn guarded(rec: &mut impl Recorder) -> Result<u32, Error> {
+    let _span = PhaseGuard::enter(rec, Phase::Verify);
+    let rows = load_rows()?;
+    Ok(rows)
+}
+
+pub fn leaks_at_eof(rec: &mut impl Recorder) {
+    rec.enter_phase(Phase::CdfFilter);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_span_freely() {
+        let mut rec = NoopRecorder;
+        rec.enter_phase(Phase::Index);
+    }
+}

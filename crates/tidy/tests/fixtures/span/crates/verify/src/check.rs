@@ -1,0 +1,5 @@
+//! Outside the lint's scope: no span-paired diagnostics here.
+
+pub fn unbalanced(rec: &mut impl Recorder) {
+    rec.enter_phase(Phase::Verify);
+}

@@ -83,6 +83,25 @@ fn socket_fixture_flags_reads_before_the_timeout_only() {
 }
 
 #[test]
+fn span_fixture_flags_early_exits_leaks_and_stray_exits() {
+    assert_eq!(
+        triples("span"),
+        vec![
+            // The `?` (line 6) and `return` (line 8) fire while the
+            // line-5 span is open; the balanced pair, the comment
+            // mention, the PhaseGuard fn (its `?` runs under RAII), and
+            // the #[cfg(test)] span stay silent.
+            t("crates/core/src/driver.rs", 6, "span-paired"),
+            t("crates/core/src/driver.rs", 8, "span-paired"),
+            // enter_phase never exited before EOF.
+            t("crates/core/src/driver.rs", 27, "span-paired"),
+            // exit_phase with no open span; crates/verify is out of scope.
+            t("crates/serve/src/worker.rs", 4, "span-paired"),
+        ]
+    );
+}
+
+#[test]
 fn deps_fixture_flags_unvetted_external_deps() {
     assert_eq!(
         triples("deps"),

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Gate a fresh kernel-benchmark report against a committed baseline.
+#
+#   scripts/bench-compare.sh <baseline.json> <new.json> [threshold-pct]
+#
+# Exits nonzero when any bench's median regressed beyond the threshold
+# (default 15%). Thin wrapper over `bench_kernels compare` so CI and
+# humans run the identical comparison; prefers an already-built release
+# binary and falls back to cargo.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <baseline.json> <new.json> [threshold-pct]" >&2
+    exit 2
+fi
+base="$1"
+new="$2"
+threshold="${3:-15}"
+
+if [ -x target/release/bench_kernels ]; then
+    exec target/release/bench_kernels compare "$base" "$new" --threshold "$threshold"
+fi
+exec cargo run -q --release -p usj-bench --bin bench_kernels -- \
+    compare "$base" "$new" --threshold "$threshold"

@@ -42,6 +42,7 @@ cp crates/core/tests/fault_tolerance.rs .buildcheck/crates/core/tests/
 cp crates/core/tests/checkpoint_corruption.rs .buildcheck/crates/core/tests/
 cp crates/core/tests/concurrent_probes.rs .buildcheck/crates/core/tests/
 cp crates/serve/tests/overload.rs .buildcheck/crates/serve/tests/
+cp crates/serve/tests/metrics_roundtrip.rs .buildcheck/crates/serve/tests/
 cp crates/model/tests/malformed.rs .buildcheck/crates/model/tests/
 cp -r crates/model/tests/corpus .buildcheck/crates/model/tests/corpus
 
@@ -52,6 +53,30 @@ cp crates/tidy/tests/tidy_fixtures.rs crates/tidy/tests/workspace_clean.rs \
     .buildcheck/crates/tidy/tests/
 cp -r crates/tidy/tests/fixtures .buildcheck/crates/tidy/tests/fixtures
 export USJ_TIDY_ROOT="$PWD"
+
+# The bench-trajectory binary is std-only (usj-core + usj-obs); stage it
+# under a synthetic manifest so the offline subset compile-checks it and
+# can regenerate BENCH_baseline.json without the registry-dependent
+# usj-bench library.
+mkdir -p .buildcheck/crates/benchbin/src
+cp crates/bench/src/bin/bench_kernels.rs .buildcheck/crates/benchbin/src/main.rs
+cat > .buildcheck/crates/benchbin/Cargo.toml <<'EOF'
+[package]
+name = "bench-kernels-offline"
+description = "offline staging of usj-bench's bench_kernels binary"
+version.workspace = true
+edition.workspace = true
+license.workspace = true
+repository.workspace = true
+
+[[bin]]
+name = "bench_kernels"
+path = "src/main.rs"
+
+[dependencies]
+usj-core.workspace = true
+usj-obs.workspace = true
+EOF
 
 # In-src test modules of these two crates use sibling crates that are
 # themselves stageable — restore just those dev-dependencies.
