@@ -90,39 +90,44 @@ pub fn cdf_bounds(r: &UncertainString, s: &UncertainString, k: usize) -> CdfBoun
         };
     }
 
-    // Flattened rows of (k+1)-wide cells over y = 0..=m. Out-of-band
-    // cells stay zero.
+    // Four flat planes of contiguous (k+1)-wide rows over y = 0..=m —
+    // L and U kept separate so each cell update is a dense row scan the
+    // SIMD row kernel can vectorise. Out-of-band cells read as zero.
     let cells = m + 1;
-    let mut prev = vec![0.0; cells * width * 2]; // row x−1: [L.., U..] per cell
-    let mut cur = vec![0.0; cells * width * 2];
+    let mut prev_l = vec![0.0; cells * width]; // row x−1
+    let mut prev_u = vec![0.0; cells * width];
+    let mut cur_l = vec![0.0; cells * width];
+    let mut cur_u = vec![0.0; cells * width];
 
     // Row 0: cell (0, y) has L[j] = U[j] = [j ≥ y] for y ≤ k.
     for y in 0..=m.min(k) {
         for j in 0..width {
             let v = if j >= y { 1.0 } else { 0.0 };
-            prev[(y * width + j) * 2] = v;
-            prev[(y * width + j) * 2 + 1] = v;
+            prev_l[y * width + j] = v;
+            prev_u[y * width + j] = v;
         }
     }
 
-    let read = |row: &[f64], y: usize, j: isize, upper: bool| -> f64 {
-        if j < 0 {
-            return 0.0;
-        }
-        row[(y * width + j as usize) * 2 + usize::from(upper)]
-    };
-
     for x in 1..=n {
-        cur.iter_mut().for_each(|v| *v = 0.0);
         let lo = x.saturating_sub(k);
         let hi = (x + k).min(m);
+        // Band-local zeroing: every row in lo..=hi is overwritten below,
+        // and only the fringe rows lo−1 / hi+1 can still be read as
+        // out-of-band neighbours (by this x as D2, or by x+1 whose band
+        // grows at most one row each way) — so zeroing just those two
+        // rows replaces zeroing the whole plane.
+        let fringes = [lo.checked_sub(1), (hi < m).then_some(hi + 1)];
+        for f in fringes.into_iter().flatten() {
+            cur_l[f * width..(f + 1) * width].fill(0.0);
+            cur_u[f * width..(f + 1) * width].fill(0.0);
+        }
         for y in lo..=hi {
             if y == 0 {
                 // Cell (x, 0): distance is exactly x.
                 for j in 0..width {
                     let v = if j >= x { 1.0 } else { 0.0 };
-                    cur[(j) * 2] = v;
-                    cur[(j) * 2 + 1] = v;
+                    cur_l[j] = v;
+                    cur_u[j] = v;
                 }
                 continue;
             }
@@ -136,17 +141,25 @@ pub fn cdf_bounds(r: &UncertainString, s: &UncertainString, k: usize) -> CdfBoun
             );
             let p2 = 1.0 - p1;
 
-            // Neighbour accessors: D1 = (x−1, y−1), D2 = (x, y−1),
-            // D3 = (x−1, y). Out-of-band cells read as all-zero.
+            // Neighbour rows: D1 = (x−1, y−1), D2 = (x, y−1),
+            // D3 = (x−1, y). D2 lives in the head of the cur plane
+            // (row y−1 < y), the output in its tail — split_at_mut
+            // proves the disjointness.
+            let l_d1 = &prev_l[(y - 1) * width..y * width];
+            let l_d3 = &prev_l[y * width..(y + 1) * width];
+            let (head_l, tail_l) = cur_l.split_at_mut(y * width);
+            let l_d2 = &head_l[(y - 1) * width..];
+            let out_l = &mut tail_l[..width];
+
             // `argmin Dᵢ`: stochastically smallest distance = greatest L
             // vector lexicographically.
             let mut best = 1usize; // D1 by default
             {
                 let l = |idx: usize, j: usize| -> f64 {
                     match idx {
-                        1 => read(&prev, y - 1, j as isize, false),
-                        2 => read(&cur, y - 1, j as isize, false),
-                        _ => read(&prev, y, j as isize, false),
+                        1 => l_d1[j],
+                        2 => l_d2[j],
+                        _ => l_d3[j],
                     }
                 };
                 for cand in [2usize, 3] {
@@ -163,32 +176,26 @@ pub fn cdf_bounds(r: &UncertainString, s: &UncertainString, k: usize) -> CdfBoun
                     }
                 }
             }
+            let l_best = match best {
+                1 => l_d1,
+                2 => &l_d2[..width],
+                _ => l_d3,
+            };
 
-            for j in 0..width {
-                let ji = j as isize;
-                let l_d1_j = read(&prev, y - 1, ji, false);
-                let l_best_jm1 = match best {
-                    1 => read(&prev, y - 1, ji - 1, false),
-                    2 => read(&cur, y - 1, ji - 1, false),
-                    _ => read(&prev, y, ji - 1, false),
-                };
-                let l = (p1 * l_d1_j).max(p2 * l_best_jm1);
+            let u_d1 = &prev_u[(y - 1) * width..y * width];
+            let u_d3 = &prev_u[y * width..(y + 1) * width];
+            let (head_u, tail_u) = cur_u.split_at_mut(y * width);
+            let u_d2 = &head_u[(y - 1) * width..y * width];
+            let out_u = &mut tail_u[..width];
 
-                let u_d1_j = read(&prev, y - 1, ji, true);
-                let u_d1_jm1 = read(&prev, y - 1, ji - 1, true);
-                let u_d2_jm1 = read(&cur, y - 1, ji - 1, true);
-                let u_d3_jm1 = read(&prev, y, ji - 1, true);
-                let u = (p1 * u_d1_j + p2 * u_d1_jm1 + u_d2_jm1 + u_d3_jm1).min(1.0);
-
-                cur[(y * width + j) * 2] = l.clamp(0.0, 1.0);
-                cur[(y * width + j) * 2 + 1] = u.clamp(0.0, 1.0);
-            }
+            usj_simd::cdf_row_update(p1, p2, l_d1, l_best, u_d1, u_d2, u_d3, out_l, out_u);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(&mut prev_l, &mut cur_l);
+        std::mem::swap(&mut prev_u, &mut cur_u);
     }
 
-    let lower = (0..width).map(|j| prev[(m * width + j) * 2]).collect();
-    let upper = (0..width).map(|j| prev[(m * width + j) * 2 + 1]).collect();
+    let lower = prev_l[m * width..(m + 1) * width].to_vec();
+    let upper = prev_u[m * width..(m + 1) * width].to_vec();
     let bounds = CdfBounds { lower, upper };
     debug_check_bounds(&bounds, k);
     bounds

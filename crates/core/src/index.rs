@@ -14,12 +14,14 @@
 //! collection size.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use usj_model::hash::FastBuildHasher;
 use usj_model::{Prob, Symbol, UncertainString};
 use usj_obs::{Counter, NoopRecorder, Recorder};
 use usj_qgram::{
-    partition, segment_instances, window_range, window_region, EquivalentSet, Region, Segment,
-    TailBounder,
+    pack_instance, partition, segment_instances, window_range, window_region, EquivalentSet,
+    Region, Segment, TailBounder,
 };
 
 use crate::config::JoinConfig;
@@ -37,7 +39,12 @@ use crate::record::Recording;
 /// re-deriving the set.
 #[derive(Debug, Default)]
 pub struct EquivCache {
-    map: HashMap<(usize, usize, usize), Option<EquivalentSet>>,
+    map: HashMap<(usize, usize, usize), Option<EquivalentSet>, FastBuildHasher>,
+    /// Equivalent sets resolved against a specific index's interner,
+    /// keyed by `(interner salt, window start, window end, seg len)`.
+    /// The salt keeps resolutions from different indices (the sharded
+    /// driver probes several, each with its own interner) apart.
+    resolved: HashMap<(u64, usize, usize, usize), ResolvedSet, FastBuildHasher>,
 }
 
 impl EquivCache {
@@ -57,17 +64,214 @@ impl EquivCache {
     }
 }
 
+/// Global intern table for instantiated q-gram segments: segment bytes →
+/// dense `u32` ids, assigned first-seen at index-build time and shared by
+/// every [`LengthIndex`] of one [`SegmentIndex`]. Posting lookups then
+/// compare ids instead of hashing byte strings, and a probe's equivalent
+/// set intersects a segment's key list as two sorted `u32` slices.
+///
+/// The table survives [`SegmentIndex::evict_below`] — ids must stay
+/// stable for the lifetime of the index (a slight memory pessimism the
+/// byte estimate reports honestly).
+#[derive(Debug, Clone, Default)]
+pub struct SegmentInterner {
+    map: HashMap<Vec<Symbol>, u32, FastBuildHasher>,
+    /// Secondary lookup for short instances (≤ 8 symbols): their
+    /// [`pack_instance`] key plus length → the same id as `map`. Probe
+    /// resolution hits this lane with the keys an [`EquivalentSet`]
+    /// already carries, skipping the symbol-slice hashing entirely.
+    packed: HashMap<(u64, u8), u32, FastBuildHasher>,
+    bytes: usize,
+}
+
+impl SegmentInterner {
+    fn intern_owned(&mut self, w: Vec<Symbol>) -> u32 {
+        if let Some(&id) = self.map.get(&w) {
+            return id;
+        }
+        let id = self.map.len() as u32;
+        debug_assert!(self.map.len() < u32::MAX as usize, "interner id overflow");
+        self.bytes += w.len() + 52; // key bytes + map entry estimate
+        if w.len() <= 8 {
+            self.packed.insert((pack_instance(&w), w.len() as u8), id);
+            self.bytes += 24; // packed entry estimate
+        }
+        self.map.insert(w, id);
+        id
+    }
+
+    /// The id of `w`, if any string's segment instance produced it.
+    pub fn resolve(&self, w: &[Symbol]) -> Option<u32> {
+        self.map.get(w).copied()
+    }
+
+    /// [`SegmentInterner::resolve`] by [`pack_instance`] key for short
+    /// instances (`len ≤ 8`); the length disambiguates packed keys that
+    /// collide across instance lengths.
+    pub fn resolve_packed(&self, key: u64, len: usize) -> Option<u32> {
+        debug_assert!(len <= 8);
+        self.packed.get(&(key, len as u8)).copied()
+    }
+
+    /// Number of distinct interned segment instances.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn estimated_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// An equivalent set resolved against one index's interner: entries with
+/// `p_r > 0` that have an interned id (anything else can match no posting
+/// of that index), sorted by id so posting lookups are a sorted-id
+/// intersection.
+#[derive(Debug, Clone)]
+struct ResolvedSet {
+    keys: Vec<u32>,
+    probs: Vec<Prob>,
+}
+
+impl ResolvedSet {
+    fn build(set: &EquivalentSet, interner: &SegmentInterner) -> ResolvedSet {
+        let mut pairs: Vec<(u32, Prob)> = Vec::with_capacity(set.len());
+        match set.packed_keys() {
+            Some(keys) => {
+                for (&key, &p_r) in keys.iter().zip(set.probs()) {
+                    if p_r > 0.0 {
+                        if let Some(id) = interner.resolve_packed(key, set.window_len()) {
+                            pairs.push((id, p_r));
+                        }
+                    }
+                }
+            }
+            None => {
+                for (w, p_r) in set.iter() {
+                    if p_r > 0.0 {
+                        if let Some(id) = interner.resolve(w) {
+                            pairs.push((id, p_r));
+                        }
+                    }
+                }
+            }
+        }
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "equivalent-set instances must be distinct"
+        );
+        ResolvedSet {
+            keys: pairs.iter().map(|&(id, _)| id).collect(),
+            probs: pairs.iter().map(|&(_, p)| p).collect(),
+        }
+    }
+}
+
 /// Posting list: `(string id, Pr(w = S_i^x))` sorted by id.
 pub type PostingList = Vec<(u32, Prob)>;
+
 /// Per-candidate segment match probabilities, one `α_x` per segment.
-pub type AlphaVectors = HashMap<u32, Vec<Prob>>;
+///
+/// Rows live in a single arena (`data`, stride = number of segments)
+/// instead of one heap `Vec` per candidate — the merge surfaces
+/// thousands of candidates per probe and the per-row boxes dominated it.
+#[derive(Debug, Clone)]
+pub struct AlphaVectors {
+    m: usize,
+    /// Candidate id → row index into `data`.
+    slots: HashMap<u32, u32, FastBuildHasher>,
+    data: Vec<Prob>,
+}
+
+impl AlphaVectors {
+    fn new(m: usize) -> AlphaVectors {
+        AlphaVectors {
+            m,
+            slots: HashMap::default(),
+            data: Vec::new(),
+        }
+    }
+
+    /// The α row for `id`, inserting a zero row on first touch.
+    fn row_mut(&mut self, id: u32) -> &mut [Prob] {
+        let m = self.m;
+        let data = &mut self.data;
+        let slot = *self.slots.entry(id).or_insert_with(|| {
+            let slot = (data.len() / m.max(1)) as u32;
+            data.resize(data.len() + m, 0.0);
+            slot
+        });
+        &mut self.data[slot as usize * m..slot as usize * m + m]
+    }
+
+    /// The α row of candidate `id`, if it surfaced.
+    pub fn get(&self, id: u32) -> Option<&[Prob]> {
+        let slot = *self.slots.get(&id)?;
+        Some(&self.data[slot as usize * self.m..slot as usize * self.m + self.m])
+    }
+
+    /// Number of surfaced candidates.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no candidate surfaced.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates `(candidate id, α row)` in arbitrary (but, for one build
+    /// sequence, deterministic) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[Prob])> + '_ {
+        self.slots
+            .iter()
+            .map(move |(&id, &slot)| (id, &self.data[slot as usize * self.m..][..self.m]))
+    }
+}
+
+/// Postings of one segment position, keyed by interned segment id:
+/// `keys` is strictly ascending and `lists[i]` belongs to `keys[i]`, so a
+/// probe's resolved equivalent set selects lists via a sorted-`u32`
+/// intersection instead of per-instance hash lookups.
+#[derive(Debug, Clone, Default)]
+struct SegmentPostings {
+    keys: Vec<u32>,
+    lists: Vec<PostingList>,
+}
+
+impl SegmentPostings {
+    fn push(&mut self, key: u32, id: u32, p: Prob, bytes: &mut usize) {
+        match self.keys.binary_search(&key) {
+            Ok(pos) => {
+                let list = &mut self.lists[pos];
+                debug_assert!(
+                    list.last().is_none_or(|&(last, _)| last < id),
+                    "ids must ascend"
+                );
+                list.push((id, p));
+            }
+            Err(pos) => {
+                self.keys.insert(pos, key);
+                self.lists.insert(pos, vec![(id, p)]);
+                *bytes += std::mem::size_of::<u32>() + 48; // key + list overhead
+            }
+        }
+        *bytes += std::mem::size_of::<(u32, Prob)>();
+    }
+}
 
 /// Inverted index for one string length.
 #[derive(Debug, Clone, Default)]
 pub struct LengthIndex {
     segments: Vec<Segment>,
-    /// One map per segment index: instance → postings sorted by id.
-    inverted: Vec<HashMap<Vec<Symbol>, PostingList>>,
+    /// One sorted posting table per segment index.
+    inverted: Vec<SegmentPostings>,
     /// All string ids inserted, ascending.
     ids: Vec<u32>,
     /// Segments for which at least one inserted string exceeded the
@@ -81,7 +285,7 @@ pub struct LengthIndex {
 impl LengthIndex {
     fn new(len: usize, config: &JoinConfig) -> Self {
         let segments = partition(len, config.q, config.k);
-        let inverted = vec![HashMap::new(); segments.len()];
+        let inverted = vec![SegmentPostings::default(); segments.len()];
         let incomplete = vec![false; segments.len()];
         LengthIndex {
             segments,
@@ -107,7 +311,13 @@ impl LengthIndex {
         &self.ids
     }
 
-    fn insert(&mut self, id: u32, s: &UncertainString, max_instances: usize) {
+    fn insert(
+        &mut self,
+        id: u32,
+        s: &UncertainString,
+        max_instances: usize,
+        interner: &mut SegmentInterner,
+    ) {
         debug_assert_eq!(s.len(), self.segments.iter().map(|g| g.len).sum::<usize>());
         for (x, seg) in self.segments.iter().enumerate() {
             let Some(instances) = segment_instances(s, seg, max_instances) else {
@@ -118,17 +328,8 @@ impl LengthIndex {
                 continue;
             };
             for (w, p) in instances {
-                let entry = self.inverted[x].entry(w);
-                if let std::collections::hash_map::Entry::Vacant(_) = entry {
-                    self.bytes += seg.len + 48; // key + map overhead estimate
-                }
-                let list = entry.or_default();
-                debug_assert!(
-                    list.last().is_none_or(|&(last, _)| last < id),
-                    "ids must ascend"
-                );
-                list.push((id, p));
-                self.bytes += std::mem::size_of::<(u32, Prob)>();
+                let key = interner.intern_owned(w);
+                self.inverted[x].push(key, id, p, &mut self.bytes);
             }
         }
         self.ids.push(id);
@@ -143,31 +344,28 @@ impl LengthIndex {
     ///
     /// Also returns the number of postings touched during the merge (the
     /// quantity candidate-generation cost is proportional to).
-    fn query(&self, probe_sets: &[Option<&EquivalentSet>]) -> (AlphaVectors, u64) {
+    fn query(&self, probe_sets: &[Option<&ResolvedSet>]) -> (AlphaVectors, u64) {
         let m = self.segments.len();
         debug_assert_eq!(probe_sets.len(), m);
-        let mut alphas: AlphaVectors = HashMap::new();
+        let mut alphas = AlphaVectors::new(m);
         let mut postings = 0u64;
+        let mut hits: Vec<(u32, u32)> = Vec::new();
         for (x, set) in probe_sets.iter().enumerate() {
             let Some(set) = set else { continue };
-            for (w, p_r) in set.entries() {
-                if *p_r <= 0.0 {
-                    continue;
-                }
-                let Some(list) = self.inverted[x].get(w) else {
-                    continue;
-                };
+            let table = &self.inverted[x];
+            hits.clear();
+            usj_simd::intersect_sorted_ids(&set.keys, &table.keys, &mut hits);
+            for &(ia, ib) in &hits {
+                let p_r = set.probs[ia as usize];
+                let list = &table.lists[ib as usize];
                 postings += list.len() as u64;
                 for &(id, p_s) in list {
-                    let entry = alphas.entry(id).or_insert_with(|| vec![0.0; m]);
-                    entry[x] += p_r * p_s;
+                    alphas.row_mut(id)[x] += p_r * p_s;
                 }
             }
         }
-        for v in alphas.values_mut() {
-            for a in v.iter_mut() {
-                *a = a.clamp(0.0, 1.0);
-            }
+        for a in alphas.data.iter_mut() {
+            *a = a.clamp(0.0, 1.0);
         }
         (alphas, postings)
     }
@@ -177,17 +375,58 @@ impl LengthIndex {
     }
 }
 
+/// Source of per-index interner salts: resolved-set cache entries are
+/// keyed by salt, so two indices must never share one.
+static NEXT_INTERNER_SALT: AtomicU64 = AtomicU64::new(0);
+
 /// All per-length indices of the visited part of a collection.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct SegmentIndex {
-    by_length: HashMap<usize, LengthIndex>,
+    by_length: HashMap<usize, LengthIndex, FastBuildHasher>,
+    /// Shared intern table for every length's segment instances.
+    interner: SegmentInterner,
+    /// Unique per index (fresh on clone): scopes [`EquivCache`] resolved
+    /// sets to the interner that produced their ids.
+    interner_salt: u64,
     peak_bytes: usize,
+}
+
+impl Default for SegmentIndex {
+    fn default() -> Self {
+        SegmentIndex {
+            by_length: HashMap::default(),
+            interner: SegmentInterner::default(),
+            // ordering: relaxed — the salt only needs to be unique, no
+            // memory is published through it.
+            interner_salt: NEXT_INTERNER_SALT.fetch_add(1, Ordering::Relaxed),
+            peak_bytes: 0,
+        }
+    }
+}
+
+impl Clone for SegmentIndex {
+    fn clone(&self) -> Self {
+        SegmentIndex {
+            by_length: self.by_length.clone(),
+            interner: self.interner.clone(),
+            // A clone may diverge from the original, so it gets a fresh
+            // salt — cached resolved sets must never cross interners.
+            // ordering: relaxed — uniqueness only, as above.
+            interner_salt: NEXT_INTERNER_SALT.fetch_add(1, Ordering::Relaxed),
+            peak_bytes: self.peak_bytes,
+        }
+    }
 }
 
 impl SegmentIndex {
     /// An empty index.
     pub fn new() -> Self {
         SegmentIndex::default()
+    }
+
+    /// The shared segment-instance intern table.
+    pub fn interner(&self) -> &SegmentInterner {
+        &self.interner
     }
 
     /// Inserts string `id`, partitioning it per `config`.
@@ -220,10 +459,11 @@ impl SegmentIndex {
         // and recorder views diverge); panic/error actions abort the build
         // and surface through the driver's `Faulted` path.
         usj_fault::fail_point!("index.build");
+        let interner = &mut self.interner;
         self.by_length
             .entry(s.len())
             .or_insert_with(|| LengthIndex::new(s.len(), config))
-            .insert(id, s, config.max_segment_instances);
+            .insert(id, s, config.max_segment_instances, interner);
         let bytes = self.estimated_bytes();
         self.peak_bytes = self.peak_bytes.max(bytes);
         rec.counter(Counter::IndexInsertions, 1);
@@ -272,48 +512,56 @@ impl SegmentIndex {
     ) -> Option<(AlphaVectors, Vec<bool>)> {
         let index = self.by_length.get(&indexed_len)?;
         let mut over_cap = index.incomplete.clone();
-        // Populate the cache first (mutable pass), then collect shared
-        // references for the merge (immutable pass).
-        let keys: Vec<Option<(usize, usize, usize)>> = index
+        let salt = self.interner_salt;
+        // Populate the caches first (one mutable pass — the warm path
+        // touches only `resolved`), then collect shared references for
+        // the merge (immutable pass).
+        let rkeys: Vec<Option<(u64, usize, usize, usize)>> = index
             .segments
             .iter()
-            .map(|seg| {
-                let range = window_range(config.policy, probe.len(), indexed_len, config.k, seg)?;
-                let key = (range.0, range.1, seg.len);
-                cache.map.entry(key).or_insert_with(|| {
-                    EquivalentSet::build(
-                        probe,
-                        range,
-                        seg.len,
-                        config.alpha_mode,
-                        config.max_segment_instances,
-                    )
-                });
-                Some(key)
+            .enumerate()
+            .map(|(x, seg)| {
+                let range =
+                    window_range(config.policy, probe.len(), indexed_len, config.k, seg)?;
+                let rkey = (salt, range.0, range.1, seg.len);
+                if !cache.resolved.contains_key(&rkey) {
+                    let set = cache
+                        .map
+                        .entry((range.0, range.1, seg.len))
+                        .or_insert_with(|| {
+                            EquivalentSet::build(
+                                probe,
+                                range,
+                                seg.len,
+                                config.alpha_mode,
+                                config.max_segment_instances,
+                            )
+                        });
+                    match set {
+                        Some(set) => {
+                            let rs = ResolvedSet::build(set, &self.interner);
+                            cache.resolved.insert(rkey, rs);
+                        }
+                        None => {
+                            over_cap[x] = true;
+                            return None;
+                        }
+                    }
+                }
+                Some(rkey)
             })
             .collect();
-        let probe_sets: Vec<Option<&EquivalentSet>> = keys
+        let probe_sets: Vec<Option<&ResolvedSet>> = rkeys
             .iter()
-            .enumerate()
-            .map(|(x, key)| match key {
-                None => None,
-                Some(key) => match &cache.map[key] {
-                    Some(set) => Some(set),
-                    None => {
-                        over_cap[x] = true;
-                        None
-                    }
-                },
-            })
+            .map(|rkey| rkey.as_ref().map(|rkey| &cache.resolved[rkey]))
             .collect();
         let (mut alphas, postings) = index.query(&probe_sets);
         if over_cap.iter().any(|&b| b) {
             // Conservative fallback: an over-cap segment may hide matches,
             // so every indexed id of this length must surface as a
             // candidate (with zero α where no posting was found).
-            let m = index.segments.len();
             for &id in &index.ids {
-                alphas.entry(id).or_insert_with(|| vec![0.0; m]);
+                alphas.row_mut(id);
             }
         }
         rec.counter(Counter::IndexPostingsScanned, postings);
@@ -385,11 +633,13 @@ impl SegmentIndex {
             .collect();
         let bounder = TailBounder::new(&regions, probe);
         let mut surfaced = 0u64;
-        for (id, mut alpha) in alphas {
+        let mut alpha = vec![0.0; m];
+        for (id, row) in alphas.iter() {
             if !admit(id) {
                 continue;
             }
             surfaced += 1;
+            alpha.copy_from_slice(row);
             // Over-cap segments count as matched with α = 1.
             for (a, &oc) in alpha.iter_mut().zip(&over_cap) {
                 if oc {
@@ -438,12 +688,15 @@ impl SegmentIndex {
         self.by_length.retain(|&len, _| len >= min_len);
     }
 
-    /// Estimated heap footprint of all posting lists, in bytes.
+    /// Estimated heap footprint of all posting lists plus the shared
+    /// intern table, in bytes.
     pub fn estimated_bytes(&self) -> usize {
-        self.by_length
-            .values()
-            .map(LengthIndex::estimated_bytes)
-            .sum()
+        self.interner.estimated_bytes()
+            + self
+                .by_length
+                .values()
+                .map(LengthIndex::estimated_bytes)
+                .sum::<usize>()
     }
 
     /// Largest estimated footprint observed since construction.
@@ -483,14 +736,14 @@ mod tests {
         let (alphas, over_cap) = index.query(&probe, 6, &config).unwrap();
         assert!(over_cap.iter().all(|&b| !b));
         // String 0 matches all three segments with α = 1.
-        assert_eq!(alphas[&0], vec![1.0, 1.0, 1.0]);
+        assert_eq!(alphas.get(0).unwrap(), &[1.0, 1.0, 1.0]);
         // String 1 matches segment 2 with probability 0.6 (GT vs {G,T}T).
-        let a1 = &alphas[&1];
+        let a1 = alphas.get(1).unwrap();
         assert!((a1[0] - 1.0).abs() < 1e-9);
         assert!((a1[1] - 0.6).abs() < 1e-9);
         assert!((a1[2] - 1.0).abs() < 1e-9);
         // String 2 shares no segment instance.
-        assert!(!alphas.contains_key(&2));
+        assert!(alphas.get(2).is_none());
     }
 
     /// α values produced through the index equal the direct
@@ -513,8 +766,8 @@ mod tests {
         for (i, s) in strings.iter().enumerate() {
             let direct = filter.evaluate(&probe, s);
             let via_index = alphas
-                .get(&(i as u32))
-                .cloned()
+                .get(i as u32)
+                .map(|v| v.to_vec())
                 .unwrap_or_else(|| vec![0.0; direct.alphas.len()]);
             for (x, (a, b)) in via_index.iter().zip(&direct.alphas).enumerate() {
                 assert!(
@@ -529,7 +782,7 @@ mod tests {
         let set =
             EquivalentSet::build(&probe, range, segs[0].len, config.alpha_mode, 1 << 14).unwrap();
         let direct0 = alpha_for_segment(&set, &strings[0], &segs[0]);
-        let got0 = alphas.get(&0).map(|v| v[0]).unwrap_or(0.0);
+        let got0 = alphas.get(0).map(|v| v[0]).unwrap_or(0.0);
         assert!((got0 - direct0).abs() < 1e-9);
     }
 
@@ -561,12 +814,39 @@ mod tests {
             index.insert(i, &dna("AC{(G,0.5),(T,0.5)}TAC"), &config);
         }
         let li = index.length_index(6).unwrap();
-        for map in &li.inverted {
-            for list in map.values() {
+        for table in &li.inverted {
+            assert!(table.keys.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(table.keys.len(), table.lists.len());
+            for list in &table.lists {
                 assert!(list.windows(2).all(|w| w[0].0 < w[1].0));
             }
         }
         assert_eq!(li.num_strings(), 20);
+    }
+
+    #[test]
+    fn interner_shares_ids_across_lengths() {
+        let config = config();
+        let mut index = SegmentIndex::new();
+        // Both lengths start with the segment instance "AC" (in alphabet
+        // encoding); the interner must hand out one id for it, not one
+        // per length.
+        let six = dna("ACGTAC");
+        index.insert(0, &six, &config);
+        index.insert(1, &dna("ACGTACG"), &config);
+        let interner = index.interner();
+        assert!(!interner.is_empty());
+        let seg0 = &six.most_probable_world().instance[..2];
+        let ac = interner.resolve(seg0);
+        assert!(ac.is_some(), "shared segment instance must be interned");
+        // Dense first-seen ids: every id is below the table size.
+        assert!(ac.unwrap() < interner.len() as u32);
+        assert_eq!(interner.resolve(&[u8::MAX, u8::MAX]), None);
+        // A clone resolves identically but carries a fresh salt, so
+        // cached resolved sets cannot leak across the pair.
+        let clone = index.clone();
+        assert_eq!(clone.interner().resolve(seg0), ac);
+        assert_ne!(clone.interner_salt, index.interner_salt);
     }
 
     #[test]
@@ -589,7 +869,7 @@ mod tests {
         assert!(over_cap.iter().any(|&b| b), "cap must have been hit");
         // Every id surfaces, even TTTTTT with zero posting hits.
         for id in 0..3u32 {
-            assert!(alphas.contains_key(&id), "id {id} missing: {alphas:?}");
+            assert!(alphas.get(id).is_some(), "id {id} missing: {alphas:?}");
         }
     }
 
@@ -603,7 +883,7 @@ mod tests {
         let probe = dna("{(A,0.5),(C,0.5)}{(A,0.5),(G,0.5)}GTAC");
         let (alphas, over_cap) = index.query(&probe, 6, &config).unwrap();
         assert!(over_cap.iter().any(|&b| b));
-        assert!(alphas.contains_key(&0));
+        assert!(alphas.get(0).is_some());
     }
 
     #[test]
@@ -663,8 +943,8 @@ mod tests {
                 .unwrap();
             assert_eq!(plain.1, cached.1, "over-cap flags len={len}");
             assert_eq!(plain.0.len(), cached.0.len(), "candidates len={len}");
-            for (id, alpha) in &plain.0 {
-                let got = &cached.0[id];
+            for (id, alpha) in plain.0.iter() {
+                let got = cached.0.get(id).unwrap();
                 for (a, b) in alpha.iter().zip(got) {
                     assert!((a - b).abs() < 1e-12, "len={len} id={id}");
                 }

@@ -2,7 +2,8 @@
 //! plus the shared (instrumented) CDF-then-verify candidate decision.
 
 use usj_cdf::{CdfDecision, CdfFilter};
-use usj_model::{Prob, UncertainString};
+use usj_editdist::within_k_auto;
+use usj_model::{Prob, Symbol, UncertainString};
 use usj_obs::{Counter, NoopRecorder, Phase, Recorder};
 use usj_verify::{naive_verify, LazyTrieVerifier, TrieVerifier};
 
@@ -20,6 +21,16 @@ pub enum ProbeVerifier {
     /// All-pairs enumeration baseline (also the fallback when the eager
     /// trie would exceed its node cap).
     Naive,
+    /// Deterministic-probe fast path: against a deterministic candidate
+    /// the match probability is 0 or 1, decided by one bit-parallel
+    /// bounded edit-distance check (Myers 1999); uncertain candidates
+    /// delegate to the wrapped verifier.
+    Deterministic {
+        /// The probe's single world.
+        instance: Vec<Symbol>,
+        /// Fallback for uncertain candidates.
+        inner: Box<ProbeVerifier>,
+    },
 }
 
 impl ProbeVerifier {
@@ -37,7 +48,7 @@ impl ProbeVerifier {
         rec: &mut R,
     ) -> ProbeVerifier {
         rec.counter(Counter::VerifierBuilds, 1);
-        match config.verifier {
+        let base = match config.verifier {
             VerifierKind::LazyTrie => {
                 let v = LazyTrieVerifier::new(probe, config.k, config.tau);
                 ProbeVerifier::Lazy(if config.early_stop {
@@ -57,6 +68,14 @@ impl ProbeVerifier {
                 }
             }
             VerifierKind::Naive => ProbeVerifier::Naive,
+        };
+        if probe.is_deterministic() {
+            ProbeVerifier::Deterministic {
+                instance: probe.most_probable_world().instance,
+                inner: Box::new(base),
+            }
+        } else {
+            base
         }
     }
 
@@ -81,6 +100,19 @@ impl ProbeVerifier {
             ProbeVerifier::Naive => {
                 let out = naive_verify(probe, other, config.k, config.tau, config.early_stop);
                 (out.similar, out.prob)
+            }
+            ProbeVerifier::Deterministic { instance, inner } => {
+                if other.is_deterministic() {
+                    let world = other.most_probable_world().instance;
+                    let prob = if within_k_auto(instance, &world, config.k) {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    (prob > config.tau, prob)
+                } else {
+                    inner.verify(probe, other, config)
+                }
             }
         }
     }
@@ -175,6 +207,24 @@ mod tests {
             let (similar, prob) = v.verify(&r, &s, &config);
             assert!(similar, "{kind:?}");
             assert!(prob > 0.3);
+        }
+    }
+
+    #[test]
+    fn deterministic_probe_takes_fast_path_and_agrees() {
+        let r = dna("ACGTAC");
+        let mut config = JoinConfig::new(1, 0.3);
+        config.early_stop = false;
+        let mut v = ProbeVerifier::build(&r, &config);
+        assert!(matches!(v, ProbeVerifier::Deterministic { .. }));
+        // Deterministic candidates: one Myers check; uncertain ones
+        // delegate to the wrapped verifier. Both must agree with naive.
+        for text in ["ACGTAC", "ACGTTC", "TTTTTT", "AC{(G,0.5),(T,0.5)}TAC"] {
+            let s = dna(text);
+            let (similar, prob) = v.verify(&r, &s, &config);
+            let naive = naive_verify(&r, &s, config.k, config.tau, false);
+            assert_eq!(similar, naive.similar, "{text}");
+            assert!((prob - naive.prob).abs() < 1e-12, "{text}");
         }
     }
 

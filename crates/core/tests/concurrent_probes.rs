@@ -60,8 +60,8 @@ fn query_key(
         .query_cached_recorded(probe, indexed_len, config, &mut cache, &mut rec)
         .map(|(alphas, over_cap)| {
             let alphas: BTreeMap<u32, Vec<u64>> = alphas
-                .into_iter()
-                .map(|(id, v)| (id, v.into_iter().map(f64::to_bits).collect()))
+                .iter()
+                .map(|(id, v)| (id, v.iter().map(|p| p.to_bits()).collect()))
                 .collect();
             (alphas, over_cap)
         })
@@ -111,6 +111,63 @@ fn concurrent_index_queries_are_bit_identical_to_sequential() {
             .any(|k| k.as_ref().is_some_and(|(a, _)| !a.is_empty())),
         "baseline surfaced no candidates; the smoke test would be vacuous"
     );
+    for (t, results) in per_thread.iter().enumerate() {
+        assert_eq!(results, &baseline, "thread {t} diverged from sequential");
+    }
+}
+
+#[test]
+fn concurrent_interner_resolves_while_probing() {
+    // The global segment interner is frozen after build; concurrent
+    // readers resolving ids while other threads run full index probes
+    // must agree with a sequential resolve pass (sanitize.sh runs this
+    // under TSan as the interner data-race check).
+    let cfg = config();
+    let strings = strings();
+    let mut index = SegmentIndex::new();
+    for (i, s) in strings.iter().enumerate() {
+        index.insert(i as u32, s, &cfg);
+    }
+    let worlds: Vec<Vec<u8>> = strings
+        .iter()
+        .map(|s| s.most_probable_world().instance)
+        .collect();
+    // Sequential baseline: resolve the leading 2- and 3-byte segments of
+    // every most-probable world (some hit, some miss — both must be
+    // stable under concurrency).
+    let baseline: Vec<Option<u32>> = worlds
+        .iter()
+        .flat_map(|w| [index.interner().resolve(&w[..2]), index.interner().resolve(&w[..3])])
+        .collect();
+    assert!(
+        baseline.iter().any(Option::is_some),
+        "no segment resolved; the interner smoke test would be vacuous"
+    );
+    let probes = probes();
+    let per_thread: Vec<Vec<Option<u32>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (index, worlds, probes, cfg) = (&index, &worlds, &probes, &cfg);
+                scope.spawn(move || {
+                    // Interleave probes (which read the interner through
+                    // the resolved-set path) with direct resolves.
+                    for p in probes {
+                        let _ = query_key(index, p, p.len(), cfg);
+                    }
+                    worlds
+                        .iter()
+                        .flat_map(|w| {
+                            [
+                                index.interner().resolve(&w[..2]),
+                                index.interner().resolve(&w[..3]),
+                            ]
+                        })
+                        .collect::<Vec<Option<u32>>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
     for (t, results) in per_thread.iter().enumerate() {
         assert_eq!(results, &baseline, "thread {t} diverged from sequential");
     }

@@ -43,10 +43,16 @@ pub fn edit_distance(r: &[u8], s: &[u8]) -> usize {
 /// ```
 pub fn edit_distance_bounded(r: &[u8], s: &[u8], k: usize) -> Option<usize> {
     let (short, long) = if r.len() <= s.len() { (r, s) } else { (s, r) };
-    let (n, m) = (short.len(), long.len());
-    if m - n > k {
+    if long.len() - short.len() > k {
         return None;
     }
+    // Matching affixes never change the distance; strip them (vectorised
+    // block compares) so the banded DP only runs on the differing core.
+    let p = usj_simd::common_prefix_len(short, long);
+    let (short, long) = (&short[p..], &long[p..]);
+    let q = usj_simd::common_suffix_len(short, long);
+    let (short, long) = (&short[..short.len() - q], &long[..long.len() - q]);
+    let (n, m) = (short.len(), long.len());
     if n == 0 {
         return Some(m);
     }
@@ -155,6 +161,22 @@ mod tests {
         assert_eq!(edit_distance_bounded(b"abc", b"abc", 0), Some(0));
         assert_eq!(edit_distance_bounded(b"abc", b"abd", 0), None);
         assert_eq!(edit_distance_bounded(b"", b"", 0), Some(0));
+    }
+
+    #[test]
+    fn bounded_strips_shared_affixes() {
+        // Long shared prefix + suffix around a small differing core —
+        // the strip must leave the distance (and the ≤ k decision) exact.
+        let mut a = vec![7u8; 300];
+        let mut b = a.clone();
+        b[150] = 9; // one substitution in the middle
+        assert_eq!(edit_distance_bounded(&a, &b, 2), Some(1));
+        b.insert(150, 3); // plus one insertion
+        assert_eq!(edit_distance_bounded(&a, &b, 2), Some(2));
+        assert_eq!(edit_distance_bounded(&a, &b, 1), None);
+        // Identical strings collapse to the n == 0 fast path.
+        a = b.clone();
+        assert_eq!(edit_distance_bounded(&a, &b, 0), Some(0));
     }
 
     #[test]

@@ -293,11 +293,17 @@ mod tests {
     #[test]
     fn overlapping_index_is_bigger_than_disjoint() {
         // The same strings indexed both ways: overlapping q-grams produce
-        // strictly more postings (the §7.9 storage argument).
-        let strings = [
-            dna("ACGTAC{(G,0.5),(T,0.5)}TA"),
-            dna("TTACG{(C,0.3),(A,0.7)}ACG"),
+        // strictly more postings (the §7.9 storage argument — asymptotic,
+        // so the corpus must be large enough that posting volume, not
+        // per-distinct-instance fixed costs such as the segment
+        // interner's lookup tables, dominates both estimates).
+        let base = [
+            dna("ACGTAC{(G,0.5),(T,0.5)}TAACGTACGTAC"),
+            dna("TTACG{(C,0.3),(A,0.7)}ACGGTTACACGT"),
+            dna("GGCATCAT{(A,0.5),(T,0.5)}CCGTAGGCAT"),
+            dna("CATTACGGA{(C,0.4),(G,0.6)}TTAACGGTC"),
         ];
+        let strings: Vec<_> = (0..24).map(|i| base[i % base.len()].clone()).collect();
         let mut overlapping = OverlappingQGramIndex::new(3);
         for (i, s) in strings.iter().enumerate() {
             overlapping.insert(i as u32, s, 10_000);

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod alphabet;
+pub mod hash;
 mod invariant;
 pub mod parse;
 pub mod position;

@@ -186,6 +186,16 @@ impl UncertainString {
         WorldIter::new(&self.positions[start..start + len])
     }
 
+    /// Visits all worlds of the substring `[start, start+len)` without
+    /// per-world allocation — see [`crate::worlds::visit_worlds`].
+    /// Returns `true` iff `f` never stopped the walk.
+    pub fn visit_substring_worlds<F>(&self, start: usize, len: usize, f: F) -> bool
+    where
+        F: FnMut(&[crate::Symbol], crate::Prob) -> bool,
+    {
+        crate::worlds::visit_worlds(&self.positions[start..start + len], f)
+    }
+
     /// Iterates all possible worlds of the whole string.
     pub fn worlds(&self) -> WorldIter<'_> {
         WorldIter::new(&self.positions)

@@ -70,6 +70,27 @@ impl<'a> WorldIter<'a> {
         }
     }
 
+    /// Visits every world as a *borrowed* `(instance, probability)`
+    /// pair, in the same lexicographic order as iteration, without the
+    /// per-world instance allocation of the `Iterator` impl. `f`
+    /// returning `false` stops the walk; the return value is `true` iff
+    /// every world was visited. The enumeration-heavy callers (the
+    /// q-gram filter's equivalent sets) copy the borrowed instance into
+    /// flat storage instead of allocating one `Vec` per world.
+    pub fn visit_all<F: FnMut(&[Symbol], Prob) -> bool>(mut self, mut f: F) -> bool {
+        if self.done {
+            return true;
+        }
+        loop {
+            if !f(&self.current, self.probs.iter().product()) {
+                return false;
+            }
+            if !self.step() {
+                return true;
+            }
+        }
+    }
+
     /// Advances the odometer; returns `false` when exhausted.
     fn step(&mut self) -> bool {
         // Increment from the last position, like counting.
@@ -89,6 +110,79 @@ impl<'a> WorldIter<'a> {
             self.probs[i] = q;
         }
         false
+    }
+}
+
+/// Position slices up to this length take the stack-state fast path in
+/// [`visit_worlds`].
+const SHORT_WORLD_POSITIONS: usize = 16;
+
+/// Visits every world of `positions` exactly like
+/// [`WorldIter::visit_all`] (same order, same probabilities, same early
+/// stop), but keeps the odometer state on the stack for slices of at
+/// most [`SHORT_WORLD_POSITIONS`] positions. The q-gram filters
+/// enumerate worlds of 3–4-symbol windows at very high rates, where
+/// [`WorldIter::new`]'s three per-call heap allocations dominate the
+/// walk itself.
+pub fn visit_worlds<F: FnMut(&[Symbol], Prob) -> bool>(positions: &[Position], f: F) -> bool {
+    if positions.len() <= SHORT_WORLD_POSITIONS {
+        visit_worlds_short(positions, f)
+    } else {
+        WorldIter::new(positions).visit_all(f)
+    }
+}
+
+fn alternative_at(p: &Position, alt: usize) -> (Symbol, Prob) {
+    match p {
+        Position::Certain(s) => (*s, 1.0),
+        Position::Uncertain(alts) => alts[alt],
+    }
+}
+
+fn visit_worlds_short<F: FnMut(&[Symbol], Prob) -> bool>(
+    positions: &[Position],
+    mut f: F,
+) -> bool {
+    let n = positions.len();
+    debug_assert!(n <= SHORT_WORLD_POSITIONS);
+    let mut counters = [0u16; SHORT_WORLD_POSITIONS];
+    let mut current = [0 as Symbol; SHORT_WORLD_POSITIONS];
+    let mut probs = [1.0 as Prob; SHORT_WORLD_POSITIONS];
+    for (i, p) in positions.iter().enumerate() {
+        let (s, q) = alternative_at(p, 0);
+        current[i] = s;
+        probs[i] = q;
+    }
+    loop {
+        // Same left-to-right product as `WorldIter::next`, so the
+        // probabilities are bitwise identical to the iterator's.
+        let mut prob: Prob = 1.0;
+        for &q in &probs[..n] {
+            prob *= q;
+        }
+        if !f(&current[..n], prob) {
+            return false;
+        }
+        // Advance the odometer from the last position, like counting.
+        let mut advanced = false;
+        for i in (0..n).rev() {
+            let next = counters[i] as usize + 1;
+            if next < positions[i].num_alternatives() {
+                counters[i] = next as u16;
+                let (s, q) = alternative_at(&positions[i], next);
+                current[i] = s;
+                probs[i] = q;
+                advanced = true;
+                break;
+            }
+            counters[i] = 0;
+            let (s, q) = alternative_at(&positions[i], 0);
+            current[i] = s;
+            probs[i] = q;
+        }
+        if !advanced {
+            return true;
+        }
     }
 }
 
@@ -146,6 +240,28 @@ mod tests {
         assert_eq!(worlds.len(), 1);
         assert!(worlds[0].instance.is_empty());
         assert_eq!(worlds[0].prob, 1.0);
+    }
+
+    #[test]
+    fn visit_all_matches_iteration_and_stops_early() {
+        let dna = Alphabet::dna();
+        let s = UncertainString::parse("{(A,0.5),(C,0.5)}{(G,0.25),(T,0.75)}", &dna).unwrap();
+        let mut seen = Vec::new();
+        let complete = s.worlds().visit_all(|inst, p| {
+            seen.push((inst.to_vec(), p));
+            true
+        });
+        assert!(complete);
+        let iterated: Vec<_> = s.worlds().map(|w| (w.instance, w.prob)).collect();
+        assert_eq!(seen, iterated);
+
+        let mut count = 0;
+        let complete = s.worlds().visit_all(|_, _| {
+            count += 1;
+            count < 3
+        });
+        assert!(!complete);
+        assert_eq!(count, 3);
     }
 
     #[test]

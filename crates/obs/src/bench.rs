@@ -70,16 +70,32 @@ pub fn run<F: FnMut()>(name: &str, spec: BenchSpec, mut f: F) -> BenchResult {
         f();
         samples.push(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
     }
+    summarise(name, spec.warmup, iters, samples)
+}
+
+/// Sorts the raw samples and produces the report entry. Split from
+/// [`run`] so the statistics are testable on hand-built samples.
+fn summarise(name: &str, warmup: u32, iters: u32, mut samples: Vec<u64>) -> BenchResult {
     samples.sort_unstable();
-    let sum: u64 = samples.iter().fold(0u64, |a, &b| a.saturating_add(b));
+    // u128 accumulation: the sum of u64 samples cannot overflow, so the
+    // mean is exact (the old saturating u64 fold silently flattened it).
+    let sum: u128 = samples.iter().map(|&s| u128::from(s)).sum();
+    let len = samples.len();
+    // Even sample counts take the midpoint of the two middle samples —
+    // `samples[len / 2]` alone is biased half a rank high.
+    let median_ns = if len % 2 == 0 {
+        ((u128::from(samples[len / 2 - 1]) + u128::from(samples[len / 2])) / 2) as u64
+    } else {
+        samples[len / 2]
+    };
     BenchResult {
         name: name.to_string(),
-        warmup: spec.warmup,
+        warmup,
         iters,
-        mean_ns: sum / u64::from(iters),
-        median_ns: samples[samples.len() / 2],
+        mean_ns: (sum / u128::from(iters)) as u64,
+        median_ns,
         min_ns: samples[0],
-        max_ns: samples[samples.len() - 1],
+        max_ns: samples[len - 1],
     }
 }
 
@@ -213,7 +229,10 @@ pub struct CompareLine {
 /// the 15% gate `scripts/bench-compare.sh` enforces). Benches present in
 /// the baseline but missing from the new report also count as
 /// regressions — a deleted bench must be removed from the baseline
-/// deliberately, not silently.
+/// deliberately, not silently. The converse is not an error: benches in
+/// the new report with no baseline entry (a freshly added kernel) get an
+/// informational line with `regressed = false`, since a stale baseline
+/// must not block the suite from growing.
 pub fn compare_reports(base: &BenchReport, new: &BenchReport, threshold: f64) -> Vec<CompareLine> {
     let mut lines = Vec::new();
     for b in &base.benches {
@@ -244,6 +263,18 @@ pub fn compare_reports(base: &BenchReport, new: &BenchReport, threshold: f64) ->
             ),
             regressed,
         });
+    }
+    for n in &new.benches {
+        if !base.benches.iter().any(|b| b.name == n.name) {
+            lines.push(CompareLine {
+                name: n.name.clone(),
+                rendered: format!(
+                    "{}: new bench (median={}ns), not in baseline",
+                    n.name, n.median_ns
+                ),
+                regressed: false,
+            });
+        }
     }
     lines
 }
@@ -347,5 +378,58 @@ mod tests {
         let lines = compare_reports(&base, &new, 0.15);
         assert!(lines[1].regressed);
         assert!(lines[1].rendered.contains("missing"));
+    }
+
+    #[test]
+    fn new_bench_is_informational_not_regression() {
+        // Asymmetric reports: the new report carries a bench the baseline
+        // has never seen. That is growth, not a regression.
+        let base = report();
+        let mut new = report();
+        new.benches.push(BenchResult {
+            name: "simd_pb_row_update".into(),
+            warmup: 3,
+            iters: 30,
+            mean_ns: 50,
+            median_ns: 45,
+            min_ns: 40,
+            max_ns: 90,
+        });
+        let lines = compare_reports(&base, &new, 0.15);
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| !l.regressed));
+        let added = &lines[2];
+        assert_eq!(added.name, "simd_pb_row_update");
+        assert!(added.rendered.contains("new bench"));
+        // And the reverse asymmetry still gates (deleted bench).
+        let lines = compare_reports(&new, &base, 0.15);
+        assert!(lines.iter().any(|l| l.regressed && l.rendered.contains("missing")));
+    }
+
+    #[test]
+    fn even_count_median_averages_middle_pair() {
+        // Even count: median is the midpoint of the two middle samples,
+        // not the upper one (the old half-rank-high bias).
+        let res = summarise("m", 0, 4, vec![100, 10, 40, 200]);
+        assert_eq!(res.median_ns, 70); // (40 + 100) / 2
+        assert_eq!(res.min_ns, 10);
+        assert_eq!(res.max_ns, 200);
+        assert_eq!(res.mean_ns, 87); // 350 / 4
+        // Odd count: unchanged middle sample.
+        let res = summarise("m", 0, 5, vec![5, 1, 3, 9, 7]);
+        assert_eq!(res.median_ns, 5);
+        // Midpoint of a same-valued pair is that value.
+        let res = summarise("m", 0, 2, vec![8, 8]);
+        assert_eq!(res.median_ns, 8);
+    }
+
+    #[test]
+    fn mean_is_exact_near_u64_saturation() {
+        // Two huge samples used to saturate the u64 fold and report a
+        // mean of u64::MAX / iters; u128 accumulation keeps it exact.
+        let big = u64::MAX / 2;
+        let res = summarise("m", 0, 2, vec![big, big + 10]);
+        assert_eq!(res.mean_ns, big + 5);
+        assert_eq!(res.median_ns, big + 5);
     }
 }

@@ -49,12 +49,12 @@ pub fn alpha_for_segment(
     segment: &Segment,
 ) -> Prob {
     let mut alpha = 0.0;
-    for (w, p_r) in equivalent.entries() {
-        if *p_r == 0.0 {
+    for (w, p_r) in equivalent.iter() {
+        if p_r == 0.0 {
             continue;
         }
         let m = indexed.substring_match_prob(segment.start, w);
-        debug_check_addend(*p_r, m);
+        debug_check_addend(p_r, m);
         alpha += p_r * m;
     }
     // Note: the *raw* sum may legitimately exceed 1 — AlphaMode::Naive
@@ -117,7 +117,6 @@ mod tests {
         let s = dna("A{(A,0.8),(C,0.2)}AGCT");
         let set = EquivalentSet::build(&r, (0, 1), 3, AlphaMode::Naive, 1000).unwrap();
         let raw: f64 = set
-            .entries()
             .iter()
             .map(|(w, p)| p * s.substring_match_prob(0, w))
             .sum();

@@ -25,8 +25,6 @@
 //! reproduces the paper's incorrect `1.32`), and an exact
 //! possible-world computation used as a test oracle and accuracy ablation.
 
-use std::collections::HashMap;
-
 use usj_model::{Prob, Symbol, UncertainString};
 
 /// How to combine multiple occurrences of the same window instance.
@@ -61,9 +59,38 @@ pub enum AlphaMode {
 
 /// The equivalent set `q(r, x)`: distinct deterministic window instances
 /// with their occurrence probabilities `p_r(w)`.
+///
+/// Instances are stored in one flat symbol buffer (stride =
+/// [`EquivalentSet::window_len`]) rather than one `Vec` per instance —
+/// sets are rebuilt per probe window at high rates, and per-instance heap
+/// boxes dominated construction. Short instances additionally carry their
+/// big-endian packed [`pack_instance`] key so index resolution can look
+/// them up as integers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EquivalentSet {
-    entries: Vec<(Vec<Symbol>, Prob)>,
+    /// Instance symbols: instance `i` is `flat[i*wl..(i+1)*wl]`, in
+    /// ascending instance order.
+    flat: Vec<Symbol>,
+    /// `p_r(w)` per instance, parallel to the instances in `flat`.
+    probs: Vec<Prob>,
+    window_len: usize,
+    /// Packed instance keys (ascending), parallel to `probs`; filled only
+    /// when `window_len ≤ 8`.
+    keys: Vec<u64>,
+}
+
+/// Packs a short instance (≤ 8 symbols) big-endian into a `u64`, so that
+/// integer order equals lexicographic symbol order for equal lengths.
+/// Keys of *different* lengths may collide; lookups must pair the key
+/// with the instance length.
+#[inline]
+pub fn pack_instance(w: &[Symbol]) -> u64 {
+    debug_assert!(w.len() <= 8);
+    let mut key = 0u64;
+    for &s in w {
+        key = key << 8 | s as u64;
+    }
+    key
 }
 
 impl EquivalentSet {
@@ -81,59 +108,218 @@ impl EquivalentSet {
         max_instances: usize,
     ) -> Option<EquivalentSet> {
         let (lo, hi) = starts;
-        debug_assert!(hi + window_len <= probe.len());
-        // occurrences[w] = list of (start, occurrence probability), start
-        // ascending because we scan windows left to right.
-        let mut occurrences: HashMap<Vec<Symbol>, Vec<(usize, Prob)>> = HashMap::new();
+        let wl = window_len;
+        debug_assert!(hi + wl <= probe.len());
+        // Worlds are grouped by one sort instead of a hash map: the
+        // windows are tiny (a handful of short instances per start),
+        // where sorting beats allocating and hashing every instance —
+        // and the entries come out in the deterministic instance order
+        // the caller needs anyway. (Profiled on the bench funnel; this
+        // path dominates candidate generation.) Instances short enough
+        // to pack into a `u64` sort as plain integers; longer ones land
+        // in a flat stride-`wl` buffer.
+        if wl <= 8 {
+            return build_packed(probe, lo, hi, wl, mode, max_instances);
+        }
+        let mut flat: Vec<Symbol> = Vec::new();
+        let mut meta: Vec<(usize, Prob)> = Vec::new(); // (start, prob) per world
         let mut budget = max_instances;
         for start in lo..=hi {
-            for world in probe.substring_worlds(start, window_len) {
-                budget = budget.checked_sub(1)?;
-                occurrences
-                    .entry(world.instance)
-                    .or_default()
-                    .push((start, world.prob));
+            let complete = probe.visit_substring_worlds(start, wl, |inst, p| {
+                if budget == 0 {
+                    return false;
+                }
+                budget -= 1;
+                flat.extend_from_slice(inst);
+                meta.push((start, p));
+                true
+            });
+            if !complete {
+                return None;
             }
         }
-        let mut entries: Vec<(Vec<Symbol>, Prob)> = occurrences
-            .into_iter()
-            .map(|(w, occs)| {
-                let p = match mode {
+        // Instance-major, start-ascending: each instance's occurrences
+        // form one contiguous run sorted by start, as the grouped/exact
+        // recurrences require.
+        let window = |o: u32| &flat[o as usize * wl..(o as usize + 1) * wl];
+        let mut order: Vec<u32> = (0..meta.len() as u32).collect();
+        order.sort_unstable_by(|&x, &y| {
+            window(x)
+                .cmp(window(y))
+                .then(meta[x as usize].0.cmp(&meta[y as usize].0))
+        });
+        let mut set = EquivalentSet {
+            flat: Vec::with_capacity(meta.len() * wl),
+            probs: Vec::with_capacity(meta.len()),
+            window_len: wl,
+            keys: Vec::new(),
+        };
+        let mut occs: Vec<(usize, Prob)> = Vec::new();
+        let mut i = 0;
+        while i < order.len() {
+            let w = window(order[i]);
+            let mut j = i + 1;
+            while j < order.len() && window(order[j]) == w {
+                j += 1;
+            }
+            let p = if j == i + 1 {
+                // Single occurrence (the common case): every mode
+                // reduces to its own probability.
+                meta[order[i] as usize].1
+            } else {
+                occs.clear();
+                occs.extend(order[i..j].iter().map(|&o| meta[o as usize]));
+                match mode {
                     AlphaMode::Naive => occs.iter().map(|&(_, p)| p).sum(),
-                    AlphaMode::Grouped => grouped_probability(&w, &occs, probe),
-                    AlphaMode::Exact => exact_probability(&w, &occs, probe),
-                };
-                (w, p)
-            })
-            .collect();
-        // Deterministic order helps tests and reproducible index builds.
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        Some(EquivalentSet { entries })
+                    AlphaMode::Grouped => grouped_probability(w, &occs, probe),
+                    AlphaMode::Exact => exact_probability(w, &occs, probe),
+                }
+            };
+            set.flat.extend_from_slice(w);
+            set.probs.push(p);
+            i = j;
+        }
+        Some(set)
     }
 
-    /// The `(instance, p_r(w))` entries, sorted by instance.
-    pub fn entries(&self) -> &[(Vec<Symbol>, Prob)] {
-        &self.entries
+    /// Iterates the `(instance, p_r(w))` entries in ascending instance
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Symbol], Prob)> + '_ {
+        let wl = self.window_len;
+        self.probs
+            .iter()
+            .enumerate()
+            .map(move |(i, &p)| (&self.flat[i * wl..i * wl + wl], p))
+    }
+
+    /// Length every instance in this set shares.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// `p_r(w)` per instance, parallel to [`EquivalentSet::packed_keys`].
+    pub fn probs(&self) -> &[Prob] {
+        &self.probs
+    }
+
+    /// The ascending [`pack_instance`] keys of the instances, available
+    /// when the window is short enough to pack (`window_len ≤ 8` — every
+    /// q-gram partition the join produces qualifies).
+    pub fn packed_keys(&self) -> Option<&[u64]> {
+        if self.window_len <= 8 {
+            Some(&self.keys)
+        } else {
+            None
+        }
     }
 
     /// Number of distinct instances.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.probs.len()
     }
 
     /// `true` when no window instance exists (only possible for an empty
     /// start range, which [`EquivalentSet::build`] never produces).
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.probs.is_empty()
     }
 
     /// Looks up `p_r(w)` for a specific instance.
     pub fn probability_of(&self, w: &[Symbol]) -> Prob {
-        self.entries
-            .binary_search_by(|(e, _)| e.as_slice().cmp(w))
-            .map(|i| self.entries[i].1)
-            .unwrap_or(0.0)
+        let wl = self.window_len;
+        let (mut lo, mut hi) = (0usize, self.probs.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.flat[mid * wl..mid * wl + wl].cmp(w) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return self.probs[mid],
+            }
+        }
+        0.0
     }
+}
+
+/// [`EquivalentSet::build`] for windows of at most 8 symbols (every
+/// q-gram partition the join runs produces segments this short): each
+/// instance packs big-endian into a `u64`, so the occurrence sort
+/// compares integers and the enumeration allocates nothing per world.
+fn build_packed(
+    probe: &UncertainString,
+    lo: usize,
+    hi: usize,
+    wl: usize,
+    mode: AlphaMode,
+    max_instances: usize,
+) -> Option<EquivalentSet> {
+    debug_assert!(wl <= 8);
+    // (packed instance, start, occurrence probability); big-endian
+    // packing makes integer order equal lexicographic symbol order.
+    // Pre-size from the per-start world counts — the buffer is filled in
+    // a tight enumeration loop where growth reallocations show up.
+    let mut cap = 0usize;
+    for start in lo..=hi {
+        let mut n = 1usize;
+        for p in &probe.positions()[start..start + wl] {
+            n = n.saturating_mul(p.num_alternatives());
+        }
+        cap = cap.saturating_add(n);
+    }
+    let mut occ: Vec<(u64, u32, Prob)> = Vec::with_capacity(cap.min(max_instances));
+    let mut budget = max_instances;
+    for start in lo..=hi {
+        let complete = probe.visit_substring_worlds(start, wl, |inst, p| {
+            if budget == 0 {
+                return false;
+            }
+            budget -= 1;
+            occ.push((pack_instance(inst), start as u32, p));
+            true
+        });
+        if !complete {
+            return None;
+        }
+    }
+    // Instance-major, start-ascending (see `build`).
+    occ.sort_unstable_by_key(|&(key, start, _)| (key, start));
+    let mut set = EquivalentSet {
+        flat: Vec::with_capacity(occ.len() * wl),
+        probs: Vec::with_capacity(occ.len()),
+        window_len: wl,
+        keys: Vec::with_capacity(occ.len()),
+    };
+    let mut occs: Vec<(usize, Prob)> = Vec::new();
+    let mut wbuf = [0u8; 8];
+    let mut i = 0;
+    while i < occ.len() {
+        let key = occ[i].0;
+        let mut j = i + 1;
+        while j < occ.len() && occ[j].0 == key {
+            j += 1;
+        }
+        for (t, b) in wbuf[..wl].iter_mut().enumerate() {
+            *b = (key >> (8 * (wl - 1 - t))) as u8;
+        }
+        let w = &wbuf[..wl];
+        let p = if j == i + 1 {
+            // Single occurrence (the common case): every mode reduces
+            // to its own probability.
+            occ[i].2
+        } else {
+            occs.clear();
+            occs.extend(occ[i..j].iter().map(|&(_, s, p)| (s as usize, p)));
+            match mode {
+                AlphaMode::Naive => occs.iter().map(|&(_, p)| p).sum(),
+                AlphaMode::Grouped => grouped_probability(w, &occs, probe),
+                AlphaMode::Exact => exact_probability(w, &occs, probe),
+            }
+        };
+        set.flat.extend_from_slice(w);
+        set.probs.push(p);
+        set.keys.push(key);
+        i = j;
+    }
+    Some(set)
 }
 
 /// Paper §3.2 Step 1 + Step 2: group overlapping occurrences and combine.
@@ -187,18 +373,26 @@ fn exact_probability(w: &[Symbol], occs: &[(usize, Prob)], probe: &UncertainStri
             // Single occurrence: its own probability.
             occs[i].1
         } else {
-            let region = probe.substring(group_start, group_end - group_start);
-            if region.num_worlds_capped(EXACT_GROUP_WORLD_CAP).is_some() {
-                let starts: Vec<usize> = occs[i..j].iter().map(|&(s, _)| s).collect();
+            let region = &probe.positions()[group_start..group_end];
+            let worlds = region
+                .iter()
+                .try_fold(1u64, |n, p| {
+                    let n = n.checked_mul(p.num_alternatives() as u64)?;
+                    (n <= EXACT_GROUP_WORLD_CAP).then_some(n)
+                })
+                .is_some();
+            if worlds {
+                let group = &occs[i..j];
                 let mut mass = 0.0;
-                for world in region.worlds() {
-                    let occurs = starts
+                usj_model::worlds::visit_worlds(region, |inst, p| {
+                    let occurs = group
                         .iter()
-                        .any(|&s| &world.instance[s - group_start..s - group_start + len] == w);
+                        .any(|&(s, _)| &inst[s - group_start..s - group_start + len] == w);
                     if occurs {
-                        mass += world.prob;
+                        mass += p;
                     }
-                }
+                    true
+                });
                 mass
             } else {
                 // Union bound over the group's occurrences.
@@ -253,7 +447,7 @@ mod tests {
         let r = dna("A{(A,0.8),(C,0.2)}AATT");
         let grouped = EquivalentSet::build(&r, (0, 1), 3, AlphaMode::Grouped, 1000).unwrap();
         let exact = EquivalentSet::build(&r, (0, 1), 3, AlphaMode::Exact, 1000).unwrap();
-        for (w, p) in grouped.entries() {
+        for (w, p) in grouped.iter() {
             assert!((p - exact.probability_of(w)).abs() < 1e-9, "w={w:?}");
         }
     }
@@ -310,13 +504,13 @@ mod tests {
         let r = dna("{(A,0.9),(C,0.1)}A{(A,0.9),(C,0.1)}A{(A,0.9),(C,0.1)}A");
         let grouped = EquivalentSet::build(&r, (0, 3), 3, AlphaMode::Grouped, 10_000).unwrap();
         let exact = EquivalentSet::build(&r, (0, 3), 3, AlphaMode::Exact, 10_000).unwrap();
-        for (w, p) in grouped.entries() {
+        for (w, p) in grouped.iter() {
             let e = exact.probability_of(w);
-            assert!(*p >= -1e-12 && *p <= 1.0 + 1e-12);
+            assert!(p >= -1e-12 && p <= 1.0 + 1e-12);
             // The β recurrence subtracts the full overlap-match probability,
             // which can under-approximate the union; it must never
             // over-approximate it by more than floating error.
-            assert!(*p <= e + 1e-9, "w={w:?} grouped={p} exact={e}");
+            assert!(p <= e + 1e-9, "w={w:?} grouped={p} exact={e}");
         }
     }
 }

@@ -31,7 +31,7 @@
 
 use usj_model::{Prob, UncertainString};
 
-use crate::tail::{at_least, markov_at_least};
+use crate::tail::at_least;
 
 /// Inclusive probe-position interval `[start, end]` covered by a
 /// segment's candidate windows.
@@ -132,12 +132,26 @@ impl TailBounder {
         }
         let excluded = self.possible.len() - self.selected.len();
         // Poisson-binomial over the independent family, requirement
-        // reduced by the (assumed-matching) excluded segments.
-        let family_alphas: Vec<Prob> = self.selected.iter().map(|&x| alphas[x]).collect();
-        let pb = at_least(&family_alphas, need.saturating_sub(excluded));
-        // Markov over everything, valid under arbitrary dependence.
-        let all_alphas: Vec<Prob> = self.possible.iter().map(|&x| alphas[x]).collect();
-        pb.min(markov_at_least(&all_alphas, need))
+        // reduced by the (assumed-matching) excluded segments. The
+        // family is gathered into a stack buffer — `bound` runs once per
+        // surviving candidate, and partitions rarely exceed a few dozen
+        // segments.
+        let mut stack = [0.0; 64];
+        let heap: Vec<Prob>;
+        let family_alphas: &[Prob] = if self.selected.len() <= stack.len() {
+            for (d, &x) in stack.iter_mut().zip(&self.selected) {
+                *d = alphas[x];
+            }
+            &stack[..self.selected.len()]
+        } else {
+            heap = self.selected.iter().map(|&x| alphas[x]).collect();
+            &heap
+        };
+        let pb = at_least(family_alphas, need.saturating_sub(excluded));
+        // Markov over everything, valid under arbitrary dependence; the
+        // bound only needs the sum, so no gather at all.
+        let mean: f64 = self.possible.iter().map(|&x| alphas[x]).sum();
+        pb.min((mean / need as f64).clamp(0.0, 1.0))
     }
 }
 

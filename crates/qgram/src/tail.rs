@@ -20,17 +20,54 @@ use usj_model::Prob;
 /// `dist[y] = Pr(exactly y of the events happen)`, `len = m+1`. `O(m²)`.
 pub fn poisson_binomial(alphas: &[Prob]) -> Vec<Prob> {
     let m = alphas.len();
-    let mut dist = vec![0.0; m + 1];
-    dist[0] = 1.0;
+    // Double-buffered rows so the update is a forward scan the SIMD
+    // row kernel can vectorise; entries past the active prefix are
+    // still zero from init (each buffer is only ever written on a
+    // prefix that grows by one per event), so reading prev[i+1] = 0
+    // reproduces the in-place downward recurrence bit-for-bit. The
+    // scratch lives in `buf` (stack-backed for the row widths the
+    // filter produces), so the only heap allocation is the returned
+    // distribution itself.
+    let mut buf = RowScratch::new(m + 1);
+    let (mut prev, mut cur) = buf.rows();
+    prev[0] = 1.0;
     for (i, &a) in alphas.iter().enumerate() {
-        // Iterate counts downwards so dist[j-1] is still the previous row.
-        for j in (0..=i + 1).rev() {
-            let stay = if j <= i { dist[j] * (1.0 - a) } else { 0.0 };
-            let step = if j > 0 { dist[j - 1] * a } else { 0.0 };
-            dist[j] = stay + step;
+        usj_simd::pb_row_update(&prev[..i + 2], &mut cur[..i + 2], 1.0 - a, a);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[..m + 1].to_vec()
+}
+
+/// Double-buffer scratch for the DP rows: a fixed stack array for the
+/// row widths the filter actually produces (segment counts are small),
+/// spilling to the heap above that. Zero-initialised either way — the
+/// kernels rely on the untouched suffix staying zero.
+enum RowScratch {
+    Stack([f64; 2 * RowScratch::STACK_WIDTH]),
+    Heap(Vec<f64>),
+}
+
+impl RowScratch {
+    const STACK_WIDTH: usize = 64;
+
+    fn new(width: usize) -> RowScratch {
+        if width <= RowScratch::STACK_WIDTH {
+            RowScratch::Stack([0.0; 2 * RowScratch::STACK_WIDTH])
+        } else {
+            RowScratch::Heap(vec![0.0; 2 * width])
         }
     }
-    dist
+
+    /// The two equal-width zeroed rows.
+    fn rows(&mut self) -> (&mut [f64], &mut [f64]) {
+        match self {
+            RowScratch::Stack(buf) => buf.split_at_mut(RowScratch::STACK_WIDTH),
+            RowScratch::Heap(buf) => {
+                let half = buf.len() / 2;
+                buf.split_at_mut(half)
+            }
+        }
+    }
 }
 
 /// `Pr(exactly y events happen)` via the full DP.
@@ -57,27 +94,26 @@ pub fn at_least(alphas: &[Prob], need: usize) -> Prob {
     let fails_allowed = m - need; // tail ⟺ at most `fails_allowed` failures
     if fails_allowed < need {
         // Track failure counts 0..=fails_allowed: O(m·(m−need+1)).
-        let mut dist = vec![0.0; fails_allowed + 1];
-        dist[0] = 1.0;
+        // Success keeps the count (·α), failure steps it (·(1−α)).
+        let width = fails_allowed + 1;
+        let mut buf = RowScratch::new(width);
+        let (mut prev, mut cur) = buf.rows();
+        prev[0] = 1.0;
         for &a in alphas {
-            let fail = 1.0 - a;
-            for j in (0..=fails_allowed).rev() {
-                let step = if j > 0 { dist[j - 1] * fail } else { 0.0 };
-                dist[j] = dist[j] * a + step;
-            }
+            usj_simd::pb_row_update(&prev[..width], &mut cur[..width], a, 1.0 - a);
+            std::mem::swap(&mut prev, &mut cur);
         }
-        dist.iter().sum::<f64>().clamp(0.0, 1.0)
+        prev[..width].iter().sum::<f64>().clamp(0.0, 1.0)
     } else {
         // Complement: Pr(≥ need) = 1 − Pr(≤ need−1 successes).
-        let mut dist = vec![0.0; need];
-        dist[0] = 1.0;
+        let mut buf = RowScratch::new(need);
+        let (mut prev, mut cur) = buf.rows();
+        prev[0] = 1.0;
         let mut overflow = 0.0; // mass that crossed the `need` boundary
         for &a in alphas {
-            overflow += dist[need - 1] * a;
-            for j in (0..need).rev() {
-                let step = if j > 0 { dist[j - 1] * a } else { 0.0 };
-                dist[j] = dist[j] * (1.0 - a) + step;
-            }
+            overflow += prev[need - 1] * a;
+            usj_simd::pb_row_update(&prev[..need], &mut cur[..need], 1.0 - a, a);
+            std::mem::swap(&mut prev, &mut cur);
         }
         overflow.clamp(0.0, 1.0)
     }

@@ -1,0 +1,192 @@
+//! Portable scalar reference kernels.
+//!
+//! These are the semantic ground truth for every accelerated backend:
+//! the parity tests compare SIMD output against these functions with
+//! **bitwise** equality, which works because both sides evaluate the
+//! same mul/add/max/min expression trees (no FMA contraction — each
+//! product is rounded before the sum, exactly as the vector lanes do).
+
+/// Scalar [`crate::pb_row_update`].
+#[inline]
+pub fn pb_row_update(prev: &[f64], cur: &mut [f64], keep: f64, step: f64) {
+    if cur.is_empty() || prev.is_empty() {
+        return;
+    }
+    cur[0] = prev[0] * keep;
+    for j in 1..cur.len().min(prev.len()) {
+        cur[j] = prev[j] * keep + prev[j - 1] * step;
+    }
+}
+
+/// Scalar [`crate::cdf_row_update`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn cdf_row_update(
+    p1: f64,
+    p2: f64,
+    l_d1: &[f64],
+    l_best: &[f64],
+    u_d1: &[f64],
+    u_d2: &[f64],
+    u_d3: &[f64],
+    out_l: &mut [f64],
+    out_u: &mut [f64],
+) {
+    for j in 0..out_l.len() {
+        let (lb, u1, u2, u3) = if j > 0 {
+            (l_best[j - 1], u_d1[j - 1], u_d2[j - 1], u_d3[j - 1])
+        } else {
+            (0.0, 0.0, 0.0, 0.0)
+        };
+        let l = (p1 * l_d1[j]).max(p2 * lb);
+        let u = (p1 * u_d1[j] + p2 * u1 + u2 + u3).min(1.0);
+        out_l[j] = l.clamp(0.0, 1.0);
+        out_u[j] = u.clamp(0.0, 1.0);
+    }
+}
+
+/// Scalar [`crate::common_prefix_len`].
+#[inline]
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Scalar [`crate::common_suffix_len`].
+#[inline]
+pub fn common_suffix_len(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i < n && a[a.len() - 1 - i] == b[b.len() - 1 - i] {
+        i += 1;
+    }
+    i
+}
+
+/// Scalar [`crate::intersect_sorted_ids`]: two-pointer merge with block
+/// skips (the skips change nothing about the output — matches are value
+/// determined — they just avoid per-element compares across disjoint
+/// stretches).
+pub fn intersect_sorted_ids(a: &[u32], b: &[u32], out: &mut Vec<(u32, u32)>) {
+    intersect_tail(a, b, 0, 0, out);
+}
+
+/// Asymmetric intersection: binary-searches each element of `small`
+/// into the (strictly ascending) remainder of `large`. Produces exactly
+/// the pairs of [`intersect_sorted_ids`] — matches are value determined
+/// and both index streams still ascend — in `O(|small| · log |large|)`.
+/// `swapped` flips the pair order for callers whose `small` is the `b`
+/// side of the public contract.
+pub(crate) fn intersect_small_into_large(
+    small: &[u32],
+    large: &[u32],
+    swapped: bool,
+    out: &mut Vec<(u32, u32)>,
+) {
+    let mut lo = 0usize;
+    for (i, &v) in small.iter().enumerate() {
+        lo += large[lo..].partition_point(|&x| x < v);
+        if lo >= large.len() {
+            break;
+        }
+        if large[lo] == v {
+            if swapped {
+                out.push((lo as u32, i as u32));
+            } else {
+                out.push((i as u32, lo as u32));
+            }
+            lo += 1;
+        }
+    }
+}
+
+/// The merge continued from positions `(i, j)` — shared by the vector
+/// backends for their sub-vector-width tails.
+pub(crate) fn intersect_tail(a: &[u32], b: &[u32], mut i: usize, mut j: usize, out: &mut Vec<(u32, u32)>) {
+    while i < a.len() && j < b.len() {
+        if a.len() - i >= 8 && a[i + 7] < b[j] {
+            i += 8;
+            continue;
+        }
+        if b.len() - j >= 8 && b[j + 7] < a[i] {
+            j += 8;
+            continue;
+        }
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            out.push((i as u32, j as u32));
+            i += 1;
+            j += 1;
+        } else if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pb_row_matches_hand_computation() {
+        let prev = [1.0, 0.0, 0.0];
+        let mut cur = [0.0; 3];
+        pb_row_update(&prev, &mut cur, 0.6, 0.4);
+        assert_eq!(cur, [0.6, 0.4, 0.0]);
+    }
+
+    #[test]
+    fn cdf_row_j0_reads_zero_neighbours() {
+        let l_d1 = [0.8, 1.0];
+        let l_best = [0.5, 0.9];
+        let u_d1 = [0.9, 1.0];
+        let u_d2 = [0.3, 0.4];
+        let u_d3 = [0.2, 0.1];
+        let (mut ol, mut ou) = ([0.0; 2], [0.0; 2]);
+        cdf_row_update(0.5, 0.5, &l_d1, &l_best, &u_d1, &u_d2, &u_d3, &mut ol, &mut ou);
+        assert_eq!(ol[0], 0.5 * 0.8);
+        assert_eq!(ou[0], 0.5 * 0.9);
+        assert_eq!(ol[1], (0.5f64 * 1.0).max(0.5 * 0.5));
+        assert_eq!(ou[1], 1.0); // 0.5·1.0 + 0.5·0.9 + 0.3 + 0.2 clamps at 1
+    }
+
+    #[test]
+    fn prefix_suffix_edges() {
+        assert_eq!(common_prefix_len(b"", b"abc"), 0);
+        assert_eq!(common_prefix_len(b"abc", b"abc"), 3);
+        assert_eq!(common_prefix_len(b"abcd", b"abxd"), 2);
+        assert_eq!(common_suffix_len(b"", b"abc"), 0);
+        assert_eq!(common_suffix_len(b"abc", b"abc"), 3);
+        assert_eq!(common_suffix_len(b"xbcd", b"ybcd"), 3);
+    }
+
+    #[test]
+    fn intersect_block_skip_paths() {
+        // Long disjoint stretches exercise both 8-wide skips.
+        let a: Vec<u32> = (0..64).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..64).map(|i| 90 + i * 2).collect();
+        let mut got = Vec::new();
+        intersect_sorted_ids(&a, &b, &mut got);
+        let naive: Vec<(u32, u32)> = a
+            .iter()
+            .enumerate()
+            .filter_map(|(i, x)| b.iter().position(|y| y == x).map(|j| (i as u32, j as u32)))
+            .collect();
+        assert_eq!(got, naive);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn intersect_empty_sides() {
+        let mut got = Vec::new();
+        intersect_sorted_ids(&[], &[1, 2], &mut got);
+        intersect_sorted_ids(&[1, 2], &[], &mut got);
+        assert!(got.is_empty());
+    }
+}

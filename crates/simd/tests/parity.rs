@@ -1,0 +1,133 @@
+//! Seeded scalar==SIMD differential property tests.
+//!
+//! Every kernel is run on xorshift-generated inputs through both the
+//! dispatcher (whatever level the host selected) and the scalar
+//! reference, asserting **bitwise** equality — the float kernels promise
+//! identical expression trees, not just tolerance-close results. On a
+//! host without vector units (or under `USJ_NO_SIMD=1`) the comparison
+//! is scalar-vs-scalar and trivially passes; the CI `simd` job runs this
+//! suite both ways.
+
+use usj_simd::{scalar, simd_level};
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn gen_probs(state: &mut u64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| (xorshift(state) % 10_001) as f64 / 10_000.0).collect()
+}
+
+fn gen_sorted_ids(state: &mut u64, n: usize, gap: u64) -> Vec<u32> {
+    let mut v = Vec::with_capacity(n);
+    let mut cur = 0u64;
+    for _ in 0..n {
+        cur += 1 + xorshift(state) % gap;
+        v.push(cur as u32);
+    }
+    v
+}
+
+#[test]
+fn pb_row_update_matches_scalar_bitwise() {
+    let mut state = 0x5349_4D44_0001u64 | 1;
+    for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 64, 129] {
+        for _ in 0..8 {
+            let prev = gen_probs(&mut state, len);
+            let keep = (xorshift(&mut state) % 10_001) as f64 / 10_000.0;
+            let step = 1.0 - keep;
+            let mut got = vec![0.0; len];
+            let mut want = vec![0.0; len];
+            usj_simd::pb_row_update(&prev, &mut got, keep, step);
+            scalar::pb_row_update(&prev, &mut want, keep, step);
+            let gb: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(gb, wb, "len={len} level={:?}", simd_level());
+        }
+    }
+}
+
+#[test]
+fn cdf_row_update_matches_scalar_bitwise() {
+    let mut state = 0x5349_4D44_0002u64 | 1;
+    for width in [1usize, 2, 3, 4, 5, 6, 9, 16, 33] {
+        for _ in 0..8 {
+            let p1 = (xorshift(&mut state) % 10_001) as f64 / 10_000.0;
+            let p2 = 1.0 - p1;
+            let l_d1 = gen_probs(&mut state, width);
+            let l_best = gen_probs(&mut state, width);
+            let u_d1 = gen_probs(&mut state, width);
+            let u_d2 = gen_probs(&mut state, width);
+            let u_d3 = gen_probs(&mut state, width);
+            let (mut gl, mut gu) = (vec![0.0; width], vec![0.0; width]);
+            let (mut wl, mut wu) = (vec![0.0; width], vec![0.0; width]);
+            usj_simd::cdf_row_update(p1, p2, &l_d1, &l_best, &u_d1, &u_d2, &u_d3, &mut gl, &mut gu);
+            scalar::cdf_row_update(p1, p2, &l_d1, &l_best, &u_d1, &u_d2, &u_d3, &mut wl, &mut wu);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&gl), bits(&wl), "L width={width}");
+            assert_eq!(bits(&gu), bits(&wu), "U width={width}");
+        }
+    }
+}
+
+#[test]
+fn prefix_suffix_match_scalar_on_random_pairs() {
+    let mut state = 0x5349_4D44_0003u64 | 1;
+    for _ in 0..400 {
+        let la = (xorshift(&mut state) % 120) as usize;
+        let lb = (xorshift(&mut state) % 120) as usize;
+        let a: Vec<u8> = (0..la).map(|_| (xorshift(&mut state) % 4) as u8).collect();
+        let mut b: Vec<u8> = (0..lb).map(|_| (xorshift(&mut state) % 4) as u8).collect();
+        // Half the time, force long shared affixes (the realistic case).
+        if xorshift(&mut state) % 2 == 0 {
+            let n = la.min(lb);
+            let shared = (xorshift(&mut state) as usize) % (n + 1);
+            for t in 0..shared {
+                b[t] = a[t];
+                let (x, y) = (la - 1 - t, lb - 1 - t);
+                b[y] = a[x];
+            }
+        }
+        assert_eq!(
+            usj_simd::common_prefix_len(&a, &b),
+            scalar::common_prefix_len(&a, &b),
+            "prefix a={a:?} b={b:?}"
+        );
+        assert_eq!(
+            usj_simd::common_suffix_len(&a, &b),
+            scalar::common_suffix_len(&a, &b),
+            "suffix a={a:?} b={b:?}"
+        );
+    }
+    // Identical long strings hit the all-blocks-equal path exactly.
+    let long: Vec<u8> = (0..257).map(|i| (i % 7) as u8).collect();
+    assert_eq!(usj_simd::common_prefix_len(&long, &long), 257);
+    assert_eq!(usj_simd::common_suffix_len(&long, &long), 257);
+}
+
+#[test]
+fn intersect_matches_scalar_on_random_lists() {
+    let mut state = 0x5349_4D44_0004u64 | 1;
+    for _ in 0..200 {
+        let na = (xorshift(&mut state) % 200) as usize;
+        let nb = (xorshift(&mut state) % 200) as usize;
+        // Small gaps make dense overlap; large gaps exercise the skips.
+        let ga = 1 + xorshift(&mut state) % 7;
+        let gb = 1 + xorshift(&mut state) % 7;
+        let a = gen_sorted_ids(&mut state, na, ga);
+        let b = gen_sorted_ids(&mut state, nb, gb);
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        usj_simd::intersect_sorted_ids(&a, &b, &mut got);
+        scalar::intersect_sorted_ids(&a, &b, &mut want);
+        assert_eq!(got, want, "a={a:?} b={b:?}");
+        // Sanity: every reported pair is a true match, ascending in both.
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        assert!(got.iter().all(|&(i, j)| a[i as usize] == b[j as usize]));
+    }
+}

@@ -11,6 +11,7 @@
 //! |------|----------|
 //! | `no-unwrap` | no `unwrap()`/`expect()`/`panic!` in hot-path modules |
 //! | `ordering-comment` | every atomic `Ordering::…` carries an `// ordering:` justification |
+//! | `unsafe-safety` | every `unsafe` block carries a `// safety:` justification (declarations exempt) |
 //! | `metrics-registered` | every recorded `Counter`/`Gauge` is declared, in `ALL`, named, and pinned by the golden schema test |
 //! | `dep-allowlist` | no external dependencies outside the vetted set |
 //! | `doc-drift` | `DESIGN.md` inventories every crate; `CHANGES.md` has one consecutive `- PR n:` line per PR |
@@ -37,9 +38,10 @@ use allow::AllowList;
 use source::SourceFile;
 
 /// Every lint name, for allowlist validation and `--help` output.
-pub const LINT_NAMES: [&str; 7] = [
+pub const LINT_NAMES: [&str; 8] = [
     "no-unwrap",
     "ordering-comment",
+    "unsafe-safety",
     "metrics-registered",
     "dep-allowlist",
     "doc-drift",
@@ -187,6 +189,7 @@ pub fn run_tidy(root: &Path) -> Vec<Diagnostic> {
     let mut raw: Vec<Diagnostic> = Vec::new();
     raw.extend(lints::no_unwrap(&ws.rust_files));
     raw.extend(lints::ordering_comment(&ws.rust_files));
+    raw.extend(lints::unsafe_safety(&ws.rust_files));
     raw.extend(lints::metrics_registered(&ws));
     raw.extend(lints::dep_allowlist(&ws));
     raw.extend(lints::doc_drift(&ws));

@@ -19,7 +19,11 @@ const HOT_PATH_FILES: [&str; 3] = [
     "crates/core/src/parallel.rs",
     "crates/core/src/index.rs",
 ];
-const HOT_PATH_DIRS: [&str; 2] = ["crates/cdf/src/", "crates/qgram/src/"];
+const HOT_PATH_DIRS: [&str; 3] = [
+    "crates/cdf/src/",
+    "crates/qgram/src/",
+    "crates/simd/src/",
+];
 
 fn is_hot_path(rel_path: &str) -> bool {
     HOT_PATH_FILES.contains(&rel_path) || HOT_PATH_DIRS.iter().any(|d| rel_path.starts_with(d))
@@ -102,6 +106,67 @@ pub fn ordering_comment(files: &[SourceFile]) -> Vec<Diagnostic> {
                     lint: "ordering-comment".to_string(),
                     message: "atomic Ordering use without an `// ordering:` justification \
                               comment on this line or the lines above"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// How many lines above an `unsafe` block may carry its justification
+/// comment (mirrors [`ORDERING_COMMENT_REACH`]).
+const SAFETY_COMMENT_REACH: usize = 4;
+
+/// `unsafe-safety`: every `unsafe` block must carry a `safety:`
+/// justification on the same line or within the preceding
+/// [`SAFETY_COMMENT_REACH`] lines.
+///
+/// An `unsafe` block is a claim that some obligation the compiler cannot
+/// check (bounds, feature availability, aliasing) has been discharged by
+/// hand — the comment is where that proof lives, and `usj-simd`'s
+/// scalar==SIMD differential tests only cover the cases the proof
+/// describes. `unsafe fn`/`unsafe impl`/`unsafe trait` declarations are
+/// exempt: they *impose* an obligation rather than discharge one, and the
+/// call site (an `unsafe` block) is where this lint demands the argument.
+pub fn unsafe_safety(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in files {
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.comment_only || line.in_test {
+                continue;
+            }
+            let code = line.code();
+            let bytes = code.as_bytes();
+            let opens_block = code.match_indices("unsafe").any(|(at, _)| {
+                // A word-boundary `unsafe` followed by `{` (possibly on
+                // the next line). Quote-adjacent occurrences are string
+                // literals (this lint's own source), not blocks.
+                let word_start = at == 0
+                    || !(bytes[at - 1].is_ascii_alphanumeric()
+                        || bytes[at - 1] == b'_'
+                        || bytes[at - 1] == b'"');
+                let after = &code[at + "unsafe".len()..];
+                let opens = after.is_empty()
+                    || after.starts_with('{')
+                    || after.starts_with(char::is_whitespace);
+                let declares = ["fn ", "impl ", "trait ", "extern "]
+                    .iter()
+                    .any(|kw| after.trim_start().starts_with(kw));
+                word_start && opens && !declares
+            });
+            if !opens_block {
+                continue;
+            }
+            let lo = i.saturating_sub(SAFETY_COMMENT_REACH);
+            let justified = file.lines[lo..=i].iter().any(|l| l.text.contains("safety:"));
+            if !justified {
+                diags.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: line.number,
+                    lint: "unsafe-safety".to_string(),
+                    message: "`unsafe` block without a `// safety:` justification comment \
+                              on this line or the lines above"
                         .to_string(),
                 });
             }

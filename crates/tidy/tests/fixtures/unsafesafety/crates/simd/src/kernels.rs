@@ -1,0 +1,30 @@
+//! Mentions `unsafe` in prose — comments never fire.
+pub fn dispatch(prev: &[f64], cur: &mut [f64]) {
+    // safety: the slices are the same length by construction.
+    unsafe { kernel(prev, cur) }
+}
+
+pub fn bare(prev: &[f64], cur: &mut [f64]) {
+    unsafe { kernel(prev, cur) }
+}
+
+/// Declarations impose the obligation; no comment required here.
+pub unsafe fn kernel(_prev: &[f64], _cur: &mut [f64]) {}
+
+pub fn far_comment(prev: &[f64], cur: &mut [f64]) {
+    // safety: five lines up is out of reach — keep the proof adjacent.
+    let a = 1;
+    let b = 2;
+    let c = 3;
+    let d = 4;
+    let _ = (a, b, c, d);
+    unsafe { kernel(prev, cur) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        unsafe { super::kernel(&[], &mut []) }
+    }
+}

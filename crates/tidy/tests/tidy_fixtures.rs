@@ -49,6 +49,20 @@ fn ordering_fixture_flags_unjustified_atomics_only() {
 }
 
 #[test]
+fn unsafesafety_fixture_flags_unjustified_blocks_only() {
+    assert_eq!(
+        triples("unsafesafety"),
+        vec![
+            // The justified block, the `unsafe fn` declaration, the prose
+            // mention, and the #[cfg(test)] block all stay silent; the
+            // bare block and the out-of-reach comment fire.
+            t("crates/simd/src/kernels.rs", 8, "unsafe-safety"),
+            t("crates/simd/src/kernels.rs", 21, "unsafe-safety"),
+        ]
+    );
+}
+
+#[test]
 fn metrics_fixture_flags_each_registration_gap() {
     assert_eq!(
         triples("metrics"),

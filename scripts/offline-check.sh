@@ -20,7 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CRATES=(fault model editdist qgram freq cdf verify core eed obs tidy serve)
+CRATES=(fault simd model editdist qgram freq cdf verify core eed obs tidy serve)
 
 rm -rf .buildcheck
 mkdir -p .buildcheck/crates
@@ -45,6 +45,13 @@ cp crates/serve/tests/overload.rs .buildcheck/crates/serve/tests/
 cp crates/serve/tests/metrics_roundtrip.rs .buildcheck/crates/serve/tests/
 cp crates/model/tests/malformed.rs .buildcheck/crates/model/tests/
 cp -r crates/model/tests/corpus .buildcheck/crates/model/tests/corpus
+
+# usj-simd's differential parity suites are std-only; the forced-scalar
+# leg needs its own test binary (OnceLock level caching), which riding
+# along here preserves.
+mkdir -p .buildcheck/crates/simd/tests
+cp crates/simd/tests/parity.rs crates/simd/tests/forced_scalar.rs \
+    .buildcheck/crates/simd/tests/
 
 # usj-tidy's integration suites are std-only too; point the workspace
 # self-check at the real tree (the staged copy has no tidy.allow).
@@ -100,6 +107,7 @@ rust-version = "1.75"
 [workspace.dependencies]
 usj-obs = { path = "crates/obs" }
 usj-fault = { path = "crates/fault" }
+usj-simd = { path = "crates/simd" }
 usj-model = { path = "crates/model" }
 usj-editdist = { path = "crates/editdist" }
 usj-qgram = { path = "crates/qgram" }

@@ -4,14 +4,23 @@
 #  * Miri (nightly) interprets the unit tests of the index-arithmetic-heavy
 #    probability kernels — usj-cdf (banded DP over flattened rows),
 #    usj-qgram (equivalent-set construction), usj-editdist (banded /
-#    bit-parallel DPs) — and catches undefined behaviour that no normal
+#    bit-parallel DPs), usj-simd (whose dispatcher pins itself to the
+#    scalar fallbacks under cfg(miri), so the reference kernels get the
+#    full UB check) — and catches undefined behaviour that no normal
 #    test run can see.
+#  * A forced-scalar leg re-runs the SIMD parity suites and every
+#    SIMD-consuming kernel crate with USJ_NO_SIMD=1, proving the scalar
+#    fallback path stays green on a vector-capable host (the CI `simd`
+#    job runs the same pair of legs).
 #  * ThreadSanitizer (nightly, -Zbuild-std) runs the parallel driver's
 #    differential tests and catches data races that the Relaxed-ordering
 #    batch cursor or a future refactor could introduce; the tests also
 #    re-assert byte-identical output under TSan's altered interleavings.
-#    The same instrumentation covers usj-serve's overload and fault-plan
-#    server tests (accept/worker/client threads over one shared index).
+#    The concurrent-probes suite drives the shared segment interner from
+#    many reader threads (the interner is frozen after build; TSan would
+#    flag any write slipping into the probe path). The same
+#    instrumentation covers usj-serve's overload and fault-plan server
+#    tests (accept/worker/client threads over one shared index).
 #
 # Both halves need rustup pieces that may be missing locally (a nightly
 # toolchain, the miri and rust-src components). By default a missing
@@ -75,9 +84,27 @@ run_miri() {
         skip_or_die "miri component unavailable for nightly (Miri not run)"
         return
     fi
-    note "Miri: usj-cdf / usj-qgram / usj-editdist unit tests"
-    if ! cargo +nightly miri test -p usj-cdf -p usj-qgram -p usj-editdist --lib; then
+    note "Miri: usj-cdf / usj-qgram / usj-editdist / usj-simd unit tests"
+    if ! cargo +nightly miri test -p usj-cdf -p usj-qgram -p usj-editdist -p usj-simd --lib; then
         note "FAIL: Miri found a problem"
+        FAILED=1
+    fi
+    note "Miri: usj-simd scalar==dispatch parity suites (dispatch is scalar under Miri)"
+    if ! cargo +nightly miri test -p usj-simd --test parity --test forced_scalar; then
+        note "FAIL: Miri found a problem in the scalar fallbacks"
+        FAILED=1
+    fi
+}
+
+# ---- Forced-scalar leg (no nightly pieces needed) -----------------------
+run_forced_scalar() {
+    note "forced-scalar: USJ_NO_SIMD=1 over the SIMD-consuming kernels"
+    # The differential suites compare dispatch against the scalar
+    # reference; with USJ_NO_SIMD=1 the dispatcher must select scalar on
+    # any host, and every consumer crate must behave identically.
+    if ! USJ_NO_SIMD=1 cargo test -q \
+        -p usj-simd -p usj-qgram -p usj-cdf -p usj-editdist -p usj-core; then
+        note "FAIL: forced-scalar leg failed"
         FAILED=1
     fi
 }
@@ -126,6 +153,16 @@ run_tsan() {
         note "FAIL: ThreadSanitizer found a problem in the fault paths"
         FAILED=1
     fi
+    note "TSan: concurrent probes through the shared segment interner"
+    # Many reader threads resolve interned segment ids while others run
+    # full cached probes against the same frozen index; any write into
+    # the interner after build would be a race TSan can see.
+    if ! RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$HOST" \
+        -p usj-core --test concurrent_probes -- --test-threads 1; then
+        note "FAIL: ThreadSanitizer found a problem in the concurrent probe path"
+        FAILED=1
+    fi
 }
 
 # ---- ThreadSanitizer over the query server ------------------------------
@@ -148,6 +185,7 @@ run_tsan_serve() {
 
 if [ "$ONLY" != "serve" ]; then
     run_miri
+    run_forced_scalar
     run_tsan
 fi
 if [ "$ONLY" != "kernels" ]; then
