@@ -16,7 +16,7 @@
 
 use std::path::Path;
 
-use crate::{Diagnostic, LINT_NAMES};
+use crate::{Diagnostic, Workspace, LINT_NAMES};
 
 /// One parsed allowlist entry.
 #[derive(Debug, Clone)]
@@ -129,28 +129,97 @@ impl AllowList {
         hit
     }
 
-    /// Diagnostics for entries that never suppressed anything.
-    pub fn unused_entries(&self) -> Vec<Diagnostic> {
+    /// Diagnostics for entries that never suppressed anything. When the
+    /// entry's file still exists, the message names the current line
+    /// most similar to the stale needle — the usual cause is the
+    /// offending line having been edited, and the nearest match is where
+    /// to re-point (or confirm the violation is gone).
+    pub fn unused_entries(&self, ws: &Workspace) -> Vec<Diagnostic> {
         self.entries
             .iter()
             .zip(self.used.iter())
             .filter(|(_, used)| !**used)
-            .map(|(entry, _)| Diagnostic {
-                file: "tidy.allow".to_string(),
-                line: entry.line,
-                lint: "unused-allow".to_string(),
-                message: format!(
+            .map(|(entry, _)| {
+                let mut message = format!(
                     "entry for {} in {} matches nothing — delete it or fix the pattern",
                     entry.lint, entry.path
-                ),
+                );
+                if let Some((line, text)) = nearest_line(ws, &entry.path, &entry.needle) {
+                    message.push_str(&format!(" (nearest match: line {line}: `{text}`)"));
+                }
+                Diagnostic {
+                    file: "tidy.allow".to_string(),
+                    line: entry.line,
+                    lint: "unused-allow".to_string(),
+                    message,
+                }
             })
             .collect()
     }
 }
 
+/// The line of `rel_path` most similar to `needle` (longest common
+/// substring), when the similarity is meaningful — at least half the
+/// needle must survive. Returns `(1-based line, trimmed text)`.
+fn nearest_line(ws: &Workspace, rel_path: &str, needle: &str) -> Option<(usize, String)> {
+    let lines: Vec<(usize, &str)> = if let Some(f) =
+        ws.rust_files.iter().find(|f| f.rel_path == rel_path)
+    {
+        f.lines.iter().map(|l| (l.number, l.text.as_str())).collect()
+    } else if let Some(m) = ws.manifests.iter().find(|m| m.rel_path == rel_path) {
+        m.text.lines().enumerate().map(|(i, t)| (i + 1, t)).collect()
+    } else {
+        return None;
+    };
+    let (mut best, mut best_score) = (None, 0usize);
+    for (number, text) in lines {
+        let score = longest_common_substring(needle, text);
+        if score > best_score {
+            best_score = score;
+            best = Some((number, text.trim().to_string()));
+        }
+    }
+    if best_score * 2 >= needle.len() {
+        best
+    } else {
+        None
+    }
+}
+
+/// Length of the longest common substring of `a` and `b` (bytes; two
+/// rolling DP rows — needles and lines are short).
+fn longest_common_substring(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    let mut best = 0;
+    for &ca in a {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb { prev[j] + 1 } else { 0 };
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::SourceFile;
+
+    fn ws_with(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            rust_files: files
+                .iter()
+                .map(|(p, t)| SourceFile::parse(p, t))
+                .collect(),
+            manifests: Vec::new(),
+            crate_dirs: Vec::new(),
+            design_md: None,
+            changes_md: None,
+        }
+    }
 
     #[test]
     fn parses_and_matches_entries() {
@@ -167,7 +236,7 @@ no-unwrap crates/core/src/parallel.rs -- .lock() -- worker panics propagate via 
         ));
         assert!(!list.allows("no-unwrap", "crates/core/src/join.rs", ".lock()"));
         assert!(!list.allows("ordering-comment", "crates/core/src/parallel.rs", ".lock()"));
-        assert!(list.unused_entries().is_empty());
+        assert!(list.unused_entries(&ws_with(&[])).is_empty());
     }
 
     #[test]
@@ -181,9 +250,30 @@ no-unwrap crates/a.rs -- x --
         let list = AllowList::parse(text);
         assert_eq!(list.parse_diags.len(), 3, "{:?}", list.parse_diags);
         assert!(list.parse_diags.iter().all(|d| d.lint == "allow-syntax"));
-        let unused = list.unused_entries();
+        let unused = list.unused_entries(&ws_with(&[]));
         assert_eq!(unused.len(), 1);
         assert_eq!(unused[0].line, 1);
         assert_eq!(unused[0].lint, "unused-allow");
+    }
+
+    #[test]
+    fn unused_entries_name_the_nearest_current_line() {
+        let text = "no-unwrap crates/a.rs -- value.expect(\"profiles exist\") -- stale\n";
+        let list = AllowList::parse(text);
+        let ws = ws_with(&[(
+            "crates/a.rs",
+            "fn f() {}\nlet x = value.expect(\"profile exists\");\nfn g() {}\n",
+        )]);
+        let unused = list.unused_entries(&ws);
+        assert_eq!(unused.len(), 1);
+        assert!(
+            unused[0].message.contains("nearest match: line 2"),
+            "{}",
+            unused[0].message
+        );
+        // A needle with no meaningful echo in the file stays bare.
+        let stale = AllowList::parse("no-unwrap crates/a.rs -- zzz_qqq_www_never -- stale\n");
+        let bare = stale.unused_entries(&ws);
+        assert!(!bare[0].message.contains("nearest match"), "{}", bare[0].message);
     }
 }

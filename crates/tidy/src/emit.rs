@@ -1,0 +1,98 @@
+//! Machine-readable diagnostic emission (`tidy --emit=json`).
+//!
+//! One stable, schema-versioned JSON document for CI artifacts and
+//! editor tooling. Hand-rolled like `usj-obs`'s snapshot writer — this
+//! crate is std-only by contract, and the schema is small enough that a
+//! serializer would be the heavier dependency in every sense.
+//!
+//! The schema is pinned by `tests/emit_json.rs`; bump the `schema` tag
+//! on any shape change.
+
+use crate::Diagnostic;
+
+/// The schema identifier embedded in every document.
+pub const SCHEMA: &str = "usj-tidy-diagnostics/v1";
+
+/// Renders diagnostics as a single-line JSON document:
+///
+/// ```json
+/// {"schema":"usj-tidy-diagnostics/v1","lints":[…],"count":N,
+///  "diagnostics":[{"file":"…","line":N,"lint":"…","message":"…"},…]}
+/// ```
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    push_json_str(&mut out, SCHEMA);
+    out.push_str(",\"lints\":[");
+    for (i, name) in crate::LINT_NAMES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, name);
+    }
+    out.push_str("],\"count\":");
+    out.push_str(&diags.len().to_string());
+    out.push_str(",\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"file\":");
+        push_json_str(&mut out, &d.file);
+        out.push_str(",\"line\":");
+        out.push_str(&d.line.to_string());
+        out.push_str(",\"lint\":");
+        push_json_str(&mut out, &d.lint);
+        out.push_str(",\"message\":");
+        push_json_str(&mut out, &d.message);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Appends `s` as a JSON string literal (quotes, backslashes, and
+/// control characters escaped).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_counts() {
+        let diags = vec![Diagnostic {
+            file: "a.rs".to_string(),
+            line: 3,
+            lint: "no-unwrap".to_string(),
+            message: "say \"no\"\\ to\npanics".to_string(),
+        }];
+        let json = to_json(&diags);
+        assert!(json.starts_with("{\"schema\":\"usj-tidy-diagnostics/v1\""));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\\\"no\\\"\\\\ to\\npanics"));
+        assert!(!json.contains('\n'), "document must be single-line");
+    }
+
+    #[test]
+    fn empty_input_is_a_valid_empty_document() {
+        let json = to_json(&[]);
+        assert!(json.contains("\"count\":0,\"diagnostics\":[]"));
+    }
+}

@@ -1,0 +1,414 @@
+//! The brace tree: every token assigned to a function / impl / mod /
+//! trait extent.
+//!
+//! Built in one pass over the token stream from [`crate::tokenizer`]:
+//! item keywords (`fn`, `mod`, `impl`, `trait`) open an extent at the `{`
+//! that follows their header, the matching `}` closes it, and every token
+//! in between records the innermost open extent. Closures and expression
+//! braces change depth but never open extents, so tokens inside a closure
+//! belong to the enclosing function — which is exactly the granularity
+//! the contract lints reason at ("in the same extent as…").
+//!
+//! `#[cfg(test)]` / `#[test]` attributes mark an extent (and everything
+//! nested in it) as test code; the lints that exempt tests key off that.
+
+use crate::tokenizer::{Kind, Token};
+
+/// What kind of item an extent is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtentKind {
+    /// A `fn` body.
+    Fn,
+    /// An `impl` block.
+    Impl,
+    /// A `mod` body.
+    Mod,
+    /// A `trait` body.
+    Trait,
+}
+
+/// One extent: an item and its brace-delimited body.
+#[derive(Debug, Clone)]
+pub struct Extent {
+    /// Item kind.
+    pub kind: ExtentKind,
+    /// Item name (for `impl`, the implemented-for type's last path word).
+    pub name: String,
+    /// 1-based line of the item keyword.
+    pub header_line: usize,
+    /// Token-index range of the body, **inclusive** of both braces.
+    pub body: (usize, usize),
+    /// Enclosing extent, if any.
+    pub parent: Option<usize>,
+    /// `true` when this extent (or an ancestor) is gated by
+    /// `#[cfg(test)]` or marked `#[test]`.
+    pub is_test: bool,
+}
+
+/// All extents of one file plus the token → innermost-extent map.
+#[derive(Debug, Default)]
+pub struct Extents {
+    /// Extents in opening order.
+    pub extents: Vec<Extent>,
+    /// For each token index, the innermost extent containing it (the
+    /// body braces belong to the extent they delimit).
+    pub token_extent: Vec<Option<usize>>,
+}
+
+impl Extents {
+    /// The innermost **function** extent containing token `ti` (walking
+    /// out through impl/mod extents).
+    pub fn enclosing_fn(&self, ti: usize) -> Option<usize> {
+        let mut cur = *self.token_extent.get(ti)?;
+        while let Some(e) = cur {
+            if self.extents[e].kind == ExtentKind::Fn {
+                return Some(e);
+            }
+            cur = self.extents[e].parent;
+        }
+        None
+    }
+
+    /// `true` when token `ti` sits inside test code.
+    pub fn in_test(&self, ti: usize) -> bool {
+        self.token_extent
+            .get(ti)
+            .copied()
+            .flatten()
+            .is_some_and(|e| self.extents[e].is_test)
+    }
+}
+
+/// Does an attribute's text gate test code? Covers `#[test]`,
+/// `#[cfg(test)]` (with any extra cfg predicates), and harness variants
+/// like `#[tokio::test]`.
+fn attr_is_test(attr: &str) -> bool {
+    let a = attr.trim();
+    a == "test" || a.contains("cfg(test") || a.ends_with("::test")
+}
+
+/// Item keywords that clear pending attributes without opening a tracked
+/// extent (their attributes must not leak onto the next tracked item).
+const ATTR_SINKS: [&str; 9] = [
+    "struct",
+    "enum",
+    "union",
+    "static",
+    "const",
+    "use",
+    "type",
+    "macro_rules",
+    "extern",
+];
+
+/// Builds the extent tree for one tokenized file.
+pub fn build(src: &str, toks: &[Token]) -> Extents {
+    let mut out = Extents {
+        extents: Vec::new(),
+        token_extent: vec![None; toks.len()],
+    };
+    // (extent index, depth at which its body `{` was consumed)
+    let mut stack: Vec<(usize, i64)> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut pending_test = false;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Record the innermost open extent for this token before any
+        // push/pop triggered by it (so a closing `}` still belongs to the
+        // extent it closes, and a header's tokens belong to the parent).
+        out.token_extent[i] = stack.last().map(|&(e, _)| e);
+
+        let t = &toks[i];
+        if t.is_trivia() {
+            i += 1;
+            continue;
+        }
+        let text = t.text(src);
+        match t.kind {
+            Kind::Punct if text == "#" => {
+                // `#[attr]` (outer) — collect its text; `#![attr]` (inner)
+                // applies to the enclosing item, not the next one: skip.
+                let (attr, next, inner) = scan_attribute(src, toks, i);
+                if let Some(attr) = attr {
+                    for j in i..next {
+                        out.token_extent[j] = stack.last().map(|&(e, _)| e);
+                    }
+                    if !inner {
+                        pending_test = pending_test || attr_is_test(&attr);
+                        pending_attrs.push(attr);
+                    }
+                    i = next;
+                    continue;
+                }
+                i += 1;
+            }
+            Kind::Punct if text == "{" => {
+                depth += 1;
+                pending_attrs.clear();
+                pending_test = false;
+                i += 1;
+            }
+            Kind::Punct if text == "}" => {
+                depth -= 1;
+                while let Some(&(e, open_depth)) = stack.last() {
+                    if depth < open_depth {
+                        out.extents[e].body.1 = i;
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                pending_attrs.clear();
+                pending_test = false;
+                i += 1;
+            }
+            Kind::Punct if text == ";" => {
+                pending_attrs.clear();
+                pending_test = false;
+                i += 1;
+            }
+            Kind::Word => {
+                let kind = match text {
+                    "fn" => Some(ExtentKind::Fn),
+                    "mod" => Some(ExtentKind::Mod),
+                    "impl" => Some(ExtentKind::Impl),
+                    "trait" => Some(ExtentKind::Trait),
+                    _ => None,
+                };
+                if let Some(kind) = kind {
+                    let header_line = t.line;
+                    let is_test_here = pending_test;
+                    pending_attrs.clear();
+                    pending_test = false;
+                    // Find the body `{` (or `;` for a bodyless
+                    // declaration) at bracket depth 0 relative to here,
+                    // collecting the last word seen for the name.
+                    let mut name = String::new();
+                    let mut j = i + 1;
+                    let mut bracket = 0i64;
+                    let mut body_open: Option<usize> = None;
+                    while j < toks.len() {
+                        let u = &toks[j];
+                        if u.is_trivia() {
+                            j += 1;
+                            continue;
+                        }
+                        let ut = u.text(src);
+                        match ut {
+                            "(" | "[" => bracket += 1,
+                            ")" | "]" => bracket -= 1,
+                            "{" if bracket == 0 => {
+                                body_open = Some(j);
+                                break;
+                            }
+                            ";" if bracket == 0 => break,
+                            _ => {
+                                if u.kind == Kind::Word && bracket == 0 {
+                                    match kind {
+                                        // `impl Display for X {` → X: the
+                                        // last word before the brace wins.
+                                        ExtentKind::Impl => name = ut.to_string(),
+                                        // `fn name<T>(…) -> Ret {` → the
+                                        // first word, before generics and
+                                        // return-type words can overwrite.
+                                        _ if name.is_empty() => name = ut.to_string(),
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                        j += 1;
+                    }
+                    // Header tokens (through the terminator) belong to the
+                    // parent extent; a body `{` is re-assigned below.
+                    let parent_now = stack.last().map(|&(e, _)| e);
+                    for slot in &mut out.token_extent[i..(j + 1).min(toks.len())] {
+                        *slot = parent_now;
+                    }
+                    if let Some(open) = body_open {
+                        let parent = stack.last().map(|&(e, _)| e);
+                        let is_test =
+                            is_test_here || parent.is_some_and(|p| out.extents[p].is_test);
+                        let e = out.extents.len();
+                        out.extents.push(Extent {
+                            kind,
+                            name,
+                            header_line,
+                            body: (open, open),
+                            parent,
+                            is_test,
+                        });
+                        // The `{` itself belongs to the new extent.
+                        out.token_extent[open] = Some(e);
+                        depth += 1;
+                        stack.push((e, depth));
+                        i = open + 1;
+                        continue;
+                    }
+                    // Declaration without a body (trait method, extern fn).
+                    i = j + 1;
+                    continue;
+                }
+                if ATTR_SINKS.contains(&text) {
+                    pending_attrs.clear();
+                    pending_test = false;
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans an attribute starting at the `#` token. Returns
+/// `(Some(text-between-brackets), index-after-`]`, is_inner)`; `None`
+/// when the `#` is not followed by `[` / `![`.
+fn scan_attribute(src: &str, toks: &[Token], hash: usize) -> (Option<String>, usize, bool) {
+    let mut j = hash + 1;
+    while j < toks.len() && toks[j].is_trivia() {
+        j += 1;
+    }
+    let mut inner = false;
+    if j < toks.len() && toks[j].text(src) == "!" {
+        inner = true;
+        j += 1;
+        while j < toks.len() && toks[j].is_trivia() {
+            j += 1;
+        }
+    }
+    if j >= toks.len() || toks[j].text(src) != "[" {
+        return (None, hash + 1, false);
+    }
+    let content_start = toks[j].end;
+    let mut depth = 0i64;
+    while j < toks.len() {
+        match toks[j].text(src) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    let text = src[content_start..toks[j].start].to_string();
+                    return (Some(text), j + 1, inner);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (Some(src[content_start..].to_string()), toks.len(), inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn extents_of(src: &str) -> Extents {
+        build(src, &tokenize(src))
+    }
+
+    #[test]
+    fn nested_items_form_a_tree() {
+        let src = "\
+mod outer {
+    impl Foo {
+        fn method(&self) { if x { y(); } }
+    }
+    fn free() {}
+}
+";
+        let e = extents_of(src);
+        let names: Vec<(&ExtentKind, &str, Option<usize>)> = e
+            .extents
+            .iter()
+            .map(|x| (&x.kind, x.name.as_str(), x.parent))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                (&ExtentKind::Mod, "outer", None),
+                (&ExtentKind::Impl, "Foo", Some(0)),
+                (&ExtentKind::Fn, "method", Some(1)),
+                (&ExtentKind::Fn, "free", Some(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_gates_nested_extents() {
+        let src = "\
+fn hot() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn check() { hot(); }
+}
+fn after() {}
+";
+        let e = extents_of(src);
+        assert!(!e.extents[0].is_test);
+        assert!(e.extents[1].is_test, "{:?}", e.extents[1]);
+        assert!(e.extents[2].is_test);
+        assert!(!e.extents[3].is_test);
+    }
+
+    #[test]
+    fn attributes_do_not_leak_past_untracked_items() {
+        let src = "\
+#[cfg(test)]
+struct OnlyForTests;
+fn not_a_test() {}
+";
+        let e = extents_of(src);
+        assert_eq!(e.extents.len(), 1);
+        assert!(!e.extents[0].is_test);
+    }
+
+    #[test]
+    fn impl_for_names_the_type_and_closures_stay_inline() {
+        let src = "\
+impl std::fmt::Display for SearchAbort {
+    fn fmt(&self) { items.iter().map(|x| { x + 1 }).sum() }
+}
+";
+        let e = extents_of(src);
+        assert_eq!(e.extents[0].name, "SearchAbort");
+        assert_eq!(e.extents.len(), 2, "closure braces must not open extents");
+    }
+
+    #[test]
+    fn trait_method_declarations_open_no_extent() {
+        let src = "trait T { fn decl(&self); fn with_body(&self) {} }";
+        let e = extents_of(src);
+        let fns: Vec<&str> = e
+            .extents
+            .iter()
+            .filter(|x| x.kind == ExtentKind::Fn)
+            .map(|x| x.name.as_str())
+            .collect();
+        assert_eq!(fns, vec!["with_body"]);
+    }
+
+    #[test]
+    fn tokens_map_to_innermost_extent() {
+        let src = "fn a() { inner(); }\nfn b() { other(); }";
+        let toks = tokenize(src);
+        let e = build(src, &toks);
+        let inner_ti = toks
+            .iter()
+            .position(|t| t.text(src) == "inner")
+            .unwrap();
+        let other_ti = toks
+            .iter()
+            .position(|t| t.text(src) == "other")
+            .unwrap();
+        assert_eq!(e.token_extent[inner_ti], Some(0));
+        assert_eq!(e.token_extent[other_ti], Some(1));
+        assert_eq!(e.enclosing_fn(other_ti), Some(1));
+    }
+}

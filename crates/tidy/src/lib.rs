@@ -9,7 +9,7 @@
 //!
 //! | lint | enforces |
 //! |------|----------|
-//! | `no-unwrap` | no `unwrap()`/`expect()`/`panic!` in hot-path modules |
+//! | `no-unwrap` | no `unwrap()`/`expect()`/`unwrap_unchecked()`/`panic!` in hot-path modules |
 //! | `ordering-comment` | every atomic `Ordering::…` carries an `// ordering:` justification |
 //! | `unsafe-safety` | every `unsafe` block carries a `// safety:` justification (declarations exempt) |
 //! | `metrics-registered` | every recorded `Counter`/`Gauge` is declared, in `ALL`, named, and pinned by the golden schema test |
@@ -17,20 +17,35 @@
 //! | `doc-drift` | `DESIGN.md` inventories every crate; `CHANGES.md` has one consecutive `- PR n:` line per PR |
 //! | `socket-timeout` | no blocking socket read in `crates/serve/src/` without a prior `set_read_timeout` |
 //! | `span-paired` | every manual `enter_phase` in `crates/{core,serve}/src/` is exited in-file, with no early `return`/`?` while open (RAII `PhaseGuard` is exempt) |
+//! | `budget-loop` | every loop in a probe/search fn (budget-scoped files) consults `ProbeBudget`/deadline/cancel in its body |
+//! | `failpoint-coverage` | every `catch_unwind` carries a named failpoint in-extent; fault-plan names resolve; every failpoint is test-exercised |
+//! | `lock-discipline` | no lock guard stays live across `catch_unwind`, a failpoint, blocking I/O, or `sleep` |
+//!
+//! Since PR 8 the engine is token-aware: a string/char/raw-string/comment
+//! tokenizer ([`tokenizer`]) feeds a brace-tree of fn/impl/mod/test
+//! extents ([`extent`]) and a workspace failpoint symbol table
+//! ([`symbols`]); the line lints consume masked per-line views
+//! ([`source`]) derived from the same stream, so neither granularity can
+//! be fooled by literals, comments, or multi-line constructs.
 //!
 //! Exceptions live in `tidy.allow` at the workspace root — line-granular,
 //! content-matched, and reason-bearing (see [`allow`]). Unused entries are
 //! themselves diagnostics, so the allowlist can only shrink.
 //!
 //! Run as `cargo run -p usj-tidy`; exits non-zero with `file:line: lint:
-//! message` diagnostics on any violation. Like `usj-obs`, this crate is
+//! message` diagnostics on any violation (`--emit=json` for the
+//! machine-readable stream, see [`emit`]). Like `usj-obs`, this crate is
 //! **std-only by design** — it must build where crates.io is unreachable.
 
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod emit;
+pub mod extent;
 pub mod lints;
 pub mod source;
+pub mod symbols;
+pub mod tokenizer;
 
 use std::path::{Path, PathBuf};
 
@@ -38,7 +53,7 @@ use allow::AllowList;
 use source::SourceFile;
 
 /// Every lint name, for allowlist validation and `--help` output.
-pub const LINT_NAMES: [&str; 8] = [
+pub const LINT_NAMES: [&str; 11] = [
     "no-unwrap",
     "ordering-comment",
     "unsafe-safety",
@@ -47,6 +62,9 @@ pub const LINT_NAMES: [&str; 8] = [
     "doc-drift",
     "socket-timeout",
     "span-paired",
+    "budget-loop",
+    "failpoint-coverage",
+    "lock-discipline",
 ];
 
 /// Directory names never walked: build artifacts, VCS state, the offline
@@ -195,6 +213,9 @@ pub fn run_tidy(root: &Path) -> Vec<Diagnostic> {
     raw.extend(lints::doc_drift(&ws));
     raw.extend(lints::socket_timeout(&ws.rust_files));
     raw.extend(lints::span_paired(&ws.rust_files));
+    raw.extend(lints::budget_loop(&ws.rust_files));
+    raw.extend(lints::failpoint_coverage(&ws));
+    raw.extend(lints::lock_discipline(&ws.rust_files));
 
     let mut diags: Vec<Diagnostic> = Vec::new();
     for diag in raw {
@@ -205,11 +226,14 @@ pub fn run_tidy(root: &Path) -> Vec<Diagnostic> {
         diags.push(diag);
     }
     diags.extend(allow.parse_diags.iter().cloned());
-    diags.extend(allow.unused_entries());
+    diags.extend(allow.unused_entries(&ws));
     diags.sort_by(|a, b| {
         (&a.file, a.line, &a.lint, &a.message).cmp(&(&b.file, b.line, &b.lint, &b.message))
     });
-    diags.dedup();
+    // One diagnostic per (file, line, lint): a line tripping several
+    // patterns of the same lint reads as noise, not signal. Sorting
+    // first makes the survivor (smallest message) deterministic.
+    diags.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.lint == b.lint);
     diags
 }
 

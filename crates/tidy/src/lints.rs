@@ -5,10 +5,23 @@
 //! All lints are textual: they never fail on unparseable code, they just
 //! stop matching — the compiler is the authority on syntax, tidy is the
 //! authority on project policy.
+//!
+//! Two granularities coexist deliberately:
+//!
+//! * **token lints** match sequences in the trivia-free token stream
+//!   (`no-unwrap`, `ordering-comment`, `unsafe-safety`, and the three
+//!   extent lints) — multi-line constructs, comments, and string
+//!   literals cannot fool them;
+//! * **line lints** keep per-line state machines over the masked code
+//!   view (`socket-timeout`, `span-paired`, `metrics-registered`) where
+//!   "earlier in this file" is the natural unit of reasoning.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::extent::ExtentKind;
 use crate::source::SourceFile;
+use crate::symbols::{self, is_failpoint_name, str_content};
+use crate::tokenizer::Kind;
 use crate::{Diagnostic, Workspace};
 
 /// Files where panicking combinators are forbidden outside test code:
@@ -29,36 +42,90 @@ fn is_hot_path(rel_path: &str) -> bool {
     HOT_PATH_FILES.contains(&rel_path) || HOT_PATH_DIRS.iter().any(|d| rel_path.starts_with(d))
 }
 
-/// `no-unwrap`: `.unwrap()` / `.expect(` / `panic!` in hot-path modules.
+/// Is a `needle` justification present on the site token `ti`'s line or
+/// within the `reach` **code** lines above it? Blank, comment-only, and
+/// attribute lines are checked but never consume the budget — a
+/// justification does not fall out of reach because prose, spacing, or an
+/// attribute sits under it. The walk is scoped to the site's enclosing
+/// `fn` extent: a code line with no token of that extent ends it, so a
+/// comment inside the *previous* function can never justify this site.
+fn justified_within(file: &SourceFile, ti: usize, reach: usize, needle: &str) -> bool {
+    let i = file.toks[ti].line - 1;
+    if file.lines[i].text.contains(needle) {
+        return true;
+    }
+    let site_fn = file.extents.enclosing_fn(ti);
+    let mut same_fn = vec![false; i];
+    if site_fn.is_some() {
+        for (k, t) in file.toks.iter().enumerate() {
+            let ln = t.line - 1;
+            if ln < i && !t.is_trivia() && file.extents.enclosing_fn(k) == site_fn {
+                same_fn[ln] = true;
+            }
+        }
+    }
+    let mut budget = reach;
+    for j in (0..i).rev() {
+        let line = &file.lines[j];
+        if line.text.contains(needle) {
+            return true;
+        }
+        if line.comment_only || line.text.trim_start().starts_with("#[") {
+            continue;
+        }
+        if site_fn.is_some() && !same_fn[j] {
+            return false;
+        }
+        budget -= 1;
+        if budget == 0 {
+            return false;
+        }
+    }
+    false
+}
+
+/// `no-unwrap`: `.unwrap()` / `.expect(` / `.unwrap_unchecked(` /
+/// `panic!` in hot-path modules.
 ///
 /// A panic inside the probe loop aborts the whole join (and under the
 /// parallel driver, poisons shared state for every worker). Hot-path code
 /// must either handle the case or carry an allowlisted, reason-bearing
-/// `expect` documenting why the invariant cannot fail.
+/// `expect` documenting why the invariant cannot fail. Matching is
+/// token-sequence based, so a chain split across lines
+/// (`.foo()\n    .unwrap()`) is caught at the `unwrap` token's line.
 pub fn no_unwrap(files: &[SourceFile]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for file in files {
         if !is_hot_path(&file.rel_path) {
             continue;
         }
-        for line in &file.lines {
-            if line.comment_only || line.in_test {
+        let m = file.meaningful();
+        for w in 0..m.len() {
+            let ti = m[w];
+            if file.toks[ti].kind != Kind::Word {
                 continue;
             }
-            let code = line.code();
-            for pattern in [".unwrap()", ".expect(", "panic!"] {
-                if code.contains(pattern) {
-                    diags.push(Diagnostic {
-                        file: file.rel_path.clone(),
-                        line: line.number,
-                        lint: "no-unwrap".to_string(),
-                        message: format!(
-                            "`{pattern}` in hot-path module — handle the error or allowlist \
-                             with a reason in tidy.allow"
-                        ),
-                    });
-                }
+            let text = |k: usize| m.get(k).map(|&t| file.tok_text(t)).unwrap_or("");
+            let after_dot = w > 0 && text(w - 1) == ".";
+            let pattern = match file.tok_text(ti) {
+                "unwrap" if after_dot && text(w + 1) == "(" && text(w + 2) == ")" => ".unwrap()",
+                "expect" if after_dot && text(w + 1) == "(" => ".expect(",
+                "unwrap_unchecked" if after_dot && text(w + 1) == "(" => ".unwrap_unchecked(",
+                "panic" if text(w + 1) == "!" => "panic!",
+                _ => continue,
+            };
+            if file.tok_in_test(ti) {
+                continue;
             }
+            diags.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: file.toks[ti].line,
+                lint: "no-unwrap".to_string(),
+                message: format!(
+                    "`{pattern}` in hot-path module — handle the error or allowlist \
+                     with a reason in tidy.allow"
+                ),
+            });
         }
     }
     diags
@@ -69,13 +136,13 @@ pub fn no_unwrap(files: &[SourceFile]) -> Vec<Diagnostic> {
 /// comparison results need no fence justification.
 const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
-/// How many lines above an atomic-ordering use may carry its
-/// justification comment.
+/// How many **code** lines above an atomic-ordering use may carry its
+/// justification comment (blank/comment lines don't count).
 const ORDERING_COMMENT_REACH: usize = 4;
 
 /// `ordering-comment`: every atomic `Ordering::…` use must carry an
 /// `ordering:` justification on the same line or within the preceding
-/// [`ORDERING_COMMENT_REACH`] lines.
+/// [`ORDERING_COMMENT_REACH`] code lines.
 ///
 /// Memory orderings encode a proof obligation the type system cannot see
 /// (what happens-before edge makes this access sound?). PR 2's
@@ -83,44 +150,41 @@ const ORDERING_COMMENT_REACH: usize = 4;
 pub fn ordering_comment(files: &[SourceFile]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for file in files {
-        for (i, line) in file.lines.iter().enumerate() {
-            if line.comment_only {
+        let m = file.meaningful();
+        for w in 0..m.len() {
+            let ti = m[w];
+            let text = |k: usize| m.get(k).map(|&t| file.tok_text(t)).unwrap_or("");
+            if file.toks[ti].kind != Kind::Word
+                || file.tok_text(ti) != "Ordering"
+                || text(w + 1) != ":"
+                || text(w + 2) != ":"
+                || !ATOMIC_ORDERINGS.contains(&text(w + 3))
+            {
                 continue;
             }
-            let code = line.code();
-            let uses_atomic = code.match_indices("Ordering::").any(|(at, _)| {
-                let rest = &code[at + "Ordering::".len()..];
-                ATOMIC_ORDERINGS.iter().any(|o| rest.starts_with(o))
+            if justified_within(file, ti, ORDERING_COMMENT_REACH, "ordering:") {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: file.toks[ti].line,
+                lint: "ordering-comment".to_string(),
+                message: "atomic Ordering use without an `// ordering:` justification \
+                          comment on this line or the lines above"
+                    .to_string(),
             });
-            if !uses_atomic {
-                continue;
-            }
-            let lo = i.saturating_sub(ORDERING_COMMENT_REACH);
-            let justified = file.lines[lo..=i]
-                .iter()
-                .any(|l| l.text.contains("ordering:"));
-            if !justified {
-                diags.push(Diagnostic {
-                    file: file.rel_path.clone(),
-                    line: line.number,
-                    lint: "ordering-comment".to_string(),
-                    message: "atomic Ordering use without an `// ordering:` justification \
-                              comment on this line or the lines above"
-                        .to_string(),
-                });
-            }
         }
     }
     diags
 }
 
-/// How many lines above an `unsafe` block may carry its justification
-/// comment (mirrors [`ORDERING_COMMENT_REACH`]).
+/// How many **code** lines above an `unsafe` block may carry its
+/// justification comment (mirrors [`ORDERING_COMMENT_REACH`]).
 const SAFETY_COMMENT_REACH: usize = 4;
 
 /// `unsafe-safety`: every `unsafe` block must carry a `safety:`
 /// justification on the same line or within the preceding
-/// [`SAFETY_COMMENT_REACH`] lines.
+/// [`SAFETY_COMMENT_REACH`] code lines.
 ///
 /// An `unsafe` block is a claim that some obligation the compiler cannot
 /// check (bounds, feature availability, aliasing) has been discharged by
@@ -132,44 +196,32 @@ const SAFETY_COMMENT_REACH: usize = 4;
 pub fn unsafe_safety(files: &[SourceFile]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for file in files {
-        for (i, line) in file.lines.iter().enumerate() {
-            if line.comment_only || line.in_test {
+        let m = file.meaningful();
+        for w in 0..m.len() {
+            let ti = m[w];
+            if file.toks[ti].kind != Kind::Word || file.tok_text(ti) != "unsafe" {
                 continue;
             }
-            let code = line.code();
-            let bytes = code.as_bytes();
-            let opens_block = code.match_indices("unsafe").any(|(at, _)| {
-                // A word-boundary `unsafe` followed by `{` (possibly on
-                // the next line). Quote-adjacent occurrences are string
-                // literals (this lint's own source), not blocks.
-                let word_start = at == 0
-                    || !(bytes[at - 1].is_ascii_alphanumeric()
-                        || bytes[at - 1] == b'_'
-                        || bytes[at - 1] == b'"');
-                let after = &code[at + "unsafe".len()..];
-                let opens = after.is_empty()
-                    || after.starts_with('{')
-                    || after.starts_with(char::is_whitespace);
-                let declares = ["fn ", "impl ", "trait ", "extern "]
-                    .iter()
-                    .any(|kw| after.trim_start().starts_with(kw));
-                word_start && opens && !declares
+            // Only `unsafe {` opens a *block*; `unsafe fn` / `unsafe impl`
+            // / `unsafe trait` / `unsafe extern` declare.
+            let next = m.get(w + 1).map(|&t| file.tok_text(t)).unwrap_or("");
+            if next != "{" {
+                continue;
+            }
+            if file.tok_in_test(ti) {
+                continue;
+            }
+            if justified_within(file, ti, SAFETY_COMMENT_REACH, "safety:") {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: file.toks[ti].line,
+                lint: "unsafe-safety".to_string(),
+                message: "`unsafe` block without a `// safety:` justification comment \
+                          on this line or the lines above"
+                    .to_string(),
             });
-            if !opens_block {
-                continue;
-            }
-            let lo = i.saturating_sub(SAFETY_COMMENT_REACH);
-            let justified = file.lines[lo..=i].iter().any(|l| l.text.contains("safety:"));
-            if !justified {
-                diags.push(Diagnostic {
-                    file: file.rel_path.clone(),
-                    line: line.number,
-                    lint: "unsafe-safety".to_string(),
-                    message: "`unsafe` block without a `// safety:` justification comment \
-                              on this line or the lines above"
-                        .to_string(),
-                });
-            }
         }
     }
     diags
@@ -251,7 +303,9 @@ fn parse_taxonomy(lib: &SourceFile, kind: &str) -> Taxonomy {
     let mut in_enum = false;
     let mut in_all = false;
     for line in &lib.lines {
-        let code = line.code();
+        // String contents stay visible here: the `name()` arms map
+        // variants to quoted snake_names.
+        let code = line.code_with_strings();
         let trimmed = code.trim();
         if trimmed.contains(&enum_header_brace) || trimmed.ends_with(enum_header.trim_end()) {
             in_enum = true;
@@ -371,17 +425,14 @@ pub fn metrics_registered(ws: &Workspace) -> Vec<Diagnostic> {
         });
         return diags;
     };
+    // The golden check scans the file's full text on purpose: the golden
+    // snapshot lives inside a raw string, and pinned keys may also appear
+    // in commentary.
     let golden = ws
         .rust_files
         .iter()
         .find(|f| f.rel_path == OBS_GOLDEN)
-        .map(|f| {
-            f.lines
-                .iter()
-                .map(|l| l.text.as_str())
-                .collect::<Vec<_>>()
-                .join("\n")
-        })
+        .map(|f| f.text.clone())
         .unwrap_or_default();
 
     for kind in ["Counter", "Gauge"] {
@@ -440,9 +491,10 @@ pub fn metrics_registered(ws: &Workspace) -> Vec<Diagnostic> {
 /// and the Prometheus phase series.
 const SPAN_PAIRED_DIRS: [&str; 2] = ["crates/core/src/", "crates/serve/src/"];
 
-/// A `?` acting as the try operator (as opposed to `{x:?}` debug formats
-/// or a question mark inside a string literal): previous char closes an
-/// expression, next non-space char ends one.
+/// A `?` acting as the try operator (as opposed to `{x:?}` debug formats,
+/// which the masked code view hides along with every other string
+/// interior): previous char closes an expression, next non-space char
+/// ends one.
 fn has_try_operator(code: &str) -> bool {
     let bytes = code.as_bytes();
     for (i, &b) in bytes.iter().enumerate() {
@@ -634,4 +686,386 @@ pub fn doc_drift(ws: &Workspace) -> Vec<Diagnostic> {
         }
     }
     diags
+}
+
+/// The files whose probe/search extents must keep their loops budgeted
+/// (plus everything under `crates/serve/src/`).
+const BUDGET_FILES: [&str; 4] = [
+    "crates/core/src/collection.rs",
+    "crates/core/src/index.rs",
+    "crates/core/src/join.rs",
+    "crates/core/src/parallel.rs",
+];
+
+/// A loop body "consults the budget" when it mentions one of these words
+/// (`ProbeBudget`, `probe_budget`, `check_deadline`, `cancel` flags all
+/// contain one).
+const BUDGET_WORDS: [&str; 3] = ["budget", "deadline", "cancel"];
+
+fn in_budget_scope(rel_path: &str) -> bool {
+    BUDGET_FILES.contains(&rel_path) || rel_path.starts_with("crates/serve/src/")
+}
+
+/// `budget-loop`: every `loop` / `while` / `for` inside a probe/search
+/// function in the budget-scoped files must consult `ProbeBudget` /
+/// deadline / cancellation within its body.
+///
+/// The (k,τ) probe loops are where a request spends unbounded time; the
+/// serve deadline ladder and the parallel driver's cooperative
+/// cancellation only work if every such loop re-checks its budget. A loop
+/// that cannot check in-body (e.g. because per-item checks would break
+/// bit-identity with the sequential driver) must name the mechanism that
+/// bounds it in a tidy.allow reason.
+pub fn budget_loop(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in files {
+        if !in_budget_scope(&file.rel_path) {
+            continue;
+        }
+        let m = file.meaningful();
+        for e in &file.extents.extents {
+            if e.kind != ExtentKind::Fn || e.is_test {
+                continue;
+            }
+            let lname = e.name.to_lowercase();
+            if !lname.contains("probe") && !lname.contains("search") {
+                continue;
+            }
+            // Meaningful-token positions inside the extent body.
+            let start = m.partition_point(|&t| t < e.body.0);
+            let end = m.partition_point(|&t| t <= e.body.1);
+            let mut w = start;
+            while w < end {
+                let ti = m[w];
+                let kw = file.tok_text(ti);
+                let is_loop_kw = file.toks[ti].kind == Kind::Word
+                    && matches!(kw, "loop" | "while" | "for");
+                if !is_loop_kw {
+                    w += 1;
+                    continue;
+                }
+                // `for<'a>` higher-ranked bounds are not loops.
+                if kw == "for"
+                    && m.get(w + 1)
+                        .is_some_and(|&t| file.tok_text(t) == "<")
+                {
+                    w += 1;
+                    continue;
+                }
+                let Some((_open, close)) = loop_body(file, &m, w, end) else {
+                    w += 1;
+                    continue;
+                };
+                // Scan from the keyword so a `while !budget.done()`
+                // condition counts as consulting, not just the body.
+                let consults = (w..=close).any(|k| {
+                    let t = m[k];
+                    file.toks[t].kind == Kind::Word
+                        && BUDGET_WORDS
+                            .iter()
+                            .any(|b| file.tok_text(t).to_lowercase().contains(b))
+                });
+                if !consults {
+                    diags.push(Diagnostic {
+                        file: file.rel_path.clone(),
+                        line: file.toks[ti].line,
+                        lint: "budget-loop".to_string(),
+                        message: format!(
+                            "`{kw}` loop in probe/search fn `{}` never consults its \
+                             ProbeBudget/deadline — probe loops must stay cancellable; \
+                             check the budget in-body or allowlist with the bounding \
+                             mechanism as the reason",
+                            e.name
+                        ),
+                    });
+                }
+                // Continue scanning *inside* the body too (nested loops
+                // each need their own consult or inherit via contains).
+                w += 1;
+            }
+        }
+    }
+    diags
+}
+
+/// Finds the `{ … }` body of the loop keyword at meaningful-position
+/// `w`: the first `{` at paren/bracket depth 0 after the keyword, and
+/// its matching `}`. Returns meaningful-positions `(open, close)`.
+fn loop_body(file: &SourceFile, m: &[usize], w: usize, limit: usize) -> Option<(usize, usize)> {
+    let mut j = w + 1;
+    let mut depth = 0i64;
+    let open = loop {
+        if j >= limit {
+            return None;
+        }
+        match file.tok_text(m[j]) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break j,
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    };
+    let mut braces = 0i64;
+    for k in open..limit {
+        match file.tok_text(m[k]) {
+            "{" => braces += 1,
+            "}" => {
+                braces -= 1;
+                if braces == 0 {
+                    return Some((open, k));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((open, limit.saturating_sub(1)))
+}
+
+/// `failpoint-coverage`: the failpoint economy must balance, in both
+/// directions, across the whole workspace:
+///
+/// 1. every non-test `catch_unwind` recovery site carries a named
+///    failpoint in the same fn extent (directly, or one call away via a
+///    helper that fires) — otherwise the fault suites cannot exercise
+///    the recovery path;
+/// 2. every failpoint name referenced by a fault-plan spec or arming
+///    call resolves to a defined point (a typo'd name silently never
+///    fires);
+/// 3. every defined failpoint is referenced by at least one test-side
+///    string (a point no suite arms is dead weight).
+pub fn failpoint_coverage(ws: &Workspace) -> Vec<Diagnostic> {
+    let table = symbols::failpoints(&ws.rust_files);
+    let mut diags = Vec::new();
+
+    // (1) catch_unwind sites.
+    for file in &ws.rust_files {
+        let m = file.meaningful();
+        for w in 0..m.len() {
+            let ti = m[w];
+            if file.toks[ti].kind != Kind::Word
+                || file.tok_text(ti) != "catch_unwind"
+                || m.get(w + 1).map(|&t| file.tok_text(t)) != Some("(")
+                || file.tok_in_test(ti)
+            {
+                continue;
+            }
+            let Some(e) = file.extents.enclosing_fn(ti) else {
+                continue;
+            };
+            let ext = &file.extents.extents[e];
+            let start = m.partition_point(|&t| t < ext.body.0);
+            let end = m.partition_point(|&t| t <= ext.body.1);
+            let covered = (start..end).any(|k| {
+                let t = m[k];
+                match file.toks[t].kind {
+                    // A named failpoint in the extent (as a carrier
+                    // argument or a forwarded name).
+                    Kind::Str => is_failpoint_name(str_content(file.tok_text(t))),
+                    // A call to a helper that fires directly.
+                    Kind::Word => {
+                        table.fn_fires.contains(file.tok_text(t))
+                            && m.get(k + 1).map(|&n| file.tok_text(n)) == Some("(")
+                    }
+                    _ => false,
+                }
+            });
+            if !covered {
+                diags.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: file.toks[ti].line,
+                    lint: "failpoint-coverage".to_string(),
+                    message: format!(
+                        "`catch_unwind` in fn `{}` without a named failpoint in the same \
+                         extent — fault-injection tests cannot reach this recovery path; \
+                         add a `fail_point!` or allowlist naming where the coverage lives",
+                        ext.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // (2) strict references resolve.
+    for (name, file, line) in &table.strict_refs {
+        if !table.defined.contains_key(name) && !table.defined_test.contains(name) {
+            diags.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                lint: "failpoint-coverage".to_string(),
+                message: format!(
+                    "fault plan references failpoint `{name}`, which is defined nowhere \
+                     in source — the injection would silently never fire"
+                ),
+            });
+        }
+    }
+
+    // (3) every defined point is exercised.
+    for (name, def) in &table.defined {
+        if !table.test_literals.iter().any(|l| l.contains(name)) {
+            diags.push(Diagnostic {
+                file: def.file.clone(),
+                line: def.line,
+                lint: "failpoint-coverage".to_string(),
+                message: format!(
+                    "failpoint `{name}` is never referenced by any test or fault plan — \
+                     add a fault-suite case or remove the dead injection point"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Directories where lock guards must not outlive hazards.
+const LOCK_DIRS: [&str; 2] = ["crates/core/src/", "crates/serve/src/"];
+
+/// Method calls that block on a peer (or the clock) indefinitely from a
+/// guard's point of view.
+const GUARD_BLOCKING: [&str; 6] = [
+    "read_line",
+    "read_to_string",
+    "read_exact",
+    "read_to_end",
+    "accept",
+    "connect",
+];
+
+/// `lock-discipline`: no `Mutex`/`RwLock` guard binding may stay live
+/// across a `catch_unwind`, a failpoint, a blocking I/O call, or a sleep
+/// within its extent.
+///
+/// A panic caught while a guard is held poisons the lock for every other
+/// worker; a failpoint is *by design* a place where tests inject panics
+/// and delays; a blocking read holds the lock for as long as the peer
+/// stalls. The fix is always the same: narrow the guard's scope (block
+/// or `drop(guard)`) before the hazard.
+pub fn lock_discipline(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in files {
+        if !LOCK_DIRS.iter().any(|d| file.rel_path.starts_with(d)) {
+            continue;
+        }
+        let m = file.meaningful();
+        let text = |k: usize| m.get(k).map(|&t| file.tok_text(t)).unwrap_or("");
+        let mut guards: Vec<GuardInfo> = Vec::new();
+        let mut depth = 0i64;
+        for w in 0..m.len() {
+            let ti = m[w];
+            let tok = file.tok_text(ti);
+            match tok {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                "drop" if text(w + 1) == "(" && text(w + 3) == ")" => {
+                    let dropped = text(w + 2).to_string();
+                    guards.retain(|g| g.name != dropped);
+                }
+                "let" => {
+                    if let Some(g) = guard_binding(file, &m, w, depth) {
+                        if !file.tok_in_test(ti) {
+                            guards.push(g);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if guards.iter().all(|g| g.live_from > w) {
+                continue;
+            }
+            if file.tok_in_test(ti) || file.toks[ti].kind != Kind::Word {
+                continue;
+            }
+            let hazard = match tok {
+                "catch_unwind" if text(w + 1) == "(" => Some("catch_unwind"),
+                "fail_point" if text(w + 1) == "!" => Some("fail_point!"),
+                "fire" | "fire_err" if text(w + 1) == "(" => Some("a failpoint"),
+                "sleep" if text(w + 1) == "(" => Some("sleep"),
+                b if GUARD_BLOCKING.contains(&b) && text(w + 1) == "(" && w > 0 && text(w - 1) == "." => {
+                    Some("blocking I/O")
+                }
+                _ => None,
+            };
+            let Some(hazard) = hazard else { continue };
+            for g in guards.iter().filter(|g| g.live_from <= w) {
+                diags.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: file.toks[ti].line,
+                    lint: "lock-discipline".to_string(),
+                    message: format!(
+                        "lock guard `{}` (acquired on line {}) is live across {hazard} \
+                         (`{tok}`) — a panic or stall here holds the lock; drop or \
+                         re-scope the guard first",
+                        g.name, g.line
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Parses a `let [mut] name [: Type] = init;` at meaningful-position `w`
+/// and decides whether `init`/`Type` acquires a lock guard: a `.lock(`
+/// call, a guard type name, or an argument-less `.read()` / `.write()`
+/// (the `RwLock` shape — I/O reads and writes always take arguments).
+fn guard_binding(file: &SourceFile, m: &[usize], w: usize, depth: i64) -> Option<GuardInfo> {
+    let text = |k: usize| m.get(k).map(|&t| file.tok_text(t)).unwrap_or("");
+    let mut j = w + 1;
+    if text(j) == "mut" {
+        j += 1;
+    }
+    let name_ti = *m.get(j)?;
+    if file.toks[name_ti].kind != Kind::Word {
+        return None;
+    }
+    let name = file.tok_text(name_ti).to_string();
+    if !matches!(text(j + 1), "=" | ":") {
+        return None; // destructuring / pattern bindings: out of scope
+    }
+    // Scan the initializer (and annotation) to the terminating `;` at
+    // bracket depth 0, looking for the guard shapes.
+    let mut k = j + 1;
+    let mut inner = 0i64;
+    let mut is_guard = false;
+    while k < m.len() {
+        match text(k) {
+            "(" | "[" | "{" => inner += 1,
+            ")" | "]" | "}" => inner -= 1,
+            ";" if inner == 0 => break,
+            "lock" if text(k - 1) == "." && text(k + 1) == "(" => is_guard = true,
+            "read" | "write" if text(k - 1) == "." && text(k + 1) == "(" && text(k + 2) == ")" => {
+                is_guard = true
+            }
+            "MutexGuard" | "RwLockReadGuard" | "RwLockWriteGuard" => is_guard = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    if !is_guard {
+        return None;
+    }
+    Some(GuardInfo {
+        name,
+        depth,
+        line: file.toks[name_ti].line,
+        live_from: k,
+    })
+}
+
+/// A live lock-guard binding (see [`lock_discipline`]).
+struct GuardInfo {
+    /// Binding name (what `drop(name)` releases).
+    name: String,
+    /// Brace depth at the binding — the guard dies when its block closes.
+    depth: i64,
+    /// 1-based line of the binding.
+    line: usize,
+    /// Meaningful-token position of the terminating `;`: the guard is
+    /// only live *after* its initializer completes.
+    live_from: usize,
 }

@@ -1,4 +1,4 @@
-//! Thin CLI wrapper: `cargo run -p usj-tidy [-- --root PATH]`.
+//! Thin CLI wrapper: `cargo run -p usj-tidy [-- --root PATH] [--emit=json]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,9 +15,16 @@ fn find_root() -> Option<PathBuf> {
     }
 }
 
+#[derive(PartialEq)]
+enum Emit {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
+    let mut emit = Emit::Text;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -28,14 +35,19 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--emit=json" => emit = Emit::Json,
+            "--emit=text" => emit = Emit::Text,
             "--help" | "-h" => {
                 println!(
                     "usj-tidy — workspace static-analysis pass\n\n\
-                     USAGE: usj-tidy [--root PATH]\n\n\
+                     USAGE: usj-tidy [--root PATH] [--emit=text|json]\n\n\
                      Lints: {}\n\
                      Exceptions: tidy.allow at the workspace root \
-                     (`<lint> <path> -- <substring> -- <reason>`)",
-                    usj_tidy::LINT_NAMES.join(", ")
+                     (`<lint> <path> -- <substring> -- <reason>`)\n\
+                     --emit=json writes a schema-pinned diagnostic document \
+                     ({}) to stdout for CI artifacts.",
+                    usj_tidy::LINT_NAMES.join(", "),
+                    usj_tidy::emit::SCHEMA
                 );
                 return ExitCode::SUCCESS;
             }
@@ -51,6 +63,14 @@ fn main() -> ExitCode {
     };
 
     let diags = usj_tidy::run_tidy(&root);
+    if emit == Emit::Json {
+        println!("{}", usj_tidy::emit::to_json(&diags));
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if diags.is_empty() {
         println!(
             "tidy: workspace clean ({} lints)",

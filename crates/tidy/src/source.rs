@@ -1,11 +1,23 @@
-//! Line-classified view of one Rust source file.
+//! Token-classified view of one Rust source file.
 //!
-//! The lints are textual (rustc-`tidy` style, no syn/proc-macro), so the
-//! classifier only needs to answer two questions per line: *is this line
-//! comment-only* (doc or plain — lints never fire on prose) and *is it
-//! inside a `#[cfg(test)]` module* (test code may unwrap freely). Both are
-//! answered with a single forward pass that tracks brace depth from the
-//! `#[cfg(test)]` attribute to the closing brace of the module it gates.
+//! A [`SourceFile`] owns the raw text, its token stream
+//! ([`crate::tokenizer`]), the extent tree ([`crate::extent`]), and a
+//! per-line projection of both. The per-line view is what the line lints
+//! consume; it is derived from the tokens, so its notion of "code" is
+//! string- and comment-accurate:
+//!
+//! * [`Line::code`] is the line's slice of the **masked code view** —
+//!   comments and string/char interiors blanked to spaces — so a
+//!   `.unwrap()` inside a message string or a doc comment can never
+//!   match a code pattern;
+//! * [`Line::code_with_strings`] keeps string contents (for the lints
+//!   that read literals, e.g. metric snake_names);
+//! * [`Line::in_test`] is true when any code token on the line sits in a
+//!   `#[cfg(test)]`/`#[test]` extent — multi-line test items and nested
+//!   helpers classify correctly because the extent tree does.
+
+use crate::extent::{self, Extents};
+use crate::tokenizer::{self, Token};
 
 /// One classified source line.
 #[derive(Debug, Clone)]
@@ -14,93 +26,141 @@ pub struct Line {
     pub number: usize,
     /// The raw line text (no trailing newline).
     pub text: String,
-    /// `true` when the trimmed line is a `//`/`///`/`//!` comment (or
-    /// blank) — prose, never lintable code.
+    /// Masked code for this line (comments and literal interiors blanked).
+    code: String,
+    /// Comment-masked code with string contents kept.
+    code_str: String,
+    /// `true` when the line carries no code tokens at all (blank lines
+    /// and pure comment lines) — prose, never lintable code.
     pub comment_only: bool,
-    /// `true` when the line sits inside a `#[cfg(test)]`-gated item.
+    /// `true` when the raw line is entirely whitespace.
+    pub blank: bool,
+    /// `true` when a code token on this line sits inside test code.
     pub in_test: bool,
 }
 
 impl Line {
-    /// The code portion of the line: everything before a trailing `//`
-    /// comment. This is intentionally naive about `//` inside string
-    /// literals; project source keeps URLs and slashes out of hot-path
-    /// string literals, and a false *skip* only makes the lint lenient on
-    /// that line, never wrong on others.
+    /// The code portion of the line: comments and string/char interiors
+    /// replaced by spaces (delimiting quotes kept). Same byte length as
+    /// [`Line::text`].
     pub fn code(&self) -> &str {
-        if self.comment_only {
-            return "";
-        }
-        match self.text.find("//") {
-            Some(i) => &self.text[..i],
-            None => &self.text,
-        }
+        &self.code
+    }
+
+    /// Like [`Line::code`] but with string-literal contents visible
+    /// (comments still masked).
+    pub fn code_with_strings(&self) -> &str {
+        &self.code_str
     }
 }
 
-/// A source file split into classified [`Line`]s.
+/// A source file: raw text, tokens, extents, and classified lines.
 #[derive(Debug)]
 pub struct SourceFile {
     /// Path relative to the workspace root, `/`-separated.
     pub rel_path: String,
+    /// Entire file contents.
+    pub text: String,
+    /// The token stream (spans tile `text` byte-exactly).
+    pub toks: Vec<Token>,
+    /// The extent tree over `toks`.
+    pub extents: Extents,
     /// All lines, in order.
     pub lines: Vec<Line>,
+    /// `true` when the path marks the whole file as test code
+    /// (`tests/` integration directories, `benches/`).
+    pub is_test_path: bool,
 }
 
 impl SourceFile {
-    /// Classifies `text` (the entire file) into lines.
+    /// Tokenizes and classifies `text` (the entire file).
     pub fn parse(rel_path: &str, text: &str) -> SourceFile {
-        let mut lines = Vec::new();
-        // Depth tracking for `#[cfg(test)]`: once the attribute is seen,
-        // the next item that opens a brace starts a gated region that ends
-        // when the depth returns to its pre-item value.
-        let mut depth: i64 = 0;
-        let mut pending_cfg_test = false;
-        let mut test_exit_depth: Option<i64> = None;
+        let toks = tokenizer::tokenize(text);
+        let extents = extent::build(text, &toks);
+        let masked = tokenizer::code_mask(text, &toks);
+        let masked_str = tokenizer::code_mask_keep_strings(text, &toks);
+        let is_test_path = rel_path.contains("/tests/")
+            || rel_path.starts_with("tests/")
+            || rel_path.contains("/benches/");
 
-        for (i, raw) in text.lines().enumerate() {
-            let trimmed = raw.trim_start();
-            let comment_only =
-                trimmed.is_empty() || trimmed.starts_with("//") || trimmed.starts_with("#!");
-            let in_test = test_exit_depth.is_some();
+        // Line start offsets (byte positions just after each '\n').
+        let mut starts: Vec<usize> = vec![0];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        // Match `str::lines`: a trailing newline does not open a final
+        // empty line.
+        if starts.len() > 1 && *starts.last().expect("non-empty") == text.len() {
+            starts.pop();
+        }
+        if text.is_empty() {
+            starts.clear();
+        }
+        let nlines = starts.len();
 
-            if !comment_only {
-                if trimmed.starts_with("#[cfg(test)]") {
-                    pending_cfg_test = true;
-                } else if pending_cfg_test && !trimmed.starts_with("#[") {
-                    // The first non-attribute item after #[cfg(test)] is
-                    // the gated one; it becomes a test region when it
-                    // opens a brace on this line (mod/fn/impl header).
-                    if raw.contains('{') && test_exit_depth.is_none() {
-                        test_exit_depth = Some(depth);
-                    }
-                    pending_cfg_test = false;
+        // A line is test code when any non-trivia token on it is.
+        let mut in_test = vec![is_test_path; nlines];
+        if !is_test_path {
+            for (ti, t) in toks.iter().enumerate() {
+                if t.is_trivia() || !extents.in_test(ti) {
+                    continue;
                 }
-                for ch in raw.chars() {
-                    match ch {
-                        '{' => depth += 1,
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if let Some(exit) = test_exit_depth {
-                    if depth <= exit {
-                        test_exit_depth = None;
+                let span_lines = text[t.start..t.end].bytes().filter(|&b| b == b'\n').count();
+                for l in t.line..=(t.line + span_lines) {
+                    if let Some(slot) = in_test.get_mut(l - 1) {
+                        *slot = true;
                     }
                 }
             }
+        }
 
+        let mut lines = Vec::with_capacity(nlines);
+        for (i, &start) in starts.iter().enumerate() {
+            let end = starts
+                .get(i + 1)
+                .map(|&s| s - 1)
+                .unwrap_or(text.len());
+            let raw = text[start..end].strip_suffix('\r').unwrap_or(&text[start..end]);
+            let code = &masked[start..start + raw.len()];
+            let code_str = &masked_str[start..start + raw.len()];
             lines.push(Line {
                 number: i + 1,
                 text: raw.to_string(),
-                comment_only,
-                in_test,
+                code: code.to_string(),
+                code_str: code_str.to_string(),
+                comment_only: code.trim().is_empty(),
+                blank: raw.trim().is_empty(),
+                in_test: in_test[i],
             });
         }
         SourceFile {
             rel_path: rel_path.to_string(),
+            text: text.to_string(),
+            toks,
+            extents,
             lines,
+            is_test_path,
         }
+    }
+
+    /// Indices of the non-trivia tokens, in order — the stream the
+    /// token-sequence lints match against.
+    pub fn meaningful(&self) -> Vec<usize> {
+        (0..self.toks.len())
+            .filter(|&i| !self.toks[i].is_trivia())
+            .collect()
+    }
+
+    /// The text of token `ti`.
+    pub fn tok_text(&self, ti: usize) -> &str {
+        self.toks[ti].text(&self.text)
+    }
+
+    /// `true` when token `ti` is test code (by extent or by path).
+    pub fn tok_in_test(&self, ti: usize) -> bool {
+        self.is_test_path || self.extents.in_test(ti)
     }
 }
 
@@ -126,12 +186,10 @@ fn after() {}
 ";
         let f = SourceFile::parse("x.rs", text);
         assert!(!f.lines[0].comment_only);
-        assert_eq!(f.lines[0].code(), "use std::fmt; ");
+        assert_eq!(f.lines[0].code().trim(), "use std::fmt;");
         assert!(f.lines[1].comment_only);
-        assert_eq!(f.lines[1].code(), "");
+        assert!(!f.lines[1].code().contains(".unwrap()"));
         assert!(!f.lines[3].in_test);
-        // Lines inside mod tests are gated; the attribute line itself is
-        // not (nothing lintable sits on it).
         assert!(f.lines[8].in_test, "{:?}", f.lines[8]);
         assert!(f.lines[8].text.contains("unwrap"));
         // After the module closes, classification resets.
@@ -151,5 +209,33 @@ fn h() {}
         let f = SourceFile::parse("x.rs", text);
         assert!(f.lines[3].in_test);
         assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn string_contents_never_reach_code() {
+        let text = "let s = \"a // b .unwrap() Ordering::SeqCst\"; call();\n";
+        let f = SourceFile::parse("x.rs", text);
+        let code = f.lines[0].code();
+        assert!(!code.contains(".unwrap()"));
+        assert!(!code.contains("Ordering::"));
+        assert!(code.contains("call();"));
+        // ... but the string-keeping view still sees the literal.
+        assert!(f.lines[0].code_with_strings().contains("Ordering::SeqCst"));
+    }
+
+    #[test]
+    fn multi_line_strings_mask_every_covered_line() {
+        let text = "let s = \"one\npanic!(two)\nthree\"; done();\n";
+        let f = SourceFile::parse("x.rs", text);
+        assert!(!f.lines[1].code().contains("panic!"));
+        assert!(f.lines[1].comment_only, "interior line carries no code");
+        assert!(f.lines[2].code().contains("done();"));
+    }
+
+    #[test]
+    fn integration_test_paths_are_test_code() {
+        let f = SourceFile::parse("crates/core/tests/ft.rs", "fn probe() { x.unwrap(); }\n");
+        assert!(f.lines[0].in_test);
+        assert!(f.is_test_path);
     }
 }

@@ -1,0 +1,311 @@
+//! Workspace-level symbol table for the cross-file contract lints.
+//!
+//! The failpoint economy spans crates: `usj-fault` defines the carriers
+//! (`fail_point!`, `fire`, `fire_err`), `usj-core`/`usj-serve`/`usj-cli`
+//! name the injection points, and the fault suites reference those names
+//! through `USJ_FAULT_PLAN` plan specs (`point#nth=action;…`). No single
+//! file knows whether the economy balances — this table does: it collects
+//! every **defined** failpoint name (a dotted-lowercase string literal
+//! passed to a carrier), every **strict reference** (a name inside a
+//! plan spec or armed via `fail_at`/`one_shot_panic` in test code), every
+//! test-code string literal (for coverage checks), and the set of
+//! function names whose bodies directly fire a failpoint (so a
+//! `catch_unwind` wrapper that delegates to a firing helper one call away
+//! still counts as covered).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::source::SourceFile;
+use crate::tokenizer::Kind;
+
+/// Where a failpoint name is defined.
+#[derive(Debug, Clone)]
+pub struct FailpointDef {
+    /// Workspace-relative file of the first definition.
+    pub file: String,
+    /// 1-based line of the defining string literal.
+    pub line: usize,
+}
+
+/// The failpoint symbol table for one workspace.
+#[derive(Debug, Default)]
+pub struct FailpointTable {
+    /// Names defined in **non-test** code (first definition wins).
+    pub defined: BTreeMap<String, FailpointDef>,
+    /// Names defined only in test code (fault-lib unit fixtures).
+    pub defined_test: BTreeSet<String>,
+    /// `(name, file, line)` strict references: plan-spec clauses and
+    /// `fail_at`/`one_shot_panic` arguments in test code. Each must
+    /// resolve to a defined name.
+    pub strict_refs: Vec<(String, String, usize)>,
+    /// Every string literal appearing in test code (coverage witness
+    /// pool: a defined name must show up in at least one).
+    pub test_literals: Vec<String>,
+    /// Names of functions whose bodies directly fire a failpoint in
+    /// non-test code — one level of call indirection for coverage.
+    pub fn_fires: BTreeSet<String>,
+}
+
+/// The calls whose dotted-string arguments *define* a failpoint name.
+const CARRIERS: [&str; 4] = ["fail_point", "fire", "fire_err", "atomic_write"];
+
+/// Test-side arming calls whose first string argument is a strict
+/// reference to an existing failpoint.
+const ARMING_CALLS: [&str; 2] = ["fail_at", "one_shot_panic"];
+
+/// Is `s` shaped like a failpoint name? Two or more dot-separated
+/// lowercase/underscore segments (`parallel.batch`, `cli.write`).
+pub fn is_failpoint_name(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('.').collect();
+    parts.len() >= 2
+        && parts.iter().all(|p| {
+            let b = p.as_bytes();
+            !b.is_empty()
+                && (b[0].is_ascii_lowercase() || b[0] == b'_')
+                && b.iter().all(|&c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_')
+        })
+}
+
+/// The contents of a string-literal token (prefix, hashes, and quotes
+/// stripped; empty when the token has no quoted body).
+pub fn str_content(tok_text: &str) -> &str {
+    let Some(first) = tok_text.find('"') else {
+        return "";
+    };
+    let Some(last) = tok_text.rfind('"') else {
+        return "";
+    };
+    if last > first {
+        &tok_text[first + 1..last]
+    } else {
+        ""
+    }
+}
+
+/// Parses plan-spec clauses out of a string: `name#nth=action` separated
+/// by `;`. Returns the failpoint names referenced.
+fn plan_spec_names(s: &str) -> Vec<String> {
+    if !s.contains('#') || !s.contains('=') {
+        return Vec::new();
+    }
+    let mut names = Vec::new();
+    for clause in s.split(';') {
+        let clause = clause.trim();
+        let Some(hash) = clause.find('#') else { continue };
+        let name = clause[..hash].trim();
+        let tail = &clause[hash + 1..];
+        if is_failpoint_name(name)
+            && tail.starts_with(|c: char| c.is_ascii_digit())
+            && tail.contains('=')
+        {
+            names.push(name.to_string());
+        }
+    }
+    names
+}
+
+/// Builds the failpoint table from every Rust file in the workspace.
+pub fn failpoints(files: &[SourceFile]) -> FailpointTable {
+    let mut table = FailpointTable::default();
+    for file in files {
+        scan_file(file, &mut table);
+    }
+    table
+}
+
+fn scan_file(file: &SourceFile, table: &mut FailpointTable) {
+    let m = file.meaningful();
+    for (mi, &ti) in m.iter().enumerate() {
+        let tok = &file.toks[ti];
+        match tok.kind {
+            Kind::Word => {
+                let word = file.tok_text(ti);
+                if CARRIERS.contains(&word) {
+                    scan_carrier(file, &m, mi, table);
+                }
+            }
+            Kind::Str => {
+                if !file.tok_in_test(ti) {
+                    continue;
+                }
+                let content = str_content(file.tok_text(ti));
+                if content.is_empty() {
+                    continue;
+                }
+                table.test_literals.push(content.to_string());
+                // Plan-spec names are strict references — except when the
+                // literal feeds `FaultPlan::parse(` directly: the parser's
+                // own grammar tests use placeholder names on purpose.
+                if !call_context_is(file, &m, mi, "parse") {
+                    for name in plan_spec_names(content) {
+                        table
+                            .strict_refs
+                            .push((name, file.rel_path.clone(), tok.line));
+                    }
+                }
+                // `plan.fail_at("name", …)` / `FaultPlan::one_shot_panic("name")`
+                // arm a point by name: strict reference. Exempt inside
+                // `crates/fault/src/` — the mechanism's own unit tests arm
+                // placeholder names (`a.b`) to exercise the machinery, not
+                // to reach a real injection point.
+                if !file.rel_path.starts_with("crates/fault/src/")
+                    && ARMING_CALLS
+                        .iter()
+                        .any(|c| call_context_is(file, &m, mi, c))
+                    && is_failpoint_name(content)
+                {
+                    table
+                        .strict_refs
+                        .push((content.to_string(), file.rel_path.clone(), tok.line));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is the string at meaningful-index `mi` the **first** argument of a
+/// call to `callee` — i.e. do the two preceding meaningful tokens read
+/// `callee (`?
+fn call_context_is(file: &SourceFile, m: &[usize], mi: usize, callee: &str) -> bool {
+    if mi < 2 {
+        return false;
+    }
+    file.tok_text(m[mi - 1]) == "(" && file.tok_text(m[mi - 2]) == callee
+}
+
+/// Scans one carrier call at meaningful-index `mi`: collects the dotted
+/// string names in its argument list as definitions.
+fn scan_carrier(file: &SourceFile, m: &[usize], mi: usize, table: &mut FailpointTable) {
+    let carrier_ti = m[mi];
+    let word = file.tok_text(carrier_ti);
+    // `fail_point` is a macro: expect `!` then `(`; the functions take
+    // `(` directly. Anything else (the carrier's own definition site,
+    // a mention in a path) is not a call.
+    let mut j = mi + 1;
+    if word == "fail_point" {
+        if j >= m.len() || file.tok_text(m[j]) != "!" {
+            return;
+        }
+        j += 1;
+    }
+    if j >= m.len() || file.tok_text(m[j]) != "(" {
+        return;
+    }
+    let mut depth = 0i64;
+    let mut names: Vec<(String, usize)> = Vec::new();
+    while j < m.len() {
+        let ti = m[j];
+        match file.tok_text(ti) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {
+                if file.toks[ti].kind == Kind::Str {
+                    let content = str_content(file.tok_text(ti));
+                    if is_failpoint_name(content) {
+                        names.push((content.to_string(), file.toks[ti].line));
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    let in_test = file.tok_in_test(carrier_ti);
+    for (name, line) in names {
+        if in_test {
+            table.defined_test.insert(name);
+        } else {
+            table.defined.entry(name).or_insert_with(|| FailpointDef {
+                file: file.rel_path.clone(),
+                line,
+            });
+            if let Some(e) = file.extents.enclosing_fn(carrier_ti) {
+                table.fn_fires.insert(file.extents.extents[e].name.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_of(files: &[(&str, &str)]) -> FailpointTable {
+        let parsed: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, t)| SourceFile::parse(p, t))
+            .collect();
+        failpoints(&parsed)
+    }
+
+    #[test]
+    fn carriers_define_dotted_names() {
+        let t = table_of(&[(
+            "crates/core/src/parallel.rs",
+            "fn run() { fail_point!(\"parallel.batch\"); }\n\
+             fn evict() { if fire(\"parallel.evict\") { return; } }\n",
+        )]);
+        assert!(t.defined.contains_key("parallel.batch"));
+        assert_eq!(t.defined["parallel.evict"].line, 2);
+        assert!(t.fn_fires.contains("run"));
+        assert!(t.fn_fires.contains("evict"));
+    }
+
+    #[test]
+    fn test_code_defines_separately_and_literals_are_collected() {
+        let t = table_of(&[(
+            "crates/fault/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn f() { fire(\"t.panic\"); let s = \"free text\"; }\n}\n",
+        )]);
+        assert!(t.defined.is_empty());
+        assert!(t.defined_test.contains("t.panic"));
+        assert!(t.test_literals.iter().any(|l| l == "free text"));
+    }
+
+    // `\u{23}` is `#`: written escaped so tidy's own scan of this file's
+    // raw text never reads the fixtures as live plan specs.
+    #[test]
+    fn plan_specs_are_strict_refs_except_parser_grammar_tests() {
+        let t = table_of(&[(
+            "crates/cli/tests/ft.rs",
+            "fn a() { run(Some(\"parallel.evict\u{23}1=panic\")); }\n\
+             fn b() { FaultPlan::parse(\"a.b\u{23}2=panic; c.d\u{23}0=delay:25\").unwrap(); }\n",
+        )]);
+        let names: Vec<&str> = t.strict_refs.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["parallel.evict"], "parse() args are exempt");
+    }
+
+    #[test]
+    fn fault_crate_grammar_tests_arm_placeholders_freely() {
+        let t = table_of(&[(
+            "crates/fault/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn f() { plan.fail_at(\"a.b\", 2, act); }\n}\n",
+        )]);
+        assert!(t.strict_refs.is_empty(), "{:?}", t.strict_refs);
+    }
+
+    #[test]
+    fn arming_calls_are_strict_refs() {
+        let t = table_of(&[(
+            "crates/core/tests/ft.rs",
+            "fn a() { plan.fail_at(\"index.build\", act); FaultPlan::one_shot_panic(\"parallel.verify\"); }\n",
+        )]);
+        let names: Vec<&str> = t.strict_refs.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["index.build", "parallel.verify"]);
+    }
+
+    #[test]
+    fn name_shape_is_enforced() {
+        assert!(is_failpoint_name("parallel.batch"));
+        assert!(is_failpoint_name("a.b.c_2"));
+        assert!(!is_failpoint_name("single"));
+        assert!(!is_failpoint_name("Upper.case"));
+        assert!(!is_failpoint_name("a..b"));
+        assert!(!is_failpoint_name("has space.x"));
+    }
+}

@@ -1,0 +1,410 @@
+//! A string/char/raw-string/comment-aware Rust tokenizer.
+//!
+//! This is the foundation the token lints stand on. It is *not* a full
+//! lexer — no keyword table, no number grammar, no macro awareness — but
+//! it gets the four things right that a line-regex engine cannot:
+//!
+//! * **string literals** (plain, raw `r#"…"#`, byte, byte-raw, C) never
+//!   leak their contents into code text, so `".unwrap()"` inside a
+//!   message string cannot trip `no-unwrap`;
+//! * **char literals vs lifetimes** are disambiguated, so `'a'` does not
+//!   swallow the rest of the file and `&'a str` does not open a "char";
+//! * **block comments nest**, exactly like rustc's, so `/* /* */ */`
+//!   ends where the compiler says it ends;
+//! * **spans tile the file byte-exactly** — every byte belongs to
+//!   exactly one token, in order, which is what lets the extent builder
+//!   and the per-line views stay in perfect sync with the raw text (and
+//!   what the property tests pin).
+//!
+//! Everything downstream (extents, per-line code/comment views, the
+//! token-sequence matchers) consumes this stream.
+
+/// What a token is, at the granularity the lints care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Runs of whitespace (including newlines).
+    Whitespace,
+    /// `// …` to end of line (doc comments `///`/`//!` included).
+    LineComment,
+    /// `/* … */`, nesting tracked; unterminated runs to EOF.
+    BlockComment,
+    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `c"…"`. The span includes prefix, quotes, and hashes.
+    Str,
+    /// A char or byte-char literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime or loop label: `'a`, `'static`, `'outer`.
+    Lifetime,
+    /// An identifier, keyword, raw identifier (`r#match`), or number.
+    Word,
+    /// A single punctuation character (or one non-ASCII char).
+    Punct,
+}
+
+/// One token: kind plus a byte span into the source text.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token class.
+    pub kind: Kind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of the first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// `true` for tokens the structural scanners skip: whitespace and
+    /// both comment kinds.
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            Kind::Whitespace | Kind::LineComment | Kind::BlockComment
+        )
+    }
+
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenizes `text`. Total function: any byte sequence produces a stream
+/// whose spans tile `text` exactly (unterminated literals/comments are
+/// closed at EOF). The compiler is the authority on what is *valid*;
+/// the tokenizer only has to agree with it on what is *where*.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let bytes = text.as_bytes();
+    let mut toks: Vec<Token> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    // Count the newlines inside [start, end) and bump the line counter.
+    // Called exactly once per emitted token, with the token's span.
+    let bump = |line: &mut usize, bytes: &[u8], start: usize, end: usize| {
+        *line += bytes[start..end].iter().filter(|&&b| b == b'\n').count();
+    };
+
+    while i < bytes.len() {
+        let start = i;
+        let start_line = line;
+        let b = bytes[i];
+        let kind = if b.is_ascii_whitespace() {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            Kind::Whitespace
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            Kind::LineComment
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Kind::BlockComment
+        } else if b == b'"' {
+            i = scan_plain_string(bytes, i + 1);
+            Kind::Str
+        } else if let Some(end) = scan_raw_or_prefixed(bytes, i) {
+            i = end.0;
+            end.1
+        } else if b == b'\'' {
+            let (end, kind) = scan_quote(bytes, i);
+            i = end;
+            kind
+        } else if is_word_byte(b) {
+            i += 1;
+            while i < bytes.len() && is_word_byte(bytes[i]) {
+                i += 1;
+            }
+            Kind::Word
+        } else if b < 0x80 {
+            i += 1;
+            Kind::Punct
+        } else {
+            // One full UTF-8 character, so slicing at token boundaries
+            // always lands on char boundaries.
+            i += 1;
+            while i < bytes.len() && (bytes[i] & 0xC0) == 0x80 {
+                i += 1;
+            }
+            Kind::Punct
+        };
+        bump(&mut line, bytes, start, i);
+        toks.push(Token {
+            kind,
+            start,
+            end: i,
+            line: start_line,
+        });
+    }
+    toks
+}
+
+/// Scans a plain (escapable) string body starting *after* the opening
+/// quote; returns the offset one past the closing quote (or EOF).
+fn scan_plain_string(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Raw / prefixed literal starting at `i` (`r"`, `r#"`, `br#"`, `b"`,
+/// `b'`, `c"`, …). Returns `Some((end, kind))` when one starts here;
+/// `None` means "treat as an ordinary word" (covers raw identifiers like
+/// `r#match` and plain idents beginning with r/b/c).
+fn scan_raw_or_prefixed(bytes: &[u8], i: usize) -> Option<(usize, Kind)> {
+    let b = bytes[i];
+    if !(b == b'r' || b == b'b' || b == b'c') {
+        return None;
+    }
+    // Longest prefix first: br / rb-style two-letter prefixes.
+    let (raw, after_prefix) = match (b, bytes.get(i + 1)) {
+        (b'b', Some(&b'r')) => (true, i + 2),
+        (b'r', _) => (true, i + 1),
+        (b'b', _) | (b'c', _) => (false, i + 1),
+        _ => return None,
+    };
+    if raw {
+        // r / br: any number of #s then a quote opens a raw string.
+        let mut j = after_prefix;
+        while j < bytes.len() && bytes[j] == b'#' {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'"') {
+            let hashes = j - after_prefix;
+            let mut k = j + 1;
+            while k < bytes.len() {
+                if bytes[k] == b'"' && bytes[k + 1..].len() >= hashes
+                    && bytes[k + 1..k + 1 + hashes].iter().all(|&h| h == b'#')
+                {
+                    return Some((k + 1 + hashes, Kind::Str));
+                }
+                k += 1;
+            }
+            return Some((bytes.len(), Kind::Str));
+        }
+        return None; // raw identifier (r#ident) or a word starting with r/b
+    }
+    // b / c prefix: a directly-attached quote opens a literal.
+    match bytes.get(after_prefix) {
+        Some(&b'"') => Some((scan_plain_string(bytes, after_prefix + 1), Kind::Str)),
+        Some(&b'\'') => {
+            let (end, _) = scan_quote(bytes, after_prefix);
+            Some((end, Kind::Char))
+        }
+        _ => None,
+    }
+}
+
+/// Disambiguates `'` at `i`: char literal or lifetime. Returns
+/// `(end, kind)`.
+fn scan_quote(bytes: &[u8], i: usize) -> (usize, Kind) {
+    debug_assert_eq!(bytes[i], b'\'');
+    match bytes.get(i + 1) {
+        // Escape: definitely a char literal. The escaped character is
+        // part of the escape (`'\''`, `'\\'`), so consume it before
+        // looking for the close; longer escapes (`'\u{23}'`, `'\x41'`)
+        // just extend the scan. A newline means the literal is broken —
+        // stop there so a typo can't swallow the rest of the file.
+        Some(&b'\\') => {
+            let mut j = i + 2;
+            if j < bytes.len() && bytes[j] != b'\n' {
+                j += 1;
+            }
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\'' => return (j + 1, Kind::Char),
+                    b'\n' => return (j, Kind::Char),
+                    _ => j += 1,
+                }
+            }
+            (bytes.len(), Kind::Char)
+        }
+        // Word start: 'a' is a char, 'a (no closing quote) a lifetime.
+        Some(&c) if is_word_byte(c) => {
+            let mut j = i + 1;
+            while j < bytes.len() && is_word_byte(bytes[j]) {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'\'') && j == i + 2 {
+                (j + 1, Kind::Char)
+            } else {
+                (j, Kind::Lifetime)
+            }
+        }
+        // Any other single char (or non-ASCII) closed by a quote.
+        Some(_) => {
+            // Consume one UTF-8 character, then require the close.
+            let mut j = i + 1 + 1;
+            while j < bytes.len() && (bytes[j] & 0xC0) == 0x80 {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'\'') {
+                (j + 1, Kind::Char)
+            } else {
+                // Stray quote (macro `$'`? broken source): one punct-ish
+                // char token so the stream keeps tiling.
+                (i + 1, Kind::Punct)
+            }
+        }
+        None => (i + 1, Kind::Punct),
+    }
+}
+
+/// The masked **code view**: same byte length as `text`, with comment
+/// bytes and string/char interiors replaced by spaces (newlines kept, the
+/// delimiting quotes kept). Pattern matching on this view can never hit
+/// prose or literal contents.
+pub fn code_mask(text: &str, toks: &[Token]) -> String {
+    mask(text, toks, true)
+}
+
+/// Like [`code_mask`] but with string/char literal contents **kept** —
+/// for the lints that read literals (metric names, failpoint names).
+/// Comments are still masked.
+pub fn code_mask_keep_strings(text: &str, toks: &[Token]) -> String {
+    mask(text, toks, false)
+}
+
+fn mask(text: &str, toks: &[Token], mask_strings: bool) -> String {
+    let mut out = text.as_bytes().to_vec();
+    for t in toks {
+        let range = match t.kind {
+            Kind::LineComment | Kind::BlockComment => t.start..t.end,
+            Kind::Str | Kind::Char if mask_strings => {
+                // Keep the delimiters so `.expect(` / `("` shapes survive.
+                (t.start + 1)..t.end.saturating_sub(1)
+            }
+            _ => continue,
+        };
+        for b in &mut out[range] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    }
+    // safety-of-unwrap not needed: masked bytes are ASCII spaces and the
+    // untouched regions are the original (valid) UTF-8.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(Kind, String)> {
+        tokenize(text)
+            .into_iter()
+            .filter(|t| t.kind != Kind::Whitespace)
+            .map(|t| (t.kind, t.text(text).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn spans_tile_byte_exactly() {
+        let src = "fn main() { let s = \"a // not a comment\"; } // tail";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].start, 0);
+        for w in toks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert_eq!(toks.last().unwrap().end, src.len());
+    }
+
+    #[test]
+    fn strings_hide_comment_markers() {
+        let got = kinds("let s = \"// /* \\\" \";");
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == Kind::Str && t == "\"// /* \\\" \""));
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_count() {
+        let src = r###"let s = r#"inner " quote"# ; let t = r"x";"###;
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == Kind::Str && t == r##"r#"inner " quote"#"##));
+        assert!(got.iter().any(|(k, t)| *k == Kind::Str && t == r#"r"x""#));
+    }
+
+    #[test]
+    fn byte_and_c_strings_and_raw_idents() {
+        let got = kinds(r##"let a = b"bytes"; let b = br#"raw"#; let c = c"c"; let r#match = 1;"##);
+        assert_eq!(got.iter().filter(|(k, _)| *k == Kind::Str).count(), 3);
+        assert!(got.iter().any(|(k, t)| *k == Kind::Word && t == "match"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let got = kinds("let c: char = 'a'; let e = '\\n'; fn f<'a>(x: &'a str) {} 'outer: loop {}");
+        assert!(got.iter().any(|(k, t)| *k == Kind::Char && t == "'a'"));
+        assert!(got.iter().any(|(k, t)| *k == Kind::Char && t == "'\\n'"));
+        assert_eq!(got.iter().filter(|(k, _)| *k == Kind::Lifetime).count(), 3);
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let src = "a /* one /* two */ still */ b";
+        let got = kinds(src);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1].0, Kind::BlockComment);
+        assert_eq!(got[1].1, "/* one /* two */ still */");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\n/* two\nlines */\nb";
+        let toks: Vec<Token> = tokenize(src).into_iter().filter(|t| !matches!(t.kind, Kind::Whitespace)).collect();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn code_mask_blanks_comments_and_literal_interiors() {
+        let src = "call(); // .unwrap()\nlet s = \".expect(\"; /* panic! */";
+        let toks = tokenize(src);
+        let masked = code_mask(src, &toks);
+        assert_eq!(masked.len(), src.len());
+        assert!(!masked.contains(".unwrap()"));
+        assert!(!masked.contains(".expect("));
+        assert!(!masked.contains("panic!"));
+        assert!(masked.contains("call();"));
+        let kept = code_mask_keep_strings(src, &toks);
+        assert!(kept.contains(".expect("));
+        assert!(!kept.contains("panic!"));
+    }
+
+    #[test]
+    fn unterminated_literals_close_at_eof() {
+        for src in ["\"open", "r#\"open", "/* open", "'"] {
+            let toks = tokenize(src);
+            assert_eq!(toks.last().unwrap().end, src.len(), "{src:?}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Pins the `--emit=json` document shape byte-for-byte: CI tooling and
+//! editor integrations parse this, so any drift must be a deliberate
+//! schema bump.
+
+use usj_tidy::{emit, Diagnostic};
+
+fn diag(file: &str, line: usize, lint: &str, message: &str) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        lint: lint.to_string(),
+        message: message.to_string(),
+    }
+}
+
+#[test]
+fn document_shape_is_pinned() {
+    let diags = vec![
+        diag("crates/core/src/join.rs", 7, "no-unwrap", "`.expect(` in hot-path module"),
+        diag("tidy.allow", 2, "unused-allow", "entry matches \"nothing\""),
+    ];
+    assert_eq!(
+        emit::to_json(&diags),
+        concat!(
+            "{\"schema\":\"usj-tidy-diagnostics/v1\",",
+            "\"lints\":[\"no-unwrap\",\"ordering-comment\",\"unsafe-safety\",",
+            "\"metrics-registered\",\"dep-allowlist\",\"doc-drift\",",
+            "\"socket-timeout\",\"span-paired\",\"budget-loop\",",
+            "\"failpoint-coverage\",\"lock-discipline\"],",
+            "\"count\":2,\"diagnostics\":[",
+            "{\"file\":\"crates/core/src/join.rs\",\"line\":7,",
+            "\"lint\":\"no-unwrap\",\"message\":\"`.expect(` in hot-path module\"},",
+            "{\"file\":\"tidy.allow\",\"line\":2,\"lint\":\"unused-allow\",",
+            "\"message\":\"entry matches \\\"nothing\\\"\"}",
+            "]}"
+        )
+    );
+}
+
+#[test]
+fn empty_document_is_pinned() {
+    let json = emit::to_json(&[]);
+    assert!(json.starts_with("{\"schema\":\"usj-tidy-diagnostics/v1\","));
+    assert!(json.ends_with("\"count\":0,\"diagnostics\":[]}"));
+}
+
+#[test]
+fn schema_tag_matches_constant() {
+    assert_eq!(emit::SCHEMA, "usj-tidy-diagnostics/v1");
+}

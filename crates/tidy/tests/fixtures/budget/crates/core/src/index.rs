@@ -1,0 +1,35 @@
+//! Probe loops must consult the budget; build loops are free.
+pub fn probe_candidates(probe: &[u8], budget: &ProbeBudget) -> usize {
+    let mut hits = 0;
+    for len in 0..probe.len() {
+        if budget.exhausted() {
+            break;
+        }
+        hits += len;
+    }
+    while hits < 10 {
+        hits += 1;
+    }
+    hits
+}
+
+pub fn search_shards(f: &dyn Fn(&u8) -> bool) -> usize {
+    let _chk: &dyn for<'a> Fn(&'a u8) -> bool = &|x| f(x);
+    let probe_deadline = 8;
+    let mut n = 0;
+    loop {
+        if n >= probe_deadline {
+            break;
+        }
+        n += 1;
+    }
+    n
+}
+
+pub fn build_rows(items: &[u8]) -> usize {
+    let mut n = 0;
+    for _ in items {
+        n += 1;
+    }
+    n
+}

@@ -1,0 +1,16 @@
+//! Serve-side probe loops are budget-scoped too.
+pub fn probe_backlog(items: &[u64]) -> u64 {
+    let mut total = 0;
+    for it in items {
+        total += *it;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn search_everything() {
+        for _ in 0..3 {}
+    }
+}

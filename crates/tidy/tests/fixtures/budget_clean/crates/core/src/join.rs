@@ -1,0 +1,14 @@
+//! Every probe loop consults its budget: clean.
+pub fn probe_join(probe: &[u8], budget: &ProbeBudget) -> usize {
+    let mut out = 0;
+    for b in probe {
+        if budget.exhausted() {
+            break;
+        }
+        out += *b as usize;
+    }
+    while out > 0 && !budget.exhausted() {
+        out -= 1;
+    }
+    out
+}

@@ -1,0 +1,23 @@
+//! Recovery sites carry failpoints; the economy must balance.
+pub fn covered_step() -> bool {
+    fail_point!("core.step");
+    catch_unwind(|| step()).is_ok()
+}
+
+pub fn wrapped_step() -> bool {
+    catch_unwind(|| fire_helper()).is_ok()
+}
+
+fn fire_helper() {
+    fail_point!("core.helper");
+}
+
+pub fn bare_shield() -> bool {
+    catch_unwind(|| step()).is_ok()
+}
+
+pub fn orphan_point() {
+    fail_point!("core.orphan");
+}
+
+fn step() {}

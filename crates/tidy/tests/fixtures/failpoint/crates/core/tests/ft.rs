@@ -1,0 +1,7 @@
+//! Fault-suite side of the fixture.
+#[test]
+fn drives_recovery() {
+    run(Some("core.step#0=panic"));
+    run(Some("ghost.point#0=panic"));
+    assert!(fired("core.helper"));
+}

@@ -1,0 +1,5 @@
+//! Arms the one failpoint the source defines.
+#[test]
+fn drives_recovery() {
+    run(Some("core.step#0=panic"));
+}

@@ -1,0 +1,31 @@
+//! Guard scopes must end before hazards.
+pub fn flush_held(m: &std::sync::Mutex<Vec<u8>>) {
+    let guard = m.lock().unwrap();
+    std::thread::sleep(pause());
+    drop(guard);
+}
+
+pub fn scoped_ok(m: &std::sync::Mutex<Vec<u8>>) {
+    {
+        let guard = m.lock().unwrap();
+        let _ = guard.len();
+    }
+    std::thread::sleep(pause());
+}
+
+pub fn dropped_ok(m: &std::sync::Mutex<Vec<u8>>) {
+    let guard = m.lock().unwrap();
+    drop(guard);
+    std::thread::sleep(pause());
+}
+
+pub fn reader_held(l: &std::sync::RwLock<u64>, input: &mut impl std::io::BufRead) {
+    let snapshot = l.read().unwrap();
+    let mut line = String::new();
+    let _ = input.read_line(&mut line);
+    let _ = *snapshot;
+}
+
+fn pause() -> std::time::Duration {
+    std::time::Duration::from_millis(1)
+}

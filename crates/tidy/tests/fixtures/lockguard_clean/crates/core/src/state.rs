@@ -1,0 +1,18 @@
+//! Guards re-scoped or dropped before every hazard: clean.
+pub fn scoped_ok(m: &std::sync::Mutex<Vec<u8>>) {
+    {
+        let guard = m.lock().unwrap();
+        let _ = guard.len();
+    }
+    std::thread::sleep(pause());
+}
+
+pub fn dropped_ok(m: &std::sync::Mutex<Vec<u8>>) {
+    let guard = m.lock().unwrap();
+    drop(guard);
+    std::thread::sleep(pause());
+}
+
+fn pause() -> std::time::Duration {
+    std::time::Duration::from_millis(1)
+}

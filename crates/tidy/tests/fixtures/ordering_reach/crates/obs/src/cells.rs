@@ -1,0 +1,30 @@
+//! The reach budget counts only code lines.
+pub fn stamp(c: &AtomicU64, n: &AtomicU64) {
+    // ordering: independent monotone counters; relaxed is enough
+    // for a statistics cell that the scrape thread reads torn.
+
+    // Blank and comment lines above must not starve the reach:
+    // under the old line-counted window this site was a false
+    // positive.
+    c.fetch_add(1, Ordering::Relaxed);
+    n.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn stale(c: &AtomicU64) {
+    // ordering: too far above to govern the load below.
+    let a = 1;
+    let b = 2;
+    let d = 3;
+    let e = 4;
+    let _ = (a, b, d, e);
+    c.load(Ordering::Acquire);
+}
+
+pub fn prior(c: &AtomicU64) {
+    // ordering: governs only this fn's store.
+    c.store(0, Ordering::Release);
+}
+
+pub fn leaky(c: &AtomicU64) {
+    c.load(Ordering::Acquire);
+}

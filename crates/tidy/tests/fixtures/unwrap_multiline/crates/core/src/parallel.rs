@@ -1,0 +1,22 @@
+//! Multi-line chains and unchecked unwraps are still caught.
+pub fn resolve(map: &Map) -> u32 {
+    map.get(7)
+        .copied()
+        .unwrap()
+}
+
+pub fn fast_path(v: Option<u32>) -> u32 {
+    // safety: the caller checked is_some.
+    unsafe { v.unwrap_unchecked() }
+}
+
+pub fn noisy(v: Option<u32>, u: Option<u32>) -> u32 {
+    v.unwrap().max(u.unwrap())
+}
+
+pub fn labelled(map: &Map) -> u32 {
+    map.get(9)
+        .expect(
+            "index 9 is seeded",
+        )
+}

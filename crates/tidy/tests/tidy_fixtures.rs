@@ -156,6 +156,101 @@ fn allowlist_fixture_suppresses_matches_and_reports_stale_entries() {
 }
 
 #[test]
+fn unwrap_multiline_fixture_catches_split_chains_and_dedups() {
+    assert_eq!(
+        triples("unwrap_multiline"),
+        vec![
+            // The chain split across lines fires at the `.unwrap()` line;
+            // `.unwrap_unchecked(` counts; the two unwraps sharing line 14
+            // collapse to one diagnostic; the multi-line `.expect(` fires
+            // at the `expect` token's line.
+            t("crates/core/src/parallel.rs", 5, "no-unwrap"),
+            t("crates/core/src/parallel.rs", 10, "no-unwrap"),
+            t("crates/core/src/parallel.rs", 14, "no-unwrap"),
+            t("crates/core/src/parallel.rs", 19, "no-unwrap"),
+        ]
+    );
+}
+
+#[test]
+fn ordering_reach_fixture_counts_code_lines_only() {
+    assert_eq!(
+        triples("ordering_reach"),
+        vec![
+            // stamp(): blank/comment lines between the justification and
+            // its sites are free — the old line-counted window flagged
+            // line 9 falsely. stale(): four code lines exhaust the reach.
+            // leaky(): the previous fn's comment cannot leak across the
+            // extent boundary.
+            t("crates/obs/src/cells.rs", 20, "ordering-comment"),
+            t("crates/obs/src/cells.rs", 29, "ordering-comment"),
+        ]
+    );
+}
+
+#[test]
+fn budget_fixture_flags_unconsulting_probe_loops_only() {
+    assert_eq!(
+        triples("budget"),
+        vec![
+            // The `for` consulting in-body and the `loop` consulting a
+            // deadline variable stay silent; `for<'a>` is not a loop;
+            // build fns and #[cfg(test)] loops are out of scope.
+            t("crates/core/src/index.rs", 10, "budget-loop"),
+            t("crates/serve/src/worker.rs", 4, "budget-loop"),
+        ]
+    );
+}
+
+#[test]
+fn budget_clean_fixture_accepts_condition_consults() {
+    let diags = run_tidy(&fixture("budget_clean"));
+    assert!(diags.is_empty(), "expected clean, got: {diags:?}");
+}
+
+#[test]
+fn failpoint_fixture_balances_the_economy_both_ways() {
+    assert_eq!(
+        triples("failpoint"),
+        vec![
+            // covered_step carries its own failpoint and wrapped_step is
+            // one call from a firing helper: both silent. bare_shield has
+            // no coverage; core.orphan is never test-referenced; the plan
+            // spec names ghost.point, which nothing defines.
+            t("crates/core/src/recover.rs", 16, "failpoint-coverage"),
+            t("crates/core/src/recover.rs", 20, "failpoint-coverage"),
+            t("crates/core/tests/ft.rs", 5, "failpoint-coverage"),
+        ]
+    );
+}
+
+#[test]
+fn failpoint_clean_fixture_produces_no_diagnostics() {
+    let diags = run_tidy(&fixture("failpoint_clean"));
+    assert!(diags.is_empty(), "expected clean, got: {diags:?}");
+}
+
+#[test]
+fn lockguard_fixture_flags_guards_live_across_hazards() {
+    assert_eq!(
+        triples("lockguard"),
+        vec![
+            // flush_held sleeps while the mutex guard is live; reader_held
+            // blocks on read_line while the RwLock read guard is live. The
+            // re-scoped and drop()-ed guards stay silent.
+            t("crates/core/src/state.rs", 4, "lock-discipline"),
+            t("crates/core/src/state.rs", 25, "lock-discipline"),
+        ]
+    );
+}
+
+#[test]
+fn lockguard_clean_fixture_produces_no_diagnostics() {
+    let diags = run_tidy(&fixture("lockguard_clean"));
+    assert!(diags.is_empty(), "expected clean, got: {diags:?}");
+}
+
+#[test]
 fn clean_fixture_produces_no_diagnostics() {
     let diags = run_tidy(&fixture("clean"));
     assert!(diags.is_empty(), "expected clean, got: {diags:?}");

@@ -1,0 +1,197 @@
+//! Tokenizer property tests: over a seeded fragment corpus and every
+//! `.rs` file of the real workspace, token spans must tile the source
+//! byte-exactly, and string/char/comment contents must never leak into
+//! the masked code view the lints pattern-match on.
+
+use std::path::PathBuf;
+
+use usj_tidy::tokenizer::{code_mask, code_mask_keep_strings, tokenize, Kind, Token};
+
+/// Sentinel embedded only inside literal/comment fragments: if it ever
+/// survives in `code_mask`, a literal leaked into code text.
+const LEAK: &str = "LEAKZZ";
+
+/// Fragments whose contents must vanish from the code view.
+const OPAQUE: &[&str] = &[
+    "\"LEAKZZ\"",
+    "\"esc \\\" LEAKZZ \\\\\"",
+    "\"// LEAKZZ not a comment\"",
+    "\"/* LEAKZZ */\"",
+    "r\"LEAKZZ raw\"",
+    "r#\"LEAKZZ \" inside\"#",
+    "r##\"LEAKZZ \"# still inside\"##",
+    "b\"LEAKZZ bytes\"",
+    "br#\"LEAKZZ raw bytes\"#",
+    "c\"LEAKZZ c string\"",
+    "'\\''",
+    "'\\\\'",
+    "'\"'",
+    "// LEAKZZ line comment\n",
+    "// LEAKZZ with \" quote\n",
+    "/* LEAKZZ block */",
+    "/* LEAKZZ /* nested LEAKZZ */ tail LEAKZZ */",
+    "/** LEAKZZ doc \"quoted\" */",
+    "\"multi\nline LEAKZZ\nstring\"",
+];
+
+/// Fragments that stay visible code (none may contain the sentinel).
+const CODE: &[&str] = &[
+    "fn f() { g(); }\n",
+    "let x: Vec<u8> = vec![1, 2];\n",
+    "impl<'a> T<'a> for U { }\n",
+    "let _l: &'static str = s;\n",
+    "match c { 'x' => 1, _ => 0 };\n",
+    "x.unwrap();\n",
+    "let r#type = 1;\n",
+    "a #! b [attr]\n",
+    "println!(\"{}\", 0x2F);\n",
+    "while i < 10 { i += 1; }\n",
+];
+
+/// xorshift64* — deterministic corpus, no external PRNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick<'a>(&mut self, items: &[&'a str]) -> &'a str {
+        items[(self.next() % items.len() as u64) as usize]
+    }
+}
+
+fn assert_tiles(src: &str, toks: &[Token], what: &str) {
+    if src.is_empty() {
+        assert!(toks.is_empty(), "{what}: tokens for empty source");
+        return;
+    }
+    assert_eq!(toks[0].start, 0, "{what}: first token must start at 0");
+    for w in toks.windows(2) {
+        assert_eq!(
+            w[0].end, w[1].start,
+            "{what}: gap/overlap between tokens at byte {}",
+            w[0].end
+        );
+    }
+    assert_eq!(
+        toks.last().unwrap().end,
+        src.len(),
+        "{what}: last token must end at the file's last byte"
+    );
+    let mut line = 1;
+    for t in toks {
+        assert!(t.line >= line, "{what}: token line numbers must not regress");
+        line = t.line;
+    }
+}
+
+fn assert_no_leak(src: &str, toks: &[Token], what: &str) {
+    let mask = code_mask(src, toks);
+    assert_eq!(mask.len(), src.len(), "{what}: mask must keep byte length");
+    assert!(
+        !mask.contains(LEAK),
+        "{what}: literal/comment contents leaked into the code view:\n\
+         --- source ---\n{src}\n--- mask ---\n{mask}"
+    );
+    // Comments stay masked even in the strings-kept view.
+    let keep = code_mask_keep_strings(src, toks);
+    assert_eq!(keep.len(), src.len(), "{what}: keep-strings mask length");
+    for t in toks {
+        if matches!(t.kind, Kind::LineComment | Kind::BlockComment) {
+            assert!(
+                !keep[t.start..t.end].contains(LEAK),
+                "{what}: comment text survived the keep-strings view"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_corpus_tiles_and_never_leaks() {
+    let mut rng = Rng(0x5EED_CAFE_F00D_0001);
+    for round in 0..500 {
+        let mut src = String::new();
+        let pieces = 1 + (rng.next() % 12) as usize;
+        for _ in 0..pieces {
+            if rng.next() % 3 == 0 {
+                src.push_str(rng.pick(OPAQUE));
+                // A literal fragment must not glue onto the next one
+                // (`"a""b"` is fine, `r#"…"#"x"` too, but keep it simple).
+                src.push_str(" ;\n");
+            } else {
+                src.push_str(rng.pick(CODE));
+            }
+        }
+        let toks = tokenize(&src);
+        let what = format!("round {round}");
+        assert_tiles(&src, &toks, &what);
+        assert_no_leak(&src, &toks, &what);
+    }
+}
+
+#[test]
+fn unterminated_literals_still_tile() {
+    // Broken source must never panic or lose bytes — tidy runs on
+    // work-in-progress trees.
+    for src in [
+        "let s = \"never closed",
+        "let r = r#\"never closed",
+        "let c = '",
+        "/* never closed",
+        "fn f() { /* /* deep */ still open",
+        "\"\\",
+    ] {
+        let toks = tokenize(src);
+        assert_tiles(src, &toks, src);
+    }
+}
+
+#[test]
+fn real_workspace_files_tile_and_mask_cleanly() {
+    let root = match std::env::var_os("USJ_TIDY_ROOT") {
+        Some(root) => PathBuf::from(root),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("crates/tidy has a workspace root two levels up"),
+    };
+    let mut stack = vec![root.clone()];
+    let mut seen = 0usize;
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !matches!(&*name, "target" | ".git" | ".buildcheck" | "results")
+                    && !name.starts_with('.')
+                {
+                    stack.push(path);
+                }
+                continue;
+            }
+            if !name.ends_with(".rs") {
+                continue;
+            }
+            let Ok(src) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let toks = tokenize(&src);
+            let what = path.display().to_string();
+            assert_tiles(&src, &toks, &what);
+            let mask = code_mask(&src, &toks);
+            assert_eq!(mask.len(), src.len(), "{what}: mask length");
+            seen += 1;
+        }
+    }
+    assert!(seen > 20, "walked only {seen} .rs files — wrong root?");
+}

@@ -57,6 +57,7 @@ cp crates/simd/tests/parity.rs crates/simd/tests/forced_scalar.rs \
 # self-check at the real tree (the staged copy has no tidy.allow).
 mkdir -p .buildcheck/crates/tidy/tests
 cp crates/tidy/tests/tidy_fixtures.rs crates/tidy/tests/workspace_clean.rs \
+    crates/tidy/tests/tokenizer_props.rs crates/tidy/tests/emit_json.rs \
     .buildcheck/crates/tidy/tests/
 cp -r crates/tidy/tests/fixtures .buildcheck/crates/tidy/tests/fixtures
 export USJ_TIDY_ROOT="$PWD"

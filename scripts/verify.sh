@@ -11,10 +11,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Project-policy lints first (hot-path panic freedom, ordering
+# justifications, metric registration, budget loops, failpoint coverage,
+# lock discipline, dep allowlist, doc drift) — see crates/tidy. Tidy
+# builds in seconds and catches most policy mistakes, so it fails the
+# gate before the full-workspace build spends minutes.
+cargo run -q -p usj-tidy
 cargo build --release --workspace
 cargo test -q --workspace
-# Project-policy lints (hot-path panic freedom, ordering justifications,
-# metric registration, dep allowlist, doc drift) — see crates/tidy.
-cargo run -q -p usj-tidy
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
