@@ -8,6 +8,11 @@
 //! * `usj stats` — dataset summary statistics;
 //! * `usj serve` — expose a dataset index as an overload-resilient TCP
 //!   query service (bounded admission, degradation ladder, graceful drain);
+//! * `usj shard` — serve one length band of a dataset's deterministic
+//!   partition (the same server, answering collection-global ids);
+//! * `usj coord` — front a fleet of `usj shard` processes behind the
+//!   unchanged wire protocol: length-filter fan-out pruning, hedged
+//!   probes, per-shard quarantine, and an explicit partial-result policy;
 //! * `usj probe` — query a running `usj serve` instance, with backoff on
 //!   `BUSY` and client-side deadline propagation (`--trace-out FILE`
 //!   requests and saves the server-side Chrome trace);
@@ -29,7 +34,10 @@ use usj_core::obs::{ChromeTraceRecorder, CollectingRecorder, TraceRecorder};
 use usj_core::{FaultReport, FtOptions, JoinConfig, JoinError, Pipeline, SimilarityJoin};
 use usj_datagen::{Dataset, DatasetJson, DatasetKind, DatasetSpec};
 use usj_model::UncertainString;
-use usj_serve::{Client, ClientConfig, DegradeConfig, ProbeOutcome, ServeConfig, ServerHandle};
+use usj_serve::{
+    Client, ClientConfig, CoordConfig, CoordinatorHandle, DegradeConfig, ProbeOutcome,
+    ServeConfig, ServerHandle, ShardSpec,
+};
 
 /// CLI error type: every failure is a printable message with an exit code
 /// of 2.
@@ -121,6 +129,8 @@ USAGE:
   usj search   --input FILE --probe STRING [--k K] [--tau F]
   usj stats    --input FILE
   usj serve    --input FILE [--k K] [--tau F] [--q Q] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--queue-degrade N] [--queue-shed N] [--io-timeout-secs S] [--default-deadline-ms MS] [--retry-after-ms MS]
+  usj shard    --input FILE --shards N --shard-index I [--k K] [--tau F] [--q Q] [--addr HOST:PORT] [serve flags]
+  usj coord    --input FILE --shard-addrs H:P,H:P,.. [--k K] [--tau F] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--strict] [--hedge-after-ms MS] [--quarantine-after N] [--quarantine-cooldown-ms MS] [--io-timeout-secs S] [--default-deadline-ms MS] [--retry-after-ms MS]
   usj probe    --addr HOST:PORT --probe STRING [--k K] [--tau F] [--deadline-ms MS] [--retries N] [--trace-out FILE]
   usj metrics  --addr HOST:PORT
   usj bench    [--label L] [--n N] [--seed S] [--iters N] [--warmup N] [--out FILE] [--baseline FILE]
@@ -139,6 +149,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "search" => cmd_search(&flags),
         "stats" => cmd_stats(&flags),
         "serve" => cmd_serve(&flags),
+        "shard" => cmd_shard(&flags),
+        "coord" => cmd_coord(&flags),
         "probe" => cmd_probe(&flags),
         "metrics" => cmd_metrics(&flags),
         "bench" => cmd_bench(&flags),
@@ -504,30 +516,28 @@ fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Builds the index and starts the query service without blocking —
-/// split from [`cmd_serve`] so tests can reach the bound address and
-/// drive the drain themselves.
-fn start_serve(flags: &Flags) -> Result<ServerHandle, CliError> {
-    flags.assert_known(&[
-        "input",
-        "k",
-        "tau",
-        "q",
-        "pipeline",
-        "exact",
-        "addr",
-        "workers",
-        "queue-cap",
-        "queue-degrade",
-        "queue-shed",
-        "io-timeout-secs",
-        "default-deadline-ms",
-        "retry-after-ms",
-    ])?;
-    let ds = load_dataset(flags)?;
-    let config = join_config(flags)?;
+/// Flags shared by every serving topology (`usj serve` / `usj shard`).
+const SERVE_FLAGS: &[&str] = &[
+    "input",
+    "k",
+    "tau",
+    "q",
+    "pipeline",
+    "exact",
+    "addr",
+    "workers",
+    "queue-cap",
+    "queue-degrade",
+    "queue-shed",
+    "io-timeout-secs",
+    "default-deadline-ms",
+    "retry-after-ms",
+];
+
+/// Parses the single-server tuning flags into a [`ServeConfig`].
+fn serve_config_from_flags(flags: &Flags, default_addr: &str) -> Result<ServeConfig, CliError> {
     let mut cfg = ServeConfig {
-        addr: flags.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        addr: flags.get("addr").unwrap_or(default_addr).to_string(),
         ..ServeConfig::default()
     };
     cfg.workers = flags.get_parse("workers", cfg.workers)?;
@@ -563,6 +573,17 @@ fn start_serve(flags: &Flags) -> Result<ServerHandle, CliError> {
         queue_shed,
         ..degrade
     };
+    Ok(cfg)
+}
+
+/// Builds the index and starts the query service without blocking —
+/// split from [`cmd_serve`] so tests can reach the bound address and
+/// drive the drain themselves.
+fn start_serve(flags: &Flags) -> Result<ServerHandle, CliError> {
+    flags.assert_known(SERVE_FLAGS)?;
+    let ds = load_dataset(flags)?;
+    let config = join_config(flags)?;
+    let cfg = serve_config_from_flags(flags, "127.0.0.1:7878")?;
     let k = config.k;
     let tau = config.tau;
     let collection =
@@ -584,6 +605,155 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     let handle = start_serve(flags)?;
     // Blocks until a wire-level SHUTDOWN drains the server; the returned
     // snapshot is the flushed final stats.
+    let stats = handle.wait();
+    Ok(format!("{stats}\n"))
+}
+
+/// Starts one length-band shard of an `--shards`-way fleet. Every shard
+/// process must be launched from the same dataset file with the same
+/// `--shards` count so the fleet's partitions agree.
+fn start_shard(flags: &Flags) -> Result<ServerHandle, CliError> {
+    let mut known: Vec<&str> = SERVE_FLAGS.to_vec();
+    known.extend(["shards", "shard-index"]);
+    flags.assert_known(&known)?;
+    let shards: usize = flags.get_parse("shards", 0)?;
+    if shards == 0 {
+        return Err(err("--shards must be at least 1"));
+    }
+    let shard_index: usize = flags.get_parse("shard-index", shards)?;
+    if shard_index >= shards {
+        return Err(err(format!(
+            "--shard-index must lie in 0..{shards}, got {shard_index}"
+        )));
+    }
+    let ds = load_dataset(flags)?;
+    let config = join_config(flags)?;
+    // Shards default to an ephemeral port: the operator pastes the bound
+    // addresses into the coordinator's --shard-addrs.
+    let cfg = serve_config_from_flags(flags, "127.0.0.1:0")?;
+    let k = config.k;
+    let tau = config.tau;
+    let partition = usj_serve::shard_partition(&ds.strings, shards);
+    let handle = usj_serve::serve_shard(config, ds.alphabet, &ds.strings, &partition, shard_index, cfg)
+        .map_err(|e| err(format!("cannot bind shard: {e}")))?;
+    let slice = &partition.shards[shard_index];
+    let band = if slice.ids.is_empty() {
+        "empty band".to_string()
+    } else {
+        format!("lengths {}..={}", slice.min_len, slice.max_len)
+    };
+    eprintln!(
+        "usj-serve shard {shard_index}/{shards} listening on {} (k={k} tau={tau}, {band}, {} strings); \
+         send SHUTDOWN to drain",
+        handle.addr(),
+        slice.ids.len()
+    );
+    Ok(handle)
+}
+
+fn cmd_shard(flags: &Flags) -> Result<String, CliError> {
+    let handle = start_shard(flags)?;
+    let stats = handle.wait();
+    Ok(format!("{stats}\n"))
+}
+
+/// Flags accepted by the coordinator: the shared serving tuning knobs
+/// minus the single-node degrade thresholds, plus the fleet topology and
+/// hedging/quarantine policy.
+const COORD_FLAGS: &[&str] = &[
+    "input",
+    "k",
+    "tau",
+    "q",
+    "pipeline",
+    "exact",
+    "addr",
+    "workers",
+    "queue-cap",
+    "io-timeout-secs",
+    "default-deadline-ms",
+    "retry-after-ms",
+    "shard-addrs",
+    "strict",
+    "hedge-after-ms",
+    "quarantine-after",
+    "quarantine-cooldown-ms",
+];
+
+/// Starts the scatter-gather coordinator in front of an already-running
+/// shard fleet. The dataset file is loaded only to recompute the length
+/// bands — the coordinator holds no index of its own.
+fn start_coord(flags: &Flags) -> Result<CoordinatorHandle, CliError> {
+    flags.assert_known(COORD_FLAGS)?;
+    let ds = load_dataset(flags)?;
+    let config = join_config(flags)?;
+    let addrs: Vec<String> = flags
+        .require("shard-addrs")?
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err(err("--shard-addrs needs at least one HOST:PORT entry"));
+    }
+    let partition = usj_serve::shard_partition(&ds.strings, addrs.len());
+    let specs = ShardSpec::from_partition(&partition, &addrs).map_err(err)?;
+    let mut cfg = CoordConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
+        k: config.k,
+        tau: config.tau,
+        strict: flags.get_parse("strict", false)?,
+        ..CoordConfig::default()
+    };
+    cfg.workers = flags.get_parse("workers", cfg.workers)?;
+    if cfg.workers == 0 {
+        return Err(err("--workers must be at least 1"));
+    }
+    cfg.queue_cap = flags.get_parse("queue-cap", cfg.queue_cap)?;
+    if cfg.queue_cap == 0 {
+        return Err(err("--queue-cap must be at least 1"));
+    }
+    let io_timeout_secs: f64 = flags.get_parse("io-timeout-secs", 5.0)?;
+    if !io_timeout_secs.is_finite() || io_timeout_secs <= 0.0 {
+        return Err(err(format!(
+            "--io-timeout-secs must be a finite positive number, got {io_timeout_secs}"
+        )));
+    }
+    cfg.io_timeout = std::time::Duration::from_secs_f64(io_timeout_secs);
+    let default_deadline_ms: u64 = flags.get_parse("default-deadline-ms", 0)?;
+    if default_deadline_ms > 0 {
+        cfg.default_deadline = Some(std::time::Duration::from_millis(default_deadline_ms));
+    }
+    cfg.retry_after_ms = flags.get_parse("retry-after-ms", cfg.retry_after_ms)?;
+    let hedge_after_ms: u64 =
+        flags.get_parse("hedge-after-ms", cfg.hedge_after.as_millis() as u64)?;
+    cfg.hedge_after = std::time::Duration::from_millis(hedge_after_ms);
+    cfg.quarantine_after = flags.get_parse("quarantine-after", cfg.quarantine_after)?;
+    if cfg.quarantine_after == 0 {
+        return Err(err("--quarantine-after must be at least 1"));
+    }
+    let cooldown_ms: u64 = flags.get_parse(
+        "quarantine-cooldown-ms",
+        cfg.quarantine_cooldown.as_millis() as u64,
+    )?;
+    cfg.quarantine_cooldown = std::time::Duration::from_millis(cooldown_ms);
+    let k = cfg.k;
+    let tau = cfg.tau;
+    let strict = cfg.strict;
+    let n = specs.len();
+    let handle = usj_serve::coordinate(specs, ds.alphabet, cfg)
+        .map_err(|e| err(format!("cannot bind coordinator: {e}")))?;
+    eprintln!(
+        "usj-coord listening on {} (k={k} tau={tau}, {n} shards, {} partial results); \
+         send SHUTDOWN to drain",
+        handle.addr(),
+        if strict { "refusing" } else { "marking" }
+    );
+    Ok(handle)
+}
+
+fn cmd_coord(flags: &Flags) -> Result<String, CliError> {
+    let handle = start_coord(flags)?;
     let stats = handle.wait();
     Ok(format!("{stats}\n"))
 }
@@ -634,15 +804,26 @@ fn cmd_probe(flags: &Flags) -> Result<String, CliError> {
             }
             let _ = writeln!(out, "# {} hits (exact)", hits.len());
         }
-        ProbeOutcome::Degraded(ids) => {
+        ProbeOutcome::Degraded { ids, shards } => {
             for id in &ids {
                 let _ = writeln!(out, "{id}");
             }
-            let _ = writeln!(
-                out,
-                "# {} candidates (DEGRADED: filter-only superset, server under load)",
-                ids.len()
-            );
+            match shards {
+                Some((ok, total)) => {
+                    let _ = writeln!(
+                        out,
+                        "# {} candidates (DEGRADED: partial fleet, {ok}/{total} shards answered)",
+                        ids.len()
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "# {} candidates (DEGRADED: filter-only superset, server under load)",
+                        ids.len()
+                    );
+                }
+            }
         }
     }
     out.push_str(&trace_note);
@@ -1349,5 +1530,98 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.0.contains("probe failed:"), "{e:?}");
+    }
+
+    #[test]
+    fn shard_and_coord_fleet_matches_single_node_over_loopback() {
+        let data = tmpfile("fleet.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "30", "--seed", "25", "--out", &data,
+        ]))
+        .unwrap();
+
+        // Two shards on ephemeral ports, then a coordinator fronting them.
+        let shard_flags = |idx: &str| {
+            Flags::parse(&args(&[
+                "--input", &data, "--addr", "127.0.0.1:0", "--shards", "2",
+                "--shard-index", idx,
+            ]))
+            .unwrap()
+        };
+        let shard0 = start_shard(&shard_flags("0")).unwrap();
+        let shard1 = start_shard(&shard_flags("1")).unwrap();
+        let fleet = format!("{},{}", shard0.addr(), shard1.addr());
+        let coord_flags = Flags::parse(&args(&[
+            "--input", &data, "--addr", "127.0.0.1:0", "--shard-addrs", &fleet,
+        ]))
+        .unwrap();
+        let coord = start_coord(&coord_flags).unwrap();
+        let addr = coord.addr().to_string();
+
+        let ds_text = std::fs::read_to_string(&data).unwrap();
+        let ds = DatasetJson::from_json(&ds_text)
+            .unwrap()
+            .into_dataset()
+            .unwrap();
+        let probe = ds
+            .alphabet
+            .decode(&ds.strings[0].most_probable_world().instance);
+        let local = run(&args(&["search", "--input", &data, "--probe", &probe])).unwrap();
+        let served = run(&args(&["probe", "--addr", &addr, "--probe", &probe])).unwrap();
+        assert!(served.contains("hits (exact)"), "{served}");
+        let ids = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(|l| l.split('\t').next().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(ids(&local), ids(&served), "fleet hits diverge from local search");
+
+        // Parameter mismatches are refused at the coordinator, before any
+        // shard is bothered.
+        let e = run(&args(&[
+            "probe", "--addr", &addr, "--probe", &probe, "--k", "5",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("indexed for"), "{e:?}");
+
+        coord.shutdown();
+        shard0.shutdown();
+        shard1.shutdown();
+    }
+
+    #[test]
+    fn shard_and_coord_flags_are_validated() {
+        let data = tmpfile("fleetflags.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "10", "--seed", "26", "--out", &data,
+        ]))
+        .unwrap();
+        let e = run(&args(&["shard", "--input", &data])).unwrap_err();
+        assert!(e.0.contains("--shards must be at least 1"), "{e:?}");
+        let e = run(&args(&[
+            "shard", "--input", &data, "--shards", "2", "--shard-index", "2",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--shard-index must lie in 0..2"), "{e:?}");
+        let e = run(&args(&["coord", "--input", &data])).unwrap_err();
+        assert!(e.0.contains("missing required flag --shard-addrs"), "{e:?}");
+        let e = run(&args(&[
+            "coord", "--input", &data, "--shard-addrs", " , ",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("at least one HOST:PORT"), "{e:?}");
+        let e = run(&args(&[
+            "coord", "--input", &data, "--shard-addrs", "127.0.0.1:1",
+            "--quarantine-after", "0",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--quarantine-after must be at least 1"), "{e:?}");
+        let e = run(&args(&[
+            "coord", "--input", &data, "--shard-addrs", "127.0.0.1:1",
+            "--queue-degrade", "2",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("unknown flag --queue-degrade"), "{e:?}");
     }
 }

@@ -34,6 +34,7 @@ pub mod index;
 pub mod join;
 pub mod oracle;
 pub mod parallel;
+pub mod partition;
 pub mod record;
 pub mod stats;
 pub mod string_level;
@@ -54,6 +55,7 @@ pub use oracle::oracle_self_join;
 pub use parallel::{
     par_self_join, par_self_join_ft, par_self_join_recorded, FaultReport, FtOptions, JoinError,
 };
+pub use partition::{Partition, ShardSlice};
 pub use record::{PhaseSpan, Recording};
 pub use stats::{JoinStats, PhaseTimings};
 pub use string_level::{string_level_oracle, StringLevelJoin, StringLevelStats};

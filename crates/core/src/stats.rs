@@ -165,7 +165,11 @@ impl JoinStats {
             | Counter::ServeDegraded
             | Counter::ServeShed
             | Counter::ServeDeadline
-            | Counter::ServePanics => {}
+            | Counter::ServePanics
+            | Counter::HedgesSent
+            | Counter::HedgesWon
+            | Counter::ShardsQuarantined
+            | Counter::PartialResponses => {}
         }
     }
 
@@ -180,7 +184,10 @@ impl JoinStats {
             // Sharded-driver residency and server queue gauges live only
             // in richer recorders; the flat view keeps the classic
             // memory fields.
-            Gauge::ResidentShards | Gauge::PeakResidentBytes | Gauge::ServeQueueDepth => {}
+            Gauge::ResidentShards
+            | Gauge::PeakResidentBytes
+            | Gauge::ServeQueueDepth
+            | Gauge::ShardHealthy => {}
         }
     }
 

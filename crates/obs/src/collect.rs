@@ -376,7 +376,11 @@ mod tests {
     "serve_degraded": 0,
     "serve_shed": 0,
     "serve_deadline": 0,
-    "serve_panics": 0
+    "serve_panics": 0,
+    "hedges_sent": 0,
+    "hedges_won": 0,
+    "shards_quarantined": 0,
+    "partial_responses": 0
   },
   "gauges": {
     "index_bytes": 1000,
@@ -384,7 +388,8 @@ mod tests {
     "num_strings": 0,
     "resident_shards": 0,
     "peak_resident_bytes": 0,
-    "serve_queue_depth": 0
+    "serve_queue_depth": 0,
+    "shard_healthy": 0
   },
   "phases": {
     "qgram": {
@@ -654,6 +659,38 @@ mod tests {
       "max": 0
     },
     "serve_panics": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "hedges_sent": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "hedges_won": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "shards_quarantined": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "partial_responses": {
       "probes": 0,
       "sum": 0,
       "p50": 0,

@@ -195,11 +195,23 @@ pub enum Counter {
     /// Worker panics isolated by the server's `catch_unwind` perimeter;
     /// the poisoned request gets `ERR`, the listener survives.
     ServePanics,
+    /// Hedged second requests the coordinator dispatched after a shard
+    /// stayed silent past the p99-based hedge delay.
+    HedgesSent,
+    /// Hedged requests that answered before the primary (first answer
+    /// wins; the loser's connection is dropped).
+    HedgesWon,
+    /// Shard quarantine transitions (consecutive-failure threshold hit);
+    /// readmissions after half-open recovery do not decrement.
+    ShardsQuarantined,
+    /// Scatter-gather responses served from a subset of the relevant
+    /// shards (degraded mode only; strict mode refuses instead).
+    PartialResponses,
 }
 
 impl Counter {
     /// Every counter, in serialisation order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 32] = [
         Counter::PairsInScope,
         Counter::QgramSurvivors,
         Counter::QgramPrunedCount,
@@ -228,6 +240,10 @@ impl Counter {
         Counter::ServeShed,
         Counter::ServeDeadline,
         Counter::ServePanics,
+        Counter::HedgesSent,
+        Counter::HedgesWon,
+        Counter::ShardsQuarantined,
+        Counter::PartialResponses,
     ];
 
     /// Dense index into per-counter arrays.
@@ -266,6 +282,10 @@ impl Counter {
             Counter::ServeShed => "serve_shed",
             Counter::ServeDeadline => "serve_deadline",
             Counter::ServePanics => "serve_panics",
+            Counter::HedgesSent => "hedges_sent",
+            Counter::HedgesWon => "hedges_won",
+            Counter::ShardsQuarantined => "shards_quarantined",
+            Counter::PartialResponses => "partial_responses",
         }
     }
 }
@@ -286,17 +306,22 @@ pub enum Gauge {
     PeakResidentBytes,
     /// Peak depth of the query server's bounded admission queue.
     ServeQueueDepth,
+    /// Healthy (non-quarantined) shards behind the coordinator. Folded
+    /// with max semantics like every gauge, so a snapshot reports the
+    /// peak healthy count; the live per-shard view is the `SHARDS` verb.
+    ShardHealthy,
 }
 
 impl Gauge {
     /// Every gauge, in serialisation order.
-    pub const ALL: [Gauge; 6] = [
+    pub const ALL: [Gauge; 7] = [
         Gauge::IndexBytes,
         Gauge::PeakIndexBytes,
         Gauge::NumStrings,
         Gauge::ResidentShards,
         Gauge::PeakResidentBytes,
         Gauge::ServeQueueDepth,
+        Gauge::ShardHealthy,
     ];
 
     /// Dense index into per-gauge arrays.
@@ -313,6 +338,7 @@ impl Gauge {
             Gauge::ResidentShards => "resident_shards",
             Gauge::PeakResidentBytes => "peak_resident_bytes",
             Gauge::ServeQueueDepth => "serve_queue_depth",
+            Gauge::ShardHealthy => "shard_healthy",
         }
     }
 }

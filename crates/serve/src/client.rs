@@ -29,8 +29,9 @@ pub struct ClientConfig {
     /// End-to-end deadline across *all* attempts, propagated to the
     /// server per attempt as the remaining budget.
     pub deadline: Option<Duration>,
-    /// Jitter seed, so tests are reproducible.
-    pub seed: u64,
+    /// Seed for the backoff jitter (and trace-id minting), so retry
+    /// schedules are reproducible in tests and soak runs.
+    pub jitter_seed: u64,
 }
 
 impl Default for ClientConfig {
@@ -40,7 +41,7 @@ impl Default for ClientConfig {
             base_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_millis(500),
             deadline: None,
-            seed: 0x5eed_cafe,
+            jitter_seed: 0x5eed_cafe,
         }
     }
 }
@@ -50,9 +51,16 @@ impl Default for ClientConfig {
 pub enum ProbeOutcome {
     /// Exact `(id, Pr(ed ≤ k))` hits from the full pipeline.
     Exact(Vec<(u32, f64)>),
-    /// Filter-only candidate ids — a sound superset of the exact hit
-    /// ids, served while the server is degraded.
-    Degraded(Vec<u32>),
+    /// Superset candidate ids: a single server's filter-only answer
+    /// (`shards` is `None`), or a coordinator's partial scatter-gather
+    /// (`shards = Some((answered, total))`).
+    Degraded {
+        /// Candidate ids — a sound superset of the exact hit ids.
+        ids: Vec<u32>,
+        /// `(answered, total)` fleet coverage, when a coordinator
+        /// answered from a subset of its shards.
+        shards: Option<(u32, u32)>,
+    },
 }
 
 /// The server-side trace a traced probe came back with.
@@ -111,7 +119,7 @@ pub struct Client {
 impl Client {
     /// A client for `addr` (e.g. `"127.0.0.1:7878"`).
     pub fn new(addr: impl Into<String>, cfg: ClientConfig) -> Client {
-        let seed = cfg.seed;
+        let seed = cfg.jitter_seed;
         Client {
             addr: addr.into(),
             cfg,
@@ -163,8 +171,8 @@ impl Client {
             let remaining = self.remaining(started)?;
             match self.attempt(k, tau, text, trace_id, remaining) {
                 Ok((trace, Response::Ok(hits))) => return Ok((ProbeOutcome::Exact(hits), trace)),
-                Ok((trace, Response::Degraded(ids))) => {
-                    return Ok((ProbeOutcome::Degraded(ids), trace))
+                Ok((trace, Response::Degraded { ids, shards })) => {
+                    return Ok((ProbeOutcome::Degraded { ids, shards }, trace))
                 }
                 Ok((_, Response::Deadline { .. })) => return Err(ClientError::Deadline),
                 Ok((_, Response::Busy { retry_after_ms })) => {
@@ -236,6 +244,20 @@ impl Client {
     pub fn metrics(&mut self) -> Result<String, ClientError> {
         match self.attempt_line("METRICS", None) {
             Ok(Response::Metrics(text)) => Ok(text),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "unexpected response {:?}",
+                other.encode()
+            ))),
+            Err(RetryableError::Fatal(e)) => Err(e),
+            Err(RetryableError::Transport(e)) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// One `SHARDS` round-trip: per-shard health states from a
+    /// coordinator (a plain single-node server answers an empty list).
+    pub fn shards(&mut self) -> Result<Vec<crate::proto::ShardState>, ClientError> {
+        match self.attempt_line("SHARDS", None) {
+            Ok(Response::Shards(states)) => Ok(states),
             Ok(other) => Err(ClientError::Protocol(format!(
                 "unexpected response {:?}",
                 other.encode()
@@ -383,7 +405,7 @@ impl Client {
     }
 
     /// Capped exponential backoff with 50–100% jitter, floored at the
-    /// server's `retry_after_ms` hint.
+    /// server's `retry_after_ms` hint and never below `base_backoff`.
     fn backoff(&mut self, attempt: u32, hint_ms: u64) -> Duration {
         let exp = self
             .cfg
@@ -395,7 +417,12 @@ impl Client {
         // Jitter in [50%, 100%] of the window spreads synchronized
         // retry storms without ever retrying *before* half the hint.
         let half = full / 2;
-        half + Duration::from_nanos(self.next_u64() % (half.as_nanos().max(1) as u64))
+        let jittered = half + Duration::from_nanos(self.next_u64() % (half.as_nanos().max(1) as u64));
+        // A saturated server hints retry_after_ms=0 (and a tiny
+        // max_backoff collapses the window the same way); without a
+        // positive floor the retry loop hot-spins against a server that
+        // just shed us. base_backoff is the client's own minimum pause.
+        jittered.max(self.cfg.base_backoff)
     }
 
     /// xorshift64: deterministic, dependency-free jitter.
@@ -445,12 +472,68 @@ mod tests {
         let mut c = Client::new(
             "127.0.0.1:1",
             ClientConfig {
-                seed: 42,
+                jitter_seed: 42,
                 ..ClientConfig::default()
             },
         );
         let seq_c: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
         assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn zero_retry_hint_never_collapses_the_pause_to_a_hot_spin() {
+        // Regression: with the exponential window collapsed (max_backoff
+        // below base) and the server hinting retry_after_ms=0, the old
+        // jitter math produced ~0ns pauses — a hot spin hammering a
+        // server that just shed the request.
+        let mut c = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::ZERO,
+                ..ClientConfig::default()
+            },
+        );
+        for attempt in 1..=6 {
+            let pause = c.backoff(attempt, 0);
+            assert!(
+                pause >= c.cfg.base_backoff,
+                "attempt {attempt}: pause {pause:?} below base_backoff"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_seed_yields_a_pinned_backoff_schedule() {
+        // Two clients with the same jitter_seed walk identical schedules
+        // (what makes the overload/soak suites reproducible); the exact
+        // nanosecond values are pinned so an accidental reseeding or
+        // jitter-math change fails loudly.
+        let cfg = ClientConfig {
+            base_backoff: Duration::from_millis(8),
+            max_backoff: Duration::from_millis(64),
+            jitter_seed: 0xfeed_f00d,
+            ..ClientConfig::default()
+        };
+        let schedule = |mut c: Client| -> Vec<u128> {
+            (1..=5).map(|a| c.backoff(a, 0).as_nanos()).collect()
+        };
+        let a = schedule(Client::new("127.0.0.1:1", cfg.clone()));
+        let b = schedule(Client::new("127.0.0.1:1", cfg.clone()));
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(
+            a,
+            vec![9_407_661, 18_630_908, 50_671_397, 49_045_627, 51_615_515],
+            "pinned schedule for jitter_seed=0xfeed_f00d"
+        );
+        let reseeded = schedule(Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                jitter_seed: 0xfeed_f00e,
+                ..cfg
+            },
+        ));
+        assert_ne!(a, reseeded, "different seed, different schedule");
     }
 
     #[test]

@@ -35,6 +35,16 @@
 //!   client-minted `trace_id=` is answered with an extra `TRACE` line
 //!   holding its Chrome trace-event JSON (see [`usj_obs::ChromeTraceRecorder`]).
 //!
+//! - **Sharded scatter-gather** — [`shard`] binds this same server to
+//!   one length band of a [`usj_core::Partition`] (answers remapped to
+//!   collection-global ids), and [`coordinator`] fronts a fleet of such
+//!   shards behind the unchanged wire protocol: length-filter fan-out
+//!   pruning, per-shard deadlines carved from the request budget,
+//!   hedged second requests after the observed p99, consecutive-failure
+//!   quarantine with half-open recovery, and an explicit partial-result
+//!   policy (`DEGRADED shards=<ok>/<total>` supersets, or strict
+//!   refusal).
+//!
 //! The [`client`] pairs with it: blocking, one connection per request,
 //! capped exponential backoff with deterministic jitter on `BUSY`, and
 //! per-attempt deadline recomputation mirrored into socket timeouts.
@@ -44,11 +54,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod coordinator;
 pub mod degrade;
 pub mod proto;
 pub mod server;
+pub mod shard;
 
 pub use client::{Client, ClientConfig, ClientError, ProbeOutcome, ProbeTrace};
+pub use coordinator::{coordinate, CoordConfig, CoordinatorHandle, ShardSpec};
 pub use degrade::{Controller, DegradeConfig, Level};
-pub use proto::{parse_request, Request, Response};
+pub use proto::{parse_request, Request, Response, ShardState};
 pub use server::{serve, ServeConfig, ServerHandle};
+pub use shard::{serve_shard, shard_partition};

@@ -11,15 +11,25 @@
 //! -> PROBE <k> <tau> [deadline_ms=<n>] [trace_id=<16-hex>] <uncertain-string>
 //! <- TRACE <16-hex> <chrome-trace-json>   only for traced probes, before the answer
 //! <- OK <n> <id>:<prob-bits> ...          exact answer
-//! <- DEGRADED <n> <id> ...                filter-only superset answer
+//! <- DEGRADED [shards=<ok>/<total>] <n> <id> ...   superset answer
 //! <- BUSY retry_after_ms=<n>              shed; retry after the hint
 //! <- DEADLINE elapsed_ms=<n>              per-request deadline expired
 //! -> HEALTH                               -> HEALTH level=.. queue=.. inflight=..
 //! -> STATS                                -> STATS <one-line obs JSON>
 //! -> METRICS                              -> METRICS <escaped Prometheus text>
+//! -> SHARDS                               -> SHARDS <n> <idx>:<state> ...
 //! -> SHUTDOWN                             -> BYE (starts graceful drain)
 //! <- ERR <message>                        any malformed/failed request
 //! ```
+//!
+//! `DEGRADED` is one verb with two provenances sharing the superset
+//! contract: a single server under load answers filter-only candidates
+//! (no `shards=` marker), while a coordinator that lost shards marks how
+//! much of the fleet answered (`shards=<ok>/<total>`) — the ids are then
+//! the union of what the surviving shards returned. `SHARDS` is answered
+//! by the coordinator with each shard's health-machine state
+//! (`healthy` / `quarantined` / `half_open`); a plain single-node server
+//! answers `SHARDS 0` (it fronts no fleet).
 //!
 //! The uncertain-string operand is the *remainder* of the line (it may
 //! contain spaces: `jo{(h,0.7),(n,0.3)}n doe`), so options precede it.
@@ -53,8 +63,43 @@ pub enum Request {
     Stats,
     /// Prometheus text exposition of the live metrics registry.
     Metrics,
+    /// Per-shard health states (coordinator topology introspection).
+    Shards,
     /// Begin graceful drain: stop accepting, finish in-flight, flush.
     Shutdown,
+}
+
+/// One shard's position in the coordinator's health state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Serving traffic normally.
+    Healthy,
+    /// Benched after consecutive failures; not probed until the
+    /// cooldown elapses.
+    Quarantined,
+    /// Cooldown elapsed: the next relevant probe is a recovery trial.
+    HalfOpen,
+}
+
+impl ShardState {
+    /// Wire token for the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardState::Healthy => "healthy",
+            ShardState::Quarantined => "quarantined",
+            ShardState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Parses a wire token.
+    pub fn parse(tok: &str) -> Result<ShardState, String> {
+        match tok {
+            "healthy" => Ok(ShardState::Healthy),
+            "quarantined" => Ok(ShardState::Quarantined),
+            "half_open" => Ok(ShardState::HalfOpen),
+            other => Err(format!("unknown shard state {other:?}")),
+        }
+    }
 }
 
 /// Splits the first whitespace-delimited token off `s` (which must be
@@ -121,10 +166,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "HEALTH" => Ok(Request::Health),
         "STATS" => Ok(Request::Stats),
         "METRICS" => Ok(Request::Metrics),
+        "SHARDS" => Ok(Request::Shards),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "" => Err("empty request".to_string()),
         other => Err(format!(
-            "unknown verb {other:?} (expected PROBE/HEALTH/STATS/METRICS/SHUTDOWN)"
+            "unknown verb {other:?} (expected PROBE/HEALTH/STATS/METRICS/SHARDS/SHUTDOWN)"
         )),
     }
 }
@@ -134,9 +180,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 pub enum Response {
     /// Exact answer: `(id, Pr(ed ≤ k))` per hit, ascending by id.
     Ok(Vec<(u32, f64)>),
-    /// Degraded answer: filter-only candidate ids (a sound superset of
-    /// the exact hit ids), ascending.
-    Degraded(Vec<u32>),
+    /// Degraded answer: candidate ids forming a sound superset of the
+    /// exact hit ids, ascending.
+    Degraded {
+        /// The superset candidate ids.
+        ids: Vec<u32>,
+        /// `Some((answered, total))` when a coordinator served from a
+        /// subset of its fleet; `None` for a single server's filter-only
+        /// degradation.
+        shards: Option<(u32, u32)>,
+    },
     /// Shed: retry after the hinted backoff.
     Busy {
         /// Suggested client backoff before retrying.
@@ -160,6 +213,8 @@ pub enum Response {
     Stats(String),
     /// Prometheus text exposition (multi-line; escaped on the wire).
     Metrics(String),
+    /// Per-shard health states, in shard-index order.
+    Shards(Vec<ShardState>),
     /// Chrome trace-event JSON for one traced probe, echoing the
     /// client-minted trace id; sent before the probe's result line.
     Trace {
@@ -217,8 +272,12 @@ impl Response {
                 }
                 out
             }
-            Response::Degraded(ids) => {
-                let mut out = format!("DEGRADED {}", ids.len());
+            Response::Degraded { ids, shards } => {
+                let mut out = String::from("DEGRADED");
+                if let Some((ok, total)) = shards {
+                    out.push_str(&format!(" shards={ok}/{total}"));
+                }
+                out.push_str(&format!(" {}", ids.len()));
                 for id in ids {
                     out.push_str(&format!(" {id}"));
                 }
@@ -233,6 +292,13 @@ impl Response {
             } => format!("HEALTH level={level} queue={queue} inflight={inflight}"),
             Response::Stats(json) => format!("STATS {json}"),
             Response::Metrics(text) => format!("METRICS {}", escape_line(text)),
+            Response::Shards(states) => {
+                let mut out = format!("SHARDS {}", states.len());
+                for (idx, state) in states.iter().enumerate() {
+                    out.push_str(&format!(" {idx}:{}", state.as_str()));
+                }
+                out
+            }
             Response::Trace { trace_id, json } => {
                 format!("TRACE {trace_id:016x} {}", json.replace('\n', " "))
             }
@@ -271,6 +337,24 @@ impl Response {
                 Ok(Response::Ok(hits))
             }
             "DEGRADED" => {
+                let (first, after) = split_token(rest);
+                let (shards, rest) = match first.strip_prefix("shards=") {
+                    Some(frac) => {
+                        let (ok, total) = frac
+                            .split_once('/')
+                            .ok_or_else(|| format!("bad shards marker {first:?}"))?;
+                        let ok: u32 =
+                            ok.parse().map_err(|_| format!("bad shards marker {first:?}"))?;
+                        let total: u32 = total
+                            .parse()
+                            .map_err(|_| format!("bad shards marker {first:?}"))?;
+                        if ok > total || total == 0 {
+                            return Err(format!("bad shards marker {first:?}"));
+                        }
+                        (Some((ok, total)), after)
+                    }
+                    None => (None, rest),
+                };
                 let (n, tail) = count(rest)?;
                 let ids: Vec<u32> = tail
                     .split_whitespace()
@@ -279,7 +363,7 @@ impl Response {
                 if ids.len() != n {
                     return Err(format!("DEGRADED count {n} but {} ids", ids.len()));
                 }
-                Ok(Response::Degraded(ids))
+                Ok(Response::Degraded { ids, shards })
             }
             "BUSY" => {
                 let ms = rest
@@ -319,6 +403,25 @@ impl Response {
             }
             "STATS" => Ok(Response::Stats(rest.to_string())),
             "METRICS" => Ok(Response::Metrics(unescape_line(rest)?)),
+            "SHARDS" => {
+                let (n, tail) = count(rest)?;
+                let mut states = Vec::with_capacity(n);
+                for tok in tail.split_whitespace() {
+                    let (idx, state) = tok
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad shard entry {tok:?}"))?;
+                    let idx: usize =
+                        idx.parse().map_err(|_| format!("bad shard index {idx:?}"))?;
+                    if idx != states.len() {
+                        return Err(format!("shard entries out of order at {tok:?}"));
+                    }
+                    states.push(ShardState::parse(state)?);
+                }
+                if states.len() != n {
+                    return Err(format!("SHARDS count {n} but {} entries", states.len()));
+                }
+                Ok(Response::Shards(states))
+            }
             "TRACE" => {
                 let (id_tok, json) = split_token(rest);
                 let trace_id = u64::from_str_radix(id_tok, 16)
@@ -405,7 +508,24 @@ mod tests {
         let cases = [
             Response::Ok(vec![(3, 0.75), (9, 0.5000000001)]),
             Response::Ok(Vec::new()),
-            Response::Degraded(vec![1, 2, 8]),
+            Response::Degraded {
+                ids: vec![1, 2, 8],
+                shards: None,
+            },
+            Response::Degraded {
+                ids: vec![0, 7],
+                shards: Some((2, 3)),
+            },
+            Response::Degraded {
+                ids: Vec::new(),
+                shards: Some((1, 1)),
+            },
+            Response::Shards(vec![
+                ShardState::Healthy,
+                ShardState::Quarantined,
+                ShardState::HalfOpen,
+            ]),
+            Response::Shards(Vec::new()),
             Response::Busy { retry_after_ms: 40 },
             Response::Deadline { elapsed_ms: 17 },
             Response::Health {
@@ -441,6 +561,47 @@ mod tests {
     fn count_mismatch_is_a_protocol_error() {
         assert!(Response::parse("OK 2 1:3fe8000000000000").is_err());
         assert!(Response::parse("DEGRADED 1").is_err());
+        assert!(Response::parse("DEGRADED shards=1/3 2 5").is_err());
+        assert!(Response::parse("SHARDS 2 0:healthy").is_err());
+    }
+
+    #[test]
+    fn shards_request_parses() {
+        assert_eq!(parse_request("SHARDS").unwrap(), Request::Shards);
+        assert_eq!(parse_request("  SHARDS ").unwrap(), Request::Shards);
+    }
+
+    #[test]
+    fn degraded_shard_markers_are_validated() {
+        // Wire form places the marker between verb and count.
+        assert_eq!(
+            Response::Degraded {
+                ids: vec![4],
+                shards: Some((1, 2)),
+            }
+            .encode(),
+            "DEGRADED shards=1/2 1 4"
+        );
+        for bad in [
+            "DEGRADED shards=3 1 4",    // no slash
+            "DEGRADED shards=a/b 1 4",  // not numeric
+            "DEGRADED shards=3/2 1 4",  // answered > total
+            "DEGRADED shards=0/0 1 4",  // empty fleet cannot answer
+        ] {
+            let err = Response::parse(bad).unwrap_err();
+            assert!(err.contains("bad shards marker"), "{bad:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn shard_state_lines_are_validated() {
+        assert_eq!(
+            Response::parse("SHARDS 2 0:healthy 1:half_open").unwrap(),
+            Response::Shards(vec![ShardState::Healthy, ShardState::HalfOpen])
+        );
+        assert!(Response::parse("SHARDS 1 0:sleepy").is_err());
+        assert!(Response::parse("SHARDS 1 zero:healthy").is_err());
+        assert!(Response::parse("SHARDS 2 1:healthy 0:healthy").is_err());
     }
 
     #[test]

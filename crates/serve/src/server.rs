@@ -68,6 +68,11 @@ struct Shared {
     coll: IndexedCollection,
     alphabet: Alphabet,
     cfg: ServeConfig,
+    /// `Some` when this server is one shard of a partitioned fleet:
+    /// maps the local collection's dense ids to the global ids of the
+    /// full collection (ascending, so the remap is monotone and served
+    /// answers stay sorted by global id).
+    id_map: Option<Vec<u32>>,
     addr: SocketAddr,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
@@ -100,6 +105,18 @@ pub fn serve(
     alphabet: Alphabet,
     cfg: ServeConfig,
 ) -> io::Result<ServerHandle> {
+    serve_with_map(coll, alphabet, cfg, None)
+}
+
+/// [`serve`] with an optional local→global id map: the shard entry point
+/// (`crate::shard`) serves a sub-collection whose dense ids must be
+/// translated back to collection-global ids on the wire.
+pub(crate) fn serve_with_map(
+    coll: IndexedCollection,
+    alphabet: Alphabet,
+    cfg: ServeConfig,
+    id_map: Option<Vec<u32>>,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let workers = cfg.workers.max(1);
@@ -108,6 +125,7 @@ pub fn serve(
         coll,
         alphabet,
         cfg,
+        id_map,
         addr,
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
@@ -208,6 +226,25 @@ impl Shared {
         self.stop.load(Ordering::Acquire)
     }
 
+    /// Translates one local hit id to the collection-global id when this
+    /// server is a shard; the identity otherwise.
+    fn to_global_id(&self, id: u32) -> u32 {
+        match &self.id_map {
+            Some(map) => map[id as usize],
+            None => id,
+        }
+    }
+
+    /// Translates a sorted local id list to global ids. The map is
+    /// ascending, so the remap is monotone and the output stays sorted —
+    /// the coordinator's merge relies on that.
+    fn to_global_ids(&self, ids: Vec<u32>) -> Vec<u32> {
+        match &self.id_map {
+            Some(map) => ids.into_iter().map(|id| map[id as usize]).collect(),
+            None => ids,
+        }
+    }
+
     fn begin_drain(&self) {
         // ordering: Release — pairs with the Acquire loads in
         // `draining()` on the accept and worker threads.
@@ -221,7 +258,7 @@ impl Shared {
 
 /// Best-effort extraction of a panic payload's message (mirrors the CLI
 /// perimeter; injected faults downcast to their Display form).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(fault) = payload.downcast_ref::<usj_fault::InjectedFault>() {
         fault.to_string()
     } else if let Some(s) = payload.downcast_ref::<&str>() {
@@ -254,7 +291,15 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
 /// limit. The rejected client gets a retry-after hint and a closed
 /// connection; the admitted one is queued for a worker.
 fn admit(shared: &Shared, stream: TcpStream) {
-    if usj_fault::fire("serve.accept") {
+    // Shard and single-node admission are distinct failpoints so the
+    // coordinator suites can kill one shard's admission path without
+    // also killing the standalone differential baseline.
+    let injected = if shared.id_map.is_some() {
+        usj_fault::fire("shard.accept")
+    } else {
+        usj_fault::fire("serve.accept")
+    };
+    if injected {
         shared.record(|r| r.counter(Counter::FaultsInjected, 1));
     }
     let depth = {
@@ -393,6 +438,9 @@ fn handle_line(shared: &Shared, line: &str) -> Vec<Response> {
             vec![Response::Stats(compact_json(&json))]
         }
         Request::Metrics => vec![Response::Metrics(shared.registry.render_prometheus())],
+        // A single server (or one shard) fronts no fleet; only the
+        // coordinator answers with per-shard states.
+        Request::Shards => vec![Response::Shards(Vec::new())],
         Request::Shutdown => {
             shared.begin_drain();
             vec![Response::Bye]
@@ -467,7 +515,10 @@ fn handle_probe(
             local.enter_phase(Phase::Total);
             local.exit_phase(Phase::Total, started.elapsed());
             local.probe_end(probe_id);
-            Response::Degraded(ids)
+            Response::Degraded {
+                ids: shared.to_global_ids(ids),
+                shards: None,
+            }
         }
         Level::Full => {
             let budget = ProbeBudget {
@@ -483,7 +534,11 @@ fn handle_probe(
             ) {
                 Ok((hits, _stats)) => {
                     local.counter(Counter::ServeFull, 1);
-                    Response::Ok(hits.into_iter().map(|h| (h.id, h.prob)).collect())
+                    Response::Ok(
+                        hits.into_iter()
+                            .map(|h| (shared.to_global_id(h.id), h.prob))
+                            .collect(),
+                    )
                 }
                 Err(SearchAbort::Deadline { elapsed }) => {
                     local.counter(Counter::ServeDeadline, 1);

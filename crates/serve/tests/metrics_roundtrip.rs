@@ -142,6 +142,31 @@ fn metrics_exposition_covers_the_golden_schema_after_probes() {
 }
 
 #[test]
+fn sharding_metrics_are_pinned_in_the_golden_schema() {
+    // The coordinator's counters and gauge live in the same golden
+    // schema every server renders — a single-node exposition carries
+    // them at zero, so dashboards work unchanged across topologies.
+    let handle = start();
+    let text = handle.metrics_text();
+    for name in [
+        "hedges_sent",
+        "hedges_won",
+        "shards_quarantined",
+        "partial_responses",
+    ] {
+        assert!(
+            text.contains(&format!("\nusj_{name}_total 0\n")),
+            "missing zero-valued counter {name}"
+        );
+    }
+    assert!(
+        text.contains("\nusj_shard_healthy 0\n"),
+        "missing shard_healthy gauge"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn traced_probe_returns_its_trace_id_and_nested_chrome_spans() {
     let handle = start();
     let mut c = client(&handle);

@@ -156,7 +156,7 @@ fn saturated_server_sheds_degrades_and_never_corrupts() {
                     &handle,
                     ClientConfig {
                         max_retries: 0, // surface BUSY instead of retrying
-                        seed: 100 + i as u64,
+                        jitter_seed: 100 + i as u64,
                         ..ClientConfig::default()
                     },
                 );
@@ -182,7 +182,7 @@ fn saturated_server_sheds_degrades_and_never_corrupts() {
                     assert_eq!(prob.to_bits(), oprob.to_bits(), "served result corrupted");
                 }
             }
-            Ok(ProbeOutcome::Degraded(ids)) => {
+            Ok(ProbeOutcome::Degraded { ids, .. }) => {
                 degraded += 1;
                 let got: BTreeSet<u32> = ids.iter().copied().collect();
                 assert_eq!(got.len(), ids.len(), "duplicate candidate ids");

@@ -1,0 +1,188 @@
+//! Malformed-input robustness for the wire protocol and the
+//! coordinator: a corpus of truncated, garbled, and adversarial reply
+//! lines must come back as positioned `Err` strings — never a panic —
+//! and a live shard that answers garbage must count as a failed shard
+//! (toward quarantine), never poison the coordinator.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use usj_fault::shield;
+use usj_model::Alphabet;
+use usj_serve::{
+    coordinate, parse_request, Client, ClientConfig, CoordConfig, ProbeOutcome, Response,
+    ShardSpec, ShardState,
+};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    shield::install();
+    TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Every reply line a hostile or half-dead shard might emit. Parsing
+/// must reject each one with an `Err` — no panics, no silent `Ok`.
+const REPLY_CORPUS: &[&str] = &[
+    "",
+    " ",
+    "OK",
+    "OK x",
+    "OK 2 1",
+    "OK 1 1:nothex",
+    "OK 1 1:3ff0000000000000 2:3ff0000000000000",
+    "OK 18446744073709551616 1:3ff0000000000000",
+    "DEGRADED",
+    "DEGRADED x",
+    "DEGRADED 2 1",
+    "DEGRADED 1 1 2",
+    "DEGRADED shards=",
+    "DEGRADED shards=1 1 4",
+    "DEGRADED shards=a/b 1 4",
+    "DEGRADED shards=2/1 1 4",
+    "DEGRADED shards=0/0 0",
+    "DEGRADED shards=1/2",
+    "BUSY",
+    "BUSY retry_after_ms=",
+    "BUSY retry_after_ms=soon",
+    "DEADLINE",
+    "DEADLINE elapsed_ms=late",
+    "HEALTH",
+    "HEALTH level=9 queue=x inflight=0",
+    "METRICS \\q",
+    "TRACE",
+    "TRACE trace_id=xyz {}",
+    "SHARDS",
+    "SHARDS x",
+    "SHARDS 2 0:healthy",
+    "SHARDS 1 0:exploded",
+    "SHARDS 1 1:healthy",
+    "SHARDS 1 0healthy",
+    "WAT 3",
+    "ok 1 1:3ff0000000000000",
+    "OK\u{0} 1",
+    "\u{7f}\u{7f}\u{7f}",
+    "OK 1 1:3ff0000000000000 trailing",
+];
+
+#[test]
+fn malformed_reply_corpus_is_rejected_without_panicking() {
+    for line in REPLY_CORPUS {
+        match Response::parse(line) {
+            Err(msg) => assert!(
+                !msg.is_empty(),
+                "rejection must say what broke: {line:?}"
+            ),
+            Ok(parsed) => panic!("corpus line {line:?} parsed as {parsed:?}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_request_corpus_is_rejected_without_panicking() {
+    let corpus = [
+        "",
+        "PROBE",
+        "PROBE 1",
+        "PROBE 1 0.3",
+        "PROBE k 0.3 ACGT",
+        "PROBE 1 tau ACGT",
+        "PROBE 1 0.3 deadline_ms= ACGT",
+        "PROBE 1 0.3 deadline_ms=soon ACGT",
+        "PROBE 1 0.3 trace_id=xyz ACGT",
+        "PROBE 1 0.3 trace_id=0000000000000000 ACGT",
+        "PROBE 1 1.5 ACGT",
+        "probe 1 0.3 ACGT",
+        "NOPE",
+    ];
+    for line in corpus {
+        match parse_request(line) {
+            Err(msg) => assert!(!msg.is_empty(), "{line:?}"),
+            Ok(parsed) => panic!("request corpus line {line:?} parsed as {parsed:?}"),
+        }
+    }
+}
+
+/// A fake shard: accepts connections and answers every request line
+/// with the next entry from a garbage script.
+fn garbage_shard(replies: &'static [&'static str]) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake shard");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut served = 0usize;
+        for conn in listener.incoming() {
+            let Ok(conn) = conn else { continue };
+            let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+            let Ok(read_half) = conn.try_clone() else {
+                continue;
+            };
+            let mut reader = BufReader::new(read_half);
+            let mut writer = conn;
+            let mut line = String::new();
+            if reader.read_line(&mut line).is_ok() && !line.is_empty() {
+                let reply = replies[served % replies.len()];
+                served += 1;
+                let _ = writer.write_all(reply.as_bytes());
+                let _ = writer.write_all(b"\n");
+                let _ = writer.flush();
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn garbage_speaking_shard_is_quarantined_and_never_panics_the_coordinator() {
+    let _guard = lock();
+    let addr = garbage_shard(&[
+        "OK banana",
+        "WAT 3",
+        "DEGRADED shards=5/2 1 3",
+        "OK 2 1:3ff0000000000000",
+    ]);
+    let coord = coordinate(
+        vec![ShardSpec {
+            addr: addr.to_string(),
+            band: Some((1, 64)),
+        }],
+        Alphabet::dna(),
+        CoordConfig {
+            k: 1,
+            tau: 0.3,
+            strict: false,
+            quarantine_after: 2,
+            quarantine_cooldown: Duration::from_secs(30),
+            default_deadline: Some(Duration::from_millis(500)),
+            client: ClientConfig {
+                max_retries: 0,
+                ..ClientConfig::default()
+            },
+            ..CoordConfig::default()
+        },
+    )
+    .expect("bind coordinator");
+    let mut client = Client::new(coord.addr().to_string(), ClientConfig::default());
+    // Each garbled reply is a protocol failure for that shard: the
+    // degraded-mode answer is an *empty marked* result (0/1 shards),
+    // never a fabricated hit list and never a panic.
+    for round in 0..2 {
+        match client.probe(1, 0.3, "ACGT").expect("marked partial") {
+            ProbeOutcome::Degraded { ids, shards } => {
+                assert!(ids.is_empty(), "round {round}: no shard answered sanely");
+                assert_eq!(shards, Some((0, 1)), "round {round}");
+            }
+            other => panic!("round {round}: expected marked partial, got {other:?}"),
+        }
+    }
+    // Two consecutive protocol failures count toward quarantine exactly
+    // like connection loss.
+    assert_eq!(
+        client.shards().expect("SHARDS"),
+        vec![ShardState::Quarantined]
+    );
+    // The coordinator itself is still fully alive.
+    let (level, _, _) = client.health().expect("health");
+    assert_eq!(level, 2, "whole fleet quarantined");
+    coord.shutdown();
+}

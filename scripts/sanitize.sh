@@ -28,19 +28,21 @@
 # exits 0, so it is safe to run on any machine; CI sets SANITIZE_STRICT=1
 # to make missing prerequisites fatal there.
 #
-# Usage: sanitize.sh [all|kernels|serve] — `all` (default) runs every
-# check; `kernels` runs Miri plus the parallel-driver TSan blocks; and
-# `serve` runs only the usj-serve TSan block. The sanitize and serve CI
-# jobs use `kernels`/`serve` so neither suite is instrumented twice.
+# Usage: sanitize.sh [all|kernels|serve|coord] — `all` (default) runs
+# every check; `kernels` runs Miri plus the parallel-driver TSan blocks;
+# `serve` runs the single-node usj-serve TSan block; and `coord` runs
+# the coordinator/shard-fleet TSan block. The sanitize, serve, and
+# coordinator CI jobs use `kernels`/`serve`/`coord` so no suite is
+# instrumented twice.
 
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
 ONLY="${1:-all}"
 case "$ONLY" in
-    all | kernels | serve) ;;
+    all | kernels | serve | coord) ;;
     *)
-        printf 'usage: %s [all|kernels|serve]\n' "$0" >&2
+        printf 'usage: %s [all|kernels|serve|coord]\n' "$0" >&2
         exit 2
         ;;
 esac
@@ -177,19 +179,42 @@ run_tsan_serve() {
     # injection plans are process-global.
     if ! RUSTFLAGS="-Zsanitizer=thread" \
         cargo +nightly test -Zbuild-std --target "$HOST" \
-        -p usj-serve -- --test-threads 1; then
+        -p usj-serve --lib --test overload --test metrics_roundtrip \
+        -- --test-threads 1; then
         note "FAIL: ThreadSanitizer found a problem in usj-serve"
         FAILED=1
     fi
 }
 
-if [ "$ONLY" != "serve" ]; then
+# ---- ThreadSanitizer over the scatter-gather coordinator ----------------
+run_tsan_coord() {
+    tsan_prereqs || return 0
+    note "TSan: coordinator scatter-gather / kill-a-shard tests (-Zsanitizer=thread)"
+    # The coordinator crosses more threads than the single-node server:
+    # gather loops join detached per-shard dispatch threads through mpsc
+    # channels while hedges race the primary attempt, health tracking
+    # mixes a mutexed table with the stop flag, and the soak test kills a
+    # live proxy mid-probe. Single-threaded test order because the fault
+    # injection plans are process-global.
+    if ! RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$HOST" \
+        -p usj-serve --test coordinator --test proto_malformed \
+        -- --test-threads 1; then
+        note "FAIL: ThreadSanitizer found a problem in the coordinator"
+        FAILED=1
+    fi
+}
+
+if [ "$ONLY" = "all" ] || [ "$ONLY" = "kernels" ]; then
     run_miri
     run_forced_scalar
     run_tsan
 fi
-if [ "$ONLY" != "kernels" ]; then
+if [ "$ONLY" = "all" ] || [ "$ONLY" = "serve" ]; then
     run_tsan_serve
+fi
+if [ "$ONLY" = "all" ] || [ "$ONLY" = "coord" ]; then
+    run_tsan_coord
 fi
 
 if [ "$FAILED" = "1" ]; then
