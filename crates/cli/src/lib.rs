@@ -10,6 +10,9 @@
 //!   query service (bounded admission, degradation ladder, graceful drain);
 //! * `usj shard` — serve one length band of a dataset's deterministic
 //!   partition (the same server, answering collection-global ids);
+//! * `usj snapshot` — write, verify, or fsck a durable on-disk index
+//!   image; `usj serve --snapshot FILE` / `usj shard --snapshot FILE`
+//!   boot from one through the recovery ladder for warm restarts;
 //! * `usj coord` — front a fleet of `usj shard` processes behind the
 //!   unchanged wire protocol: length-filter fan-out pruning, hedged
 //!   probes, per-shard quarantine, and an explicit partial-result policy;
@@ -128,8 +131,9 @@ USAGE:
   usj join     --input FILE [--k K] [--tau F] [--q Q] [--pipeline qfct|qct|qft|fct] [--exact true] [--threads N] [--shard-band B] [--batch-min N] [--batch-max N] [--deadline-secs S] [--checkpoint DIR] [--resume] [--out FILE] [--stats-json FILE] [--trace] [--chrome-trace FILE]
   usj search   --input FILE --probe STRING [--k K] [--tau F]
   usj stats    --input FILE
-  usj serve    --input FILE [--k K] [--tau F] [--q Q] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--queue-degrade N] [--queue-shed N] [--io-timeout-secs S] [--default-deadline-ms MS] [--retry-after-ms MS]
-  usj shard    --input FILE --shards N --shard-index I [--k K] [--tau F] [--q Q] [--addr HOST:PORT] [serve flags]
+  usj serve    --input FILE [--snapshot FILE] [--k K] [--tau F] [--q Q] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--queue-degrade N] [--queue-shed N] [--io-timeout-secs S] [--default-deadline-ms MS] [--retry-after-ms MS]
+  usj shard    --input FILE --shards N --shard-index I [--snapshot FILE] [--k K] [--tau F] [--q Q] [--addr HOST:PORT] [serve flags]
+  usj snapshot write|verify|fsck --snapshot FILE [--input FILE] [--k K] [--tau F] [--q Q] [--pipeline qfct|qct|qft|fct] [--exact true]
   usj coord    --input FILE --shard-addrs H:P,H:P,.. [--k K] [--tau F] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--strict] [--hedge-after-ms MS] [--quarantine-after N] [--quarantine-cooldown-ms MS] [--io-timeout-secs S] [--default-deadline-ms MS] [--retry-after-ms MS]
   usj probe    --addr HOST:PORT --probe STRING [--k K] [--tau F] [--deadline-ms MS] [--retries N] [--trace-out FILE]
   usj metrics  --addr HOST:PORT
@@ -142,6 +146,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Err(err(USAGE));
     };
+    // `snapshot` takes a positional mode word (`write|verify|fsck`)
+    // before its flags, so it parses its own argument tail.
+    if command == "snapshot" {
+        return cmd_snapshot(rest);
+    }
     let flags = Flags::parse(rest)?;
     match command.as_str() {
         "generate" => cmd_generate(&flags),
@@ -186,7 +195,7 @@ fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
     let out = flags.require("out")?;
     let ds = DatasetSpec::new(kind, n, seed).with_theta(theta).generate();
     let json = DatasetJson::from(&ds).to_json();
-    usj_core::atomic_write(std::path::Path::new(out), &json, "cli.write")
+    usj_core::durable_atomic_write(std::path::Path::new(out), &json, "cli.write")
         .map_err(|e| err(format!("cannot write {out}: {e}")))?;
     Ok(format!(
         "wrote {n} {kind:?} strings (avg len {:.1}, avg theta {:.2}) to {out}\n",
@@ -358,7 +367,7 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
         };
         let (collected, (_tracer, chrome)) = recorder;
         if let Some(path) = stats_json {
-            usj_core::atomic_write(std::path::Path::new(path), &collected.to_json(), "cli.write")
+            usj_core::durable_atomic_write(std::path::Path::new(path), &collected.to_json(), "cli.write")
                 .map_err(|e| err(format!("cannot write {path}: {e}")))?;
         }
         if let Some(path) = chrome_trace {
@@ -366,7 +375,7 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
             let json = chrome
                 .finish()
                 .unwrap_or_else(|| "{\"traceEvents\":[]}".to_string());
-            usj_core::atomic_write(std::path::Path::new(path), &json, "cli.write")
+            usj_core::durable_atomic_write(std::path::Path::new(path), &json, "cli.write")
                 .map_err(|e| err(format!("cannot write {path}: {e}")))?;
         }
         (result, report)
@@ -394,7 +403,7 @@ fn cmd_join(flags: &Flags) -> Result<String, CliError> {
             .map(|p| serde_json::json!({"left": p.left, "right": p.right, "prob": p.prob}))
             .collect();
         let text = serde_json::to_string_pretty(&records).expect("pairs serialise");
-        usj_core::atomic_write(std::path::Path::new(path), &text, "cli.write")
+        usj_core::durable_atomic_write(std::path::Path::new(path), &text, "cli.write")
             .map_err(|e| err(format!("cannot write {path}: {e}")))?;
     }
     Ok(out)
@@ -519,6 +528,7 @@ fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
 /// Flags shared by every serving topology (`usj serve` / `usj shard`).
 const SERVE_FLAGS: &[&str] = &[
     "input",
+    "snapshot",
     "k",
     "tau",
     "q",
@@ -586,19 +596,57 @@ fn start_serve(flags: &Flags) -> Result<ServerHandle, CliError> {
     let cfg = serve_config_from_flags(flags, "127.0.0.1:7878")?;
     let k = config.k;
     let tau = config.tau;
-    let collection =
-        usj_core::IndexedCollection::build(config, ds.alphabet.size(), ds.strings.clone());
-    let handle = usj_serve::serve(collection, ds.alphabet, cfg)
-        .map_err(|e| err(format!("cannot bind query service: {e}")))?;
+    let n = ds.strings.len();
+    let (handle, boot) = match flags.get("snapshot") {
+        Some(snap) => {
+            let (handle, report) = usj_serve::serve_from_snapshot(
+                std::path::Path::new(snap),
+                config,
+                ds.strings,
+                ds.alphabet,
+                cfg,
+            )
+            .map_err(|e| err(format!("cannot serve snapshot {snap}: {e}")))?;
+            (handle, describe_boot(&report))
+        }
+        None => {
+            let collection =
+                usj_core::IndexedCollection::build(config, ds.alphabet.size(), ds.strings);
+            let handle = usj_serve::serve(collection, ds.alphabet, cfg)
+                .map_err(|e| err(format!("cannot bind query service: {e}")))?;
+            (handle, "cold build".to_string())
+        }
+    };
     // The banner goes to stderr: stdout is reserved for the final stats
     // snapshot flushed on drain.
     eprintln!(
-        "usj-serve listening on {} (k={k} tau={tau}, {} strings); \
+        "usj-serve listening on {} (k={k} tau={tau}, {n} strings, {boot}); \
          send SHUTDOWN to drain",
         handle.addr(),
-        ds.strings.len()
     );
     Ok(handle)
+}
+
+/// One-line boot summary for the serve/shard banners: warm/cold, the
+/// recovery-ladder rung, the snapshot age, and any bands still pending
+/// their background rebuild.
+fn describe_boot(report: &usj_core::SnapshotReport) -> String {
+    let mut s = format!(
+        "{} start, rung {:?}",
+        if report.warm { "warm" } else { "cold" },
+        report.rung
+    );
+    if let Some(age) = report.age_seconds {
+        let _ = write!(s, ", snapshot age {age}s");
+    }
+    if !report.degraded_bands.is_empty() {
+        let _ = write!(
+            s,
+            ", {} band(s) degraded pending rebuild",
+            report.degraded_bands.len()
+        );
+    }
+    s
 }
 
 fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
@@ -634,8 +682,28 @@ fn start_shard(flags: &Flags) -> Result<ServerHandle, CliError> {
     let k = config.k;
     let tau = config.tau;
     let partition = usj_serve::shard_partition(&ds.strings, shards);
-    let handle = usj_serve::serve_shard(config, ds.alphabet, &ds.strings, &partition, shard_index, cfg)
-        .map_err(|e| err(format!("cannot bind shard: {e}")))?;
+    let handle = match flags.get("snapshot") {
+        // The flag names the fleet-wide base path; each shard derives
+        // its own `<base>.shard<idx>` image.
+        Some(base) => {
+            let (handle, report) = usj_serve::serve_shard_from_snapshot(
+                std::path::Path::new(base),
+                config,
+                ds.alphabet,
+                &ds.strings,
+                &partition,
+                shard_index,
+                cfg,
+            )
+            .map_err(|e| err(format!("cannot serve shard snapshot {base}: {e}")))?;
+            eprintln!("usj-serve shard {shard_index}: {}", describe_boot(&report));
+            handle
+        }
+        None => {
+            usj_serve::serve_shard(config, ds.alphabet, &ds.strings, &partition, shard_index, cfg)
+                .map_err(|e| err(format!("cannot bind shard: {e}")))?
+        }
+    };
     let slice = &partition.shards[shard_index];
     let band = if slice.ids.is_empty() {
         "empty band".to_string()
@@ -655,6 +723,111 @@ fn cmd_shard(flags: &Flags) -> Result<String, CliError> {
     let handle = start_shard(flags)?;
     let stats = handle.wait();
     Ok(format!("{stats}\n"))
+}
+
+/// Flags of the `usj snapshot` modes: the image path plus the dataset
+/// and configuration needed to build (or fingerprint) the index.
+const SNAPSHOT_FLAGS: &[&str] = &["snapshot", "input", "k", "tau", "q", "pipeline", "exact"];
+
+/// `usj snapshot <write|verify|fsck>` — the durable index-image
+/// toolbox. The mode is positional (before the flags) because the
+/// three verbs take different flag subsets.
+fn cmd_snapshot(args: &[String]) -> Result<String, CliError> {
+    let Some((mode, rest)) = args.split_first() else {
+        return Err(err(
+            "usage: usj snapshot <write|verify|fsck> --snapshot FILE [--input FILE] [config flags]",
+        ));
+    };
+    let flags = Flags::parse(rest)?;
+    match mode.as_str() {
+        "write" => snapshot_write(&flags),
+        "verify" => snapshot_verify(&flags),
+        "fsck" => snapshot_fsck(&flags),
+        other => Err(err(format!(
+            "unknown snapshot mode {other:?} (write|verify|fsck)"
+        ))),
+    }
+}
+
+/// Builds the index from the dataset and commits it durably (write a
+/// temporary, fsync, atomic rename — see `usj_core::snapshot`).
+fn snapshot_write(flags: &Flags) -> Result<String, CliError> {
+    flags.assert_known(SNAPSHOT_FLAGS)?;
+    let path = flags.require("snapshot")?;
+    let ds = load_dataset(flags)?;
+    let config = join_config(flags)?;
+    let coll = usj_core::IndexedCollection::build(config, ds.alphabet.size(), ds.strings);
+    let report = usj_core::snapshot::write(std::path::Path::new(path), &coll)
+        .map_err(|e| err(format!("cannot write snapshot {path}: {e}")))?;
+    Ok(format!(
+        "wrote snapshot {path}: {} bytes, {} sections, fingerprint {:016x}\n",
+        report.bytes, report.sections, report.fingerprint
+    ))
+}
+
+/// Checksum walk only — header, footer, and every section, with a
+/// per-section verdict. Any corruption is a hard error (exit code 2),
+/// so scripts can gate restarts on `usj snapshot verify`.
+fn snapshot_verify(flags: &Flags) -> Result<String, CliError> {
+    flags.assert_known(&["snapshot"])?;
+    let path = flags.require("snapshot")?;
+    let report = usj_core::snapshot::verify(std::path::Path::new(path))
+        .map_err(|e| err(format!("cannot verify snapshot {path}: {e}")))?;
+    let mut out = format!("snapshot {path}: fingerprint {:016x}\n", report.fingerprint);
+    for s in &report.sections {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>8} bytes  {}",
+            s.name,
+            s.bytes,
+            if s.ok { "ok" } else { "CORRUPT" }
+        );
+    }
+    if report.ok {
+        out.push_str("verify: ok\n");
+        Ok(out)
+    } else {
+        Err(err(format!("{out}verify FAILED: {}", report.diagnosis)))
+    }
+}
+
+/// Full repair check: walks the checksums, then drives the recovery
+/// ladder against the dataset (strict salvage, rebuilding damaged
+/// bands inline) and reports the rung the load landed on.
+fn snapshot_fsck(flags: &Flags) -> Result<String, CliError> {
+    flags.assert_known(SNAPSHOT_FLAGS)?;
+    let path = flags.require("snapshot")?;
+    let ds = load_dataset(flags)?;
+    let config = join_config(flags)?;
+    let checksums = usj_core::snapshot::verify(std::path::Path::new(path));
+    let loaded = usj_core::snapshot::load(
+        std::path::Path::new(path),
+        &config,
+        ds.alphabet.size(),
+        ds.strings,
+        usj_core::SalvageMode::Strict,
+    )
+    .map_err(|e| err(format!("fsck {path}: {e}")))?;
+    let r = &loaded.report;
+    let mut out = String::new();
+    match checksums {
+        Ok(v) if v.ok => {
+            let _ = writeln!(out, "fsck {path}: checksums ok");
+        }
+        Ok(v) => {
+            let _ = writeln!(out, "fsck {path}: {}", v.diagnosis);
+        }
+        Err(e) => {
+            let _ = writeln!(out, "fsck {path}: unreadable: {e}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "recovery: rung {:?}, {} bands ({} salvaged, {} rebuilt), {} corruption(s) detected",
+        r.rung, r.bands_total, r.bands_salvaged, r.bands_rebuilt, r.corruptions_detected
+    );
+    let _ = writeln!(out, "diagnosis: {}", r.reason);
+    Ok(out)
 }
 
 /// Flags accepted by the coordinator: the shared serving tuning knobs
@@ -782,7 +955,7 @@ fn cmd_probe(flags: &Flags) -> Result<String, CliError> {
             .map_err(|e| err(format!("probe failed: {e}")))?;
         match probe_trace {
             Some(t) => {
-                usj_core::atomic_write(std::path::Path::new(path), &t.json, "cli.write")
+                usj_core::durable_atomic_write(std::path::Path::new(path), &t.json, "cli.write")
                     .map_err(|e| err(format!("cannot write {path}: {e}")))?;
                 let _ = writeln!(trace_note, "# trace {:016x} written to {path}", t.trace_id);
             }
@@ -865,7 +1038,7 @@ fn cmd_bench(flags: &Flags) -> Result<String, CliError> {
     let report = usj_core::bench::kernel_suite(label, n, seed, BenchSpec { warmup, iters });
     let default_out = format!("BENCH_{label}.json");
     let out_path = flags.get("out").unwrap_or(default_out.as_str());
-    usj_core::atomic_write(std::path::Path::new(out_path), &report.to_json(), "cli.write")
+    usj_core::durable_atomic_write(std::path::Path::new(out_path), &report.to_json(), "cli.write")
         .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
     let mut out = String::new();
     for b in &report.benches {
@@ -1532,6 +1705,96 @@ mod tests {
         assert!(e.0.contains("probe failed:"), "{e:?}");
     }
 
+    /// `usj snapshot write|verify|fsck` and a warm `usj serve
+    /// --snapshot` boot agree with a cold build end to end, and a
+    /// flipped byte turns `verify` into a hard failure.
+    #[test]
+    fn snapshot_write_verify_fsck_and_warm_serve_roundtrip() {
+        let data = tmpfile("snaproll.json");
+        run(&args(&[
+            "generate", "--kind", "dblp", "--n", "20", "--seed", "27", "--out", &data,
+        ]))
+        .unwrap();
+        let snap = tmpfile("snaproll.snap");
+        let wrote = run(&args(&[
+            "snapshot", "write", "--input", &data, "--snapshot", &snap,
+        ]))
+        .unwrap();
+        assert!(wrote.contains("fingerprint"), "{wrote}");
+        let verified = run(&args(&["snapshot", "verify", "--snapshot", &snap])).unwrap();
+        assert!(verified.contains("verify: ok"), "{verified}");
+        assert!(verified.contains("interner"), "{verified}");
+        let fsck = run(&args(&[
+            "snapshot", "fsck", "--input", &data, "--snapshot", &snap,
+        ]))
+        .unwrap();
+        assert!(fsck.contains("rung Verified"), "{fsck}");
+
+        // Warm boot from the image answers like a local search.
+        let flags = Flags::parse(&args(&[
+            "--input", &data, "--addr", "127.0.0.1:0", "--snapshot", &snap,
+        ]))
+        .unwrap();
+        let handle = start_serve(&flags).unwrap();
+        let addr = handle.addr().to_string();
+        let ds_text = std::fs::read_to_string(&data).unwrap();
+        let ds = DatasetJson::from_json(&ds_text)
+            .unwrap()
+            .into_dataset()
+            .unwrap();
+        let probe = ds
+            .alphabet
+            .decode(&ds.strings[0].most_probable_world().instance);
+        let local = run(&args(&["search", "--input", &data, "--probe", &probe])).unwrap();
+        let served = run(&args(&["probe", "--addr", &addr, "--probe", &probe])).unwrap();
+        assert!(served.contains("hits (exact)"), "{served}");
+        let ids = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(|l| l.split('\t').next().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(ids(&local), ids(&served), "warm hits diverge from local search");
+        handle.shutdown();
+
+        // A single flipped byte fails verification with a diagnosis.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&snap, &bytes).unwrap();
+        let e = run(&args(&["snapshot", "verify", "--snapshot", &snap])).unwrap_err();
+        assert!(e.0.contains("verify FAILED"), "{e:?}");
+        // fsck still recovers it — strict salvage rebuilds the damage.
+        let fsck = run(&args(&[
+            "snapshot", "fsck", "--input", &data, "--snapshot", &snap,
+        ]))
+        .unwrap();
+        assert!(!fsck.contains("rung Verified"), "{fsck}");
+        assert!(fsck.contains("corruption"), "{fsck}");
+    }
+
+    #[test]
+    fn snapshot_flags_are_validated() {
+        let e = run(&args(&["snapshot"])).unwrap_err();
+        assert!(e.0.contains("usage: usj snapshot"), "{e:?}");
+        let e = run(&args(&["snapshot", "defrag"])).unwrap_err();
+        assert!(e.0.contains("unknown snapshot mode"), "{e:?}");
+        let e = run(&args(&["snapshot", "verify"])).unwrap_err();
+        assert!(e.0.contains("missing required flag --snapshot"), "{e:?}");
+        let e = run(&args(&["snapshot", "write", "--snapshot", "x.snap"])).unwrap_err();
+        assert!(e.0.contains("missing required flag --input"), "{e:?}");
+        let e = run(&args(&[
+            "snapshot", "verify", "--snapshot", "/nonexistent/x.snap",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("cannot verify snapshot"), "{e:?}");
+        let e = run(&args(&[
+            "snapshot", "write", "--snapshot", "x", "--input", "x", "--workers", "2",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("unknown flag --workers"), "{e:?}");
+    }
+
     #[test]
     fn shard_and_coord_fleet_matches_single_node_over_loopback() {
         let data = tmpfile("fleet.json");
@@ -1540,11 +1803,15 @@ mod tests {
         ]))
         .unwrap();
 
-        // Two shards on ephemeral ports, then a coordinator fronting them.
+        // Two shards on ephemeral ports, then a coordinator fronting
+        // them. The shards boot through the snapshot path (a cold miss
+        // on the first run: each rebuilds and re-writes its own
+        // `<base>.shard<idx>` image for the next restart).
+        let snap_base = tmpfile("fleet.snap");
         let shard_flags = |idx: &str| {
             Flags::parse(&args(&[
                 "--input", &data, "--addr", "127.0.0.1:0", "--shards", "2",
-                "--shard-index", idx,
+                "--shard-index", idx, "--snapshot", &snap_base,
             ]))
             .unwrap()
         };

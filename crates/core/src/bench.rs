@@ -1,7 +1,7 @@
 //! Fixed-seed micro/meso benchmarks over the pipeline's hot kernels.
 //!
 //! This is the suite behind `usj bench` and the `bench_kernels` binary:
-//! nine benches spanning the cost hierarchy of the paper's join —
+//! ten benches spanning the cost hierarchy of the paper's join —
 //!
 //! | bench                        | kernel                                   |
 //! |------------------------------|------------------------------------------|
@@ -14,6 +14,7 @@
 //! | `simd_cdf_row_update`        | dispatched CDF row kernel (`usj-simd`)   |
 //! | `simd_prefix_strip`          | dispatched affix scans (`usj-simd`)      |
 //! | `simd_intersect_u32`         | dispatched sorted-id intersect (`usj-simd`) |
+//! | `snapshot_load_vs_rebuild`   | warm-restart decode (`snapshot::load`, rung Verified) |
 //!
 //! Inputs are generated from a caller-supplied xorshift seed, so two runs
 //! with the same seed and `n` measure identical work — the timing
@@ -33,6 +34,7 @@ use usj_qgram::poisson_binomial;
 
 use crate::config::JoinConfig;
 use crate::join::SimilarityJoin;
+use crate::snapshot::{self, SalvageMode};
 use crate::IndexedCollection;
 
 /// Alphabet size of the generated collections (DNA-like).
@@ -40,7 +42,7 @@ pub const BENCH_SIGMA: usize = 4;
 
 /// Stable bench names, in run order (pinned by tests and the committed
 /// `BENCH_baseline.json`).
-pub const BENCH_NAMES: [&str; 9] = [
+pub const BENCH_NAMES: [&str; 10] = [
     "edit_distance_banded",
     "poisson_binomial_segment_dp",
     "cdf_bound_recurrence",
@@ -50,6 +52,7 @@ pub const BENCH_NAMES: [&str; 9] = [
     "simd_cdf_row_update",
     "simd_prefix_strip",
     "simd_intersect_u32",
+    "snapshot_load_vs_rebuild",
 ];
 
 fn xorshift(state: &mut u64) -> u64 {
@@ -97,7 +100,7 @@ fn bench_config() -> JoinConfig {
     JoinConfig::new(2, 0.1).with_q(3)
 }
 
-/// Runs the nine-kernel suite: `n` strings generated from `seed`, every
+/// Runs the ten-kernel suite: `n` strings generated from `seed`, every
 /// bench timed under `spec` (the end-to-end join at `spec.iters / 8`,
 /// minimum 1). Returns the report ready for `BENCH_<label>.json`.
 pub fn kernel_suite(label: &str, n: usize, seed: u64, spec: BenchSpec) -> BenchReport {
@@ -250,6 +253,30 @@ pub fn kernel_suite(label: &str, n: usize, seed: u64, spec: BenchSpec) -> BenchR
             black_box(hits.len());
         }
     }));
+
+    // Meso: the warm-restart decode path — a committed snapshot of the
+    // same n-string collection, loaded back through the recovery ladder
+    // with every checksum verified (rung Verified). Its median against
+    // a cold `IndexedCollection::build` (what `join_end_to_end` pays
+    // before probing) is the warm-restart win the serve layer banks on.
+    let snap_dir =
+        std::env::temp_dir().join(format!("usj-bench-snapshot-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&snap_dir);
+    let snap_path = snap_dir.join(format!("{label}.snap"));
+    snapshot::write(&snap_path, &collection).expect("bench snapshot commits");
+    let snap_config = bench_config();
+    report.benches.push(run(BENCH_NAMES[9], spec, || {
+        let loaded = snapshot::load(
+            &snap_path,
+            &snap_config,
+            BENCH_SIGMA,
+            strings.clone(),
+            SalvageMode::Strict,
+        )
+        .expect("bench snapshot loads");
+        black_box(loaded.report.rung);
+    }));
+    let _ = std::fs::remove_dir_all(&snap_dir);
 
     report
 }

@@ -13,9 +13,10 @@
 //! magic header and a trailing FNV-1a digest over everything above it.
 //! Truncation loses the digest line, corruption breaks it — both are
 //! detected on load and rejected with [`CheckpointError::Corrupt`] rather
-//! than silently resumed. Writes go through [`atomic_write`]
-//! (write-temp-then-rename), so a crash mid-write can never tear the
-//! checkpoint that an earlier wave already committed.
+//! than silently resumed. Writes go through [`durable_atomic_write`]
+//! (write-temp, fsync, atomic rename, directory fsync), so a crash
+//! mid-write can never tear the checkpoint that an earlier wave already
+//! committed — and a crash right after a commit cannot lose it either.
 
 use std::fmt;
 use std::fs;
@@ -55,13 +56,34 @@ pub(crate) fn fnv1a_fold(h: u64, bytes: &[u8]) -> u64 {
 /// Seed for incremental fingerprinting via [`fnv1a_fold`].
 pub(crate) const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 
-/// Writes `text` to `path` via a sibling temp file and an atomic rename,
-/// so readers observe either the old contents or the new — never a torn
-/// prefix. The named failpoint fires between the temp write and the
-/// rename (the window a crash would exploit): an `Error` action removes
-/// the temp file and surfaces as an `io::Error`; a `Panic` action unwinds
-/// with the temp file in place and the target untouched.
-pub fn atomic_write(path: &Path, text: &str, failpoint: &str) -> io::Result<()> {
+/// Writes `text` to `path` durably and atomically: a sibling temp file is
+/// written, **fsynced**, renamed over the target, and the parent
+/// directory is fsynced — so readers observe either the old contents or
+/// the new (never a torn prefix), and a crash immediately after return
+/// cannot lose the rename or the data behind it. The named failpoint
+/// fires between the temp write and the fsync (the widest window a crash
+/// would exploit): an `Error` action removes the temp file and surfaces
+/// as an `io::Error`; a `Panic` action unwinds with the temp file in
+/// place and the target untouched.
+pub fn durable_atomic_write(path: &Path, text: &str, failpoint: &str) -> io::Result<()> {
+    durable_atomic_write_full(path, text, failpoint, None, None)
+}
+
+/// The full-fidelity durable write: one failpoint per crash window, in
+/// firing order — after the temp bytes land (`fp_write`), after the temp
+/// file's fsync (`fp_fsync`), and immediately before the rename
+/// (`fp_rename`). [`durable_atomic_write`] threads a single shared point
+/// through the first window; the snapshot writer threads all three
+/// (`snapshot.write` / `snapshot.fsync` / `snapshot.rename`) so the
+/// persistence suite can kill every window independently.
+pub(crate) fn durable_atomic_write_full(
+    path: &Path,
+    text: &str,
+    fp_write: &str,
+    fp_fsync: Option<&str>,
+    fp_rename: Option<&str>,
+) -> io::Result<()> {
+    use std::io::Write as _;
     let tmp = {
         let mut name = path
             .file_name()
@@ -70,12 +92,45 @@ pub fn atomic_write(path: &Path, text: &str, failpoint: &str) -> io::Result<()> 
         name.push(".tmp");
         path.with_file_name(name)
     };
-    fs::write(&tmp, text)?;
-    if let Some(msg) = usj_fault::fire_err(failpoint) {
-        let _ = fs::remove_file(&tmp);
-        return Err(io::Error::other(format!("injected fault: {msg}")));
+    // Any failure past this point removes the temp file so an aborted
+    // write never leaves droppings next to the (intact) target.
+    let bail = |e: io::Error, tmp: &Path| {
+        let _ = fs::remove_file(tmp);
+        Err(e)
+    };
+    let injected = |msg: String| io::Error::other(format!("injected fault: {msg}"));
+    let mut file = fs::File::create(&tmp)?;
+    if let Err(e) = file.write_all(text.as_bytes()) {
+        return bail(e, &tmp);
     }
-    fs::rename(&tmp, path)
+    if let Some(msg) = usj_fault::fire_err(fp_write) {
+        return bail(injected(msg), &tmp);
+    }
+    // fsync the data before the rename: without it the rename can become
+    // durable while the bytes behind it are not, and a crash would leave
+    // the *new* name holding a torn file.
+    if let Err(e) = file.sync_all() {
+        return bail(e, &tmp);
+    }
+    if let Some(fp) = fp_fsync {
+        if let Some(msg) = usj_fault::fire_err(fp) {
+            return bail(injected(msg), &tmp);
+        }
+    }
+    drop(file);
+    if let Some(fp) = fp_rename {
+        if let Some(msg) = usj_fault::fire_err(fp) {
+            return bail(injected(msg), &tmp);
+        }
+    }
+    fs::rename(&tmp, path)?;
+    // fsync the parent directory so the rename itself survives a crash;
+    // an empty parent means a bare relative file name, i.e. cwd.
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    fs::File::open(dir)?.sync_all()
 }
 
 /// Why a checkpoint could not be saved or resumed from.
@@ -336,7 +391,7 @@ impl Checkpoint {
         fs::create_dir_all(dir)
             .map_err(|e| CheckpointError::Io(format!("cannot create {}: {e}", dir.display())))?;
         let path = Checkpoint::path_in(dir);
-        atomic_write(&path, &self.encode(), "checkpoint.write")
+        durable_atomic_write(&path, &self.encode(), "checkpoint.write")
             .map_err(|e| CheckpointError::Io(format!("cannot write {}: {e}", path.display())))?;
         Ok(path)
     }
@@ -464,16 +519,16 @@ mod tests {
     }
 
     #[test]
-    fn atomic_write_error_fault_leaves_target_untouched() {
+    fn durable_write_error_fault_leaves_target_untouched() {
         let dir = scratch_dir("atomic");
         fs::create_dir_all(&dir).unwrap();
         let target = dir.join("out.txt");
-        atomic_write(&target, "first\n", "test.atomic").unwrap();
+        durable_atomic_write(&target, "first\n", "test.atomic").unwrap();
 
         let _armed = FaultPlan::new()
             .fail_at("test.atomic", 0, FaultAction::Error("disk full".to_string()))
             .arm();
-        let err = atomic_write(&target, "second\n", "test.atomic").unwrap_err();
+        let err = durable_atomic_write(&target, "second\n", "test.atomic").unwrap_err();
         assert!(err.to_string().contains("disk full"));
         // Old contents intact, no temp residue.
         assert_eq!(fs::read_to_string(&target).unwrap(), "first\n");
@@ -484,8 +539,46 @@ mod tests {
         assert_eq!(names, vec![std::ffi::OsString::from("out.txt")]);
         // Disarmed again (plan dropped) the write goes through.
         drop(_armed);
-        atomic_write(&target, "third\n", "test.atomic").unwrap();
+        durable_atomic_write(&target, "third\n", "test.atomic").unwrap();
         assert_eq!(fs::read_to_string(&target).unwrap(), "third\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Every window of the three-failpoint write aborts cleanly: error
+    /// actions surface as io::Errors, the target keeps its previous
+    /// contents, and no temp file survives the abort.
+    #[test]
+    fn full_write_failpoints_abort_each_window_cleanly() {
+        let dir = scratch_dir("windows");
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("out.txt");
+        let write = |fp: &str| {
+            durable_atomic_write_full(
+                &target,
+                "next\n",
+                "test.win_write",
+                Some("test.win_fsync"),
+                Some("test.win_rename"),
+            )
+            .map_err(|e| format!("{fp}: {e}"))
+        };
+        write("seed").unwrap();
+        fs::write(&target, "old\n").unwrap();
+        for fp in ["test.win_write", "test.win_fsync", "test.win_rename"] {
+            let _armed = FaultPlan::new()
+                .fail_at(fp, 0, FaultAction::Error("no space".to_string()))
+                .arm();
+            let err = write(fp).unwrap_err();
+            assert!(err.contains("no space"), "{err}");
+            assert_eq!(fs::read_to_string(&target).unwrap(), "old\n", "{fp}");
+            let names: Vec<_> = fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name())
+                .collect();
+            assert_eq!(names, vec![std::ffi::OsString::from("out.txt")], "{fp}");
+        }
+        write("clean").unwrap();
+        assert_eq!(fs::read_to_string(&target).unwrap(), "next\n");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -149,6 +149,38 @@ impl IndexedCollection {
         }
     }
 
+    /// Assembles a collection around an index restored from a snapshot
+    /// (`crate::snapshot`). Frequency profiles are deterministic and
+    /// cheap relative to the inverted index, so they are recomputed here
+    /// instead of being persisted.
+    pub(crate) fn from_restored(
+        config: JoinConfig,
+        sigma: usize,
+        strings: Vec<UncertainString>,
+        index: SegmentIndex,
+    ) -> Self {
+        assert!(sigma >= 1, "alphabet must be non-empty");
+        let freq = FreqFilter::new(config.k, config.tau, sigma);
+        let profiles = strings.iter().map(|s| freq.profile(s)).collect();
+        IndexedCollection {
+            config,
+            sigma,
+            strings,
+            index,
+            profiles,
+        }
+    }
+
+    /// The segment index (snapshot writer / digest plumbing).
+    pub(crate) fn index(&self) -> &SegmentIndex {
+        &self.index
+    }
+
+    /// Alphabet size the collection was indexed with.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
     /// Number of indexed strings.
     pub fn len(&self) -> usize {
         self.strings.len()

@@ -118,6 +118,29 @@ impl SegmentInterner {
         self.map.len()
     }
 
+    /// Entries in dense id order (`entry[i]` holds the symbols of id
+    /// `i`): ids are assigned first-seen, so replaying the returned
+    /// sequence through [`SegmentInterner::restore`] reproduces the
+    /// table — packed lane and byte estimate included — exactly.
+    pub(crate) fn dump(&self) -> Vec<Vec<Symbol>> {
+        let mut entries = vec![Vec::new(); self.map.len()];
+        for (w, &id) in &self.map {
+            entries[id as usize] = w.clone();
+        }
+        entries
+    }
+
+    /// Rebuilds an interner from a [`SegmentInterner::dump`] sequence by
+    /// re-interning every entry in order, which reassigns the same dense
+    /// first-seen ids.
+    pub(crate) fn restore(entries: Vec<Vec<Symbol>>) -> SegmentInterner {
+        let mut interner = SegmentInterner::default();
+        for w in entries {
+            interner.intern_owned(w);
+        }
+        interner
+    }
+
     /// `true` when nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
@@ -373,6 +396,67 @@ impl LengthIndex {
     fn estimated_bytes(&self) -> usize {
         self.bytes
     }
+
+    /// Serializes everything `insert` accumulated. The partition itself
+    /// is excluded — [`LengthIndex::restore`] recomputes it from the
+    /// config, which the snapshot fingerprint pins.
+    pub(crate) fn dump(&self, len: usize) -> BandDump {
+        BandDump {
+            len,
+            ids: self.ids.clone(),
+            incomplete: self.incomplete.clone(),
+            postings: self
+                .inverted
+                .iter()
+                .map(|t| (t.keys.clone(), t.lists.clone()))
+                .collect(),
+            bytes: self.bytes,
+        }
+    }
+
+    /// Reassembles a length index from a [`BandDump`]. Fails when the
+    /// dump's segment count disagrees with the partition the config
+    /// produces — a snapshot written under a different config would do
+    /// that, and must be rejected rather than silently misindexed.
+    pub(crate) fn restore(dump: BandDump, config: &JoinConfig) -> Result<LengthIndex, String> {
+        let mut li = LengthIndex::new(dump.len, config);
+        let m = li.segments.len();
+        if dump.incomplete.len() != m || dump.postings.len() != m {
+            return Err(format!(
+                "band {}: dump has {} posting tables / {} flags for a {}-segment partition",
+                dump.len,
+                dump.postings.len(),
+                dump.incomplete.len(),
+                m
+            ));
+        }
+        li.ids = dump.ids;
+        li.incomplete = dump.incomplete;
+        li.inverted = dump
+            .postings
+            .into_iter()
+            .map(|(keys, lists)| SegmentPostings { keys, lists })
+            .collect();
+        li.bytes = dump.bytes;
+        Ok(li)
+    }
+}
+
+/// Serialized form of one [`LengthIndex`] as carried by a snapshot band
+/// section (see `crate::snapshot`).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BandDump {
+    /// String length this band indexes.
+    pub len: usize,
+    /// All inserted string ids, ascending.
+    pub ids: Vec<u32>,
+    /// Per-segment over-cap flags.
+    pub incomplete: Vec<bool>,
+    /// Per segment position: `(sorted interned keys, posting list per
+    /// key)`.
+    pub postings: Vec<(Vec<u32>, Vec<PostingList>)>,
+    /// The incrementally-maintained byte estimate at dump time.
+    pub bytes: usize,
 }
 
 /// Source of per-index interner salts: resolved-set cache entries are
@@ -707,6 +791,99 @@ impl SegmentIndex {
     /// Total number of indexed strings across lengths.
     pub fn num_strings(&self) -> usize {
         self.by_length.values().map(LengthIndex::num_strings).sum()
+    }
+
+    /// The interner's entries in dense id order (snapshot writer).
+    pub(crate) fn dump_interner(&self) -> Vec<Vec<Symbol>> {
+        self.interner.dump()
+    }
+
+    /// The dump of one length band, if indexed (snapshot writer).
+    pub(crate) fn dump_band(&self, len: usize) -> Option<BandDump> {
+        self.by_length.get(&len).map(|li| li.dump(len))
+    }
+
+    /// Reassembles an index from snapshot parts. The restored index
+    /// carries a fresh interner salt (it is a distinct index as far as
+    /// resolved-set caches are concerned) and a peak-bytes watermark
+    /// equal to its current footprint — a cold build without eviction
+    /// peaks at full size too, so warm and cold stats agree.
+    pub(crate) fn from_parts(
+        interner_entries: Vec<Vec<Symbol>>,
+        bands: Vec<BandDump>,
+        config: &JoinConfig,
+    ) -> Result<SegmentIndex, String> {
+        let mut index = SegmentIndex::new();
+        index.interner = SegmentInterner::restore(interner_entries);
+        for band in bands {
+            let len = band.len;
+            let restored = LengthIndex::restore(band, config)?;
+            if index.by_length.insert(len, restored).is_some() {
+                return Err(format!("band {len} appears twice"));
+            }
+        }
+        index.peak_bytes = index.estimated_bytes();
+        Ok(index)
+    }
+
+    /// Rebuilds the posting tables of one length band from the source
+    /// strings, resolving segment instances through the shared interner.
+    /// When the interner is intact (it holds every instance the original
+    /// build interned), re-insertion replays the cold build's per-band
+    /// sequence and the result is bit-identical to it.
+    pub(crate) fn rebuild_band(
+        &mut self,
+        len: usize,
+        strings: &[UncertainString],
+        config: &JoinConfig,
+    ) {
+        let mut li = LengthIndex::new(len, config);
+        for (id, s) in strings.iter().enumerate() {
+            if s.len() == len {
+                li.insert(id as u32, s, config.max_segment_instances, &mut self.interner);
+            }
+        }
+        self.by_length.insert(len, li);
+        self.peak_bytes = self.peak_bytes.max(self.estimated_bytes());
+    }
+
+    /// Deterministic digest over everything the query path reads:
+    /// interner entries in id order, then each band ascending — ids,
+    /// over-cap flags, posting keys and lists with probability bits.
+    /// Two indices with equal digests answer every probe identically.
+    pub(crate) fn content_digest(&self) -> u64 {
+        use crate::checkpoint::{fnv1a_fold, FNV_SEED};
+        let fold = |h: u64, v: u64| fnv1a_fold(h, &v.to_le_bytes());
+        let mut h = FNV_SEED;
+        let entries = self.interner.dump();
+        h = fold(h, entries.len() as u64);
+        for w in &entries {
+            h = fold(h, w.len() as u64);
+            h = fnv1a_fold(h, w);
+        }
+        for len in self.lengths() {
+            let li = &self.by_length[&len];
+            h = fold(h, len as u64);
+            h = fold(h, li.ids.len() as u64);
+            for &id in &li.ids {
+                h = fold(h, id as u64);
+            }
+            for &b in &li.incomplete {
+                h = fold(h, b as u64);
+            }
+            for t in &li.inverted {
+                h = fold(h, t.keys.len() as u64);
+                for (key, list) in t.keys.iter().zip(&t.lists) {
+                    h = fold(h, *key as u64);
+                    h = fold(h, list.len() as u64);
+                    for &(id, p) in list {
+                        h = fold(h, id as u64);
+                        h = fold(h, p.to_bits());
+                    }
+                }
+            }
+        }
+        h
     }
 }
 

@@ -36,6 +36,7 @@ pub mod oracle;
 pub mod parallel;
 pub mod partition;
 pub mod record;
+pub mod snapshot;
 pub mod stats;
 pub mod string_level;
 pub mod topk;
@@ -46,7 +47,7 @@ pub mod verifier;
 pub use usj_obs as obs;
 pub use usj_simd as simd;
 
-pub use checkpoint::{atomic_write, Checkpoint, CheckpointError};
+pub use checkpoint::{durable_atomic_write, Checkpoint, CheckpointError};
 pub use collection::{IndexedCollection, ProbeBudget, SearchAbort, SearchHit};
 pub use config::{JoinConfig, Pipeline, VerifierKind};
 pub use index::{EquivCache, SegmentIndex};
@@ -57,6 +58,9 @@ pub use parallel::{
 };
 pub use partition::{Partition, ShardSlice};
 pub use record::{PhaseSpan, Recording};
+pub use snapshot::{
+    LoadRung, LoadedSnapshot, SalvageMode, SnapshotError, SnapshotReport, SnapshotWriteReport,
+};
 pub use stats::{JoinStats, PhaseTimings};
 pub use string_level::{string_level_oracle, StringLevelJoin, StringLevelStats};
 pub use verifier::ProbeVerifier;

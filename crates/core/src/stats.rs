@@ -169,7 +169,11 @@ impl JoinStats {
             | Counter::HedgesSent
             | Counter::HedgesWon
             | Counter::ShardsQuarantined
-            | Counter::PartialResponses => {}
+            | Counter::PartialResponses
+            | Counter::SnapshotBandsSalvaged
+            | Counter::SnapshotBandsRebuilt
+            | Counter::SnapshotCorruptionsDetected
+            | Counter::WarmRestarts => {}
         }
     }
 
@@ -187,7 +191,8 @@ impl JoinStats {
             Gauge::ResidentShards
             | Gauge::PeakResidentBytes
             | Gauge::ServeQueueDepth
-            | Gauge::ShardHealthy => {}
+            | Gauge::ShardHealthy
+            | Gauge::SnapshotAgeSeconds => {}
         }
     }
 

@@ -1,14 +1,26 @@
-//! Corruption corpus for the checkpoint codec: every byte-level defect —
-//! truncated lines, bit-flipped FNV digests, garbage records — must be
-//! rejected with a *positioned* [`CheckpointError::Corrupt`] (the message
-//! names the offending 1-based line), and a resume over a damaged file
-//! must fail loudly instead of silently replaying a partial prefix.
+//! Shared corruption corpus for both persistence codecs.
+//!
+//! Checkpoint loader: every byte-level defect — truncated lines,
+//! bit-flipped FNV digests, garbage records — must be rejected with a
+//! *positioned* [`CheckpointError::Corrupt`] (the message names the
+//! offending 1-based line), and a resume over a damaged file must fail
+//! loudly instead of silently replaying a partial prefix.
+//!
+//! Snapshot loader: the same defect classes — bit flips at every
+//! section boundary, a truncation sweep over byte quantiles, garbage
+//! headers and footers — must every one be *detected*
+//! (`corruptions_detected ≥ 1`, never a [`LoadRung::Verified`] load)
+//! and *recovered from*: the post-ladder index is bit-identical to a
+//! cold rebuild ([`snapshot::collection_digest`]).
 
+use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use usj_core::obs::NoopRecorder;
+use usj_core::snapshot::{self, LoadRung, SalvageMode};
 use usj_core::{
-    par_self_join_ft, Checkpoint, CheckpointError, FtOptions, JoinConfig, JoinStats, SimilarPair,
+    par_self_join_ft, Checkpoint, CheckpointError, FtOptions, IndexedCollection, JoinConfig,
+    JoinStats, SimilarPair,
 };
 use usj_fault::shield;
 use usj_model::{Alphabet, UncertainString};
@@ -244,5 +256,149 @@ fn corrupted_file_on_disk_fails_resume_loudly() {
     let msg = err.to_string();
     assert!(msg.contains("digest mismatch"), "{msg}");
     assert!(msg.contains("line "), "no position in {msg}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- snapshot loader: the same corpus, byte-for-byte recovery ----
+
+fn snap_strings() -> Vec<UncertainString> {
+    let alpha = Alphabet::dna();
+    let mut v = Vec::new();
+    for len in 4..=7usize {
+        let base: String = "ACGT".chars().cycle().take(len).collect();
+        v.push(UncertainString::parse(&base, &alpha).unwrap());
+        let tail = format!("{}{}", &base[..len - 1], "{(A,0.7),(G,0.3)}");
+        v.push(UncertainString::parse(&tail, &alpha).unwrap());
+    }
+    v
+}
+
+fn snap_config() -> JoinConfig {
+    JoinConfig::new(1, 0.3)
+}
+
+fn snap_scratch(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    // ordering: Relaxed — the counter only needs uniqueness.
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("usj-snap-corpus-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Load a damaged image: the ladder must (a) *detect* the damage —
+/// never a [`LoadRung::Verified`] load with zero corruptions — and
+/// (b) recover an index bit-identical to a cold rebuild.
+fn assert_detected_and_recovered(dir: &PathBuf, want: u64, what: &str) {
+    let path = dir.join("index.snap");
+    let loaded = snapshot::load(&path, &snap_config(), 4, snap_strings(), SalvageMode::Strict)
+        .unwrap_or_else(|e| panic!("{what}: load refused: {e}"));
+    assert!(
+        loaded.report.corruptions_detected >= 1,
+        "{what}: corruption not detected (rung {:?}, reason {:?})",
+        loaded.report.rung,
+        loaded.report.reason
+    );
+    assert_ne!(
+        loaded.report.rung,
+        LoadRung::Verified,
+        "{what}: damaged image loaded as verified"
+    );
+    assert_eq!(
+        snapshot::collection_digest(&loaded.collection),
+        want,
+        "{what}: recovery is not bit-identical to a cold rebuild (rung {:?})",
+        loaded.report.rung
+    );
+}
+
+/// Bit-flip the first and last byte of every section (header and footer
+/// included): each flip lands in exactly one checksummed region, and the
+/// loader must detect it and recover bit-identically — salvaging intact
+/// bands where the interner survives, rebuilding from source where it
+/// does not.
+#[test]
+fn snapshot_bit_flip_at_every_section_boundary_is_caught() {
+    let _g = lock();
+    let cold = IndexedCollection::build(snap_config(), 4, snap_strings());
+    let want = snapshot::collection_digest(&cold);
+    let dir = snap_scratch("flip");
+    let path = dir.join("index.snap");
+    snapshot::write(&path, &cold).expect("snapshot commits");
+    let pristine = std::fs::read(&path).unwrap();
+    let sections = snapshot::section_directory(&pristine).expect("directory parses");
+    assert!(sections.len() >= 2, "interner plus at least one band");
+
+    // Byte offsets to attack: each section's first and last byte, the
+    // first byte of the file (header), and the first footer byte.
+    let mut targets: Vec<(usize, String)> = vec![(0, "header[0]".into())];
+    for s in &sections {
+        targets.push((s.offset, format!("{}[0]", s.name)));
+        targets.push((s.offset + s.len - 1, format!("{}[-1]", s.name)));
+    }
+    let body_end = sections.iter().map(|s| s.offset + s.len).max().unwrap();
+    targets.push((body_end, "footer[0]".into()));
+
+    for (pos, what) in targets {
+        let mut bytes = pristine.clone();
+        bytes[pos] ^= 0x01; // stays ASCII: every snapshot byte is < 0x80
+        std::fs::write(&path, &bytes).unwrap();
+        assert_detected_and_recovered(&dir, want, &format!("bit flip at {what} (byte {pos})"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Truncate the image at every eighth of its length (a crash that cut
+/// the file mid-write, had the rename not been atomic): every quantile
+/// must be detected and recovered from, down to the empty file.
+#[test]
+fn snapshot_truncation_sweep_is_caught_at_every_quantile() {
+    let _g = lock();
+    let cold = IndexedCollection::build(snap_config(), 4, snap_strings());
+    let want = snapshot::collection_digest(&cold);
+    let dir = snap_scratch("trunc");
+    let path = dir.join("index.snap");
+    snapshot::write(&path, &cold).expect("snapshot commits");
+    let pristine = std::fs::read(&path).unwrap();
+    for q in 0..8 {
+        let cut = pristine.len() * q / 8;
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        assert_detected_and_recovered(&dir, want, &format!("truncation to {cut}B (q={q}/8)"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Garbage where the header or footer should be: the ladder must fall
+/// to a full rebuild (no section directory to salvage from) and still
+/// produce a bit-identical index.
+#[test]
+fn snapshot_garbage_header_and_footer_fall_to_rebuild() {
+    let _g = lock();
+    let cold = IndexedCollection::build(snap_config(), 4, snap_strings());
+    let want = snapshot::collection_digest(&cold);
+    let dir = snap_scratch("garbage");
+    let path = dir.join("index.snap");
+    snapshot::write(&path, &cold).expect("snapshot commits");
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Whole file replaced with noise.
+    std::fs::write(&path, b"not a snapshot at all\n").unwrap();
+    assert_detected_and_recovered(&dir, want, "garbage file");
+
+    // Valid body, garbage header: wrong magic on line 1.
+    let mut bytes = b"usj-snapshot v9".to_vec();
+    bytes.extend_from_slice(&pristine[snapshot::SNAPSHOT_MAGIC.len()..]);
+    std::fs::write(&path, &bytes).unwrap();
+    assert_detected_and_recovered(&dir, want, "garbage header");
+
+    // Valid header and body, garbage footer.
+    let sections = snapshot::section_directory(&pristine).expect("directory parses");
+    let body_end = sections.iter().map(|s| s.offset + s.len).max().unwrap();
+    let mut bytes = pristine[..body_end].to_vec();
+    bytes.extend_from_slice(b"footer what\ndigest 0000000000000000\n");
+    std::fs::write(&path, &bytes).unwrap();
+    assert_detected_and_recovered(&dir, want, "garbage footer");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -380,7 +380,11 @@ mod tests {
     "hedges_sent": 0,
     "hedges_won": 0,
     "shards_quarantined": 0,
-    "partial_responses": 0
+    "partial_responses": 0,
+    "snapshot_bands_salvaged": 0,
+    "snapshot_bands_rebuilt": 0,
+    "snapshot_corruptions_detected": 0,
+    "warm_restarts": 0
   },
   "gauges": {
     "index_bytes": 1000,
@@ -389,7 +393,8 @@ mod tests {
     "resident_shards": 0,
     "peak_resident_bytes": 0,
     "serve_queue_depth": 0,
-    "shard_healthy": 0
+    "shard_healthy": 0,
+    "snapshot_age_seconds": 0
   },
   "phases": {
     "qgram": {
@@ -691,6 +696,38 @@ mod tests {
       "max": 0
     },
     "partial_responses": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "snapshot_bands_salvaged": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "snapshot_bands_rebuilt": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "snapshot_corruptions_detected": {
+      "probes": 0,
+      "sum": 0,
+      "p50": 0,
+      "p90": 0,
+      "p99": 0,
+      "max": 0
+    },
+    "warm_restarts": {
       "probes": 0,
       "sum": 0,
       "p50": 0,

@@ -207,11 +207,24 @@ pub enum Counter {
     /// Scatter-gather responses served from a subset of the relevant
     /// shards (degraded mode only; strict mode refuses instead).
     PartialResponses,
+    /// Length bands admitted straight from an on-disk snapshot during a
+    /// salvage load (rung 2 of the recovery ladder); a fully verified
+    /// load counts zero.
+    SnapshotBandsSalvaged,
+    /// Length bands rebuilt from source records because their snapshot
+    /// section was corrupt, missing, or failed salvage (rungs 2 and 4).
+    SnapshotBandsRebuilt,
+    /// Checksum/structure defects detected while loading a snapshot
+    /// (bit flips, truncations, garbage sections).
+    SnapshotCorruptionsDetected,
+    /// Server starts that answered from a snapshot (verified or
+    /// salvaged) instead of a cold rebuild.
+    WarmRestarts,
 }
 
 impl Counter {
     /// Every counter, in serialisation order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 36] = [
         Counter::PairsInScope,
         Counter::QgramSurvivors,
         Counter::QgramPrunedCount,
@@ -244,6 +257,10 @@ impl Counter {
         Counter::HedgesWon,
         Counter::ShardsQuarantined,
         Counter::PartialResponses,
+        Counter::SnapshotBandsSalvaged,
+        Counter::SnapshotBandsRebuilt,
+        Counter::SnapshotCorruptionsDetected,
+        Counter::WarmRestarts,
     ];
 
     /// Dense index into per-counter arrays.
@@ -286,6 +303,10 @@ impl Counter {
             Counter::HedgesWon => "hedges_won",
             Counter::ShardsQuarantined => "shards_quarantined",
             Counter::PartialResponses => "partial_responses",
+            Counter::SnapshotBandsSalvaged => "snapshot_bands_salvaged",
+            Counter::SnapshotBandsRebuilt => "snapshot_bands_rebuilt",
+            Counter::SnapshotCorruptionsDetected => "snapshot_corruptions_detected",
+            Counter::WarmRestarts => "warm_restarts",
         }
     }
 }
@@ -310,11 +331,14 @@ pub enum Gauge {
     /// with max semantics like every gauge, so a snapshot reports the
     /// peak healthy count; the live per-shard view is the `SHARDS` verb.
     ShardHealthy,
+    /// Age in seconds of the snapshot the server started from (mtime at
+    /// load), or absent after a cold start.
+    SnapshotAgeSeconds,
 }
 
 impl Gauge {
     /// Every gauge, in serialisation order.
-    pub const ALL: [Gauge; 7] = [
+    pub const ALL: [Gauge; 8] = [
         Gauge::IndexBytes,
         Gauge::PeakIndexBytes,
         Gauge::NumStrings,
@@ -322,6 +346,7 @@ impl Gauge {
         Gauge::PeakResidentBytes,
         Gauge::ServeQueueDepth,
         Gauge::ShardHealthy,
+        Gauge::SnapshotAgeSeconds,
     ];
 
     /// Dense index into per-gauge arrays.
@@ -339,6 +364,7 @@ impl Gauge {
             Gauge::PeakResidentBytes => "peak_resident_bytes",
             Gauge::ServeQueueDepth => "serve_queue_depth",
             Gauge::ShardHealthy => "shard_healthy",
+            Gauge::SnapshotAgeSeconds => "snapshot_age_seconds",
         }
     }
 }

@@ -132,7 +132,7 @@ impl AtomicHistogram {
 /// Request handlers record into a local [`CollectingRecorder`] (lock-free
 /// for the handler) and call [`MetricsRegistry::fold`] once per request;
 /// a scrape calls [`MetricsRegistry::render_prometheus`] at any time.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
     probes: AtomicU64,
     counters: [AtomicU64; NUM_COUNTERS],
@@ -140,6 +140,20 @@ pub struct MetricsRegistry {
     phase_ns: [AtomicU64; NUM_PHASES],
     phase_hist: [AtomicHistogram; NUM_PHASES],
     funnel: [[AtomicU64; FUNNEL_STAGES]; FUNNEL_BANDS],
+}
+
+impl Default for MetricsRegistry {
+    // [AtomicU64; NUM_COUNTERS] has no derived Default past 32 elements.
+    fn default() -> Self {
+        MetricsRegistry {
+            probes: AtomicU64::new(0),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_hist: std::array::from_fn(|_| AtomicHistogram::default()),
+            funnel: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
 }
 
 impl MetricsRegistry {

@@ -63,6 +63,22 @@ pub enum ProbeOutcome {
     },
 }
 
+/// Everything a `HEALTH` reply reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Degradation-ladder level (0 full, 1 degraded, 2 shed).
+    pub level: u8,
+    /// Admission-queue depth at reply time.
+    pub queue: usize,
+    /// Requests being processed by workers at reply time.
+    pub inflight: usize,
+    /// Whether the server started warm from an on-disk snapshot
+    /// (`None` from peers that predate the field).
+    pub warm: Option<bool>,
+    /// Age in seconds of the snapshot a warm server started from.
+    pub snapshot_age_s: Option<u64>,
+}
+
 /// The server-side trace a traced probe came back with.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProbeTrace {
@@ -209,14 +225,29 @@ impl Client {
         }
     }
 
-    /// One `HEALTH` round-trip.
+    /// One `HEALTH` round-trip, reduced to `(level, queue, inflight)`.
     pub fn health(&mut self) -> Result<(u8, usize, usize), ClientError> {
+        let report = self.health_report()?;
+        Ok((report.level, report.queue, report.inflight))
+    }
+
+    /// One `HEALTH` round-trip with every reported field, including the
+    /// warm-restart markers a snapshot-booted server adds.
+    pub fn health_report(&mut self) -> Result<HealthReport, ClientError> {
         match self.attempt_line("HEALTH", None) {
             Ok(Response::Health {
                 level,
                 queue,
                 inflight,
-            }) => Ok((level, queue, inflight)),
+                warm,
+                snapshot_age_s,
+            }) => Ok(HealthReport {
+                level,
+                queue,
+                inflight,
+                warm,
+                snapshot_age_s,
+            }),
             Ok(other) => Err(ClientError::Protocol(format!(
                 "unexpected response {:?}",
                 other.encode()

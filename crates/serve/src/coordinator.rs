@@ -595,6 +595,11 @@ fn handle_line(shared: &Shared, line: &str) -> Response {
                 queue: shared.queue_depth(),
                 // ordering: Relaxed — monitoring read, see worker_loop.
                 inflight: shared.inflight.load(Ordering::Relaxed),
+                // The coordinator holds no index, so it is never warm
+                // itself; per-shard warmth is visible via each shard's
+                // own HEALTH endpoint.
+                warm: Some(false),
+                snapshot_age_s: None,
             }
         }
         Request::Stats => {

@@ -45,6 +45,16 @@
 //!   policy (`DEGRADED shards=<ok>/<total>` supersets, or strict
 //!   refusal).
 //!
+//! - **Warm restarts** — [`server::serve_from_snapshot`] (and the
+//!   per-shard [`shard::serve_shard_from_snapshot`]) boot from a
+//!   durable on-disk index image through `usj-core`'s four-rung
+//!   recovery ladder: a verified or salvaged snapshot answers probes
+//!   immediately (`HEALTH` reports `warm=true` plus the snapshot age),
+//!   bands that failed salvage are served as `DEGRADED` supersets while
+//!   a background rebuild readmits them, and an unrecoverable image
+//!   falls back to a cold build that re-writes the snapshot for the
+//!   next restart.
+//!
 //! The [`client`] pairs with it: blocking, one connection per request,
 //! capped exponential backoff with deterministic jitter on `BUSY`, and
 //! per-attempt deadline recomputation mirrored into socket timeouts.
@@ -60,9 +70,9 @@ pub mod proto;
 pub mod server;
 pub mod shard;
 
-pub use client::{Client, ClientConfig, ClientError, ProbeOutcome, ProbeTrace};
+pub use client::{Client, ClientConfig, ClientError, HealthReport, ProbeOutcome, ProbeTrace};
 pub use coordinator::{coordinate, CoordConfig, CoordinatorHandle, ShardSpec};
 pub use degrade::{Controller, DegradeConfig, Level};
 pub use proto::{parse_request, Request, Response, ShardState};
-pub use server::{serve, ServeConfig, ServerHandle};
-pub use shard::{serve_shard, shard_partition};
+pub use server::{serve, serve_from_snapshot, ServeConfig, ServerHandle};
+pub use shard::{serve_shard, serve_shard_from_snapshot, shard_partition, shard_snapshot_path};

@@ -208,6 +208,12 @@ pub enum Response {
         queue: usize,
         /// Requests currently being processed by workers.
         inflight: usize,
+        /// Whether this server started warm (from an on-disk snapshot);
+        /// `None` from peers that predate the field (its wire token is
+        /// simply absent, which old parsers already skip).
+        warm: Option<bool>,
+        /// Age in seconds of the snapshot a warm server started from.
+        snapshot_age_s: Option<u64>,
     },
     /// One-line observability snapshot JSON.
     Stats(String),
@@ -289,7 +295,18 @@ impl Response {
                 level,
                 queue,
                 inflight,
-            } => format!("HEALTH level={level} queue={queue} inflight={inflight}"),
+                warm,
+                snapshot_age_s,
+            } => {
+                let mut out = format!("HEALTH level={level} queue={queue} inflight={inflight}");
+                if let Some(warm) = warm {
+                    out.push_str(&format!(" warm={warm}"));
+                }
+                if let Some(age) = snapshot_age_s {
+                    out.push_str(&format!(" snapshot_age_s={age}"));
+                }
+                out
+            }
             Response::Stats(json) => format!("STATS {json}"),
             Response::Metrics(text) => format!("METRICS {}", escape_line(text)),
             Response::Shards(states) => {
@@ -383,6 +400,8 @@ impl Response {
                 let mut level = None;
                 let mut queue = None;
                 let mut inflight = None;
+                let mut warm = None;
+                let mut snapshot_age_s = None;
                 for tok in rest.split_whitespace() {
                     if let Some(v) = tok.strip_prefix("level=") {
                         level = v.parse().ok();
@@ -390,6 +409,10 @@ impl Response {
                         queue = v.parse().ok();
                     } else if let Some(v) = tok.strip_prefix("inflight=") {
                         inflight = v.parse().ok();
+                    } else if let Some(v) = tok.strip_prefix("warm=") {
+                        warm = v.parse().ok();
+                    } else if let Some(v) = tok.strip_prefix("snapshot_age_s=") {
+                        snapshot_age_s = v.parse().ok();
                     }
                 }
                 match (level, queue, inflight) {
@@ -397,6 +420,8 @@ impl Response {
                         level,
                         queue,
                         inflight,
+                        warm,
+                        snapshot_age_s,
                     }),
                     _ => Err(format!("bad HEALTH line {line:?}")),
                 }
@@ -532,6 +557,22 @@ mod tests {
                 level: 1,
                 queue: 4,
                 inflight: 2,
+                warm: None,
+                snapshot_age_s: None,
+            },
+            Response::Health {
+                level: 0,
+                queue: 0,
+                inflight: 1,
+                warm: Some(true),
+                snapshot_age_s: Some(77),
+            },
+            Response::Health {
+                level: 0,
+                queue: 0,
+                inflight: 0,
+                warm: Some(false),
+                snapshot_age_s: None,
             },
             Response::Stats("{\"probes\":3}".to_string()),
             Response::Metrics("# TYPE usj_probes_total counter\nusj_probes_total 3\n".to_string()),

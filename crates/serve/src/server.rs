@@ -9,16 +9,18 @@
 //! full path, and every request outcome is counted into a shared
 //! [`CollectingRecorder`] using the golden `usj-obs` schema.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use usj_core::{IndexedCollection, ProbeBudget, SearchAbort};
+use usj_core::snapshot::{self, SalvageMode};
+use usj_core::{IndexedCollection, JoinConfig, LoadRung, ProbeBudget, SearchAbort, SnapshotReport};
 use usj_fault::shield;
 use usj_model::{Alphabet, UncertainString};
 use usj_obs::{
@@ -65,7 +67,20 @@ impl Default for ServeConfig {
 
 /// State shared by the accept thread, the workers, and the handle.
 struct Shared {
-    coll: IndexedCollection,
+    /// The served index. Swapped wholesale (behind the `RwLock`) when
+    /// the post-boot rebuild readmits bands that failed snapshot
+    /// salvage; probes clone the `Arc` once and search a consistent
+    /// index for their whole lifetime.
+    coll: RwLock<Arc<IndexedCollection>>,
+    /// Length bands admitted in superset mode: their snapshot sections
+    /// failed salvage, so their strings are absent from the index and
+    /// any probe whose length window touches them is answered
+    /// `DEGRADED` until the background rebuild readmits them.
+    degraded_bands: Mutex<BTreeSet<usize>>,
+    /// Whether this server started warm (from an on-disk snapshot).
+    warm: bool,
+    /// Age in seconds of the snapshot a warm start loaded.
+    snapshot_age_s: Option<u64>,
     alphabet: Alphabet,
     cfg: ServeConfig,
     /// `Some` when this server is one shard of a partitioned fleet:
@@ -108,6 +123,47 @@ pub fn serve(
     serve_with_map(coll, alphabet, cfg, None)
 }
 
+/// Warm-restart entry point: load `snapshot_path` through the recovery
+/// ladder ([`usj_core::snapshot::load`], [`SalvageMode::Degraded`]) and
+/// start answering immediately. A verified or salvaged image makes the
+/// start *warm*; bands whose sections failed salvage are served in
+/// superset (`DEGRADED`) mode while a background rebuild readmits them;
+/// a missing or unrecoverable image falls back to a cold build (and the
+/// refreshed snapshot is re-written in the background). A fingerprint
+/// mismatch refuses to start with the diagnosis in the error.
+pub fn serve_from_snapshot(
+    snapshot_path: &Path,
+    config: JoinConfig,
+    strings: Vec<UncertainString>,
+    alphabet: Alphabet,
+    cfg: ServeConfig,
+) -> io::Result<(ServerHandle, SnapshotReport)> {
+    serve_snapshot_with_map(snapshot_path, config, strings, alphabet, cfg, None)
+}
+
+/// [`serve_from_snapshot`] with the shard id map (see [`serve_with_map`]).
+pub(crate) fn serve_snapshot_with_map(
+    snapshot_path: &Path,
+    config: JoinConfig,
+    strings: Vec<UncertainString>,
+    alphabet: Alphabet,
+    cfg: ServeConfig,
+    id_map: Option<Vec<u32>>,
+) -> io::Result<(ServerHandle, SnapshotReport)> {
+    let sigma = alphabet.size();
+    let loaded = snapshot::load(snapshot_path, &config, sigma, strings, SalvageMode::Degraded)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let report = loaded.report;
+    let handle = serve_boot(
+        loaded.collection,
+        alphabet,
+        cfg,
+        id_map,
+        Some((snapshot_path.to_path_buf(), report.clone())),
+    )?;
+    Ok((handle, report))
+}
+
 /// [`serve`] with an optional local→global id map: the shard entry point
 /// (`crate::shard`) serves a sub-collection whose dense ids must be
 /// translated back to collection-global ids on the wire.
@@ -117,12 +173,33 @@ pub(crate) fn serve_with_map(
     cfg: ServeConfig,
     id_map: Option<Vec<u32>>,
 ) -> io::Result<ServerHandle> {
+    serve_boot(coll, alphabet, cfg, id_map, None)
+}
+
+fn serve_boot(
+    coll: IndexedCollection,
+    alphabet: Alphabet,
+    cfg: ServeConfig,
+    id_map: Option<Vec<u32>>,
+    snapshot: Option<(PathBuf, SnapshotReport)>,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let workers = cfg.workers.max(1);
+    let (warm, snapshot_age_s, degraded) = match &snapshot {
+        Some((_, report)) => (
+            report.warm,
+            report.age_seconds,
+            report.degraded_bands.iter().copied().collect(),
+        ),
+        None => (false, None, BTreeSet::new()),
+    };
     let shared = Arc::new(Shared {
         controller: Controller::new(cfg.degrade.clone()),
-        coll,
+        coll: RwLock::new(Arc::new(coll)),
+        degraded_bands: Mutex::new(degraded),
+        warm,
+        snapshot_age_s,
         alphabet,
         cfg,
         id_map,
@@ -141,7 +218,7 @@ pub(crate) fn serve_with_map(
             .name("usj-serve-accept".to_string())
             .spawn(move || accept_loop(&shared, listener))?
     };
-    let worker_threads = (0..workers)
+    let mut worker_threads = (0..workers)
         .map(|i| {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -149,11 +226,87 @@ pub(crate) fn serve_with_map(
                 .spawn(move || worker_loop(&shared))
         })
         .collect::<io::Result<Vec<_>>>()?;
+    if let Some((path, report)) = snapshot {
+        seed_snapshot_metrics(&shared, &report);
+        // Readmission and refresh run off the serving path; probes are
+        // being answered (warm or superset) before the build starts.
+        let maintenance = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("usj-serve-snapshot".to_string())
+                .spawn(move || snapshot_maintenance(&shared, &path, &report))?
+        };
+        worker_threads.push(maintenance);
+    }
     Ok(ServerHandle {
         shared,
         accept: Some(accept),
         workers: worker_threads,
     })
+}
+
+/// Seeds the boot-time snapshot outcome into both metric sinks, so the
+/// golden-schema counters land in `STATS` and `METRICS` from the first
+/// scrape.
+fn seed_snapshot_metrics(shared: &Shared, report: &SnapshotReport) {
+    let mut boot = CollectingRecorder::new();
+    if report.warm {
+        boot.counter(Counter::WarmRestarts, 1);
+    }
+    if report.bands_salvaged > 0 {
+        boot.counter(Counter::SnapshotBandsSalvaged, report.bands_salvaged as u64);
+    }
+    if report.bands_rebuilt > 0 {
+        boot.counter(Counter::SnapshotBandsRebuilt, report.bands_rebuilt as u64);
+    }
+    if report.corruptions_detected > 0 {
+        boot.counter(
+            Counter::SnapshotCorruptionsDetected,
+            report.corruptions_detected,
+        );
+    }
+    if let Some(age) = report.age_seconds {
+        boot.gauge(Gauge::SnapshotAgeSeconds, age);
+    }
+    shared.registry.fold(None, &boot);
+    shared.record(|r| r.absorb(boot));
+}
+
+/// Post-boot snapshot maintenance: cold-rebuild the full index when any
+/// band failed salvage (then swap it in and readmit those bands to
+/// exact service), and refresh the on-disk image whenever the load was
+/// not already verified — so the *next* restart is warm.
+fn snapshot_maintenance(shared: &Shared, path: &Path, report: &SnapshotReport) {
+    if !report.degraded_bands.is_empty() {
+        let (config, sigma, strings) = {
+            let coll = shared.collection();
+            (coll.config().clone(), coll.sigma(), coll.strings().to_vec())
+        };
+        let rebuilt = Arc::new(IndexedCollection::build(config, sigma, strings));
+        *shared
+            .coll
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = rebuilt;
+        shared
+            .degraded_bands
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        let mut rec = CollectingRecorder::new();
+        rec.counter(
+            Counter::SnapshotBandsRebuilt,
+            report.degraded_bands.len() as u64,
+        );
+        shared.registry.fold(None, &rec);
+        shared.record(|r| r.absorb(rec));
+    }
+    if report.rung != LoadRung::Verified {
+        let coll = shared.collection();
+        // Best-effort: a refresh failure (disk full, injected fault)
+        // leaves the previous committed image in place — the durable
+        // write never exposes a torn file.
+        let _ = snapshot::write(path, &coll);
+    }
 }
 
 impl ServerHandle {
@@ -217,6 +370,28 @@ impl Shared {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .len()
+    }
+
+    /// The current index, cloned out of the swap slot in one statement
+    /// so no lock guard outlives the probe.
+    fn collection(&self) -> Arc<IndexedCollection> {
+        self.coll
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The degraded bands whose length window contains `probe_len`
+    /// (candidates within edit distance `k` can differ by at most `k`
+    /// in length).
+    fn degraded_touch(&self, probe_len: usize, k: usize) -> Vec<usize> {
+        self.degraded_bands
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .copied()
+            .filter(|band| band.abs_diff(probe_len) <= k)
+            .collect()
     }
 
     fn draining(&self) -> bool {
@@ -432,6 +607,8 @@ fn handle_line(shared: &Shared, line: &str) -> Vec<Response> {
             queue: shared.queue_depth(),
             // ordering: Relaxed — monitoring read, see worker_loop.
             inflight: shared.inflight.load(Ordering::Relaxed),
+            warm: Some(shared.warm),
+            snapshot_age_s: shared.snapshot_age_s,
         }],
         Request::Stats => {
             let json = shared.record(|r| r.to_json());
@@ -467,10 +644,13 @@ fn handle_probe(
     if usj_fault::fire("serve.probe") {
         shared.record(|r| r.counter(Counter::FaultsInjected, 1));
     }
+    // One Arc clone up front: the probe searches a consistent index even
+    // if the snapshot-maintenance thread swaps the slot mid-request.
+    let coll = shared.collection();
     // The index is built for one (k, τ): segment partitioning depends on
     // k, filter thresholds on τ. Serving a different pair would be
     // silently wrong, so it is an explicit protocol error instead.
-    let config = shared.coll.config();
+    let config = coll.config();
     if k != config.k || (tau - config.tau).abs() > 1e-9 {
         return vec![Response::Err(format!(
             "this server is indexed for k={} tau={} (got k={k} tau={tau})",
@@ -496,21 +676,37 @@ fn handle_probe(
     if let Some(id) = trace_id {
         local.set_trace_id(id);
     }
+    // Bands admitted in superset mode after a failed snapshot salvage:
+    // their strings are absent from the index, so any probe whose
+    // length window touches one cannot be answered exactly until the
+    // background rebuild readmits them.
+    let touched = shared.degraded_touch(probe.len(), config.k);
     let level = shared.controller.level();
-    let response = match level {
-        Level::Shed => {
-            local.counter(Counter::ServeShed, 1);
-            Response::Busy {
-                retry_after_ms: shared.cfg.retry_after_ms,
-            }
+    let response = if level == Level::Shed {
+        local.counter(Counter::ServeShed, 1);
+        Response::Busy {
+            retry_after_ms: shared.cfg.retry_after_ms,
         }
-        Level::Degraded => {
+    } else if level == Level::Degraded || !touched.is_empty() {
+        {
             // Filter-only answer: q-gram + frequency-distance lower
             // bounds never prune a true match, so the candidate list is
             // a sound superset of the exact answer — served at a
-            // fraction of the cost and flagged on the wire.
+            // fraction of the cost and flagged on the wire. Bands still
+            // missing from a salvaged index contribute *all* their ids
+            // (their strings are unindexed, so the filters cannot speak
+            // for them; including everything keeps the superset sound).
             local.probe_start(probe_id);
-            let ids = shared.coll.filter_candidates(&probe);
+            let mut ids = coll.filter_candidates(&probe);
+            if !touched.is_empty() {
+                for (id, s) in coll.strings().iter().enumerate() {
+                    if touched.contains(&s.len()) {
+                        ids.push(id as u32);
+                    }
+                }
+                ids.sort_unstable();
+                ids.dedup();
+            }
             local.counter(Counter::ServeDegraded, 1);
             local.enter_phase(Phase::Total);
             local.exit_phase(Phase::Total, started.elapsed());
@@ -520,12 +716,13 @@ fn handle_probe(
                 shards: None,
             }
         }
-        Level::Full => {
+    } else {
+        {
             let budget = ProbeBudget {
                 deadline: deadline.and_then(|d| started.checked_add(d)),
                 cancel: None,
             };
-            match shared.coll.search_budgeted_recorded(
+            match coll.search_budgeted_recorded(
                 probe_id,
                 &probe,
                 |_| true,

@@ -20,11 +20,12 @@
 //! the coordinator ([`crate::coordinator`]) owns the fleet-level story.
 
 use std::io;
+use std::path::{Path, PathBuf};
 
-use usj_core::{IndexedCollection, JoinConfig, Partition};
+use usj_core::{IndexedCollection, JoinConfig, Partition, ShardSlice, SnapshotReport};
 use usj_model::{Alphabet, UncertainString};
 
-use crate::server::{serve_with_map, ServeConfig, ServerHandle};
+use crate::server::{serve_snapshot_with_map, serve_with_map, ServeConfig, ServerHandle};
 
 /// The deterministic length-band partition for `strings`: both `usj
 /// shard` and `usj coord` invocations recompute it from the same input
@@ -45,6 +46,47 @@ pub fn serve_shard(
     shard_idx: usize,
     cfg: ServeConfig,
 ) -> io::Result<ServerHandle> {
+    let (slice, subset) = shard_subset(strings, partition, shard_idx)?;
+    let coll = IndexedCollection::build(config, alphabet.size(), subset);
+    serve_with_map(coll, alphabet, cfg, Some(slice.ids.clone()))
+}
+
+/// [`serve_shard`] booting from this shard's own snapshot file (see
+/// [`shard_snapshot_path`]): the shard loads its slice through the full
+/// recovery ladder and starts answering immediately — warm when the
+/// image verifies or salvages, superset-degraded for bands that failed
+/// salvage, cold-rebuilt otherwise (re-writing the image for the next
+/// restart). The snapshot's fingerprint covers only this shard's slice,
+/// so a repartitioned fleet refuses stale images with a diagnosis
+/// instead of serving the wrong subset.
+pub fn serve_shard_from_snapshot(
+    snapshot_path: &Path,
+    config: JoinConfig,
+    alphabet: Alphabet,
+    strings: &[UncertainString],
+    partition: &Partition,
+    shard_idx: usize,
+    cfg: ServeConfig,
+) -> io::Result<(ServerHandle, SnapshotReport)> {
+    let (slice, subset) = shard_subset(strings, partition, shard_idx)?;
+    let path = shard_snapshot_path(snapshot_path, shard_idx);
+    serve_snapshot_with_map(&path, config, subset, alphabet, cfg, Some(slice.ids.clone()))
+}
+
+/// The per-shard snapshot file derived from the fleet-level base path:
+/// `<base>.shard<idx>`. Every shard of a fleet shares one `--snapshot`
+/// argument and lands on its own file.
+pub fn shard_snapshot_path(base: &Path, shard_idx: usize) -> PathBuf {
+    let mut name = base.as_os_str().to_os_string();
+    name.push(format!(".shard{shard_idx}"));
+    PathBuf::from(name)
+}
+
+fn shard_subset<'a>(
+    strings: &[UncertainString],
+    partition: &'a Partition,
+    shard_idx: usize,
+) -> io::Result<(&'a ShardSlice, Vec<UncertainString>)> {
     let Some(slice) = partition.shards.get(shard_idx) else {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -59,8 +101,7 @@ pub fn serve_shard(
         .iter()
         .map(|&id| strings[id as usize].clone())
         .collect();
-    let coll = IndexedCollection::build(config, alphabet.size(), subset);
-    serve_with_map(coll, alphabet, cfg, Some(slice.ids.clone()))
+    Ok((slice, subset))
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@ use std::net::TcpStream;
 
 use usj_model::{Alphabet, UncertainString};
 use usj_obs::{band_label, Counter, Gauge, Phase, FUNNEL_BANDS};
-use usj_serve::{serve, Client, ClientConfig, ProbeOutcome, Response, ServeConfig, ServerHandle};
+use usj_serve::{
+    serve, serve_from_snapshot, Client, ClientConfig, ProbeOutcome, Response, ServeConfig,
+    ServerHandle,
+};
 
 const K: usize = 1;
 const TAU: f64 = 0.3;
@@ -163,7 +166,89 @@ fn sharding_metrics_are_pinned_in_the_golden_schema() {
         text.contains("\nusj_shard_healthy 0\n"),
         "missing shard_healthy gauge"
     );
+    // The snapshot counters live in the same schema: a cold server
+    // carries them at zero, so restart dashboards need no special case.
+    for name in [
+        "snapshot_bands_salvaged",
+        "snapshot_bands_rebuilt",
+        "snapshot_corruptions_detected",
+        "warm_restarts",
+    ] {
+        assert!(
+            text.contains(&format!("\nusj_{name}_total 0\n")),
+            "missing zero-valued counter {name}"
+        );
+    }
+    assert!(
+        text.contains("\nusj_snapshot_age_seconds 0\n"),
+        "missing snapshot_age_seconds gauge"
+    );
     handle.shutdown();
+}
+
+/// Warm restart end to end: a server booted from a committed snapshot
+/// answers identically to a cold-built one, reports `warm=true` plus
+/// the snapshot age in `HEALTH` (on the wire and through
+/// [`Client::health_report`]), and folds `warm_restarts` into the
+/// metrics exposition — while a cold server reports `warm=false` and
+/// omits the age token.
+#[test]
+fn warm_restart_reports_health_and_metrics() {
+    let alpha = Alphabet::dna();
+    let config = usj_core::JoinConfig::new(K, TAU);
+    let coll = usj_core::IndexedCollection::build(config.clone(), alpha.size(), strings());
+    let dir = std::env::temp_dir().join(format!("usj-warm-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("index.snap");
+    usj_core::snapshot::write(&path, &coll).expect("snapshot commits");
+
+    let cold = start();
+    let (warm, report) = serve_from_snapshot(
+        &path,
+        config,
+        strings(),
+        Alphabet::dna(),
+        ServeConfig::default(),
+    )
+    .expect("warm boot");
+    assert!(report.warm, "verified snapshot must boot warm: {report:?}");
+
+    // Same answers, probe for probe.
+    let mut cold_client = client(&cold);
+    let mut warm_client = Client::new(warm.addr().to_string(), ClientConfig::default());
+    for probe in ["ACGTAC", "ACGTACGT", "TTTTTT"] {
+        assert_eq!(
+            warm_client.probe(K, TAU, probe).expect("warm probe"),
+            cold_client.probe(K, TAU, probe).expect("cold probe"),
+            "warm and cold answers diverged for {probe}"
+        );
+    }
+
+    // HEALTH carries the warm markers, on the wire and via the client.
+    let health = warm_client.health_report().expect("HEALTH");
+    assert_eq!(health.warm, Some(true));
+    assert!(health.snapshot_age_s.is_some(), "warm start has an age");
+    let line = &raw_lines(&warm, "HEALTH", 1)[0];
+    assert!(line.contains(" warm=true"), "no warm marker in {line:?}");
+    assert!(line.contains(" snapshot_age_s="), "no age in {line:?}");
+
+    let cold_health = cold_client.health_report().expect("HEALTH");
+    assert_eq!(cold_health.warm, Some(false));
+    assert_eq!(cold_health.snapshot_age_s, None);
+    let line = &raw_lines(&cold, "HEALTH", 1)[0];
+    assert!(line.contains(" warm=false"), "no warm marker in {line:?}");
+    assert!(!line.contains("snapshot_age_s="), "cold start has no age");
+
+    // The warm boot is visible in the exposition from the first scrape.
+    let text = warm.metrics_text();
+    assert!(
+        text.contains("\nusj_warm_restarts_total 1\n"),
+        "warm restart not counted:\n{text}"
+    );
+    warm.shutdown();
+    cold.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,217 @@
+//! Warm-restart fault suite: servers booted through the snapshot
+//! recovery ladder under injected salvage failures, fingerprint
+//! mismatches, and cold misses.
+//!
+//! The tentpole behaviours pinned here:
+//! * a band that fails salvage is served in `DEGRADED` superset mode
+//!   (never a wrong exact answer) while the background rebuild runs,
+//!   and is readmitted to exact service when it finishes;
+//! * a snapshot written for a different run configuration refuses to
+//!   boot, with the diagnosis in the error;
+//! * a cold miss rebuilds, re-writes the snapshot in the background,
+//!   and makes the *next* restart warm.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use usj_core::{snapshot, IndexedCollection, JoinConfig};
+use usj_fault::{shield, FaultAction, FaultPlan};
+use usj_model::{Alphabet, UncertainString};
+use usj_serve::{serve_from_snapshot, Client, ClientConfig, ProbeOutcome, ServeConfig};
+
+const K: usize = 1;
+const TAU: f64 = 0.3;
+
+/// Serialise with the rest of the fault suite: `usj-fault` plans are
+/// process-global.
+fn lock() -> MutexGuard<'static, ()> {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    shield::install();
+    TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn strings() -> Vec<UncertainString> {
+    let alpha = Alphabet::dna();
+    [
+        "ACGTAC",
+        "ACGTAT",
+        "ACG{(T,0.9),(G,0.1)}AC",
+        "TTTTTT",
+        "ACGACG",
+        "GGGCCC",
+        "ACGTACGT",
+        "ACGTACGG",
+    ]
+    .iter()
+    .map(|t| UncertainString::parse(t, &alpha).unwrap())
+    .collect()
+}
+
+fn config() -> JoinConfig {
+    JoinConfig::new(K, TAU)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    // ordering: Relaxed — the counter only needs uniqueness.
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("usj-warm-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Exact hit ids for `probe` against a never-persisted build — the
+/// ground truth every served answer is checked against.
+fn exact_ids(coll: &IndexedCollection, probe: &str) -> Vec<u32> {
+    let probe = UncertainString::parse(probe, &Alphabet::dna()).unwrap();
+    coll.search(&probe).into_iter().map(|h| h.id).collect()
+}
+
+/// A band that fails salvage at boot is served as a `DEGRADED` superset
+/// — every interim answer contains all true hits — and the background
+/// rebuild readmits it to exact service, bumping
+/// `snapshot_bands_rebuilt` in the exposition.
+#[test]
+fn failed_salvage_band_serves_superset_until_readmitted() {
+    let _g = lock();
+    let dir = scratch("salvage");
+    let path = dir.join("index.snap");
+    let cold = IndexedCollection::build(config(), 4, strings());
+    snapshot::write(&path, &cold).expect("snapshot commits");
+    let want = exact_ids(&cold, "ACGTAC");
+
+    let (handle, report) = {
+        // The guard spans only the boot: the first salvage attempt (the
+        // length-6 band) fails, later fires — including the refresh
+        // write — pass.
+        let _guard = FaultPlan::new()
+            .fail_at(
+                "snapshot.salvage",
+                0,
+                FaultAction::Error("salvage refused".into()),
+            )
+            .arm();
+        serve_from_snapshot(
+            &path,
+            config(),
+            strings(),
+            Alphabet::dna(),
+            ServeConfig::default(),
+        )
+        .expect("boot survives a failed salvage")
+    };
+    assert!(report.warm, "salvaged boot is still warm: {report:?}");
+    assert_eq!(report.degraded_bands, vec![6], "length-6 band degraded");
+
+    // Until the rebuild lands, the touched probe is answered DEGRADED
+    // with a superset; afterwards it goes exact. Either way no answer
+    // may ever miss a true hit.
+    let mut c = Client::new(handle.addr().to_string(), ClientConfig::default());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match c.probe(K, TAU, "ACGTAC").expect("probe") {
+            ProbeOutcome::Degraded { ids, .. } => {
+                assert!(
+                    want.iter().all(|id| ids.binary_search(id).is_ok()),
+                    "superset answer {ids:?} misses a true hit from {want:?}"
+                );
+            }
+            ProbeOutcome::Exact(hits) => {
+                let ids: Vec<u32> = hits.into_iter().map(|(id, _)| id).collect();
+                assert_eq!(ids, want, "readmitted band answers diverged");
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "band was never readmitted to exact service"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let text = handle.metrics_text();
+    assert!(
+        text.contains("\nusj_snapshot_bands_rebuilt_total 1\n"),
+        "readmission not counted:\n{text}"
+    );
+    assert!(text.contains("\nusj_warm_restarts_total 1\n"));
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A snapshot written under a different run configuration refuses to
+/// boot — rung 3 of the ladder surfaces the diagnosis instead of
+/// silently serving the wrong index.
+#[test]
+fn fingerprint_mismatch_refuses_to_boot() {
+    let _g = lock();
+    let dir = scratch("refuse");
+    let path = dir.join("index.snap");
+    let other = IndexedCollection::build(JoinConfig::new(2, 0.5), 4, strings());
+    snapshot::write(&path, &other).expect("snapshot commits");
+    let msg = match serve_from_snapshot(
+        &path,
+        config(),
+        strings(),
+        Alphabet::dna(),
+        ServeConfig::default(),
+    ) {
+        Err(err) => err.to_string(),
+        Ok(_) => panic!("mismatched fingerprint was served"),
+    };
+    assert!(msg.contains("fingerprint"), "no diagnosis in {msg:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cold miss (no snapshot on disk) rebuilds and re-writes the image
+/// in the background, so the next restart of the same server is warm.
+#[test]
+fn cold_miss_writes_the_snapshot_that_warms_the_next_restart() {
+    let _g = lock();
+    let dir = scratch("coldwarm");
+    let path = dir.join("index.snap");
+    let (first, report) = serve_from_snapshot(
+        &path,
+        config(),
+        strings(),
+        Alphabet::dna(),
+        ServeConfig::default(),
+    )
+    .expect("cold boot");
+    assert!(!report.warm, "missing snapshot cannot be warm");
+    let mut c = Client::new(first.addr().to_string(), ClientConfig::default());
+    let health = c.health_report().expect("HEALTH");
+    assert_eq!(health.warm, Some(false));
+    // The refresh runs in the background; wait for the durable rename.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !path.exists() {
+        assert!(Instant::now() < deadline, "snapshot refresh never landed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    first.shutdown();
+
+    let (second, report) = serve_from_snapshot(
+        &path,
+        config(),
+        strings(),
+        Alphabet::dna(),
+        ServeConfig::default(),
+    )
+    .expect("second boot");
+    assert!(report.warm, "refreshed snapshot must boot warm: {report:?}");
+    let cold = IndexedCollection::build(config(), 4, strings());
+    let mut c = Client::new(second.addr().to_string(), ClientConfig::default());
+    for probe in ["ACGTAC", "ACGTACGT", "TTTTTT"] {
+        match c.probe(K, TAU, probe).expect("probe") {
+            ProbeOutcome::Exact(hits) => {
+                let ids: Vec<u32> = hits.into_iter().map(|(id, _)| id).collect();
+                assert_eq!(ids, exact_ids(&cold, probe), "warm answers diverged");
+            }
+            other => panic!("unexpected degraded answer {other:?}"),
+        }
+    }
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

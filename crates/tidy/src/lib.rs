@@ -16,6 +16,7 @@
 //! | `dep-allowlist` | no external dependencies outside the vetted set |
 //! | `doc-drift` | `DESIGN.md` inventories every crate; `CHANGES.md` has one consecutive `- PR n:` line per PR |
 //! | `socket-timeout` | no blocking socket read in `crates/serve/src/` without a prior `set_read_timeout` |
+//! | `durable-write` | no raw `File::create`/`fs::write` in `crates/{core,serve,cli}/src/` outside the `durable_atomic_write` helpers |
 //! | `span-paired` | every manual `enter_phase` in `crates/{core,serve}/src/` is exited in-file, with no early `return`/`?` while open (RAII `PhaseGuard` is exempt) |
 //! | `budget-loop` | every loop in a probe/search fn (budget-scoped files) consults `ProbeBudget`/deadline/cancel in its body |
 //! | `failpoint-coverage` | every `catch_unwind` carries a named failpoint in-extent; fault-plan names resolve; every failpoint is test-exercised |
@@ -53,7 +54,7 @@ use allow::AllowList;
 use source::SourceFile;
 
 /// Every lint name, for allowlist validation and `--help` output.
-pub const LINT_NAMES: [&str; 11] = [
+pub const LINT_NAMES: [&str; 12] = [
     "no-unwrap",
     "ordering-comment",
     "unsafe-safety",
@@ -61,6 +62,7 @@ pub const LINT_NAMES: [&str; 11] = [
     "dep-allowlist",
     "doc-drift",
     "socket-timeout",
+    "durable-write",
     "span-paired",
     "budget-loop",
     "failpoint-coverage",
@@ -212,6 +214,7 @@ pub fn run_tidy(root: &Path) -> Vec<Diagnostic> {
     raw.extend(lints::dep_allowlist(&ws));
     raw.extend(lints::doc_drift(&ws));
     raw.extend(lints::socket_timeout(&ws.rust_files));
+    raw.extend(lints::durable_write(&ws.rust_files));
     raw.extend(lints::span_paired(&ws.rust_files));
     raw.extend(lints::budget_loop(&ws.rust_files));
     raw.extend(lints::failpoint_coverage(&ws));

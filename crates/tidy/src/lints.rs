@@ -238,6 +238,15 @@ const BLOCKING_READS: [&str; 5] = [
     ".read(",
 ];
 
+/// A socket read always fills a caller-supplied buffer, so an
+/// argument-less `.read()` is the `RwLock` guard shape, not I/O.
+fn has_blocking_read(code: &str) -> bool {
+    BLOCKING_READS.iter().any(|p| {
+        code.match_indices(p)
+            .any(|(i, _)| !code[i + p.len()..].starts_with(')'))
+    })
+}
+
 /// `socket-timeout`: in `crates/serve/src/` (the only crate that owns
 /// sockets), every blocking read must come after a `set_read_timeout`
 /// call earlier in the same file.
@@ -265,7 +274,7 @@ pub fn socket_timeout(files: &[SourceFile]) -> Vec<Diagnostic> {
                 continue;
             }
             let code = line.code();
-            if !BLOCKING_READS.iter().any(|p| code.contains(p)) {
+            if !has_blocking_read(code) {
                 continue;
             }
             if timeout_at.is_some_and(|t| t < i) {
@@ -278,6 +287,81 @@ pub fn socket_timeout(files: &[SourceFile]) -> Vec<Diagnostic> {
                 message: "blocking read without a `set_read_timeout` earlier in this file — \
                           a slow peer would wedge the worker and starve the admission queue"
                     .to_string(),
+            });
+        }
+    }
+    diags
+}
+
+/// Crates whose non-test code must not write files with the raw
+/// std APIs: every on-disk artifact they produce (datasets, checkpoints,
+/// snapshots, traces, bench reports) is something a restart reads back,
+/// so a crash mid-write must never leave a torn file in place.
+const DURABLE_WRITE_DIRS: [&str; 3] = [
+    "crates/core/src/",
+    "crates/serve/src/",
+    "crates/cli/src/",
+];
+
+/// `durable-write`: in the durable-artifact crates, non-test code must
+/// not call `File::create(` / `File::create_new(` / `fs::write(`
+/// directly — the `durable_atomic_write` helpers (write a temporary,
+/// fsync, atomically rename) are the only path to disk.
+///
+/// The snapshot and checkpoint recovery ladders assume every committed
+/// file is either the old image or the new one, never a prefix. A raw
+/// write that the reviewer believes is "not durable state" still needs
+/// that argument recorded: implement it via the helper, or allowlist it
+/// with the reason. The helper's own body is exempt — it is where the
+/// raw calls are supposed to live.
+pub fn durable_write(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in files {
+        if !DURABLE_WRITE_DIRS
+            .iter()
+            .any(|d| file.rel_path.starts_with(d))
+        {
+            continue;
+        }
+        let m = file.meaningful();
+        for w in 0..m.len() {
+            let ti = m[w];
+            if file.toks[ti].kind != Kind::Word {
+                continue;
+            }
+            let text = |k: usize| m.get(k).map(|&t| file.tok_text(t)).unwrap_or("");
+            // Token shapes: `File :: create (` / `fs :: write (` — the
+            // `::` qualifier distinguishes them from `.write()` lock
+            // guards and from the helper's own name.
+            let qualified = |q: &str| {
+                w >= 3 && text(w - 1) == ":" && text(w - 2) == ":" && text(w - 3) == q
+            };
+            let pattern = match file.tok_text(ti) {
+                "create" if text(w + 1) == "(" && qualified("File") => "File::create(",
+                "create_new" if text(w + 1) == "(" && qualified("File") => "File::create_new(",
+                "write" if text(w + 1) == "(" && qualified("fs") => "fs::write(",
+                _ => continue,
+            };
+            if file.tok_in_test(ti) {
+                continue;
+            }
+            let in_helper = file
+                .extents
+                .enclosing_fn(ti)
+                .is_some_and(|e| file.extents.extents[e].name.starts_with("durable_atomic_write"));
+            if in_helper {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: file.toks[ti].line,
+                lint: "durable-write".to_string(),
+                message: format!(
+                    "raw file write (`{pattern}`) outside the durable helper — a crash \
+                     mid-write leaves a torn file; route it through \
+                     `usj_core::durable_atomic_write`, or allowlist with the reason it \
+                     need not be atomic"
+                ),
             });
         }
     }

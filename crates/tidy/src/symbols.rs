@@ -47,7 +47,13 @@ pub struct FailpointTable {
 }
 
 /// The calls whose dotted-string arguments *define* a failpoint name.
-const CARRIERS: [&str; 4] = ["fail_point", "fire", "fire_err", "atomic_write"];
+const CARRIERS: [&str; 5] = [
+    "fail_point",
+    "fire",
+    "fire_err",
+    "durable_atomic_write",
+    "durable_atomic_write_full",
+];
 
 /// Test-side arming calls whose first string argument is a strict
 /// reference to an existing failpoint.

@@ -25,7 +25,7 @@ fn document_shape_is_pinned() {
             "{\"schema\":\"usj-tidy-diagnostics/v1\",",
             "\"lints\":[\"no-unwrap\",\"ordering-comment\",\"unsafe-safety\",",
             "\"metrics-registered\",\"dep-allowlist\",\"doc-drift\",",
-            "\"socket-timeout\",\"span-paired\",\"budget-loop\",",
+            "\"socket-timeout\",\"durable-write\",\"span-paired\",\"budget-loop\",",
             "\"failpoint-coverage\",\"lock-discipline\"],",
             "\"count\":2,\"diagnostics\":[",
             "{\"file\":\"crates/core/src/join.rs\",\"line\":7,",

@@ -1,0 +1,34 @@
+//! Fixture: raw file writes outside the durable helper.
+use std::fs::File;
+
+pub fn save_report(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    std::fs::write(path, text)
+}
+
+pub fn open_log(path: &std::path::Path) -> std::io::Result<File> {
+    File::create(path)
+}
+
+pub fn reserve(path: &std::path::Path) -> std::io::Result<File> {
+    File::create_new(path)
+}
+
+/// The helper owns the raw calls: write a temporary, then rename.
+pub fn durable_atomic_write(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let file = File::create(&tmp)?;
+    drop(file);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+// A comment mentioning fs::write( must not fire.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_files_are_fine() {
+        std::fs::write("/tmp/usj-fixture-scratch", "x").unwrap();
+        let _ = std::fs::File::create("/tmp/usj-fixture-scratch2");
+    }
+}

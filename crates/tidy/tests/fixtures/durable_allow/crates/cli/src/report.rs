@@ -1,0 +1,8 @@
+//! Fixture: one allowlisted raw write, one unexcused.
+pub fn spill_scratch(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    std::fs::write(path, text.trim_end())
+}
+
+pub fn spill_other(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    std::fs::write(path, text)
+}

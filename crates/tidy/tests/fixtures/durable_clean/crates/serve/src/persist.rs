@@ -1,0 +1,28 @@
+//! Fixture: every path to disk goes through the durable helpers.
+use std::fs::File;
+
+/// Full-control variant, `File::create` and all — exempt by name.
+pub fn durable_atomic_write_full(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let file = File::create(&tmp)?;
+    drop(file);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+pub fn save_snapshot(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    durable_atomic_write_full(path, text)
+}
+
+/// An argument-less `.write()` is an RwLock guard, not file I/O.
+pub fn swap(slot: &std::sync::RwLock<String>, next: String) {
+    *slot.write().unwrap_or_else(std::sync::PoisonError::into_inner) = next;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_write_directly() {
+        std::fs::write("/tmp/usj-fixture-clean", "x").unwrap();
+    }
+}

@@ -1,4 +1,8 @@
 use std::io::{BufRead, BufReader};
+/// An argument-less `.read()` is an RwLock guard, not socket IO.
+pub fn epoch(gen: &std::sync::RwLock<u64>) -> u64 {
+    *gen.read().unwrap()
+}
 pub fn handle(stream: std::net::TcpStream) {
     let mut reader = BufReader::new(&stream);
     let mut line = String::new();

@@ -88,11 +88,44 @@ fn metrics_fixture_flags_each_registration_gap() {
 fn socket_fixture_flags_reads_before_the_timeout_only() {
     assert_eq!(
         triples("socket"),
-        // server.rs: the line-5 read precedes set_read_timeout (line 6)
-        // and fires; the line-7 read is bounded. client.rs installs the
-        // timeout first (its comment mention and #[cfg(test)] read are
-        // exempt), and crates/core is out of the lint's scope entirely.
-        vec![t("crates/serve/src/server.rs", 5, "socket-timeout")]
+        // server.rs: the argless RwLock `.read()` (line 4) is not
+        // socket IO; the line-9 read precedes set_read_timeout (line
+        // 10) and fires; the line-11 read is bounded. client.rs
+        // installs the timeout first (its comment mention and
+        // #[cfg(test)] read are exempt), and crates/core is out of the
+        // lint's scope entirely.
+        vec![t("crates/serve/src/server.rs", 9, "socket-timeout")]
+    );
+}
+
+#[test]
+fn durable_fixture_flags_raw_writes_outside_the_helper() {
+    assert_eq!(
+        triples("durable"),
+        vec![
+            // The helper's own File::create/fs::write, the comment
+            // mention, the #[cfg(test)] writes, and crates/verify (out
+            // of scope) all stay silent; the three raw call sites fire.
+            t("crates/core/src/persist.rs", 5, "durable-write"),
+            t("crates/core/src/persist.rs", 9, "durable-write"),
+            t("crates/core/src/persist.rs", 13, "durable-write"),
+        ]
+    );
+}
+
+#[test]
+fn durable_clean_fixture_produces_no_diagnostics() {
+    let diags = run_tidy(&fixture("durable_clean"));
+    assert!(diags.is_empty(), "expected clean, got: {diags:?}");
+}
+
+#[test]
+fn durable_allow_fixture_suppresses_only_the_reasoned_entry() {
+    assert_eq!(
+        // The tidy.allow entry excuses the scratch spill (and is
+        // therefore not unused); the second raw write still fires.
+        triples("durable_allow"),
+        vec![t("crates/cli/src/report.rs", 7, "durable-write")]
     );
 }
 

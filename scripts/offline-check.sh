@@ -40,11 +40,13 @@ mkdir -p .buildcheck/crates/core/tests .buildcheck/crates/model/tests \
     .buildcheck/crates/serve/tests
 cp crates/core/tests/fault_tolerance.rs .buildcheck/crates/core/tests/
 cp crates/core/tests/checkpoint_corruption.rs .buildcheck/crates/core/tests/
+cp crates/core/tests/snapshot_persistence.rs .buildcheck/crates/core/tests/
 cp crates/core/tests/concurrent_probes.rs .buildcheck/crates/core/tests/
 cp crates/serve/tests/overload.rs .buildcheck/crates/serve/tests/
 cp crates/serve/tests/metrics_roundtrip.rs .buildcheck/crates/serve/tests/
 cp crates/serve/tests/coordinator.rs .buildcheck/crates/serve/tests/
 cp crates/serve/tests/proto_malformed.rs .buildcheck/crates/serve/tests/
+cp crates/serve/tests/warm_restart.rs .buildcheck/crates/serve/tests/
 cp crates/model/tests/malformed.rs .buildcheck/crates/model/tests/
 cp -r crates/model/tests/corpus .buildcheck/crates/model/tests/corpus
 

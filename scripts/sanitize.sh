@@ -28,21 +28,22 @@
 # exits 0, so it is safe to run on any machine; CI sets SANITIZE_STRICT=1
 # to make missing prerequisites fatal there.
 #
-# Usage: sanitize.sh [all|kernels|serve|coord] — `all` (default) runs
-# every check; `kernels` runs Miri plus the parallel-driver TSan blocks;
-# `serve` runs the single-node usj-serve TSan block; and `coord` runs
-# the coordinator/shard-fleet TSan block. The sanitize, serve, and
-# coordinator CI jobs use `kernels`/`serve`/`coord` so no suite is
-# instrumented twice.
+# Usage: sanitize.sh [all|kernels|serve|coord|persist] — `all` (default)
+# runs every check; `kernels` runs Miri plus the parallel-driver TSan
+# blocks; `serve` runs the single-node usj-serve TSan block; `coord`
+# runs the coordinator/shard-fleet TSan block; and `persist` runs Miri
+# and TSan over the snapshot / recovery-ladder suites. The sanitize,
+# serve, coordinator, and persist CI jobs use their matching targets so
+# no suite is instrumented twice.
 
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
 ONLY="${1:-all}"
 case "$ONLY" in
-    all | kernels | serve | coord) ;;
+    all | kernels | serve | coord | persist) ;;
     *)
-        printf 'usage: %s [all|kernels|serve|coord]\n' "$0" >&2
+        printf 'usage: %s [all|kernels|serve|coord|persist]\n' "$0" >&2
         exit 2
         ;;
 esac
@@ -186,6 +187,39 @@ run_tsan_serve() {
     fi
 }
 
+# ---- Miri + TSan over the snapshot / recovery-ladder suites -------------
+run_persist() {
+    if have_nightly && have_component miri; then
+        note "Miri: snapshot encode/decode + corruption-ladder tests"
+        # The snapshot codec is the one place the index is rebuilt from
+        # raw little-endian bytes; Miri checks every decode path —
+        # including the salvage walk over deliberately corrupted images —
+        # for UB. -Zmiri-disable-isolation because the suites exercise
+        # real tempfile writes, fsyncs, and renames.
+        if ! MIRIFLAGS="-Zmiri-disable-isolation" \
+            cargo +nightly miri test -p usj-core \
+            --test snapshot_persistence --test checkpoint_corruption; then
+            note "FAIL: Miri found a problem in the snapshot codec"
+            FAILED=1
+        fi
+    else
+        skip_or_die "nightly+miri unavailable (snapshot Miri leg not run)"
+    fi
+    tsan_prereqs || return 0
+    note "TSan: warm-restart serving and background rebuild (-Zsanitizer=thread)"
+    # serve_from_snapshot hands a degraded superset to worker threads
+    # while a maintenance thread rebuilds the salvage-failed bands and
+    # swaps the repaired collection in behind an RwLock; TSan checks the
+    # readmission handoff under altered interleavings. Single-threaded
+    # test order because failpoint plans are process-global.
+    if ! RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$HOST" \
+        -p usj-serve --test warm_restart -- --test-threads 1; then
+        note "FAIL: ThreadSanitizer found a problem in warm-restart serving"
+        FAILED=1
+    fi
+}
+
 # ---- ThreadSanitizer over the scatter-gather coordinator ----------------
 run_tsan_coord() {
     tsan_prereqs || return 0
@@ -215,6 +249,9 @@ if [ "$ONLY" = "all" ] || [ "$ONLY" = "serve" ]; then
 fi
 if [ "$ONLY" = "all" ] || [ "$ONLY" = "coord" ]; then
     run_tsan_coord
+fi
+if [ "$ONLY" = "all" ] || [ "$ONLY" = "persist" ]; then
+    run_persist
 fi
 
 if [ "$FAILED" = "1" ]; then
